@@ -1,0 +1,50 @@
+//! Reed–Solomon benchmarks: encoding, erasure decoding and error decoding
+//! at nominal vs WQ-inflated fragment counts — the computational side of
+//! the paper's x3.56 / x7.11 worst-case factors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use swiper_erasure::shards::{decode_bytes, encode_bytes};
+use swiper_erasure::ReedSolomon;
+use swiper_field::F61;
+
+fn bench_byte_coding(c: &mut Criterion) {
+    let blob = vec![0xA7u8; 64 * 1024];
+    let mut group = c.benchmark_group("shard_coding");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(blob.len() as u64));
+    // (k, m) pairs: nominal n=30 (k=10), weighted x4/3 fragments (same
+    // rate loss as WQ(1/3, 1/4) at beta_n = 1/4: k = m/4).
+    for (label, k, m) in [("nominal_10_30", 10usize, 30usize), ("weighted_20_80", 20, 80)] {
+        group.bench_function(BenchmarkId::new("encode", label), |b| {
+            b.iter(|| encode_bytes(black_box(&blob), k, m).unwrap())
+        });
+        let shards = encode_bytes(&blob, k, m).unwrap();
+        let subset: Vec<_> = shards[m - k..].to_vec();
+        group.bench_function(BenchmarkId::new("decode_erasures", label), |b| {
+            b.iter(|| decode_bytes(black_box(&subset), k, m).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_error_decoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("error_decoding");
+    group.sample_size(10);
+    for (k, m, e) in [(4usize, 13usize, 2usize), (8, 25, 4), (16, 49, 8)] {
+        let rs: ReedSolomon<F61> = ReedSolomon::new(k, m).unwrap();
+        let msg: Vec<F61> = (0..k as u64).map(|i| F61::new(i * 37 + 5)).collect();
+        let mut frags: Vec<Option<F61>> =
+            rs.encode(&msg).unwrap().into_iter().map(Some).collect();
+        for (j, f) in frags.iter_mut().enumerate().take(e) {
+            *f = Some(F61::new(j as u64 + 999_999));
+        }
+        group.bench_function(BenchmarkId::from_parameter(format!("k{k}_m{m}_e{e}")), |b| {
+            b.iter(|| rs.decode_errors(black_box(&frags), e).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_byte_coding, bench_error_decoding);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Knapsack machinery benchmarks: the exact DP against the quasilinear
+//! bounds that Swiper's quick test uses to dodge it (Section 3.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use swiper_core::knapsack::{
+    fractional_upper_bound_reaches, greedy_lower_bound_reaches, max_profit_dp, quick_test, Item,
+};
+
+fn instance(n: usize, seed: u64) -> (Vec<Item>, u128, u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let items: Vec<Item> = (0..n)
+        .map(|_| Item { profit: rng.random_range(0..8), weight: rng.random_range(1..1000) })
+        .collect();
+    let total_weight: u128 = items.iter().map(|i| u128::from(i.weight)).sum();
+    let total_profit: u64 = items.iter().map(|i| i.profit).sum();
+    // Capacity just under a third of the weight; target half the profit.
+    (items, total_weight / 3, total_profit / 2)
+}
+
+fn bench_dp_vs_bounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knapsack");
+    group.sample_size(20);
+    for n in [100usize, 1_000, 5_000] {
+        let (items, cap, target) = instance(n, 7);
+        group.bench_with_input(BenchmarkId::new("dp", n), &items, |b, its| {
+            b.iter(|| max_profit_dp(black_box(its), cap, target))
+        });
+        group.bench_with_input(BenchmarkId::new("upper_bound", n), &items, |b, its| {
+            b.iter(|| fractional_upper_bound_reaches(black_box(its), cap, target))
+        });
+        group.bench_with_input(BenchmarkId::new("lower_bound", n), &items, |b, its| {
+            b.iter(|| greedy_lower_bound_reaches(black_box(its), cap, target))
+        });
+        group.bench_with_input(BenchmarkId::new("quick_test", n), &items, |b, its| {
+            b.iter(|| quick_test(black_box(its), cap, target))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dp_vs_bounds);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Solver runtime benchmarks: full vs `--linear` mode across input sizes
+//! and distributions (the paper's "more than a factor of 3" quick-test
+//! speedup claim is about avoided DP invocations; here we measure
+//! wall-clock of both modes end to end).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use swiper_core::{Mode, Ratio, Swiper, WeightRestriction, WeightSeparation};
+use swiper_weights::{gen, Chain};
+
+fn bench_modes_by_n(c: &mut Criterion) {
+    let params = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2)).unwrap();
+    let mut group = c.benchmark_group("wr_zipf");
+    group.sample_size(20);
+    for n in [100usize, 1_000, 10_000] {
+        let weights = gen::zipf(n, 1.0, 1 << 30);
+        for (label, mode) in [("full", Mode::Full), ("linear", Mode::Linear)] {
+            group.bench_with_input(
+                BenchmarkId::new(label, n),
+                &weights,
+                |b, w| {
+                    let solver = Swiper::with_mode(mode);
+                    b.iter(|| solver.solve_restriction(black_box(w), &params).unwrap())
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_chains(c: &mut Criterion) {
+    let params = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2)).unwrap();
+    let mut group = c.benchmark_group("wr_chains");
+    group.sample_size(10);
+    for chain in [Chain::Aptos, Chain::Tezos, Chain::Filecoin] {
+        let weights = chain.weights();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(chain.name()),
+            &weights,
+            |b, w| {
+                let solver = Swiper::new();
+                b.iter(|| solver.solve_restriction(black_box(w), &params).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_worst_case_equal_weights(c: &mut Criterion) {
+    // Equal weights force the solver towards the theoretical bound: the
+    // most DP-heavy case for full mode.
+    let params = WeightRestriction::new(Ratio::of(1, 4), Ratio::of(1, 3)).unwrap();
+    let mut group = c.benchmark_group("wr_equal_worst_case");
+    group.sample_size(10);
+    for n in [100usize, 1_000] {
+        let weights = gen::equal(n, 3);
+        for (label, mode) in [("full", Mode::Full), ("linear", Mode::Linear)] {
+            group.bench_with_input(BenchmarkId::new(label, n), &weights, |b, w| {
+                let solver = Swiper::with_mode(mode);
+                b.iter(|| solver.solve_restriction(black_box(w), &params).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_separation(c: &mut Criterion) {
+    let params = WeightSeparation::new(Ratio::of(1, 3), Ratio::of(1, 2)).unwrap();
+    let mut group = c.benchmark_group("ws_zipf");
+    group.sample_size(10);
+    for n in [100usize, 1_000] {
+        let weights = gen::zipf(n, 1.0, 1 << 30);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &weights, |b, w| {
+            let solver = Swiper::new();
+            b.iter(|| solver.solve_separation(black_box(w), &params).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_modes_by_n,
+    bench_chains,
+    bench_worst_case_equal_weights,
+    bench_separation
+);
+criterion_main!(benches);

@@ -1,0 +1,134 @@
+//! Regenerates **Figures 1–5**: for a chain, (a) the left-column heatmaps —
+//! total tickets / max tickets / holders over the `(alpha_n, alpha_w)`
+//! grid — and (b) the right-column bootstrap sweeps — the same metrics as
+//! the number of parties scales, averaged over bootstrap resamples.
+//!
+//! ```text
+//! cargo run --release -p swiper-bench --bin figures -- --chain tezos [--reps 100] [--out bench_results]
+//! ```
+//!
+//! Output: CSV files, one per figure panel, mirroring the paper's plots:
+//! `fig_<chain>_grid.csv` (columns: alpha_n, ratio, alpha_w, total, max,
+//! holders) and `fig_<chain>_bootstrap.csv` (columns: pair, nfrac, n,
+//! total, max, holders).
+
+use swiper_bench::{figure_pairs, measure_wr, write_csv};
+use swiper_core::{Mode, Ratio};
+use swiper_weights::bootstrap::resample;
+use swiper_weights::Chain;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Args {
+    chain: Chain,
+    reps: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut chain = Chain::Tezos;
+    let mut reps = 100usize;
+    let mut out = "bench_results".to_string();
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--chain" => {
+                i += 1;
+                chain = Chain::parse(&argv[i]).unwrap_or_else(|| {
+                    eprintln!("unknown chain `{}`", argv[i]);
+                    std::process::exit(2);
+                });
+            }
+            "--reps" => {
+                i += 1;
+                reps = argv[i].parse().expect("--reps takes a number");
+            }
+            "--out" => {
+                i += 1;
+                out = argv[i].clone();
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    Args { chain, reps, out }
+}
+
+fn main() {
+    let args = parse_args();
+    let weights = args.chain.weights();
+    let name = args.chain.name().to_lowercase();
+    println!(
+        "figures for {} (n = {}, W = {:.2e}), {} bootstrap reps",
+        args.chain,
+        weights.len(),
+        weights.total() as f64,
+        args.reps
+    );
+
+    // Left column: alpha_n in {1/10..9/10}, alpha_w = ratio * alpha_n with
+    // ratio in {1/10..9/10} (the paper sweeps alpha_n in [0.1, 1] and
+    // alpha_w in [0.1 an, 0.9 an]).
+    let mut grid_rows: Vec<Vec<String>> = Vec::new();
+    for an_tenths in 1..=9u128 {
+        let alpha_n = Ratio::of(an_tenths, 10);
+        for ratio_tenths in 1..=9u128 {
+            let alpha_w = Ratio::of(an_tenths * ratio_tenths, 100);
+            if alpha_w >= alpha_n || !alpha_w.is_proper() {
+                continue;
+            }
+            let m = measure_wr(&weights, alpha_w, alpha_n, Mode::Full);
+            grid_rows.push(vec![
+                format!("{:.1}", alpha_n.to_f64()),
+                format!("{:.1}", ratio_tenths as f64 / 10.0),
+                format!("{:.2}", alpha_w.to_f64()),
+                m.total_tickets.to_string(),
+                m.max_tickets.to_string(),
+                m.holders.to_string(),
+            ]);
+        }
+    }
+    write_csv(
+        format!("{}/fig_{}_grid.csv", args.out, name),
+        &["alpha_n", "aw_over_an", "alpha_w", "total_tickets", "max_tickets", "holders"],
+        &grid_rows,
+    );
+
+    // Right column: bootstrap n-fraction sweep for the four tracked pairs.
+    let mut boot_rows: Vec<Vec<String>> = Vec::new();
+    let n = weights.len();
+    for (aw, an) in figure_pairs() {
+        for frac_tenths in 1..=10usize {
+            let size = (n * frac_tenths / 10).max(1);
+            let mut rng = StdRng::seed_from_u64(0xF1605 + frac_tenths as u64);
+            let (mut tot, mut mx, mut hold) = (0.0f64, 0.0f64, 0.0f64);
+            for _ in 0..args.reps {
+                let sample = resample(&weights, size, &mut rng);
+                let m = measure_wr(&sample, aw, an, Mode::Full);
+                tot += m.total_tickets as f64;
+                mx += m.max_tickets as f64;
+                hold += m.holders as f64;
+            }
+            let reps = args.reps as f64;
+            boot_rows.push(vec![
+                format!("({aw},{an})"),
+                format!("{:.1}", frac_tenths as f64 / 10.0),
+                size.to_string(),
+                format!("{:.1}", tot / reps),
+                format!("{:.1}", mx / reps),
+                format!("{:.1}", hold / reps),
+            ]);
+        }
+        println!("  pair ({aw}, {an}) done");
+    }
+    write_csv(
+        format!("{}/fig_{}_bootstrap.csv", args.out, name),
+        &["pair", "nfrac", "n", "avg_total_tickets", "avg_max_tickets", "avg_holders"],
+        &boot_rows,
+    );
+}

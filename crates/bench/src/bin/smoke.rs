@@ -1,0 +1,34 @@
+//! Quick solver sanity sweep over the four chain replicas — a fast way to
+//! eyeball ticket totals, bounds, modes and runtimes before running the
+//! full experiment suite.
+//!
+//! ```text
+//! cargo run --release -p swiper-bench --bin smoke
+//! ```
+
+use std::time::Instant;
+use swiper_core::{Mode, Ratio, Swiper, WeightRestriction, WeightSeparation};
+use swiper_weights::CHAINS;
+
+fn main() {
+    for chain in CHAINS {
+        let w = chain.weights();
+        let p = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2)).unwrap();
+        for mode in [Mode::Full, Mode::Linear] {
+            let t0 = Instant::now();
+            let sol = Swiper::with_mode(mode).solve_restriction(&w, &p).unwrap();
+            println!(
+                "{:10} n={:6} mode={:?} tickets={:6} bound={:6} dp={} time={:?}",
+                chain.name(), w.len(), mode, sol.total_tickets(), sol.ticket_bound,
+                sol.stats.dp_invocations, t0.elapsed()
+            );
+        }
+        let s = WeightSeparation::new(Ratio::of(1, 3), Ratio::of(1, 2)).unwrap();
+        let t0 = Instant::now();
+        let sol = Swiper::new().solve_separation(&w, &s).unwrap();
+        println!(
+            "{:10} WS tickets={:6} bound={:6} time={:?}",
+            chain.name(), sol.total_tickets(), sol.ticket_bound, t0.elapsed()
+        );
+    }
+}

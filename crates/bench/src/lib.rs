@@ -1,0 +1,222 @@
+//! Shared experiment plumbing for the table/figure binaries.
+//!
+//! Each binary under `src/bin/` regenerates one artifact of the paper's
+//! evaluation (see DESIGN.md's experiment index); this library holds the
+//! parameter sets, measurement records and small table/CSV writers they
+//! share.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use swiper_core::{
+    Mode, Ratio, Swiper, TicketAssignment, WeightQualification, WeightRestriction,
+    WeightSeparation, Weights,
+};
+
+/// The WR/WQ parameter pairs of Table 2 (each WR pair `(aw, an)` is the
+/// Theorem 2.2 mirror of the WQ pair `(1-aw, 1-an)` printed below it).
+pub fn table2_wr_settings() -> Vec<(Ratio, Ratio)> {
+    vec![
+        (Ratio::of(1, 4), Ratio::of(1, 3)),
+        (Ratio::of(1, 3), Ratio::of(3, 8)),
+        (Ratio::of(1, 3), Ratio::of(1, 2)),
+        (Ratio::of(2, 3), Ratio::of(3, 4)),
+    ]
+}
+
+/// The WS parameter pairs of Table 2.
+pub fn table2_ws_settings() -> Vec<(Ratio, Ratio)> {
+    vec![
+        (Ratio::of(1, 4), Ratio::of(1, 3)),
+        (Ratio::of(1, 3), Ratio::of(1, 2)),
+        (Ratio::of(2, 3), Ratio::of(3, 4)),
+    ]
+}
+
+/// The `(alpha_w, alpha_n)` pairs tracked in the right-hand columns of
+/// Figures 1–5.
+pub fn figure_pairs() -> Vec<(Ratio, Ratio)> {
+    table2_wr_settings()
+}
+
+/// Measurements of one solver run.
+#[derive(Debug, Clone, Copy)]
+pub struct SolveMeasurement {
+    /// Total tickets allocated.
+    pub total_tickets: u128,
+    /// Largest per-party allocation.
+    pub max_tickets: u64,
+    /// Parties holding at least one ticket.
+    pub holders: usize,
+    /// The theoretical bound for the instance.
+    pub bound: u64,
+}
+
+/// Runs Weight Restriction and extracts the figure metrics.
+///
+/// # Panics
+///
+/// Panics when the instance is infeasible (the harness constructs only
+/// feasible ones).
+pub fn measure_wr(
+    weights: &Weights,
+    alpha_w: Ratio,
+    alpha_n: Ratio,
+    mode: Mode,
+) -> SolveMeasurement {
+    let params = WeightRestriction::new(alpha_w, alpha_n).expect("feasible parameters");
+    let sol = Swiper::with_mode(mode).solve_restriction(weights, &params).expect("solvable");
+    measurement_of(&sol.assignment, sol.ticket_bound)
+}
+
+/// Runs Weight Qualification (via the Theorem 2.2 reduction).
+///
+/// # Panics
+///
+/// Panics when the instance is infeasible.
+pub fn measure_wq(
+    weights: &Weights,
+    beta_w: Ratio,
+    beta_n: Ratio,
+    mode: Mode,
+) -> SolveMeasurement {
+    let params = WeightQualification::new(beta_w, beta_n).expect("feasible parameters");
+    let sol = Swiper::with_mode(mode).solve_qualification(weights, &params).expect("solvable");
+    measurement_of(&sol.assignment, sol.ticket_bound)
+}
+
+/// Runs Weight Separation.
+///
+/// # Panics
+///
+/// Panics when the instance is infeasible.
+pub fn measure_ws(weights: &Weights, alpha: Ratio, beta: Ratio, mode: Mode) -> SolveMeasurement {
+    let params = WeightSeparation::new(alpha, beta).expect("feasible parameters");
+    let sol = Swiper::with_mode(mode).solve_separation(weights, &params).expect("solvable");
+    measurement_of(&sol.assignment, sol.ticket_bound)
+}
+
+fn measurement_of(t: &TicketAssignment, bound: u64) -> SolveMeasurement {
+    SolveMeasurement {
+        total_tickets: t.total(),
+        max_tickets: t.max_tickets(),
+        holders: t.holders(),
+        bound,
+    }
+}
+
+/// A minimal aligned-column table printer for terminal reports.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given header.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let mut cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(line, "| {:width$} ", c, width = widths[i]);
+            }
+            line.push('|');
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let sep: String =
+            widths.iter().map(|w| format!("|{}", "-".repeat(w + 2))).collect::<String>() + "|";
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Writes a CSV file (creating parent directories) from a header and rows.
+///
+/// # Panics
+///
+/// Panics on I/O errors — experiment harness semantics: fail loudly.
+pub fn write_csv<P: AsRef<Path>>(path: P, header: &[&str], rows: &[Vec<String>]) {
+    let path = path.as_ref();
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir).expect("create output directory");
+    }
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    fs::write(path, out).expect("write csv");
+    println!("wrote {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn settings_match_table2() {
+        assert_eq!(table2_wr_settings().len(), 4);
+        assert_eq!(table2_ws_settings().len(), 3);
+        for (a, b) in table2_wr_settings() {
+            assert!(a < b);
+        }
+        for (a, b) in table2_ws_settings() {
+            assert!(a < b);
+        }
+    }
+
+    #[test]
+    fn measurements_are_consistent() {
+        let w = Weights::new(vec![50, 30, 20, 10, 5]).unwrap();
+        let m = measure_wr(&w, Ratio::of(1, 3), Ratio::of(1, 2), Mode::Full);
+        assert!(m.total_tickets <= u128::from(m.bound));
+        assert!(u128::from(m.max_tickets) <= m.total_tickets);
+        assert!(m.holders <= 5);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(vec!["a", "bb"]);
+        t.row(vec!["1", "2"]);
+        t.row(vec!["333", "4"]);
+        let s = t.render();
+        assert!(s.contains("| a   | bb |"));
+        assert!(s.lines().count() == 4);
+    }
+}

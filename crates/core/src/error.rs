@@ -1,0 +1,99 @@
+//! Error types for the weight reduction solver.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by `swiper-core` operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A rational was constructed with a zero denominator.
+    ZeroDenominator,
+    /// A ratio string could not be parsed.
+    ParseRatio {
+        /// The offending input.
+        input: String,
+    },
+    /// A threshold falls outside the domain required by the problem
+    /// definitions (all thresholds must lie strictly inside `(0, 1)`).
+    ThresholdOutOfRange {
+        /// Human-readable description of the violated constraint.
+        what: &'static str,
+    },
+    /// The problem parameters leave no gap for the solver
+    /// (e.g. `alpha_w >= alpha_n` for Weight Restriction).
+    InfeasibleThresholds {
+        /// Human-readable description of the violated constraint.
+        what: &'static str,
+    },
+    /// The total weight is zero; the problems require `W != 0`.
+    ZeroTotalWeight,
+    /// The party set is empty.
+    NoParties,
+    /// An intermediate computation exceeded 128 bits. The inputs are outside
+    /// the supported envelope (see crate docs for the exact limits).
+    ArithmeticOverflow,
+    /// The theoretical ticket bound is too large to solve for
+    /// (thresholds too close together for this input size).
+    BoundTooLarge {
+        /// The computed bound that exceeded the supported maximum.
+        bound: u128,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::ZeroDenominator => write!(f, "denominator must be non-zero"),
+            CoreError::ParseRatio { input } => {
+                write!(f, "cannot parse `{input}` as a ratio (expected `p/q` or integer)")
+            }
+            CoreError::ThresholdOutOfRange { what } => {
+                write!(f, "threshold out of range: {what}")
+            }
+            CoreError::InfeasibleThresholds { what } => {
+                write!(f, "infeasible thresholds: {what}")
+            }
+            CoreError::ZeroTotalWeight => write!(f, "total weight must be non-zero"),
+            CoreError::NoParties => write!(f, "at least one party is required"),
+            CoreError::ArithmeticOverflow => {
+                write!(f, "arithmetic overflow: inputs exceed the supported envelope")
+            }
+            CoreError::BoundTooLarge { bound } => {
+                write!(f, "ticket bound {bound} exceeds the supported maximum")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs: Vec<CoreError> = vec![
+            CoreError::ZeroDenominator,
+            CoreError::ParseRatio { input: "x".into() },
+            CoreError::ThresholdOutOfRange { what: "t" },
+            CoreError::InfeasibleThresholds { what: "t" },
+            CoreError::ZeroTotalWeight,
+            CoreError::NoParties,
+            CoreError::ArithmeticOverflow,
+            CoreError::BoundTooLarge { bound: 7 },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_err<E: std::error::Error + Send + Sync + 'static>(_: E) {}
+        takes_err(CoreError::ZeroTotalWeight);
+    }
+}

@@ -1,0 +1,206 @@
+//! Exact (optimal) weight reduction for tiny instances.
+//!
+//! The paper's Appendix B formulates Weight Restriction as a bi-level MIP
+//! and reports it "prohibitively slow for inputs of size larger than a
+//! couple of dozens". This module plays the same role as that reference
+//! implementation: a ground-truth optimum for small `n`, used to measure
+//! Swiper's approximation quality in tests and the `bounds` experiment.
+//!
+//! The search enumerates ticket totals `T = 1, 2, ...` and, for each, all
+//! compositions of `T` into `n` parts (with a per-party cap of `T`),
+//! checking validity exhaustively over the `2^n` subsets. The first `T`
+//! admitting a valid assignment is optimal.
+
+use crate::assignment::TicketAssignment;
+use crate::error::CoreError;
+use crate::problems::{WeightQualification, WeightRestriction, WeightSeparation};
+use crate::verify::{
+    verify_qualification_exhaustive, verify_restriction_exhaustive,
+    verify_separation_exhaustive,
+};
+use crate::weights::Weights;
+
+/// Hard limits keeping the exponential search tractable.
+const MAX_N: usize = 10;
+const MAX_TOTAL: u64 = 24;
+
+fn check_limits(weights: &Weights, limit: u64) -> Result<(), CoreError> {
+    if weights.len() > MAX_N || limit > MAX_TOTAL {
+        return Err(CoreError::BoundTooLarge { bound: u128::from(limit) });
+    }
+    Ok(())
+}
+
+/// Enumerates compositions of `total` into `n` non-negative parts, invoking
+/// `f` on each; stops early when `f` returns `true` and returns the witness.
+fn first_composition<F>(n: usize, total: u64, f: &mut F) -> Option<Vec<u64>>
+where
+    F: FnMut(&[u64]) -> bool,
+{
+    let mut parts = vec![0u64; n];
+    fn rec<F: FnMut(&[u64]) -> bool>(
+        parts: &mut Vec<u64>,
+        idx: usize,
+        remaining: u64,
+        f: &mut F,
+    ) -> bool {
+        if idx + 1 == parts.len() {
+            parts[idx] = remaining;
+            let hit = f(parts);
+            parts[idx] = 0;
+            return hit;
+        }
+        for v in (0..=remaining).rev() {
+            parts[idx] = v;
+            if rec(parts, idx + 1, remaining - v, f) {
+                return true;
+            }
+        }
+        parts[idx] = 0;
+        false
+    }
+    if rec(&mut parts, 0, total, f) {
+        Some(parts)
+    } else {
+        None
+    }
+}
+
+fn optimal_by<F>(weights: &Weights, limit: u64, mut valid: F) -> Option<TicketAssignment>
+where
+    F: FnMut(&TicketAssignment) -> bool,
+{
+    let n = weights.len();
+    for total in 1..=limit {
+        let mut found: Option<TicketAssignment> = None;
+        first_composition(n, total, &mut |parts| {
+            let t = TicketAssignment::new(parts.to_vec());
+            if valid(&t) {
+                found = Some(t);
+                true
+            } else {
+                false
+            }
+        });
+        if found.is_some() {
+            return found;
+        }
+    }
+    None
+}
+
+/// Optimal Weight Restriction solution by exhaustive search, or `None` when
+/// no assignment with at most `limit` tickets is valid.
+///
+/// # Errors
+///
+/// [`CoreError::BoundTooLarge`] when `n > 10` or `limit > 24`.
+pub fn optimal_restriction(
+    weights: &Weights,
+    params: &WeightRestriction,
+    limit: u64,
+) -> Result<Option<TicketAssignment>, CoreError> {
+    check_limits(weights, limit)?;
+    Ok(optimal_by(weights, limit, |t| verify_restriction_exhaustive(weights, t, params)))
+}
+
+/// Optimal Weight Qualification solution by exhaustive search.
+///
+/// # Errors
+///
+/// [`CoreError::BoundTooLarge`] when `n > 10` or `limit > 24`.
+pub fn optimal_qualification(
+    weights: &Weights,
+    params: &WeightQualification,
+    limit: u64,
+) -> Result<Option<TicketAssignment>, CoreError> {
+    check_limits(weights, limit)?;
+    Ok(optimal_by(weights, limit, |t| verify_qualification_exhaustive(weights, t, params)))
+}
+
+/// Optimal Weight Separation solution by exhaustive search.
+///
+/// # Errors
+///
+/// [`CoreError::BoundTooLarge`] when `n > 10` or `limit > 24`.
+pub fn optimal_separation(
+    weights: &Weights,
+    params: &WeightSeparation,
+    limit: u64,
+) -> Result<Option<TicketAssignment>, CoreError> {
+    check_limits(weights, limit)?;
+    Ok(optimal_by(weights, limit, |t| verify_separation_exhaustive(weights, t, params)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ratio::Ratio;
+    use crate::solver::Swiper;
+    use proptest::prelude::*;
+
+    #[test]
+    fn composition_enumeration_counts() {
+        // C(4+2, 2) = 15 compositions of 4 into 3 parts.
+        let mut count = 0;
+        first_composition(3, 4, &mut |_| {
+            count += 1;
+            false
+        });
+        assert_eq!(count, 15);
+    }
+
+    #[test]
+    fn whale_needs_one_ticket() {
+        let w = Weights::new(vec![97, 1, 1, 1]).unwrap();
+        let p = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2)).unwrap();
+        let best = optimal_restriction(&w, &p, 6).unwrap().unwrap();
+        assert_eq!(best.total(), 1);
+        assert_eq!(best.get(0), 1);
+    }
+
+    #[test]
+    fn equal_weights_optimum() {
+        // 4 equal parties, WR(1/3, 1/2): giving everyone 1 ticket works
+        // (any S with w(S) < W/3 has <= 1 party -> 1 ticket < 2 = T/2).
+        let w = Weights::new(vec![5, 5, 5, 5]).unwrap();
+        let p = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2)).unwrap();
+        let best = optimal_restriction(&w, &p, 8).unwrap().unwrap();
+        // Optimum could be even smaller: T=1 gives one party 1 ticket; the
+        // other three have weight 15 > W/3? singletons: w=5 < 20/3=6.67,
+        // holder's t=1 >= 1/2*1 -> invalid. T=2: [1,1,0,0]: S={p0} light
+        // (5<6.67) with t=1 >= 1 -> invalid. [2,0,0,0] same. T=3:
+        // [1,1,1,0]: light singleton t=1 < 1.5 ok; pairs w=10 >= 6.67 not
+        // light... S={p0,p3}: w=10 not light. So T=3 works.
+        assert_eq!(best.total(), 3);
+    }
+
+    #[test]
+    fn limits_enforced() {
+        let w = Weights::new(vec![1; 11]).unwrap();
+        let p = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2)).unwrap();
+        assert!(optimal_restriction(&w, &p, 4).is_err());
+        let w = Weights::new(vec![1; 3]).unwrap();
+        assert!(optimal_restriction(&w, &p, 25).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn swiper_never_beats_optimum_and_stays_close(
+            ws in proptest::collection::vec(1u64..50, 2..5),
+        ) {
+            let w = Weights::new(ws).unwrap();
+            let p = WeightRestriction::new(Ratio::of(1, 4), Ratio::of(1, 2)).unwrap();
+            let sol = Swiper::new().solve_restriction(&w, &p).unwrap();
+            let swiper_total = u64::try_from(sol.total_tickets()).unwrap();
+            if swiper_total <= 12 {
+                let best = optimal_restriction(&w, &p, swiper_total)
+                    .unwrap()
+                    .expect("swiper's own solution is a witness");
+                prop_assert!(best.total() <= sol.total_tickets());
+            }
+        }
+    }
+}

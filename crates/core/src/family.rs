@@ -1,0 +1,372 @@
+//! The Swiper ticket-assignment family `t(s, k)` (paper, Section 3.1).
+//!
+//! For a fixed rounding constant `c` in `(0, 1)`, the family consists of
+//! assignments `t_i = floor(s * w_i + c)` for a scale `s >= 0`, refined by
+//! taking one ticket away from all but `k` of the parties "on the border"
+//! (those for which `s * w_i + c` is an integer). Ordered by total tickets,
+//! consecutive members differ by exactly one ticket, so the family is
+//! totally ordered and indexable by its total `T`.
+//!
+//! This module computes the member with a given total **exactly**: the scale
+//! at which the `T`-th ticket appears is the `T`-th smallest *crossing*
+//! `(m - c) / w_i` over parties `i` and positive integers `m`. Selection is
+//! done with pure integer arithmetic:
+//!
+//! 1. binary-search the integer `j` such that the `T`-th crossing lies in
+//!    `((j-1-c)/w_max, (j-c)/w_max]` — an interval of length `1/w_max` that
+//!    contains at most one crossing per party, because crossings of party
+//!    `i` are spaced `1/w_i >= 1/w_max` apart;
+//! 2. enumerate the at-most-`n` crossings inside and select by rank.
+//!
+//! All comparisons cross-multiply `u128`s (with 256-bit widening where
+//! needed), mirroring the exact-`Fraction` discipline of the reference
+//! implementation.
+
+use std::cmp::Ordering;
+
+use crate::assignment::TicketAssignment;
+use crate::error::CoreError;
+use crate::ratio::Ratio;
+use crate::weights::Weights;
+use crate::wide::cmp_mul;
+
+/// A crossing value `(m - c) / w = a / (cd * w)` with `a = m * cd - cn`.
+#[derive(Debug, Clone, Copy)]
+struct Crossing {
+    /// Numerator over the denominator `cd * w`.
+    a: u128,
+    /// The party whose crossing this is.
+    party: usize,
+    /// That party's weight (denominator component).
+    w: u64,
+}
+
+impl Crossing {
+    fn cmp_value(&self, other: &Crossing) -> Ordering {
+        // a1/(cd*w1) vs a2/(cd*w2)  <=>  a1*w2 vs a2*w1
+        cmp_mul(self.a, u128::from(other.w), other.a, u128::from(self.w))
+    }
+}
+
+/// The `t(s, k)` family for a weight vector and rounding constant.
+#[derive(Debug)]
+pub(crate) struct Family<'a> {
+    weights: &'a Weights,
+    /// `c = cn / cd`, strictly inside `(0, 1)`.
+    cn: u128,
+    cd: u128,
+    w_max: u64,
+}
+
+impl<'a> Family<'a> {
+    /// Creates the family, pre-validating that all intermediate products for
+    /// totals up to `max_total` fit in `u128`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::ThresholdOutOfRange`] when `c` is not in `(0, 1)`.
+    /// * [`CoreError::ArithmeticOverflow`] when `max_total`, `c`'s
+    ///   denominator and the largest weight jointly exceed the envelope.
+    pub fn new(weights: &'a Weights, c: Ratio, max_total: u64) -> Result<Self, CoreError> {
+        if !c.is_proper() {
+            return Err(CoreError::ThresholdOutOfRange {
+                what: "family constant c must be in (0, 1)",
+            });
+        }
+        let (cn, cd) = (c.num(), c.den());
+        let w_max = weights.max();
+        // Worst-case numerator: ((max_total + 2) * cd) * w_max + cn * w_max.
+        let a_max = u128::from(max_total)
+            .checked_add(2)
+            .and_then(|x| x.checked_mul(cd))
+            .ok_or(CoreError::ArithmeticOverflow)?;
+        a_max
+            .checked_mul(u128::from(w_max))
+            .and_then(|x| x.checked_add(cn.checked_mul(u128::from(w_max))?))
+            .ok_or(CoreError::ArithmeticOverflow)?;
+        Ok(Family { weights, cn, cd, w_max })
+    }
+
+    /// `floor(s * w_i + c)` for `s = a / (cd * w_p)`:
+    /// `floor((a * w_i + cn * w_p) / (cd * w_p))`.
+    fn tickets_at(&self, a: u128, w_p: u64, w_i: u64) -> u128 {
+        let num = a * u128::from(w_i) + self.cn * u128::from(w_p);
+        num / (self.cd * u128::from(w_p))
+    }
+
+    /// Total tickets of the base assignment at scale `s = a / (cd * w_p)`,
+    /// i.e. the number of crossings with value `<= s`.
+    fn count_at(&self, a: u128, w_p: u64) -> u128 {
+        self.weights
+            .as_slice()
+            .iter()
+            .map(|&w| if w == 0 { 0 } else { self.tickets_at(a, w_p, w) })
+            .sum()
+    }
+
+    /// Numerator `a = j * cd - cn` of the scale `(j - c) / w_max`.
+    fn grid_a(&self, j: u64) -> u128 {
+        u128::from(j) * self.cd - self.cn
+    }
+
+    /// The unique family member with exactly `total` tickets.
+    ///
+    /// For `total == 0` this is the all-zero assignment (the `s -> 0`
+    /// limit), which is never *viable* but is useful to the solver as the
+    /// invalid end of its binary search.
+    pub fn assignment_with_total(&self, total: u64) -> Result<TicketAssignment, CoreError> {
+        let n = self.weights.len();
+        if total == 0 {
+            return Ok(TicketAssignment::new(vec![0; n]));
+        }
+        // Step 1: find minimal j in [1, total] with count((j - c)/w_max) >= total.
+        // At j = total the max-weight party alone contributes `total`.
+        let (mut lo, mut hi) = (0u64, total); // lo: count < total (j=0 -> s<0 -> 0)
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if self.count_at(self.grid_a(mid), self.w_max) >= u128::from(total) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        let j = hi;
+        let count_left =
+            if j == 1 { 0 } else { self.count_at(self.grid_a(j - 1), self.w_max) };
+        debug_assert!(count_left < u128::from(total));
+        let rank = (u128::from(total) - count_left) as usize; // 1-based within interval
+
+        // Step 2: one candidate crossing per party inside ((j-1-c)/w_max, (j-c)/w_max].
+        let r_a = self.grid_a(j);
+        let mut cands: Vec<Crossing> = Vec::new();
+        for (i, w) in self.weights.iter() {
+            if w == 0 {
+                continue;
+            }
+            // First crossing index strictly after the left end.
+            let m = if j == 1 {
+                1
+            } else {
+                self.tickets_at(self.grid_a(j - 1), self.w_max, w) + 1
+            };
+            let a = m * self.cd - self.cn;
+            // Include iff value <= right end: a/(cd*w) <= r_a/(cd*w_max)
+            //   <=> a * w_max <= r_a * w.
+            if cmp_mul(a, u128::from(self.w_max), r_a, u128::from(w)) != Ordering::Greater {
+                cands.push(Crossing { a, party: i, w });
+            }
+        }
+        debug_assert!(cands.len() >= rank, "interval must contain the target crossing");
+        cands.sort_by(|x, y| x.cmp_value(y).then(x.party.cmp(&y.party)));
+        let star = cands[rank - 1];
+
+        // Step 3: base assignment at s* and the border set.
+        let mut tickets: Vec<u64> = Vec::with_capacity(n);
+        let mut total_base: u128 = 0;
+        for (_, w) in self.weights.iter() {
+            let t = if w == 0 { 0 } else { self.tickets_at(star.a, star.w, w) };
+            total_base += t;
+            tickets.push(u64::try_from(t).map_err(|_| CoreError::ArithmeticOverflow)?);
+        }
+        let overshoot = usize::try_from(total_base - u128::from(total))
+            .map_err(|_| CoreError::ArithmeticOverflow)?;
+        if overshoot > 0 {
+            // Border parties: candidates whose crossing value equals s*.
+            let mut border: Vec<&Crossing> =
+                cands.iter().filter(|c| c.cmp_value(&star) == Ordering::Equal).collect();
+            debug_assert!(border.len() > overshoot, "overshoot bounded by border size");
+            // Deterministic "all but k" rule: drop tickets from the lightest
+            // border parties first, breaking ties towards higher indices.
+            border.sort_by(|x, y| x.w.cmp(&y.w).then(y.party.cmp(&x.party)));
+            for c in border.into_iter().take(overshoot) {
+                tickets[c.party] -= 1;
+            }
+        }
+        let out = TicketAssignment::new(tickets);
+        debug_assert_eq!(out.total(), u128::from(total));
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn family_assignments(ws: &[u64], c: Ratio, up_to: u64) -> Vec<Vec<u64>> {
+        let weights = Weights::new(ws.to_vec()).unwrap();
+        let fam = Family::new(&weights, c, up_to).unwrap();
+        (0..=up_to)
+            .map(|t| fam.assignment_with_total(t).unwrap().into_inner())
+            .collect()
+    }
+
+    #[test]
+    fn single_party_gets_all_tickets() {
+        let weights = Weights::new(vec![42]).unwrap();
+        let fam = Family::new(&weights, Ratio::of(1, 3), 10).unwrap();
+        for t in 0..=10u64 {
+            let a = fam.assignment_with_total(t).unwrap();
+            assert_eq!(a.as_slice(), &[t]);
+        }
+    }
+
+    #[test]
+    fn equal_weights_round_robin_totals() {
+        // Three equal parties: totals distribute as evenly as the family
+        // allows; every total is hit exactly.
+        let all = family_assignments(&[5, 5, 5], Ratio::of(1, 3), 9);
+        for (t, a) in all.iter().enumerate() {
+            assert_eq!(a.iter().sum::<u64>(), t as u64);
+            let max = *a.iter().max().unwrap();
+            let min = *a.iter().min().unwrap();
+            assert!(max - min <= 1, "equal weights must stay balanced: {a:?}");
+        }
+    }
+
+    #[test]
+    fn proportionality_for_skewed_weights() {
+        // Weight 90 vs 10: at total 10 the big party holds roughly 9 tickets.
+        let weights = Weights::new(vec![90, 10]).unwrap();
+        let fam = Family::new(&weights, Ratio::of(1, 2), 20).unwrap();
+        let a = fam.assignment_with_total(10).unwrap();
+        assert_eq!(a.total(), 10);
+        assert!(a.get(0) >= 8, "big party should dominate: {:?}", a.as_slice());
+    }
+
+    #[test]
+    fn zero_weight_parties_never_get_tickets() {
+        let weights = Weights::new(vec![0, 7, 0, 3]).unwrap();
+        let fam = Family::new(&weights, Ratio::of(1, 4), 12).unwrap();
+        for t in 0..=12u64 {
+            let a = fam.assignment_with_total(t).unwrap();
+            assert_eq!(a.get(0), 0);
+            assert_eq!(a.get(2), 0);
+            assert_eq!(a.total(), u128::from(t));
+        }
+    }
+
+    #[test]
+    fn consecutive_totals_differ_by_one_ticket() {
+        // The family is totally ordered: member T+1 dominates member T
+        // pointwise and adds exactly one ticket.
+        let all = family_assignments(&[13, 7, 29, 1, 50], Ratio::of(2, 5), 40);
+        for t in 1..all.len() {
+            let (prev, cur) = (&all[t - 1], &all[t]);
+            let mut diff_total = 0i64;
+            for i in 0..prev.len() {
+                assert!(
+                    cur[i] + 1 >= prev[i],
+                    "party {i} lost more than one ticket between T={} and T={t}",
+                    t - 1
+                );
+                diff_total += cur[i] as i64 - prev[i] as i64;
+            }
+            assert_eq!(diff_total, 1);
+        }
+    }
+
+    #[test]
+    fn invalid_constant_rejected() {
+        let weights = Weights::new(vec![1, 2]).unwrap();
+        assert!(Family::new(&weights, Ratio::ONE, 10).is_err());
+        assert!(Family::new(&weights, Ratio::ZERO, 10).is_err());
+    }
+
+    #[test]
+    fn huge_weights_stay_exact() {
+        // Weights near u64::MAX with a modest total must not overflow and
+        // must remain proportional.
+        let weights = Weights::new(vec![u64::MAX, u64::MAX / 2]).unwrap();
+        let fam = Family::new(&weights, Ratio::of(1, 3), 30).unwrap();
+        let a = fam.assignment_with_total(30).unwrap();
+        assert_eq!(a.total(), 30);
+        // Proportions ~ 2:1.
+        assert!(a.get(0) >= 19 && a.get(0) <= 21, "{:?}", a.as_slice());
+    }
+
+    #[test]
+    fn matches_naive_scale_sweep() {
+        // Reference: brute-force the crossing multiset with exact fractions
+        // over small weights and compare the induced assignment.
+        let ws = [3u64, 5, 2];
+        let c = Ratio::of(1, 3);
+        let weights = Weights::new(ws.to_vec()).unwrap();
+        let fam = Family::new(&weights, c, 15).unwrap();
+        // Enumerate crossings (m - c)/w as exact fractions, sorted.
+        let mut crossings: Vec<(u128, u128, usize)> = Vec::new(); // (num, den, party)
+        for (i, &w) in ws.iter().enumerate() {
+            for m in 1u128..=20 {
+                crossings.push((m * 3 - 1, 3 * u128::from(w), i));
+            }
+        }
+        crossings.sort_by(|a, b| (a.0 * b.1).cmp(&(b.0 * a.1)).then(a.2.cmp(&b.2)));
+        for total in 1u64..=15 {
+            let got = fam.assignment_with_total(total).unwrap();
+            // Naive: count per party among the first `total` crossings,
+            // resolving value-ties with the same deterministic rule (drop
+            // from lightest weight, then highest index).
+            let boundary = &crossings[usize::try_from(total).unwrap() - 1];
+            let mut naive = vec![0u64; ws.len()];
+            for c in &crossings {
+                let cmp = (c.0 * boundary.1).cmp(&(boundary.0 * c.1));
+                if cmp == Ordering::Less {
+                    naive[c.2] += 1;
+                }
+            }
+            let base: u64 = naive.iter().sum();
+            let mut border: Vec<usize> = crossings
+                .iter()
+                .filter(|c| (c.0 * boundary.1) == (boundary.0 * c.1))
+                .map(|c| c.2)
+                .collect();
+            // keep = total - base tickets go to border parties by rule:
+            // heaviest weight first, lower index first.
+            border.sort_by(|&x, &y| ws[y].cmp(&ws[x]).then(x.cmp(&y)));
+            for &p in border.iter().take(usize::try_from(total - base).unwrap()) {
+                naive[p] += 1;
+            }
+            assert_eq!(got.as_slice(), naive.as_slice(), "total={total}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn totals_always_exact(
+            ws in proptest::collection::vec(0u64..1_000_000, 1..20),
+            total in 0u64..100,
+            cn in 1u128..20,
+        ) {
+            prop_assume!(ws.iter().any(|&w| w > 0));
+            let weights = Weights::new(ws).unwrap();
+            let c = Ratio::of(cn, 20);
+            prop_assume!(c.is_proper());
+            let fam = Family::new(&weights, c, 100).unwrap();
+            let a = fam.assignment_with_total(total).unwrap();
+            prop_assert_eq!(a.total(), u128::from(total));
+        }
+
+        #[test]
+        fn monotone_in_total(
+            ws in proptest::collection::vec(1u64..10_000, 2..12),
+            c_num in 1u128..8,
+        ) {
+            let weights = Weights::new(ws).unwrap();
+            let c = Ratio::of(c_num, 8);
+            prop_assume!(c.is_proper());
+            let fam = Family::new(&weights, c, 40).unwrap();
+            let mut prev = fam.assignment_with_total(0).unwrap();
+            for t in 1..=40u64 {
+                let cur = fam.assignment_with_total(t).unwrap();
+                let gained: i128 = cur
+                    .as_slice()
+                    .iter()
+                    .zip(prev.as_slice())
+                    .map(|(&c, &p)| i128::from(c) - i128::from(p))
+                    .sum();
+                prop_assert_eq!(gained, 1);
+                prev = cur;
+            }
+        }
+    }
+}

@@ -1,0 +1,430 @@
+//! Knapsack machinery for validating ticket assignments.
+//!
+//! Verifying a Weight Restriction solution asks: can the adversary pick a
+//! subset `S` with `w(S)` below the weight capacity whose tickets `t(S)`
+//! reach the ticket threshold? That is a 0/1 knapsack with profits `t_i`
+//! and weights `w_i` (paper, Section 3.1 — "verifying a solution ... is
+//! equivalent to solving a particular instance of Knapsack").
+//!
+//! Three evaluators are provided, mirroring the paper's design:
+//!
+//! * [`max_profit_dp`] — exact "dynamic programming by profits"
+//!   (Kellerer–Pferschy–Pisinger, Lemma 2.3.2), `O(n * profit_cap)`.
+//! * [`fractional_upper_bound_reaches`] — the Dantzig LP bound, a
+//!   *conservative* test: it can claim a reachable target unreachable-not,
+//!   i.e. it never claims "safe" when unsafe (no false "valid").
+//! * [`greedy_lower_bound_reaches`] — a feasible greedy packing, a *liberal*
+//!   test: when greedy reaches the target the target is certainly reachable.
+//!
+//! Combining the two bounds yields the three-valued [`quick_test`] used by
+//! Swiper's full mode to dodge most DP invocations.
+
+use crate::wide::cmp_mul;
+use std::cmp::Ordering;
+
+/// Outcome of the quasilinear [`quick_test`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuickOutcome {
+    /// The LP bound is below the target: the target is certainly
+    /// unreachable (assignment certainly valid).
+    CertainlyUnreachable,
+    /// A greedy packing reaches the target: certainly reachable
+    /// (assignment certainly invalid).
+    CertainlyReachable,
+    /// The bounds disagree; an exact method must decide.
+    Uncertain,
+}
+
+/// A knapsack view over parties: profit `t_i` (tickets), weight `w_i`.
+#[derive(Debug, Clone, Copy)]
+pub struct Item {
+    /// Profit (tickets of the party).
+    pub profit: u64,
+    /// Weight of the party.
+    pub weight: u64,
+}
+
+/// Builds the item list, separating out zero-weight items whose profit is
+/// free under any capacity.
+fn split_free(items: &[Item]) -> (u128, Vec<Item>) {
+    let mut free: u128 = 0;
+    let mut rest = Vec::with_capacity(items.len());
+    for it in items {
+        if it.profit == 0 {
+            continue; // never helps
+        }
+        if it.weight == 0 {
+            free += u128::from(it.profit);
+        } else {
+            rest.push(*it);
+        }
+    }
+    (free, rest)
+}
+
+/// Sorts item indices by profit/weight ratio, descending, with exact
+/// cross-multiplied comparisons (no floating point). Zero-weight items must
+/// already be removed.
+fn sort_by_ratio(items: &mut [Item]) {
+    items.sort_by(|a, b| {
+        // a.profit/a.weight vs b.profit/b.weight, descending.
+        match cmp_mul(
+            u128::from(b.profit),
+            u128::from(a.weight),
+            u128::from(a.profit),
+            u128::from(b.weight),
+        ) {
+            Ordering::Equal => b.profit.cmp(&a.profit), // denser item first
+            ord => ord,
+        }
+    });
+}
+
+/// Exact maximum achievable profit, saturated at `profit_cap`, over subsets
+/// whose weight is at most `capacity`.
+///
+/// Dynamic programming by profits: `dp[p]` = minimum weight needed to reach
+/// profit at least `p` (profits saturate at `profit_cap`). Runtime
+/// `O(n * profit_cap)`, memory `O(profit_cap)`.
+///
+/// # Panics
+///
+/// Panics if `profit_cap` does not fit in `usize` (bounded by
+/// [`crate::problems::MAX_TICKET_BOUND`] upstream).
+pub fn max_profit_dp(items: &[Item], capacity: u128, profit_cap: u64) -> u64 {
+    let (free, rest) = split_free(items);
+    let free = free.min(u128::from(profit_cap)) as u64;
+    if free >= profit_cap {
+        return profit_cap;
+    }
+    let cap = usize::try_from(profit_cap).expect("profit cap fits usize");
+    // dp[p] = min weight to achieve >= p profit (p saturating at cap).
+    const INF: u128 = u128::MAX;
+    let mut dp = vec![INF; cap + 1];
+    dp[0] = 0;
+    let mut best_reach: usize = 0; // highest p with dp[p] finite
+    for it in &rest {
+        let p = usize::try_from(it.profit).expect("profit fits usize").min(cap);
+        let w = u128::from(it.weight);
+        let hi = best_reach.min(cap);
+        // Iterate downwards so each item is used at most once.
+        for q in (0..=hi).rev() {
+            if dp[q] == INF {
+                continue;
+            }
+            let np = (q + p).min(cap);
+            let nw = dp[q].saturating_add(w);
+            if nw < dp[np] {
+                dp[np] = nw;
+                if np > best_reach {
+                    best_reach = np;
+                }
+            }
+        }
+    }
+    // Max p with dp[p] <= capacity; dp is not necessarily monotone, so scan.
+    let mut best = 0u64;
+    for (p, &w) in dp.iter().enumerate() {
+        if w <= capacity {
+            best = best.max(p as u64);
+        }
+    }
+    (best + free).min(profit_cap)
+}
+
+/// Whether the Dantzig fractional (LP-relaxation) upper bound reaches
+/// `target` under `capacity`.
+///
+/// Returns `false` only when **no** subset within capacity can reach
+/// `target` (the bound dominates the integral optimum), so `false` certifies
+/// validity; `true` is inconclusive.
+pub fn fractional_upper_bound_reaches(items: &[Item], capacity: u128, target: u64) -> bool {
+    if target == 0 {
+        return true;
+    }
+    let (free, mut rest) = split_free(items);
+    if free >= u128::from(target) {
+        return true;
+    }
+    let target = target - free as u64;
+    sort_by_ratio(&mut rest);
+    let mut acc_profit: u128 = 0;
+    let mut acc_weight: u128 = 0;
+    for it in &rest {
+        let w = u128::from(it.weight);
+        if acc_weight + w <= capacity {
+            acc_weight += w;
+            acc_profit += u128::from(it.profit);
+            if acc_profit >= u128::from(target) {
+                return true;
+            }
+        } else {
+            // Fractional part of the breaking item: remaining capacity.
+            let rem = capacity - acc_weight;
+            // UB reaches target iff acc + profit*rem/w >= target
+            //  iff profit*rem >= (target-acc)*w   (exact, widened).
+            let need = u128::from(target) - acc_profit;
+            return cmp_mul(u128::from(it.profit), rem, need, w) != Ordering::Less;
+        }
+    }
+    acc_profit >= u128::from(target)
+}
+
+/// Whether a simple feasible packing (ratio-greedy plus the best single
+/// item) reaches `target` under `capacity`.
+///
+/// Returns `true` only when the target is certainly reachable (the packing
+/// is itself a witness subset), so `true` certifies invalidity; `false` is
+/// inconclusive.
+pub fn greedy_lower_bound_reaches(items: &[Item], capacity: u128, target: u64) -> bool {
+    if target == 0 {
+        return true;
+    }
+    let (free, mut rest) = split_free(items);
+    if free >= u128::from(target) {
+        return true;
+    }
+    let target = u128::from(target) - free;
+    sort_by_ratio(&mut rest);
+    let mut acc_profit: u128 = 0;
+    let mut acc_weight: u128 = 0;
+    for it in &rest {
+        let w = u128::from(it.weight);
+        if acc_weight + w <= capacity {
+            acc_weight += w;
+            acc_profit += u128::from(it.profit);
+            if acc_profit >= target {
+                return true;
+            }
+        }
+    }
+    // Best single item is another classic feasible witness.
+    rest.iter()
+        .any(|it| u128::from(it.weight) <= capacity && u128::from(it.profit) >= target)
+}
+
+/// Floor of the Dantzig fractional (LP-relaxation) upper bound on the
+/// maximum profit under `capacity`. Since the integral optimum is an integer
+/// no greater than the LP bound, it is no greater than this floor either.
+pub fn fractional_upper_bound_floor(items: &[Item], capacity: u128) -> u128 {
+    let (free, mut rest) = split_free(items);
+    sort_by_ratio(&mut rest);
+    let mut acc_profit: u128 = free;
+    let mut acc_weight: u128 = 0;
+    for it in &rest {
+        let w = u128::from(it.weight);
+        if acc_weight + w <= capacity {
+            acc_weight += w;
+            acc_profit += u128::from(it.profit);
+        } else {
+            let rem = capacity - acc_weight;
+            // floor(profit * rem / w); operands fit comfortably via widening.
+            let frac = crate::wide::mul_div_floor(u128::from(it.profit), rem, w)
+                .expect("profit * rem fits 256 bits and quotient <= profit");
+            return acc_profit + frac;
+        }
+    }
+    acc_profit
+}
+
+/// Profit of a feasible greedy packing (ratio-greedy, improved by the best
+/// single item) under `capacity` — a certified lower bound on the optimum.
+pub fn greedy_lower_bound(items: &[Item], capacity: u128) -> u128 {
+    let (free, mut rest) = split_free(items);
+    sort_by_ratio(&mut rest);
+    let mut acc_profit: u128 = 0;
+    let mut acc_weight: u128 = 0;
+    for it in &rest {
+        let w = u128::from(it.weight);
+        if acc_weight + w <= capacity {
+            acc_weight += w;
+            acc_profit += u128::from(it.profit);
+        }
+    }
+    let best_single = rest
+        .iter()
+        .filter(|it| u128::from(it.weight) <= capacity)
+        .map(|it| u128::from(it.profit))
+        .max()
+        .unwrap_or(0);
+    free + acc_profit.max(best_single)
+}
+
+/// The paper's three-valued quasilinear test combining both bounds.
+pub fn quick_test(items: &[Item], capacity: u128, target: u64) -> QuickOutcome {
+    if !fractional_upper_bound_reaches(items, capacity, target) {
+        QuickOutcome::CertainlyUnreachable
+    } else if greedy_lower_bound_reaches(items, capacity, target) {
+        QuickOutcome::CertainlyReachable
+    } else {
+        QuickOutcome::Uncertain
+    }
+}
+
+/// Exhaustive reference: maximum profit within capacity over all `2^n`
+/// subsets. Only for tests and the tiny-`n` exact solver.
+///
+/// # Panics
+///
+/// Panics if `items.len() >= 64`.
+pub fn max_profit_brute_force(items: &[Item], capacity: u128) -> u128 {
+    assert!(items.len() < 64, "brute force limited to < 64 items");
+    let n = items.len();
+    let mut best = 0u128;
+    for mask in 0u64..(1u64 << n) {
+        let mut w: u128 = 0;
+        let mut p: u128 = 0;
+        for (i, it) in items.iter().enumerate() {
+            if mask >> i & 1 == 1 {
+                w += u128::from(it.weight);
+                p += u128::from(it.profit);
+            }
+        }
+        if w <= capacity && p > best {
+            best = p;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn items(pairs: &[(u64, u64)]) -> Vec<Item> {
+        pairs.iter().map(|&(profit, weight)| Item { profit, weight }).collect()
+    }
+
+    #[test]
+    fn dp_simple() {
+        let its = items(&[(6, 5), (5, 4), (5, 4)]);
+        // capacity 8: best is 5+5 = 10
+        assert_eq!(max_profit_dp(&its, 8, 16), 10);
+        // capacity 5: best is 6
+        assert_eq!(max_profit_dp(&its, 5, 16), 6);
+        // capacity 3: nothing fits
+        assert_eq!(max_profit_dp(&its, 3, 16), 0);
+    }
+
+    #[test]
+    fn dp_saturates_at_cap() {
+        let its = items(&[(10, 1), (10, 1)]);
+        assert_eq!(max_profit_dp(&its, 2, 15), 15);
+        assert_eq!(max_profit_dp(&its, 2, 100), 20);
+    }
+
+    #[test]
+    fn dp_zero_weight_items_are_free() {
+        let its = items(&[(3, 0), (4, 10)]);
+        assert_eq!(max_profit_dp(&its, 0, 100), 3);
+        assert_eq!(max_profit_dp(&its, 10, 100), 7);
+    }
+
+    #[test]
+    fn fractional_bound_dominates() {
+        let its = items(&[(6, 5), (5, 4), (5, 4)]);
+        // Exact max at capacity 8 is 10; LP bound is >= 10, so target 10 must
+        // be "reachable" per the bound.
+        assert!(fractional_upper_bound_reaches(&its, 8, 10));
+        // target 12: LP bound = 5+5+6*0/...: capacity 8 fills 4+4, frac 0 of
+        // item (6,5)? rem=0 -> bound 10 < 12.
+        assert!(!fractional_upper_bound_reaches(&its, 8, 12));
+    }
+
+    #[test]
+    fn greedy_is_feasible_witness() {
+        let its = items(&[(6, 5), (5, 4), (5, 4)]);
+        assert!(greedy_lower_bound_reaches(&its, 8, 10));
+        assert!(!greedy_lower_bound_reaches(&its, 8, 11));
+    }
+
+    #[test]
+    fn quick_test_three_values() {
+        // A classic LP-gap instance: items (2,3),(2,3) capacity 5 target 4.
+        // LP bound: 2 + 2*(2/3) = 10/3 >= 4? No -> actually 10/3 < 4, so
+        // certainly unreachable.
+        let its = items(&[(2, 3), (2, 3)]);
+        assert_eq!(quick_test(&its, 5, 4), QuickOutcome::CertainlyUnreachable);
+        // target 2: greedy takes one item -> reachable.
+        assert_eq!(quick_test(&its, 5, 2), QuickOutcome::CertainlyReachable);
+        // Uncertain gap: items (3,4),(3,4),(4,5), capacity 8, target 7.
+        // greedy by ratio: (4,5) first (0.8 > 0.75): takes (4,5) w=5, then
+        // (3,4) doesn't fit (9>8) -> greedy profit 4; best single 4 < 7.
+        // LP: 4 + 3*(3/4) = 6.25 < 7 -> unreachable. Need a true gap case:
+        // items (5,5),(4,4),(4,4) cap 8 target 8: LP: ratio 1 all:
+        // 4+4=8 -> reaches; greedy 4+4=8 reaches -> CertainlyReachable.
+        // Try (5,6),(5,6),(2,6) cap 12 target 10: LP: 5+5=10 reach.
+        // greedy: 5+5=10 -> reachable. Hard to be uncertain with few items;
+        // construct: (10,10),(9,6),(9,6) cap 12 target 18:
+        //   ratios: 1.5,1.5,1.0 -> greedy: 9+9=18 -> reachable.
+        // (7,7),(6,5),(6,5) cap 10 target 12: greedy: ratio 1.2: 6+6=12 ok.
+        // Make greedy fail: (6,5),(6,5),(7,6) cap 11, target 13:
+        //   ratios 1.2,1.2,1.1667: greedy 6+6=12 (w=10), (7,6) no fit; best
+        //   single 7. LB says no. LP: 12 + 7*(1/6) = 13.1667 >= 13 -> maybe.
+        //   Exact: 6+7=13 (w=11) -> actually reachable!
+        let its = items(&[(6, 5), (6, 5), (7, 6)]);
+        assert_eq!(quick_test(&its, 11, 13), QuickOutcome::Uncertain);
+        assert_eq!(max_profit_dp(&its, 11, 100), 13);
+    }
+
+    #[test]
+    fn brute_force_reference() {
+        let its = items(&[(6, 5), (5, 4), (5, 4)]);
+        assert_eq!(max_profit_brute_force(&its, 8), 10);
+        assert_eq!(max_profit_brute_force(&its, 13), 16);
+        assert_eq!(max_profit_brute_force(&its, 0), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn dp_matches_brute_force(
+            pw in proptest::collection::vec((0u64..30, 0u64..50), 1..10),
+            cap in 0u64..200,
+        ) {
+            let its = items(&pw);
+            let total: u64 = pw.iter().map(|p| p.0).sum();
+            let exact = max_profit_brute_force(&its, cap.into());
+            let dp = max_profit_dp(&its, cap.into(), total.max(1));
+            prop_assert_eq!(u128::from(dp), exact);
+        }
+
+        #[test]
+        fn bounds_sandwich_exact(
+            pw in proptest::collection::vec((0u64..30, 0u64..50), 1..10),
+            cap in 0u64..200,
+            target in 1u64..100,
+        ) {
+            let its = items(&pw);
+            let exact = max_profit_brute_force(&its, cap.into());
+            let reachable = exact >= u128::from(target);
+            // Conservative: "unreachable" verdicts are always true verdicts.
+            if !fractional_upper_bound_reaches(&its, cap.into(), target) {
+                prop_assert!(!reachable);
+            }
+            // Liberal: "reachable" verdicts are always true verdicts.
+            if greedy_lower_bound_reaches(&its, cap.into(), target) {
+                prop_assert!(reachable);
+            }
+            // Quick test never contradicts the truth.
+            match quick_test(&its, cap.into(), target) {
+                QuickOutcome::CertainlyReachable => prop_assert!(reachable),
+                QuickOutcome::CertainlyUnreachable => prop_assert!(!reachable),
+                QuickOutcome::Uncertain => {}
+            }
+        }
+
+        #[test]
+        fn dp_profit_cap_is_a_saturation(
+            pw in proptest::collection::vec((0u64..30, 0u64..50), 1..8),
+            cap in 0u64..150,
+            pcap in 1u64..40,
+        ) {
+            let its = items(&pw);
+            let total: u64 = pw.iter().map(|p| p.0).sum();
+            let full = max_profit_dp(&its, cap.into(), total.max(1));
+            let capped = max_profit_dp(&its, cap.into(), pcap);
+            prop_assert_eq!(capped, full.min(pcap));
+        }
+    }
+}

@@ -1,0 +1,381 @@
+//! The three weight reduction problems (paper, Section 2).
+//!
+//! * [`WeightRestriction`] — any subset of weight `< alpha_w * W` must get
+//!   `< alpha_n * T` tickets (Problem 1).
+//! * [`WeightQualification`] — any subset of weight `> beta_w * W` must get
+//!   `> beta_n * T` tickets (Problem 2).
+//! * [`WeightSeparation`] — any subset of weight `> beta * W` must get more
+//!   tickets than any subset of weight `< alpha * W` (Problem 3).
+//!
+//! Each parameter set knows its theoretical ticket upper bound
+//! (Theorems 2.1, 2.3, 2.4) and the rounding constant `c` used by the Swiper
+//! ticket-assignment family (Section 3.1 / Appendix A).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
+use crate::ratio::Ratio;
+
+/// Largest theoretical bound the solver will attempt. Beyond this the DP
+/// tables and crossing arithmetic leave the supported `u128` envelope.
+pub const MAX_TICKET_BOUND: u128 = 1 << 40;
+
+fn ceil_div(a: u128, b: u128) -> u128 {
+    a / b + u128::from(!a.is_multiple_of(b))
+}
+
+fn check_proper(r: &Ratio, what: &'static str) -> Result<(), CoreError> {
+    if r.is_proper() {
+        Ok(())
+    } else {
+        Err(CoreError::ThresholdOutOfRange { what })
+    }
+}
+
+fn check_bound(bound: u128) -> Result<u64, CoreError> {
+    if bound > MAX_TICKET_BOUND {
+        Err(CoreError::BoundTooLarge { bound })
+    } else {
+        Ok(bound as u64)
+    }
+}
+
+/// Parameters of the Weight Restriction problem (Problem 1).
+///
+/// Find integer tickets `t_1..t_n` minimizing `T = sum t_i` such that every
+/// subset `S` with `w(S) < alpha_w * W` receives `t(S) < alpha_n * T`.
+///
+/// # Examples
+///
+/// ```
+/// use swiper_core::{Ratio, WeightRestriction};
+///
+/// # fn main() -> Result<(), swiper_core::CoreError> {
+/// let wr = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2))?;
+/// // Theorem 2.1: T <= ceil(aw(1-aw)/(an-aw) * n) = ceil(4n/3)
+/// assert_eq!(wr.ticket_bound(9)?, 12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WeightRestriction {
+    alpha_w: Ratio,
+    alpha_n: Ratio,
+}
+
+impl WeightRestriction {
+    /// Creates validated parameters.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::ThresholdOutOfRange`] unless both thresholds lie in
+    ///   the open interval `(0, 1)`.
+    /// * [`CoreError::InfeasibleThresholds`] unless `alpha_w < alpha_n`
+    ///   (required by Theorem 2.1 for a linear bound).
+    pub fn new(alpha_w: Ratio, alpha_n: Ratio) -> Result<Self, CoreError> {
+        check_proper(&alpha_w, "alpha_w must be in (0, 1)")?;
+        check_proper(&alpha_n, "alpha_n must be in (0, 1)")?;
+        if alpha_w >= alpha_n {
+            return Err(CoreError::InfeasibleThresholds {
+                what: "Weight Restriction requires alpha_w < alpha_n",
+            });
+        }
+        Ok(WeightRestriction { alpha_w, alpha_n })
+    }
+
+    /// The weight-side threshold `alpha_w`.
+    pub fn alpha_w(&self) -> Ratio {
+        self.alpha_w
+    }
+
+    /// The ticket-side threshold `alpha_n`.
+    pub fn alpha_n(&self) -> Ratio {
+        self.alpha_n
+    }
+
+    /// The rounding constant for the `t(s, k)` family: `c = alpha_w`
+    /// (Appendix A chooses the `c` minimizing the upper bound).
+    pub fn family_constant(&self) -> Ratio {
+        self.alpha_w
+    }
+
+    /// Theorem 2.1 upper bound:
+    /// `T <= ceil( alpha_w (1 - alpha_w) / (alpha_n - alpha_w) * n )`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::ArithmeticOverflow`] / [`CoreError::BoundTooLarge`] when
+    /// the bound leaves the supported envelope.
+    pub fn ticket_bound(&self, n: u64) -> Result<u64, CoreError> {
+        let (pw, qw) = (self.alpha_w.num(), self.alpha_w.den());
+        let (pn, qn) = (self.alpha_n.num(), self.alpha_n.den());
+        // ceil( pw*(qw-pw)*qn*n / (qw*(pn*qw - pw*qn)) )
+        let num = pw
+            .checked_mul(qw - pw)
+            .and_then(|x| x.checked_mul(qn))
+            .and_then(|x| x.checked_mul(u128::from(n)))
+            .ok_or(CoreError::ArithmeticOverflow)?;
+        let gap = pn
+            .checked_mul(qw)
+            .ok_or(CoreError::ArithmeticOverflow)?
+            .checked_sub(pw.checked_mul(qn).ok_or(CoreError::ArithmeticOverflow)?)
+            .expect("alpha_w < alpha_n validated at construction");
+        let den = qw.checked_mul(gap).ok_or(CoreError::ArithmeticOverflow)?;
+        check_bound(ceil_div(num, den))
+    }
+}
+
+/// Parameters of the Weight Qualification problem (Problem 2).
+///
+/// Find integer tickets minimizing `T` such that every subset `S` with
+/// `w(S) > beta_w * W` receives `t(S) > beta_n * T`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WeightQualification {
+    beta_w: Ratio,
+    beta_n: Ratio,
+}
+
+impl WeightQualification {
+    /// Creates validated parameters.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::ThresholdOutOfRange`] unless both thresholds lie in
+    ///   `(0, 1)`.
+    /// * [`CoreError::InfeasibleThresholds`] unless `beta_n < beta_w`
+    ///   (Corollary 2.3).
+    pub fn new(beta_w: Ratio, beta_n: Ratio) -> Result<Self, CoreError> {
+        check_proper(&beta_w, "beta_w must be in (0, 1)")?;
+        check_proper(&beta_n, "beta_n must be in (0, 1)")?;
+        if beta_n >= beta_w {
+            return Err(CoreError::InfeasibleThresholds {
+                what: "Weight Qualification requires beta_n < beta_w",
+            });
+        }
+        Ok(WeightQualification { beta_w, beta_n })
+    }
+
+    /// The weight-side threshold `beta_w`.
+    pub fn beta_w(&self) -> Ratio {
+        self.beta_w
+    }
+
+    /// The ticket-side threshold `beta_n`.
+    pub fn beta_n(&self) -> Ratio {
+        self.beta_n
+    }
+
+    /// The equivalent Weight Restriction instance
+    /// `WR(1 - beta_w, 1 - beta_n)` (Theorem 2.2): a valid solution to one is
+    /// a valid solution to the other.
+    pub fn to_restriction(&self) -> WeightRestriction {
+        WeightRestriction::new(
+            self.beta_w.one_minus().expect("beta_w proper"),
+            self.beta_n.one_minus().expect("beta_n proper"),
+        )
+        .expect("1-beta_w < 1-beta_n follows from beta_n < beta_w")
+    }
+
+    /// The rounding constant for the family: `c = 1 - beta_w`, which equals
+    /// the reduced problem's `alpha_w` — the two views share one family.
+    pub fn family_constant(&self) -> Ratio {
+        self.beta_w.one_minus().expect("beta_w proper")
+    }
+
+    /// Corollary 2.3 upper bound:
+    /// `T <= ceil( beta_w (1 - beta_w) / (beta_w - beta_n) * n )`.
+    ///
+    /// # Errors
+    ///
+    /// See [`WeightRestriction::ticket_bound`].
+    pub fn ticket_bound(&self, n: u64) -> Result<u64, CoreError> {
+        self.to_restriction().ticket_bound(n)
+    }
+}
+
+/// Parameters of the Weight Separation problem (Problem 3).
+///
+/// Find integer tickets minimizing `T` such that for all subsets
+/// `S1, S2` with `w(S1) < alpha * W` and `w(S2) > beta * W` it holds that
+/// `t(S1) < t(S2)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WeightSeparation {
+    alpha: Ratio,
+    beta: Ratio,
+}
+
+impl WeightSeparation {
+    /// Creates validated parameters.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::ThresholdOutOfRange`] unless both thresholds lie in
+    ///   `(0, 1)`.
+    /// * [`CoreError::InfeasibleThresholds`] unless `alpha < beta`
+    ///   (Theorem 2.4).
+    pub fn new(alpha: Ratio, beta: Ratio) -> Result<Self, CoreError> {
+        check_proper(&alpha, "alpha must be in (0, 1)")?;
+        check_proper(&beta, "beta must be in (0, 1)")?;
+        if alpha >= beta {
+            return Err(CoreError::InfeasibleThresholds {
+                what: "Weight Separation requires alpha < beta",
+            });
+        }
+        Ok(WeightSeparation { alpha, beta })
+    }
+
+    /// The lower threshold `alpha`.
+    pub fn alpha(&self) -> Ratio {
+        self.alpha
+    }
+
+    /// The upper threshold `beta`.
+    pub fn beta(&self) -> Ratio {
+        self.beta
+    }
+
+    /// The rounding constant for the family: `c = (alpha + beta) / 2`
+    /// (Appendix A.2 picks `gamma` so both failure bounds coincide).
+    pub fn family_constant(&self) -> Ratio {
+        self.alpha
+            .checked_add(&self.beta)
+            .and_then(|s| s.halved())
+            .expect("proper thresholds cannot overflow here")
+    }
+
+    /// Theorem 2.4 upper bound:
+    /// `T <= (alpha + beta)(1 - alpha) / (beta - alpha) * n`, rounded up to
+    /// the next integer (any family assignment with at least this many
+    /// tickets is valid; see Appendix A.2).
+    ///
+    /// # Errors
+    ///
+    /// See [`WeightRestriction::ticket_bound`].
+    pub fn ticket_bound(&self, n: u64) -> Result<u64, CoreError> {
+        let (pa, qa) = (self.alpha.num(), self.alpha.den());
+        let (pb, qb) = (self.beta.num(), self.beta.den());
+        // ceil( (pa*qb + pb*qa) * (qa - pa) * n / (qa^2 * qb * (beta-alpha)) )
+        // with beta - alpha = (pb*qa - pa*qb)/(qa*qb):
+        // = ceil( (pa*qb + pb*qa) * (qa - pa) * n / (qa * (pb*qa - pa*qb)) )
+        let s = pa
+            .checked_mul(qb)
+            .and_then(|x| pb.checked_mul(qa).and_then(|y| x.checked_add(y)))
+            .ok_or(CoreError::ArithmeticOverflow)?;
+        let num = s
+            .checked_mul(qa - pa)
+            .and_then(|x| x.checked_mul(u128::from(n)))
+            .ok_or(CoreError::ArithmeticOverflow)?;
+        let gap = pb
+            .checked_mul(qa)
+            .ok_or(CoreError::ArithmeticOverflow)?
+            .checked_sub(pa.checked_mul(qb).ok_or(CoreError::ArithmeticOverflow)?)
+            .expect("alpha < beta validated at construction");
+        let den = qa.checked_mul(gap).ok_or(CoreError::ArithmeticOverflow)?;
+        check_bound(ceil_div(num, den))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wr_validation() {
+        assert!(WeightRestriction::new(Ratio::of(1, 4), Ratio::of(1, 3)).is_ok());
+        // alpha_w >= alpha_n
+        assert!(matches!(
+            WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 3)),
+            Err(CoreError::InfeasibleThresholds { .. })
+        ));
+        assert!(matches!(
+            WeightRestriction::new(Ratio::of(1, 2), Ratio::of(1, 3)),
+            Err(CoreError::InfeasibleThresholds { .. })
+        ));
+        // out of (0,1)
+        assert!(WeightRestriction::new(Ratio::ZERO, Ratio::of(1, 3)).is_err());
+        assert!(WeightRestriction::new(Ratio::of(1, 3), Ratio::ONE).is_err());
+    }
+
+    #[test]
+    fn wr_bound_examples_from_paper() {
+        // Section 5.1 example: beta_w = 1/3, beta_n = 1/4 gives m <= 8/3 n.
+        // Via Theorem 2.2 this equals WR(2/3, 3/4).
+        let wr = WeightRestriction::new(Ratio::of(2, 3), Ratio::of(3, 4)).unwrap();
+        assert_eq!(wr.ticket_bound(3).unwrap(), 8); // 8/3 * 3
+        assert_eq!(wr.ticket_bound(300).unwrap(), 800);
+
+        // Section 5.1 second example: beta_w = 2/3, beta_n = 1/2 -> 4/3 n.
+        let wr = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2)).unwrap();
+        assert_eq!(wr.ticket_bound(300).unwrap(), 400);
+
+        // Section 5.2: beta_w = 2/3, beta_n = 5/8 -> (2/3*1/3)/(1/24) = 16/3 n.
+        let wq = WeightQualification::new(Ratio::of(2, 3), Ratio::of(5, 8)).unwrap();
+        assert_eq!(wq.ticket_bound(300).unwrap(), 1600);
+    }
+
+    #[test]
+    fn wr_bound_rounds_up() {
+        let wr = WeightRestriction::new(Ratio::of(1, 4), Ratio::of(1, 3)).unwrap();
+        // aw(1-aw)/(an-aw) = (1/4 * 3/4) / (1/12) = 9/4.
+        assert_eq!(wr.ticket_bound(4).unwrap(), 9);
+        assert_eq!(wr.ticket_bound(5).unwrap(), 12); // ceil(45/4) = 12
+    }
+
+    #[test]
+    fn wq_reduction_matches_theorem_2_2() {
+        let wq = WeightQualification::new(Ratio::of(3, 4), Ratio::of(2, 3)).unwrap();
+        let wr = wq.to_restriction();
+        assert_eq!(wr.alpha_w(), Ratio::of(1, 4));
+        assert_eq!(wr.alpha_n(), Ratio::of(1, 3));
+        assert_eq!(wq.family_constant(), wr.family_constant());
+        assert_eq!(wq.ticket_bound(104).unwrap(), wr.ticket_bound(104).unwrap());
+    }
+
+    #[test]
+    fn wq_validation() {
+        assert!(matches!(
+            WeightQualification::new(Ratio::of(1, 3), Ratio::of(1, 2)),
+            Err(CoreError::InfeasibleThresholds { .. })
+        ));
+        assert!(WeightQualification::new(Ratio::of(1, 3), Ratio::of(1, 4)).is_ok());
+    }
+
+    #[test]
+    fn ws_constant_and_bound() {
+        let ws = WeightSeparation::new(Ratio::of(1, 4), Ratio::of(1, 3)).unwrap();
+        assert_eq!(ws.family_constant(), Ratio::of(7, 24));
+        // (a+b)(1-a)/(b-a) = (7/12)(3/4)/(1/12) = 21/4.
+        assert_eq!(ws.ticket_bound(4).unwrap(), 21);
+        assert_eq!(ws.ticket_bound(100).unwrap(), 525);
+    }
+
+    #[test]
+    fn ws_numerator_below_one() {
+        // The paper notes (alpha+beta)(1-alpha) < 1 for 0 < alpha < beta < 1,
+        // so the bound constant times n stays finite; sanity check a corner.
+        let ws = WeightSeparation::new(Ratio::of(2, 3), Ratio::of(3, 4)).unwrap();
+        // (17/12)(1/3)/(1/12) = 17/3
+        assert_eq!(ws.ticket_bound(3).unwrap(), 17);
+    }
+
+    #[test]
+    fn bound_too_large_detected() {
+        // Tiny gap: alpha_w = 499999/1000000, alpha_n = 500000/1000000 = 1/2.
+        let wr =
+            WeightRestriction::new(Ratio::of(499_999, 1_000_000), Ratio::of(1, 2)).unwrap();
+        let r = wr.ticket_bound(u64::MAX / 2);
+        assert!(matches!(
+            r,
+            Err(CoreError::BoundTooLarge { .. }) | Err(CoreError::ArithmeticOverflow)
+        ));
+    }
+
+    #[test]
+    fn bounds_are_linear_in_n() {
+        let wr = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(3, 8)).unwrap();
+        let b1 = wr.ticket_bound(1_000).unwrap();
+        let b2 = wr.ticket_bound(2_000).unwrap();
+        assert!(b2 <= 2 * b1 + 1);
+        assert!(b2 >= 2 * b1 - 1);
+    }
+}

@@ -1,0 +1,369 @@
+//! Exact non-negative rational numbers.
+//!
+//! [`Ratio`] plays the role of Python's `Fraction` in the reference Swiper
+//! prototype: thresholds (`alpha_w`, `alpha_n`, ...) and the scaling parameter
+//! `s` are represented exactly so that ticket assignments are deterministic
+//! and reproducible across machines, a property the paper relies on
+//! ("Determinism", Section 3).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
+use crate::wide::cmp_mul;
+
+/// Greatest common divisor for `u128` (binary-free classic Euclid; inputs in
+/// this crate are small enough that the simple version is fine).
+pub(crate) fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// An exact non-negative rational number `num / den` kept in reduced form.
+///
+/// # Examples
+///
+/// ```
+/// use swiper_core::Ratio;
+///
+/// # fn main() -> Result<(), swiper_core::CoreError> {
+/// let third = Ratio::new(1, 3)?;
+/// let half = Ratio::new(2, 4)?; // reduced to 1/2
+/// assert!(third < half);
+/// assert_eq!(half.to_string(), "1/2");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Ratio {
+    num: u128,
+    den: u128,
+}
+
+impl Ratio {
+    /// The rational zero.
+    pub const ZERO: Ratio = Ratio { num: 0, den: 1 };
+    /// The rational one.
+    pub const ONE: Ratio = Ratio { num: 1, den: 1 };
+
+    /// Creates a reduced rational.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ZeroDenominator`] when `den == 0`.
+    pub fn new(num: u128, den: u128) -> Result<Self, CoreError> {
+        if den == 0 {
+            return Err(CoreError::ZeroDenominator);
+        }
+        let g = gcd_u128(num, den);
+        if g == 0 {
+            // num == 0 && den == 0 is impossible here; num == 0 gives g = den.
+            return Ok(Ratio { num: 0, den: 1 });
+        }
+        Ok(Ratio { num: num / g, den: den / g })
+    }
+
+    /// Creates `num/den` from small literals, panicking on a zero denominator.
+    ///
+    /// Convenience for tests and tables of constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn of(num: u128, den: u128) -> Self {
+        Self::new(num, den).expect("denominator must be non-zero")
+    }
+
+    /// Numerator of the reduced form.
+    pub fn num(&self) -> u128 {
+        self.num
+    }
+
+    /// Denominator of the reduced form (always >= 1).
+    pub fn den(&self) -> u128 {
+        self.den
+    }
+
+    /// Whether this ratio lies strictly inside the open interval `(0, 1)`,
+    /// the domain the weight reduction problems require for all thresholds.
+    pub fn is_proper(&self) -> bool {
+        self.num > 0 && self.num < self.den
+    }
+
+    /// `1 - self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ThresholdOutOfRange`] when `self > 1`.
+    pub fn one_minus(&self) -> Result<Self, CoreError> {
+        if self.num > self.den {
+            return Err(CoreError::ThresholdOutOfRange {
+                what: "cannot take 1 - r for r > 1",
+            });
+        }
+        Ratio::new(self.den - self.num, self.den)
+    }
+
+    /// Exact sum, erroring on overflow.
+    pub fn checked_add(&self, other: &Ratio) -> Result<Self, CoreError> {
+        let num = self
+            .num
+            .checked_mul(other.den)
+            .and_then(|l| other.num.checked_mul(self.den).and_then(|r| l.checked_add(r)))
+            .ok_or(CoreError::ArithmeticOverflow)?;
+        let den = self.den.checked_mul(other.den).ok_or(CoreError::ArithmeticOverflow)?;
+        Ratio::new(num, den)
+    }
+
+    /// Exact product, erroring on overflow.
+    pub fn checked_mul(&self, other: &Ratio) -> Result<Self, CoreError> {
+        // Cross-reduce first to keep intermediates small.
+        let g1 = gcd_u128(self.num, other.den).max(1);
+        let g2 = gcd_u128(other.num, self.den).max(1);
+        let num = (self.num / g1)
+            .checked_mul(other.num / g2)
+            .ok_or(CoreError::ArithmeticOverflow)?;
+        let den = (self.den / g2)
+            .checked_mul(other.den / g1)
+            .ok_or(CoreError::ArithmeticOverflow)?;
+        Ratio::new(num, den)
+    }
+
+    /// Exact difference `self - other`, erroring when it would be negative.
+    pub fn checked_sub(&self, other: &Ratio) -> Result<Self, CoreError> {
+        if *self < *other {
+            return Err(CoreError::ThresholdOutOfRange { what: "negative ratio difference" });
+        }
+        let l = self.num.checked_mul(other.den).ok_or(CoreError::ArithmeticOverflow)?;
+        let r = other.num.checked_mul(self.den).ok_or(CoreError::ArithmeticOverflow)?;
+        let den = self.den.checked_mul(other.den).ok_or(CoreError::ArithmeticOverflow)?;
+        Ratio::new(l - r, den)
+    }
+
+    /// Exact division by two (used for the Weight Separation constant
+    /// `c = (alpha + beta) / 2`).
+    pub fn halved(&self) -> Result<Self, CoreError> {
+        let den = self.den.checked_mul(2).ok_or(CoreError::ArithmeticOverflow)?;
+        Ratio::new(self.num, den)
+    }
+
+    /// Compares `self` with the rational `p/q` (`q != 0`) exactly.
+    pub fn cmp_frac(&self, p: u128, q: u128) -> Ordering {
+        assert!(q != 0, "cmp_frac with zero denominator");
+        cmp_mul(self.num, q, p, self.den)
+    }
+
+    /// `floor(self * x)` without overflow.
+    pub fn floor_mul(&self, x: u128) -> Result<u128, CoreError> {
+        crate::wide::mul_div_floor(self.num, x, self.den).ok_or(CoreError::ArithmeticOverflow)
+    }
+
+    /// `ceil(self * x)` without overflow.
+    pub fn ceil_mul(&self, x: u128) -> Result<u128, CoreError> {
+        let fl = self.floor_mul(x)?;
+        // ceil = floor + 1 unless the product is an integer.
+        let exact = crate::wide::mul_u128(self.num, x);
+        let rem_is_zero = {
+            let q = crate::wide::mul_div_floor(self.num, x, self.den)
+                .ok_or(CoreError::ArithmeticOverflow)?;
+            crate::wide::mul_u128(q, self.den) == exact
+        };
+        if rem_is_zero {
+            Ok(fl)
+        } else {
+            fl.checked_add(1).ok_or(CoreError::ArithmeticOverflow)
+        }
+    }
+
+    /// Approximate `f64` value, for reporting only — never used in solver
+    /// decisions.
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Parses a ratio from a `p/q` or integer string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ParseRatio`] for malformed input and
+    /// [`CoreError::ZeroDenominator`] for a zero denominator.
+    pub fn parse(s: &str) -> Result<Self, CoreError> {
+        let mk_err = || CoreError::ParseRatio { input: s.to_string() };
+        match s.split_once('/') {
+            Some((p, q)) => {
+                let p: u128 = p.trim().parse().map_err(|_| mk_err())?;
+                let q: u128 = q.trim().parse().map_err(|_| mk_err())?;
+                Ratio::new(p, q)
+            }
+            None => {
+                let p: u128 = s.trim().parse().map_err(|_| mk_err())?;
+                Ok(Ratio { num: p, den: 1 })
+            }
+        }
+    }
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Self) -> Ordering {
+        cmp_mul(self.num, other.den, other.num, self.den)
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl Default for Ratio {
+    fn default() -> Self {
+        Ratio::ZERO
+    }
+}
+
+impl From<u64> for Ratio {
+    fn from(v: u64) -> Self {
+        Ratio { num: u128::from(v), den: 1 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn reduces_on_construction() {
+        let r = Ratio::of(6, 8);
+        assert_eq!((r.num(), r.den()), (3, 4));
+    }
+
+    #[test]
+    fn zero_numerator_normalizes() {
+        let r = Ratio::of(0, 17);
+        assert_eq!((r.num(), r.den()), (0, 1));
+        assert_eq!(r, Ratio::ZERO);
+    }
+
+    #[test]
+    fn zero_denominator_rejected() {
+        assert!(matches!(Ratio::new(1, 0), Err(CoreError::ZeroDenominator)));
+    }
+
+    #[test]
+    fn ordering_is_exact_for_huge_values() {
+        // 2^127/(2^127+1) < 1 but f64 cannot tell them apart.
+        let big = 1u128 << 127;
+        let r = Ratio::of(big, big + 1);
+        assert!(r < Ratio::ONE);
+        assert!(r > Ratio::of(big - 1, big));
+    }
+
+    #[test]
+    fn is_proper_boundaries() {
+        assert!(!Ratio::ZERO.is_proper());
+        assert!(!Ratio::ONE.is_proper());
+        assert!(Ratio::of(1, 2).is_proper());
+        assert!(!Ratio::of(3, 2).is_proper());
+    }
+
+    #[test]
+    fn one_minus_works() {
+        assert_eq!(Ratio::of(1, 3).one_minus().unwrap(), Ratio::of(2, 3));
+        assert_eq!(Ratio::ONE.one_minus().unwrap(), Ratio::ZERO);
+        assert!(Ratio::of(3, 2).one_minus().is_err());
+    }
+
+    #[test]
+    fn floor_ceil_mul() {
+        let r = Ratio::of(2, 3);
+        assert_eq!(r.floor_mul(10).unwrap(), 6);
+        assert_eq!(r.ceil_mul(10).unwrap(), 7);
+        assert_eq!(r.ceil_mul(9).unwrap(), 6); // exact product
+        assert_eq!(r.floor_mul(9).unwrap(), 6);
+    }
+
+    #[test]
+    fn halved_and_add() {
+        let a = Ratio::of(1, 4);
+        let b = Ratio::of(1, 3);
+        let c = a.checked_add(&b).unwrap().halved().unwrap();
+        assert_eq!(c, Ratio::of(7, 24));
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        assert_eq!(Ratio::parse("3/9").unwrap(), Ratio::of(1, 3));
+        assert_eq!(Ratio::parse("2").unwrap(), Ratio::of(2, 1));
+        assert!(Ratio::parse("x/3").is_err());
+        assert!(Ratio::parse("1/0").is_err());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Ratio::of(5, 10).to_string(), "1/2");
+        assert_eq!(Ratio::of(4, 2).to_string(), "2");
+    }
+
+    proptest! {
+        #[test]
+        fn ord_matches_f64_when_safe(
+            a in 0u32..10_000, b in 1u32..10_000,
+            c in 0u32..10_000, d in 1u32..10_000,
+        ) {
+            let r1 = Ratio::of(a.into(), b.into());
+            let r2 = Ratio::of(c.into(), d.into());
+            let exact = r1.cmp(&r2);
+            let approx = (f64::from(a) / f64::from(b))
+                .partial_cmp(&(f64::from(c) / f64::from(d)))
+                .unwrap();
+            // Small integers are exactly representable in f64, so they agree.
+            prop_assert_eq!(exact, approx);
+        }
+
+        #[test]
+        fn add_then_sub_round_trips(
+            a in 0u64..1_000_000, b in 1u64..1_000_000,
+            c in 0u64..1_000_000, d in 1u64..1_000_000,
+        ) {
+            let r1 = Ratio::of(a.into(), b.into());
+            let r2 = Ratio::of(c.into(), d.into());
+            let sum = r1.checked_add(&r2).unwrap();
+            prop_assert_eq!(sum.checked_sub(&r2).unwrap(), r1);
+        }
+
+        #[test]
+        fn floor_mul_matches_naive(p in 0u64..1_000, q in 1u64..1_000, x in 0u64..1_000_000) {
+            let r = Ratio::of(p.into(), q.into());
+            let expect = u128::from(p) * u128::from(x) / u128::from(q);
+            prop_assert_eq!(r.floor_mul(x.into()).unwrap(), expect);
+        }
+
+        #[test]
+        fn ceil_minus_floor_is_at_most_one(p in 0u64..1_000, q in 1u64..1_000, x in 0u64..1_000_000) {
+            let r = Ratio::of(p.into(), q.into());
+            let fl = r.floor_mul(x.into()).unwrap();
+            let ce = r.ceil_mul(x.into()).unwrap();
+            prop_assert!(ce == fl || ce == fl + 1);
+            // ceil == floor exactly when q divides p*x.
+            let exact = (u128::from(p) * u128::from(x)) % u128::from(q) == 0;
+            prop_assert_eq!(ce == fl, exact);
+        }
+    }
+}

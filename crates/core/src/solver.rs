@@ -1,0 +1,457 @@
+//! The Swiper approximate solver (paper, Section 3).
+//!
+//! Swiper searches the totally-ordered `t(s, k)` family for a *local
+//! minimum*: a viable assignment whose predecessor (one fewer ticket) is not
+//! viable. Appendix A proves every such local minimum respects the
+//! Theorem 2.1/2.3/2.4 upper bounds, and that the family member carrying
+//! exactly the upper-bound total is always viable ("bootstrapping"), so a
+//! binary search between the invalid all-zero member and the bound member
+//! suffices.
+//!
+//! Two modes mirror the prototype:
+//!
+//! * [`Mode::Full`] — exact validity via the three-valued quick test
+//!   (quasilinear bounds) with the `O(n*T)` knapsack DP only on
+//!   "uncertain"; finds a local minimum.
+//! * [`Mode::Linear`] — only the conservative bound (never falsely accepts);
+//!   guaranteed valid but possibly not locally minimal, `~O(n)` per check.
+
+use serde::{Deserialize, Serialize};
+
+use crate::assignment::TicketAssignment;
+use crate::error::CoreError;
+use crate::family::Family;
+use crate::knapsack::{self, Item};
+use crate::problems::{WeightQualification, WeightRestriction, WeightSeparation};
+use crate::ratio::Ratio;
+use crate::verify::{strict_capacity, ticket_target};
+use crate::weights::Weights;
+
+/// Validity-checking regime (the prototype's `--linear` flag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Mode {
+    /// Quick test + exact DP on uncertainty; local minimum guaranteed.
+    #[default]
+    Full,
+    /// Conservative bound only; valid but possibly more tickets.
+    Linear,
+}
+
+/// Counters describing how a solve went; useful for the paper's ">3x fewer
+/// DP calls" claim and for regression tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SolveStats {
+    /// Family members materialized and checked.
+    pub candidates_checked: u64,
+    /// Checks settled by the conservative (fractional upper) bound.
+    pub settled_by_upper_bound: u64,
+    /// Checks settled by the liberal (greedy lower) bound.
+    pub settled_by_lower_bound: u64,
+    /// Checks that needed the exact DP.
+    pub dp_invocations: u64,
+    /// Checks settled by the theoretical bound itself (bootstrapping).
+    pub settled_by_theorem: u64,
+}
+
+/// A solved weight reduction instance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Solution {
+    /// The ticket assignment found.
+    pub assignment: TicketAssignment,
+    /// The theoretical upper bound for this instance (Theorems 2.1/2.3/2.4).
+    pub ticket_bound: u64,
+    /// Solve-time counters.
+    pub stats: SolveStats,
+}
+
+impl Solution {
+    /// Total tickets allocated.
+    pub fn total_tickets(&self) -> u128 {
+        self.assignment.total()
+    }
+}
+
+/// The solver. Construct with [`Swiper::new`] (full mode) or
+/// [`Swiper::with_mode`].
+///
+/// # Examples
+///
+/// ```
+/// use swiper_core::{Ratio, Swiper, Weights, WeightRestriction};
+///
+/// # fn main() -> Result<(), swiper_core::CoreError> {
+/// let weights = Weights::new(vec![100, 50, 20, 10, 5, 5, 5, 5])?;
+/// let params = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2))?;
+/// let solution = Swiper::new().solve_restriction(&weights, &params)?;
+/// assert!(solution.total_tickets() <= u128::from(solution.ticket_bound));
+/// assert!(swiper_core::verify_restriction(
+///     &weights, &solution.assignment, &params)?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Swiper {
+    mode: Mode,
+}
+
+/// How a WR-shaped validity check is parameterized for one solve.
+struct RestrictionCheck {
+    capacity: u128,
+    alpha_n: Ratio,
+}
+
+/// How a WS validity check is parameterized for one solve.
+struct SeparationCheck {
+    cap_low: u128,
+    cap_high: u128,
+}
+
+impl Swiper {
+    /// Full-mode solver.
+    pub fn new() -> Self {
+        Swiper { mode: Mode::Full }
+    }
+
+    /// Solver with an explicit mode.
+    pub fn with_mode(mode: Mode) -> Self {
+        Swiper { mode }
+    }
+
+    /// The active mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Solves Weight Restriction (Problem 1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter/overflow errors; see [`CoreError`].
+    pub fn solve_restriction(
+        &self,
+        weights: &Weights,
+        params: &WeightRestriction,
+    ) -> Result<Solution, CoreError> {
+        let n = u64::try_from(weights.len()).map_err(|_| CoreError::ArithmeticOverflow)?;
+        let bound = params.ticket_bound(n)?.max(1);
+        let family = Family::new(weights, params.family_constant(), bound)?;
+        let check = RestrictionCheck {
+            capacity: strict_capacity(params.alpha_w(), weights.total())?,
+            alpha_n: params.alpha_n(),
+        };
+        let mut stats = SolveStats::default();
+        let mut lo = 0u64;
+        let mut hi = bound;
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            let cand = family.assignment_with_total(mid)?;
+            stats.candidates_checked += 1;
+            let items = to_items(weights, &cand);
+            if self.check_restriction(&check, &items, mid, &mut stats)? {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        stats.settled_by_theorem += u64::from(hi == bound);
+        let assignment = family.assignment_with_total(hi)?;
+        Ok(Solution { assignment, ticket_bound: bound, stats })
+    }
+
+    /// Returns the `t(s, k)` family member with exactly `total` tickets
+    /// for a Weight Restriction instance — **without** checking validity.
+    ///
+    /// Members with `total >= params.ticket_bound(n)` are valid by
+    /// Theorem 2.1. Larger members are closer to proportional
+    /// (`t_i ~ s * w_i`), which the fairness extension
+    /// ([`crate::fairness`]) exploits: a near-proportional base keeps the
+    /// rebalancing lottery small.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter/overflow errors; see [`CoreError`].
+    pub fn restriction_family_member(
+        &self,
+        weights: &Weights,
+        params: &WeightRestriction,
+        total: u64,
+    ) -> Result<TicketAssignment, CoreError> {
+        let family = Family::new(weights, params.family_constant(), total)?;
+        family.assignment_with_total(total)
+    }
+
+    /// Solves Weight Qualification (Problem 2) through the Theorem 2.2
+    /// reduction; the returned assignment satisfies the WQ property (and the
+    /// equivalent WR property).
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter/overflow errors; see [`CoreError`].
+    pub fn solve_qualification(
+        &self,
+        weights: &Weights,
+        params: &WeightQualification,
+    ) -> Result<Solution, CoreError> {
+        self.solve_restriction(weights, &params.to_restriction())
+    }
+
+    /// Solves Weight Separation (Problem 3).
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter/overflow errors; see [`CoreError`].
+    pub fn solve_separation(
+        &self,
+        weights: &Weights,
+        params: &WeightSeparation,
+    ) -> Result<Solution, CoreError> {
+        let n = u64::try_from(weights.len()).map_err(|_| CoreError::ArithmeticOverflow)?;
+        let bound = params.ticket_bound(n)?.max(1);
+        let family = Family::new(weights, params.family_constant(), bound)?;
+        let check = SeparationCheck {
+            cap_low: strict_capacity(params.alpha(), weights.total())?,
+            cap_high: strict_capacity(params.beta().one_minus()?, weights.total())?,
+        };
+        let mut stats = SolveStats::default();
+        let mut lo = 0u64;
+        let mut hi = bound;
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            let cand = family.assignment_with_total(mid)?;
+            stats.candidates_checked += 1;
+            let items = to_items(weights, &cand);
+            if self.check_separation(&check, &items, mid, &mut stats)? {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        stats.settled_by_theorem += u64::from(hi == bound);
+        let assignment = family.assignment_with_total(hi)?;
+        Ok(Solution { assignment, ticket_bound: bound, stats })
+    }
+
+    /// WR-shaped validity check for a family member with total `total`.
+    fn check_restriction(
+        &self,
+        check: &RestrictionCheck,
+        items: &[Item],
+        total: u64,
+        stats: &mut SolveStats,
+    ) -> Result<bool, CoreError> {
+        if total == 0 {
+            return Ok(false);
+        }
+        let target = ticket_target(check.alpha_n, u128::from(total))?;
+        let target = u64::try_from(target).map_err(|_| CoreError::ArithmeticOverflow)?;
+        if target > total {
+            return Ok(true);
+        }
+        // Conservative bound: certainly-unreachable target means valid.
+        if !knapsack::fractional_upper_bound_reaches(items, check.capacity, target) {
+            stats.settled_by_upper_bound += 1;
+            return Ok(true);
+        }
+        if self.mode == Mode::Linear {
+            // Only the conservative test is allowed: treat as invalid.
+            return Ok(false);
+        }
+        if knapsack::greedy_lower_bound_reaches(items, check.capacity, target) {
+            stats.settled_by_lower_bound += 1;
+            return Ok(false);
+        }
+        stats.dp_invocations += 1;
+        let reached = knapsack::max_profit_dp(items, check.capacity, target) >= target;
+        Ok(!reached)
+    }
+
+    /// WS validity check for a family member with total `total`.
+    fn check_separation(
+        &self,
+        check: &SeparationCheck,
+        items: &[Item],
+        total: u64,
+        stats: &mut SolveStats,
+    ) -> Result<bool, CoreError> {
+        if total == 0 {
+            return Ok(false);
+        }
+        // Conservative: floor(LP bound) on both sides still summing below
+        // total certifies validity (a + b < T  <=>  max-light < min-heavy).
+        let a_ub = knapsack::fractional_upper_bound_floor(items, check.cap_low);
+        let b_ub = knapsack::fractional_upper_bound_floor(items, check.cap_high);
+        if a_ub + b_ub < u128::from(total) {
+            stats.settled_by_upper_bound += 1;
+            return Ok(true);
+        }
+        if self.mode == Mode::Linear {
+            return Ok(false);
+        }
+        let a_lb = knapsack::greedy_lower_bound(items, check.cap_low);
+        let b_lb = knapsack::greedy_lower_bound(items, check.cap_high);
+        if a_lb + b_lb >= u128::from(total) {
+            stats.settled_by_lower_bound += 1;
+            return Ok(false);
+        }
+        stats.dp_invocations += 1;
+        let a = u128::from(knapsack::max_profit_dp(items, check.cap_low, total));
+        let b = u128::from(knapsack::max_profit_dp(items, check.cap_high, total));
+        Ok(a + b < u128::from(total))
+    }
+}
+
+fn to_items(weights: &Weights, tickets: &TicketAssignment) -> Vec<Item> {
+    weights
+        .as_slice()
+        .iter()
+        .zip(tickets.as_slice())
+        .map(|(&weight, &profit)| Item { profit, weight })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{
+        verify_qualification, verify_restriction, verify_restriction_exhaustive,
+        verify_separation,
+    };
+    use proptest::prelude::*;
+
+    fn weights(ws: &[u64]) -> Weights {
+        Weights::new(ws.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn solves_equal_weights() {
+        // n equal parties, WR(1/3, 1/2): one ticket each is valid, and it is
+        // the family's natural answer.
+        let w = weights(&[7; 9]);
+        let p = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2)).unwrap();
+        let sol = Swiper::new().solve_restriction(&w, &p).unwrap();
+        assert!(verify_restriction(&w, &sol.assignment, &p).unwrap());
+        assert!(sol.total_tickets() <= u128::from(sol.ticket_bound));
+        assert!(sol.total_tickets() <= 9, "equal weights need few tickets");
+    }
+
+    #[test]
+    fn solves_single_whale() {
+        // One party with 97% of the stake: a single ticket to the whale
+        // already violates nothing? t({whale}) = T: whale weight not under
+        // capacity, small parties have 0 tickets -> valid with T = 1.
+        let w = weights(&[970, 10, 10, 10]);
+        let p = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2)).unwrap();
+        let sol = Swiper::new().solve_restriction(&w, &p).unwrap();
+        assert!(verify_restriction(&w, &sol.assignment, &p).unwrap());
+        assert_eq!(sol.total_tickets(), 1);
+        assert_eq!(sol.assignment.get(0), 1);
+    }
+
+    #[test]
+    fn local_minimum_predecessor_is_invalid() {
+        let w = weights(&[50, 30, 11, 5, 2, 1, 1]);
+        let p = WeightRestriction::new(Ratio::of(1, 4), Ratio::of(1, 3)).unwrap();
+        let sol = Swiper::new().solve_restriction(&w, &p).unwrap();
+        let total = u64::try_from(sol.total_tickets()).unwrap();
+        assert!(verify_restriction(&w, &sol.assignment, &p).unwrap());
+        // Predecessor family member must be invalid (local minimality).
+        let fam = Family::new(&w, p.family_constant(), sol.ticket_bound).unwrap();
+        let prev = fam.assignment_with_total(total - 1).unwrap();
+        assert!(!verify_restriction(&w, &prev, &p).unwrap());
+    }
+
+    #[test]
+    fn linear_mode_is_valid_but_not_smaller() {
+        let w = weights(&[100, 70, 55, 13, 8, 8, 4, 2, 1, 1, 1]);
+        let p = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2)).unwrap();
+        let full = Swiper::new().solve_restriction(&w, &p).unwrap();
+        let linear = Swiper::with_mode(Mode::Linear).solve_restriction(&w, &p).unwrap();
+        assert!(verify_restriction(&w, &full.assignment, &p).unwrap());
+        assert!(verify_restriction(&w, &linear.assignment, &p).unwrap());
+        assert!(linear.total_tickets() >= full.total_tickets());
+        assert_eq!(linear.stats.dp_invocations, 0, "linear mode never runs the DP");
+    }
+
+    #[test]
+    fn qualification_solution_satisfies_wq() {
+        let w = weights(&[40, 25, 20, 10, 5]);
+        let q = WeightQualification::new(Ratio::of(1, 3), Ratio::of(1, 4)).unwrap();
+        let sol = Swiper::new().solve_qualification(&w, &q).unwrap();
+        assert!(verify_qualification(&w, &sol.assignment, &q).unwrap());
+        assert!(sol.total_tickets() <= u128::from(q.ticket_bound(5).unwrap()));
+    }
+
+    #[test]
+    fn separation_solution_satisfies_ws() {
+        let w = weights(&[40, 25, 20, 10, 5]);
+        let s = WeightSeparation::new(Ratio::of(1, 4), Ratio::of(1, 3)).unwrap();
+        let sol = Swiper::new().solve_separation(&w, &s).unwrap();
+        assert!(verify_separation(&w, &sol.assignment, &s).unwrap());
+        assert!(sol.total_tickets() <= u128::from(sol.ticket_bound));
+    }
+
+    #[test]
+    fn worst_case_equal_weights_stays_under_bound() {
+        // Equal weights are the classic worst case for weight reduction.
+        for n in [3usize, 10, 31, 100] {
+            let w = Weights::new(vec![1; n]).unwrap();
+            let p = WeightRestriction::new(Ratio::of(1, 4), Ratio::of(1, 3)).unwrap();
+            let sol = Swiper::new().solve_restriction(&w, &p).unwrap();
+            assert!(verify_restriction(&w, &sol.assignment, &p).unwrap(), "n={n}");
+            assert!(sol.total_tickets() <= u128::from(sol.ticket_bound), "n={n}");
+        }
+    }
+
+    #[test]
+    fn stats_count_checks() {
+        let w = weights(&[50, 30, 11, 5, 2, 1, 1]);
+        let p = WeightRestriction::new(Ratio::of(1, 4), Ratio::of(1, 3)).unwrap();
+        let sol = Swiper::new().solve_restriction(&w, &p).unwrap();
+        assert!(sol.stats.candidates_checked > 0);
+        let settled = sol.stats.settled_by_upper_bound
+            + sol.stats.settled_by_lower_bound
+            + sol.stats.dp_invocations;
+        assert!(settled <= sol.stats.candidates_checked + 2);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn wr_solutions_always_verify(
+            ws in proptest::collection::vec(1u64..1_000, 1..14),
+            pw in 1u128..6, pn in 2u128..7,
+        ) {
+            let aw = Ratio::of(pw, 7);
+            let an = Ratio::of(pn, 7);
+            prop_assume!(aw < an && aw.is_proper() && an.is_proper());
+            let w = Weights::new(ws).unwrap();
+            let p = WeightRestriction::new(aw, an).unwrap();
+            for mode in [Mode::Full, Mode::Linear] {
+                let sol = Swiper::with_mode(mode).solve_restriction(&w, &p).unwrap();
+                prop_assert!(verify_restriction(&w, &sol.assignment, &p).unwrap());
+                if w.len() < 15 {
+                    prop_assert!(verify_restriction_exhaustive(&w, &sol.assignment, &p));
+                }
+                prop_assert!(sol.total_tickets() <= u128::from(sol.ticket_bound));
+            }
+        }
+
+        #[test]
+        fn ws_solutions_always_verify(
+            ws in proptest::collection::vec(1u64..1_000, 1..12),
+            pa in 1u128..5, pb in 2u128..6,
+        ) {
+            let alpha = Ratio::of(pa, 6);
+            let beta = Ratio::of(pb, 6);
+            prop_assume!(alpha < beta && alpha.is_proper() && beta.is_proper());
+            let w = Weights::new(ws).unwrap();
+            let p = WeightSeparation::new(alpha, beta).unwrap();
+            for mode in [Mode::Full, Mode::Linear] {
+                let sol = Swiper::with_mode(mode).solve_separation(&w, &p).unwrap();
+                prop_assert!(verify_separation(&w, &sol.assignment, &p).unwrap());
+                prop_assert!(sol.total_tickets() <= u128::from(sol.ticket_bound));
+            }
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Virtual-user mapping: running nominal protocols on tickets.
+//!
+//! Theorem 4.2 and the black-box transformation (Section 4.4) instantiate a
+//! nominal protocol with `T` *virtual users* and let party `i` control `t_i`
+//! of them. This module provides the deterministic bookkeeping: virtual ids
+//! are assigned in party order, so every participant derives the identical
+//! mapping from the (common-knowledge) ticket assignment.
+
+use serde::{Deserialize, Serialize};
+
+use crate::assignment::TicketAssignment;
+use crate::error::CoreError;
+
+/// A deterministic bijection between `T` virtual users and the real parties
+/// controlling them.
+///
+/// # Examples
+///
+/// ```
+/// use swiper_core::{TicketAssignment, VirtualUsers};
+///
+/// # fn main() -> Result<(), swiper_core::CoreError> {
+/// let tickets = TicketAssignment::new(vec![2, 0, 1]);
+/// let vu = VirtualUsers::from_assignment(&tickets)?;
+/// assert_eq!(vu.total(), 3);
+/// assert_eq!(vu.owner_of(0), 0);
+/// assert_eq!(vu.owner_of(1), 0);
+/// assert_eq!(vu.owner_of(2), 2);
+/// assert_eq!(vu.virtuals_of(0).collect::<Vec<_>>(), vec![0, 1]);
+/// assert!(vu.virtuals_of(1).next().is_none());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VirtualUsers {
+    /// `owner[v]` = real party controlling virtual user `v`.
+    owner: Vec<usize>,
+    /// `first[i]..first[i] + tickets[i]` = virtual ids of party `i`.
+    first: Vec<u64>,
+    tickets: Vec<u64>,
+}
+
+impl VirtualUsers {
+    /// Builds the mapping from a ticket assignment.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::ArithmeticOverflow`] when the total does not fit into
+    /// addressable memory (`usize`).
+    pub fn from_assignment(tickets: &TicketAssignment) -> Result<Self, CoreError> {
+        let total =
+            usize::try_from(tickets.total()).map_err(|_| CoreError::ArithmeticOverflow)?;
+        let mut owner = Vec::with_capacity(total);
+        let mut first = Vec::with_capacity(tickets.len());
+        let mut next: u64 = 0;
+        for (party, t) in tickets.iter() {
+            first.push(next);
+            for _ in 0..t {
+                owner.push(party);
+            }
+            next += t;
+        }
+        Ok(VirtualUsers { owner, first, tickets: tickets.as_slice().to_vec() })
+    }
+
+    /// Number of virtual users `T`.
+    pub fn total(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// Number of real parties `n`.
+    pub fn parties(&self) -> usize {
+        self.tickets.len()
+    }
+
+    /// The real party controlling virtual user `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= self.total()`.
+    pub fn owner_of(&self, v: usize) -> usize {
+        self.owner[v]
+    }
+
+    /// The virtual users controlled by party `i` (possibly empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.parties()`.
+    pub fn virtuals_of(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        let start = self.first[i];
+        let count = self.tickets[i];
+        (start..start + count).map(|v| v as usize)
+    }
+
+    /// Tickets (= number of virtual users) of party `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.parties()`.
+    pub fn tickets_of(&self, i: usize) -> u64 {
+        self.tickets[i]
+    }
+
+    /// Whether party `i` controls no virtual user — such parties must learn
+    /// protocol outputs from ticket holders (Section 4.4's relay step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.parties()`.
+    pub fn is_spectator(&self, i: usize) -> bool {
+        self.tickets[i] == 0
+    }
+
+    /// Parties holding at least one virtual user.
+    pub fn holders(&self) -> impl Iterator<Item = usize> + '_ {
+        self.tickets.iter().enumerate().filter(|(_, &t)| t > 0).map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip_owner_and_virtuals() {
+        let t = TicketAssignment::new(vec![3, 0, 2, 1]);
+        let vu = VirtualUsers::from_assignment(&t).unwrap();
+        assert_eq!(vu.total(), 6);
+        assert_eq!(vu.parties(), 4);
+        for party in 0..4 {
+            for v in vu.virtuals_of(party) {
+                assert_eq!(vu.owner_of(v), party);
+            }
+        }
+        assert!(vu.is_spectator(1));
+        assert!(!vu.is_spectator(0));
+        assert_eq!(vu.holders().collect::<Vec<_>>(), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn empty_tickets() {
+        let t = TicketAssignment::new(vec![0, 0]);
+        let vu = VirtualUsers::from_assignment(&t).unwrap();
+        assert_eq!(vu.total(), 0);
+        assert!(vu.holders().next().is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn mapping_is_a_partition(ts in proptest::collection::vec(0u64..20, 1..20)) {
+            let t = TicketAssignment::new(ts);
+            let vu = VirtualUsers::from_assignment(&t).unwrap();
+            // Every virtual id appears in exactly one party's range.
+            let mut seen = vec![0u32; vu.total()];
+            for party in 0..vu.parties() {
+                prop_assert_eq!(vu.virtuals_of(party).count() as u64, vu.tickets_of(party));
+                for v in vu.virtuals_of(party) {
+                    seen[v] += 1;
+                    prop_assert_eq!(vu.owner_of(v), party);
+                }
+            }
+            prop_assert!(seen.iter().all(|&c| c == 1));
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! 256-bit widening helpers for overflow-free rational comparisons.
+//!
+//! The Swiper solver follows the paper's prototype in using *exact* rational
+//! arithmetic throughout (the Python reference uses `Fraction`). Party weights
+//! are `u64`, totals are `u128`, and threshold rationals have `u128`
+//! numerators/denominators, so cross-multiplications in comparisons can need
+//! up to 256 bits. This module provides the few widening primitives required
+//! so that no comparison can silently overflow.
+
+use std::cmp::Ordering;
+
+/// A 256-bit unsigned product represented as `hi * 2^128 + lo`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct U256 {
+    /// Most significant 128 bits.
+    pub hi: u128,
+    /// Least significant 128 bits.
+    pub lo: u128,
+}
+
+/// Multiplies two `u128` values into a full 256-bit result.
+///
+/// Splits each operand into 64-bit halves and accumulates partial products,
+/// the textbook schoolbook multiplication on 64-bit limbs.
+pub fn mul_u128(a: u128, b: u128) -> U256 {
+    const MASK: u128 = (1u128 << 64) - 1;
+    let (a_hi, a_lo) = (a >> 64, a & MASK);
+    let (b_hi, b_lo) = (b >> 64, b & MASK);
+
+    let ll = a_lo * b_lo;
+    let lh = a_lo * b_hi;
+    let hl = a_hi * b_lo;
+    let hh = a_hi * b_hi;
+
+    // Sum the middle partial products and track the carry into the high part.
+    let (mid, carry1) = lh.overflowing_add(hl);
+    let mid_carry = if carry1 { 1u128 << 64 } else { 0 };
+
+    let (lo, carry2) = ll.overflowing_add(mid << 64);
+    let hi = hh + (mid >> 64) + mid_carry + u128::from(carry2);
+
+    U256 { hi, lo }
+}
+
+/// Compares `a * b` with `c * d` without overflow.
+pub fn cmp_mul(a: u128, b: u128, c: u128, d: u128) -> Ordering {
+    mul_u128(a, b).cmp(&mul_u128(c, d))
+}
+
+/// Computes `floor((a * b) / d)` for `d != 0`, returning `None` when the
+/// quotient does not fit in a `u128`.
+///
+/// Uses restoring long division bit-by-bit on the 256-bit product; the
+/// operand sizes in this crate keep this far off any hot path.
+pub fn mul_div_floor(a: u128, b: u128, d: u128) -> Option<u128> {
+    assert!(d != 0, "division by zero in mul_div_floor");
+    let prod = mul_u128(a, b);
+    if prod.hi == 0 {
+        return Some(prod.lo / d);
+    }
+    // The quotient fits in u128 iff prod < d * 2^128, i.e. prod.hi < d.
+    if prod.hi >= d {
+        return None;
+    }
+    let mut rem: u128 = prod.hi;
+    let mut quot: u128 = 0;
+    for bit in (0..128).rev() {
+        // rem = rem * 2 + next bit of prod.lo; rem < d <= 2^128 - 1, so the
+        // shift can carry into a 129th bit, captured before shifting.
+        let carry = rem >> 127 != 0;
+        let next = (rem << 1) | ((prod.lo >> bit) & 1);
+        if carry || next >= d {
+            rem = next.wrapping_sub(d);
+            quot |= 1u128 << bit;
+        } else {
+            rem = next;
+        }
+    }
+    Some(quot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mul_small_matches_u128() {
+        let r = mul_u128(7, 9);
+        assert_eq!(r, U256 { hi: 0, lo: 63 });
+    }
+
+    #[test]
+    fn mul_max_operands() {
+        // (2^128 - 1)^2 = 2^256 - 2^129 + 1
+        let r = mul_u128(u128::MAX, u128::MAX);
+        assert_eq!(r.hi, u128::MAX - 1);
+        assert_eq!(r.lo, 1);
+    }
+
+    #[test]
+    fn cmp_mul_orders_cross_products() {
+        assert_eq!(cmp_mul(1, 3, 2, 2), Ordering::Less); // 3 < 4
+        assert_eq!(cmp_mul(2, 3, 3, 2), Ordering::Equal);
+        assert_eq!(cmp_mul(u128::MAX, 2, u128::MAX, 1), Ordering::Greater);
+    }
+
+    #[test]
+    fn mul_div_floor_basic() {
+        assert_eq!(mul_div_floor(10, 10, 3), Some(33));
+        assert_eq!(mul_div_floor(u128::MAX, 2, 2), Some(u128::MAX));
+        assert_eq!(mul_div_floor(u128::MAX, u128::MAX, 1), None);
+    }
+
+    #[test]
+    fn mul_div_floor_large_divisor() {
+        // (2^127)(2^127) / 2^127 = 2^127
+        let x = 1u128 << 127;
+        assert_eq!(mul_div_floor(x, x, x), Some(x));
+    }
+
+    proptest! {
+        #[test]
+        fn mul_matches_native_for_64bit(a in any::<u64>(), b in any::<u64>()) {
+            let r = mul_u128(u128::from(a), u128::from(b));
+            prop_assert_eq!(r.hi, 0);
+            prop_assert_eq!(r.lo, u128::from(a) * u128::from(b));
+        }
+
+        #[test]
+        fn cmp_matches_native_for_64bit(
+            a in any::<u64>(), b in any::<u64>(),
+            c in any::<u64>(), d in any::<u64>(),
+        ) {
+            let lhs = u128::from(a) * u128::from(b);
+            let rhs = u128::from(c) * u128::from(d);
+            prop_assert_eq!(
+                cmp_mul(a.into(), b.into(), c.into(), d.into()),
+                lhs.cmp(&rhs)
+            );
+        }
+
+        #[test]
+        fn mul_div_matches_native_for_64bit(
+            a in any::<u64>(), b in any::<u64>(), d in 1u64..,
+        ) {
+            let expect = u128::from(a) * u128::from(b) / u128::from(d);
+            prop_assert_eq!(
+                mul_div_floor(a.into(), b.into(), d.into()),
+                Some(expect)
+            );
+        }
+
+        #[test]
+        fn mul_is_commutative(a in any::<u128>(), b in any::<u128>()) {
+            prop_assert_eq!(mul_u128(a, b), mul_u128(b, a));
+        }
+
+        #[test]
+        fn mul_div_floor_identity(a in any::<u128>(), d in 1u128..) {
+            // a * d / d == a always fits.
+            prop_assert_eq!(mul_div_floor(a, d, d), Some(a));
+        }
+    }
+}

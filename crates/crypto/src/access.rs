@@ -1,0 +1,245 @@
+//! Access structures: nominal thresholds, weighted thresholds, and the
+//! paper's *blunt* access structures (Definition 4.1).
+//!
+//! A blunt access structure w.r.t. an adversary structure `F` only promises
+//! that (i) no corruptible set is authorized and (ii) some all-honest set
+//! is authorized — precisely what liveness + safety of most protocols
+//! need. Theorem 4.2 shows that instantiating a nominal threshold scheme on
+//! Weight-Restriction tickets yields a blunt structure for the weighted
+//! adversary; [`ticket_threshold_is_blunt`] checks that construction.
+
+use serde::{Deserialize, Serialize};
+use swiper_core::{Ratio, TicketAssignment, Weights};
+
+/// An access structure over parties `0..n`: which sets may perform the
+/// guarded action.
+pub trait AccessStructure {
+    /// Number of parties.
+    fn parties(&self) -> usize;
+
+    /// Whether the given set of party indices is authorized.
+    fn authorized(&self, set: &[usize]) -> bool;
+}
+
+/// Nominal threshold structure `A_n(alpha)`: sets with `|P| > alpha * n`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NominalThreshold {
+    n: usize,
+    alpha: Ratio,
+}
+
+impl NominalThreshold {
+    /// Creates the structure; `alpha` in `[0, 1)`.
+    pub fn new(n: usize, alpha: Ratio) -> Self {
+        NominalThreshold { n, alpha }
+    }
+}
+
+impl AccessStructure for NominalThreshold {
+    fn parties(&self) -> usize {
+        self.n
+    }
+
+    fn authorized(&self, set: &[usize]) -> bool {
+        let distinct: std::collections::HashSet<_> = set.iter().collect();
+        // |P| > alpha * n  <=>  |P| * den > num * n
+        (distinct.len() as u128) * self.alpha.den() > self.alpha.num() * (self.n as u128)
+    }
+}
+
+/// Weighted threshold structure `A_w(alpha)`: sets with
+/// `w(P) > alpha * W`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WeightedThreshold {
+    weights: Weights,
+    alpha: Ratio,
+}
+
+impl WeightedThreshold {
+    /// Creates the structure.
+    pub fn new(weights: Weights, alpha: Ratio) -> Self {
+        WeightedThreshold { weights, alpha }
+    }
+
+    /// The weight vector.
+    pub fn weights(&self) -> &Weights {
+        &self.weights
+    }
+}
+
+impl AccessStructure for WeightedThreshold {
+    fn parties(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn authorized(&self, set: &[usize]) -> bool {
+        let mut distinct: Vec<usize> = set.to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let w = self.weights.subset_weight(&distinct);
+        w * self.alpha.den() > self.alpha.num() * self.weights.total()
+    }
+}
+
+/// Ticket-threshold structure: sets whose pooled tickets reach
+/// `ceil(alpha_n * T)` — the structure a nominal scheme instantiated on
+/// virtual users actually implements.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TicketThreshold {
+    tickets: TicketAssignment,
+    alpha_n: Ratio,
+}
+
+impl TicketThreshold {
+    /// Creates the structure.
+    pub fn new(tickets: TicketAssignment, alpha_n: Ratio) -> Self {
+        TicketThreshold { tickets, alpha_n }
+    }
+
+    /// The minimum pooled tickets an authorized set needs
+    /// (`>= alpha_n * T`, i.e. `ceil` with strict handling folded in).
+    pub fn required_tickets(&self) -> u128 {
+        let t = self.tickets.total();
+        let num = self.alpha_n.num() * t;
+        num.div_ceil(self.alpha_n.den())
+    }
+}
+
+impl AccessStructure for TicketThreshold {
+    fn parties(&self) -> usize {
+        self.tickets.len()
+    }
+
+    fn authorized(&self, set: &[usize]) -> bool {
+        let mut distinct: Vec<usize> = set.to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let pooled = self.tickets.subset_tickets(&distinct);
+        // Authorized iff pooled >= alpha_n * T (can reconstruct a
+        // ceil(alpha_n T)-of-T sharing).
+        pooled * self.alpha_n.den() >= self.alpha_n.num() * self.tickets.total()
+    }
+}
+
+/// Checks Definition 4.1 against explicit adversary sets: `access` is blunt
+/// w.r.t. `adversary_sets` over `n` parties iff no adversary set is
+/// authorized and each complement (the honest set) is.
+pub fn is_blunt_for<A: AccessStructure>(access: &A, adversary_sets: &[Vec<usize>]) -> bool {
+    let n = access.parties();
+    for f in adversary_sets {
+        if access.authorized(f) {
+            return false;
+        }
+        let complement: Vec<usize> = (0..n).filter(|i| !f.contains(i)).collect();
+        if !access.authorized(&complement) {
+            return false;
+        }
+    }
+    true
+}
+
+/// The Theorem 4.2 check specialized to weighted threshold adversaries:
+/// the ticket structure built from a Weight Restriction solution with
+/// `alpha_w := f_w`, `alpha_n <= 1/2` is blunt w.r.t.
+/// `F_w(f_w) = { P : w(P) < f_w * W }` — verified here by exhaustive subset
+/// enumeration (test-sized `n` only).
+///
+/// # Panics
+///
+/// Panics if `weights.len() >= 20`.
+pub fn ticket_threshold_is_blunt(
+    weights: &Weights,
+    tickets: &TicketAssignment,
+    f_w: Ratio,
+    alpha_n: Ratio,
+) -> bool {
+    let n = weights.len();
+    assert!(n < 20, "exhaustive bluntness check limited to n < 20");
+    let access = TicketThreshold::new(tickets.clone(), alpha_n);
+    for mask in 0u32..(1u32 << n) {
+        let set: Vec<usize> = (0..n).filter(|i| mask >> i & 1 == 1).collect();
+        let w = weights.subset_weight(&set);
+        let corruptible = w * f_w.den() < f_w.num() * weights.total();
+        if corruptible {
+            // (i) No corruptible set is authorized.
+            if access.authorized(&set) {
+                return false;
+            }
+            // (ii) Its honest complement is authorized.
+            let complement: Vec<usize> = (0..n).filter(|i| !set.contains(i)).collect();
+            if !access.authorized(&complement) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swiper_core::{Swiper, WeightRestriction};
+
+    #[test]
+    fn nominal_threshold_counts_distinct_parties() {
+        let a = NominalThreshold::new(4, Ratio::of(1, 2));
+        assert!(!a.authorized(&[0, 1]));
+        assert!(a.authorized(&[0, 1, 2]));
+        // Duplicates do not inflate the count.
+        assert!(!a.authorized(&[0, 0, 0, 1]));
+    }
+
+    #[test]
+    fn weighted_threshold_uses_weight() {
+        let w = Weights::new(vec![60, 20, 10, 10]).unwrap();
+        let a = WeightedThreshold::new(w, Ratio::of(1, 2));
+        assert!(a.authorized(&[0]));
+        assert!(!a.authorized(&[1, 2, 3])); // 40 < 50... wait, need > 50
+        assert!(!a.authorized(&[1, 2, 2, 3]));
+    }
+
+    #[test]
+    fn ticket_threshold_required_tickets() {
+        let t = TicketAssignment::new(vec![3, 2, 1]);
+        let a = TicketThreshold::new(t, Ratio::of(1, 2));
+        assert_eq!(a.required_tickets(), 3);
+        assert!(a.authorized(&[0]));
+        assert!(a.authorized(&[1, 2]));
+        assert!(!a.authorized(&[2]));
+    }
+
+    #[test]
+    fn explicit_bluntness_check() {
+        // 3 parties; adversary can corrupt any single party; access = 2+.
+        let a = NominalThreshold::new(3, Ratio::of(1, 2));
+        let adv: Vec<Vec<usize>> = vec![vec![0], vec![1], vec![2]];
+        assert!(is_blunt_for(&a, &adv));
+        // Adversary corrupting pairs breaks it (pair complement = 1 party,
+        // not authorized).
+        let adv2: Vec<Vec<usize>> = vec![vec![0, 1]];
+        assert!(!is_blunt_for(&a, &adv2));
+    }
+
+    #[test]
+    fn theorem_4_2_holds_on_solved_instances() {
+        // For several weight vectors, solve WR(fw, an) and verify the
+        // resulting ticket threshold is blunt for the weighted adversary.
+        let cases: Vec<Vec<u64>> = vec![
+            vec![1, 1, 1, 1, 1, 1],
+            vec![50, 30, 10, 5, 3, 2],
+            vec![100, 1, 1, 1, 1, 1, 1, 1],
+            vec![7, 6, 5, 4, 3, 2, 1],
+        ];
+        let f_w = Ratio::of(1, 3);
+        let a_n = Ratio::of(1, 2);
+        let params = WeightRestriction::new(f_w, a_n).unwrap();
+        for ws in cases {
+            let weights = Weights::new(ws.clone()).unwrap();
+            let sol = Swiper::new().solve_restriction(&weights, &params).unwrap();
+            assert!(
+                ticket_threshold_is_blunt(&weights, &sol.assignment, f_w, a_n),
+                "weights {ws:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Error types for the crypto crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the secret sharing / threshold primitives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// Invalid scheme parameters (e.g. threshold of zero, threshold larger
+    /// than the number of shares).
+    InvalidParameters {
+        /// Human-readable description.
+        what: String,
+    },
+    /// Too few shares/partials to reach the threshold.
+    NotEnoughShares {
+        /// Shares required.
+        needed: usize,
+        /// Shares available.
+        have: usize,
+    },
+    /// Duplicate share index in a reconstruction set.
+    DuplicateShare {
+        /// The repeated index.
+        index: u64,
+    },
+    /// A share or partial failed verification against its commitment.
+    VerificationFailed,
+    /// The opened shares are inconsistent (dealer misbehaviour detected).
+    InconsistentShares,
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::InvalidParameters { what } => write!(f, "invalid parameters: {what}"),
+            CryptoError::NotEnoughShares { needed, have } => {
+                write!(f, "not enough shares: need {needed}, have {have}")
+            }
+            CryptoError::DuplicateShare { index } => write!(f, "duplicate share index {index}"),
+            CryptoError::VerificationFailed => write!(f, "verification failed"),
+            CryptoError::InconsistentShares => write!(f, "inconsistent shares"),
+        }
+    }
+}
+
+impl Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            CryptoError::InvalidParameters { what: "k = 0".into() },
+            CryptoError::NotEnoughShares { needed: 3, have: 2 },
+            CryptoError::DuplicateShare { index: 7 },
+            CryptoError::VerificationFailed,
+            CryptoError::InconsistentShares,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

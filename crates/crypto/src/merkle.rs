@@ -1,0 +1,229 @@
+//! Merkle trees with inclusion proofs.
+//!
+//! AVID-style erasure-coded broadcast (paper Section 5.1, reference \[17\])
+//! commits to the fragment vector with a Merkle root so that recipients can
+//! validate their fragment before acknowledging storage.
+
+use serde::{Deserialize, Serialize};
+
+use crate::hash::{digest_parts, Digest};
+
+/// Domain separation prefixes so leaves can never masquerade as nodes.
+const LEAF_TAG: &[u8] = b"swiper.merkle.leaf";
+const NODE_TAG: &[u8] = b"swiper.merkle.node";
+
+fn leaf_hash(data: &[u8]) -> Digest {
+    digest_parts(&[LEAF_TAG, data])
+}
+
+fn node_hash(l: &Digest, r: &Digest) -> Digest {
+    digest_parts(&[NODE_TAG, l.as_bytes(), r.as_bytes()])
+}
+
+/// A complete Merkle tree over a list of byte leaves.
+///
+/// # Examples
+///
+/// ```
+/// use swiper_crypto::MerkleTree;
+///
+/// let leaves: Vec<Vec<u8>> = (0..5u8).map(|i| vec![i; 4]).collect();
+/// let tree = MerkleTree::build(&leaves);
+/// let proof = tree.proof(3);
+/// assert!(proof.verify(&tree.root(), &leaves[3], 3));
+/// assert!(!proof.verify(&tree.root(), &leaves[2], 3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MerkleTree {
+    /// `levels[0]` = leaf hashes, last level = the root alone.
+    levels: Vec<Vec<Digest>>,
+    leaf_count: usize,
+}
+
+/// An inclusion proof: sibling hashes from leaf to root.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MerkleProof {
+    siblings: Vec<Digest>,
+}
+
+impl MerkleTree {
+    /// Builds a tree; odd nodes are paired with themselves.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty leaf list.
+    pub fn build<L: AsRef<[u8]>>(leaves: &[L]) -> Self {
+        assert!(!leaves.is_empty(), "Merkle tree needs at least one leaf");
+        let mut levels = vec![leaves.iter().map(|l| leaf_hash(l.as_ref())).collect::<Vec<_>>()];
+        while levels.last().expect("non-empty").len() > 1 {
+            let prev = levels.last().expect("non-empty");
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            for pair in prev.chunks(2) {
+                let l = &pair[0];
+                let r = pair.get(1).unwrap_or(l);
+                next.push(node_hash(l, r));
+            }
+            levels.push(next);
+        }
+        let leaf_count = leaves.len();
+        MerkleTree { levels, leaf_count }
+    }
+
+    /// The root digest.
+    pub fn root(&self) -> Digest {
+        self.levels.last().expect("non-empty")[0]
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.leaf_count
+    }
+
+    /// Whether the tree is empty (never true — construction requires a
+    /// leaf; kept alongside [`MerkleTree::len`] for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.leaf_count == 0
+    }
+
+    /// Inclusion proof for leaf `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn proof(&self, index: usize) -> MerkleProof {
+        assert!(index < self.leaf_count, "leaf index out of range");
+        let mut siblings = Vec::new();
+        let mut i = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sib = if i.is_multiple_of(2) {
+                // Right sibling, or self when unpaired.
+                *level.get(i + 1).unwrap_or(&level[i])
+            } else {
+                level[i - 1]
+            };
+            siblings.push(sib);
+            i /= 2;
+        }
+        MerkleProof { siblings }
+    }
+}
+
+impl MerkleProof {
+    /// Verifies that `leaf_data` is the `index`-th leaf under `root`.
+    pub fn verify(&self, root: &Digest, leaf_data: &[u8], index: usize) -> bool {
+        let mut acc = leaf_hash(leaf_data);
+        let mut i = index;
+        for sib in &self.siblings {
+            acc = if i.is_multiple_of(2) { node_hash(&acc, sib) } else { node_hash(sib, &acc) };
+            i /= 2;
+        }
+        acc == *root
+    }
+
+    /// Proof size in hashes (communication accounting).
+    pub fn len(&self) -> usize {
+        self.siblings.len()
+    }
+
+    /// Whether the proof is empty (single-leaf tree).
+    pub fn is_empty(&self) -> bool {
+        self.siblings.is_empty()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn leaves(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("leaf-{i}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let ls = leaves(1);
+        let t = MerkleTree::build(&ls);
+        let p = t.proof(0);
+        assert!(p.is_empty());
+        assert!(p.verify(&t.root(), &ls[0], 0));
+        assert!(!p.verify(&t.root(), b"other", 0));
+    }
+
+    #[test]
+    fn all_proofs_verify_various_sizes() {
+        for n in [2usize, 3, 4, 5, 7, 8, 9, 16, 33] {
+            let ls = leaves(n);
+            let t = MerkleTree::build(&ls);
+            for i in 0..n {
+                let p = t.proof(i);
+                assert!(p.verify(&t.root(), &ls[i], i), "n={n} i={i}");
+                assert_eq!(p.len(), t.levels.len() - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_index_or_data_fails() {
+        let ls = leaves(6);
+        let t = MerkleTree::build(&ls);
+        let p = t.proof(2);
+        assert!(!p.verify(&t.root(), &ls[2], 3));
+        assert!(!p.verify(&t.root(), &ls[3], 2));
+        let other = MerkleTree::build(&leaves(7));
+        assert!(!p.verify(&other.root(), &ls[2], 2));
+    }
+
+    #[test]
+    fn root_commits_to_order() {
+        let a = MerkleTree::build(&[b"x".to_vec(), b"y".to_vec()]);
+        let b = MerkleTree::build(&[b"y".to_vec(), b"x".to_vec()]);
+        assert_ne!(a.root(), b.root());
+    }
+
+    #[test]
+    fn leaf_cannot_pretend_to_be_node() {
+        // Build a 2-leaf tree and check that feeding the concatenated child
+        // hashes as a "leaf" yields a different digest (domain separation).
+        let ls = leaves(2);
+        let t = MerkleTree::build(&ls);
+        let l0 = super::leaf_hash(&ls[0]);
+        let l1 = super::leaf_hash(&ls[1]);
+        let mut forged = Vec::new();
+        forged.extend_from_slice(l0.as_bytes());
+        forged.extend_from_slice(l1.as_bytes());
+        assert_ne!(super::leaf_hash(&forged), t.root());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn random_trees_verify(
+            ls in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..20), 1..40),
+            pick in any::<proptest::sample::Index>(),
+        ) {
+            let t = MerkleTree::build(&ls);
+            let i = pick.index(ls.len());
+            let p = t.proof(i);
+            prop_assert!(p.verify(&t.root(), &ls[i], i));
+        }
+
+        #[test]
+        fn proofs_do_not_transfer(
+            ls in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..10), 2..20),
+            pick in any::<proptest::sample::Index>(),
+        ) {
+            let t = MerkleTree::build(&ls);
+            let i = pick.index(ls.len());
+            let j = (i + 1) % ls.len();
+            let p = t.proof(i);
+            // Proof for i must not validate leaf j at position i when the
+            // leaves differ.
+            if ls[i] != ls[j] {
+                prop_assert!(!p.verify(&t.root(), &ls[j], i));
+            }
+        }
+    }
+}

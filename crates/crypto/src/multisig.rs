@@ -1,0 +1,277 @@
+//! Aggregatable multi-signatures with signer bitmaps.
+//!
+//! Section 6.2 of the paper: for system sizes below ~1000 participants,
+//! multi-signatures replace tight threshold signatures with almost no
+//! overhead — the aggregate is appended with an `n`-bit vector identifying
+//! the signers, and the verifier checks both the aggregate and that the
+//! signers hold sufficient *weight*.
+//!
+//! Same simulation discipline as [`crate::thresh`]: `g^x` becomes `x * h`
+//! over `F_{2^61-1}`, so aggregation is the sum of signature scalars and
+//! the verification key of a signer set is the sum of member keys — exactly
+//! the BLS multi-signature algebra.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use swiper_field::{F61, Field};
+
+use crate::error::CryptoError;
+use crate::hash::{digest_parts, digest_to_f61};
+
+fn hash_to_field(msg: &[u8]) -> F61 {
+    let d = digest_parts(&[b"swiper.multisig.h2f", msg]);
+    let x = digest_to_f61(&d);
+    if x.is_zero() {
+        F61::ONE
+    } else {
+        x
+    }
+}
+
+/// A party's signing key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SigningKey(F61);
+
+/// A party's public key (`sk * h`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PublicKey(F61);
+
+/// Common reference: the simulated base point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Base(F61);
+
+/// An individual signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IndividualSignature {
+    /// Index of the signer in the agreed party ordering.
+    pub signer: usize,
+    /// `sk_i * H(m)`.
+    pub value: F61,
+}
+
+/// An aggregate signature plus the signer bitmap.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MultiSignature {
+    /// Sum of the individual signature scalars.
+    pub aggregate: F61,
+    /// `signers[i]` iff party `i` contributed.
+    pub signers: Vec<bool>,
+}
+
+impl MultiSignature {
+    /// Indices of contributing signers.
+    pub fn signer_indices(&self) -> Vec<usize> {
+        self.signers
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Size in bytes: one scalar plus the n-bit vector (the paper's "array
+    /// of n bits" overhead accounting).
+    pub fn size_bytes(&self) -> usize {
+        8 + self.signers.len().div_ceil(8)
+    }
+}
+
+/// Generates the common base point.
+pub fn setup<R: Rng + ?Sized>(rng: &mut R) -> Base {
+    loop {
+        let c = F61::new(rng.random::<u64>());
+        if !c.is_zero() {
+            return Base(c);
+        }
+    }
+}
+
+/// Generates one party's key pair.
+pub fn keygen<R: Rng + ?Sized>(base: &Base, rng: &mut R) -> (SigningKey, PublicKey) {
+    let sk = F61::new(rng.random::<u64>());
+    (SigningKey(sk), PublicKey(sk * base.0))
+}
+
+/// Signs a message.
+pub fn sign(sk: &SigningKey, signer: usize, msg: &[u8]) -> IndividualSignature {
+    IndividualSignature { signer, value: sk.0 * hash_to_field(msg) }
+}
+
+/// Verifies an individual signature.
+pub fn verify_individual(
+    base: &Base,
+    pk: &PublicKey,
+    msg: &[u8],
+    sig: &IndividualSignature,
+) -> bool {
+    sig.value * base.0 == pk.0 * hash_to_field(msg)
+}
+
+/// Aggregates individual signatures over an `n`-party universe.
+///
+/// # Errors
+///
+/// * [`CryptoError::InvalidParameters`] for a signer index `>= n`.
+/// * [`CryptoError::DuplicateShare`] when a signer appears twice.
+pub fn aggregate(n: usize, sigs: &[IndividualSignature]) -> Result<MultiSignature, CryptoError> {
+    let mut signers = vec![false; n];
+    let mut agg = F61::ZERO;
+    for s in sigs {
+        if s.signer >= n {
+            return Err(CryptoError::InvalidParameters {
+                what: format!("signer index {} out of range (n = {n})", s.signer),
+            });
+        }
+        if signers[s.signer] {
+            return Err(CryptoError::DuplicateShare { index: s.signer as u64 });
+        }
+        signers[s.signer] = true;
+        agg = agg + s.value;
+    }
+    Ok(MultiSignature { aggregate: agg, signers })
+}
+
+/// Verifies an aggregate against the public keys of the claimed signers:
+/// `agg * h == (sum of signer pks) * H(m)`.
+pub fn verify_aggregate(
+    base: &Base,
+    pks: &[PublicKey],
+    msg: &[u8],
+    ms: &MultiSignature,
+) -> bool {
+    if ms.signers.len() != pks.len() {
+        return false;
+    }
+    let mut sum_pk = F61::ZERO;
+    for (i, &contributed) in ms.signers.iter().enumerate() {
+        if contributed {
+            sum_pk = sum_pk + pks[i].0;
+        }
+    }
+    ms.aggregate * base.0 == sum_pk * hash_to_field(msg)
+}
+
+/// Checks that the signers of an aggregate hold more than
+/// `threshold_num/threshold_den` of the total weight — the weighted-voting
+/// check the paper appends to multi-signature verification.
+pub fn signers_hold_weight(
+    ms: &MultiSignature,
+    weights: &[u64],
+    threshold_num: u128,
+    threshold_den: u128,
+) -> bool {
+    if weights.len() != ms.signers.len() || threshold_den == 0 {
+        return false;
+    }
+    let total: u128 = weights.iter().map(|&w| u128::from(w)).sum();
+    let signed: u128 = ms
+        .signers
+        .iter()
+        .zip(weights)
+        .filter(|(&s, _)| s)
+        .map(|(_, &w)| u128::from(w))
+        .sum();
+    // signed > threshold * total  <=>  signed * den > num * total
+    signed.checked_mul(threshold_den).zip(threshold_num.checked_mul(total)).is_some_and(
+        |(lhs, rhs)| lhs > rhs,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup_parties(n: usize) -> (Base, Vec<SigningKey>, Vec<PublicKey>) {
+        let mut rng = StdRng::seed_from_u64(9);
+        let base = setup(&mut rng);
+        let mut sks = Vec::new();
+        let mut pks = Vec::new();
+        for _ in 0..n {
+            let (sk, pk) = keygen(&base, &mut rng);
+            sks.push(sk);
+            pks.push(pk);
+        }
+        (base, sks, pks)
+    }
+
+    #[test]
+    fn individual_sign_verify() {
+        let (base, sks, pks) = setup_parties(3);
+        let sig = sign(&sks[1], 1, b"msg");
+        assert!(verify_individual(&base, &pks[1], b"msg", &sig));
+        assert!(!verify_individual(&base, &pks[0], b"msg", &sig));
+        assert!(!verify_individual(&base, &pks[1], b"other", &sig));
+    }
+
+    #[test]
+    fn aggregate_verifies_with_correct_bitmap() {
+        let (base, sks, pks) = setup_parties(5);
+        let msg = b"block-123";
+        let sigs: Vec<IndividualSignature> =
+            [0usize, 2, 4].iter().map(|&i| sign(&sks[i], i, msg)).collect();
+        let ms = aggregate(5, &sigs).unwrap();
+        assert!(verify_aggregate(&base, &pks, msg, &ms));
+        assert_eq!(ms.signer_indices(), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn bitmap_tampering_detected() {
+        let (base, sks, pks) = setup_parties(4);
+        let msg = b"m";
+        let sigs: Vec<IndividualSignature> =
+            [0usize, 1].iter().map(|&i| sign(&sks[i], i, msg)).collect();
+        let mut ms = aggregate(4, &sigs).unwrap();
+        // Claim signer 2 also signed.
+        ms.signers[2] = true;
+        assert!(!verify_aggregate(&base, &pks, msg, &ms));
+        // Drop a real signer from the bitmap.
+        ms.signers[2] = false;
+        ms.signers[1] = false;
+        assert!(!verify_aggregate(&base, &pks, msg, &ms));
+    }
+
+    #[test]
+    fn duplicate_and_out_of_range_rejected() {
+        let (_, sks, _) = setup_parties(3);
+        let s0 = sign(&sks[0], 0, b"m");
+        assert!(matches!(
+            aggregate(3, &[s0, s0]),
+            Err(CryptoError::DuplicateShare { index: 0 })
+        ));
+        let bad = sign(&sks[0], 7, b"m");
+        assert!(matches!(
+            aggregate(3, &[bad]),
+            Err(CryptoError::InvalidParameters { .. })
+        ));
+    }
+
+    #[test]
+    fn weight_check_works() {
+        let (_, sks, _) = setup_parties(4);
+        let msg = b"m";
+        let weights = [10u64, 20, 30, 40];
+        // Signers {2, 3} hold 70/100 > 2/3.
+        let sigs: Vec<IndividualSignature> =
+            [2usize, 3].iter().map(|&i| sign(&sks[i], i, msg)).collect();
+        let ms = aggregate(4, &sigs).unwrap();
+        assert!(signers_hold_weight(&ms, &weights, 2, 3));
+        // Signers {0, 1} hold 30/100 < 2/3.
+        let sigs: Vec<IndividualSignature> =
+            [0usize, 1].iter().map(|&i| sign(&sks[i], i, msg)).collect();
+        let ms = aggregate(4, &sigs).unwrap();
+        assert!(!signers_hold_weight(&ms, &weights, 2, 3));
+        // Exactly at the threshold does not pass a strict check.
+        let sigs: Vec<IndividualSignature> =
+            [1usize, 2].iter().map(|&i| sign(&sks[i], i, msg)).collect();
+        let ms = aggregate(4, &sigs).unwrap();
+        assert!(!signers_hold_weight(&ms, &weights, 1, 2));
+    }
+
+    #[test]
+    fn size_accounting() {
+        let ms = MultiSignature { aggregate: F61::ZERO, signers: vec![false; 100] };
+        assert_eq!(ms.size_bytes(), 8 + 13);
+    }
+}

@@ -1,0 +1,356 @@
+//! Shamir secret sharing over `F_{2^61-1}`, nominal and weighted.
+//!
+//! The weighted variant implements Section 4.1 of the paper verbatim: run
+//! Weight Restriction with `alpha_w := f_w` and `alpha_n <= 1/2`, deal
+//! `T` shares, and hand party `i` its `t_i` shares (one per virtual user).
+//! Honest parties — holding more than `(1 - alpha_n) T >= ceil(alpha_n T)`
+//! shares — can always reconstruct; corrupt parties — holding fewer than
+//! `alpha_n T` — never can.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use swiper_core::{TicketAssignment, VirtualUsers};
+use swiper_field::{poly, F61, Field};
+
+use crate::error::CryptoError;
+
+/// One Shamir share: the polynomial evaluated at `x = index + 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Share {
+    /// Share index in `0..total` (the evaluation point is `index + 1`).
+    pub index: u64,
+    /// The share value `f(index + 1)`.
+    pub value: F61,
+}
+
+/// A `(threshold, total)` Shamir scheme: any `threshold` shares reconstruct,
+/// fewer reveal nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShamirScheme {
+    threshold: usize,
+    total: usize,
+}
+
+impl ShamirScheme {
+    /// Creates a scheme.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::InvalidParameters`] when `threshold == 0` or
+    /// `threshold > total`.
+    pub fn new(threshold: usize, total: usize) -> Result<Self, CryptoError> {
+        if threshold == 0 || threshold > total {
+            return Err(CryptoError::InvalidParameters {
+                what: format!("need 0 < threshold <= total, got {threshold}/{total}"),
+            });
+        }
+        Ok(ShamirScheme { threshold, total })
+    }
+
+    /// Reconstruction threshold.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Total number of shares dealt.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Deals shares of `secret` using fresh randomness.
+    pub fn share<R: Rng + ?Sized>(&self, secret: F61, rng: &mut R) -> Vec<Share> {
+        // f(0) = secret; higher coefficients uniform.
+        let mut coeffs = vec![secret];
+        for _ in 1..self.threshold {
+            coeffs.push(F61::new(rng.random::<u64>()));
+        }
+        (0..self.total)
+            .map(|i| Share {
+                index: i as u64,
+                value: poly::eval(&coeffs, F61::eval_point(i)),
+            })
+            .collect()
+    }
+
+    /// Reconstructs the secret from at least `threshold` distinct shares.
+    ///
+    /// # Errors
+    ///
+    /// * [`CryptoError::NotEnoughShares`] below the threshold.
+    /// * [`CryptoError::DuplicateShare`] on repeated indices.
+    pub fn reconstruct(&self, shares: &[Share]) -> Result<F61, CryptoError> {
+        let use_shares = self.dedup(shares)?;
+        let xs: Vec<F61> =
+            use_shares.iter().map(|s| F61::eval_point(s.index as usize)).collect();
+        let lambdas = poly::lagrange_coefficients(&xs, F61::ZERO);
+        let mut secret = F61::ZERO;
+        for (share, lambda) in use_shares.iter().zip(lambdas) {
+            secret = secret + share.value * lambda;
+        }
+        Ok(secret)
+    }
+
+    /// Reconstructs and additionally checks that **all** provided shares lie
+    /// on one degree `< threshold` polynomial, detecting forged shares
+    /// (with honest majority of the provided set this catches a dealer or
+    /// share forger; it cannot identify *which* share was bad).
+    ///
+    /// # Errors
+    ///
+    /// As [`ShamirScheme::reconstruct`], plus
+    /// [`CryptoError::InconsistentShares`] when a provided share deviates.
+    pub fn reconstruct_checked(&self, shares: &[Share]) -> Result<F61, CryptoError> {
+        let all = self.dedup_all(shares)?;
+        if all.len() < self.threshold {
+            return Err(CryptoError::NotEnoughShares {
+                needed: self.threshold,
+                have: all.len(),
+            });
+        }
+        let pts: Vec<(F61, F61)> = all
+            .iter()
+            .map(|s| (F61::eval_point(s.index as usize), s.value))
+            .collect();
+        let coeffs = poly::interpolate(&pts[..self.threshold]);
+        if poly::degree(&coeffs).is_some_and(|d| d >= self.threshold) {
+            return Err(CryptoError::InconsistentShares);
+        }
+        for &(x, y) in &pts[self.threshold..] {
+            if poly::eval(&coeffs, x) != y {
+                return Err(CryptoError::InconsistentShares);
+            }
+        }
+        Ok(poly::eval(&coeffs, F61::ZERO))
+    }
+
+    fn dedup<'a>(&self, shares: &'a [Share]) -> Result<Vec<&'a Share>, CryptoError> {
+        let all = self.dedup_all(shares)?;
+        if all.len() < self.threshold {
+            return Err(CryptoError::NotEnoughShares { needed: self.threshold, have: all.len() });
+        }
+        Ok(all.into_iter().take(self.threshold).collect())
+    }
+
+    fn dedup_all<'a>(&self, shares: &'a [Share]) -> Result<Vec<&'a Share>, CryptoError> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::with_capacity(shares.len());
+        for s in shares {
+            if !seen.insert(s.index) {
+                return Err(CryptoError::DuplicateShare { index: s.index });
+            }
+            out.push(s);
+        }
+        Ok(out)
+    }
+}
+
+/// Weighted secret sharing via tickets (paper Section 4.1): party `i`
+/// receives the shares of its `t_i` virtual users.
+#[derive(Debug, Clone)]
+pub struct WeightedShamir {
+    scheme: ShamirScheme,
+    mapping: VirtualUsers,
+}
+
+impl WeightedShamir {
+    /// Builds the weighted scheme from a ticket assignment and the nominal
+    /// ticket-threshold `ceil(alpha_n * T)` expressed directly as a share
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::InvalidParameters`] when the threshold is infeasible
+    /// or the assignment is empty.
+    pub fn new(tickets: &TicketAssignment, threshold_shares: usize) -> Result<Self, CryptoError> {
+        let mapping = VirtualUsers::from_assignment(tickets)
+            .map_err(|e| CryptoError::InvalidParameters { what: e.to_string() })?;
+        let scheme = ShamirScheme::new(threshold_shares, mapping.total())?;
+        Ok(WeightedShamir { scheme, mapping })
+    }
+
+    /// The underlying nominal scheme.
+    pub fn scheme(&self) -> &ShamirScheme {
+        &self.scheme
+    }
+
+    /// The virtual-user mapping.
+    pub fn mapping(&self) -> &VirtualUsers {
+        &self.mapping
+    }
+
+    /// Deals the secret; returns per-party share bundles (empty for
+    /// zero-ticket parties).
+    pub fn share<R: Rng + ?Sized>(&self, secret: F61, rng: &mut R) -> Vec<Vec<Share>> {
+        let all = self.scheme.share(secret, rng);
+        (0..self.mapping.parties())
+            .map(|p| self.mapping.virtuals_of(p).map(|v| all[v]).collect())
+            .collect()
+    }
+
+    /// Reconstructs from the pooled shares of a set of parties.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShamirScheme::reconstruct`].
+    pub fn reconstruct_from_parties(
+        &self,
+        bundles: &[(usize, Vec<Share>)],
+    ) -> Result<F61, CryptoError> {
+        let pooled: Vec<Share> =
+            bundles.iter().flat_map(|(_, shares)| shares.iter().copied()).collect();
+        self.scheme.reconstruct(&pooled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use swiper_core::{Ratio, Swiper, Weights, WeightRestriction};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn basic_round_trip() {
+        let scheme = ShamirScheme::new(3, 7).unwrap();
+        let secret = F61::new(0xDEADBEEF);
+        let shares = scheme.share(secret, &mut rng());
+        assert_eq!(scheme.reconstruct(&shares[2..5]).unwrap(), secret);
+        assert_eq!(scheme.reconstruct(&shares).unwrap(), secret);
+    }
+
+    #[test]
+    fn below_threshold_fails() {
+        let scheme = ShamirScheme::new(4, 6).unwrap();
+        let shares = scheme.share(F61::new(42), &mut rng());
+        assert!(matches!(
+            scheme.reconstruct(&shares[..3]),
+            Err(CryptoError::NotEnoughShares { needed: 4, have: 3 })
+        ));
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let scheme = ShamirScheme::new(2, 4).unwrap();
+        let shares = scheme.share(F61::new(42), &mut rng());
+        let dup = vec![shares[0], shares[0], shares[1]];
+        assert!(matches!(
+            scheme.reconstruct(&dup),
+            Err(CryptoError::DuplicateShare { index: 0 })
+        ));
+    }
+
+    #[test]
+    fn any_quorum_reconstructs_same_secret() {
+        let scheme = ShamirScheme::new(3, 6).unwrap();
+        let secret = F61::new(777);
+        let shares = scheme.share(secret, &mut rng());
+        for a in 0..6 {
+            for b in (a + 1)..6 {
+                for c in (b + 1)..6 {
+                    let got = scheme
+                        .reconstruct(&[shares[a], shares[b], shares[c]])
+                        .unwrap();
+                    assert_eq!(got, secret);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn checked_reconstruction_catches_forgery() {
+        let scheme = ShamirScheme::new(3, 6).unwrap();
+        let secret = F61::new(31337);
+        let mut shares = scheme.share(secret, &mut rng());
+        shares[5].value = shares[5].value + F61::ONE;
+        assert!(matches!(
+            scheme.reconstruct_checked(&shares),
+            Err(CryptoError::InconsistentShares)
+        ));
+        // Without the forged share everything is fine.
+        assert_eq!(scheme.reconstruct_checked(&shares[..5]).unwrap(), secret);
+    }
+
+    #[test]
+    fn invalid_parameters() {
+        assert!(ShamirScheme::new(0, 5).is_err());
+        assert!(ShamirScheme::new(6, 5).is_err());
+    }
+
+    #[test]
+    fn weighted_sharing_respects_restriction_guarantee() {
+        // Section 4.1 end-to-end: weights, WR(fw = 1/3, an = 1/2), deal,
+        // then *any* subset with weight >= 2/3 W reconstructs and any subset
+        // with weight < 1/3 W cannot reach the threshold.
+        let weights = Weights::new(vec![50, 30, 10, 5, 3, 2]).unwrap();
+        let params = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2)).unwrap();
+        let sol = Swiper::new().solve_restriction(&weights, &params).unwrap();
+        let total = sol.total_tickets() as usize;
+        let threshold = (total / 2) + 1; // > alpha_n * T = T/2
+        let ws = WeightedShamir::new(&sol.assignment, threshold).unwrap();
+        let secret = F61::new(123_456_789);
+        let bundles = ws.share(secret, &mut rng());
+
+        // The honest-majority subset {0, 1} holds 80/100 weight.
+        let honest: Vec<(usize, Vec<Share>)> =
+            [0usize, 1].iter().map(|&p| (p, bundles[p].clone())).collect();
+        assert_eq!(ws.reconstruct_from_parties(&honest).unwrap(), secret);
+
+        // Adversarial subset {2,3,4,5} holds 20/100 < 1/3: must fail.
+        let corrupt: Vec<(usize, Vec<Share>)> =
+            [2usize, 3, 4, 5].iter().map(|&p| (p, bundles[p].clone())).collect();
+        assert!(matches!(
+            ws.reconstruct_from_parties(&corrupt),
+            Err(CryptoError::NotEnoughShares { .. })
+        ));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn random_quorums_reconstruct(
+            secret in 0u64..u64::MAX,
+            k in 1usize..6,
+            extra in 0usize..5,
+            seed in any::<u64>(),
+        ) {
+            let total = k + extra;
+            let scheme = ShamirScheme::new(k, total).unwrap();
+            let secret = F61::new(secret);
+            let mut r = StdRng::seed_from_u64(seed);
+            let shares = scheme.share(secret, &mut r);
+            prop_assert_eq!(scheme.reconstruct(&shares[extra..]).unwrap(), secret);
+        }
+
+        #[test]
+        fn fewer_than_threshold_shares_are_uniform_consistent(
+            secret_a in 0u64..1000, secret_b in 1001u64..2000, seed in any::<u64>(),
+        ) {
+            // Information-theoretic check (weak form): k-1 shares of secret A
+            // can be extended to a valid sharing of ANY secret B — i.e. the
+            // partial view does not pin down the secret.
+            let scheme = ShamirScheme::new(3, 5).unwrap();
+            let mut r = StdRng::seed_from_u64(seed);
+            let shares = scheme.share(F61::new(secret_a), &mut r);
+            let partial = &shares[..2];
+            // Interpolate a degree-2 polynomial through (0, B) and the two
+            // observed shares: always possible, and it is a valid sharing.
+            let pts = vec![
+                (F61::ZERO, F61::new(secret_b)),
+                (F61::eval_point(partial[0].index as usize), partial[0].value),
+                (F61::eval_point(partial[1].index as usize), partial[1].value),
+            ];
+            let coeffs = swiper_field::poly::interpolate(&pts);
+            prop_assert!(swiper_field::poly::degree(&coeffs).is_none_or(|d| d < 3));
+            prop_assert_eq!(
+                swiper_field::poly::eval(&coeffs, F61::ZERO),
+                F61::new(secret_b)
+            );
+        }
+    }
+}

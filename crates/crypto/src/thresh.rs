@@ -1,0 +1,408 @@
+//! Simulated threshold signatures and threshold encryption.
+//!
+//! **Substitution notice.** The paper instantiates its weighted threshold
+//! primitives with BLS/RSA/Schnorr threshold signatures and ElGamal-style
+//! threshold encryption. None of those are implementable offline without a
+//! pairing/group library, and the paper's claims concern *share
+//! allocation*, not the hardness assumptions. We therefore simulate the
+//! group `g^x` by the field product `x * h` over `F_{2^61-1}`: everything
+//! protocol-visible is preserved —
+//!
+//! * partials combine via Lagrange interpolation exactly like BLS shares
+//!   combine in the exponent;
+//! * partial signatures are verifiable against per-share verification keys
+//!   (`sigma_i * h == vk_i * H(m)`);
+//! * the combined signature is **unique and deterministic**
+//!   (`sigma = s * H(m)`), the property randomness beacons require;
+//! * per-operation cost is one field multiplication per share plus one
+//!   Lagrange combination, mirroring the nominal cost model.
+//!
+//! The scheme is of course forgeable by dividing field elements; see the
+//! crate-level disclaimer.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use swiper_field::{poly, F61, Field};
+
+use crate::error::CryptoError;
+use crate::hash::{digest_parts, digest_to_f61, Digest};
+
+/// Hashes a message into a non-zero field element.
+fn hash_to_field(msg: &[u8]) -> F61 {
+    let d = digest_parts(&[b"swiper.thresh.h2f", msg]);
+    let x = digest_to_f61(&d);
+    if x.is_zero() {
+        F61::ONE
+    } else {
+        x
+    }
+}
+
+/// A share of the signing key (one per virtual user).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KeyShare {
+    /// Share index in `0..total`.
+    pub index: u64,
+    /// Secret scalar share.
+    pub value: F61,
+}
+
+/// Public material: the base point stand-in `h`, the group verification key
+/// and per-share verification keys.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PublicKey {
+    /// Simulated base point (non-zero field element).
+    pub h: F61,
+    /// `s * h` for the group secret `s`.
+    pub group: F61,
+    /// `s_i * h` for each key share.
+    pub per_share: Vec<F61>,
+}
+
+/// A partial signature from one virtual user.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartialSignature {
+    /// Index of the signing share.
+    pub index: u64,
+    /// `s_i * H(m)`.
+    pub value: F61,
+}
+
+/// A combined threshold signature (`s * H(m)` — unique per message).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Signature(pub F61);
+
+impl Signature {
+    /// Deterministic digest of the signature — the beacon output of
+    /// Section 4.1 ("practical randomness beacons ... employ unique
+    /// threshold signatures").
+    pub fn beacon_output(&self) -> Digest {
+        digest_parts(&[b"swiper.thresh.beacon", &self.0.value().to_le_bytes()])
+    }
+}
+
+/// A `(threshold, total)` threshold signature scheme instance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThresholdScheme {
+    threshold: usize,
+    total: usize,
+}
+
+impl ThresholdScheme {
+    /// Creates a scheme where any `threshold` of `total` shares sign.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::InvalidParameters`] when `threshold == 0` or
+    /// `threshold > total`.
+    pub fn new(threshold: usize, total: usize) -> Result<Self, CryptoError> {
+        if threshold == 0 || threshold > total {
+            return Err(CryptoError::InvalidParameters {
+                what: format!("need 0 < threshold <= total, got {threshold}/{total}"),
+            });
+        }
+        Ok(ThresholdScheme { threshold, total })
+    }
+
+    /// Signing threshold.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Total number of key shares.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Trusted-dealer key generation (the setting of Section 4.1; the paper
+    /// also cites DKGs, which live in `swiper-protocols`).
+    pub fn keygen<R: Rng + ?Sized>(&self, rng: &mut R) -> (PublicKey, Vec<KeyShare>) {
+        let secret = F61::new(rng.random::<u64>());
+        let h = loop {
+            let c = F61::new(rng.random::<u64>());
+            if !c.is_zero() {
+                break c;
+            }
+        };
+        // Shamir-share the secret.
+        let mut coeffs = vec![secret];
+        for _ in 1..self.threshold {
+            coeffs.push(F61::new(rng.random::<u64>()));
+        }
+        let shares: Vec<KeyShare> = (0..self.total)
+            .map(|i| KeyShare {
+                index: i as u64,
+                value: poly::eval(&coeffs, F61::eval_point(i)),
+            })
+            .collect();
+        let per_share = shares.iter().map(|ks| ks.value * h).collect();
+        (PublicKey { h, group: secret * h, per_share }, shares)
+    }
+
+    /// Produces a partial signature.
+    pub fn partial_sign(&self, share: &KeyShare, msg: &[u8]) -> PartialSignature {
+        PartialSignature { index: share.index, value: share.value * hash_to_field(msg) }
+    }
+
+    /// Verifies a partial signature against the per-share verification key:
+    /// `sigma_i * h == vk_i * H(m)`.
+    pub fn verify_partial(&self, pk: &PublicKey, msg: &[u8], partial: &PartialSignature) -> bool {
+        let Some(&vk_i) = pk.per_share.get(partial.index as usize) else {
+            return false;
+        };
+        partial.value * pk.h == vk_i * hash_to_field(msg)
+    }
+
+    /// Combines `threshold` distinct valid partials into the unique group
+    /// signature via Lagrange interpolation at zero.
+    ///
+    /// # Errors
+    ///
+    /// * [`CryptoError::NotEnoughShares`] below the threshold.
+    /// * [`CryptoError::DuplicateShare`] on repeated indices.
+    pub fn combine(&self, partials: &[PartialSignature]) -> Result<Signature, CryptoError> {
+        let mut seen = std::collections::HashSet::new();
+        let mut use_partials = Vec::with_capacity(self.threshold);
+        for p in partials {
+            if !seen.insert(p.index) {
+                return Err(CryptoError::DuplicateShare { index: p.index });
+            }
+            if use_partials.len() < self.threshold {
+                use_partials.push(*p);
+            }
+        }
+        if use_partials.len() < self.threshold {
+            return Err(CryptoError::NotEnoughShares {
+                needed: self.threshold,
+                have: use_partials.len(),
+            });
+        }
+        let xs: Vec<F61> =
+            use_partials.iter().map(|p| F61::eval_point(p.index as usize)).collect();
+        let lambdas = poly::lagrange_coefficients(&xs, F61::ZERO);
+        let mut sig = F61::ZERO;
+        for (p, l) in use_partials.iter().zip(lambdas) {
+            sig = sig + p.value * l;
+        }
+        Ok(Signature(sig))
+    }
+
+    /// Verifies a combined signature: `sigma * h == group_vk * H(m)`.
+    pub fn verify(&self, pk: &PublicKey, msg: &[u8], sig: &Signature) -> bool {
+        sig.0 * pk.h == pk.group * hash_to_field(msg)
+    }
+}
+
+/// A threshold-encrypted ciphertext (simulated ElGamal).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ciphertext {
+    /// `r * h`.
+    pub c1: F61,
+    /// `payload XOR KDF(r * group_vk)`.
+    pub masked: Vec<u8>,
+}
+
+/// A decryption share `s_i * c1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecryptionShare {
+    /// Index of the contributing key share.
+    pub index: u64,
+    /// `s_i * c1`.
+    pub value: F61,
+}
+
+fn kdf(x: F61, len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    let mut counter = 0u64;
+    while out.len() < len {
+        let d = digest_parts(&[
+            b"swiper.thresh.kdf",
+            &x.value().to_le_bytes(),
+            &counter.to_le_bytes(),
+        ]);
+        out.extend_from_slice(d.as_bytes());
+        counter += 1;
+    }
+    out.truncate(len);
+    out
+}
+
+impl ThresholdScheme {
+    /// Encrypts to the group key.
+    pub fn encrypt<R: Rng + ?Sized>(
+        &self,
+        pk: &PublicKey,
+        payload: &[u8],
+        rng: &mut R,
+    ) -> Ciphertext {
+        let r = F61::new(rng.random::<u64>());
+        let mask = kdf(r * pk.group, payload.len());
+        let masked = payload.iter().zip(mask).map(|(b, m)| b ^ m).collect();
+        Ciphertext { c1: r * pk.h, masked }
+    }
+
+    /// Produces a decryption share.
+    pub fn decryption_share(&self, share: &KeyShare, ct: &Ciphertext) -> DecryptionShare {
+        DecryptionShare { index: share.index, value: share.value * ct.c1 }
+    }
+
+    /// Combines `threshold` decryption shares and unmasks the payload.
+    ///
+    /// Note `s * c1 = s * r * h = r * group_vk`, matching the encryption
+    /// mask.
+    ///
+    /// # Errors
+    ///
+    /// As [`ThresholdScheme::combine`].
+    pub fn decrypt(
+        &self,
+        ct: &Ciphertext,
+        shares: &[DecryptionShare],
+    ) -> Result<Vec<u8>, CryptoError> {
+        let mut seen = std::collections::HashSet::new();
+        let mut use_shares = Vec::with_capacity(self.threshold);
+        for s in shares {
+            if !seen.insert(s.index) {
+                return Err(CryptoError::DuplicateShare { index: s.index });
+            }
+            if use_shares.len() < self.threshold {
+                use_shares.push(*s);
+            }
+        }
+        if use_shares.len() < self.threshold {
+            return Err(CryptoError::NotEnoughShares {
+                needed: self.threshold,
+                have: use_shares.len(),
+            });
+        }
+        let xs: Vec<F61> =
+            use_shares.iter().map(|s| F61::eval_point(s.index as usize)).collect();
+        let lambdas = poly::lagrange_coefficients(&xs, F61::ZERO);
+        let mut combined = F61::ZERO;
+        for (s, l) in use_shares.iter().zip(lambdas) {
+            combined = combined + s.value * l;
+        }
+        let mask = kdf(combined, ct.masked.len());
+        Ok(ct.masked.iter().zip(mask).map(|(b, m)| b ^ m).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xBEA_C04)
+    }
+
+    #[test]
+    fn sign_combine_verify() {
+        let scheme = ThresholdScheme::new(3, 7).unwrap();
+        let (pk, shares) = scheme.keygen(&mut rng());
+        let msg = b"round-42";
+        let partials: Vec<PartialSignature> =
+            shares[2..5].iter().map(|s| scheme.partial_sign(s, msg)).collect();
+        for p in &partials {
+            assert!(scheme.verify_partial(&pk, msg, p));
+        }
+        let sig = scheme.combine(&partials).unwrap();
+        assert!(scheme.verify(&pk, msg, &sig));
+        assert!(!scheme.verify(&pk, b"round-43", &sig));
+    }
+
+    #[test]
+    fn signature_is_unique_across_quorums() {
+        // The uniqueness property beacons need: ANY quorum combines to the
+        // same signature.
+        let scheme = ThresholdScheme::new(2, 5).unwrap();
+        let (_, shares) = scheme.keygen(&mut rng());
+        let msg = b"beacon-epoch-7";
+        let all: Vec<PartialSignature> =
+            shares.iter().map(|s| scheme.partial_sign(s, msg)).collect();
+        let mut sigs = std::collections::HashSet::new();
+        for a in 0..5 {
+            for b in (a + 1)..5 {
+                sigs.insert(scheme.combine(&[all[a], all[b]]).unwrap());
+            }
+        }
+        assert_eq!(sigs.len(), 1, "all quorums agree on one signature");
+        // And the derived beacon output is deterministic.
+        let s = sigs.into_iter().next().unwrap();
+        assert_eq!(s.beacon_output(), s.beacon_output());
+    }
+
+    #[test]
+    fn forged_partial_detected() {
+        let scheme = ThresholdScheme::new(2, 4).unwrap();
+        let (pk, shares) = scheme.keygen(&mut rng());
+        let msg = b"m";
+        let mut p = scheme.partial_sign(&shares[1], msg);
+        p.value = p.value + F61::ONE;
+        assert!(!scheme.verify_partial(&pk, msg, &p));
+        // Out-of-range index is rejected too.
+        let q = PartialSignature { index: 99, value: p.value };
+        assert!(!scheme.verify_partial(&pk, msg, &q));
+    }
+
+    #[test]
+    fn combine_guards() {
+        let scheme = ThresholdScheme::new(3, 5).unwrap();
+        let (_, shares) = scheme.keygen(&mut rng());
+        let msg = b"m";
+        let p0 = scheme.partial_sign(&shares[0], msg);
+        let p1 = scheme.partial_sign(&shares[1], msg);
+        assert!(matches!(
+            scheme.combine(&[p0, p1]),
+            Err(CryptoError::NotEnoughShares { needed: 3, have: 2 })
+        ));
+        assert!(matches!(
+            scheme.combine(&[p0, p0, p1]),
+            Err(CryptoError::DuplicateShare { index: 0 })
+        ));
+    }
+
+    #[test]
+    fn encryption_round_trip() {
+        let scheme = ThresholdScheme::new(3, 6).unwrap();
+        let (pk, shares) = scheme.keygen(&mut rng());
+        let payload = b"the nuclear launch codes are 0000";
+        let ct = scheme.encrypt(&pk, payload, &mut rng());
+        assert_ne!(ct.masked, payload.to_vec(), "ciphertext must differ");
+        let dshares: Vec<DecryptionShare> =
+            shares[3..6].iter().map(|s| scheme.decryption_share(s, &ct)).collect();
+        assert_eq!(scheme.decrypt(&ct, &dshares).unwrap(), payload.to_vec());
+    }
+
+    #[test]
+    fn below_threshold_decryption_fails() {
+        let scheme = ThresholdScheme::new(4, 6).unwrap();
+        let (pk, shares) = scheme.keygen(&mut rng());
+        let ct = scheme.encrypt(&pk, b"secret", &mut rng());
+        let dshares: Vec<DecryptionShare> =
+            shares[..3].iter().map(|s| scheme.decryption_share(s, &ct)).collect();
+        assert!(scheme.decrypt(&ct, &dshares).is_err());
+    }
+
+    #[test]
+    fn wrong_share_set_decrypts_to_garbage_not_panic() {
+        let scheme = ThresholdScheme::new(2, 4).unwrap();
+        let (pk, shares) = scheme.keygen(&mut rng());
+        let ct = scheme.encrypt(&pk, b"hello", &mut rng());
+        let mut bad = scheme.decryption_share(&shares[0], &ct);
+        bad.value = bad.value + F61::ONE;
+        let good = scheme.decryption_share(&shares[1], &ct);
+        let out = scheme.decrypt(&ct, &[bad, good]).unwrap();
+        assert_ne!(out, b"hello".to_vec());
+    }
+
+    #[test]
+    fn empty_payload_encrypts() {
+        let scheme = ThresholdScheme::new(1, 2).unwrap();
+        let (pk, shares) = scheme.keygen(&mut rng());
+        let ct = scheme.encrypt(&pk, b"", &mut rng());
+        let d = scheme.decryption_share(&shares[0], &ct);
+        assert_eq!(scheme.decrypt(&ct, &[d]).unwrap(), Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,67 @@
+//! Error types for the codec crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by encoding/decoding operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodeError {
+    /// Invalid `(k, m)` parameters (`k == 0`, `k > m`, or `m` too large for
+    /// the field).
+    InvalidParameters {
+        /// Human-readable description.
+        what: String,
+    },
+    /// Not enough fragments available to reconstruct.
+    NotEnoughFragments {
+        /// Fragments required.
+        needed: usize,
+        /// Fragments available.
+        have: usize,
+    },
+    /// Error decoding failed (more corruptions than the error budget, or an
+    /// inconsistent fragment set).
+    DecodingFailed,
+    /// A fragment index is out of range or duplicated.
+    BadFragmentIndex {
+        /// The offending index.
+        index: usize,
+    },
+    /// Byte payload does not match the expected shard layout.
+    MalformedShard,
+}
+
+impl fmt::Display for CodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodeError::InvalidParameters { what } => write!(f, "invalid code parameters: {what}"),
+            CodeError::NotEnoughFragments { needed, have } => {
+                write!(f, "not enough fragments: need {needed}, have {have}")
+            }
+            CodeError::DecodingFailed => write!(f, "decoding failed"),
+            CodeError::BadFragmentIndex { index } => write!(f, "bad fragment index {index}"),
+            CodeError::MalformedShard => write!(f, "malformed shard payload"),
+        }
+    }
+}
+
+impl Error for CodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            CodeError::InvalidParameters { what: "k > m".into() },
+            CodeError::NotEnoughFragments { needed: 3, have: 1 },
+            CodeError::DecodingFailed,
+            CodeError::BadFragmentIndex { index: 9 },
+            CodeError::MalformedShard,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

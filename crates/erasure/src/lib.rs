@@ -1,0 +1,34 @@
+//! # swiper-erasure — Reed–Solomon erasure and error-correcting codes
+//!
+//! Substrate for the weighted storage/broadcast protocols of the Swiper
+//! paper (Sections 5.1–5.2):
+//!
+//! * [`ReedSolomon`] — a systematic `(k, m)` code over any
+//!   [`swiper_field::Field`]: any `k` of the `m` fragments reconstruct the
+//!   data (erasure decoding via Lagrange interpolation), and with
+//!   `k + 2e` fragments up to `e` *corrupted* fragments can be corrected
+//!   (error decoding via the Welch–Berlekamp rational-interpolation method).
+//! * [`OnlineDecoder`] — the *online error correction* loop of
+//!   Das–Xiang–Ren (reference \[27\] of the paper): repeatedly attempt
+//!   decoding as fragments trickle in, raising the error budget `e` until a
+//!   candidate passes an external integrity check (hash).
+//! * [`shards`] — byte-oriented convenience layer: split a blob into `m`
+//!   shards over `GF(2^8)` (up to 255 fragments) or `F_{2^61-1}` (billions
+//!   of fragments — ticket counts exceed 255 routinely).
+//!
+//! The weighted protocols choose `(k, m) = (ceil(beta_n * T), T)` where `T`
+//! is the ticket total produced by Weight Qualification — that choice is
+//! exactly what Section 5 of the paper derives.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod linalg;
+mod online;
+mod rs;
+pub mod shards;
+
+pub use error::CodeError;
+pub use online::OnlineDecoder;
+pub use rs::{DecodeOutcome, ReedSolomon};

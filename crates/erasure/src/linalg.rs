@@ -1,0 +1,155 @@
+//! Dense linear algebra over a generic field — just enough Gaussian
+//! elimination for Welch–Berlekamp decoding.
+
+use swiper_field::Field;
+
+/// Solves `A x = b` for square `A` by Gaussian elimination with partial
+/// pivoting (any non-zero pivot works over a field).
+///
+/// Rank-deficient systems are handled by assigning zero to free variables;
+/// the candidate is verified against the original system and `None` is
+/// returned when inconsistent.
+///
+/// # Panics
+///
+/// Panics if `a` is not square or `b` has mismatched length.
+#[allow(clippy::needless_range_loop)] // index-centric Gaussian elimination
+pub fn solve<F: Field>(a: &[Vec<F>], b: &[F]) -> Option<Vec<F>> {
+    let n = a.len();
+    assert!(a.iter().all(|row| row.len() == n), "matrix must be square");
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    let mut m: Vec<Vec<F>> = a
+        .iter()
+        .zip(b)
+        .map(|(row, &rhs)| {
+            let mut r = row.clone();
+            r.push(rhs);
+            r
+        })
+        .collect();
+
+    let mut pivot_of_col: Vec<Option<usize>> = vec![None; n];
+    let mut row = 0;
+    for col in 0..n {
+        // Find a pivot at or below `row`.
+        let Some(p) = (row..n).find(|&r| !m[r][col].is_zero()) else {
+            continue;
+        };
+        m.swap(row, p);
+        let inv = m[row][col].inv().expect("pivot is non-zero");
+        for j in col..=n {
+            m[row][j] = m[row][j] * inv;
+        }
+        for r in 0..n {
+            if r != row && !m[r][col].is_zero() {
+                let factor = m[r][col];
+                for j in col..=n {
+                    let sub = factor * m[row][j];
+                    m[r][j] = m[r][j] - sub;
+                }
+            }
+        }
+        pivot_of_col[col] = Some(row);
+        row += 1;
+        if row == n {
+            break;
+        }
+    }
+
+    // Back-substitute: pivot columns take the reduced rhs, free columns 0.
+    let mut x = vec![F::ZERO; n];
+    for col in 0..n {
+        if let Some(r) = pivot_of_col[col] {
+            x[col] = m[r][n];
+        }
+    }
+    // Verify (covers the rank-deficient/inconsistent case).
+    for (row_a, &rhs) in a.iter().zip(b) {
+        let mut acc = F::ZERO;
+        for (j, &coeff) in row_a.iter().enumerate() {
+            acc = acc + coeff * x[j];
+        }
+        if acc != rhs {
+            return None;
+        }
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use swiper_field::F61;
+
+    fn f(v: u64) -> F61 {
+        F61::new(v)
+    }
+
+    #[test]
+    fn solves_2x2() {
+        // x + y = 5; x - y = 1  ->  x = 3, y = 2.
+        let a = vec![vec![f(1), f(1)], vec![f(1), -f(1)]];
+        let b = vec![f(5), f(1)];
+        assert_eq!(solve(&a, &b).unwrap(), vec![f(3), f(2)]);
+    }
+
+    #[test]
+    fn detects_inconsistent() {
+        // x + y = 1; x + y = 2.
+        let a = vec![vec![f(1), f(1)], vec![f(1), f(1)]];
+        assert!(solve(&a, &[f(1), f(2)]).is_none());
+    }
+
+    #[test]
+    fn underdetermined_consistent_picks_a_solution() {
+        // x + y = 3 (twice): free variable set to zero -> x = 3, y = 0.
+        let a = vec![vec![f(1), f(1)], vec![f(1), f(1)]];
+        let x = solve(&a, &[f(3), f(3)]).unwrap();
+        assert_eq!(x[0] + x[1], f(3));
+    }
+
+    #[test]
+    fn identity_matrix() {
+        let n = 5;
+        let a: Vec<Vec<F61>> = (0..n)
+            .map(|i| (0..n).map(|j| if i == j { F61::ONE } else { F61::ZERO }).collect())
+            .collect();
+        let b: Vec<F61> = (0..n as u64).map(f).collect();
+        assert_eq!(solve(&a, &b).unwrap(), b);
+    }
+
+    proptest! {
+        #[test]
+        fn random_invertible_systems_round_trip(
+            seed in proptest::collection::vec(1u64..1_000_000, 9),
+            xs in proptest::collection::vec(0u64..1_000_000, 3),
+        ) {
+            // Build A from the seed; skip singular draws by checking the
+            // verification path (solve returns Some iff consistent).
+            let a: Vec<Vec<F61>> = (0..3)
+                .map(|i| (0..3).map(|j| f(seed[i * 3 + j])).collect())
+                .collect();
+            let x: Vec<F61> = xs.into_iter().map(f).collect();
+            let b: Vec<F61> = (0..3)
+                .map(|i| {
+                    let mut acc = F61::ZERO;
+                    for j in 0..3 {
+                        acc = acc + a[i][j] * x[j];
+                    }
+                    acc
+                })
+                .collect();
+            // A x = b is consistent by construction, so solve must succeed
+            // and its answer must satisfy the system.
+            let got = solve(&a, &b).expect("consistent system");
+            for i in 0..3 {
+                let mut acc = F61::ZERO;
+                for j in 0..3 {
+                    acc = acc + a[i][j] * got[j];
+                }
+                prop_assert_eq!(acc, b[i]);
+            }
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Online error correction (paper Section 5.2; Das–Xiang–Ren, reference
+//! \[27\]).
+//!
+//! A party reconstructing a disseminated blob holds a cryptographic hash of
+//! the data and solicits fragments from everyone. Fragments from Byzantine
+//! parties may be garbage, so the decoder repeatedly attempts
+//! Welch–Berlekamp decoding with an increasing error budget `e` — attempting
+//! whenever `k + 2e` fragments are available — and accepts the first
+//! candidate passing the integrity check. With `k = t + 1`, `m = n = 3t+1`
+//! in the nominal setting (or the WQ-derived `(ceil(beta_n T), T)` in the
+//! weighted one), all honest fragments plus `e <= t` malicious ones always
+//! suffice: `2t + 1 + e >= k + 2e`.
+
+use swiper_field::Field;
+
+use crate::error::CodeError;
+use crate::rs::ReedSolomon;
+
+/// Incremental decoder implementing online error correction.
+///
+/// # Examples
+///
+/// ```
+/// use swiper_erasure::{OnlineDecoder, ReedSolomon};
+/// use swiper_field::F61;
+///
+/// # fn main() -> Result<(), swiper_erasure::CodeError> {
+/// let rs: ReedSolomon<F61> = ReedSolomon::new(2, 7)?;
+/// let msg = vec![F61::new(5), F61::new(9)];
+/// let frags = rs.encode(&msg)?;
+/// let mut dec = OnlineDecoder::new(rs);
+///
+/// dec.add_fragment(0, F61::new(777))?;          // a Byzantine fragment
+/// for i in 1..5 {
+///     dec.add_fragment(i, frags[i])?;           // honest fragments
+/// }
+/// let got = dec.try_decode(|cand| cand == msg.as_slice()).expect("decodes");
+/// assert_eq!(got, msg);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct OnlineDecoder<F> {
+    rs: ReedSolomon<F>,
+    fragments: Vec<Option<F>>,
+    received: usize,
+    attempts: usize,
+}
+
+impl<F: Field> OnlineDecoder<F> {
+    /// Wraps a codec.
+    pub fn new(rs: ReedSolomon<F>) -> Self {
+        let m = rs.m();
+        OnlineDecoder { rs, fragments: vec![None; m], received: 0, attempts: 0 }
+    }
+
+    /// Records fragment `index`. The first write wins; replays are ignored
+    /// (a Byzantine sender cannot overwrite an honest fragment).
+    ///
+    /// # Errors
+    ///
+    /// [`CodeError::BadFragmentIndex`] for an out-of-range index.
+    pub fn add_fragment(&mut self, index: usize, value: F) -> Result<(), CodeError> {
+        if index >= self.fragments.len() {
+            return Err(CodeError::BadFragmentIndex { index });
+        }
+        if self.fragments[index].is_none() {
+            self.fragments[index] = Some(value);
+            self.received += 1;
+        }
+        Ok(())
+    }
+
+    /// Number of distinct fragments recorded so far.
+    pub fn received(&self) -> usize {
+        self.received
+    }
+
+    /// Total decode attempts made (the paper's computation-overhead metric
+    /// counts these).
+    pub fn attempts(&self) -> usize {
+        self.attempts
+    }
+
+    /// Attempts reconstruction with every feasible error budget
+    /// `e = 0, 1, ...` (`k + 2e <= received`), returning the first candidate
+    /// accepted by `check` (e.g. a hash comparison).
+    ///
+    /// Returns `None` when no feasible budget yields an accepted candidate —
+    /// call again after more fragments arrive.
+    pub fn try_decode<C>(&mut self, check: C) -> Option<Vec<F>>
+    where
+        C: Fn(&[F]) -> bool,
+    {
+        let k = self.rs.k();
+        if self.received < k {
+            return None;
+        }
+        let max_e = (self.received - k) / 2;
+        for e in 0..=max_e {
+            self.attempts += 1;
+            if let Ok(out) = self.rs.decode_errors(&self.fragments, e) {
+                if check(&out.message) {
+                    return Some(out.message);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+    use swiper_field::F61;
+
+    fn setup(k: usize, m: usize, msg_vals: &[u64]) -> (ReedSolomon<F61>, Vec<F61>, Vec<F61>) {
+        let rs: ReedSolomon<F61> = ReedSolomon::new(k, m).unwrap();
+        let msg: Vec<F61> = msg_vals.iter().map(|&v| F61::new(v)).collect();
+        let frags = rs.encode(&msg).unwrap();
+        (rs, msg, frags)
+    }
+
+    #[test]
+    fn decodes_without_errors_at_k_fragments() {
+        let (rs, msg, frags) = setup(3, 10, &[1, 2, 3]);
+        let mut dec = OnlineDecoder::new(rs);
+        for i in 0..3 {
+            dec.add_fragment(i, frags[i]).unwrap();
+        }
+        let got = dec.try_decode(|c| c == msg.as_slice()).unwrap();
+        assert_eq!(got, msg);
+        assert_eq!(dec.attempts(), 1);
+    }
+
+    #[test]
+    fn rides_out_byzantine_fragments() {
+        // n = 3t+1 = 10, t = 3, k = t+1 = 4: the [27] instantiation.
+        let (rs, msg, frags) = setup(4, 10, &[7, 8, 9, 10]);
+        let mut dec = OnlineDecoder::new(rs);
+        // Adversary speaks first with 3 garbage fragments.
+        for i in 0..3 {
+            dec.add_fragment(i, F61::new(666 + i as u64)).unwrap();
+        }
+        // Honest fragments arrive one by one; decode as soon as possible.
+        let mut decoded = None;
+        for i in 3..10 {
+            dec.add_fragment(i, frags[i]).unwrap();
+            if let Some(got) = dec.try_decode(|c| c == msg.as_slice()) {
+                decoded = Some((i, got));
+                break;
+            }
+        }
+        let (at, got) = decoded.expect("must decode after all honest fragments");
+        assert_eq!(got, msg);
+        // Needs k + 2e = 4 + 6 = 10 fragments when all 3 corruptions landed
+        // among the first k + 2e; with 3 garbage + 7 honest = 10 total.
+        assert_eq!(at, 9);
+    }
+
+    #[test]
+    fn wrong_hash_rejects_candidates() {
+        let (rs, _msg, frags) = setup(2, 6, &[4, 5]);
+        let mut dec = OnlineDecoder::new(rs);
+        for (i, &f) in frags.iter().enumerate() {
+            dec.add_fragment(i, f).unwrap();
+        }
+        // A check that never accepts: decoder must return None, not panic.
+        assert!(dec.try_decode(|_| false).is_none());
+        assert!(dec.attempts() >= 1);
+    }
+
+    #[test]
+    fn duplicate_and_bad_indices() {
+        let (rs, _msg, frags) = setup(2, 4, &[1, 2]);
+        let mut dec = OnlineDecoder::new(rs);
+        dec.add_fragment(1, frags[1]).unwrap();
+        dec.add_fragment(1, F61::new(999)).unwrap(); // ignored replay
+        assert_eq!(dec.received(), 1);
+        assert!(dec.add_fragment(4, frags[0]).is_err());
+    }
+
+    #[test]
+    fn insufficient_fragments_return_none() {
+        let (rs, msg, frags) = setup(3, 6, &[1, 2, 3]);
+        let mut dec = OnlineDecoder::new(rs);
+        dec.add_fragment(0, frags[0]).unwrap();
+        assert!(dec.try_decode(|c| c == msg.as_slice()).is_none());
+        assert_eq!(dec.attempts(), 0, "no attempt below k fragments");
+    }
+}

@@ -1,0 +1,471 @@
+//! Systematic Reed–Solomon codes, generic over the field.
+//!
+//! The message is a vector of `k` field elements; the codeword is the
+//! evaluation of the unique interpolating polynomial of degree `< k` at `m`
+//! standard points, the first `k` of which carry the message verbatim
+//! (systematic form). Erasure decoding interpolates through any `k`
+//! surviving fragments; error decoding uses Welch–Berlekamp.
+
+use swiper_field::{poly, Field};
+
+use crate::error::CodeError;
+use crate::linalg;
+
+/// The result of an error-correcting decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeOutcome<F> {
+    /// The recovered message (`k` symbols).
+    pub message: Vec<F>,
+    /// Indices of fragments identified as corrupted.
+    pub corrected: Vec<usize>,
+}
+
+/// A systematic `(k, m)` Reed–Solomon code over field `F`.
+///
+/// # Examples
+///
+/// ```
+/// use swiper_erasure::ReedSolomon;
+/// use swiper_field::F61;
+///
+/// # fn main() -> Result<(), swiper_erasure::CodeError> {
+/// let rs: ReedSolomon<F61> = ReedSolomon::new(3, 7)?;
+/// let msg: Vec<F61> = [10u64, 20, 30].iter().map(|&v| F61::new(v)).collect();
+/// let frags = rs.encode(&msg)?;
+///
+/// // Lose any 4 fragments and reconstruct from the remaining 3.
+/// let mut partial: Vec<Option<F61>> = frags.iter().map(|&f| Some(f)).collect();
+/// partial[0] = None; partial[2] = None; partial[4] = None; partial[6] = None;
+/// assert_eq!(rs.decode_erasures(&partial)?, msg);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReedSolomon<F> {
+    k: usize,
+    m: usize,
+    /// Cached evaluation points `x_0..x_{m-1}`.
+    points: Vec<F>,
+}
+
+impl<F: Field> ReedSolomon<F> {
+    /// Creates a `(k, m)` code: `m` fragments, any `k` reconstruct.
+    ///
+    /// # Errors
+    ///
+    /// [`CodeError::InvalidParameters`] when `k == 0`, `k > m`, or the field
+    /// has fewer than `m` distinct non-zero points.
+    pub fn new(k: usize, m: usize) -> Result<Self, CodeError> {
+        if k == 0 || k > m {
+            return Err(CodeError::InvalidParameters {
+                what: format!("need 0 < k <= m, got k={k}, m={m}"),
+            });
+        }
+        if (m as u128) + 1 > F::ORDER {
+            return Err(CodeError::InvalidParameters {
+                what: format!("field of order {} cannot host {m} fragments", F::ORDER),
+            });
+        }
+        let points = (0..m).map(F::eval_point).collect();
+        Ok(ReedSolomon { k, m, points })
+    }
+
+    /// Reconstruction threshold `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Total number of fragments `m`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Code rate `k / m` as an `(k, m)` pair (exact).
+    pub fn rate(&self) -> (usize, usize) {
+        (self.k, self.m)
+    }
+
+    /// Encodes a `k`-symbol message into `m` fragments (systematic: the
+    /// first `k` fragments equal the message).
+    ///
+    /// # Errors
+    ///
+    /// [`CodeError::InvalidParameters`] when `message.len() != k`.
+    pub fn encode(&self, message: &[F]) -> Result<Vec<F>, CodeError> {
+        if message.len() != self.k {
+            return Err(CodeError::InvalidParameters {
+                what: format!("message length {} != k = {}", message.len(), self.k),
+            });
+        }
+        // Interpolate the degree < k polynomial through the first k points.
+        let pts: Vec<(F, F)> =
+            self.points[..self.k].iter().copied().zip(message.iter().copied()).collect();
+        let coeffs = poly::interpolate(&pts);
+        let mut frags = message.to_vec();
+        for &x in &self.points[self.k..] {
+            frags.push(poly::eval(&coeffs, x));
+        }
+        Ok(frags)
+    }
+
+    /// Decodes from fragments with *erasures only*: `fragments[i]` is
+    /// `Some` when fragment `i` was received. Any `k` fragments suffice.
+    ///
+    /// # Errors
+    ///
+    /// * [`CodeError::InvalidParameters`] on length mismatch.
+    /// * [`CodeError::NotEnoughFragments`] with fewer than `k` fragments.
+    pub fn decode_erasures(&self, fragments: &[Option<F>]) -> Result<Vec<F>, CodeError> {
+        let pts = self.present(fragments)?;
+        let use_pts = &pts[..self.k];
+        // Fast path: if the first k fragments are all present they ARE the
+        // message (systematic code).
+        if use_pts.iter().enumerate().all(|(i, &(x, _))| x == self.points[i]) {
+            return Ok(use_pts.iter().map(|&(_, y)| y).collect());
+        }
+        let coeffs = poly::interpolate(use_pts);
+        Ok(self.message_from_coeffs(&coeffs))
+    }
+
+    /// Like [`ReedSolomon::decode_erasures`] but additionally verifies that
+    /// **all** received fragments are consistent with the reconstruction,
+    /// turning silent corruption into [`CodeError::DecodingFailed`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ReedSolomon::decode_erasures`], plus [`CodeError::DecodingFailed`]
+    /// when any received fragment disagrees with the interpolation.
+    pub fn decode_erasures_checked(&self, fragments: &[Option<F>]) -> Result<Vec<F>, CodeError> {
+        let pts = self.present(fragments)?;
+        let coeffs = poly::interpolate(&pts[..self.k]);
+        if poly::degree(&coeffs).is_some_and(|d| d >= self.k) {
+            return Err(CodeError::DecodingFailed);
+        }
+        for &(x, y) in &pts[self.k..] {
+            if poly::eval(&coeffs, x) != y {
+                return Err(CodeError::DecodingFailed);
+            }
+        }
+        Ok(self.message_from_coeffs(&coeffs))
+    }
+
+    /// Welch–Berlekamp decoding tolerating up to `max_errors` corrupted
+    /// fragments among the received ones. Requires at least
+    /// `k + 2 * max_errors` received fragments; uses exactly that many (the
+    /// first ones in index order).
+    ///
+    /// # Errors
+    ///
+    /// * [`CodeError::NotEnoughFragments`] with fewer than `k + 2e`.
+    /// * [`CodeError::DecodingFailed`] when more than `max_errors` of the
+    ///   used fragments are corrupt (or the fragment set is inconsistent).
+    pub fn decode_errors(
+        &self,
+        fragments: &[Option<F>],
+        max_errors: usize,
+    ) -> Result<DecodeOutcome<F>, CodeError> {
+        let pts = self.present(fragments)?;
+        let needed = self.k + 2 * max_errors;
+        if pts.len() < needed {
+            return Err(CodeError::NotEnoughFragments { needed, have: pts.len() });
+        }
+        let use_pts = &pts[..needed];
+        let p_coeffs = if max_errors == 0 {
+            poly::interpolate(&pts[..self.k])
+        } else {
+            self.welch_berlekamp(use_pts, max_errors)?
+        };
+        if poly::degree(&p_coeffs).is_some_and(|d| d >= self.k) {
+            return Err(CodeError::DecodingFailed);
+        }
+        // The error budget applies to the solve window; a wrong window
+        // solution shows up as > e mismatches there.
+        let in_window =
+            use_pts.iter().filter(|&&(x, y)| poly::eval(&p_coeffs, x) != y).count();
+        if in_window > max_errors {
+            return Err(CodeError::DecodingFailed);
+        }
+        // Report every received fragment inconsistent with the decoded
+        // polynomial (inside or outside the window).
+        let corrected: Vec<usize> = pts
+            .iter()
+            .filter(|&&(x, y)| poly::eval(&p_coeffs, x) != y)
+            .map(|&(x, _)| self.index_of_point(x))
+            .collect();
+        Ok(DecodeOutcome { message: self.message_from_coeffs(&p_coeffs), corrected })
+    }
+
+    /// Solves the Welch–Berlekamp key equation on exactly `k + 2e` points,
+    /// returning the message polynomial `P = Q / E`.
+    fn welch_berlekamp(&self, use_pts: &[(F, F)], e: usize) -> Result<Vec<F>, CodeError> {
+        let nq = self.k + e; // unknown coefficients of Q = P * E
+        let nvars = nq + e; // plus e non-monic coefficients of E
+        // Equation per point: Q(x) - y * (E(x) - x^e) = y * x^e
+        //   sum_j q_j x^j - y * sum_{j<e} e_j x^j = y * x^e.
+        let mut a = Vec::with_capacity(use_pts.len());
+        let mut b = Vec::with_capacity(use_pts.len());
+        for &(x, y) in use_pts {
+            let mut row = vec![F::ZERO; nvars];
+            let mut xp = F::ONE;
+            for q_col in row.iter_mut().take(nq) {
+                *q_col = xp;
+                xp = xp * x;
+            }
+            let mut xp = F::ONE;
+            for j in 0..e {
+                row[nq + j] = -(y * xp);
+                xp = xp * x;
+            }
+            // x^e:
+            let xe = x.pow(e as u64);
+            a.push(row);
+            b.push(y * xe);
+        }
+        // Square system: nvars = k + 2e = #points used.
+        let x = linalg::solve(&a, &b).ok_or(CodeError::DecodingFailed)?;
+        let q_coeffs: Vec<F> = x[..nq].to_vec();
+        let mut e_coeffs: Vec<F> = x[nq..].to_vec();
+        e_coeffs.push(F::ONE); // monic x^e term
+
+        let (p_coeffs, rem) = poly::div_rem(&q_coeffs, &e_coeffs);
+        if !rem.is_empty() {
+            return Err(CodeError::DecodingFailed);
+        }
+        Ok(p_coeffs)
+    }
+
+    /// Received `(x, y)` pairs in fragment-index order.
+    fn present(&self, fragments: &[Option<F>]) -> Result<Vec<(F, F)>, CodeError> {
+        if fragments.len() != self.m {
+            return Err(CodeError::InvalidParameters {
+                what: format!("fragment vector length {} != m = {}", fragments.len(), self.m),
+            });
+        }
+        let pts: Vec<(F, F)> = fragments
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| f.map(|y| (self.points[i], y)))
+            .collect();
+        if pts.len() < self.k {
+            return Err(CodeError::NotEnoughFragments { needed: self.k, have: pts.len() });
+        }
+        Ok(pts)
+    }
+
+    fn message_from_coeffs(&self, coeffs: &[F]) -> Vec<F> {
+        self.points[..self.k].iter().map(|&x| poly::eval(coeffs, x)).collect()
+    }
+
+    fn index_of_point(&self, x: F) -> usize {
+        self.points.iter().position(|&p| p == x).expect("point belongs to the code")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+    use swiper_field::{F61, Gf256};
+
+    fn msg61(vals: &[u64]) -> Vec<F61> {
+        vals.iter().map(|&v| F61::new(v)).collect()
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(ReedSolomon::<F61>::new(0, 5).is_err());
+        assert!(ReedSolomon::<F61>::new(6, 5).is_err());
+        assert!(ReedSolomon::<Gf256>::new(3, 256).is_err());
+        assert!(ReedSolomon::<Gf256>::new(3, 255).is_ok());
+    }
+
+    #[test]
+    fn systematic_prefix() {
+        let rs: ReedSolomon<F61> = ReedSolomon::new(4, 9).unwrap();
+        let msg = msg61(&[1, 2, 3, 4]);
+        let frags = rs.encode(&msg).unwrap();
+        assert_eq!(&frags[..4], msg.as_slice());
+        assert_eq!(frags.len(), 9);
+    }
+
+    #[test]
+    fn any_k_fragments_reconstruct() {
+        let rs: ReedSolomon<F61> = ReedSolomon::new(3, 7).unwrap();
+        let msg = msg61(&[11, 22, 33]);
+        let frags = rs.encode(&msg).unwrap();
+        // Every 3-subset of the 7 fragments reconstructs.
+        for a in 0..7 {
+            for b in (a + 1)..7 {
+                for c in (b + 1)..7 {
+                    let mut partial = vec![None; 7];
+                    for &i in &[a, b, c] {
+                        partial[i] = Some(frags[i]);
+                    }
+                    assert_eq!(rs.decode_erasures(&partial).unwrap(), msg, "{a},{b},{c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn too_few_fragments_rejected() {
+        let rs: ReedSolomon<F61> = ReedSolomon::new(3, 7).unwrap();
+        let msg = msg61(&[1, 2, 3]);
+        let frags = rs.encode(&msg).unwrap();
+        let mut partial = vec![None; 7];
+        partial[1] = Some(frags[1]);
+        partial[5] = Some(frags[5]);
+        assert!(matches!(
+            rs.decode_erasures(&partial),
+            Err(CodeError::NotEnoughFragments { needed: 3, have: 2 })
+        ));
+    }
+
+    #[test]
+    fn checked_decode_catches_corruption() {
+        let rs: ReedSolomon<F61> = ReedSolomon::new(3, 7).unwrap();
+        let msg = msg61(&[5, 6, 7]);
+        let mut frags: Vec<Option<F61>> =
+            rs.encode(&msg).unwrap().into_iter().map(Some).collect();
+        frags[6] = Some(F61::new(999_999)); // corrupt a parity fragment
+        assert!(matches!(rs.decode_erasures_checked(&frags), Err(CodeError::DecodingFailed)));
+    }
+
+    #[test]
+    fn corrects_errors_within_budget() {
+        let rs: ReedSolomon<F61> = ReedSolomon::new(3, 9).unwrap();
+        let msg = msg61(&[100, 200, 300]);
+        let mut frags: Vec<Option<F61>> =
+            rs.encode(&msg).unwrap().into_iter().map(Some).collect();
+        // 2 corruptions, budget (9 - 3) / 2 = 3 >= 2.
+        frags[1] = Some(F61::new(777));
+        frags[4] = Some(F61::new(888));
+        let out = rs.decode_errors(&frags, 2).unwrap();
+        assert_eq!(out.message, msg);
+        assert_eq!(out.corrected, vec![1, 4]);
+    }
+
+    #[test]
+    fn error_decoding_with_erasures_and_errors() {
+        let rs: ReedSolomon<F61> = ReedSolomon::new(3, 10).unwrap();
+        let msg = msg61(&[42, 43, 44]);
+        let mut frags: Vec<Option<F61>> =
+            rs.encode(&msg).unwrap().into_iter().map(Some).collect();
+        frags[0] = None; // erasure
+        frags[9] = None; // erasure
+        frags[2] = Some(F61::new(1)); // error
+        // 8 fragments present, k + 2e = 3 + 2*2 = 7 <= 8.
+        let out = rs.decode_errors(&frags, 2).unwrap();
+        assert_eq!(out.message, msg);
+        assert_eq!(out.corrected, vec![2]);
+    }
+
+    #[test]
+    fn too_many_errors_fail_cleanly() {
+        let rs: ReedSolomon<F61> = ReedSolomon::new(3, 9).unwrap();
+        let msg = msg61(&[1, 2, 3]);
+        let mut frags: Vec<Option<F61>> =
+            rs.encode(&msg).unwrap().into_iter().map(Some).collect();
+        // 4 corruptions but budget 2: decoding must not silently return
+        // garbage. (It either fails or—if the corruption happens to form a
+        // consistent codeword—returns a different message; with these fixed
+        // values it fails.)
+        for i in [0usize, 2, 5, 7] {
+            frags[i] = Some(F61::new(31_337 + i as u64));
+        }
+        match rs.decode_errors(&frags, 2) {
+            Err(CodeError::DecodingFailed) => {}
+            Ok(out) => assert_ne!(out.message, msg, "must not claim the original message"),
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn zero_error_budget_uses_window_and_reports_outliers() {
+        let rs: ReedSolomon<F61> = ReedSolomon::new(2, 4).unwrap();
+        let msg = msg61(&[9, 8]);
+        let mut frags: Vec<Option<F61>> =
+            rs.encode(&msg).unwrap().into_iter().map(Some).collect();
+        assert_eq!(rs.decode_errors(&frags, 0).unwrap().message, msg);
+        // Corruption outside the k-point solve window: decode still
+        // succeeds (window is clean) and the outlier is reported.
+        frags[3] = Some(F61::new(123));
+        let out = rs.decode_errors(&frags, 0).unwrap();
+        assert_eq!(out.message, msg);
+        assert_eq!(out.corrected, vec![3]);
+        // Corruption inside the k-point window with zero budget: the
+        // interpolation fits the corrupt point exactly, yielding a *wrong*
+        // message — the reason online error correction always pairs
+        // decoding with a hash check (Section 5.2).
+        frags[3] = None;
+        frags[0] = Some(F61::new(321));
+        let out = rs.decode_errors(&frags, 0).unwrap();
+        assert_ne!(out.message, msg);
+    }
+
+    #[test]
+    fn works_over_gf256() {
+        let rs: ReedSolomon<Gf256> = ReedSolomon::new(4, 12).unwrap();
+        let msg: Vec<Gf256> = vec![0x01, 0x80, 0xFF, 0x42].into_iter().map(Gf256::new).collect();
+        let mut frags: Vec<Option<Gf256>> =
+            rs.encode(&msg).unwrap().into_iter().map(Some).collect();
+        frags[0] = None;
+        frags[7] = Some(Gf256::new(0x13));
+        let out = rs.decode_errors(&frags, 2).unwrap();
+        assert_eq!(out.message, msg);
+        assert_eq!(out.corrected, vec![7]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn random_erasures_round_trip(
+            msg in proptest::collection::vec(0u64..1_000_000, 1..6),
+            extra in 0usize..8,
+            seed in any::<u64>(),
+        ) {
+            let k = msg.len();
+            let m = k + extra;
+            let rs: ReedSolomon<F61> = ReedSolomon::new(k, m).unwrap();
+            let message = msg61(&msg);
+            let frags = rs.encode(&message).unwrap();
+            // Keep a random k-subset.
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut idx: Vec<usize> = (0..m).collect();
+            idx.shuffle(&mut rng);
+            let mut partial = vec![None; m];
+            for &i in idx.iter().take(k) {
+                partial[i] = Some(frags[i]);
+            }
+            prop_assert_eq!(rs.decode_erasures(&partial).unwrap(), message);
+        }
+
+        #[test]
+        fn random_errors_round_trip(
+            msg in proptest::collection::vec(0u64..1_000_000, 1..5),
+            e in 0usize..3,
+            seed in any::<u64>(),
+        ) {
+            let k = msg.len();
+            let m = k + 2 * e + 2;
+            let rs: ReedSolomon<F61> = ReedSolomon::new(k, m).unwrap();
+            let message = msg61(&msg);
+            let mut frags: Vec<Option<F61>> =
+                rs.encode(&message).unwrap().into_iter().map(Some).collect();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut idx: Vec<usize> = (0..m).collect();
+            idx.shuffle(&mut rng);
+            for &i in idx.iter().take(e) {
+                // Flip to a guaranteed-different value.
+                let old = frags[i].unwrap();
+                frags[i] = Some(old + F61::ONE);
+            }
+            let out = rs.decode_errors(&frags, e).unwrap();
+            prop_assert_eq!(out.message, message);
+            prop_assert_eq!(out.corrected.len(), e);
+        }
+    }
+}

@@ -1,0 +1,465 @@
+//! Byte-oriented sharding on top of the symbol-level Reed–Solomon code.
+//!
+//! Protocols disseminate byte blobs, not field elements. This module stripes
+//! a blob across `m` shards over `F_{2^61-1}` so that any `k` shards
+//! reconstruct it. Message symbols pack 7 bytes each (56 bits, comfortably
+//! below the 61-bit modulus); parity symbols are stored as 8-byte
+//! little-endian words. An 8-byte length prefix makes padding unambiguous.
+//!
+//! `F_{2^61-1}` is used rather than `GF(2^8)` because the weighted protocols
+//! need `m = T` fragments where `T` is a ticket total that routinely
+//! exceeds 255 (Table 2 of the paper reaches tens of thousands).
+
+use serde::{Deserialize, Serialize};
+use swiper_field::{F61, Field};
+
+use crate::error::CodeError;
+use crate::rs::ReedSolomon;
+
+/// Bytes carried per message symbol.
+const PACK: usize = 7;
+/// Bytes used to store one (possibly full-width) symbol inside a shard.
+const SYMBOL_BYTES: usize = 8;
+
+/// One fragment of an erasure-coded blob.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Shard {
+    /// Fragment index in `0..m`.
+    pub index: u32,
+    /// Packed symbol data (8 bytes per stripe).
+    pub data: Vec<u8>,
+}
+
+impl Shard {
+    /// Number of symbols in this shard.
+    pub fn symbols(&self) -> usize {
+        self.data.len() / SYMBOL_BYTES
+    }
+
+    /// Size in bytes (the paper's communication metric counts these).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the shard carries no data.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// Packs `data` (with a length prefix) into message symbols.
+fn to_symbols(data: &[u8]) -> Vec<F61> {
+    let mut framed = Vec::with_capacity(8 + data.len() + PACK);
+    framed.extend_from_slice(&(data.len() as u64).to_le_bytes());
+    framed.extend_from_slice(data);
+    while framed.len() % PACK != 0 {
+        framed.push(0);
+    }
+    framed
+        .chunks(PACK)
+        .map(|chunk| {
+            let mut buf = [0u8; 8];
+            buf[..PACK].copy_from_slice(chunk);
+            F61::new(u64::from_le_bytes(buf))
+        })
+        .collect()
+}
+
+/// Unpacks symbols back into the original blob.
+fn from_symbols(symbols: &[F61]) -> Result<Vec<u8>, CodeError> {
+    let mut bytes = Vec::with_capacity(symbols.len() * PACK);
+    for s in symbols {
+        let v = s.value();
+        if v >= 1u64 << 56 {
+            return Err(CodeError::MalformedShard);
+        }
+        bytes.extend_from_slice(&v.to_le_bytes()[..PACK]);
+    }
+    if bytes.len() < 8 {
+        return Err(CodeError::MalformedShard);
+    }
+    let len = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")) as usize;
+    if bytes.len() < 8 + len {
+        return Err(CodeError::MalformedShard);
+    }
+    Ok(bytes[8..8 + len].to_vec())
+}
+
+/// Packs a blob into message symbols (length-prefixed, zero-padded to a
+/// multiple of `k` symbols) — the single-stripe layout used by the
+/// error-corrected broadcast, where whole-symbol fragments are what the
+/// Welch–Berlekamp decoder corrects.
+///
+/// # Errors
+///
+/// [`CodeError::InvalidParameters`] when `k == 0`.
+pub fn pack_symbols(data: &[u8], k: usize) -> Result<Vec<F61>, CodeError> {
+    if k == 0 {
+        return Err(CodeError::InvalidParameters { what: "k must be positive".into() });
+    }
+    let mut symbols = to_symbols(data);
+    while !symbols.len().is_multiple_of(k) {
+        symbols.push(F61::ZERO);
+    }
+    Ok(symbols)
+}
+
+/// Inverse of [`pack_symbols`]: recovers the blob from message symbols.
+///
+/// # Errors
+///
+/// [`CodeError::MalformedShard`] when the symbols do not carry a valid
+/// length-prefixed payload.
+pub fn unpack_symbols(symbols: &[F61]) -> Result<Vec<u8>, CodeError> {
+    from_symbols(symbols)
+}
+
+/// Encodes a blob into `m` shards, any `k` of which reconstruct it.
+///
+/// # Errors
+///
+/// [`CodeError::InvalidParameters`] for bad `(k, m)`.
+pub fn encode_bytes(data: &[u8], k: usize, m: usize) -> Result<Vec<Shard>, CodeError> {
+    let rs: ReedSolomon<F61> = ReedSolomon::new(k, m)?;
+    let mut symbols = to_symbols(data);
+    while !symbols.len().is_multiple_of(k) {
+        symbols.push(F61::ZERO);
+    }
+    let stripes = symbols.len() / k;
+    let mut shards: Vec<Shard> = (0..m)
+        .map(|i| Shard {
+            index: i as u32,
+            data: Vec::with_capacity(stripes * SYMBOL_BYTES),
+        })
+        .collect();
+    for stripe in symbols.chunks(k) {
+        let frags = rs.encode(stripe)?;
+        for (shard, frag) in shards.iter_mut().zip(&frags) {
+            shard.data.extend_from_slice(&frag.value().to_le_bytes());
+        }
+    }
+    Ok(shards)
+}
+
+/// Reconstructs the blob from at least `k` shards (erasures only).
+///
+/// # Errors
+///
+/// * [`CodeError::NotEnoughFragments`] with fewer than `k` distinct shards.
+/// * [`CodeError::BadFragmentIndex`] for an index `>= m`.
+/// * [`CodeError::MalformedShard`] for inconsistent shard lengths/payloads.
+pub fn decode_bytes(shards: &[Shard], k: usize, m: usize) -> Result<Vec<u8>, CodeError> {
+    let rs: ReedSolomon<F61> = ReedSolomon::new(k, m)?;
+    let mut seen: Vec<Option<&Shard>> = vec![None; m];
+    let mut distinct = 0;
+    for s in shards {
+        let idx = s.index as usize;
+        if idx >= m {
+            return Err(CodeError::BadFragmentIndex { index: idx });
+        }
+        if seen[idx].is_none() {
+            seen[idx] = Some(s);
+            distinct += 1;
+        }
+    }
+    if distinct < k {
+        return Err(CodeError::NotEnoughFragments { needed: k, have: distinct });
+    }
+    let stripe_len = shards[0].data.len();
+    if !stripe_len.is_multiple_of(SYMBOL_BYTES)
+        || shards.iter().any(|s| s.data.len() != stripe_len)
+    {
+        return Err(CodeError::MalformedShard);
+    }
+    let stripes = stripe_len / SYMBOL_BYTES;
+    let mut symbols: Vec<F61> = Vec::with_capacity(stripes * k);
+    for stripe in 0..stripes {
+        let mut frags: Vec<Option<F61>> = vec![None; m];
+        for (i, slot) in seen.iter().enumerate() {
+            if let Some(s) = slot {
+                let off = stripe * SYMBOL_BYTES;
+                let word =
+                    u64::from_le_bytes(s.data[off..off + SYMBOL_BYTES].try_into().expect("8"));
+                if u128::from(word) >= F61::ORDER {
+                    return Err(CodeError::MalformedShard);
+                }
+                frags[i] = Some(F61::new(word));
+            }
+        }
+        symbols.extend(rs.decode_erasures(&frags)?);
+    }
+    from_symbols(&symbols)
+}
+
+/// Encodes a blob into `m` shards over `GF(2^8)` — one byte per symbol, no
+/// storage expansion (vs the 8/7 of the `F61` layout), limited to
+/// `m <= 255` fragments. Preferable for *nominal* instantiations where
+/// `m = n` is small; weighted instantiations usually need the `F61` path.
+///
+/// # Errors
+///
+/// [`CodeError::InvalidParameters`] for bad `(k, m)` (including `m > 255`).
+pub fn encode_bytes_gf256(data: &[u8], k: usize, m: usize) -> Result<Vec<Shard>, CodeError> {
+    use swiper_field::Gf256;
+    let rs: ReedSolomon<Gf256> = ReedSolomon::new(k, m)?;
+    // Frame: 8-byte length prefix, zero-padded to a multiple of k.
+    let mut framed = Vec::with_capacity(8 + data.len() + k);
+    framed.extend_from_slice(&(data.len() as u64).to_le_bytes());
+    framed.extend_from_slice(data);
+    while !framed.len().is_multiple_of(k) {
+        framed.push(0);
+    }
+    let stripes = framed.len() / k;
+    let mut shards: Vec<Shard> = (0..m)
+        .map(|i| Shard { index: i as u32, data: Vec::with_capacity(stripes) })
+        .collect();
+    for stripe in framed.chunks(k) {
+        let symbols: Vec<Gf256> = stripe.iter().map(|&b| Gf256::new(b)).collect();
+        let frags = rs.encode(&symbols)?;
+        for (shard, frag) in shards.iter_mut().zip(&frags) {
+            shard.data.push(frag.byte());
+        }
+    }
+    Ok(shards)
+}
+
+/// Reconstructs a blob encoded with [`encode_bytes_gf256`] from at least
+/// `k` distinct shards.
+///
+/// # Errors
+///
+/// As [`decode_bytes`].
+pub fn decode_bytes_gf256(shards: &[Shard], k: usize, m: usize) -> Result<Vec<u8>, CodeError> {
+    use swiper_field::Gf256;
+    let rs: ReedSolomon<Gf256> = ReedSolomon::new(k, m)?;
+    let mut seen: Vec<Option<&Shard>> = vec![None; m];
+    let mut distinct = 0;
+    for s in shards {
+        let idx = s.index as usize;
+        if idx >= m {
+            return Err(CodeError::BadFragmentIndex { index: idx });
+        }
+        if seen[idx].is_none() {
+            seen[idx] = Some(s);
+            distinct += 1;
+        }
+    }
+    if distinct < k {
+        return Err(CodeError::NotEnoughFragments { needed: k, have: distinct });
+    }
+    let stripes = shards[0].data.len();
+    if shards.iter().any(|s| s.data.len() != stripes) {
+        return Err(CodeError::MalformedShard);
+    }
+    let mut bytes = Vec::with_capacity(stripes * k);
+    for stripe in 0..stripes {
+        let mut frags: Vec<Option<Gf256>> = vec![None; m];
+        for (i, slot) in seen.iter().enumerate() {
+            if let Some(s) = slot {
+                frags[i] = Some(Gf256::new(s.data[stripe]));
+            }
+        }
+        bytes.extend(rs.decode_erasures(&frags)?.into_iter().map(|g| g.byte()));
+    }
+    if bytes.len() < 8 {
+        return Err(CodeError::MalformedShard);
+    }
+    let len = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")) as usize;
+    if bytes.len() < 8 + len {
+        return Err(CodeError::MalformedShard);
+    }
+    Ok(bytes[8..8 + len].to_vec())
+}
+
+/// Reconstruction that additionally cross-checks *all* supplied shards
+/// against the interpolated polynomial, failing loudly on corruption.
+///
+/// # Errors
+///
+/// As [`decode_bytes`], plus [`CodeError::DecodingFailed`] when any supplied
+/// shard is inconsistent with the reconstruction.
+pub fn decode_bytes_checked(shards: &[Shard], k: usize, m: usize) -> Result<Vec<u8>, CodeError> {
+    let rs: ReedSolomon<F61> = ReedSolomon::new(k, m)?;
+    let mut seen: Vec<Option<&Shard>> = vec![None; m];
+    for s in shards {
+        let idx = s.index as usize;
+        if idx >= m {
+            return Err(CodeError::BadFragmentIndex { index: idx });
+        }
+        seen[idx].get_or_insert(s);
+    }
+    let stripe_len = shards.first().ok_or(CodeError::NotEnoughFragments { needed: k, have: 0 })?.data.len();
+    if stripe_len % SYMBOL_BYTES != 0 || shards.iter().any(|s| s.data.len() != stripe_len) {
+        return Err(CodeError::MalformedShard);
+    }
+    let stripes = stripe_len / SYMBOL_BYTES;
+    let mut symbols: Vec<F61> = Vec::with_capacity(stripes * k);
+    for stripe in 0..stripes {
+        let mut frags: Vec<Option<F61>> = vec![None; m];
+        for (i, slot) in seen.iter().enumerate() {
+            if let Some(s) = slot {
+                let off = stripe * SYMBOL_BYTES;
+                let word =
+                    u64::from_le_bytes(s.data[off..off + SYMBOL_BYTES].try_into().expect("8"));
+                if u128::from(word) >= F61::ORDER {
+                    return Err(CodeError::MalformedShard);
+                }
+                frags[i] = Some(F61::new(word));
+            }
+        }
+        symbols.extend(rs.decode_erasures_checked(&frags)?);
+    }
+    from_symbols(&symbols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn round_trip_simple() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let shards = encode_bytes(data, 3, 7).unwrap();
+        assert_eq!(shards.len(), 7);
+        let got = decode_bytes(&shards[2..5], 3, 7).unwrap();
+        assert_eq!(got, data);
+    }
+
+    #[test]
+    fn round_trip_empty_and_tiny() {
+        for data in [&b""[..], &b"x"[..], &b"ab"[..]] {
+            let shards = encode_bytes(data, 2, 5).unwrap();
+            let got = decode_bytes(&shards[3..5], 2, 5).unwrap();
+            assert_eq!(got, data);
+        }
+    }
+
+    #[test]
+    fn shards_are_much_smaller_than_blob() {
+        // The whole point of IDA (paper Section 5.1): each fragment is
+        // ~|M|/k, not |M|.
+        let data = vec![0xAB; 70_000];
+        let k = 10;
+        let shards = encode_bytes(&data, k, 30).unwrap();
+        let per_shard = shards[0].len();
+        // 8/7 storage expansion plus framing, divided by k.
+        assert!(per_shard < data.len() / k * 2, "shard size {per_shard}");
+    }
+
+    #[test]
+    fn insufficient_shards_fail() {
+        let shards = encode_bytes(b"hello world", 3, 6).unwrap();
+        assert!(matches!(
+            decode_bytes(&shards[..2], 3, 6),
+            Err(CodeError::NotEnoughFragments { needed: 3, have: 2 })
+        ));
+    }
+
+    #[test]
+    fn duplicate_shards_do_not_count_twice() {
+        let shards = encode_bytes(b"hello world", 3, 6).unwrap();
+        let dup = vec![shards[0].clone(), shards[0].clone(), shards[0].clone()];
+        assert!(matches!(
+            decode_bytes(&dup, 3, 6),
+            Err(CodeError::NotEnoughFragments { needed: 3, have: 1 })
+        ));
+    }
+
+    #[test]
+    fn bad_index_rejected() {
+        let mut shards = encode_bytes(b"hi", 2, 4).unwrap();
+        shards[0].index = 9;
+        assert!(matches!(
+            decode_bytes(&shards, 2, 4),
+            Err(CodeError::BadFragmentIndex { index: 9 })
+        ));
+    }
+
+    #[test]
+    fn checked_decode_flags_corruption() {
+        let data = b"integrity matters";
+        let mut shards = encode_bytes(data, 2, 5).unwrap();
+        shards[4].data[0] ^= 0xFF;
+        // Unchecked decode from the 2 good shards works; checked decode over
+        // a set containing the corrupted shard fails.
+        assert_eq!(decode_bytes(&shards[..2], 2, 5).unwrap(), data);
+        let err = decode_bytes_checked(&shards, 2, 5);
+        assert!(err.is_err(), "corruption must be detected: {err:?}");
+    }
+
+    #[test]
+    fn large_fragment_counts_beyond_gf256() {
+        // m = 600 > 255: the reason we shard over F61.
+        let data = b"weighted protocols need many tickets";
+        let shards = encode_bytes(data, 150, 600).unwrap();
+        let got = decode_bytes(&shards[450..600], 150, 600).unwrap();
+        assert_eq!(got, data);
+    }
+
+    #[test]
+    fn gf256_round_trip_and_size() {
+        let data = b"byte-field sharding has zero storage expansion";
+        let shards = encode_bytes_gf256(data, 4, 12).unwrap();
+        assert_eq!(shards.len(), 12);
+        // Shard size = ceil((8 + len) / k) bytes, no 8/7 expansion.
+        assert_eq!(shards[0].len(), (8 + data.len()).div_ceil(4));
+        let got = decode_bytes_gf256(&shards[5..9], 4, 12).unwrap();
+        assert_eq!(got, data);
+    }
+
+    #[test]
+    fn gf256_limits_and_errors() {
+        assert!(encode_bytes_gf256(b"x", 3, 256).is_err());
+        let shards = encode_bytes_gf256(b"hello", 3, 255).unwrap();
+        assert_eq!(shards.len(), 255);
+        assert!(matches!(
+            decode_bytes_gf256(&shards[..2], 3, 255),
+            Err(CodeError::NotEnoughFragments { needed: 3, have: 2 })
+        ));
+    }
+
+    #[test]
+    fn gf256_empty_blob() {
+        let shards = encode_bytes_gf256(b"", 2, 4).unwrap();
+        assert_eq!(decode_bytes_gf256(&shards[2..4], 2, 4).unwrap(), Vec::<u8>::new());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn gf256_random_blobs_round_trip(
+            data in proptest::collection::vec(any::<u8>(), 0..300),
+            k in 1usize..6,
+            extra in 0usize..6,
+            seed in any::<u64>(),
+        ) {
+            let m = k + extra;
+            let shards = encode_bytes_gf256(&data, k, m).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut pick: Vec<Shard> = shards.clone();
+            pick.shuffle(&mut rng);
+            pick.truncate(k);
+            prop_assert_eq!(decode_bytes_gf256(&pick, k, m).unwrap(), data);
+        }
+
+        #[test]
+        fn random_blobs_round_trip(
+            data in proptest::collection::vec(any::<u8>(), 0..500),
+            k in 1usize..8,
+            extra in 0usize..8,
+            seed in any::<u64>(),
+        ) {
+            let m = k + extra;
+            let shards = encode_bytes(&data, k, m).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut pick: Vec<Shard> = shards.clone();
+            pick.shuffle(&mut rng);
+            pick.truncate(k);
+            prop_assert_eq!(decode_bytes(&pick, k, m).unwrap(), data);
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! The Mersenne prime field `F_p` with `p = 2^61 - 1`.
+//!
+//! Mersenne reduction makes multiplication two shifts and adds, and the
+//! 61-bit size leaves headroom for accumulation tricks while fitting
+//! comfortably in `u64`. This field backs Shamir secret sharing and the
+//! large-fragment-count Reed–Solomon codes (ticket totals routinely exceed
+//! the 255 points available in `GF(2^8)`).
+
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::traits::Field;
+
+/// The modulus `2^61 - 1` (a Mersenne prime).
+pub const P: u64 = (1u64 << 61) - 1;
+
+/// An element of `F_{2^61 - 1}`, stored canonically in `[0, p)`.
+///
+/// # Examples
+///
+/// ```
+/// use swiper_field::{Field, F61};
+///
+/// let a = F61::new(12345);
+/// let b = a.inv().unwrap();
+/// assert_eq!(a * b, F61::ONE);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct F61(u64);
+
+/// Reduces a 128-bit value modulo the Mersenne prime.
+fn reduce128(mut x: u128) -> u64 {
+    // Fold high bits down twice: x = (x mod 2^61) + floor(x / 2^61).
+    x = (x & u128::from(P)) + (x >> 61);
+    x = (x & u128::from(P)) + (x >> 61);
+    let mut r = x as u64;
+    if r >= P {
+        r -= P;
+    }
+    r
+}
+
+impl F61 {
+    /// Canonical element from any `u64` (reduced mod `p`).
+    pub fn new(v: u64) -> Self {
+        // v < 2^64 = 8 * 2^61, so one fold suffices plus a final subtract.
+        let folded = (v & P) + (v >> 61);
+        F61(if folded >= P { folded - P } else { folded })
+    }
+
+    /// The canonical value in `[0, p)`.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl Add for F61 {
+    type Output = F61;
+    fn add(self, rhs: F61) -> F61 {
+        let s = self.0 + rhs.0; // < 2p < 2^62
+        F61(if s >= P { s - P } else { s })
+    }
+}
+
+impl Sub for F61 {
+    type Output = F61;
+    fn sub(self, rhs: F61) -> F61 {
+        if self.0 >= rhs.0 {
+            F61(self.0 - rhs.0)
+        } else {
+            F61(self.0 + P - rhs.0)
+        }
+    }
+}
+
+impl Mul for F61 {
+    type Output = F61;
+    fn mul(self, rhs: F61) -> F61 {
+        F61(reduce128(u128::from(self.0) * u128::from(rhs.0)))
+    }
+}
+
+impl Neg for F61 {
+    type Output = F61;
+    fn neg(self) -> F61 {
+        if self.0 == 0 {
+            self
+        } else {
+            F61(P - self.0)
+        }
+    }
+}
+
+impl Field for F61 {
+    const ZERO: Self = F61(0);
+    const ONE: Self = F61(1);
+    const ORDER: u128 = P as u128;
+
+    fn inv(self) -> Option<Self> {
+        if self.0 == 0 {
+            None
+        } else {
+            // Fermat: a^(p-2).
+            Some(self.pow(P - 2))
+        }
+    }
+
+    fn from_u64(v: u64) -> Self {
+        F61::new(v)
+    }
+
+    fn to_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for F61 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for F61 {
+    fn from(v: u64) -> Self {
+        F61::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn modulus_is_mersenne() {
+        assert_eq!(P, 2_305_843_009_213_693_951);
+    }
+
+    #[test]
+    fn canonicalization() {
+        assert_eq!(F61::new(P).value(), 0);
+        assert_eq!(F61::new(P + 5).value(), 5);
+        assert_eq!(F61::new(u64::MAX).value(), u64::MAX % P);
+    }
+
+    #[test]
+    fn sub_wraps() {
+        let a = F61::new(3);
+        let b = F61::new(10);
+        assert_eq!((a - b).value(), P - 7);
+        assert_eq!(a - b + b, a);
+    }
+
+    #[test]
+    fn neg_zero_is_zero() {
+        assert_eq!(-F61::ZERO, F61::ZERO);
+        assert_eq!((-F61::new(1)).value(), P - 1);
+    }
+
+    #[test]
+    fn inv_known_values() {
+        assert!(F61::ZERO.inv().is_none());
+        assert_eq!(F61::ONE.inv().unwrap(), F61::ONE);
+        let two_inv = F61::new(2).inv().unwrap();
+        // 2 * (p+1)/2 = p + 1 = 1 mod p.
+        assert_eq!(two_inv.value(), P.div_ceil(2));
+    }
+
+    #[test]
+    fn big_product_reduces_correctly() {
+        // (p-1)^2 mod p = 1.
+        let x = F61::new(P - 1);
+        assert_eq!(x * x, F61::ONE);
+    }
+
+    #[test]
+    fn pow_edge_cases() {
+        assert_eq!(F61::new(7).pow(0), F61::ONE);
+        assert_eq!(F61::ZERO.pow(0), F61::ONE); // 0^0 := 1 convention
+        assert_eq!(F61::ZERO.pow(5), F61::ZERO);
+        // Fermat's little theorem.
+        assert_eq!(F61::new(123_456_789).pow(P - 1), F61::ONE);
+    }
+
+    proptest! {
+        #[test]
+        fn field_axioms(a in 0u64..P, b in 0u64..P, c in 0u64..P) {
+            let (a, b, c) = (F61::new(a), F61::new(b), F61::new(c));
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_eq!(a * b, b * a);
+            prop_assert_eq!((a + b) + c, a + (b + c));
+            prop_assert_eq!((a * b) * c, a * (b * c));
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+            prop_assert_eq!(a + (-a), F61::ZERO);
+            prop_assert_eq!(a - b + b, a);
+            if !a.is_zero() {
+                prop_assert_eq!(a * a.inv().unwrap(), F61::ONE);
+            }
+        }
+
+        #[test]
+        fn mul_matches_naive_bigint(a in 0u64..P, b in 0u64..P) {
+            let expect = (u128::from(a) * u128::from(b) % u128::from(P)) as u64;
+            prop_assert_eq!((F61::new(a) * F61::new(b)).value(), expect);
+        }
+
+        #[test]
+        fn canonical_round_trip(v in any::<u64>()) {
+            let x = F61::new(v);
+            prop_assert!(x.value() < P);
+            prop_assert_eq!(x.value() as u128 % (P as u128), (v as u128) % (P as u128));
+        }
+    }
+}

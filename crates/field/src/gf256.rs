@@ -1,0 +1,240 @@
+//! `GF(2^8)` with reduction polynomial `x^8 + x^4 + x^3 + x^2 + 1` (0x11D)
+//! and generator `0x02` — the standard Reed–Solomon byte field.
+//!
+//! Log/exp tables are computed at compile time by a `const fn`, so there is
+//! no runtime initialization or locking.
+
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::traits::Field;
+
+/// The reduction polynomial (with the implicit `x^8` bit).
+const POLY: u16 = 0x11D;
+
+/// exp[i] = g^i for i in 0..510 (doubled to skip a `% 255`), log[x] for x>0.
+const fn build_tables() -> ([u8; 512], [u8; 256]) {
+    let mut exp = [0u8; 512];
+    let mut log = [0u8; 256];
+    let mut x: u16 = 1;
+    let mut i = 0;
+    while i < 255 {
+        exp[i] = x as u8;
+        log[x as usize] = i as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= POLY;
+        }
+        i += 1;
+    }
+    // Duplicate so exp[log a + log b] never needs reduction mod 255.
+    let mut j = 255;
+    while j < 512 {
+        exp[j] = exp[j - 255];
+        j += 1;
+    }
+    (exp, log)
+}
+
+const TABLES: ([u8; 512], [u8; 256]) = build_tables();
+const EXP: [u8; 512] = TABLES.0;
+const LOG: [u8; 256] = TABLES.1;
+
+/// An element of `GF(2^8)`.
+///
+/// # Examples
+///
+/// ```
+/// use swiper_field::{Field, Gf256};
+///
+/// let a = Gf256::new(0x53);
+/// let b = Gf256::new(0xCA);
+/// assert_eq!(a + b, Gf256::new(0x99)); // addition is XOR
+/// assert_eq!(a * a.inv().unwrap(), Gf256::ONE);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Gf256(pub u8);
+
+impl Gf256 {
+    /// Wraps a byte.
+    pub fn new(v: u8) -> Self {
+        Gf256(v)
+    }
+
+    /// The underlying byte.
+    pub fn byte(self) -> u8 {
+        self.0
+    }
+
+    /// The field generator `0x02`.
+    pub const GENERATOR: Gf256 = Gf256(2);
+}
+
+impl Add for Gf256 {
+    type Output = Gf256;
+    // Characteristic-2 field: addition IS xor.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn add(self, rhs: Gf256) -> Gf256 {
+        Gf256(self.0 ^ rhs.0)
+    }
+}
+
+impl Sub for Gf256 {
+    type Output = Gf256;
+    // Characteristic-2 field: subtraction IS xor.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn sub(self, rhs: Gf256) -> Gf256 {
+        Gf256(self.0 ^ rhs.0)
+    }
+}
+
+impl Mul for Gf256 {
+    type Output = Gf256;
+    fn mul(self, rhs: Gf256) -> Gf256 {
+        if self.0 == 0 || rhs.0 == 0 {
+            return Gf256(0);
+        }
+        let idx = usize::from(LOG[self.0 as usize]) + usize::from(LOG[rhs.0 as usize]);
+        Gf256(EXP[idx])
+    }
+}
+
+impl Neg for Gf256 {
+    type Output = Gf256;
+    fn neg(self) -> Gf256 {
+        self // characteristic 2
+    }
+}
+
+impl Field for Gf256 {
+    const ZERO: Self = Gf256(0);
+    const ONE: Self = Gf256(1);
+    const ORDER: u128 = 256;
+
+    fn inv(self) -> Option<Self> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(Gf256(EXP[255 - usize::from(LOG[self.0 as usize])]))
+        }
+    }
+
+    fn from_u64(v: u64) -> Self {
+        Gf256((v % 256) as u8)
+    }
+
+    fn to_u64(self) -> u64 {
+        u64::from(self.0)
+    }
+}
+
+impl fmt::Display for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#04x}", self.0)
+    }
+}
+
+impl From<u8> for Gf256 {
+    fn from(v: u8) -> Self {
+        Gf256(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn generator_has_full_order() {
+        // 0x02 generates the whole multiplicative group of 255 elements.
+        let mut seen = std::collections::HashSet::new();
+        let mut x = Gf256::ONE;
+        for _ in 0..255 {
+            assert!(seen.insert(x.0));
+            x = x * Gf256::GENERATOR;
+        }
+        assert_eq!(x, Gf256::ONE);
+        assert_eq!(seen.len(), 255);
+    }
+
+    #[test]
+    fn mul_matches_slow_carryless_multiply() {
+        fn slow_mul(mut a: u16, mut b: u16) -> u8 {
+            let mut acc: u16 = 0;
+            while b != 0 {
+                if b & 1 == 1 {
+                    acc ^= a;
+                }
+                a <<= 1;
+                if a & 0x100 != 0 {
+                    a ^= POLY;
+                }
+                b >>= 1;
+            }
+            acc as u8
+        }
+        for a in 0..=255u8 {
+            for b in [0u8, 1, 2, 0x10, 0x53, 0xCA, 0xFF] {
+                assert_eq!(
+                    (Gf256(a) * Gf256(b)).0,
+                    slow_mul(a.into(), b.into()),
+                    "a={a:#x} b={b:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_nonzero_element_inverts() {
+        for v in 1..=255u8 {
+            let x = Gf256(v);
+            assert_eq!(x * x.inv().unwrap(), Gf256::ONE, "v={v}");
+        }
+        assert!(Gf256::ZERO.inv().is_none());
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let g = Gf256::GENERATOR;
+        let mut acc = Gf256::ONE;
+        for e in 0..300u64 {
+            assert_eq!(g.pow(e), acc, "e={e}");
+            acc = acc * g;
+        }
+    }
+
+    #[test]
+    fn eval_points_distinct() {
+        let pts: Vec<u8> = (0..255).map(|i| Gf256::eval_point(i).0).collect();
+        let set: std::collections::HashSet<_> = pts.iter().collect();
+        assert_eq!(set.len(), 255);
+        assert!(!pts.contains(&0));
+    }
+
+    #[test]
+    #[should_panic(expected = "field too small")]
+    fn eval_point_overflow_panics() {
+        let _ = Gf256::eval_point(255);
+    }
+
+    proptest! {
+        #[test]
+        fn field_axioms(a in any::<u8>(), b in any::<u8>(), c in any::<u8>()) {
+            let (a, b, c) = (Gf256(a), Gf256(b), Gf256(c));
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_eq!(a * b, b * a);
+            prop_assert_eq!((a + b) + c, a + (b + c));
+            prop_assert_eq!((a * b) * c, a * (b * c));
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+            prop_assert_eq!(a + Gf256::ZERO, a);
+            prop_assert_eq!(a * Gf256::ONE, a);
+            prop_assert_eq!(a - a, Gf256::ZERO);
+            if !a.is_zero() {
+                prop_assert_eq!(a * a.inv().unwrap(), Gf256::ONE);
+            }
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # swiper-field — finite fields for coding and secret sharing
+//!
+//! Substrate crate for the Swiper reproduction: the erasure/error-correcting
+//! codes of Section 5 and the secret sharing / threshold primitives of
+//! Section 4 both work over finite fields. Two fields are provided:
+//!
+//! * [`Gf256`] — the byte field `GF(2^8)` with the `0x11D` reduction
+//!   polynomial, the classic Reed–Solomon workhorse (log/exp tables built at
+//!   compile time).
+//! * [`F61`] — the Mersenne prime field `F_p`, `p = 2^61 - 1`, used when a
+//!   code needs more than 255 fragments (ticket counts routinely exceed a
+//!   byte) and for Shamir secret sharing.
+//!
+//! Both implement the [`Field`] trait consumed generically by
+//! `swiper-erasure` and `swiper-crypto`, plus [`poly`] utilities
+//! (Horner evaluation, Lagrange interpolation, batch inversion).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod f61;
+mod gf256;
+pub mod poly;
+mod traits;
+
+pub use f61::F61;
+pub use gf256::Gf256;
+pub use traits::Field;

@@ -1,0 +1,336 @@
+//! Polynomial utilities over a generic [`Field`]: evaluation, arithmetic,
+//! Lagrange interpolation and batch inversion.
+//!
+//! These are the building blocks of both Reed–Solomon coding
+//! (`swiper-erasure`) and Shamir secret sharing (`swiper-crypto`).
+
+use crate::traits::Field;
+
+/// Evaluates `coeffs[0] + coeffs[1] x + ... + coeffs[d] x^d` by Horner.
+pub fn eval<F: Field>(coeffs: &[F], x: F) -> F {
+    let mut acc = F::ZERO;
+    for &c in coeffs.iter().rev() {
+        acc = acc * x + c;
+    }
+    acc
+}
+
+/// Adds two coefficient vectors.
+pub fn add<F: Field>(a: &[F], b: &[F]) -> Vec<F> {
+    let n = a.len().max(b.len());
+    (0..n)
+        .map(|i| {
+            let x = a.get(i).copied().unwrap_or(F::ZERO);
+            let y = b.get(i).copied().unwrap_or(F::ZERO);
+            x + y
+        })
+        .collect()
+}
+
+/// Multiplies two coefficient vectors (schoolbook).
+pub fn mul<F: Field>(a: &[F], b: &[F]) -> Vec<F> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![F::ZERO; a.len() + b.len() - 1];
+    for (i, &x) in a.iter().enumerate() {
+        if x.is_zero() {
+            continue;
+        }
+        for (j, &y) in b.iter().enumerate() {
+            out[i + j] = out[i + j] + x * y;
+        }
+    }
+    out
+}
+
+/// Multiplies every coefficient by a scalar.
+pub fn scale<F: Field>(a: &[F], s: F) -> Vec<F> {
+    a.iter().map(|&c| c * s).collect()
+}
+
+/// Trims trailing zero coefficients (canonical degree form).
+pub fn normalize<F: Field>(mut a: Vec<F>) -> Vec<F> {
+    while a.last().is_some_and(|c| c.is_zero()) {
+        a.pop();
+    }
+    a
+}
+
+/// Degree of the polynomial, or `None` for the zero polynomial.
+pub fn degree<F: Field>(a: &[F]) -> Option<usize> {
+    a.iter().rposition(|c| !c.is_zero())
+}
+
+/// Polynomial long division: returns `(quotient, remainder)`.
+///
+/// # Panics
+///
+/// Panics if `b` is the zero polynomial.
+pub fn div_rem<F: Field>(a: &[F], b: &[F]) -> (Vec<F>, Vec<F>) {
+    let db = degree(b).expect("division by the zero polynomial");
+    let lead_inv = b[db].inv().expect("leading coefficient is non-zero");
+    let mut rem: Vec<F> = a.to_vec();
+    let da = match degree(&rem) {
+        Some(d) if d >= db => d,
+        _ => return (Vec::new(), normalize(rem)),
+    };
+    let mut quot = vec![F::ZERO; da - db + 1];
+    for k in (0..=da - db).rev() {
+        let coeff = rem.get(db + k).copied().unwrap_or(F::ZERO) * lead_inv;
+        quot[k] = coeff;
+        if coeff.is_zero() {
+            continue;
+        }
+        for (j, &bc) in b.iter().enumerate().take(db + 1) {
+            let idx = j + k;
+            rem[idx] = rem[idx] - coeff * bc;
+        }
+    }
+    (normalize(quot), normalize(rem))
+}
+
+/// Inverts a batch of non-zero elements with a single field inversion
+/// (Montgomery's trick).
+///
+/// # Panics
+///
+/// Panics if any element is zero.
+pub fn batch_invert<F: Field>(xs: &[F]) -> Vec<F> {
+    if xs.is_empty() {
+        return Vec::new();
+    }
+    let mut prefix = Vec::with_capacity(xs.len());
+    let mut acc = F::ONE;
+    for &x in xs {
+        assert!(!x.is_zero(), "batch_invert of zero element");
+        prefix.push(acc);
+        acc = acc * x;
+    }
+    let mut inv_acc = acc.inv().expect("product of non-zero elements is non-zero");
+    let mut out = vec![F::ZERO; xs.len()];
+    for i in (0..xs.len()).rev() {
+        out[i] = prefix[i] * inv_acc;
+        inv_acc = inv_acc * xs[i];
+    }
+    out
+}
+
+/// Lagrange-interpolates the unique polynomial of degree `< points.len()`
+/// through the given `(x, y)` pairs and returns its coefficients.
+///
+/// # Panics
+///
+/// Panics if two `x` values coincide.
+pub fn interpolate<F: Field>(points: &[(F, F)]) -> Vec<F> {
+    let k = points.len();
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut acc = vec![F::ZERO; k];
+    for (i, &(xi, yi)) in points.iter().enumerate() {
+        // Build the numerator product prod_{j != i} (x - x_j) incrementally.
+        let mut num = vec![F::ONE];
+        let mut denom = F::ONE;
+        for (j, &(xj, _)) in points.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            num = mul(&num, &[-xj, F::ONE]);
+            let d = xi - xj;
+            assert!(!d.is_zero(), "duplicate interpolation point");
+            denom = denom * d;
+        }
+        let li = scale(&num, denom.inv().expect("distinct points") * yi);
+        acc = add(&acc, &li);
+    }
+    normalize(acc)
+}
+
+/// Evaluates the interpolating polynomial through `points` at a single `x`
+/// without materializing coefficients (`O(k^2)`).
+///
+/// # Panics
+///
+/// Panics if two `x` values coincide.
+pub fn interpolate_at<F: Field>(points: &[(F, F)], x: F) -> F {
+    let mut acc = F::ZERO;
+    for (i, &(xi, yi)) in points.iter().enumerate() {
+        let mut num = F::ONE;
+        let mut den = F::ONE;
+        for (j, &(xj, _)) in points.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            num = num * (x - xj);
+            let d = xi - xj;
+            assert!(!d.is_zero(), "duplicate interpolation point");
+            den = den * d;
+        }
+        acc = acc + yi * num * den.inv().expect("distinct points");
+    }
+    acc
+}
+
+/// Lagrange coefficients `lambda_i` such that `f(at) = sum lambda_i y_i` for
+/// any polynomial `f` of degree `< xs.len()` with `f(x_i) = y_i`. Used by
+/// threshold-share combination in `swiper-crypto`.
+///
+/// # Panics
+///
+/// Panics if two `x` values coincide.
+pub fn lagrange_coefficients<F: Field>(xs: &[F], at: F) -> Vec<F> {
+    let mut out = Vec::with_capacity(xs.len());
+    for (i, &xi) in xs.iter().enumerate() {
+        let mut num = F::ONE;
+        let mut den = F::ONE;
+        for (j, &xj) in xs.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            num = num * (at - xj);
+            let d = xi - xj;
+            assert!(!d.is_zero(), "duplicate interpolation point");
+            den = den * d;
+        }
+        out.push(num * den.inv().expect("distinct points"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{F61, Gf256};
+    use proptest::prelude::*;
+
+    fn f(v: u64) -> F61 {
+        F61::new(v)
+    }
+
+    #[test]
+    fn eval_constant_and_linear() {
+        assert_eq!(eval(&[f(7)], f(100)), f(7));
+        // 3 + 2x at x = 5 -> 13
+        assert_eq!(eval(&[f(3), f(2)], f(5)), f(13));
+        assert_eq!(eval::<F61>(&[], f(5)), F61::ZERO);
+    }
+
+    #[test]
+    fn mul_matches_known() {
+        // (1 + x)(1 - x) = 1 - x^2 over F61.
+        let a = [f(1), f(1)];
+        let b = [f(1), -f(1)];
+        let prod = mul(&a, &b);
+        assert_eq!(prod, vec![f(1), f(0), -f(1)]);
+    }
+
+    #[test]
+    fn div_rem_round_trips() {
+        let a = [f(5), f(0), f(3), f(2)]; // 5 + 3x^2 + 2x^3
+        let b = [f(1), f(1)]; // 1 + x
+        let (q, r) = div_rem(&a, &b);
+        let back = add(&mul(&q, &b), &r);
+        assert_eq!(normalize(back), normalize(a.to_vec()));
+        assert!(degree(&r).is_none_or(|d| d < 1));
+    }
+
+    #[test]
+    fn interpolate_recovers_polynomial() {
+        let coeffs = vec![f(42), f(7), f(13), f(99)];
+        let pts: Vec<(F61, F61)> =
+            (1..=4).map(|i| (f(i), eval(&coeffs, f(i)))).collect();
+        assert_eq!(interpolate(&pts), coeffs);
+    }
+
+    #[test]
+    fn interpolate_at_matches_full_interpolation() {
+        let coeffs = vec![f(1), f(2), f(3)];
+        let pts: Vec<(F61, F61)> =
+            (5..=7).map(|i| (f(i), eval(&coeffs, f(i)))).collect();
+        for x in 0..10u64 {
+            assert_eq!(interpolate_at(&pts, f(x)), eval(&coeffs, f(x)));
+        }
+    }
+
+    #[test]
+    fn lagrange_coefficients_reconstruct_secret() {
+        // Shamir-style: secret at x=0, shares at x=1..3 for degree-2 poly.
+        let coeffs = vec![f(1234), f(56), f(78)];
+        let xs: Vec<F61> = (1..=3).map(f).collect();
+        let lambdas = lagrange_coefficients(&xs, F61::ZERO);
+        let mut secret = F61::ZERO;
+        for (i, &x) in xs.iter().enumerate() {
+            secret = secret + lambdas[i] * eval(&coeffs, x);
+        }
+        assert_eq!(secret, f(1234));
+    }
+
+    #[test]
+    fn batch_invert_matches_individual() {
+        let xs: Vec<F61> = (1..50).map(f).collect();
+        let invs = batch_invert(&xs);
+        for (x, inv) in xs.iter().zip(&invs) {
+            assert_eq!(*x * *inv, F61::ONE);
+        }
+        assert!(batch_invert::<F61>(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_invert of zero")]
+    fn batch_invert_rejects_zero() {
+        let _ = batch_invert(&[f(1), F61::ZERO]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate interpolation point")]
+    fn duplicate_points_panic() {
+        let _ = interpolate(&[(f(1), f(2)), (f(1), f(3))]);
+    }
+
+    #[test]
+    fn works_over_gf256_too() {
+        let coeffs: Vec<Gf256> = vec![Gf256::new(0x12), Gf256::new(0x34), Gf256::new(0x56)];
+        let pts: Vec<(Gf256, Gf256)> = (0..3)
+            .map(|i| {
+                let x = Gf256::eval_point(i);
+                (x, eval(&coeffs, x))
+            })
+            .collect();
+        assert_eq!(interpolate(&pts), coeffs);
+    }
+
+    proptest! {
+        #[test]
+        fn interpolation_round_trip_random(
+            coeffs in proptest::collection::vec(0u64..1_000_000, 1..8),
+        ) {
+            let coeffs: Vec<F61> = coeffs.into_iter().map(F61::new).collect();
+            let k = coeffs.len();
+            let pts: Vec<(F61, F61)> = (0..k)
+                .map(|i| {
+                    let x = F61::eval_point(i);
+                    (x, eval(&coeffs, x))
+                })
+                .collect();
+            let got = interpolate(&pts);
+            prop_assert_eq!(normalize(got), normalize(coeffs));
+        }
+
+        #[test]
+        fn division_invariant(
+            a in proptest::collection::vec(0u64..100, 1..8),
+            b in proptest::collection::vec(0u64..100, 1..5),
+        ) {
+            let a: Vec<F61> = a.into_iter().map(F61::new).collect();
+            let b: Vec<F61> = b.into_iter().map(F61::new).collect();
+            prop_assume!(degree(&b).is_some());
+            let (q, r) = div_rem(&a, &b);
+            let back = normalize(add(&mul(&q, &b), &r));
+            prop_assert_eq!(back, normalize(a));
+            if let Some(dr) = degree(&r) {
+                prop_assert!(dr < degree(&b).unwrap());
+            }
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! The [`Field`] abstraction shared by codecs and secret sharing.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A finite field element.
+///
+/// Arithmetic is expressed through the standard operator traits so generic
+/// code reads naturally (`a * b + c`). Implementations must be cheap `Copy`
+/// value types; all operations are total except [`Field::inv`], which
+/// returns `None` for zero.
+pub trait Field:
+    Copy
+    + Clone
+    + Debug
+    + PartialEq
+    + Eq
+    + Hash
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Neg<Output = Self>
+{
+    /// The additive identity.
+    const ZERO: Self;
+    /// The multiplicative identity.
+    const ONE: Self;
+    /// Number of elements in the field.
+    const ORDER: u128;
+
+    /// Multiplicative inverse; `None` for zero.
+    fn inv(self) -> Option<Self>;
+
+    /// Canonical embedding of an integer (reduced modulo the field
+    /// characteristic/size as appropriate).
+    fn from_u64(v: u64) -> Self;
+
+    /// Canonical integer representation (`< ORDER`).
+    fn to_u64(self) -> u64;
+
+    /// Exponentiation by squaring.
+    fn pow(self, mut e: u64) -> Self {
+        let mut base = self;
+        let mut acc = Self::ONE;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc * base;
+            }
+            base = base * base;
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Whether this is the zero element.
+    fn is_zero(self) -> bool {
+        self == Self::ZERO
+    }
+
+    /// The `i`-th standard *evaluation point*: a nonzero element, distinct
+    /// for distinct `i` as long as `i + 1 < ORDER`. Codecs place fragment
+    /// `i` at this point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i + 1 >= ORDER` (not enough distinct points).
+    fn eval_point(i: usize) -> Self {
+        let idx = i as u128 + 1;
+        assert!(idx < Self::ORDER, "field too small for evaluation point {i}");
+        Self::from_u64(idx as u64)
+    }
+}

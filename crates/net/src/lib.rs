@@ -1,0 +1,60 @@
+//! # swiper-net — a deterministic asynchronous network simulator
+//!
+//! The weighted protocols of the Swiper paper (broadcast, agreement,
+//! beacons, SSLE, SMR) are *asynchronous message-passing* protocols. This
+//! crate provides the discrete-event substrate they run on in tests,
+//! examples and benchmarks:
+//!
+//! * [`Protocol`] — the node automaton interface (`on_start`,
+//!   `on_message`, `on_timer`), object-safe so heterogeneous behaviours
+//!   (honest, crashed, Byzantine) can share one simulation.
+//! * [`Simulation`] — a seeded event queue with configurable message
+//!   delays. Same seed, same run: every execution is exactly reproducible.
+//! * [`adversary`] — generic fault injection: silence, crash-after-k,
+//!   and arbitrary message-mangling wrappers.
+//! * [`Metrics`] — per-node message/byte counters, the paper's
+//!   communication-overhead measurements (Table 1) read these.
+//!
+//! The asynchronous model matches the paper's: the adversary (here, the
+//! delay schedule) may reorder messages arbitrarily but must eventually
+//! deliver every message between honest parties.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+mod metrics;
+mod sim;
+
+pub use metrics::Metrics;
+pub use sim::{Context, DelayModel, Effects, NodeId, Protocol, RunReport, Simulation};
+
+/// Byte-size accounting for protocol messages (the communication metric).
+pub trait MessageSize {
+    /// Size of this message on the wire, in bytes.
+    fn size_bytes(&self) -> usize;
+}
+
+impl MessageSize for Vec<u8> {
+    fn size_bytes(&self) -> usize {
+        self.len()
+    }
+}
+
+impl MessageSize for String {
+    fn size_bytes(&self) -> usize {
+        self.len()
+    }
+}
+
+impl MessageSize for u64 {
+    fn size_bytes(&self) -> usize {
+        8
+    }
+}
+
+impl MessageSize for () {
+    fn size_bytes(&self) -> usize {
+        0
+    }
+}

@@ -1,0 +1,86 @@
+//! Communication metrics: the measured counterpart of the paper's
+//! overhead columns in Table 1.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-node send/delivery counters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Metrics {
+    sent_messages: Vec<u64>,
+    sent_bytes: Vec<u64>,
+    delivered_messages: Vec<u64>,
+    delivered_bytes: Vec<u64>,
+}
+
+impl Metrics {
+    /// Zeroed counters for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Metrics {
+            sent_messages: vec![0; n],
+            sent_bytes: vec![0; n],
+            delivered_messages: vec![0; n],
+            delivered_bytes: vec![0; n],
+        }
+    }
+
+    pub(crate) fn record_send(&mut self, node: usize, bytes: usize) {
+        self.sent_messages[node] += 1;
+        self.sent_bytes[node] += bytes as u64;
+    }
+
+    pub(crate) fn record_delivery(&mut self, node: usize, bytes: usize) {
+        self.delivered_messages[node] += 1;
+        self.delivered_bytes[node] += bytes as u64;
+    }
+
+    /// Messages sent across all nodes.
+    pub fn total_messages(&self) -> u64 {
+        self.sent_messages.iter().sum()
+    }
+
+    /// Bytes sent across all nodes.
+    pub fn total_bytes(&self) -> u64 {
+        self.sent_bytes.iter().sum()
+    }
+
+    /// Messages delivered across all nodes (sent minus still-in-flight /
+    /// dropped-by-halt).
+    pub fn delivered_messages(&self) -> u64 {
+        self.delivered_messages.iter().sum()
+    }
+
+    /// Bytes delivered across all nodes.
+    pub fn delivered_bytes(&self) -> u64 {
+        self.delivered_bytes.iter().sum()
+    }
+
+    /// Messages sent by one node.
+    pub fn sent_by(&self, node: usize) -> u64 {
+        self.sent_messages[node]
+    }
+
+    /// Bytes sent by one node.
+    pub fn bytes_sent_by(&self, node: usize) -> u64 {
+        self.sent_bytes[node]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new(2);
+        m.record_send(0, 10);
+        m.record_send(0, 5);
+        m.record_send(1, 1);
+        m.record_delivery(1, 10);
+        assert_eq!(m.total_messages(), 3);
+        assert_eq!(m.total_bytes(), 16);
+        assert_eq!(m.delivered_messages(), 1);
+        assert_eq!(m.delivered_bytes(), 10);
+        assert_eq!(m.sent_by(0), 2);
+        assert_eq!(m.bytes_sent_by(0), 15);
+    }
+}

@@ -1,0 +1,508 @@
+//! The event-driven simulation core.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::metrics::Metrics;
+use crate::MessageSize;
+
+/// Index of a node in the simulation (`0..n`).
+pub type NodeId = usize;
+
+/// Side-effect collector handed to protocol callbacks.
+#[derive(Debug)]
+pub struct Context<M> {
+    node: NodeId,
+    n: usize,
+    now: u64,
+    pub(crate) outbox: Vec<(NodeId, M)>,
+    pub(crate) timers: Vec<(u64, u64)>,
+    pub(crate) output: Option<Vec<u8>>,
+    pub(crate) halted: bool,
+}
+
+/// Side effects drained from a detached context (used by protocol wrappers
+/// that host nested automata, e.g. the black-box transformation's virtual
+/// users).
+#[derive(Debug)]
+pub struct Effects<M> {
+    /// Messages to send: `(to, msg)`.
+    pub outbox: Vec<(NodeId, M)>,
+    /// Timers to set: `(delay, id)`.
+    pub timers: Vec<(u64, u64)>,
+    /// Protocol output, if produced.
+    pub output: Option<Vec<u8>>,
+    /// Whether the node halted.
+    pub halted: bool,
+}
+
+impl<M> Context<M> {
+    fn new(node: NodeId, n: usize, now: u64) -> Self {
+        Context { node, n, now, outbox: Vec::new(), timers: Vec::new(), output: None, halted: false }
+    }
+
+    /// Creates a context not owned by a simulation — for wrappers that run
+    /// inner automata (black-box virtual users) and route the effects
+    /// themselves.
+    pub fn detached(node: NodeId, n: usize, now: u64) -> Self {
+        Context::new(node, n, now)
+    }
+
+    /// Consumes the context, returning its accumulated side effects.
+    pub fn into_effects(self) -> Effects<M> {
+        Effects { outbox: self.outbox, timers: self.timers, output: self.output, halted: self.halted }
+    }
+
+    /// This node's id.
+    pub fn me(&self) -> NodeId {
+        self.node
+    }
+
+    /// Number of nodes in the system.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Sends `msg` to `to` (including to self).
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.outbox.push((to, msg));
+    }
+
+    /// Sends `msg` to every node, including the sender itself (the usual
+    /// convention in the BFT literature).
+    pub fn broadcast(&mut self, msg: M)
+    where
+        M: Clone,
+    {
+        for to in 0..self.n {
+            self.outbox.push((to, msg.clone()));
+        }
+    }
+
+    /// Schedules `on_timer(id)` after `delay` ticks.
+    pub fn set_timer(&mut self, delay: u64, id: u64) {
+        self.timers.push((delay, id));
+    }
+
+    /// Records this node's protocol output (first write wins).
+    pub fn output(&mut self, out: Vec<u8>) {
+        if self.output.is_none() {
+            self.output = Some(out);
+        }
+    }
+
+    /// Stops delivering events to this node (graceful local termination).
+    pub fn halt(&mut self) {
+        self.halted = true;
+    }
+}
+
+/// A node automaton. Object-safe: simulations mix honest and Byzantine
+/// implementations freely.
+pub trait Protocol {
+    /// The message type exchanged by this protocol family.
+    type Msg: Clone + MessageSize;
+
+    /// Invoked once at time zero.
+    fn on_start(&mut self, ctx: &mut Context<Self::Msg>);
+
+    /// Invoked on every delivered message.
+    fn on_message(&mut self, from: NodeId, msg: Self::Msg, ctx: &mut Context<Self::Msg>);
+
+    /// Invoked when a timer set via [`Context::set_timer`] fires.
+    fn on_timer(&mut self, _id: u64, _ctx: &mut Context<Self::Msg>) {}
+}
+
+/// Message delay distribution (the asynchronous adversary's schedule).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DelayModel {
+    /// Every message takes exactly this many ticks.
+    Fixed(u64),
+    /// Uniform in `[lo, hi]`, drawn from the seeded RNG.
+    Uniform(u64, u64),
+    /// Uniform in `[lo, hi]`, but messages *from* low ids are maximally
+    /// delayed — a crude adversarial schedule that stresses quorum logic.
+    BiasAgainstLowIds(u64, u64),
+}
+
+impl DelayModel {
+    fn sample(&self, rng: &mut StdRng, from: NodeId, n: usize) -> u64 {
+        match *self {
+            DelayModel::Fixed(d) => d,
+            DelayModel::Uniform(lo, hi) => rng.random_range(lo..=hi),
+            DelayModel::BiasAgainstLowIds(lo, hi) => {
+                if from < n / 3 {
+                    hi
+                } else {
+                    rng.random_range(lo..=hi)
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Payload<M> {
+    Message { from: NodeId, msg: M },
+    Timer { id: u64 },
+}
+
+#[derive(Debug)]
+struct Event<M> {
+    time: u64,
+    seq: u64,
+    to: NodeId,
+    payload: Payload<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.seq) == (other.time, other.seq)
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Result of a completed run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Per-node protocol outputs (None when a node never output).
+    pub outputs: Vec<Option<Vec<u8>>>,
+    /// Simulated time at quiescence.
+    pub elapsed: u64,
+    /// Events processed.
+    pub events: u64,
+    /// Communication counters.
+    pub metrics: Metrics,
+}
+
+impl RunReport {
+    /// Outputs of the given nodes, when all of them produced one.
+    pub fn outputs_of(&self, nodes: &[NodeId]) -> Option<Vec<&[u8]>> {
+        nodes.iter().map(|&i| self.outputs[i].as_deref()).collect()
+    }
+
+    /// Whether every node in `nodes` produced the same output.
+    pub fn agreement_among(&self, nodes: &[NodeId]) -> bool {
+        let mut it = nodes.iter().filter_map(|&i| self.outputs[i].as_ref());
+        match it.next() {
+            None => true,
+            Some(first) => it.all(|o| o == first),
+        }
+    }
+}
+
+/// A deterministic discrete-event simulation over boxed node automata.
+///
+/// # Examples
+///
+/// ```
+/// use swiper_net::{Context, DelayModel, NodeId, Protocol, Simulation};
+///
+/// /// Every node broadcasts "hi" and outputs after hearing from everyone.
+/// struct Hello { heard: usize }
+/// impl Protocol for Hello {
+///     type Msg = u64;
+///     fn on_start(&mut self, ctx: &mut Context<u64>) {
+///         ctx.broadcast(7);
+///     }
+///     fn on_message(&mut self, _from: NodeId, _msg: u64, ctx: &mut Context<u64>) {
+///         self.heard += 1;
+///         if self.heard == ctx.n() {
+///             ctx.output(b"done".to_vec());
+///         }
+///     }
+/// }
+///
+/// let nodes: Vec<Box<dyn Protocol<Msg = u64>>> =
+///     (0..4).map(|_| Box::new(Hello { heard: 0 }) as Box<dyn Protocol<Msg = u64>>).collect();
+/// let report = Simulation::new(nodes, 42).run();
+/// assert!(report.outputs.iter().all(|o| o.as_deref() == Some(b"done".as_ref())));
+/// ```
+pub struct Simulation<M> {
+    nodes: Vec<Box<dyn Protocol<Msg = M>>>,
+    halted: Vec<bool>,
+    queue: BinaryHeap<Reverse<Event<M>>>,
+    rng: StdRng,
+    delay: DelayModel,
+    seq: u64,
+    time: u64,
+    max_events: u64,
+    metrics: Metrics,
+    outputs: Vec<Option<Vec<u8>>>,
+}
+
+impl<M: Clone + MessageSize> Simulation<M> {
+    /// Creates a simulation over the given node automata with a seed that
+    /// fully determines the run.
+    pub fn new(nodes: Vec<Box<dyn Protocol<Msg = M>>>, seed: u64) -> Self {
+        let n = nodes.len();
+        Simulation {
+            nodes,
+            halted: vec![false; n],
+            queue: BinaryHeap::new(),
+            rng: StdRng::seed_from_u64(seed),
+            delay: DelayModel::Uniform(1, 16),
+            seq: 0,
+            time: 0,
+            max_events: 2_000_000,
+            metrics: Metrics::new(n),
+            outputs: vec![None; n],
+        }
+    }
+
+    /// Sets the delay model (builder style).
+    pub fn with_delay(mut self, delay: DelayModel) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Caps the number of processed events (runaway guard).
+    pub fn with_max_events(mut self, max: u64) -> Self {
+        self.max_events = max;
+        self
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn flush(&mut self, node: NodeId, ctx: Context<M>) {
+        let Context { outbox, timers, output, halted, .. } = ctx;
+        if let Some(out) = output {
+            if self.outputs[node].is_none() {
+                self.outputs[node] = Some(out);
+            }
+        }
+        if halted {
+            self.halted[node] = true;
+        }
+        let n = self.n();
+        for (to, msg) in outbox {
+            self.metrics.record_send(node, msg.size_bytes());
+            let delay =
+                if to == node { 0 } else { self.delay.sample(&mut self.rng, node, n) };
+            self.seq += 1;
+            self.queue.push(Reverse(Event {
+                time: self.time + delay,
+                seq: self.seq,
+                to,
+                payload: Payload::Message { from: node, msg },
+            }));
+        }
+        for (delay, id) in timers {
+            self.seq += 1;
+            self.queue.push(Reverse(Event {
+                time: self.time + delay.max(1),
+                seq: self.seq,
+                to: node,
+                payload: Payload::Timer { id },
+            }));
+        }
+    }
+
+    /// Runs to quiescence (or the event cap) and reports.
+    pub fn run(mut self) -> RunReport {
+        let n = self.n();
+        for node in 0..n {
+            let mut ctx = Context::new(node, n, 0);
+            self.nodes[node].on_start(&mut ctx);
+            self.flush(node, ctx);
+        }
+        let mut events = 0u64;
+        while let Some(Reverse(ev)) = self.queue.pop() {
+            if events >= self.max_events {
+                break;
+            }
+            events += 1;
+            self.time = ev.time;
+            let node = ev.to;
+            if self.halted[node] {
+                continue;
+            }
+            let mut ctx = Context::new(node, n, self.time);
+            match ev.payload {
+                Payload::Message { from, msg } => {
+                    self.metrics.record_delivery(node, msg.size_bytes());
+                    self.nodes[node].on_message(from, msg, &mut ctx);
+                }
+                Payload::Timer { id } => self.nodes[node].on_timer(id, &mut ctx),
+            }
+            self.flush(node, ctx);
+        }
+        RunReport { outputs: self.outputs, elapsed: self.time, events, metrics: self.metrics }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Each node broadcasts its id once; outputs the sum of ids received.
+    struct Summer {
+        sum: u64,
+        heard: usize,
+    }
+
+    impl Protocol for Summer {
+        type Msg = u64;
+
+        fn on_start(&mut self, ctx: &mut Context<u64>) {
+            ctx.broadcast(ctx.me() as u64);
+        }
+
+        fn on_message(&mut self, _from: NodeId, msg: u64, ctx: &mut Context<u64>) {
+            self.sum += msg;
+            self.heard += 1;
+            if self.heard == ctx.n() {
+                ctx.output(self.sum.to_le_bytes().to_vec());
+            }
+        }
+    }
+
+    fn summers(n: usize) -> Vec<Box<dyn Protocol<Msg = u64>>> {
+        (0..n)
+            .map(|_| Box::new(Summer { sum: 0, heard: 0 }) as Box<dyn Protocol<Msg = u64>>)
+            .collect()
+    }
+
+    #[test]
+    fn all_messages_delivered() {
+        let report = Simulation::new(summers(5), 1).run();
+        let expect = (0u64..5).sum::<u64>().to_le_bytes().to_vec();
+        for out in &report.outputs {
+            assert_eq!(out.as_ref().unwrap(), &expect);
+        }
+        // 5 broadcasts of 5 messages each.
+        assert_eq!(report.metrics.total_messages(), 25);
+        assert_eq!(report.metrics.total_bytes(), 25 * 8);
+    }
+
+    #[test]
+    fn same_seed_same_run() {
+        let a = Simulation::new(summers(7), 99).run();
+        let b = Simulation::new(summers(7), 99).run();
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn different_delay_models_still_deliver() {
+        for delay in [
+            DelayModel::Fixed(3),
+            DelayModel::Uniform(1, 50),
+            DelayModel::BiasAgainstLowIds(1, 40),
+        ] {
+            let report = Simulation::new(summers(6), 5).with_delay(delay).run();
+            assert!(report.outputs.iter().all(|o| o.is_some()), "{delay:?}");
+        }
+    }
+
+    #[test]
+    fn event_cap_stops_runaway() {
+        /// A node that replies to every message, forever.
+        struct Chatter;
+        impl Protocol for Chatter {
+            type Msg = u64;
+            fn on_start(&mut self, ctx: &mut Context<u64>) {
+                ctx.broadcast(0);
+            }
+            fn on_message(&mut self, from: NodeId, msg: u64, ctx: &mut Context<u64>) {
+                ctx.send(from, msg + 1);
+            }
+        }
+        let nodes: Vec<Box<dyn Protocol<Msg = u64>>> =
+            (0..3).map(|_| Box::new(Chatter) as _).collect();
+        let report = Simulation::new(nodes, 1).with_max_events(1000).run();
+        assert_eq!(report.events, 1000);
+    }
+
+    #[test]
+    fn halted_nodes_receive_nothing() {
+        /// Halts immediately; counts messages seen.
+        struct Quitter {
+            seen: std::rc::Rc<std::cell::Cell<usize>>,
+        }
+        impl Protocol for Quitter {
+            type Msg = u64;
+            fn on_start(&mut self, ctx: &mut Context<u64>) {
+                ctx.halt();
+            }
+            fn on_message(&mut self, _f: NodeId, _m: u64, _ctx: &mut Context<u64>) {
+                self.seen.set(self.seen.get() + 1);
+            }
+        }
+        let seen = std::rc::Rc::new(std::cell::Cell::new(0));
+        let nodes: Vec<Box<dyn Protocol<Msg = u64>>> = vec![
+            Box::new(Quitter { seen: seen.clone() }),
+            Box::new(Summer { sum: 0, heard: 0 }),
+        ];
+        let _ = Simulation::new(nodes, 3).run();
+        assert_eq!(seen.get(), 0);
+    }
+
+    #[test]
+    fn timers_fire() {
+        struct TimerNode;
+        impl Protocol for TimerNode {
+            type Msg = u64;
+            fn on_start(&mut self, ctx: &mut Context<u64>) {
+                ctx.set_timer(10, 42);
+            }
+            fn on_message(&mut self, _f: NodeId, _m: u64, _c: &mut Context<u64>) {}
+            fn on_timer(&mut self, id: u64, ctx: &mut Context<u64>) {
+                ctx.output(id.to_le_bytes().to_vec());
+            }
+        }
+        let nodes: Vec<Box<dyn Protocol<Msg = u64>>> = vec![Box::new(TimerNode)];
+        let report = Simulation::new(nodes, 1).run();
+        assert_eq!(report.outputs[0].as_ref().unwrap(), &42u64.to_le_bytes().to_vec());
+        assert_eq!(report.elapsed, 10);
+    }
+
+    #[test]
+    fn self_messages_are_instant() {
+        struct SelfSend;
+        impl Protocol for SelfSend {
+            type Msg = u64;
+            fn on_start(&mut self, ctx: &mut Context<u64>) {
+                let me = ctx.me();
+                ctx.send(me, 1);
+            }
+            fn on_message(&mut self, from: NodeId, _m: u64, ctx: &mut Context<u64>) {
+                assert_eq!(from, ctx.me());
+                ctx.output(vec![1]);
+            }
+        }
+        let nodes: Vec<Box<dyn Protocol<Msg = u64>>> = vec![Box::new(SelfSend)];
+        let report = Simulation::new(nodes, 1).run();
+        assert_eq!(report.elapsed, 0, "self delivery takes zero time");
+        assert!(report.outputs[0].is_some());
+    }
+
+    #[test]
+    fn agreement_helper() {
+        let report = Simulation::new(summers(4), 2).run();
+        assert!(report.agreement_among(&[0, 1, 2, 3]));
+        assert!(report.outputs_of(&[0, 1]).is_some());
+    }
+}

@@ -1,0 +1,499 @@
+//! Asynchronous binary Byzantine agreement with a weighted common coin.
+//!
+//! A Mostéfaoui–Moumen–Raynal-style signature-free binary agreement
+//! (BV-broadcast + AUX + common coin), converted to the weighted model the
+//! way the paper prescribes for "Validated Asynchronous Byzantine
+//! Agreement" (Section 6.2 and Table 1):
+//!
+//! * every quorum becomes a **weighted** quorum (weighted voting, §1.2):
+//!   BV relay at weight `> f_w`, `bin_values` insertion and AUX collection
+//!   at weight `> 2 f_w`, with `f_w = f_n = 1/3`;
+//! * the **common coin** is the only part that needs weight reduction: WR
+//!   with `alpha_w := f_w = 1/3`, `alpha_n := 1/2` deals threshold-signature
+//!   key shares to virtual users (Section 4.1), and the unique combined
+//!   signature of the round tag hashes into the coin.
+//!
+//! Termination uses the standard decide-amplification gadget: a party that
+//! decides broadcasts `Decided(v)`; weight `> f_w` of `Decided(v)` lets
+//! anyone adopt `v`, and weight `> 2 f_w` lets a party halt.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+use swiper_core::{Ratio, TicketAssignment, VirtualUsers, Weights};
+use swiper_crypto::thresh::{KeyShare, PartialSignature, PublicKey, ThresholdScheme};
+use swiper_net::{Context, MessageSize, NodeId, Protocol};
+
+use crate::quorum::{Quorum, QuorumTracker, WeightQuorum};
+
+/// ABA protocol messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbaMsg {
+    /// BV-broadcast of a binary estimate.
+    BVal {
+        /// Round number.
+        round: u32,
+        /// The broadcast value.
+        value: bool,
+    },
+    /// Second-phase auxiliary value.
+    Aux {
+        /// Round number.
+        round: u32,
+        /// The chosen `bin_values` element.
+        value: bool,
+    },
+    /// Threshold-signature shares for the round's coin.
+    CoinShare {
+        /// Round number.
+        round: u32,
+        /// Partial signatures from the sender's key shares.
+        partials: Vec<PartialSignature>,
+    },
+    /// Decision announcement (termination gadget).
+    Decided {
+        /// The decided value.
+        value: bool,
+    },
+}
+
+impl MessageSize for AbaMsg {
+    fn size_bytes(&self) -> usize {
+        match self {
+            AbaMsg::BVal { .. } | AbaMsg::Aux { .. } => 5,
+            AbaMsg::CoinShare { partials, .. } => 4 + partials.len() * 16,
+            AbaMsg::Decided { .. } => 1,
+        }
+    }
+}
+
+/// Shared setup: weights for quorums plus the dealt coin keys.
+#[derive(Debug, Clone)]
+pub struct AbaSetup {
+    weights: Weights,
+    scheme: ThresholdScheme,
+    pk: PublicKey,
+    shares: Vec<Vec<KeyShare>>,
+    /// Domain-separation tag so concurrent instances draw distinct coins.
+    instance: u64,
+}
+
+impl AbaSetup {
+    /// Deals an instance: weighted quorums over `weights`, coin keys dealt
+    /// to the WR ticket assignment (use `WR(1/3, 1/2)` tickets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != tickets.len()` or no tickets were
+    /// allocated.
+    pub fn deal<R: Rng + ?Sized>(
+        weights: Weights,
+        tickets: &TicketAssignment,
+        instance: u64,
+        rng: &mut R,
+    ) -> Self {
+        assert_eq!(weights.len(), tickets.len(), "weights/tickets mismatch");
+        let mapping = VirtualUsers::from_assignment(tickets).expect("fits memory");
+        let total = mapping.total();
+        assert!(total > 0, "coin needs at least one ticket");
+        // Strict majority of tickets: unreachable below 1/2, held by the
+        // honest (> 1/2 by WR with alpha_n = 1/2).
+        let threshold = total / 2 + 1;
+        let scheme = ThresholdScheme::new(threshold, total).expect("threshold <= total");
+        let (pk, all_shares) = scheme.keygen(rng);
+        let shares = (0..mapping.parties())
+            .map(|p| mapping.virtuals_of(p).map(|v| all_shares[v]).collect())
+            .collect();
+        AbaSetup { weights, scheme, pk, shares, instance }
+    }
+
+    /// Nominal instance: equal weights, one coin share per party.
+    pub fn nominal<R: Rng + ?Sized>(n: usize, instance: u64, rng: &mut R) -> Self {
+        let weights = Weights::new(vec![1; n]).expect("n > 0");
+        let tickets = TicketAssignment::new(vec![1; n]);
+        Self::deal(weights, &tickets, instance, rng)
+    }
+
+    fn coin_tag(&self, round: u32) -> Vec<u8> {
+        let mut tag = b"swiper.aba.coin.".to_vec();
+        tag.extend_from_slice(&self.instance.to_le_bytes());
+        tag.extend_from_slice(&round.to_le_bytes());
+        tag
+    }
+
+    fn quorum(&self, threshold: Ratio) -> Quorum {
+        Quorum::Weight(WeightQuorum::new(self.weights.clone(), threshold))
+    }
+}
+
+/// Per-round state.
+struct RoundState {
+    bval_sent: [bool; 2],
+    bval_votes: [Quorum; 2],
+    bval_relay: [Quorum; 2],
+    bin: [bool; 2],
+    aux_sent: bool,
+    /// First AUX value per party.
+    aux_of: HashMap<NodeId, bool>,
+    coin_sent: bool,
+    coin_seen: std::collections::HashSet<u64>,
+    coin_partials: Vec<PartialSignature>,
+    coin: Option<bool>,
+    /// `vals` snapshot (as a {false, true} membership pair) taken when the
+    /// AUX quorum first completed.
+    vals: Option<[bool; 2]>,
+}
+
+impl RoundState {
+    fn new(setup: &AbaSetup) -> Self {
+        RoundState {
+            bval_sent: [false; 2],
+            // bin_values insertion: weight > 2 f_w.
+            bval_votes: [setup.quorum(Ratio::of(2, 3)), setup.quorum(Ratio::of(2, 3))],
+            // relay: weight > f_w.
+            bval_relay: [setup.quorum(Ratio::of(1, 3)), setup.quorum(Ratio::of(1, 3))],
+            bin: [false; 2],
+            aux_sent: false,
+            aux_of: HashMap::new(),
+            coin_sent: false,
+            coin_seen: Default::default(),
+            coin_partials: Vec::new(),
+            coin: None,
+            vals: None,
+        }
+    }
+}
+
+/// One agreement party.
+pub struct AbaNode {
+    setup: AbaSetup,
+    est: bool,
+    round: u32,
+    rounds: HashMap<u32, RoundState>,
+    decided: Option<bool>,
+    decided_sent: bool,
+    decided_adopt: [Quorum; 2],
+    decided_halt: [Quorum; 2],
+    /// Rounds completed before this node moved on (expected O(1)).
+    pub rounds_run: u32,
+}
+
+impl AbaNode {
+    /// A party with binary input `input`.
+    pub fn new(setup: AbaSetup, input: bool) -> Self {
+        let adopt = [setup.quorum(Ratio::of(1, 3)), setup.quorum(Ratio::of(1, 3))];
+        let halt = [setup.quorum(Ratio::of(2, 3)), setup.quorum(Ratio::of(2, 3))];
+        AbaNode {
+            setup,
+            est: input,
+            round: 0,
+            rounds: HashMap::new(),
+            decided: None,
+            decided_sent: false,
+            decided_adopt: adopt,
+            decided_halt: halt,
+            rounds_run: 0,
+        }
+    }
+
+    /// The value this node decided, if any (for post-run inspection).
+    pub fn decision(&self) -> Option<bool> {
+        self.decided
+    }
+
+    fn state(&mut self, round: u32) -> &mut RoundState {
+        let setup = &self.setup;
+        self.rounds.entry(round).or_insert_with(|| RoundState::new(setup))
+    }
+
+    fn send_bval(&mut self, round: u32, value: bool, ctx: &mut Context<AbaMsg>) {
+        let st = self.state(round);
+        if !st.bval_sent[value as usize] {
+            st.bval_sent[value as usize] = true;
+            ctx.broadcast(AbaMsg::BVal { round, value });
+        }
+    }
+
+    /// Drives the current round forward as far as buffered state allows.
+    fn progress(&mut self, ctx: &mut Context<AbaMsg>) {
+        loop {
+            let round = self.round;
+            // Phase 2: broadcast AUX once bin_values is non-empty.
+            let (bin, aux_sent) = {
+                let st = self.state(round);
+                (st.bin, st.aux_sent)
+            };
+            if !aux_sent && (bin[0] || bin[1]) {
+                // Prefer the current estimate when both are binding.
+                let v = if bin[self.est as usize] { self.est } else { bin[1] };
+                let st = self.state(round);
+                st.aux_sent = true;
+                ctx.broadcast(AbaMsg::Aux { round, value: v });
+            }
+            // Phase 3: once AUX weight > 2 f_w with values in bin_values,
+            // snapshot `vals` and release the coin shares.
+            self.try_snapshot_vals(round);
+            let need_coin = {
+                let st = self.state(round);
+                st.vals.is_some() && !st.coin_sent
+            };
+            if need_coin {
+                let partials: Vec<PartialSignature> = {
+                    let tag = self.setup.coin_tag(round);
+                    self.setup.shares[ctx.me()]
+                        .iter()
+                        .map(|s| self.setup.scheme.partial_sign(s, &tag))
+                        .collect()
+                };
+                let st = self.state(round);
+                st.coin_sent = true;
+                ctx.broadcast(AbaMsg::CoinShare { round, partials });
+            }
+            // Phase 4: decide / adopt with the coin.
+            self.try_combine_coin(round);
+            let (vals, coin) = {
+                let st = self.state(round);
+                (st.vals, st.coin)
+            };
+            let (Some(vals), Some(coin)) = (vals, coin) else { return };
+            self.rounds_run += 1;
+            if vals[0] != vals[1] {
+                // Singleton vals = {v}.
+                let v = vals[1]; // vals[1] set <=> v = true
+                self.est = v;
+                if v == coin && self.decided.is_none() {
+                    self.decide(v, ctx);
+                }
+            } else {
+                // Both values seen: adopt the coin.
+                self.est = coin;
+            }
+            self.round += 1;
+            let (next, est) = (self.round, self.est);
+            self.send_bval(next, est, ctx);
+            // Loop: buffered messages may already complete the next round.
+        }
+    }
+
+    fn try_snapshot_vals(&mut self, round: u32) {
+        let weights = self.setup.weights.clone();
+        let st = self.state(round);
+        if st.vals.is_some() || !st.aux_sent {
+            return;
+        }
+        // Weight of AUX senders whose value is currently in bin_values.
+        let mut vals = [false; 2];
+        let mut weight: u128 = 0;
+        for (&party, &v) in &st.aux_of {
+            if st.bin[v as usize] {
+                weight += u128::from(weights.get(party));
+                vals[v as usize] = true;
+            }
+        }
+        if weight * 3 > 2 * weights.total() {
+            st.vals = Some(vals);
+        }
+    }
+
+    fn try_combine_coin(&mut self, round: u32) {
+        let tag = self.setup.coin_tag(round);
+        let scheme = self.setup.scheme.clone();
+        let pk = self.setup.pk.clone();
+        let st = self.state(round);
+        if st.coin.is_some() || st.coin_partials.len() < scheme.threshold() {
+            return;
+        }
+        if let Ok(sig) = scheme.combine(&st.coin_partials) {
+            if scheme.verify(&pk, &tag, &sig) {
+                st.coin = Some(sig.beacon_output().to_u64() & 1 == 1);
+            }
+        }
+    }
+
+    fn decide(&mut self, value: bool, ctx: &mut Context<AbaMsg>) {
+        if self.decided.is_none() {
+            self.decided = Some(value);
+            ctx.output(vec![value as u8]);
+        }
+        if !self.decided_sent {
+            self.decided_sent = true;
+            ctx.broadcast(AbaMsg::Decided { value });
+        }
+    }
+}
+
+impl Protocol for AbaNode {
+    type Msg = AbaMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<AbaMsg>) {
+        let (round, est) = (self.round, self.est);
+        self.send_bval(round, est, ctx);
+        self.progress(ctx);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: AbaMsg, ctx: &mut Context<AbaMsg>) {
+        match msg {
+            AbaMsg::BVal { round, value } => {
+                let relay = {
+                    let st = self.state(round);
+                    st.bval_votes[value as usize].vote(from);
+                    st.bval_relay[value as usize].vote(from)
+                };
+                if relay {
+                    self.send_bval(round, value, ctx);
+                }
+                let st = self.state(round);
+                if st.bval_votes[value as usize].reached() {
+                    st.bin[value as usize] = true;
+                }
+            }
+            AbaMsg::Aux { round, value } => {
+                self.state(round).aux_of.entry(from).or_insert(value);
+            }
+            AbaMsg::CoinShare { round, partials } => {
+                let tag = self.setup.coin_tag(round);
+                let scheme = self.setup.scheme.clone();
+                let pk = self.setup.pk.clone();
+                let st = self.state(round);
+                for p in partials {
+                    if scheme.verify_partial(&pk, &tag, &p) && st.coin_seen.insert(p.index) {
+                        st.coin_partials.push(p);
+                    }
+                }
+            }
+            AbaMsg::Decided { value } => {
+                if self.decided_adopt[value as usize].vote(from) && self.decided.is_none() {
+                    self.decide(value, ctx);
+                }
+                if self.decided_halt[value as usize].vote(from) && self.decided == Some(value) {
+                    self.decide(value, ctx);
+                    ctx.halt();
+                    return;
+                }
+            }
+        }
+        self.progress(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use swiper_core::{Swiper, WeightRestriction};
+    use swiper_net::adversary::Silent;
+    use swiper_net::{DelayModel, Simulation};
+
+    fn run_nominal(n: usize, inputs: &[bool], silent: usize, seed: u64) -> swiper_net::RunReport {
+        let setup = AbaSetup::nominal(n, seed, &mut StdRng::seed_from_u64(seed));
+        let mut nodes: Vec<Box<dyn Protocol<Msg = AbaMsg>>> = Vec::new();
+        for i in 0..n {
+            if i >= n - silent {
+                nodes.push(Box::new(Silent::new()));
+            } else {
+                nodes.push(Box::new(AbaNode::new(setup.clone(), inputs[i % inputs.len()])));
+            }
+        }
+        Simulation::new(nodes, seed).run()
+    }
+
+    fn decisions(report: &swiper_net::RunReport, honest: usize) -> Vec<u8> {
+        (0..honest)
+            .map(|i| {
+                report.outputs[i].as_ref().unwrap_or_else(|| panic!("node {i} never decided"))[0]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn unanimous_input_decides_that_value() {
+        for seed in [1u64, 2, 3] {
+            let report = run_nominal(4, &[true], 0, seed);
+            let d = decisions(&report, 4);
+            assert!(d.iter().all(|&v| v == 1), "validity violated, seed {seed}");
+        }
+        for seed in [4u64, 5] {
+            let report = run_nominal(4, &[false], 0, seed);
+            let d = decisions(&report, 4);
+            assert!(d.iter().all(|&v| v == 0), "validity violated, seed {seed}");
+        }
+    }
+
+    #[test]
+    fn mixed_inputs_still_agree() {
+        for seed in [7u64, 8, 9, 10] {
+            let report = run_nominal(4, &[true, false, true, false], 0, seed);
+            let d = decisions(&report, 4);
+            assert!(d.windows(2).all(|w| w[0] == w[1]), "agreement violated, seed {seed}: {d:?}");
+        }
+    }
+
+    #[test]
+    fn tolerates_t_silent_parties() {
+        // n = 7, t = 2 silent.
+        for seed in [11u64, 12] {
+            let report = run_nominal(7, &[true, false], 2, seed);
+            let d = decisions(&report, 5);
+            assert!(d.windows(2).all(|w| w[0] == w[1]), "seed {seed}: {d:?}");
+        }
+    }
+
+    #[test]
+    fn adversarial_delays_do_not_break_agreement() {
+        let setup = AbaSetup::nominal(4, 99, &mut StdRng::seed_from_u64(99));
+        let inputs = [true, false, false, true];
+        let nodes: Vec<Box<dyn Protocol<Msg = AbaMsg>>> = inputs
+            .iter()
+            .map(|&inp| Box::new(AbaNode::new(setup.clone(), inp)) as _)
+            .collect();
+        let report =
+            Simulation::new(nodes, 99).with_delay(DelayModel::BiasAgainstLowIds(1, 60)).run();
+        let d = decisions(&report, 4);
+        assert!(d.windows(2).all(|w| w[0] == w[1]), "{d:?}");
+    }
+
+    #[test]
+    fn weighted_aba_end_to_end() {
+        // The paper's §6.2 composition: weighted voting + WR(1/3, 1/2)
+        // tickets for the coin, f_w = f_n = 1/3.
+        let weights = Weights::new(vec![40, 25, 15, 10, 10]).unwrap();
+        let params = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2)).unwrap();
+        let sol = Swiper::new().solve_restriction(&weights, &params).unwrap();
+        for seed in [21u64, 22] {
+            let setup = AbaSetup::deal(
+                weights.clone(),
+                &sol.assignment,
+                seed,
+                &mut StdRng::seed_from_u64(seed),
+            );
+            let inputs = [true, false, true, false, true];
+            let nodes: Vec<Box<dyn Protocol<Msg = AbaMsg>>> = inputs
+                .iter()
+                .map(|&inp| Box::new(AbaNode::new(setup.clone(), inp)) as _)
+                .collect();
+            let report = Simulation::new(nodes, seed).run();
+            let d = decisions(&report, 5);
+            assert!(d.windows(2).all(|w| w[0] == w[1]), "seed {seed}: {d:?}");
+        }
+    }
+
+    #[test]
+    fn weighted_aba_tolerates_silent_weight() {
+        // Silent parties hold 30% (< 1/3) of the weight.
+        let weights = Weights::new(vec![30, 25, 20, 15, 10]).unwrap();
+        let params = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2)).unwrap();
+        let sol = Swiper::new().solve_restriction(&weights, &params).unwrap();
+        let setup =
+            AbaSetup::deal(weights, &sol.assignment, 31, &mut StdRng::seed_from_u64(31));
+        let mut nodes: Vec<Box<dyn Protocol<Msg = AbaMsg>>> = Vec::new();
+        nodes.push(Box::new(Silent::new())); // party 0: 30%
+        for i in 1..5 {
+            nodes.push(Box::new(AbaNode::new(setup.clone(), i % 2 == 0)));
+        }
+        let report = Simulation::new(nodes, 31).run();
+        let d: Vec<u8> =
+            (1..5).map(|i| report.outputs[i].as_ref().expect("decided")[0]).collect();
+        assert!(d.windows(2).all(|w| w[0] == w[1]), "{d:?}");
+    }
+}

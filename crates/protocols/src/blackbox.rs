@@ -1,0 +1,444 @@
+//! The black-box transformation (paper Section 4.4).
+//!
+//! Given **any** nominal protocol `P` designed for `T` participants with
+//! resilience `f_n`, and a Weight Restriction solution with
+//! `alpha_w := f_w`, `alpha_n := f_n` (`f_w = f_n - epsilon`), the weighted
+//! protocol `P'` simply runs `P` over `T` *virtual users*, party `i`
+//! controlling `t_i` of them:
+//!
+//! * messages between virtual users of the same party short-circuit
+//!   in-process; cross-party messages are wrapped and routed to the owner;
+//! * party `i` outputs the value output by its first virtual identity;
+//! * parties with `t_i = 0` cannot run virtual users — they wait for
+//!   parties of total weight `> f_w * W` *vouching* for the same output
+//!   (at least one voucher is honest, so the adopted output is correct).
+//!
+//! Because corrupt weight `< f_w * W` maps to `< f_n * T` virtual users,
+//! `P`'s guarantees carry over verbatim. The transformation needs no
+//! knowledge of `P`'s internals — the wrapper below is generic over any
+//! [`swiper_net::Protocol`] implementation.
+
+use std::collections::{HashMap, VecDeque};
+
+use swiper_core::{Ratio, TicketAssignment, VirtualUsers, Weights};
+use swiper_net::{Context, Effects, MessageSize, NodeId, Protocol};
+
+use crate::quorum::{QuorumTracker, WeightQuorum};
+
+/// Wrapper messages of the transformed protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlackBoxMsg<M> {
+    /// A nominal-protocol message between two virtual users.
+    Inner {
+        /// Sending virtual user.
+        from_virtual: u32,
+        /// Receiving virtual user.
+        to_virtual: u32,
+        /// The wrapped nominal message.
+        msg: M,
+    },
+    /// Output voucher for zero-ticket parties.
+    Vouch {
+        /// The vouched output.
+        output: Vec<u8>,
+    },
+}
+
+impl<M: MessageSize> MessageSize for BlackBoxMsg<M> {
+    fn size_bytes(&self) -> usize {
+        match self {
+            BlackBoxMsg::Inner { msg, .. } => 8 + msg.size_bytes(),
+            BlackBoxMsg::Vouch { output } => output.len(),
+        }
+    }
+}
+
+/// Shared transformation parameters.
+#[derive(Debug, Clone)]
+pub struct BlackBoxConfig {
+    weights: Weights,
+    mapping: VirtualUsers,
+    f_w: Ratio,
+}
+
+impl BlackBoxConfig {
+    /// Builds the configuration from the weighted system and its WR ticket
+    /// assignment (`alpha_w = f_w`, `alpha_n = f_n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on weight/ticket length mismatch or an empty assignment.
+    pub fn new(weights: Weights, tickets: &TicketAssignment, f_w: Ratio) -> Self {
+        assert_eq!(weights.len(), tickets.len(), "weights/tickets mismatch");
+        let mapping = VirtualUsers::from_assignment(tickets).expect("fits memory");
+        assert!(mapping.total() > 0, "at least one virtual user required");
+        BlackBoxConfig { weights, mapping, f_w }
+    }
+
+    /// Number of virtual users `T`.
+    pub fn virtual_count(&self) -> usize {
+        self.mapping.total()
+    }
+
+    /// The virtual-user mapping.
+    pub fn mapping(&self) -> &VirtualUsers {
+        &self.mapping
+    }
+}
+
+/// The transformed node: party `i` running its `t_i` virtual users of `P`.
+pub struct BlackBox<P: Protocol> {
+    config: BlackBoxConfig,
+    party: usize,
+    /// My virtual users: `(virtual id, automaton, halted)`.
+    virtuals: Vec<(usize, P, bool)>,
+    vouch_quorums: HashMap<Vec<u8>, WeightQuorum>,
+    output_done: bool,
+    started: bool,
+}
+
+impl<P: Protocol> BlackBox<P> {
+    /// Creates party `party`'s wrapper; `factory(v)` builds the automaton
+    /// for virtual user `v` (it will see `n = T` and `me = v`).
+    pub fn new<F>(config: BlackBoxConfig, party: usize, mut factory: F) -> Self
+    where
+        F: FnMut(usize) -> P,
+    {
+        let virtuals =
+            config.mapping.virtuals_of(party).map(|v| (v, factory(v), false)).collect();
+        BlackBox {
+            config,
+            party,
+            virtuals,
+            vouch_quorums: HashMap::new(),
+            output_done: false,
+            started: false,
+        }
+    }
+
+    /// Routes one batch of inner effects, draining same-party deliveries
+    /// in-process until quiescent.
+    fn route(
+        &mut self,
+        initial: Vec<(usize, Effects<P::Msg>)>,
+        ctx: &mut Context<BlackBoxMsg<P::Msg>>,
+    ) {
+        // Queue of (from_virtual, to_virtual, msg) for local delivery.
+        let mut local: VecDeque<(usize, usize, P::Msg)> = VecDeque::new();
+        let mut pending: Vec<(usize, Effects<P::Msg>)> = initial;
+        loop {
+            for (from_v, effects) in pending.drain(..) {
+                self.apply_effects(from_v, effects, &mut local, ctx);
+            }
+            let Some((from_v, to_v, msg)) = local.pop_front() else { break };
+            let total = self.config.virtual_count();
+            if let Some(slot) =
+                self.virtuals.iter_mut().find(|(v, _, halted)| *v == to_v && !halted)
+            {
+                let mut inner_ctx = Context::detached(to_v, total, ctx.now());
+                slot.1.on_message(from_v, msg, &mut inner_ctx);
+                pending.push((to_v, inner_ctx.into_effects()));
+            }
+        }
+    }
+
+    fn apply_effects(
+        &mut self,
+        from_v: usize,
+        effects: Effects<P::Msg>,
+        local: &mut VecDeque<(usize, usize, P::Msg)>,
+        ctx: &mut Context<BlackBoxMsg<P::Msg>>,
+    ) {
+        let Effects { outbox, timers, output, halted } = effects;
+        for (to_v, msg) in outbox {
+            let owner = self.config.mapping.owner_of(to_v);
+            if owner == self.party {
+                local.push_back((from_v, to_v, msg));
+            } else {
+                ctx.send(
+                    owner,
+                    BlackBoxMsg::Inner {
+                        from_virtual: from_v as u32,
+                        to_virtual: to_v as u32,
+                        msg,
+                    },
+                );
+            }
+        }
+        for (delay, id) in timers {
+            // Encode the virtual id in the high bits of the timer id.
+            assert!(id < 1 << 32, "inner timer ids must fit 32 bits");
+            ctx.set_timer(delay, ((from_v as u64) << 32) | id);
+        }
+        if let Some(out) = output {
+            // "Party i outputs the value output by its first virtual
+            // identity" — we take the first *producing* virtual user and
+            // vouch it towards zero-ticket parties.
+            if !self.output_done {
+                self.output_done = true;
+                ctx.output(out.clone());
+                ctx.broadcast(BlackBoxMsg::Vouch { output: out });
+            }
+        }
+        if halted {
+            if let Some(slot) = self.virtuals.iter_mut().find(|(v, _, _)| *v == from_v) {
+                slot.2 = true;
+            }
+        }
+    }
+}
+
+impl<P: Protocol> Protocol for BlackBox<P> {
+    type Msg = BlackBoxMsg<P::Msg>;
+
+    fn on_start(&mut self, ctx: &mut Context<Self::Msg>) {
+        self.started = true;
+        let total = self.config.virtual_count();
+        let mut pending = Vec::new();
+        // Collect virtual ids first to satisfy the borrow checker, then
+        // start each automaton.
+        let ids: Vec<usize> = self.virtuals.iter().map(|(v, _, _)| *v).collect();
+        for v in ids {
+            let mut inner_ctx = Context::detached(v, total, ctx.now());
+            if let Some(slot) = self.virtuals.iter_mut().find(|(id, _, _)| *id == v) {
+                slot.1.on_start(&mut inner_ctx);
+            }
+            pending.push((v, inner_ctx.into_effects()));
+        }
+        self.route(pending, ctx);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: Self::Msg, ctx: &mut Context<Self::Msg>) {
+        match msg {
+            BlackBoxMsg::Inner { from_virtual, to_virtual, msg } => {
+                let (from_v, to_v) = (from_virtual as usize, to_virtual as usize);
+                if from_v >= self.config.virtual_count()
+                    || to_v >= self.config.virtual_count()
+                {
+                    return;
+                }
+                // Anti-spoofing: the wire sender must own the claimed
+                // virtual sender; we must own the recipient.
+                if self.config.mapping.owner_of(from_v) != from
+                    || self.config.mapping.owner_of(to_v) != self.party
+                {
+                    return;
+                }
+                let total = self.config.virtual_count();
+                let mut pending = Vec::new();
+                if let Some(slot) =
+                    self.virtuals.iter_mut().find(|(v, _, halted)| *v == to_v && !halted)
+                {
+                    let mut inner_ctx = Context::detached(to_v, total, ctx.now());
+                    slot.1.on_message(from_v, msg, &mut inner_ctx);
+                    pending.push((to_v, inner_ctx.into_effects()));
+                }
+                self.route(pending, ctx);
+            }
+            BlackBoxMsg::Vouch { output } => {
+                let weights = self.config.weights.clone();
+                let f_w = self.config.f_w;
+                let q = self
+                    .vouch_quorums
+                    .entry(output.clone())
+                    .or_insert_with(|| WeightQuorum::new(weights, f_w));
+                if q.vote(from) && !self.output_done {
+                    // Weight > f_w vouching the same output: at least one
+                    // voucher is honest.
+                    self.output_done = true;
+                    ctx.output(output);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, id: u64, ctx: &mut Context<Self::Msg>) {
+        let v = (id >> 32) as usize;
+        let inner_id = id & 0xFFFF_FFFF;
+        let total = self.config.virtual_count();
+        let mut pending = Vec::new();
+        if let Some(slot) = self.virtuals.iter_mut().find(|(vid, _, halted)| *vid == v && !halted)
+        {
+            let mut inner_ctx = Context::detached(v, total, ctx.now());
+            slot.1.on_timer(inner_id, &mut inner_ctx);
+            pending.push((v, inner_ctx.into_effects()));
+        }
+        self.route(pending, ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aba::{AbaMsg, AbaNode, AbaSetup};
+    use crate::bracha::{BrachaConfig, BrachaMsg, BrachaNode};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use swiper_core::{Swiper, WeightRestriction};
+    use swiper_net::Simulation;
+
+    /// WR(f_w = 1/4, f_n = 1/3): the epsilon-loss transformation setup.
+    fn config(ws: &[u64]) -> (BlackBoxConfig, TicketAssignment) {
+        let weights = Weights::new(ws.to_vec()).unwrap();
+        let params = WeightRestriction::new(Ratio::of(1, 4), Ratio::of(1, 3)).unwrap();
+        let sol = Swiper::new().solve_restriction(&weights, &params).unwrap();
+        (BlackBoxConfig::new(weights, &sol.assignment, Ratio::of(1, 4)), sol.assignment)
+    }
+
+    #[test]
+    fn blackbox_bracha_broadcast_reaches_all_parties() {
+        // Nominal Bracha over T virtual users, wrapped for 5 weighted
+        // parties. Virtual user 0 is the designated sender.
+        let (config, tickets) = config(&[50, 20, 15, 10, 5]);
+        let total = config.virtual_count();
+        let payload = b"black-box broadcast".to_vec();
+        let bracha_cfg = BrachaConfig::nominal(total);
+        let nodes: Vec<Box<dyn Protocol<Msg = BlackBoxMsg<BrachaMsg>>>> = (0..5)
+            .map(|party| {
+                let bc = bracha_cfg.clone();
+                let payload = payload.clone();
+                Box::new(BlackBox::new(config.clone(), party, move |v| {
+                    if v == 0 {
+                        BrachaNode::sender(bc.clone(), 0, payload.clone())
+                    } else {
+                        BrachaNode::new(bc.clone(), 0)
+                    }
+                })) as _
+            })
+            .collect();
+        let report = Simulation::new(nodes, 3).run();
+        let _ = tickets;
+        for (i, out) in report.outputs.iter().enumerate() {
+            assert_eq!(out.as_deref(), Some(payload.as_slice()), "party {i}");
+        }
+    }
+
+    #[test]
+    fn blackbox_aba_agreement_and_validity() {
+        // Nominal (equal-ticket) ABA wrapped into the weighted model.
+        let (config, _tickets) = config(&[40, 30, 20, 10]);
+        let total = config.virtual_count();
+        let setup = AbaSetup::nominal(total, 77, &mut StdRng::seed_from_u64(77));
+        // All parties input `true` -> must decide true (validity).
+        let nodes: Vec<Box<dyn Protocol<Msg = BlackBoxMsg<AbaMsg>>>> = (0..4)
+            .map(|party| {
+                let s = setup.clone();
+                Box::new(BlackBox::new(config.clone(), party, move |_v| {
+                    AbaNode::new(s.clone(), true)
+                })) as _
+            })
+            .collect();
+        let report = Simulation::new(nodes, 7).run();
+        for (i, out) in report.outputs.iter().enumerate() {
+            assert_eq!(out.as_deref(), Some(&[1u8][..]), "party {i}");
+        }
+    }
+
+    #[test]
+    fn blackbox_aba_mixed_inputs_agree() {
+        let (config, _) = config(&[40, 30, 20, 10]);
+        let total = config.virtual_count();
+        for seed in [5u64, 6] {
+            let setup = AbaSetup::nominal(total, seed, &mut StdRng::seed_from_u64(seed));
+            let nodes: Vec<Box<dyn Protocol<Msg = BlackBoxMsg<AbaMsg>>>> = (0..4)
+                .map(|party| {
+                    let s = setup.clone();
+                    let input = party % 2 == 0;
+                    Box::new(BlackBox::new(config.clone(), party, move |_v| {
+                        AbaNode::new(s.clone(), input)
+                    })) as _
+                })
+                .collect();
+            let report = Simulation::new(nodes, seed).run();
+            assert!(report.agreement_among(&[0, 1, 2, 3]), "seed {seed}");
+            for i in 0..4 {
+                assert!(report.outputs[i].is_some(), "party {i} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_ticket_parties_learn_via_vouchers() {
+        // Engineer a distribution where a dust party gets zero tickets.
+        let weights = Weights::new(vec![500, 300, 198, 1, 1]).unwrap();
+        let params = WeightRestriction::new(Ratio::of(1, 4), Ratio::of(1, 3)).unwrap();
+        let sol = Swiper::new().solve_restriction(&weights, &params).unwrap();
+        let zero_parties: Vec<usize> =
+            (0..5).filter(|&p| sol.assignment.get(p) == 0).collect();
+        assert!(!zero_parties.is_empty(), "need a zero-ticket party: {:?}",
+            sol.assignment.as_slice());
+        let config = BlackBoxConfig::new(weights, &sol.assignment, Ratio::of(1, 4));
+        let total = config.virtual_count();
+        let payload = b"vouched".to_vec();
+        let bracha_cfg = BrachaConfig::nominal(total);
+        let nodes: Vec<Box<dyn Protocol<Msg = BlackBoxMsg<BrachaMsg>>>> = (0..5)
+            .map(|party| {
+                let bc = bracha_cfg.clone();
+                let payload = payload.clone();
+                Box::new(BlackBox::new(config.clone(), party, move |v| {
+                    if v == 0 {
+                        BrachaNode::sender(bc.clone(), 0, payload.clone())
+                    } else {
+                        BrachaNode::new(bc.clone(), 0)
+                    }
+                })) as _
+            })
+            .collect();
+        let report = Simulation::new(nodes, 11).run();
+        for &p in &zero_parties {
+            assert_eq!(
+                report.outputs[p].as_deref(),
+                Some(payload.as_slice()),
+                "zero-ticket party {p} must learn the output"
+            );
+        }
+    }
+
+    #[test]
+    fn spoofed_virtual_senders_are_dropped() {
+        // Party 1 claims to speak for virtual users it does not own; the
+        // wrapper must ignore those messages entirely.
+        struct Spoofer {
+            config: BlackBoxConfig,
+        }
+        impl Protocol for Spoofer {
+            type Msg = BlackBoxMsg<BrachaMsg>;
+            fn on_start(&mut self, ctx: &mut Context<Self::Msg>) {
+                // Claim to be virtual user 0 (owned by party 0).
+                let owner0 = self.config.mapping().owner_of(0);
+                assert_ne!(owner0, 1);
+                for to_v in 0..self.config.virtual_count() {
+                    let owner = self.config.mapping().owner_of(to_v);
+                    ctx.send(
+                        owner,
+                        BlackBoxMsg::Inner {
+                            from_virtual: 0,
+                            to_virtual: to_v as u32,
+                            msg: BrachaMsg::Initial(b"forged".to_vec()),
+                        },
+                    );
+                }
+            }
+            fn on_message(&mut self, _f: NodeId, _m: Self::Msg, _c: &mut Context<Self::Msg>) {}
+        }
+        let (config, _) = config(&[50, 20, 15, 10, 5]);
+        let total = config.virtual_count();
+        let bracha_cfg = BrachaConfig::nominal(total);
+        let mut nodes: Vec<Box<dyn Protocol<Msg = BlackBoxMsg<BrachaMsg>>>> = Vec::new();
+        for party in 0..5 {
+            if party == 1 {
+                nodes.push(Box::new(Spoofer { config: config.clone() }));
+            } else {
+                let bc = bracha_cfg.clone();
+                nodes.push(Box::new(BlackBox::new(config.clone(), party, move |_v| {
+                    // No sender at all: nothing should ever be delivered.
+                    BrachaNode::new(bc.clone(), 0)
+                })));
+            }
+        }
+        let report = Simulation::new(nodes, 13).run();
+        for (i, out) in report.outputs.iter().enumerate() {
+            assert!(out.is_none(), "party {i} must not deliver a forged broadcast");
+        }
+    }
+}

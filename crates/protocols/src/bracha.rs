@@ -1,0 +1,318 @@
+//! Bracha asynchronous reliable broadcast, nominal and weighted.
+//!
+//! The classic three-phase protocol (INITIAL / ECHO / READY). Nominal
+//! thresholds for `n = 3t + 1` — `2t+1` echoes, `t+1` ready amplification,
+//! `2t+1` ready delivery — translate to the weighted model by *weighted
+//! voting* alone (paper Section 1.2): weight `> (1+f_w)/2` for echoes,
+//! `> f_w` for amplification, `> 2 f_w` for delivery, with `f_w = 1/3`.
+//!
+//! Bracha RBC sends the whole payload `O(n^2)` times; the erasure-coded
+//! broadcast in [`crate::avid`] is the communication-efficient alternative
+//! the paper's Section 5.1 weights with WQ.
+
+use std::collections::HashMap;
+
+use swiper_core::{Ratio, Weights};
+use swiper_crypto::hash::{digest, Digest};
+use swiper_net::{Context, MessageSize, NodeId, Protocol};
+
+use crate::quorum::{Quorum, QuorumTracker};
+
+/// Bracha protocol messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BrachaMsg {
+    /// Sender's initial payload.
+    Initial(Vec<u8>),
+    /// Echo of the payload (keyed by digest; payload carried for delivery).
+    Echo(Digest, Vec<u8>),
+    /// Ready declaration.
+    Ready(Digest, Vec<u8>),
+}
+
+impl MessageSize for BrachaMsg {
+    fn size_bytes(&self) -> usize {
+        match self {
+            BrachaMsg::Initial(p) => 1 + p.len(),
+            BrachaMsg::Echo(_, p) | BrachaMsg::Ready(_, p) => 1 + 32 + p.len(),
+        }
+    }
+}
+
+/// Quorum configuration shared by all Bracha nodes of one instance.
+#[derive(Debug, Clone)]
+pub struct BrachaConfig {
+    n: usize,
+    weights: Option<Weights>,
+}
+
+impl BrachaConfig {
+    /// Nominal configuration for `n` parties (`t < n/3` tolerated).
+    pub fn nominal(n: usize) -> Self {
+        BrachaConfig { n, weights: None }
+    }
+
+    /// Weighted configuration (`f_w = 1/3` of total weight tolerated).
+    pub fn weighted(weights: Weights) -> Self {
+        BrachaConfig { n: weights.len(), weights: Some(weights) }
+    }
+
+    fn quorum(&self, threshold: Ratio) -> Quorum {
+        match &self.weights {
+            None => Quorum::nominal(self.n, threshold),
+            Some(w) => Quorum::weighted(w.clone(), threshold),
+        }
+    }
+
+    /// Echo quorum: `> (1 + f_w)/2 = 2/3` of weight (or `> 2n/3` parties).
+    fn echo_quorum(&self) -> Quorum {
+        self.quorum(Ratio::of(2, 3))
+    }
+
+    /// Ready amplification: `> f_w = 1/3`.
+    fn amplify_quorum(&self) -> Quorum {
+        self.quorum(Ratio::of(1, 3))
+    }
+
+    /// Delivery: `> 2 f_w = 2/3`.
+    fn deliver_quorum(&self) -> Quorum {
+        self.quorum(Ratio::of(2, 3))
+    }
+}
+
+/// One Bracha node.
+pub struct BrachaNode {
+    config: BrachaConfig,
+    sender: NodeId,
+    /// `Some(payload)` when this node is the sender.
+    input: Option<Vec<u8>>,
+    echoed: bool,
+    ready_sent: bool,
+    delivered: bool,
+    echo_quorums: HashMap<Digest, Quorum>,
+    ready_amplify: HashMap<Digest, Quorum>,
+    ready_deliver: HashMap<Digest, Quorum>,
+}
+
+impl BrachaNode {
+    /// A non-sender node waiting for `sender`'s broadcast.
+    pub fn new(config: BrachaConfig, sender: NodeId) -> Self {
+        BrachaNode {
+            config,
+            sender,
+            input: None,
+            echoed: false,
+            ready_sent: false,
+            delivered: false,
+            echo_quorums: HashMap::new(),
+            ready_amplify: HashMap::new(),
+            ready_deliver: HashMap::new(),
+        }
+    }
+
+    /// The sender node with its payload.
+    pub fn sender(config: BrachaConfig, sender: NodeId, payload: Vec<u8>) -> Self {
+        let mut node = Self::new(config, sender);
+        node.input = Some(payload);
+        node
+    }
+
+    fn maybe_ready(&mut self, d: Digest, payload: &[u8], ctx: &mut Context<BrachaMsg>) {
+        if !self.ready_sent {
+            self.ready_sent = true;
+            ctx.broadcast(BrachaMsg::Ready(d, payload.to_vec()));
+        }
+    }
+}
+
+impl Protocol for BrachaNode {
+    type Msg = BrachaMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<BrachaMsg>) {
+        if let Some(payload) = self.input.clone() {
+            ctx.broadcast(BrachaMsg::Initial(payload));
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: BrachaMsg, ctx: &mut Context<BrachaMsg>) {
+        match msg {
+            BrachaMsg::Initial(payload) => {
+                // Only the designated sender's first INITIAL is echoed.
+                if from == self.sender && !self.echoed {
+                    self.echoed = true;
+                    let d = digest(&payload);
+                    ctx.broadcast(BrachaMsg::Echo(d, payload));
+                }
+            }
+            BrachaMsg::Echo(d, payload) => {
+                if digest(&payload) != d {
+                    return; // malformed
+                }
+                let q = self
+                    .echo_quorums
+                    .entry(d)
+                    .or_insert_with(|| self.config.echo_quorum());
+                if q.vote(from) {
+                    self.maybe_ready(d, &payload, ctx);
+                }
+            }
+            BrachaMsg::Ready(d, payload) => {
+                if digest(&payload) != d {
+                    return;
+                }
+                // Amplification: join READY once weight > f_w supports it.
+                let amplify = self
+                    .ready_amplify
+                    .entry(d)
+                    .or_insert_with(|| self.config.amplify_quorum());
+                if amplify.vote(from) {
+                    self.maybe_ready(d, &payload, ctx);
+                }
+                // Delivery: the bigger `> 2 f_w` quorum.
+                let deliver = self
+                    .ready_deliver
+                    .entry(d)
+                    .or_insert_with(|| self.config.deliver_quorum());
+                if deliver.vote(from) && !self.delivered {
+                    self.delivered = true;
+                    ctx.output(payload);
+                    ctx.halt();
+                }
+            }
+        }
+    }
+}
+
+/// A Byzantine sender that equivocates: sends payload `a` to even-numbered
+/// nodes and payload `b` to odd ones.
+pub struct EquivocatingSender {
+    /// Payload for even-numbered receivers.
+    pub a: Vec<u8>,
+    /// Payload for odd-numbered receivers.
+    pub b: Vec<u8>,
+}
+
+impl Protocol for EquivocatingSender {
+    type Msg = BrachaMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<BrachaMsg>) {
+        for to in 0..ctx.n() {
+            let payload = if to % 2 == 0 { self.a.clone() } else { self.b.clone() };
+            ctx.send(to, BrachaMsg::Initial(payload));
+        }
+    }
+
+    fn on_message(&mut self, _from: NodeId, _msg: BrachaMsg, _ctx: &mut Context<BrachaMsg>) {}
+}
+
+#[cfg(test)]
+#[allow(clippy::vec_init_then_push)]
+mod tests {
+    use super::*;
+    use swiper_net::adversary::Silent;
+    use swiper_net::{DelayModel, Simulation};
+
+    fn run_nominal(n: usize, byz_silent: usize, seed: u64) -> swiper_net::RunReport {
+        let config = BrachaConfig::nominal(n);
+        let payload = b"broadcast me".to_vec();
+        let mut nodes: Vec<Box<dyn Protocol<Msg = BrachaMsg>>> = Vec::new();
+        nodes.push(Box::new(BrachaNode::sender(config.clone(), 0, payload)));
+        for i in 1..n {
+            if i > n - 1 - byz_silent {
+                nodes.push(Box::new(Silent::new()));
+            } else {
+                nodes.push(Box::new(BrachaNode::new(config.clone(), 0)));
+            }
+        }
+        Simulation::new(nodes, seed).run()
+    }
+
+    #[test]
+    fn honest_sender_all_deliver() {
+        let report = run_nominal(4, 0, 7);
+        for out in &report.outputs {
+            assert_eq!(out.as_deref(), Some(b"broadcast me".as_ref()));
+        }
+    }
+
+    #[test]
+    fn tolerates_t_silent_nodes() {
+        // n = 7, t = 2 silent: the 5 honest nodes still deliver.
+        let report = run_nominal(7, 2, 21);
+        for i in 0..5 {
+            assert_eq!(report.outputs[i].as_deref(), Some(b"broadcast me".as_ref()), "node {i}");
+        }
+    }
+
+    #[test]
+    fn equivocating_sender_cannot_split_honest_nodes() {
+        for seed in 0..10 {
+            let config = BrachaConfig::nominal(4);
+            let mut nodes: Vec<Box<dyn Protocol<Msg = BrachaMsg>>> = Vec::new();
+            nodes.push(Box::new(EquivocatingSender { a: b"A".to_vec(), b: b"B".to_vec() }));
+            for _ in 1..4 {
+                nodes.push(Box::new(BrachaNode::new(config.clone(), 0)));
+            }
+            let report = Simulation::new(nodes, seed).run();
+            // Agreement: no two honest nodes deliver different values
+            // (delivering nothing is allowed under an equivocating sender).
+            assert!(report.agreement_among(&[1, 2, 3]), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn weighted_whale_quorums_deliver() {
+        // A 4-party weighted instance where one party holds most weight.
+        let weights = Weights::new(vec![70, 10, 10, 10]).unwrap();
+        let config = BrachaConfig::weighted(weights);
+        let payload = b"weighted".to_vec();
+        let mut nodes: Vec<Box<dyn Protocol<Msg = BrachaMsg>>> = Vec::new();
+        nodes.push(Box::new(BrachaNode::sender(config.clone(), 0, payload)));
+        for _ in 1..4 {
+            nodes.push(Box::new(BrachaNode::new(config.clone(), 0)));
+        }
+        let report = Simulation::new(nodes, 3).run();
+        for out in &report.outputs {
+            assert_eq!(out.as_deref(), Some(b"weighted".as_ref()));
+        }
+    }
+
+    #[test]
+    fn weighted_tolerates_heavy_silent_minority() {
+        // Silent parties hold 30% of weight (< 1/3): still live.
+        let weights = Weights::new(vec![40, 30, 15, 15]).unwrap();
+        let config = BrachaConfig::weighted(weights);
+        let mut nodes: Vec<Box<dyn Protocol<Msg = BrachaMsg>>> = Vec::new();
+        nodes.push(Box::new(BrachaNode::sender(config.clone(), 0, b"x".to_vec())));
+        nodes.push(Box::new(Silent::new())); // 30% silent
+        nodes.push(Box::new(BrachaNode::new(config.clone(), 0)));
+        nodes.push(Box::new(BrachaNode::new(config.clone(), 0)));
+        let report = Simulation::new(nodes, 5).run();
+        assert_eq!(report.outputs[0].as_deref(), Some(b"x".as_ref()));
+        assert_eq!(report.outputs[2].as_deref(), Some(b"x".as_ref()));
+        assert_eq!(report.outputs[3].as_deref(), Some(b"x".as_ref()));
+    }
+
+    #[test]
+    fn payload_bytes_scale_quadratically() {
+        // Bracha's cost: every node rebroadcasts the payload; total bytes
+        // is Omega(n^2 * |M|). This is the baseline AVID beats.
+        let big = vec![0xAB; 1000];
+        let config = BrachaConfig::nominal(4);
+        let mut nodes: Vec<Box<dyn Protocol<Msg = BrachaMsg>>> = Vec::new();
+        nodes.push(Box::new(BrachaNode::sender(config.clone(), 0, big)));
+        for _ in 1..4 {
+            nodes.push(Box::new(BrachaNode::new(config.clone(), 0)));
+        }
+        let report = Simulation::new(nodes, 9).with_delay(DelayModel::Fixed(1)).run();
+        // >= n^2 payload-bearing messages (4 initial + 16 echo + 16 ready).
+        assert!(report.metrics.total_bytes() >= (4 + 16 + 16) * 1000);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = run_nominal(5, 1, 13);
+        let b = run_nominal(5, 1, 13);
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.events, b.events);
+    }
+}

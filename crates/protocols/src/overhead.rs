@@ -1,0 +1,307 @@
+//! Analytic worst-case overhead factors — the generator behind Table 1.
+//!
+//! Each row of the paper's Table 1 bounds the communication/computation
+//! overhead of a weighted protocol relative to its nominal counterpart with
+//! the same number of parties. The factors derive from two quantities:
+//!
+//! * the **ticket inflation** `T/n <= c(1-c)/gap` from Theorems 2.1/2.3
+//!   (more fragments / shares / virtual users to process);
+//! * the **rate loss** `r_nominal / r_weighted` for coded protocols
+//!   (Sections 5.1–5.2 walk through the arithmetic).
+//!
+//! Where the published table used the pre-optimization bound
+//! `alpha_w / (alpha_n - alpha_w)` (without the constant-`c` improvement
+//! credited to Benny Pinkas in the acknowledgements), our tighter factors
+//! are smaller; `paper_value` records the published number for comparison
+//! in EXPERIMENTS.md.
+
+use swiper_core::{CoreError, Ratio, WeightQualification, WeightRestriction};
+
+/// One row of the overhead table.
+#[derive(Debug, Clone)]
+pub struct OverheadRow {
+    /// Protocol family (paper row label).
+    pub protocol: &'static str,
+    /// Which weight reduction problem powers it.
+    pub reduction: &'static str,
+    /// Weighted resilience `f_w`.
+    pub f_w: Ratio,
+    /// Nominal resilience `f_n`.
+    pub f_n: Ratio,
+    /// Worst-case communication overhead factor (ours, tight bound).
+    pub comm: f64,
+    /// Worst-case computation overhead factor (ours, tight bound).
+    pub comp: f64,
+    /// The factor printed in the paper's Table 1 (comm, comp).
+    pub paper: (f64, f64),
+    /// Derivation note.
+    pub note: &'static str,
+}
+
+/// Ticket inflation `T/n` for a Weight Restriction instance
+/// (`alpha_w (1 - alpha_w) / (alpha_n - alpha_w)`, Theorem 2.1).
+///
+/// # Errors
+///
+/// Propagates threshold validation errors.
+pub fn wr_ticket_factor(alpha_w: Ratio, alpha_n: Ratio) -> Result<f64, CoreError> {
+    let params = WeightRestriction::new(alpha_w, alpha_n)?;
+    // Evaluate the bound at a large n to squeeze out the ceiling.
+    let n = 1_000_000u64;
+    Ok(params.ticket_bound(n)? as f64 / n as f64)
+}
+
+/// Ticket inflation for a Weight Qualification instance (Corollary 2.3).
+///
+/// # Errors
+///
+/// Propagates threshold validation errors.
+pub fn wq_ticket_factor(beta_w: Ratio, beta_n: Ratio) -> Result<f64, CoreError> {
+    let params = WeightQualification::new(beta_w, beta_n)?;
+    let n = 1_000_000u64;
+    Ok(params.ticket_bound(n)? as f64 / n as f64)
+}
+
+/// Communication overhead of a coded protocol: the rate ratio
+/// `r_nominal / r_weighted`.
+pub fn rate_overhead(nominal_rate: Ratio, weighted_rate: Ratio) -> f64 {
+    nominal_rate.to_f64() / weighted_rate.to_f64()
+}
+
+/// Computation overhead of Berlekamp–Massey-style decoding:
+/// `(r_n / r_w) * (m_w / n)` — rate loss times fragment inflation
+/// (Section 5.1's `O(m / r * M)` cost model).
+pub fn decode_overhead(rate_factor: f64, ticket_factor: f64) -> f64 {
+    rate_factor * ticket_factor
+}
+
+/// Builds the full Table 1 (paper order).
+pub fn table1() -> Vec<OverheadRow> {
+    let third = Ratio::of(1, 3);
+    let quarter = Ratio::of(1, 4);
+    let half = Ratio::of(1, 2);
+
+    // Broadcast (WQ, beta_w = 1/3, beta_n = 1/4): x1.33 comm, x3.56 comp.
+    let bc_tickets = wq_ticket_factor(third, quarter).expect("valid");
+    let bc_comm = rate_overhead(third, quarter);
+    let bc_comp = decode_overhead(bc_comm, bc_tickets);
+
+    // RNG / signing (WR 1/3 -> 1/2): tickets x4/3; comm & comp x1.33.
+    let rng_tickets = wr_ticket_factor(third, half).expect("valid");
+
+    // Error-corrected broadcast (WQ beta_w = 2/3, beta_n = 5/8, r = 1/4):
+    // comm x(1/3)/(1/4) = 1.33, comp x(4/3)*(16/3) = 7.11.
+    let ec_tickets = wq_ticket_factor(Ratio::of(2, 3), Ratio::of(5, 8)).expect("valid");
+    let ec_comm = rate_overhead(third, quarter);
+    let ec_comp = decode_overhead(ec_comm, ec_tickets);
+
+    // Black-box transformation at f_w = 1/4, f_n = 1/3 (WR 1/4 -> 1/3).
+    let bb_tickets = wr_ticket_factor(quarter, third).expect("valid");
+
+    // Common-coin family uses WR(1/3, 1/2) against nominal f_n = 1/2.
+    let coin_tickets = rng_tickets;
+
+    vec![
+        OverheadRow {
+            protocol: "Efficient Asynchronous State-Machine Replication",
+            reduction: "WR for RNG + WQ for Broadcast",
+            f_w: third,
+            f_n: third,
+            comm: bc_comm.max(rng_tickets),
+            comp: bc_comp.max(rng_tickets),
+            paper: (1.33, 3.56),
+            note: "x1.33 broadcast & RNG comm; x3.56 broadcast comp",
+        },
+        OverheadRow {
+            protocol: "Structured Mempool",
+            reduction: "WQ for Broadcast",
+            f_w: third,
+            f_n: third,
+            comm: bc_comm,
+            comp: bc_comp,
+            paper: (1.33, 3.56),
+            note: "same broadcast bound",
+        },
+        OverheadRow {
+            protocol: "Validated Asynchronous Byzantine Agreement",
+            reduction: "WR for RNG",
+            f_w: third,
+            f_n: third,
+            comm: rng_tickets,
+            comp: rng_tickets,
+            paper: (1.33, 1.33),
+            note: "WR(1/3,1/2) ticket inflation only",
+        },
+        OverheadRow {
+            protocol: "Consensus with Checkpoints",
+            reduction: "WR for signing",
+            f_w: third,
+            f_n: third,
+            comm: rng_tickets,
+            comp: rng_tickets,
+            paper: (1.33, 1.33),
+            note: "share inflation only",
+        },
+        OverheadRow {
+            protocol: "Linear BFT Consensus / Chain-Quality SSLE",
+            reduction: "WR (black box)",
+            f_w: quarter,
+            f_n: third,
+            comm: bb_tickets,
+            comp: bb_tickets,
+            paper: (2.67, 2.67),
+            note: "virtual-user inflation; paper used the pre-Pinkas bound",
+        },
+        OverheadRow {
+            protocol: "Erasure-Coded Storage and Broadcast",
+            reduction: "WQ",
+            f_w: third,
+            f_n: third,
+            comm: bc_comm,
+            comp: bc_comp,
+            paper: (1.33, 3.56),
+            note: "(beta_w, beta_n) = (1/3, 1/4); Section 5.1",
+        },
+        OverheadRow {
+            protocol: "Erasure-Coded Storage and Broadcast (black box)",
+            reduction: "WR (black box)",
+            f_w: quarter,
+            f_n: third,
+            comm: 1.0,
+            comp: bb_tickets,
+            paper: (1.0, 3.0),
+            note: "no comm overhead; paper used the pre-Pinkas bound",
+        },
+        OverheadRow {
+            protocol: "Error-Corrected Broadcast",
+            reduction: "WQ",
+            f_w: third,
+            f_n: third,
+            comm: ec_comm,
+            comp: ec_comp,
+            paper: (1.33, 7.11),
+            note: "(beta_w, beta_n, r) = (2/3, 5/8, 1/4); Section 5.2",
+        },
+        OverheadRow {
+            protocol: "Verifiable Secret Sharing",
+            reduction: "WR",
+            f_w: third,
+            f_n: third,
+            comm: rng_tickets,
+            comp: rng_tickets,
+            paper: (1.33, 1.33),
+            note: "share inflation",
+        },
+        OverheadRow {
+            protocol: "Common Coin / Blunt Threshold Signatures / Encryption / FHE",
+            reduction: "WR",
+            f_w: third,
+            f_n: half,
+            comm: coin_tickets,
+            comp: coin_tickets,
+            paper: (1.33, 1.33),
+            note: "WR(1/3, 1/2); blunt access structure (Section 4.2)",
+        },
+        OverheadRow {
+            protocol: "Tight Secret Sharing / Signatures / Encryption / FHE",
+            reduction: "WR",
+            f_w: half,
+            f_n: half,
+            comm: rng_tickets,
+            comp: rng_tickets,
+            paper: (1.33, 1.33),
+            note: "plus O(n^2) small vote messages (Section 4.3)",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticket_factor_matches_closed_form() {
+        // aw(1-aw)/(an-aw) for (1/3, 1/2): (1/3)(2/3)/(1/6) = 4/3.
+        let f = wr_ticket_factor(Ratio::of(1, 3), Ratio::of(1, 2)).unwrap();
+        assert!((f - 4.0 / 3.0).abs() < 1e-5, "{f}");
+        // (1/4, 1/3): (1/4)(3/4)/(1/12) = 9/4.
+        let f = wr_ticket_factor(Ratio::of(1, 4), Ratio::of(1, 3)).unwrap();
+        assert!((f - 2.25).abs() < 1e-5, "{f}");
+    }
+
+    #[test]
+    fn wq_factor_via_reduction() {
+        // (beta_w, beta_n) = (1/3, 1/4) -> WR(2/3, 3/4) -> (2/3)(1/3)/(1/12) = 8/3.
+        let f = wq_ticket_factor(Ratio::of(1, 3), Ratio::of(1, 4)).unwrap();
+        assert!((f - 8.0 / 3.0).abs() < 1e-5, "{f}");
+        // (2/3, 5/8): (2/3)(1/3)/(1/24) = 16/3.
+        let f = wq_ticket_factor(Ratio::of(2, 3), Ratio::of(5, 8)).unwrap();
+        assert!((f - 16.0 / 3.0).abs() < 1e-5, "{f}");
+        // (2/3, 1/2): (2/3)(1/3)/(1/6) = 4/3.
+        let f = wq_ticket_factor(Ratio::of(2, 3), Ratio::of(1, 2)).unwrap();
+        assert!((f - 4.0 / 3.0).abs() < 1e-5, "{f}");
+    }
+
+    #[test]
+    fn section_5_1_worked_example() {
+        // x1.33 comm, x3.56 comp for (beta_w, beta_n) = (1/3, 1/4).
+        let comm = rate_overhead(Ratio::of(1, 3), Ratio::of(1, 4));
+        assert!((comm - 4.0 / 3.0).abs() < 1e-9);
+        let tickets = wq_ticket_factor(Ratio::of(1, 3), Ratio::of(1, 4)).unwrap();
+        let comp = decode_overhead(comm, tickets);
+        assert!((comp - 32.0 / 9.0).abs() < 1e-4, "expected 3.56, got {comp}");
+    }
+
+    #[test]
+    fn section_5_2_worked_example() {
+        // x7.11 comp for (2/3, 5/8, r = 1/4).
+        let comm = rate_overhead(Ratio::of(1, 3), Ratio::of(1, 4));
+        let tickets = wq_ticket_factor(Ratio::of(2, 3), Ratio::of(5, 8)).unwrap();
+        let comp = decode_overhead(comm, tickets);
+        assert!((comp - 64.0 / 9.0).abs() < 1e-4, "expected 7.11, got {comp}");
+    }
+
+    #[test]
+    fn higher_threshold_variant() {
+        // Section 5.1's second instantiation: beta_w = 2/3, beta_n = 1/2:
+        // m <= 4/3 n and comp x1.78.
+        let comm = rate_overhead(Ratio::of(2, 3), Ratio::of(1, 2));
+        let tickets = wq_ticket_factor(Ratio::of(2, 3), Ratio::of(1, 2)).unwrap();
+        let comp = decode_overhead(comm, tickets);
+        assert!((comp - 16.0 / 9.0).abs() < 1e-4, "expected 1.78, got {comp}");
+    }
+
+    #[test]
+    fn table_has_all_paper_rows_and_sane_factors() {
+        let rows = table1();
+        assert!(rows.len() >= 11);
+        for row in &rows {
+            assert!(row.comm >= 0.99, "{}: comm {}", row.protocol, row.comm);
+            assert!(row.comp >= 0.99, "{}: comp {}", row.protocol, row.comp);
+            // Our tight bounds never exceed the published ones by more than
+            // rounding noise.
+            assert!(
+                row.comm <= row.paper.0 + 0.01,
+                "{}: comm {} vs paper {}",
+                row.protocol,
+                row.comm,
+                row.paper.0
+            );
+            assert!(
+                row.comp <= row.paper.1 + 0.01,
+                "{}: comp {} vs paper {}",
+                row.protocol,
+                row.comp,
+                row.paper.1
+            );
+        }
+    }
+
+    #[test]
+    fn preserved_resilience_rows() {
+        // The headline claim: most rows keep f_w = f_n.
+        let rows = table1();
+        let preserved = rows.iter().filter(|r| r.f_w == r.f_n).count();
+        assert!(preserved >= 7, "only {preserved} rows preserve resilience");
+    }
+}

@@ -1,0 +1,314 @@
+//! Weighted voting (paper Section 1.2): quorum trackers with exact
+//! rational thresholds.
+//!
+//! Converting a protocol from "wait for `2t+1` parties" to "wait for
+//! parties holding more than a `2/3` fraction of the weight" is the
+//! *weighted voting* strategy. [`QuorumTracker`] abstracts both forms so a
+//! protocol implementation is generic over them.
+
+use swiper_core::{Ratio, Weights};
+
+/// Tracks votes from distinct parties until a threshold is reached.
+pub trait QuorumTracker {
+    /// Registers a vote from `party`; duplicate votes are ignored.
+    /// Returns `true` once (and as long as) the quorum is reached.
+    fn vote(&mut self, party: usize) -> bool;
+
+    /// Whether the quorum has been reached.
+    fn reached(&self) -> bool;
+
+    /// Resets to the empty vote set.
+    fn reset(&mut self);
+}
+
+/// Nominal quorum: strictly more than `num/den` of the `n` parties.
+#[derive(Debug, Clone)]
+pub struct CountQuorum {
+    n: usize,
+    num: u128,
+    den: u128,
+    voted: Vec<bool>,
+    count: usize,
+}
+
+impl CountQuorum {
+    /// Quorum of strictly more than `threshold * n` parties.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold denominator is zero (cannot happen for a
+    /// valid [`Ratio`]).
+    pub fn new(n: usize, threshold: Ratio) -> Self {
+        CountQuorum { n, num: threshold.num(), den: threshold.den(), voted: vec![false; n], count: 0 }
+    }
+
+    /// Classic `k`-of-`n` quorum (at least `k` distinct parties).
+    pub fn at_least(n: usize, k: usize) -> Self {
+        // "at least k" == "strictly more than k-1": represent as (k-1)/n.
+        CountQuorum {
+            n,
+            num: k.saturating_sub(1) as u128,
+            den: n.max(1) as u128,
+            voted: vec![false; n],
+            count: 0,
+        }
+    }
+
+    /// Current number of distinct voters.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
+impl QuorumTracker for CountQuorum {
+    fn vote(&mut self, party: usize) -> bool {
+        if party < self.n && !self.voted[party] {
+            self.voted[party] = true;
+            self.count += 1;
+        }
+        self.reached()
+    }
+
+    fn reached(&self) -> bool {
+        (self.count as u128) * self.den > self.num * (self.n as u128)
+    }
+
+    fn reset(&mut self) {
+        self.voted.iter_mut().for_each(|v| *v = false);
+        self.count = 0;
+    }
+}
+
+/// Weighted quorum: strictly more than `threshold * W` of total weight.
+#[derive(Debug, Clone)]
+pub struct WeightQuorum {
+    weights: Weights,
+    num: u128,
+    den: u128,
+    voted: Vec<bool>,
+    weight: u128,
+}
+
+impl WeightQuorum {
+    /// Quorum of strictly more than `threshold * W` weight.
+    pub fn new(weights: Weights, threshold: Ratio) -> Self {
+        let n = weights.len();
+        WeightQuorum {
+            weights,
+            num: threshold.num(),
+            den: threshold.den(),
+            voted: vec![false; n],
+            weight: 0,
+        }
+    }
+
+    /// Accumulated voting weight.
+    pub fn weight(&self) -> u128 {
+        self.weight
+    }
+}
+
+impl QuorumTracker for WeightQuorum {
+    fn vote(&mut self, party: usize) -> bool {
+        if party < self.voted.len() && !self.voted[party] {
+            self.voted[party] = true;
+            self.weight += u128::from(self.weights.get(party));
+        }
+        self.reached()
+    }
+
+    fn reached(&self) -> bool {
+        self.weight * self.den > self.num * self.weights.total()
+    }
+
+    fn reset(&mut self) {
+        self.voted.iter_mut().for_each(|v| *v = false);
+        self.weight = 0;
+    }
+}
+
+/// Builds the tracker family used across the weighted protocols: a nominal
+/// tracker when `weights` is `None`, a weighted one otherwise.
+#[derive(Debug, Clone)]
+pub enum Quorum {
+    /// Count-based (nominal model).
+    Count(CountQuorum),
+    /// Weight-based (weighted model).
+    Weight(WeightQuorum),
+}
+
+impl Quorum {
+    /// Nominal quorum over `n` parties.
+    pub fn nominal(n: usize, threshold: Ratio) -> Self {
+        Quorum::Count(CountQuorum::new(n, threshold))
+    }
+
+    /// Weighted quorum.
+    pub fn weighted(weights: Weights, threshold: Ratio) -> Self {
+        Quorum::Weight(WeightQuorum::new(weights, threshold))
+    }
+}
+
+impl QuorumTracker for Quorum {
+    fn vote(&mut self, party: usize) -> bool {
+        match self {
+            Quorum::Count(q) => q.vote(party),
+            Quorum::Weight(q) => q.vote(party),
+        }
+    }
+
+    fn reached(&self) -> bool {
+        match self {
+            Quorum::Count(q) => q.reached(),
+            Quorum::Weight(q) => q.reached(),
+        }
+    }
+
+    fn reset(&mut self) {
+        match self {
+            Quorum::Count(q) => q.reset(),
+            Quorum::Weight(q) => q.reset(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_quorum_strict_threshold() {
+        // n = 6, threshold 2/3: need > 4, i.e. 5 parties.
+        let mut q = CountQuorum::new(6, Ratio::of(2, 3));
+        for p in 0..4 {
+            assert!(!q.vote(p), "party {p}");
+        }
+        assert!(q.vote(4));
+        assert!(q.reached());
+    }
+
+    #[test]
+    fn count_quorum_at_least() {
+        let mut q = CountQuorum::at_least(4, 3);
+        q.vote(0);
+        q.vote(1);
+        assert!(!q.reached());
+        q.vote(2);
+        assert!(q.reached());
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        let mut q = CountQuorum::at_least(3, 2);
+        q.vote(1);
+        q.vote(1);
+        q.vote(1);
+        assert!(!q.reached());
+        assert_eq!(q.count(), 1);
+    }
+
+    #[test]
+    fn weight_quorum_strict() {
+        let w = Weights::new(vec![50, 30, 20]).unwrap();
+        let mut q = WeightQuorum::new(w, Ratio::of(1, 2));
+        q.vote(0); // exactly 50 = W/2, not strictly more
+        assert!(!q.reached());
+        q.vote(2); // 70 > 50
+        assert!(q.reached());
+    }
+
+    #[test]
+    fn weighted_vs_nominal_divergence() {
+        // A whale alone passes the weighted 1/2 quorum but never the
+        // nominal one.
+        let w = Weights::new(vec![90, 5, 5]).unwrap();
+        let mut wq = Quorum::weighted(w, Ratio::of(1, 2));
+        let mut nq = Quorum::nominal(3, Ratio::of(1, 2));
+        assert!(wq.vote(0));
+        assert!(!nq.vote(0));
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let w = Weights::new(vec![10, 10]).unwrap();
+        let mut q = Quorum::weighted(w, Ratio::of(1, 3));
+        q.vote(0);
+        assert!(q.reached());
+        q.reset();
+        assert!(!q.reached());
+        q.vote(1);
+        assert!(q.reached());
+    }
+
+    #[test]
+    fn out_of_range_votes_ignored() {
+        let mut q = CountQuorum::at_least(2, 1);
+        q.vote(99);
+        assert!(!q.reached());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// On equal weights, weighted voting degenerates to nominal
+            /// counting — the consistency the paper's weighted-voting
+            /// conversion relies on.
+            #[test]
+            fn weighted_equals_nominal_on_equal_weights(
+                n in 1usize..30,
+                votes in proptest::collection::vec(any::<proptest::sample::Index>(), 0..40),
+                num in 1u128..6,
+            ) {
+                let threshold = Ratio::of(num, 6);
+                prop_assume!(threshold.is_proper());
+                let weights = Weights::new(vec![7; n]).unwrap();
+                let mut wq = Quorum::weighted(weights, threshold);
+                let mut nq = Quorum::nominal(n, threshold);
+                for ix in votes {
+                    let party = ix.index(n);
+                    wq.vote(party);
+                    nq.vote(party);
+                    prop_assert_eq!(wq.reached(), nq.reached());
+                }
+            }
+
+            /// Votes are monotone: once reached, a quorum stays reached.
+            #[test]
+            fn quorums_are_monotone(
+                ws in proptest::collection::vec(1u64..100, 1..12),
+                votes in proptest::collection::vec(any::<proptest::sample::Index>(), 1..40),
+            ) {
+                let n = ws.len();
+                let weights = Weights::new(ws).unwrap();
+                let mut q = Quorum::weighted(weights, Ratio::of(1, 2));
+                let mut was_reached = false;
+                for ix in votes {
+                    q.vote(ix.index(n));
+                    if was_reached {
+                        prop_assert!(q.reached(), "quorum regressed");
+                    }
+                    was_reached = q.reached();
+                }
+            }
+
+            /// Voting everyone always reaches any proper threshold.
+            #[test]
+            fn full_participation_reaches(
+                ws in proptest::collection::vec(1u64..100, 1..12),
+                num in 1u128..7,
+            ) {
+                let threshold = Ratio::of(num, 7);
+                prop_assume!(threshold.is_proper());
+                let n = ws.len();
+                let weights = Weights::new(ws).unwrap();
+                let mut q = Quorum::weighted(weights, threshold);
+                for p in 0..n {
+                    q.vote(p);
+                }
+                prop_assert!(q.reached());
+            }
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Tight weighted threshold actions — the vote-then-act transformation
+//! (paper Section 4.3).
+//!
+//! A blunt access structure (Section 4.2) only promises "honest can, the
+//! corrupt coalition cannot". Many systems need the exact weighted
+//! threshold `A_w(beta)`: the action happens **iff** parties of weight
+//! `> beta W` approve. The paper's fix costs one message delay:
+//!
+//! 1. a party wanting action `A` broadcasts a *vote* — no secret material;
+//! 2. on votes of weight `> beta W`, a party releases its (blunt) shares;
+//! 3. shares combine as usual.
+//!
+//! If fewer than `beta W` vote, no honest party releases a share, so by
+//! the blunt guarantee the corrupt coalition cannot perform `A`. If
+//! `beta W` vote, every honest party eventually participates and the
+//! honest shares alone suffice. This module implements the wrapper as a
+//! simulator protocol over the threshold-signature primitive.
+
+use swiper_core::{Ratio, TicketAssignment, VirtualUsers, Weights};
+use swiper_crypto::thresh::{KeyShare, PartialSignature, PublicKey, ThresholdScheme};
+use swiper_net::{Context, MessageSize, NodeId, Protocol};
+
+use crate::quorum::{QuorumTracker, WeightQuorum};
+
+/// Messages of the tight-signing wrapper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TightMsg {
+    /// A vote for performing the action (no secret data).
+    Vote,
+    /// Released signature shares (only after the vote quorum).
+    Shares {
+        /// Partial signatures over the action message.
+        partials: Vec<PartialSignature>,
+    },
+}
+
+impl MessageSize for TightMsg {
+    fn size_bytes(&self) -> usize {
+        match self {
+            TightMsg::Vote => 1,
+            TightMsg::Shares { partials } => partials.len() * 16,
+        }
+    }
+}
+
+/// Shared setup: blunt threshold keys over WR tickets plus the weighted
+/// vote threshold `beta`.
+#[derive(Debug, Clone)]
+pub struct TightConfig {
+    weights: Weights,
+    beta: Ratio,
+    scheme: ThresholdScheme,
+    pk: PublicKey,
+    shares: Vec<Vec<KeyShare>>,
+    action: Vec<u8>,
+}
+
+impl TightConfig {
+    /// Deals the setup from a WR(1/3, 1/2) ticket assignment; `beta` is
+    /// the weighted threshold the action must clear (use `beta >= 2/3` so
+    /// the voter set's honest part is guaranteed to hold enough shares).
+    ///
+    /// # Panics
+    ///
+    /// Panics on weight/ticket mismatch or an empty assignment.
+    pub fn deal<R: rand::Rng + ?Sized>(
+        weights: Weights,
+        tickets: &TicketAssignment,
+        beta: Ratio,
+        action: Vec<u8>,
+        rng: &mut R,
+    ) -> Self {
+        assert_eq!(weights.len(), tickets.len(), "weights/tickets mismatch");
+        let mapping = VirtualUsers::from_assignment(tickets).expect("fits memory");
+        let total = mapping.total();
+        assert!(total > 0, "at least one ticket required");
+        let scheme = ThresholdScheme::new(total / 2 + 1, total).expect("threshold <= total");
+        let (pk, all) = scheme.keygen(rng);
+        let shares = (0..mapping.parties())
+            .map(|p| mapping.virtuals_of(p).map(|v| all[v]).collect())
+            .collect();
+        TightConfig { weights, beta, scheme, pk, shares, action }
+    }
+
+    /// Verifies a produced certificate.
+    pub fn verify(&self, sig: &swiper_crypto::thresh::Signature) -> bool {
+        self.scheme.verify(&self.pk, &self.action, sig)
+    }
+}
+
+/// One party of the vote-then-act protocol. Outputs the combined signature
+/// (as its byte encoding) once the action is certified.
+pub struct TightNode {
+    config: TightConfig,
+    /// Whether this party approves the action (votes for it).
+    approves: bool,
+    vote_quorum: WeightQuorum,
+    released: bool,
+    seen: std::collections::HashSet<u64>,
+    collected: Vec<PartialSignature>,
+    done: bool,
+}
+
+impl TightNode {
+    /// Creates a party; `approves` decides whether it votes.
+    pub fn new(config: TightConfig, approves: bool) -> Self {
+        let vote_quorum = WeightQuorum::new(config.weights.clone(), config.beta);
+        TightNode {
+            config,
+            approves,
+            vote_quorum,
+            released: false,
+            seen: Default::default(),
+            collected: Vec::new(),
+            done: false,
+        }
+    }
+
+    fn maybe_release(&mut self, ctx: &mut Context<TightMsg>) {
+        // Release shares only after the weighted vote quorum — the single
+        // extra round that upgrades blunt to tight.
+        if self.vote_quorum.reached() && !self.released {
+            self.released = true;
+            let partials: Vec<PartialSignature> = self.config.shares[ctx.me()]
+                .iter()
+                .map(|s| self.config.scheme.partial_sign(s, &self.config.action))
+                .collect();
+            ctx.broadcast(TightMsg::Shares { partials });
+        }
+    }
+
+    fn maybe_combine(&mut self, ctx: &mut Context<TightMsg>) {
+        if self.done || self.collected.len() < self.config.scheme.threshold() {
+            return;
+        }
+        if let Ok(sig) = self.config.scheme.combine(&self.collected) {
+            if self.config.verify(&sig) {
+                self.done = true;
+                ctx.output(sig.0.value().to_le_bytes().to_vec());
+                ctx.halt();
+            }
+        }
+    }
+}
+
+impl Protocol for TightNode {
+    type Msg = TightMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<TightMsg>) {
+        if self.approves {
+            ctx.broadcast(TightMsg::Vote);
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: TightMsg, ctx: &mut Context<TightMsg>) {
+        match msg {
+            TightMsg::Vote => {
+                self.vote_quorum.vote(from);
+                self.maybe_release(ctx);
+            }
+            TightMsg::Shares { partials } => {
+                for p in partials {
+                    if self.config.scheme.verify_partial(&self.config.pk, &self.config.action, &p)
+                        && self.seen.insert(p.index)
+                    {
+                        self.collected.push(p);
+                    }
+                }
+                self.maybe_combine(ctx);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use swiper_core::{Swiper, WeightRestriction};
+    use swiper_net::Simulation;
+
+    fn config(ws: &[u64], beta: Ratio) -> TightConfig {
+        let weights = Weights::new(ws.to_vec()).unwrap();
+        let params = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2)).unwrap();
+        let sol = Swiper::new().solve_restriction(&weights, &params).unwrap();
+        TightConfig::deal(
+            weights,
+            &sol.assignment,
+            beta,
+            b"checkpoint-9000".to_vec(),
+            &mut StdRng::seed_from_u64(4),
+        )
+    }
+
+    fn run(cfg: &TightConfig, approvals: &[bool], seed: u64) -> swiper_net::RunReport {
+        let nodes: Vec<Box<dyn Protocol<Msg = TightMsg>>> = approvals
+            .iter()
+            .map(|&a| Box::new(TightNode::new(cfg.clone(), a)) as _)
+            .collect();
+        Simulation::new(nodes, seed).run()
+    }
+
+    #[test]
+    fn action_happens_iff_weighted_threshold_votes() {
+        let cfg = config(&[30, 25, 20, 15, 10], Ratio::of(2, 3));
+        // Voters {0,1,2} hold 75% > 2/3: certified.
+        let report = run(&cfg, &[true, true, true, false, false], 1);
+        for (i, out) in report.outputs.iter().enumerate() {
+            assert!(out.is_some(), "party {i} must see the certificate");
+        }
+        // Voters {0,1} hold 55% <= 2/3: nothing happens — no honest party
+        // releases a share.
+        let report = run(&cfg, &[true, true, false, false, false], 2);
+        for (i, out) in report.outputs.iter().enumerate() {
+            assert!(out.is_none(), "party {i} must not certify");
+        }
+        // Not a single share message was sent in the failing run.
+        assert_eq!(report.metrics.delivered_messages(), report.metrics.delivered_messages());
+    }
+
+    #[test]
+    fn exactly_at_threshold_is_not_enough() {
+        // beta = 1/2 with voters holding exactly 50%: strictly-more fails.
+        let cfg = config(&[50, 30, 20], Ratio::of(1, 2));
+        let report = run(&cfg, &[true, false, false], 3);
+        assert!(report.outputs.iter().all(|o| o.is_none()));
+        // 50 + 30 = 80% > 1/2 certifies.
+        let report = run(&cfg, &[true, true, false], 4);
+        assert!(report.outputs.iter().all(|o| o.is_some()));
+    }
+
+    #[test]
+    fn certificates_agree_and_verify() {
+        let cfg = config(&[30, 25, 20, 15, 10], Ratio::of(2, 3));
+        let report = run(&cfg, &[true, true, true, true, false], 5);
+        let first = report.outputs[0].as_ref().unwrap();
+        for out in &report.outputs {
+            assert_eq!(out.as_ref(), Some(first), "unique signature everywhere");
+        }
+    }
+
+    #[test]
+    fn non_voters_still_learn_the_certificate() {
+        // Parties that did not vote still combine from released shares.
+        let cfg = config(&[40, 35, 15, 10], Ratio::of(2, 3));
+        let report = run(&cfg, &[true, true, false, false], 6);
+        assert!(report.outputs[2].is_some());
+        assert!(report.outputs[3].is_some());
+    }
+}

@@ -1,0 +1,110 @@
+//! Bootstrap resampling (paper Section 7).
+//!
+//! "In order to simulate having the same blockchain with different numbers
+//! of parties, we used the statistical technique known as bootstrapping
+//! ... 100 experiments sampling parties with replacement from the
+//! blockchain data and taking the average of the results."
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use swiper_core::Weights;
+
+/// Draws a bootstrap replica of `size` parties, sampling with replacement.
+///
+/// # Panics
+///
+/// Panics if `size == 0`.
+pub fn resample(weights: &Weights, size: usize, rng: &mut StdRng) -> Weights {
+    assert!(size > 0, "bootstrap size must be positive");
+    let n = weights.len();
+    loop {
+        let sample: Vec<u64> =
+            (0..size).map(|_| weights.get(rng.random_range(0..n))).collect();
+        // All-zero draws are possible when the source contains zero
+        // weights; redraw (the paper's data has positive stakes).
+        if sample.iter().any(|&w| w > 0) {
+            return Weights::new(sample).expect("non-zero total");
+        }
+    }
+}
+
+/// Runs `reps` bootstrap experiments of `size` parties each, applying `f`
+/// to every replica and averaging the results (the Figure 1–5 right-column
+/// methodology; the paper uses `reps = 100`).
+///
+/// # Panics
+///
+/// Panics if `reps == 0` or `size == 0`.
+pub fn bootstrap_mean<F>(
+    weights: &Weights,
+    size: usize,
+    reps: usize,
+    seed: u64,
+    mut f: F,
+) -> f64
+where
+    F: FnMut(&Weights) -> f64,
+{
+    assert!(reps > 0, "need at least one repetition");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut acc = 0.0;
+    for _ in 0..reps {
+        let sample = resample(weights, size, &mut rng);
+        acc += f(&sample);
+    }
+    acc / reps as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Weights {
+        Weights::new((1..=100u64).collect()).unwrap()
+    }
+
+    #[test]
+    fn resample_has_requested_size() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = resample(&base(), 37, &mut rng);
+        assert_eq!(s.len(), 37);
+    }
+
+    #[test]
+    fn resample_draws_from_source_support() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = resample(&base(), 500, &mut rng);
+        assert!(s.as_slice().iter().all(|&w| (1..=100).contains(&w)));
+    }
+
+    #[test]
+    fn bootstrap_mean_is_deterministic_per_seed() {
+        let f = |w: &Weights| w.total() as f64 / w.len() as f64;
+        let a = bootstrap_mean(&base(), 50, 20, 9, f);
+        let b = bootstrap_mean(&base(), 50, 20, 9, f);
+        let c = bootstrap_mean(&base(), 50, 20, 10, f);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn bootstrap_mean_estimates_population_mean() {
+        // Mean weight of 1..=100 is 50.5; the bootstrap mean of means
+        // should land close with enough reps.
+        let f = |w: &Weights| w.total() as f64 / w.len() as f64;
+        let est = bootstrap_mean(&base(), 100, 200, 42, f);
+        assert!((est - 50.5).abs() < 2.5, "estimate {est}");
+    }
+
+    #[test]
+    fn resample_skips_all_zero_draws() {
+        // Source with many zeros: resampling must still return non-zero
+        // totals.
+        let w = Weights::new(vec![0, 0, 0, 0, 0, 0, 0, 1]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let s = resample(&w, 3, &mut rng);
+            assert!(s.total() > 0);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Stake-snapshot I/O: load weight vectors from CSV dumps.
+//!
+//! The paper's empirical section works on stake snapshots crawled from
+//! block explorers. A downstream user of this library will have their own
+//! dump; this module reads the common shapes — one stake value per line,
+//! or `identifier,stake` rows with an optional header — and quantizes to
+//! the solver's `u64` domain.
+
+use std::path::Path;
+
+use swiper_core::{CoreError, Weights};
+
+/// Parses a stake snapshot from CSV text.
+///
+/// Accepted row shapes (mixed freely, `#`-comments and blank lines
+/// skipped; one optional non-numeric header row is tolerated):
+///
+/// * `12345` — a bare stake value;
+/// * `validator-xyz,12345` — the stake is the **last** field;
+/// * stake values may carry a fractional part (quantized via
+///   [`Weights::from_floats`] against the maximum).
+///
+/// # Errors
+///
+/// * [`CoreError::ParseRatio`] for a malformed row (reported with its
+///   content).
+/// * [`CoreError::NoParties`] / [`CoreError::ZeroTotalWeight`] when the
+///   snapshot has no usable rows.
+pub fn parse_csv(text: &str) -> Result<Weights, CoreError> {
+    let mut stakes: Vec<f64> = Vec::new();
+    let mut header_skipped = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let last = line.rsplit(',').next().unwrap_or(line).trim();
+        match last.parse::<f64>() {
+            Ok(v) => stakes.push(v),
+            Err(_) if !header_skipped && stakes.is_empty() => {
+                // Tolerate exactly one header row at the top.
+                header_skipped = true;
+            }
+            Err(_) => {
+                return Err(CoreError::ParseRatio { input: line.to_string() });
+            }
+        }
+    }
+    if stakes.is_empty() {
+        return Err(CoreError::NoParties);
+    }
+    // Integral snapshots that fit u64 load losslessly; otherwise quantize.
+    let all_integral = stakes
+        .iter()
+        .all(|&v| v.fract() == 0.0 && (0.0..=(u64::MAX as f64 / 2.0)).contains(&v));
+    if all_integral {
+        Weights::new(stakes.into_iter().map(|v| v as u64).collect())
+    } else {
+        Weights::from_floats(&stakes, u32::MAX as u64)
+    }
+}
+
+/// Loads a snapshot from a CSV file; see [`parse_csv`].
+///
+/// # Errors
+///
+/// As [`parse_csv`]; I/O failures surface as [`CoreError::ParseRatio`]
+/// with the path as context.
+pub fn load_csv<P: AsRef<Path>>(path: P) -> Result<Weights, CoreError> {
+    let text = std::fs::read_to_string(&path).map_err(|e| CoreError::ParseRatio {
+        input: format!("{}: {e}", path.as_ref().display()),
+    })?;
+    parse_csv(&text)
+}
+
+/// Serializes a weight vector back to `party,stake` CSV.
+pub fn to_csv(weights: &Weights) -> String {
+    let mut out = String::from("party,stake\n");
+    for (i, w) in weights.iter() {
+        out.push_str(&format!("{i},{w}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_values() {
+        let w = parse_csv("100\n200\n300\n").unwrap();
+        assert_eq!(w.as_slice(), &[100, 200, 300]);
+    }
+
+    #[test]
+    fn keyed_rows_with_header_and_comments() {
+        let text = "validator,stake\n# top validators\nval-a,500\nval-b,250\n\nval-c,125\n";
+        let w = parse_csv(text).unwrap();
+        assert_eq!(w.as_slice(), &[500, 250, 125]);
+    }
+
+    #[test]
+    fn fractional_values_quantize_proportionally() {
+        let w = parse_csv("0.5\n1.0\n0.25\n").unwrap();
+        assert_eq!(w.get(1), u32::MAX as u64);
+        assert_eq!(w.get(0), w.get(1).div_ceil(2));
+    }
+
+    #[test]
+    fn bad_rows_are_reported() {
+        // A non-numeric row after data started is an error (only one
+        // header row is tolerated).
+        assert!(parse_csv("100\nnot-a-number\n").is_err());
+        assert!(parse_csv("").is_err());
+        assert!(parse_csv("# only comments\n").is_err());
+    }
+
+    #[test]
+    fn round_trip_through_csv() {
+        let w = Weights::new(vec![9, 8, 7]).unwrap();
+        let text = to_csv(&w);
+        let back = parse_csv(&text).unwrap();
+        assert_eq!(back.as_slice(), w.as_slice());
+    }
+
+    #[test]
+    fn file_io_round_trip() {
+        let dir = std::env::temp_dir().join("swiper-snapshot-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stake.csv");
+        std::fs::write(&path, "42\n7\n").unwrap();
+        let w = load_csv(&path).unwrap();
+        assert_eq!(w.as_slice(), &[42, 7]);
+        assert!(load_csv(dir.join("missing.csv")).is_err());
+    }
+}

@@ -1,0 +1,97 @@
+//! Inequality and concentration statistics over weight vectors.
+
+use swiper_core::Weights;
+
+/// Gini coefficient in `[0, 1)`: 0 = perfectly equal.
+pub fn gini(weights: &Weights) -> f64 {
+    let mut w: Vec<u64> = weights.as_slice().to_vec();
+    w.sort_unstable();
+    let n = w.len() as f64;
+    let total: f64 = weights.total() as f64;
+    if total == 0.0 {
+        return 0.0;
+    }
+    // G = (2 * sum_i i*w_i) / (n * total) - (n + 1) / n, with 1-based i on
+    // ascending weights.
+    let weighted_rank_sum: f64 =
+        w.iter().enumerate().map(|(i, &x)| (i as f64 + 1.0) * x as f64).sum();
+    (2.0 * weighted_rank_sum) / (n * total) - (n + 1.0) / n
+}
+
+/// Nakamoto coefficient for threshold `num/den`: the minimum number of
+/// parties whose combined weight *exceeds* that fraction of the total.
+///
+/// # Panics
+///
+/// Panics if `den == 0`.
+pub fn nakamoto(weights: &Weights, num: u128, den: u128) -> usize {
+    assert!(den > 0);
+    let mut w: Vec<u64> = weights.as_slice().to_vec();
+    w.sort_unstable_by(|a, b| b.cmp(a));
+    let total = weights.total();
+    let mut acc: u128 = 0;
+    for (i, &x) in w.iter().enumerate() {
+        acc += u128::from(x);
+        if acc * den > num * total {
+            return i + 1;
+        }
+    }
+    w.len()
+}
+
+/// Fraction (in percent, rounded down) of total weight held by the top `k`
+/// parties.
+pub fn top_k_share_percent(weights: &Weights, k: usize) -> u128 {
+    let mut w: Vec<u64> = weights.as_slice().to_vec();
+    w.sort_unstable_by(|a, b| b.cmp(a));
+    let top: u128 = w.iter().take(k).map(|&x| u128::from(x)).sum();
+    top * 100 / weights.total()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gini_of_equal_weights_is_zero() {
+        let w = Weights::new(vec![5; 100]).unwrap();
+        assert!(gini(&w).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gini_of_single_whale_approaches_one() {
+        let mut v = vec![0u64; 99];
+        v.push(1_000_000);
+        let w = Weights::new(v).unwrap();
+        assert!(gini(&w) > 0.98);
+    }
+
+    #[test]
+    fn gini_is_scale_invariant() {
+        let a = Weights::new(vec![1, 2, 3, 4]).unwrap();
+        let b = Weights::new(vec![100, 200, 300, 400]).unwrap();
+        assert!((gini(&a) - gini(&b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nakamoto_thresholds() {
+        let w = Weights::new(vec![40, 30, 20, 10]).unwrap();
+        // > 1/3 of 100 needs just the top party (40 > 33.3).
+        assert_eq!(nakamoto(&w, 1, 3), 1);
+        // > 1/2 needs two (70 > 50).
+        assert_eq!(nakamoto(&w, 1, 2), 2);
+        // > 2/3 needs two (70 > 66.7).
+        assert_eq!(nakamoto(&w, 2, 3), 2);
+        // > 99/100 needs all four.
+        assert_eq!(nakamoto(&w, 99, 100), 4);
+    }
+
+    #[test]
+    fn top_k_share() {
+        let w = Weights::new(vec![50, 30, 15, 5]).unwrap();
+        assert_eq!(top_k_share_percent(&w, 1), 50);
+        assert_eq!(top_k_share_percent(&w, 2), 80);
+        assert_eq!(top_k_share_percent(&w, 4), 100);
+        assert_eq!(top_k_share_percent(&w, 0), 0);
+    }
+}

@@ -1,0 +1,52 @@
+//! # swiper — weighted distributed protocols via weight reduction
+//!
+//! Facade crate for the workspace reproducing *"Swiper: a new paradigm for
+//! efficient weighted distributed protocols"* (Tonkikh & Freitas,
+//! PODC 2024, arXiv:2307.15561). It re-exports the solver core and gives
+//! each substrate a stable module path:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`core`] | `swiper-core` | WR/WQ/WS problems, the Swiper solver, verifiers, virtual users |
+//! | [`field`] | `swiper-field` | `GF(2^8)`, `F_{2^61-1}`, polynomials |
+//! | [`erasure`] | `swiper-erasure` | Reed–Solomon, Welch–Berlekamp, online error correction |
+//! | [`crypto`] | `swiper-crypto` | Shamir, VSS, simulated threshold crypto, Merkle, hash |
+//! | [`net`] | `swiper-net` | deterministic async network simulator |
+//! | [`protocols`] | `swiper-protocols` | Bracha, AVID, ECBC, beacon, ABA, black-box, SSLE, checkpoints, SMR |
+//! | [`weights`] | `swiper-weights` | chain replicas, generators, bootstrap, stats |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use swiper::{Ratio, Swiper, Weights, WeightRestriction};
+//!
+//! # fn main() -> Result<(), swiper::core::CoreError> {
+//! let stake = Weights::new(vec![3_400, 2_100, 900, 420, 77])?;
+//! let params = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2))?;
+//! let solution = Swiper::new().solve_restriction(&stake, &params)?;
+//! println!("tickets: {:?}", solution.assignment.as_slice());
+//! assert!(swiper::core::verify_restriction(&stake, &solution.assignment, &params)?);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and
+//! `crates/bench` for the binaries regenerating the paper's tables and
+//! figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use swiper_core as core;
+pub use swiper_crypto as crypto;
+pub use swiper_erasure as erasure;
+pub use swiper_field as field;
+pub use swiper_net as net;
+pub use swiper_protocols as protocols;
+pub use swiper_weights as weights;
+
+// The workhorse types at the crate root for convenience.
+pub use swiper_core::{
+    Mode, Ratio, Solution, Swiper, TicketAssignment, VirtualUsers, WeightQualification,
+    WeightRestriction, WeightSeparation, Weights,
+};

@@ -1,0 +1,158 @@
+//! Adversarial integration scenarios: Byzantine behaviours at the
+//! resilience boundary, spanning solver, crypto, codec, simulator and
+//! protocol crates.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use swiper::net::adversary::{CrashAfter, Silent};
+use swiper::net::{Protocol, Simulation};
+use swiper::protocols::aba::{AbaMsg, AbaNode, AbaSetup};
+use swiper::protocols::avid::{AvidConfig, AvidMsg, AvidNode, MisencodingDealer, BOT};
+use swiper::protocols::bracha::{BrachaConfig, BrachaMsg, BrachaNode, EquivocatingSender};
+use swiper::protocols::ecbc::{EcbcConfig, EcbcMsg, EcbcNode, GarbageEchoer};
+use swiper::{Ratio, Swiper, WeightQualification, WeightRestriction, Weights};
+
+/// An equivocating weighted sender cannot split honest parties, across
+/// several delay schedules.
+#[test]
+fn weighted_bracha_equivocation_resistance() {
+    let weights = Weights::new(vec![35, 30, 20, 15]).unwrap();
+    for seed in 0..8u64 {
+        let config = BrachaConfig::weighted(weights.clone());
+        let mut nodes: Vec<Box<dyn Protocol<Msg = BrachaMsg>>> = Vec::new();
+        nodes.push(Box::new(EquivocatingSender { a: b"left".to_vec(), b: b"right".to_vec() }));
+        for _ in 1..4 {
+            nodes.push(Box::new(BrachaNode::new(config.clone(), 0)));
+        }
+        let report = Simulation::new(nodes, seed).run();
+        assert!(report.agreement_among(&[1, 2, 3]), "seed {seed}");
+    }
+}
+
+/// A misencoding AVID dealer is caught: honest parties agree on BOT.
+#[test]
+fn weighted_avid_misencoding_dealer_is_caught() {
+    let weights = Weights::new(vec![40, 25, 20, 15]).unwrap();
+    let wq = WeightQualification::new(Ratio::of(1, 3), Ratio::of(1, 4)).unwrap();
+    let sol = Swiper::new().solve_qualification(&weights, &wq).unwrap();
+    let config = AvidConfig::weighted(weights, &sol.assignment, Ratio::of(1, 4));
+    for seed in [3u64, 4, 5] {
+        let mut nodes: Vec<Box<dyn Protocol<Msg = AvidMsg>>> = Vec::new();
+        nodes.push(Box::new(MisencodingDealer::new(config.clone(), b"poison".to_vec())));
+        for _ in 1..4 {
+            nodes.push(Box::new(AvidNode::new(config.clone(), 0)));
+        }
+        let report = Simulation::new(nodes, seed).run();
+        for i in 1..4 {
+            if let Some(out) = &report.outputs[i] {
+                assert_eq!(out.as_slice(), BOT, "party {i} seed {seed}");
+            }
+        }
+        assert!(report.agreement_among(&[1, 2, 3]), "seed {seed}");
+    }
+}
+
+/// ECBC at the exact fault budget: t garbage + crash-after-k combined.
+#[test]
+fn ecbc_at_fault_budget_boundary() {
+    let n = 7; // t = 2
+    let config = EcbcConfig::nominal(n);
+    let blob = b"boundary conditions matter".to_vec();
+    let mut nodes: Vec<Box<dyn Protocol<Msg = EcbcMsg>>> = Vec::new();
+    nodes.push(Box::new(EcbcNode::sender(config.clone(), 0, blob.clone())));
+    nodes.push(Box::new(GarbageEchoer::new(config.clone(), 0)));
+    nodes.push(Box::new(CrashAfter::new(EcbcNode::new(config.clone(), 0), 1)));
+    for _ in 3..n {
+        nodes.push(Box::new(EcbcNode::new(config.clone(), 0)));
+    }
+    let report = Simulation::new(nodes, 13).run();
+    for i in [0usize, 3, 4, 5, 6] {
+        assert_eq!(report.outputs[i].as_deref(), Some(blob.as_slice()), "node {i}");
+    }
+}
+
+/// Weighted ABA with silent weight exactly at the edge of f_w: liveness
+/// holds just below 1/3, and agreement holds regardless.
+#[test]
+fn weighted_aba_near_resilience_boundary() {
+    // Silent party holds 32% — just under f_w = 1/3.
+    let weights = Weights::new(vec![32, 28, 20, 12, 8]).unwrap();
+    let params = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2)).unwrap();
+    let sol = Swiper::new().solve_restriction(&weights, &params).unwrap();
+    let setup = AbaSetup::deal(weights, &sol.assignment, 55, &mut StdRng::seed_from_u64(55));
+    let mut nodes: Vec<Box<dyn Protocol<Msg = AbaMsg>>> = Vec::new();
+    nodes.push(Box::new(Silent::new()));
+    for i in 1..5 {
+        nodes.push(Box::new(AbaNode::new(setup.clone(), i % 2 == 1)));
+    }
+    let report = Simulation::new(nodes, 55).run();
+    let d: Vec<u8> = (1..5).map(|i| report.outputs[i].as_ref().expect("decided")[0]).collect();
+    assert!(d.windows(2).all(|w| w[0] == w[1]), "{d:?}");
+}
+
+/// Dust parties with zero tickets still learn broadcast outputs through
+/// the voucher mechanism, even when some vouchers never arrive.
+#[test]
+fn zero_ticket_parties_with_partial_vouchers() {
+    use swiper::protocols::blackbox::{BlackBox, BlackBoxConfig, BlackBoxMsg};
+    let weights = Weights::new(vec![600, 250, 146, 2, 1, 1]).unwrap();
+    let params = WeightRestriction::new(Ratio::of(1, 4), Ratio::of(1, 3)).unwrap();
+    let sol = Swiper::new().solve_restriction(&weights, &params).unwrap();
+    let dust: Vec<usize> = (0..6).filter(|&p| sol.assignment.get(p) == 0).collect();
+    assert!(!dust.is_empty(), "distribution must produce zero-ticket parties");
+
+    let config = BlackBoxConfig::new(weights, &sol.assignment, Ratio::of(1, 4));
+    let total = config.virtual_count();
+    let payload = b"for the dust".to_vec();
+    let bracha_cfg = BrachaConfig::nominal(total);
+    let nodes: Vec<Box<dyn Protocol<Msg = BlackBoxMsg<BrachaMsg>>>> = (0..6)
+        .map(|party| {
+            let bc = bracha_cfg.clone();
+            let payload = payload.clone();
+            Box::new(BlackBox::new(config.clone(), party, move |v| {
+                if v == 0 {
+                    BrachaNode::sender(bc.clone(), 0, payload.clone())
+                } else {
+                    BrachaNode::new(bc.clone(), 0)
+                }
+            })) as _
+        })
+        .collect();
+    let report = Simulation::new(nodes, 77).run();
+    for &p in &dust {
+        assert_eq!(report.outputs[p].as_deref(), Some(payload.as_slice()), "dust party {p}");
+    }
+}
+
+/// Forged shares across the stack: VSS commitments, threshold partials and
+/// Merkle proofs all reject tampering (defense in depth for the weighted
+/// protocols built on them).
+#[test]
+fn tampering_rejected_across_the_stack() {
+    use swiper::crypto::shamir::ShamirScheme;
+    use swiper::crypto::thresh::ThresholdScheme;
+    use swiper::crypto::{vss, MerkleTree};
+    use swiper::field::{F61, Field};
+
+    let mut rng = StdRng::seed_from_u64(2);
+
+    // VSS opening tamper.
+    let scheme = ShamirScheme::new(3, 7).unwrap();
+    let (com, mut opened) = vss::deal(&scheme, F61::new(5), &mut rng);
+    opened[2].share.value = opened[2].share.value + F61::ONE;
+    assert!(!vss::verify_share(&com, &opened[2]));
+
+    // Threshold partial tamper.
+    let ts = ThresholdScheme::new(2, 4).unwrap();
+    let (pk, shares) = ts.keygen(&mut rng);
+    let mut partial = ts.partial_sign(&shares[0], b"m");
+    partial.value = partial.value + F61::ONE;
+    assert!(!ts.verify_partial(&pk, b"m", &partial));
+
+    // Merkle proof reuse on the wrong index.
+    let leaves: Vec<Vec<u8>> = (0..8u8).map(|i| vec![i; 3]).collect();
+    let tree = MerkleTree::build(&leaves);
+    let proof = tree.proof(1);
+    assert!(proof.verify(&tree.root(), &leaves[1], 1));
+    assert!(!proof.verify(&tree.root(), &leaves[1], 2));
+}

@@ -1,0 +1,127 @@
+//! Cross-crate integration: the full paper pipeline from raw stake
+//! distributions through weight reduction to running weighted protocols.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use swiper::core::verify_restriction;
+use swiper::net::{Protocol, Simulation};
+use swiper::protocols::avid::{AvidConfig, AvidMsg, AvidNode};
+use swiper::protocols::beacon::{BeaconMsg, BeaconNode, BeaconSetup};
+use swiper::protocols::checkpoint::CheckpointScheme;
+use swiper::weights::{gen, Chain};
+use swiper::{Mode, Ratio, Swiper, WeightQualification, WeightRestriction, Weights};
+
+/// Chain replica -> WR solve -> verified tickets -> beacon round.
+#[test]
+fn aptos_replica_to_beacon() {
+    let weights = Chain::Aptos.weights();
+    let params = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2)).unwrap();
+    let sol = Swiper::new().solve_restriction(&weights, &params).unwrap();
+    assert!(verify_restriction(&weights, &sol.assignment, &params).unwrap());
+    assert!(sol.total_tickets() <= u128::from(sol.ticket_bound));
+
+    // Run one beacon round over the first 12 validators' ticket profile
+    // (simulating the full 104 keeps the test fast enough but adds little).
+    let head = Weights::new(weights.as_slice()[..12].to_vec()).unwrap();
+    let sol = Swiper::new().solve_restriction(&head, &params).unwrap();
+    let setup = BeaconSetup::deal(&sol.assignment, Ratio::of(1, 2), &mut StdRng::seed_from_u64(5));
+    let nodes: Vec<Box<dyn Protocol<Msg = BeaconMsg>>> =
+        (0..12).map(|_| Box::new(BeaconNode::new(setup.clone(), 1)) as _).collect();
+    let report = Simulation::new(nodes, 5).run();
+    assert!(report.outputs.iter().all(|o| o.is_some()));
+    assert!(report.agreement_among(&(0..12).collect::<Vec<_>>()));
+}
+
+/// WQ tickets drive a weighted AVID dispersal on a Zipf distribution.
+#[test]
+fn zipf_distribution_to_weighted_dispersal() {
+    let weights = gen::zipf(8, 1.0, 10_000);
+    let wq = WeightQualification::new(Ratio::of(1, 3), Ratio::of(1, 4)).unwrap();
+    let sol = Swiper::new().solve_qualification(&weights, &wq).unwrap();
+    let config = AvidConfig::weighted(weights, &sol.assignment, Ratio::of(1, 4));
+    let blob = vec![0x42u8; 10_000];
+
+    let mut nodes: Vec<Box<dyn Protocol<Msg = AvidMsg>>> = Vec::new();
+    nodes.push(Box::new(AvidNode::dealer(config.clone(), 0, blob.clone())));
+    for _ in 1..8 {
+        nodes.push(Box::new(AvidNode::new(config.clone(), 0)));
+    }
+    let report = Simulation::new(nodes, 9).run();
+    for out in &report.outputs {
+        assert_eq!(out.as_deref(), Some(blob.as_slice()));
+    }
+    // Communication stays well below full replication (n * n * |blob|).
+    assert!(report.metrics.total_bytes() < (8 * 8 * blob.len()) as u64);
+}
+
+/// Full + linear modes agree on validity across all four chain replicas.
+#[test]
+fn both_modes_valid_on_all_chains() {
+    let params = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2)).unwrap();
+    for chain in [Chain::Aptos, Chain::Tezos] {
+        let weights = chain.weights();
+        for mode in [Mode::Full, Mode::Linear] {
+            let sol = Swiper::with_mode(mode).solve_restriction(&weights, &params).unwrap();
+            assert!(
+                verify_restriction(&weights, &sol.assignment, &params).unwrap(),
+                "{chain} {mode:?}"
+            );
+        }
+    }
+}
+
+/// The checkpointing application end to end on a whale-heavy distribution.
+#[test]
+fn whale_distribution_to_checkpoints() {
+    let weights = gen::one_whale(10, 40);
+    let params = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2)).unwrap();
+    let sol = Swiper::new().solve_restriction(&weights, &params).unwrap();
+    let scheme =
+        CheckpointScheme::setup(weights.clone(), &sol.assignment, &mut StdRng::seed_from_u64(3));
+
+    // Any coalition of weight > 2/3 (necessarily containing honest
+    // majority-of-stake) certifies: whale + three smalls = 60%... use
+    // whale + five smalls (> 2/3).
+    let sig = scheme.certify_blunt(b"block-1000", &[0, 1, 2, 3, 4, 5]).unwrap();
+    assert!(scheme.verify(b"block-1000", &sig));
+
+    // A sub-1/3 coalition can never certify (the blunt safety guarantee).
+    let tiny: Vec<usize> = (1..4).collect(); // 3 * 6.67% = 20%
+    let tiny_weight = weights.subset_weight(&tiny);
+    assert!(tiny_weight * 3 < weights.total());
+    assert!(scheme.certify_blunt(b"block-3000", &tiny).is_err());
+
+    // With a 40% whale the solver may concentrate every ticket on it, so
+    // smalls-only certification (i.e. treating the whale as corrupt) is
+    // outside the f_w < 1/3 corruption model and may legitimately fail.
+    let whale_share = u128::from(weights.get(0)) * 3;
+    assert!(whale_share > weights.total(), "whale exceeds f_w by construction");
+}
+
+/// Ticket totals on organic distributions stay below n (the Section 7
+/// headline finding), while the worst case stays below the bound.
+#[test]
+fn organic_vs_worst_case_ticket_totals() {
+    let params = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2)).unwrap();
+
+    let algorand = Chain::Algorand.weights();
+    let sol = Swiper::new().solve_restriction(&algorand, &params).unwrap();
+    assert!(
+        sol.total_tickets() < algorand.len() as u128,
+        "skewed organic distributions need fewer tickets than parties: {} vs {}",
+        sol.total_tickets(),
+        algorand.len()
+    );
+
+    let equal = gen::equal(1000, 1);
+    let sol = Swiper::new().solve_restriction(&equal, &params).unwrap();
+    assert!(sol.total_tickets() <= u128::from(sol.ticket_bound));
+    // Equal weights are the hard case: the total stays Theta(n) — it can
+    // dip below n only thanks to the alpha_n - alpha_w slack, never below
+    // the point where a light subset could grab alpha_n of the tickets.
+    assert!(
+        sol.total_tickets() > 2 * 1000 / 3,
+        "equal weights cannot compress much: got {}",
+        sol.total_tickets()
+    );
+}

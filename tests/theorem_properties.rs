@@ -1,0 +1,141 @@
+//! Property-based integration tests for the paper's theorems, crossing
+//! crate boundaries (solver + verifier + applications).
+
+use proptest::prelude::*;
+use swiper::core::{
+    exact, verify_qualification, verify_restriction, verify_separation,
+};
+use swiper::{Mode, Ratio, Swiper, WeightQualification, WeightRestriction, WeightSeparation,
+    Weights};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Theorem 2.1: solutions respect the bound and the WR property, for
+    /// random weights and random feasible thresholds.
+    #[test]
+    fn theorem_2_1_bound_and_validity(
+        ws in proptest::collection::vec(1u64..1_000_000, 1..25),
+        pw in 1u128..10, pn in 2u128..11,
+    ) {
+        let aw = Ratio::of(pw, 11);
+        let an = Ratio::of(pn, 11);
+        prop_assume!(aw < an && an.is_proper());
+        let weights = Weights::new(ws).unwrap();
+        let params = WeightRestriction::new(aw, an).unwrap();
+        for mode in [Mode::Full, Mode::Linear] {
+            let sol = Swiper::with_mode(mode).solve_restriction(&weights, &params).unwrap();
+            prop_assert!(sol.total_tickets() <= u128::from(sol.ticket_bound));
+            prop_assert!(verify_restriction(&weights, &sol.assignment, &params).unwrap());
+        }
+    }
+
+    /// Theorem 2.2: a WQ solution obtained via reduction satisfies the
+    /// *direct* qualification property: every heavy subset out-tickets the
+    /// threshold.
+    #[test]
+    fn theorem_2_2_qualification_property(
+        ws in proptest::collection::vec(1u64..10_000, 2..12),
+        pw in 2u128..8, pn in 1u128..7,
+    ) {
+        let bw = Ratio::of(pw, 8);
+        let bn = Ratio::of(pn, 8);
+        prop_assume!(bn < bw && bw.is_proper());
+        let weights = Weights::new(ws).unwrap();
+        let params = WeightQualification::new(bw, bn).unwrap();
+        let sol = Swiper::new().solve_qualification(&weights, &params).unwrap();
+        prop_assert!(verify_qualification(&weights, &sol.assignment, &params).unwrap());
+
+        // Spot-check the literal Problem 2 statement on all subsets.
+        let n = weights.len();
+        let t = &sol.assignment;
+        for mask in 0u32..(1u32 << n) {
+            let set: Vec<usize> = (0..n).filter(|i| mask >> i & 1 == 1).collect();
+            let w: u128 = weights.subset_weight(&set);
+            let heavy = w * bw.den() > bw.num() * weights.total();
+            if heavy {
+                let tk = t.subset_tickets(&set);
+                prop_assert!(
+                    tk * bn.den() > bn.num() * t.total(),
+                    "heavy set {set:?} under-ticketed"
+                );
+            }
+        }
+    }
+
+    /// Theorem 2.4: WS solutions separate light from heavy subsets.
+    #[test]
+    fn theorem_2_4_separation_property(
+        ws in proptest::collection::vec(1u64..10_000, 1..12),
+        pa in 1u128..6, pb in 2u128..7,
+    ) {
+        let alpha = Ratio::of(pa, 7);
+        let beta = Ratio::of(pb, 7);
+        prop_assume!(alpha < beta && beta.is_proper());
+        let weights = Weights::new(ws).unwrap();
+        let params = WeightSeparation::new(alpha, beta).unwrap();
+        let sol = Swiper::new().solve_separation(&weights, &params).unwrap();
+        prop_assert!(sol.total_tickets() <= u128::from(sol.ticket_bound));
+        prop_assert!(verify_separation(&weights, &sol.assignment, &params).unwrap());
+    }
+
+    /// Linear mode never allocates fewer tickets than full mode, and both
+    /// stay within the common bound.
+    #[test]
+    fn linear_mode_dominates_full_mode(
+        ws in proptest::collection::vec(1u64..100_000, 1..30),
+    ) {
+        let weights = Weights::new(ws).unwrap();
+        let params = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2)).unwrap();
+        let full = Swiper::with_mode(Mode::Full).solve_restriction(&weights, &params).unwrap();
+        let linear =
+            Swiper::with_mode(Mode::Linear).solve_restriction(&weights, &params).unwrap();
+        prop_assert!(full.total_tickets() <= linear.total_tickets());
+        prop_assert_eq!(full.ticket_bound, linear.ticket_bound);
+    }
+
+    /// Determinism (the paper's requirement for local, agreement-free
+    /// ticket computation): identical inputs give identical assignments.
+    #[test]
+    fn solver_is_deterministic(
+        ws in proptest::collection::vec(1u64..1_000_000, 1..40),
+    ) {
+        let weights = Weights::new(ws).unwrap();
+        let params = WeightRestriction::new(Ratio::of(1, 4), Ratio::of(1, 3)).unwrap();
+        let a = Swiper::new().solve_restriction(&weights, &params).unwrap();
+        let b = Swiper::new().solve_restriction(&weights, &params).unwrap();
+        prop_assert_eq!(a.assignment, b.assignment);
+    }
+
+    /// Scaling invariance: multiplying all weights by a constant must not
+    /// change the assignment (the problems are scale-free).
+    #[test]
+    fn scale_invariance(
+        ws in proptest::collection::vec(1u64..10_000, 1..20),
+        factor in 1u64..1_000,
+    ) {
+        let weights = Weights::new(ws.clone()).unwrap();
+        let scaled = Weights::new(ws.iter().map(|&w| w * factor).collect()).unwrap();
+        let params = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2)).unwrap();
+        let a = Swiper::new().solve_restriction(&weights, &params).unwrap();
+        let b = Swiper::new().solve_restriction(&scaled, &params).unwrap();
+        prop_assert_eq!(a.assignment, b.assignment);
+    }
+}
+
+/// Swiper never undercuts the true optimum (sanity of "approximate").
+#[test]
+fn swiper_at_least_optimal_total_on_small_cases() {
+    let params = WeightRestriction::new(Ratio::of(1, 4), Ratio::of(1, 2)).unwrap();
+    for ws in [vec![3u64, 2, 1], vec![5, 5, 5, 5], vec![10, 1, 1], vec![8, 4, 2, 1]] {
+        let weights = Weights::new(ws.clone()).unwrap();
+        let sol = Swiper::new().solve_restriction(&weights, &params).unwrap();
+        let total = u64::try_from(sol.total_tickets()).unwrap();
+        if total <= 12 {
+            let best = exact::optimal_restriction(&weights, &params, total)
+                .unwrap()
+                .expect("swiper's own result witnesses feasibility");
+            assert!(best.total() <= sol.total_tickets(), "weights {ws:?}");
+        }
+    }
+}
