@@ -33,9 +33,7 @@ fn bench_broadcast(c: &mut Criterion) {
     let mut group = c.benchmark_group("broadcast_16KiB_n10");
     group.sample_size(10);
 
-    group.bench_function("bracha_nominal", |b| {
-        b.iter(|| run_bracha(n, &blob, 3))
-    });
+    group.bench_function("bracha_nominal", |b| b.iter(|| run_bracha(n, &blob, 3)));
 
     let nominal = AvidConfig::nominal(n);
     group.bench_function("avid_nominal", |b| b.iter(|| run_avid(&nominal, n, &blob, 3)));

@@ -15,14 +15,10 @@ fn bench_modes_by_n(c: &mut Criterion) {
     for n in [100usize, 1_000, 10_000] {
         let weights = gen::zipf(n, 1.0, 1 << 30);
         for (label, mode) in [("full", Mode::Full), ("linear", Mode::Linear)] {
-            group.bench_with_input(
-                BenchmarkId::new(label, n),
-                &weights,
-                |b, w| {
-                    let solver = Swiper::with_mode(mode);
-                    b.iter(|| solver.solve_restriction(black_box(w), &params).unwrap())
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, n), &weights, |b, w| {
+                let solver = Swiper::with_mode(mode);
+                b.iter(|| solver.solve_restriction(black_box(w), &params).unwrap())
+            });
         }
     }
     group.finish();
@@ -34,14 +30,10 @@ fn bench_chains(c: &mut Criterion) {
     group.sample_size(10);
     for chain in [Chain::Aptos, Chain::Tezos, Chain::Filecoin] {
         let weights = chain.weights();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(chain.name()),
-            &weights,
-            |b, w| {
-                let solver = Swiper::new();
-                b.iter(|| solver.solve_restriction(black_box(w), &params).unwrap())
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(chain.name()), &weights, |b, w| {
+            let solver = Swiper::new();
+            b.iter(|| solver.solve_restriction(black_box(w), &params).unwrap())
+        });
     }
     group.finish();
 }

@@ -15,7 +15,7 @@
 //! ```
 
 use swiper_bench::TextTable;
-use swiper_core::{Mode, Ratio, Swiper, WeightRestriction, Weights};
+use swiper_core::{Instance, Mode, Ratio, Swiper, WeightRestriction, Weights};
 use swiper_weights::gen;
 
 /// Builds the full weight vector: organic honest parties followed by the
@@ -58,20 +58,30 @@ fn main() {
         ("10 equal identities", vec![budget / 10; 10]),
         ("100 equal identities", vec![budget / 100; 100]),
         ("1000 dust identities", vec![(budget / 1000).max(1); 1000]),
-        (
-            "mimic organic tail",
-            gen::zipf(200, 1.0, (budget / 6).max(1)).as_slice().to_vec(),
-        ),
+        ("mimic organic tail", gen::zipf(200, 1.0, (budget / 6).max(1)).as_slice().to_vec()),
     ];
 
+    // Every layout is an independent WR instance over (honest ++ adversary);
+    // solve the whole study as one parallel batch.
+    let populations: Vec<(&str, Vec<usize>, Weights)> = layouts
+        .iter()
+        .map(|(name, adv)| {
+            let (weights, ids) = population(&honest, adv);
+            (*name, ids, weights)
+        })
+        .collect();
+    let instances: Vec<Instance> = populations
+        .iter()
+        .map(|(_, _, weights)| Instance::restriction(weights.clone(), params))
+        .collect();
+    let solutions = Swiper::with_mode(Mode::Full).solve_many(&instances).unwrap();
+
     let mut baseline_total: Option<u128> = None;
-    for (name, adv) in layouts {
-        let identities = adv.len();
-        let (weights, ids) = population(&honest, &adv);
-        let adv_weight = weights.subset_weight(&ids);
+    for ((name, ids, weights), sol) in populations.iter().zip(&solutions) {
+        let identities = ids.len();
+        let adv_weight = weights.subset_weight(ids);
         let frac = adv_weight as f64 / weights.total() as f64;
         assert!(frac < 1.0 / 3.0, "{name}: adversary must stay below f_w ({frac:.3})");
-        let sol = Swiper::with_mode(Mode::Full).solve_restriction(&weights, &params).unwrap();
         let adv_tickets: u128 = ids.iter().map(|&i| u128::from(sol.assignment.get(i))).sum();
         let total = sol.total_tickets();
         let baseline = *baseline_total.get_or_insert(total);
@@ -84,10 +94,7 @@ fn main() {
             format!("{:+.1}%", (total as f64 / baseline as f64 - 1.0) * 100.0),
         ]);
         // The WR guarantee must hold regardless of the layout.
-        assert!(
-            adv_tickets * 2 < total,
-            "{name}: adversary reached alpha_n of the tickets!"
-        );
+        assert!(adv_tickets * 2 < total, "{name}: adversary reached alpha_n of the tickets!");
     }
     println!("{}", table.render());
     println!("invariant: the adversary's ticket share stays below alpha_n = 1/2 in");

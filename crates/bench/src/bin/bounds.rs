@@ -61,8 +61,7 @@ fn bound_vs_achieved() {
 
 fn exact_comparison() {
     println!("Swiper vs exact optimum on tiny instances (Appendix B role)\n");
-    let mut table =
-        TextTable::new(vec!["weights", "swiper T", "optimal T", "gap"]);
+    let mut table = TextTable::new(vec!["weights", "swiper T", "optimal T", "gap"]);
     // alpha_w = 1/3 with 6-8 parties keeps non-trivial light subsets, so
     // the optimum is interesting (> 1 ticket).
     let params = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2)).unwrap();

@@ -19,8 +19,13 @@ fn main() {
             let sol = Swiper::with_mode(mode).solve_restriction(&w, &p).unwrap();
             println!(
                 "{:10} n={:6} mode={:?} tickets={:6} bound={:6} dp={} time={:?}",
-                chain.name(), w.len(), mode, sol.total_tickets(), sol.ticket_bound,
-                sol.stats.dp_invocations, t0.elapsed()
+                chain.name(),
+                w.len(),
+                mode,
+                sol.total_tickets(),
+                sol.ticket_bound,
+                sol.stats.dp_invocations,
+                t0.elapsed()
             );
         }
         let s = WeightSeparation::new(Ratio::of(1, 3), Ratio::of(1, 2)).unwrap();
@@ -28,7 +33,10 @@ fn main() {
         let sol = Swiper::new().solve_separation(&w, &s).unwrap();
         println!(
             "{:10} WS tickets={:6} bound={:6} time={:?}",
-            chain.name(), sol.total_tickets(), sol.ticket_bound, t0.elapsed()
+            chain.name(),
+            sol.total_tickets(),
+            sol.ticket_bound,
+            t0.elapsed()
         );
     }
 }

@@ -11,7 +11,9 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use swiper_bench::TextTable;
-use swiper_core::{Mode, Ratio, Swiper, WeightQualification, WeightRestriction, Weights};
+use swiper_core::{
+    Instance, Ratio, Solution, Swiper, WeightQualification, WeightRestriction, Weights,
+};
 use swiper_net::{Protocol, Simulation};
 use swiper_protocols::avid::{AvidConfig, AvidMsg, AvidNode};
 use swiper_protocols::beacon::{BeaconMsg, BeaconNode, BeaconSetup};
@@ -46,26 +48,36 @@ fn main() {
         "rows where ours < paper use the Theorem 2.1 bound with the optimized constant c\n"
     );
 
-    measured_broadcast_overhead();
-    measured_beacon_overhead();
+    // Both measured rows run on the same worst-case (equal) weight
+    // distribution; their reductions are independent, so solve them as one
+    // batch.
+    let n = 10;
+    let weights = Weights::new(vec![7; n]).unwrap();
+    let wq = WeightQualification::new(Ratio::of(1, 3), Ratio::of(1, 4)).unwrap();
+    let wr = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2)).unwrap();
+    let solutions = Swiper::new()
+        .solve_many(&[
+            Instance::qualification(weights.clone(), wq),
+            Instance::restriction(weights.clone(), wr),
+        ])
+        .unwrap();
+
+    measured_broadcast_overhead(&weights, &solutions[0]);
+    measured_beacon_overhead(&solutions[1]);
 }
 
 /// Measured AVID overhead: weighted vs nominal bytes on the simulator with
 /// an equal-weight (worst-case) distribution.
-fn measured_broadcast_overhead() {
+fn measured_broadcast_overhead(weights: &Weights, sol: &Solution) {
     println!("Measured: erasure-coded broadcast (AVID), nominal vs weighted");
-    let n = 10;
+    let n = weights.len();
     let blob = vec![0x5A; 30_000];
 
     let nominal_cfg = AvidConfig::nominal(n);
-    let nominal = run_avid(&nominal_cfg, &blob, 11);
+    let nominal = run_avid(&nominal_cfg, n, &blob, 11);
 
-    // Worst case for weight reduction: equal weights.
-    let weights = Weights::new(vec![7; n]).unwrap();
-    let wq = WeightQualification::new(Ratio::of(1, 3), Ratio::of(1, 4)).unwrap();
-    let sol = Swiper::with_mode(Mode::Full).solve_qualification(&weights, &wq).unwrap();
-    let weighted_cfg = AvidConfig::weighted(weights, &sol.assignment, Ratio::of(1, 4));
-    let weighted = run_avid(&weighted_cfg, &blob, 11);
+    let weighted_cfg = AvidConfig::weighted(weights.clone(), &sol.assignment, Ratio::of(1, 4));
+    let weighted = run_avid(&weighted_cfg, n, &blob, 11);
 
     let factor = weighted as f64 / nominal as f64;
     let mut t = TextTable::new(vec!["variant", "k", "m", "total bytes", "overhead"]);
@@ -87,8 +99,7 @@ fn measured_broadcast_overhead() {
     println!("paper bound: x1.33 comm — measured factor should sit at or below it\n");
 }
 
-fn run_avid(config: &AvidConfig, blob: &[u8], seed: u64) -> u64 {
-    let n = 10;
+fn run_avid(config: &AvidConfig, n: usize, blob: &[u8], seed: u64) -> u64 {
     let mut nodes: Vec<Box<dyn Protocol<Msg = AvidMsg>>> = Vec::new();
     nodes.push(Box::new(AvidNode::dealer(config.clone(), 0, blob.to_vec())));
     for _ in 1..n {
@@ -100,16 +111,12 @@ fn run_avid(config: &AvidConfig, blob: &[u8], seed: u64) -> u64 {
 }
 
 /// Measured beacon overhead: share-message bytes, weighted vs nominal.
-fn measured_beacon_overhead() {
+fn measured_beacon_overhead(sol: &Solution) {
     println!("Measured: randomness beacon (common coin), nominal vs weighted");
-    let n = 10;
-    let nominal_setup =
-        BeaconSetup::nominal(n, Ratio::of(1, 2), &mut StdRng::seed_from_u64(1));
+    let n = sol.assignment.len();
+    let nominal_setup = BeaconSetup::nominal(n, Ratio::of(1, 2), &mut StdRng::seed_from_u64(1));
     let nominal = run_beacon(&nominal_setup, 7);
 
-    let weights = Weights::new(vec![7; n]).unwrap();
-    let wr = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2)).unwrap();
-    let sol = Swiper::new().solve_restriction(&weights, &wr).unwrap();
     let weighted_setup =
         BeaconSetup::deal(&sol.assignment, Ratio::of(1, 2), &mut StdRng::seed_from_u64(1));
     let total_tickets = sol.total_tickets();

@@ -10,9 +10,13 @@
 //! Our chain data are calibrated synthetic replicas (see DESIGN.md), so
 //! cells differ from the published ones; the paper's numbers are printed
 //! alongside for shape comparison.
+//!
+//! The whole sweep — chains × (WR + WS settings) — is expressed as one
+//! [`Instance`] batch per mode and handed to [`Swiper::solve_many`], which
+//! fans the independent solves out across cores.
 
-use swiper_bench::{measure_wr, measure_ws, table2_wr_settings, table2_ws_settings, TextTable};
-use swiper_core::Mode;
+use swiper_bench::{table2_wr_settings, table2_ws_settings, SolveMeasurement, TextTable};
+use swiper_core::{Instance, Mode, Swiper, WeightRestriction, WeightSeparation};
 use swiper_weights::CHAINS;
 
 /// The published Table 2 cells (full mode; linear surplus in parentheses
@@ -35,6 +39,33 @@ fn main() {
 
     let wr_settings = table2_wr_settings();
     let ws_settings = table2_ws_settings();
+    let columns = wr_settings.len() + ws_settings.len();
+
+    // One instance per table cell, in row-major order.
+    let mut instances: Vec<Instance> = Vec::with_capacity(CHAINS.len() * columns);
+    for chain in CHAINS {
+        let weights = chain.weights();
+        for (aw, an) in &wr_settings {
+            let params = WeightRestriction::new(*aw, *an).expect("feasible parameters");
+            instances.push(Instance::restriction(weights.clone(), params));
+        }
+        for (a, b) in &ws_settings {
+            let params = WeightSeparation::new(*a, *b).expect("feasible parameters");
+            instances.push(Instance::separation(weights.clone(), params));
+        }
+    }
+    let full: Vec<SolveMeasurement> = Swiper::with_mode(Mode::Full)
+        .solve_many(&instances)
+        .expect("solvable")
+        .iter()
+        .map(SolveMeasurement::from)
+        .collect();
+    let linear: Vec<SolveMeasurement> = Swiper::with_mode(Mode::Linear)
+        .solve_many(&instances)
+        .expect("solvable")
+        .iter()
+        .map(SolveMeasurement::from)
+        .collect();
 
     let mut header: Vec<String> = vec!["system".into(), "n".into(), "W".into()];
     for (aw, an) in &wr_settings {
@@ -52,33 +83,20 @@ fn main() {
             weights.len().to_string(),
             format!("{:.2e}", weights.total() as f64),
         ];
-        for (aw, an) in &wr_settings {
-            let full = measure_wr(&weights, *aw, *an, Mode::Full);
-            let linear = measure_wr(&weights, *aw, *an, Mode::Linear);
-            let surplus = linear.total_tickets.saturating_sub(full.total_tickets);
+        for col in 0..columns {
+            let idx = ci * columns + col;
+            let surplus = linear[idx].total_tickets.saturating_sub(full[idx].total_tickets);
             let cell = if surplus > 0 {
-                format!("{} (+{})", full.total_tickets, surplus)
+                format!("{} (+{})", full[idx].total_tickets, surplus)
             } else {
-                format!("{}", full.total_tickets)
-            };
-            cells.push(cell);
-        }
-        for (a, b) in &ws_settings {
-            let full = measure_ws(&weights, *a, *b, Mode::Full);
-            let linear = measure_ws(&weights, *a, *b, Mode::Linear);
-            let surplus = linear.total_tickets.saturating_sub(full.total_tickets);
-            let cell = if surplus > 0 {
-                format!("{} (+{})", full.total_tickets, surplus)
-            } else {
-                format!("{}", full.total_tickets)
+                format!("{}", full[idx].total_tickets)
             };
             cells.push(cell);
         }
         table.row(cells);
 
         // Paper reference row for shape comparison.
-        let mut paper: Vec<String> =
-            vec![format!("  (paper)"), String::new(), String::new()];
+        let mut paper: Vec<String> = vec![format!("  (paper)"), String::new(), String::new()];
         paper.extend(PAPER_WR[ci].iter().map(|s| s.to_string()));
         paper.extend(PAPER_WS[ci].iter().map(|s| s.to_string()));
         table.row(paper);

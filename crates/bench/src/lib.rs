@@ -13,7 +13,7 @@ use std::fs;
 use std::path::Path;
 
 use swiper_core::{
-    Mode, Ratio, Swiper, TicketAssignment, WeightQualification, WeightRestriction,
+    Mode, Ratio, Solution, Swiper, TicketAssignment, WeightQualification, WeightRestriction,
     WeightSeparation, Weights,
 };
 
@@ -94,7 +94,12 @@ pub fn measure_wq(
 /// # Panics
 ///
 /// Panics when the instance is infeasible.
-pub fn measure_ws(weights: &Weights, alpha: Ratio, beta: Ratio, mode: Mode) -> SolveMeasurement {
+pub fn measure_ws(
+    weights: &Weights,
+    alpha: Ratio,
+    beta: Ratio,
+    mode: Mode,
+) -> SolveMeasurement {
     let params = WeightSeparation::new(alpha, beta).expect("feasible parameters");
     let sol = Swiper::with_mode(mode).solve_separation(weights, &params).expect("solvable");
     measurement_of(&sol.assignment, sol.ticket_bound)
@@ -106,6 +111,12 @@ fn measurement_of(t: &TicketAssignment, bound: u64) -> SolveMeasurement {
         max_tickets: t.max_tickets(),
         holders: t.holders(),
         bound,
+    }
+}
+
+impl From<&Solution> for SolveMeasurement {
+    fn from(sol: &Solution) -> Self {
+        measurement_of(&sol.assignment, sol.ticket_bound)
     }
 }
 

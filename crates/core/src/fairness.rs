@@ -66,10 +66,10 @@ impl FairExtension {
                 }
                 continue;
             }
-            let need = ti
-                .checked_mul(big_w)
-                .ok_or(CoreError::ArithmeticOverflow)?
-                .saturating_sub(t.checked_mul(u128::from(w)).ok_or(CoreError::ArithmeticOverflow)?);
+            let need =
+                ti.checked_mul(big_w).ok_or(CoreError::ArithmeticOverflow)?.saturating_sub(
+                    t.checked_mul(u128::from(w)).ok_or(CoreError::ArithmeticOverflow)?,
+                );
             let r_i = need.div_ceil(u128::from(w));
             lottery = lottery.max(r_i);
         }
@@ -79,10 +79,9 @@ impl FairExtension {
         let mut cumulative = Vec::with_capacity(weights.len());
         let mut acc: u128 = 0;
         for (i, w) in weights.iter() {
-            let c = total_plus
-                .checked_mul(u128::from(w))
-                .ok_or(CoreError::ArithmeticOverflow)?
-                - u128::from(base.get(i)) * big_w;
+            let c =
+                total_plus.checked_mul(u128::from(w)).ok_or(CoreError::ArithmeticOverflow)?
+                    - u128::from(base.get(i)) * big_w;
             acc = acc.checked_add(c).ok_or(CoreError::ArithmeticOverflow)?;
             cumulative.push(acc);
         }
@@ -157,8 +156,7 @@ impl FairExtension {
             .zip(self.base.as_slice())
             .map(|(&weight, &profit)| Item { profit, weight })
             .collect();
-        let reached =
-            knapsack::max_profit_dp(&items, capacity, base_target) >= base_target;
+        let reached = knapsack::max_profit_dp(&items, capacity, base_target) >= base_target;
         Ok(!reached)
     }
 }
@@ -185,10 +183,7 @@ mod tests {
         for i in 0..4 {
             let (num, den) = fair.expected_tickets(i);
             // E[t_i] / (T+R) = w_i / W  <=>  num / (den * (T+R)) = w_i / W.
-            assert_eq!(
-                num * weights.total(),
-                u128::from(weights.get(i)) * fair.total() * den
-            );
+            assert_eq!(num * weights.total(), u128::from(weights.get(i)) * fair.total() * den);
         }
     }
 
@@ -207,8 +202,7 @@ mod tests {
         }
         for i in 0..4 {
             let mean = sums[i] as f64 / rounds as f64;
-            let expect =
-                weights.get(i) as f64 / weights.total() as f64 * fair.total() as f64;
+            let expect = weights.get(i) as f64 / weights.total() as f64 * fair.total() as f64;
             assert!(
                 (mean - expect).abs() < 0.15 * expect.max(1.0),
                 "party {i}: mean {mean} vs expected {expect}"

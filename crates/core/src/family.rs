@@ -131,8 +131,7 @@ impl<'a> Family<'a> {
             }
         }
         let j = hi;
-        let count_left =
-            if j == 1 { 0 } else { self.count_at(self.grid_a(j - 1), self.w_max) };
+        let count_left = if j == 1 { 0 } else { self.count_at(self.grid_a(j - 1), self.w_max) };
         debug_assert!(count_left < u128::from(total));
         let rank = (u128::from(total) - count_left) as usize; // 1-based within interval
 
@@ -144,11 +143,8 @@ impl<'a> Family<'a> {
                 continue;
             }
             // First crossing index strictly after the left end.
-            let m = if j == 1 {
-                1
-            } else {
-                self.tickets_at(self.grid_a(j - 1), self.w_max, w) + 1
-            };
+            let m =
+                if j == 1 { 1 } else { self.tickets_at(self.grid_a(j - 1), self.w_max, w) + 1 };
             let a = m * self.cd - self.cn;
             // Include iff value <= right end: a/(cd*w) <= r_a/(cd*w_max)
             //   <=> a * w_max <= r_a * w.
@@ -196,9 +192,7 @@ mod tests {
     fn family_assignments(ws: &[u64], c: Ratio, up_to: u64) -> Vec<Vec<u64>> {
         let weights = Weights::new(ws.to_vec()).unwrap();
         let fam = Family::new(&weights, c, up_to).unwrap();
-        (0..=up_to)
-            .map(|t| fam.assignment_with_total(t).unwrap().into_inner())
-            .collect()
+        (0..=up_to).map(|t| fam.assignment_with_total(t).unwrap().into_inner()).collect()
     }
 
     #[test]

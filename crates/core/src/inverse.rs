@@ -74,9 +74,7 @@ pub fn min_alpha_n_for_budget(
         }
         let params = WeightRestriction::new(alpha_w, alpha_n)?;
         match solver.solve_restriction(weights, &params) {
-            Ok(sol) if sol.total_tickets() <= u128::from(budget) => {
-                Ok(Some(sol.assignment))
-            }
+            Ok(sol) if sol.total_tickets() <= u128::from(budget) => Ok(Some(sol.assignment)),
             Ok(_) => Ok(None),
             // Bound explosions near alpha_w count as "does not fit".
             Err(CoreError::BoundTooLarge { .. }) | Err(CoreError::ArithmeticOverflow) => {
@@ -135,8 +133,7 @@ mod tests {
         let solver = Swiper::new();
         // A generous budget admits a small alpha_n; a tight budget forces
         // a larger one.
-        let generous =
-            min_alpha_n_for_budget(&w, aw, 100, 100, &solver).unwrap().unwrap();
+        let generous = min_alpha_n_for_budget(&w, aw, 100, 100, &solver).unwrap().unwrap();
         let tight = min_alpha_n_for_budget(&w, aw, 4, 100, &solver).unwrap().unwrap();
         assert!(generous.alpha_n <= tight.alpha_n);
         assert!(generous.assignment.total() <= 100);
@@ -147,8 +144,7 @@ mod tests {
     fn result_is_valid_for_its_threshold() {
         let w = weights();
         let aw = Ratio::of(1, 3);
-        let sol =
-            min_alpha_n_for_budget(&w, aw, 10, 100, &Swiper::new()).unwrap().unwrap();
+        let sol = min_alpha_n_for_budget(&w, aw, 10, 100, &Swiper::new()).unwrap().unwrap();
         let params = WeightRestriction::new(aw, sol.alpha_n).unwrap();
         assert!(verify_restriction(&w, &sol.assignment, &params).unwrap());
     }
@@ -160,9 +156,7 @@ mod tests {
         let solver = Swiper::new();
         let budget = 12u64;
         let den = 20u128;
-        let bisect = min_alpha_n_for_budget(&w, aw, budget, den, &solver)
-            .unwrap()
-            .unwrap();
+        let bisect = min_alpha_n_for_budget(&w, aw, budget, den, &solver).unwrap().unwrap();
         // Reference: smallest grid point that fits, by linear scan.
         let mut reference = None;
         for p in 6..20u128 {

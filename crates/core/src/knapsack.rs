@@ -44,24 +44,6 @@ pub struct Item {
     pub weight: u64,
 }
 
-/// Builds the item list, separating out zero-weight items whose profit is
-/// free under any capacity.
-fn split_free(items: &[Item]) -> (u128, Vec<Item>) {
-    let mut free: u128 = 0;
-    let mut rest = Vec::with_capacity(items.len());
-    for it in items {
-        if it.profit == 0 {
-            continue; // never helps
-        }
-        if it.weight == 0 {
-            free += u128::from(it.profit);
-        } else {
-            rest.push(*it);
-        }
-    }
-    (free, rest)
-}
-
 /// Sorts item indices by profit/weight ratio, descending, with exact
 /// cross-multiplied comparisons (no floating point). Zero-weight items must
 /// already be removed.
@@ -80,6 +62,15 @@ fn sort_by_ratio(items: &mut [Item]) {
     });
 }
 
+/// Reusable buffer for [`max_profit_dp_with`]: callers running many DP
+/// invocations (the solver's binary search, batch sweeps) keep one scratch
+/// alive and avoid reallocating the `O(profit_cap)` table per call.
+#[derive(Debug, Default, Clone)]
+pub struct DpScratch {
+    dp: Vec<u128>,
+    rest: Vec<Item>,
+}
+
 /// Exact maximum achievable profit, saturated at `profit_cap`, over subsets
 /// whose weight is at most `capacity`.
 ///
@@ -92,7 +83,32 @@ fn sort_by_ratio(items: &mut [Item]) {
 /// Panics if `profit_cap` does not fit in `usize` (bounded by
 /// [`crate::problems::MAX_TICKET_BOUND`] upstream).
 pub fn max_profit_dp(items: &[Item], capacity: u128, profit_cap: u64) -> u64 {
-    let (free, rest) = split_free(items);
+    max_profit_dp_with(&mut DpScratch::default(), items, capacity, profit_cap)
+}
+
+/// [`max_profit_dp`] reusing a caller-held scratch buffer across calls.
+///
+/// # Panics
+///
+/// Panics if `profit_cap` does not fit in `usize`.
+pub fn max_profit_dp_with(
+    scratch: &mut DpScratch,
+    items: &[Item],
+    capacity: u128,
+    profit_cap: u64,
+) -> u64 {
+    let mut free: u128 = 0;
+    scratch.rest.clear();
+    for it in items {
+        if it.profit == 0 {
+            continue;
+        }
+        if it.weight == 0 {
+            free += u128::from(it.profit);
+        } else {
+            scratch.rest.push(*it);
+        }
+    }
     let free = free.min(u128::from(profit_cap)) as u64;
     if free >= profit_cap {
         return profit_cap;
@@ -100,10 +116,12 @@ pub fn max_profit_dp(items: &[Item], capacity: u128, profit_cap: u64) -> u64 {
     let cap = usize::try_from(profit_cap).expect("profit cap fits usize");
     // dp[p] = min weight to achieve >= p profit (p saturating at cap).
     const INF: u128 = u128::MAX;
-    let mut dp = vec![INF; cap + 1];
+    scratch.dp.clear();
+    scratch.dp.resize(cap + 1, INF);
+    let dp = &mut scratch.dp[..cap + 1];
     dp[0] = 0;
     let mut best_reach: usize = 0; // highest p with dp[p] finite
-    for it in &rest {
+    for it in &scratch.rest {
         let p = usize::try_from(it.profit).expect("profit fits usize").min(cap);
         let w = u128::from(it.weight);
         let hi = best_reach.min(cap);
@@ -132,6 +150,182 @@ pub fn max_profit_dp(items: &[Item], capacity: u128, profit_cap: u64) -> u64 {
     (best + free).min(profit_cap)
 }
 
+/// A ratio-sorted item view with prefix sums, shared by every bound query
+/// against the same candidate assignment.
+///
+/// The solver's oracle evaluates up to four bound queries per candidate
+/// (two capacities × two bounds for Weight Separation); building this once
+/// per candidate replaces one sort *per query* with one sort per candidate,
+/// and [`SortedItems::rebuild`] recycles the allocations across the whole
+/// binary search. Answers are bit-identical to the one-shot free functions
+/// below, which delegate here.
+#[derive(Debug, Default, Clone)]
+pub struct SortedItems {
+    /// Profit of zero-weight items: free under any capacity.
+    free: u128,
+    /// Positive-weight, positive-profit items in descending ratio order.
+    items: Vec<Item>,
+    /// `prefix_profit[i]` = total profit of `items[..i]`.
+    prefix_profit: Vec<u128>,
+    /// `prefix_weight[i]` = total weight of `items[..i]` (strictly
+    /// increasing: zero weights were split out).
+    prefix_weight: Vec<u128>,
+}
+
+impl SortedItems {
+    /// Builds the sorted view for `items`.
+    #[must_use]
+    pub fn new(items: &[Item]) -> Self {
+        let mut this = SortedItems::default();
+        this.rebuild(items);
+        this
+    }
+
+    /// Rebuilds the view in place for a new candidate, reusing allocations.
+    pub fn rebuild(&mut self, items: &[Item]) {
+        self.free = 0;
+        self.items.clear();
+        for it in items {
+            if it.profit == 0 {
+                continue; // never helps
+            }
+            if it.weight == 0 {
+                self.free += u128::from(it.profit);
+            } else {
+                self.items.push(*it);
+            }
+        }
+        sort_by_ratio(&mut self.items);
+        self.prefix_profit.clear();
+        self.prefix_weight.clear();
+        self.prefix_profit.push(0);
+        self.prefix_weight.push(0);
+        let (mut ap, mut aw) = (0u128, 0u128);
+        for it in &self.items {
+            ap += u128::from(it.profit);
+            aw += u128::from(it.weight);
+            self.prefix_profit.push(ap);
+            self.prefix_weight.push(aw);
+        }
+    }
+
+    /// Number of leading sorted items whose cumulative weight fits within
+    /// `capacity` — the Dantzig split point.
+    fn cut(&self, capacity: u128) -> usize {
+        // prefix_weight is strictly increasing with prefix_weight[0] = 0.
+        self.prefix_weight.partition_point(|&w| w <= capacity) - 1
+    }
+
+    /// Whether the Dantzig fractional upper bound reaches `target` under
+    /// `capacity` (`false` certifies the target unreachable).
+    #[must_use]
+    pub fn fractional_upper_bound_reaches(&self, capacity: u128, target: u64) -> bool {
+        if target == 0 {
+            return true;
+        }
+        if self.free >= u128::from(target) {
+            return true;
+        }
+        let target = u128::from(target) - self.free;
+        let cut = self.cut(capacity);
+        let acc_profit = self.prefix_profit[cut];
+        if acc_profit >= target {
+            return true;
+        }
+        let Some(it) = self.items.get(cut) else {
+            return false; // everything fits and still falls short
+        };
+        // Fractional part of the breaking item: remaining capacity.
+        let rem = capacity - self.prefix_weight[cut];
+        // UB reaches target iff acc + profit*rem/w >= target
+        //  iff profit*rem >= (target-acc)*w   (exact, widened).
+        let need = target - acc_profit;
+        cmp_mul(u128::from(it.profit), rem, need, u128::from(it.weight)) != Ordering::Less
+    }
+
+    /// Floor of the Dantzig fractional upper bound on the maximum profit
+    /// under `capacity`.
+    #[must_use]
+    pub fn fractional_upper_bound_floor(&self, capacity: u128) -> u128 {
+        let cut = self.cut(capacity);
+        let acc_profit = self.free + self.prefix_profit[cut];
+        let Some(it) = self.items.get(cut) else {
+            return acc_profit;
+        };
+        let rem = capacity - self.prefix_weight[cut];
+        // floor(profit * rem / w); operands fit comfortably via widening.
+        let frac =
+            crate::wide::mul_div_floor(u128::from(it.profit), rem, u128::from(it.weight))
+                .expect("profit * rem fits 256 bits and quotient <= profit");
+        acc_profit + frac
+    }
+
+    /// Whether the greedy feasible packing (ratio-greedy plus best single
+    /// item) reaches `target` under `capacity` (`true` certifies it
+    /// reachable).
+    #[must_use]
+    pub fn greedy_lower_bound_reaches(&self, capacity: u128, target: u64) -> bool {
+        if target == 0 {
+            return true;
+        }
+        if self.free >= u128::from(target) {
+            return true;
+        }
+        let target = u128::from(target) - self.free;
+        let mut acc_profit: u128 = 0;
+        let mut acc_weight: u128 = 0;
+        for it in &self.items {
+            let w = u128::from(it.weight);
+            if acc_weight + w <= capacity {
+                acc_weight += w;
+                acc_profit += u128::from(it.profit);
+                if acc_profit >= target {
+                    return true;
+                }
+            }
+        }
+        // Best single item is another classic feasible witness.
+        self.items
+            .iter()
+            .any(|it| u128::from(it.weight) <= capacity && u128::from(it.profit) >= target)
+    }
+
+    /// Profit of the greedy feasible packing under `capacity` — a certified
+    /// lower bound on the optimum.
+    #[must_use]
+    pub fn greedy_lower_bound(&self, capacity: u128) -> u128 {
+        let mut acc_profit: u128 = 0;
+        let mut acc_weight: u128 = 0;
+        for it in &self.items {
+            let w = u128::from(it.weight);
+            if acc_weight + w <= capacity {
+                acc_weight += w;
+                acc_profit += u128::from(it.profit);
+            }
+        }
+        let best_single = self
+            .items
+            .iter()
+            .filter(|it| u128::from(it.weight) <= capacity)
+            .map(|it| u128::from(it.profit))
+            .max()
+            .unwrap_or(0);
+        self.free + acc_profit.max(best_single)
+    }
+
+    /// The paper's three-valued quasilinear test combining both bounds.
+    #[must_use]
+    pub fn quick_test(&self, capacity: u128, target: u64) -> QuickOutcome {
+        if !self.fractional_upper_bound_reaches(capacity, target) {
+            QuickOutcome::CertainlyUnreachable
+        } else if self.greedy_lower_bound_reaches(capacity, target) {
+            QuickOutcome::CertainlyReachable
+        } else {
+            QuickOutcome::Uncertain
+        }
+    }
+}
+
 /// Whether the Dantzig fractional (LP-relaxation) upper bound reaches
 /// `target` under `capacity`.
 ///
@@ -139,35 +333,7 @@ pub fn max_profit_dp(items: &[Item], capacity: u128, profit_cap: u64) -> u64 {
 /// `target` (the bound dominates the integral optimum), so `false` certifies
 /// validity; `true` is inconclusive.
 pub fn fractional_upper_bound_reaches(items: &[Item], capacity: u128, target: u64) -> bool {
-    if target == 0 {
-        return true;
-    }
-    let (free, mut rest) = split_free(items);
-    if free >= u128::from(target) {
-        return true;
-    }
-    let target = target - free as u64;
-    sort_by_ratio(&mut rest);
-    let mut acc_profit: u128 = 0;
-    let mut acc_weight: u128 = 0;
-    for it in &rest {
-        let w = u128::from(it.weight);
-        if acc_weight + w <= capacity {
-            acc_weight += w;
-            acc_profit += u128::from(it.profit);
-            if acc_profit >= u128::from(target) {
-                return true;
-            }
-        } else {
-            // Fractional part of the breaking item: remaining capacity.
-            let rem = capacity - acc_weight;
-            // UB reaches target iff acc + profit*rem/w >= target
-            //  iff profit*rem >= (target-acc)*w   (exact, widened).
-            let need = u128::from(target) - acc_profit;
-            return cmp_mul(u128::from(it.profit), rem, need, w) != Ordering::Less;
-        }
-    }
-    acc_profit >= u128::from(target)
+    SortedItems::new(items).fractional_upper_bound_reaches(capacity, target)
 }
 
 /// Whether a simple feasible packing (ratio-greedy plus the best single
@@ -177,88 +343,25 @@ pub fn fractional_upper_bound_reaches(items: &[Item], capacity: u128, target: u6
 /// is itself a witness subset), so `true` certifies invalidity; `false` is
 /// inconclusive.
 pub fn greedy_lower_bound_reaches(items: &[Item], capacity: u128, target: u64) -> bool {
-    if target == 0 {
-        return true;
-    }
-    let (free, mut rest) = split_free(items);
-    if free >= u128::from(target) {
-        return true;
-    }
-    let target = u128::from(target) - free;
-    sort_by_ratio(&mut rest);
-    let mut acc_profit: u128 = 0;
-    let mut acc_weight: u128 = 0;
-    for it in &rest {
-        let w = u128::from(it.weight);
-        if acc_weight + w <= capacity {
-            acc_weight += w;
-            acc_profit += u128::from(it.profit);
-            if acc_profit >= target {
-                return true;
-            }
-        }
-    }
-    // Best single item is another classic feasible witness.
-    rest.iter()
-        .any(|it| u128::from(it.weight) <= capacity && u128::from(it.profit) >= target)
+    SortedItems::new(items).greedy_lower_bound_reaches(capacity, target)
 }
 
 /// Floor of the Dantzig fractional (LP-relaxation) upper bound on the
 /// maximum profit under `capacity`. Since the integral optimum is an integer
 /// no greater than the LP bound, it is no greater than this floor either.
 pub fn fractional_upper_bound_floor(items: &[Item], capacity: u128) -> u128 {
-    let (free, mut rest) = split_free(items);
-    sort_by_ratio(&mut rest);
-    let mut acc_profit: u128 = free;
-    let mut acc_weight: u128 = 0;
-    for it in &rest {
-        let w = u128::from(it.weight);
-        if acc_weight + w <= capacity {
-            acc_weight += w;
-            acc_profit += u128::from(it.profit);
-        } else {
-            let rem = capacity - acc_weight;
-            // floor(profit * rem / w); operands fit comfortably via widening.
-            let frac = crate::wide::mul_div_floor(u128::from(it.profit), rem, w)
-                .expect("profit * rem fits 256 bits and quotient <= profit");
-            return acc_profit + frac;
-        }
-    }
-    acc_profit
+    SortedItems::new(items).fractional_upper_bound_floor(capacity)
 }
 
 /// Profit of a feasible greedy packing (ratio-greedy, improved by the best
 /// single item) under `capacity` — a certified lower bound on the optimum.
 pub fn greedy_lower_bound(items: &[Item], capacity: u128) -> u128 {
-    let (free, mut rest) = split_free(items);
-    sort_by_ratio(&mut rest);
-    let mut acc_profit: u128 = 0;
-    let mut acc_weight: u128 = 0;
-    for it in &rest {
-        let w = u128::from(it.weight);
-        if acc_weight + w <= capacity {
-            acc_weight += w;
-            acc_profit += u128::from(it.profit);
-        }
-    }
-    let best_single = rest
-        .iter()
-        .filter(|it| u128::from(it.weight) <= capacity)
-        .map(|it| u128::from(it.profit))
-        .max()
-        .unwrap_or(0);
-    free + acc_profit.max(best_single)
+    SortedItems::new(items).greedy_lower_bound(capacity)
 }
 
 /// The paper's three-valued quasilinear test combining both bounds.
 pub fn quick_test(items: &[Item], capacity: u128, target: u64) -> QuickOutcome {
-    if !fractional_upper_bound_reaches(items, capacity, target) {
-        QuickOutcome::CertainlyUnreachable
-    } else if greedy_lower_bound_reaches(items, capacity, target) {
-        QuickOutcome::CertainlyReachable
-    } else {
-        QuickOutcome::Uncertain
-    }
+    SortedItems::new(items).quick_test(capacity, target)
 }
 
 /// Exhaustive reference: maximum profit within capacity over all `2^n`

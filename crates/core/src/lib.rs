@@ -50,6 +50,53 @@
 //! # }
 //! ```
 //!
+//! ## The `ValidityOracle` layer
+//!
+//! The solver is split into a problem-shape-agnostic binary search and a
+//! pluggable validity judgement, the [`ValidityOracle`] trait. The search
+//! walks the totally-ordered `t(s, k)` family between the invalid all-zero
+//! member and the theoretical-bound member, asking the oracle one question
+//! per candidate: [`oracle::ValidityOracle::check`] on a
+//! [`FamilyMember`] under fixed [`CheckParams`], answered with a
+//! [`Verdict`].
+//!
+//! The contract an oracle must honour:
+//!
+//! 1. **Soundness** — never answer [`Verdict::Valid`] for a member that
+//!    violates the problem property. Solutions inherit their validity from
+//!    this alone.
+//! 2. **Bootstrapping compatibility** — the member carrying the
+//!    Theorem 2.1/2.3/2.4 bound total may be rejected only if the oracle
+//!    is *exact*; conservative oracles must accept it, or the search's
+//!    upper anchor breaks. (Both stock oracles satisfy this: the
+//!    fractional bound certifies the bound member.)
+//! 3. **Monotone flip** — for exact oracles the predicate "member with
+//!    total `T` is valid" flips false→true exactly once along the family,
+//!    which is what makes the binary search land on a *local minimum*.
+//!    Conservative oracles only guarantee the weaker "the accepted
+//!    prefix is upward closed", trading minimality for speed.
+//! 4. **Drainable stats** — [`oracle::ValidityOracle::take_stats`]
+//!    returns counters accumulated since the previous drain, so one
+//!    oracle instance can be recycled across a whole
+//!    [`Swiper::solve_many`] sweep and still yield per-solve
+//!    [`SolveStats`]. The search driver drains after every solve —
+//!    including aborted ones — and itself owns the search-shaped
+//!    counters (`candidates_checked`, `settled_by_theorem`); oracles
+//!    only fill the settlement counters.
+//!
+//! Stock implementations: [`FullOracle`] (exact; quick-test cascade with
+//! memoized sorted prefix sums and DP scratch) and [`LinearOracle`]
+//! (conservative bound only). Custom oracles plug in through
+//! [`Swiper::solve_restriction_with`] and friends — the intended seam for
+//! verdict caching and incremental re-solve on weight deltas.
+//!
+//! ## Batch solving
+//!
+//! [`Swiper::solve_many`] solves a slice of [`Instance`]s across OS
+//! threads (instances are embarrassingly parallel) with deterministic,
+//! input-order results; each worker thread recycles one oracle's scratch
+//! across its share.
+//!
 //! ## Supported envelope
 //!
 //! Party weights are `u64` (quantize with [`Weights::from_floats`] if
@@ -71,6 +118,7 @@ pub mod exact;
 pub mod fairness;
 pub mod inverse;
 pub mod knapsack;
+pub mod oracle;
 pub mod problems;
 pub mod solver;
 pub mod verify;
@@ -79,9 +127,12 @@ pub mod wide;
 
 pub use assignment::TicketAssignment;
 pub use error::CoreError;
+pub use oracle::{
+    CheckParams, FamilyMember, FullOracle, LinearOracle, ValidityOracle, Verdict,
+};
 pub use problems::{WeightQualification, WeightRestriction, WeightSeparation};
 pub use ratio::Ratio;
-pub use solver::{Mode, SolveStats, Solution, Swiper};
+pub use solver::{Instance, Mode, Solution, SolveStats, Swiper};
 pub use verify::{verify_qualification, verify_restriction, verify_separation};
 pub use virtual_users::VirtualUsers;
 pub use weights::Weights;

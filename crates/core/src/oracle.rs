@@ -1,0 +1,377 @@
+//! Pluggable validity oracles for the Swiper solver.
+//!
+//! The solver's binary search (paper, Section 3) needs exactly one
+//! judgement per candidate family member: *is this assignment valid for
+//! the problem instance?* This module isolates that judgement behind the
+//! [`ValidityOracle`] trait so checking regimes can be swapped without
+//! touching the search — the seam that later enables verdict caching,
+//! incremental re-solve on weight deltas and data-parallel sweeps.
+//!
+//! Two implementations mirror the prototype's modes:
+//!
+//! * [`FullOracle`] — the three-valued quick test (quasilinear bounds)
+//!   with the exact `O(n·T)` knapsack DP only on "uncertain" verdicts.
+//!   Scratch state (the ratio-sorted prefix sums of
+//!   [`knapsack::SortedItems`], the DP table, the item buffer) is
+//!   memoized across [`ValidityOracle::check`] calls instead of being
+//!   rebuilt per candidate.
+//! * [`LinearOracle`] — only the conservative (fractional upper) bound:
+//!   never falsely accepts, so solutions remain valid, but may settle for
+//!   more tickets. `~O(n log n)` per check, no DP ever.
+//!
+//! Both produce *identical verdicts* to the pre-oracle cascade in
+//! `solver.rs`; the oracle-equivalence proptests in this module's tests and
+//! in `solver.rs` pin that down.
+
+use crate::assignment::TicketAssignment;
+use crate::error::CoreError;
+use crate::knapsack::{self, Item, SortedItems};
+use crate::problems::{WeightRestriction, WeightSeparation};
+use crate::ratio::Ratio;
+use crate::solver::SolveStats;
+use crate::verify::{strict_capacity, ticket_target};
+use crate::weights::Weights;
+
+/// An oracle's judgement of one family member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The assignment satisfies the problem's property.
+    Valid,
+    /// The assignment violates the property (or the oracle cannot certify
+    /// it — conservative oracles treat "unknown" as invalid).
+    Invalid,
+}
+
+/// One candidate of the `t(s, k)` family, as presented to an oracle.
+#[derive(Debug, Clone, Copy)]
+pub struct FamilyMember<'a> {
+    /// The instance's party weights.
+    pub weights: &'a Weights,
+    /// The candidate ticket assignment.
+    pub tickets: &'a TicketAssignment,
+    /// Total tickets of the candidate (`tickets.total()`, pre-narrowed).
+    pub total: u64,
+}
+
+/// Problem-shape parameters of a validity check, fixed for a whole solve.
+///
+/// Weight Qualification reduces to Weight Restriction (Theorem 2.2), so two
+/// shapes cover all three problems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckParams {
+    /// Weight Restriction: no subset under `capacity` total weight may
+    /// reach `ceil(alpha_n * T)` tickets.
+    Restriction {
+        /// Largest subset weight strictly below `alpha_w * W`.
+        capacity: u128,
+        /// Ticket-fraction threshold; the per-candidate target is
+        /// `ceil(alpha_n * total)`.
+        alpha_n: Ratio,
+    },
+    /// Weight Separation: max tickets under `cap_low` plus max tickets
+    /// under `cap_high` must stay below the candidate total.
+    Separation {
+        /// Largest subset weight strictly below `alpha * W`.
+        cap_low: u128,
+        /// Largest subset weight strictly below `(1 - beta) * W`.
+        cap_high: u128,
+    },
+}
+
+impl CheckParams {
+    /// Check parameters for a Weight Restriction instance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates arithmetic-envelope errors from the capacity computation.
+    pub fn restriction(
+        weights: &Weights,
+        params: &WeightRestriction,
+    ) -> Result<Self, CoreError> {
+        Ok(CheckParams::Restriction {
+            capacity: strict_capacity(params.alpha_w(), weights.total())?,
+            alpha_n: params.alpha_n(),
+        })
+    }
+
+    /// Check parameters for a Weight Separation instance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates arithmetic-envelope errors from the capacity computations.
+    pub fn separation(weights: &Weights, params: &WeightSeparation) -> Result<Self, CoreError> {
+        Ok(CheckParams::Separation {
+            cap_low: strict_capacity(params.alpha(), weights.total())?,
+            cap_high: strict_capacity(params.beta().one_minus()?, weights.total())?,
+        })
+    }
+}
+
+/// A validity-checking regime the solver's binary search drives.
+///
+/// # Contract
+///
+/// * `check` must never return [`Verdict::Valid`] for an invalid member
+///   (soundness); returning [`Verdict::Invalid`] for a valid member is
+///   allowed (conservatism) **as long as** the theoretical-bound member is
+///   still judged valid, or the search's bootstrapping fallback would break.
+///   Exact oracles additionally make the search land on a local minimum.
+/// * Verdicts must be monotone in the family order for exact oracles:
+///   the searched predicate "member with total `T` is valid" flips from
+///   false to true exactly once.
+/// * `take_stats` returns the counters accumulated since the previous call
+///   and resets them; the search drains once per solve (on errors too), so
+///   a shared oracle instance yields per-solve stats for free. Oracles
+///   report only how checks were *settled* (`settled_by_*`,
+///   `dp_invocations`); the search-shaped counters (`candidates_checked`,
+///   `settled_by_theorem`) are owned and filled by the driver.
+pub trait ValidityOracle {
+    /// Judges one family member under the given check parameters.
+    ///
+    /// # Errors
+    ///
+    /// Implementations propagate arithmetic-envelope errors.
+    fn check(
+        &mut self,
+        member: &FamilyMember<'_>,
+        params: &CheckParams,
+    ) -> Result<Verdict, CoreError>;
+
+    /// Drains the counters accumulated since the last call.
+    fn take_stats(&mut self) -> SolveStats;
+}
+
+/// Shared per-candidate preparation: the knapsack item view of a member.
+fn fill_items(buf: &mut Vec<Item>, member: &FamilyMember<'_>) {
+    buf.clear();
+    buf.extend(
+        member
+            .weights
+            .as_slice()
+            .iter()
+            .zip(member.tickets.as_slice())
+            .map(|(&weight, &profit)| Item { profit, weight }),
+    );
+}
+
+/// The per-candidate ticket target for a Restriction-shaped check, already
+/// compared against `total`: `None` means the target exceeds the total and
+/// the member is trivially valid.
+fn restriction_target(alpha_n: Ratio, total: u64) -> Result<Option<u64>, CoreError> {
+    let target = ticket_target(alpha_n, u128::from(total))?;
+    if target > u128::from(total) {
+        return Ok(None);
+    }
+    Ok(Some(u64::try_from(target).map_err(|_| CoreError::ArithmeticOverflow)?))
+}
+
+/// Exact oracle: quick test first, the knapsack DP only on "uncertain".
+///
+/// Memoizes its working state across checks — the item buffer, the
+/// ratio-sorted prefix sums ([`SortedItems`]) and the DP table
+/// ([`knapsack::DpScratch`]) are allocated once per oracle and recycled
+/// through the entire binary search (and, via [`crate::Swiper::solve_many`],
+/// across instances of a sweep).
+#[derive(Debug, Default, Clone)]
+pub struct FullOracle {
+    items: Vec<Item>,
+    sorted: SortedItems,
+    dp: knapsack::DpScratch,
+    stats: SolveStats,
+}
+
+impl FullOracle {
+    /// A fresh oracle with empty scratch.
+    #[must_use]
+    pub fn new() -> Self {
+        FullOracle::default()
+    }
+}
+
+impl ValidityOracle for FullOracle {
+    fn check(
+        &mut self,
+        member: &FamilyMember<'_>,
+        params: &CheckParams,
+    ) -> Result<Verdict, CoreError> {
+        if member.total == 0 {
+            return Ok(Verdict::Invalid);
+        }
+        fill_items(&mut self.items, member);
+        self.sorted.rebuild(&self.items);
+        match *params {
+            CheckParams::Restriction { capacity, alpha_n } => {
+                let Some(target) = restriction_target(alpha_n, member.total)? else {
+                    return Ok(Verdict::Valid);
+                };
+                // Conservative bound: certainly-unreachable target means valid.
+                if !self.sorted.fractional_upper_bound_reaches(capacity, target) {
+                    self.stats.settled_by_upper_bound += 1;
+                    return Ok(Verdict::Valid);
+                }
+                if self.sorted.greedy_lower_bound_reaches(capacity, target) {
+                    self.stats.settled_by_lower_bound += 1;
+                    return Ok(Verdict::Invalid);
+                }
+                self.stats.dp_invocations += 1;
+                let reached =
+                    knapsack::max_profit_dp_with(&mut self.dp, &self.items, capacity, target)
+                        >= target;
+                Ok(if reached { Verdict::Invalid } else { Verdict::Valid })
+            }
+            CheckParams::Separation { cap_low, cap_high } => {
+                let total = u128::from(member.total);
+                // Conservative: floor(LP bound) on both sides still summing
+                // below total certifies validity (a + b < T <=> max-light <
+                // min-heavy).
+                let a_ub = self.sorted.fractional_upper_bound_floor(cap_low);
+                let b_ub = self.sorted.fractional_upper_bound_floor(cap_high);
+                if a_ub + b_ub < total {
+                    self.stats.settled_by_upper_bound += 1;
+                    return Ok(Verdict::Valid);
+                }
+                let a_lb = self.sorted.greedy_lower_bound(cap_low);
+                let b_lb = self.sorted.greedy_lower_bound(cap_high);
+                if a_lb + b_lb >= total {
+                    self.stats.settled_by_lower_bound += 1;
+                    return Ok(Verdict::Invalid);
+                }
+                self.stats.dp_invocations += 1;
+                let a = u128::from(knapsack::max_profit_dp_with(
+                    &mut self.dp,
+                    &self.items,
+                    cap_low,
+                    member.total,
+                ));
+                let b = u128::from(knapsack::max_profit_dp_with(
+                    &mut self.dp,
+                    &self.items,
+                    cap_high,
+                    member.total,
+                ));
+                Ok(if a + b < total { Verdict::Valid } else { Verdict::Invalid })
+            }
+        }
+    }
+
+    fn take_stats(&mut self) -> SolveStats {
+        std::mem::take(&mut self.stats)
+    }
+}
+
+/// Conservative oracle: the fractional upper bound only (the prototype's
+/// `--linear` flag). Never falsely accepts, never runs the DP.
+#[derive(Debug, Default, Clone)]
+pub struct LinearOracle {
+    items: Vec<Item>,
+    sorted: SortedItems,
+    stats: SolveStats,
+}
+
+impl LinearOracle {
+    /// A fresh oracle with empty scratch.
+    #[must_use]
+    pub fn new() -> Self {
+        LinearOracle::default()
+    }
+}
+
+impl ValidityOracle for LinearOracle {
+    fn check(
+        &mut self,
+        member: &FamilyMember<'_>,
+        params: &CheckParams,
+    ) -> Result<Verdict, CoreError> {
+        if member.total == 0 {
+            return Ok(Verdict::Invalid);
+        }
+        fill_items(&mut self.items, member);
+        self.sorted.rebuild(&self.items);
+        match *params {
+            CheckParams::Restriction { capacity, alpha_n } => {
+                let Some(target) = restriction_target(alpha_n, member.total)? else {
+                    return Ok(Verdict::Valid);
+                };
+                if !self.sorted.fractional_upper_bound_reaches(capacity, target) {
+                    self.stats.settled_by_upper_bound += 1;
+                    return Ok(Verdict::Valid);
+                }
+                // Only the conservative test is allowed: treat as invalid.
+                Ok(Verdict::Invalid)
+            }
+            CheckParams::Separation { cap_low, cap_high } => {
+                let a_ub = self.sorted.fractional_upper_bound_floor(cap_low);
+                let b_ub = self.sorted.fractional_upper_bound_floor(cap_high);
+                if a_ub + b_ub < u128::from(member.total) {
+                    self.stats.settled_by_upper_bound += 1;
+                    return Ok(Verdict::Valid);
+                }
+                Ok(Verdict::Invalid)
+            }
+        }
+    }
+
+    fn take_stats(&mut self) -> SolveStats {
+        std::mem::take(&mut self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problems::WeightRestriction;
+
+    fn member_for<'a>(weights: &'a Weights, tickets: &'a TicketAssignment) -> FamilyMember<'a> {
+        let total = u64::try_from(tickets.total()).unwrap();
+        FamilyMember { weights, tickets, total }
+    }
+
+    #[test]
+    fn zero_total_is_invalid_for_both_oracles() {
+        let w = Weights::new(vec![5, 3, 2]).unwrap();
+        let t = TicketAssignment::new(vec![0, 0, 0]);
+        let p = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2)).unwrap();
+        let params = CheckParams::restriction(&w, &p).unwrap();
+        let member = member_for(&w, &t);
+        assert_eq!(FullOracle::new().check(&member, &params).unwrap(), Verdict::Invalid);
+        assert_eq!(LinearOracle::new().check(&member, &params).unwrap(), Verdict::Invalid);
+    }
+
+    #[test]
+    fn linear_never_accepts_what_full_rejects() {
+        // Conservatism: Linear's Valid verdicts are a subset of Full's.
+        let w = Weights::new(vec![40, 25, 20, 10, 5]).unwrap();
+        let p = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2)).unwrap();
+        let params = CheckParams::restriction(&w, &p).unwrap();
+        let mut full = FullOracle::new();
+        let mut linear = LinearOracle::new();
+        for total in 1u64..=12 {
+            let fam = crate::family::Family::new(&w, p.family_constant(), total).unwrap();
+            let t = fam.assignment_with_total(total).unwrap();
+            let member = member_for(&w, &t);
+            let fv = full.check(&member, &params).unwrap();
+            let lv = linear.check(&member, &params).unwrap();
+            if lv == Verdict::Valid {
+                assert_eq!(fv, Verdict::Valid, "linear accepted what full rejects at {total}");
+            }
+        }
+    }
+
+    #[test]
+    fn take_stats_drains() {
+        let w = Weights::new(vec![40, 25, 20, 10, 5]).unwrap();
+        let t = TicketAssignment::new(vec![2, 1, 1, 1, 0]);
+        let p = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2)).unwrap();
+        let params = CheckParams::restriction(&w, &p).unwrap();
+        let mut oracle = FullOracle::new();
+        oracle.check(&member_for(&w, &t), &params).unwrap();
+        let stats = oracle.take_stats();
+        // The driver owns candidates_checked; the oracle reports only how
+        // the check was settled.
+        assert_eq!(stats.candidates_checked, 0);
+        let settled =
+            stats.settled_by_upper_bound + stats.settled_by_lower_bound + stats.dp_invocations;
+        assert_eq!(settled, 1);
+        assert_eq!(oracle.take_stats(), SolveStats::default());
+    }
+}

@@ -103,9 +103,7 @@ impl Ratio {
     /// Returns [`CoreError::ThresholdOutOfRange`] when `self > 1`.
     pub fn one_minus(&self) -> Result<Self, CoreError> {
         if self.num > self.den {
-            return Err(CoreError::ThresholdOutOfRange {
-                what: "cannot take 1 - r for r > 1",
-            });
+            return Err(CoreError::ThresholdOutOfRange { what: "cannot take 1 - r for r > 1" });
         }
         Ratio::new(self.den - self.num, self.den)
     }
@@ -126,12 +124,10 @@ impl Ratio {
         // Cross-reduce first to keep intermediates small.
         let g1 = gcd_u128(self.num, other.den).max(1);
         let g2 = gcd_u128(other.num, self.den).max(1);
-        let num = (self.num / g1)
-            .checked_mul(other.num / g2)
-            .ok_or(CoreError::ArithmeticOverflow)?;
-        let den = (self.den / g2)
-            .checked_mul(other.den / g1)
-            .ok_or(CoreError::ArithmeticOverflow)?;
+        let num =
+            (self.num / g1).checked_mul(other.num / g2).ok_or(CoreError::ArithmeticOverflow)?;
+        let den =
+            (self.den / g2).checked_mul(other.den / g1).ok_or(CoreError::ArithmeticOverflow)?;
         Ratio::new(num, den)
     }
 

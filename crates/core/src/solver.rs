@@ -8,23 +8,32 @@
 //! binary search between the invalid all-zero member and the bound member
 //! suffices.
 //!
-//! Two modes mirror the prototype:
+//! Validity judgement is delegated to a pluggable [`ValidityOracle`]
+//! (see [`crate::oracle`]); one generic binary-search driver serves all
+//! three problem shapes. Two stock oracles mirror the prototype:
 //!
-//! * [`Mode::Full`] — exact validity via the three-valued quick test
-//!   (quasilinear bounds) with the `O(n*T)` knapsack DP only on
+//! * [`Mode::Full`] → [`FullOracle`] — exact validity via the three-valued
+//!   quick test (quasilinear bounds) with the `O(n*T)` knapsack DP only on
 //!   "uncertain"; finds a local minimum.
-//! * [`Mode::Linear`] — only the conservative bound (never falsely accepts);
-//!   guaranteed valid but possibly not locally minimal, `~O(n)` per check.
+//! * [`Mode::Linear`] → [`LinearOracle`] — only the conservative bound
+//!   (never falsely accepts); guaranteed valid but possibly not locally
+//!   minimal, `~O(n)` per check.
+//!
+//! Batch workloads (parameter sweeps, per-epoch re-solves over many chains)
+//! go through [`Swiper::solve_many`], which fans instances out across OS
+//! threads — weight reduction instances are embarrassingly parallel — while
+//! each worker recycles one oracle's memoized scratch across its share.
 
 use serde::{Deserialize, Serialize};
 
 use crate::assignment::TicketAssignment;
 use crate::error::CoreError;
 use crate::family::Family;
-use crate::knapsack::{self, Item};
+use crate::oracle::{
+    CheckParams, FamilyMember, FullOracle, LinearOracle, ValidityOracle, Verdict,
+};
 use crate::problems::{WeightQualification, WeightRestriction, WeightSeparation};
 use crate::ratio::Ratio;
-use crate::verify::{strict_capacity, ticket_target};
 use crate::weights::Weights;
 
 /// Validity-checking regime (the prototype's `--linear` flag).
@@ -35,6 +44,17 @@ pub enum Mode {
     Full,
     /// Conservative bound only; valid but possibly more tickets.
     Linear,
+}
+
+impl Mode {
+    /// A fresh boxed oracle implementing this regime.
+    #[must_use]
+    pub fn new_oracle(self) -> Box<dyn ValidityOracle + Send> {
+        match self {
+            Mode::Full => Box::new(FullOracle::new()),
+            Mode::Linear => Box::new(LinearOracle::new()),
+        }
+    }
 }
 
 /// Counters describing how a solve went; useful for the paper's ">3x fewer
@@ -71,6 +91,64 @@ impl Solution {
     }
 }
 
+/// One weight reduction instance for batch solving via
+/// [`Swiper::solve_many`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Instance {
+    /// A Weight Restriction (Problem 1) instance.
+    Restriction {
+        /// Party weights.
+        weights: Weights,
+        /// Problem parameters.
+        params: WeightRestriction,
+    },
+    /// A Weight Qualification (Problem 2) instance, solved through the
+    /// Theorem 2.2 reduction.
+    Qualification {
+        /// Party weights.
+        weights: Weights,
+        /// Problem parameters.
+        params: WeightQualification,
+    },
+    /// A Weight Separation (Problem 3) instance.
+    Separation {
+        /// Party weights.
+        weights: Weights,
+        /// Problem parameters.
+        params: WeightSeparation,
+    },
+}
+
+impl Instance {
+    /// A Weight Restriction instance.
+    #[must_use]
+    pub fn restriction(weights: Weights, params: WeightRestriction) -> Self {
+        Instance::Restriction { weights, params }
+    }
+
+    /// A Weight Qualification instance.
+    #[must_use]
+    pub fn qualification(weights: Weights, params: WeightQualification) -> Self {
+        Instance::Qualification { weights, params }
+    }
+
+    /// A Weight Separation instance.
+    #[must_use]
+    pub fn separation(weights: Weights, params: WeightSeparation) -> Self {
+        Instance::Separation { weights, params }
+    }
+
+    /// The instance's weight vector.
+    #[must_use]
+    pub fn weights(&self) -> &Weights {
+        match self {
+            Instance::Restriction { weights, .. }
+            | Instance::Qualification { weights, .. }
+            | Instance::Separation { weights, .. } => weights,
+        }
+    }
+}
+
 /// The solver. Construct with [`Swiper::new`] (full mode) or
 /// [`Swiper::with_mode`].
 ///
@@ -92,18 +170,6 @@ impl Solution {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Swiper {
     mode: Mode,
-}
-
-/// How a WR-shaped validity check is parameterized for one solve.
-struct RestrictionCheck {
-    capacity: u128,
-    alpha_n: Ratio,
-}
-
-/// How a WS validity check is parameterized for one solve.
-struct SeparationCheck {
-    cap_low: u128,
-    cap_high: u128,
 }
 
 impl Swiper {
@@ -132,30 +198,26 @@ impl Swiper {
         weights: &Weights,
         params: &WeightRestriction,
     ) -> Result<Solution, CoreError> {
+        self.solve_restriction_with(&mut *self.mode.new_oracle(), weights, params)
+    }
+
+    /// [`Swiper::solve_restriction`] driving a caller-supplied oracle —
+    /// the plug point for custom checking regimes (cached verdicts,
+    /// incremental re-solve, instrumentation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter/overflow errors; see [`CoreError`].
+    pub fn solve_restriction_with<O: ValidityOracle + ?Sized>(
+        &self,
+        oracle: &mut O,
+        weights: &Weights,
+        params: &WeightRestriction,
+    ) -> Result<Solution, CoreError> {
         let n = u64::try_from(weights.len()).map_err(|_| CoreError::ArithmeticOverflow)?;
         let bound = params.ticket_bound(n)?.max(1);
-        let family = Family::new(weights, params.family_constant(), bound)?;
-        let check = RestrictionCheck {
-            capacity: strict_capacity(params.alpha_w(), weights.total())?,
-            alpha_n: params.alpha_n(),
-        };
-        let mut stats = SolveStats::default();
-        let mut lo = 0u64;
-        let mut hi = bound;
-        while hi - lo > 1 {
-            let mid = lo + (hi - lo) / 2;
-            let cand = family.assignment_with_total(mid)?;
-            stats.candidates_checked += 1;
-            let items = to_items(weights, &cand);
-            if self.check_restriction(&check, &items, mid, &mut stats)? {
-                hi = mid;
-            } else {
-                lo = mid;
-            }
-        }
-        stats.settled_by_theorem += u64::from(hi == bound);
-        let assignment = family.assignment_with_total(hi)?;
-        Ok(Solution { assignment, ticket_bound: bound, stats })
+        let check = CheckParams::restriction(weights, params)?;
+        solve_with(oracle, weights, params.family_constant(), bound, &check)
     }
 
     /// Returns the `t(s, k)` family member with exactly `total` tickets
@@ -195,6 +257,20 @@ impl Swiper {
         self.solve_restriction(weights, &params.to_restriction())
     }
 
+    /// [`Swiper::solve_qualification`] driving a caller-supplied oracle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter/overflow errors; see [`CoreError`].
+    pub fn solve_qualification_with<O: ValidityOracle + ?Sized>(
+        &self,
+        oracle: &mut O,
+        weights: &Weights,
+        params: &WeightQualification,
+    ) -> Result<Solution, CoreError> {
+        self.solve_restriction_with(oracle, weights, &params.to_restriction())
+    }
+
     /// Solves Weight Separation (Problem 3).
     ///
     /// # Errors
@@ -205,108 +281,142 @@ impl Swiper {
         weights: &Weights,
         params: &WeightSeparation,
     ) -> Result<Solution, CoreError> {
+        self.solve_separation_with(&mut *self.mode.new_oracle(), weights, params)
+    }
+
+    /// [`Swiper::solve_separation`] driving a caller-supplied oracle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter/overflow errors; see [`CoreError`].
+    pub fn solve_separation_with<O: ValidityOracle + ?Sized>(
+        &self,
+        oracle: &mut O,
+        weights: &Weights,
+        params: &WeightSeparation,
+    ) -> Result<Solution, CoreError> {
         let n = u64::try_from(weights.len()).map_err(|_| CoreError::ArithmeticOverflow)?;
         let bound = params.ticket_bound(n)?.max(1);
-        let family = Family::new(weights, params.family_constant(), bound)?;
-        let check = SeparationCheck {
-            cap_low: strict_capacity(params.alpha(), weights.total())?,
-            cap_high: strict_capacity(params.beta().one_minus()?, weights.total())?,
-        };
-        let mut stats = SolveStats::default();
-        let mut lo = 0u64;
-        let mut hi = bound;
-        while hi - lo > 1 {
-            let mid = lo + (hi - lo) / 2;
-            let cand = family.assignment_with_total(mid)?;
-            stats.candidates_checked += 1;
-            let items = to_items(weights, &cand);
-            if self.check_separation(&check, &items, mid, &mut stats)? {
-                hi = mid;
-            } else {
-                lo = mid;
+        let check = CheckParams::separation(weights, params)?;
+        solve_with(oracle, weights, params.family_constant(), bound, &check)
+    }
+
+    /// Solves one batch [`Instance`] with this solver's mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter/overflow errors; see [`CoreError`].
+    pub fn solve_instance(&self, instance: &Instance) -> Result<Solution, CoreError> {
+        self.solve_instance_with(&mut *self.mode.new_oracle(), instance)
+    }
+
+    /// [`Swiper::solve_instance`] driving a caller-supplied oracle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter/overflow errors; see [`CoreError`].
+    pub fn solve_instance_with<O: ValidityOracle + ?Sized>(
+        &self,
+        oracle: &mut O,
+        instance: &Instance,
+    ) -> Result<Solution, CoreError> {
+        match instance {
+            Instance::Restriction { weights, params } => {
+                self.solve_restriction_with(oracle, weights, params)
+            }
+            Instance::Qualification { weights, params } => {
+                self.solve_qualification_with(oracle, weights, params)
+            }
+            Instance::Separation { weights, params } => {
+                self.solve_separation_with(oracle, weights, params)
             }
         }
-        stats.settled_by_theorem += u64::from(hi == bound);
-        let assignment = family.assignment_with_total(hi)?;
-        Ok(Solution { assignment, ticket_bound: bound, stats })
     }
 
-    /// WR-shaped validity check for a family member with total `total`.
-    fn check_restriction(
-        &self,
-        check: &RestrictionCheck,
-        items: &[Item],
-        total: u64,
-        stats: &mut SolveStats,
-    ) -> Result<bool, CoreError> {
-        if total == 0 {
-            return Ok(false);
+    /// Solves a batch of independent instances, in parallel across OS
+    /// threads, returning solutions in input order.
+    ///
+    /// Weight reduction instances share nothing, so the batch is split into
+    /// contiguous chunks — one per available core — and each worker drives
+    /// its own oracle, whose memoized scratch (sorted prefix sums, DP
+    /// table) is recycled across the worker's whole share. Results are
+    /// deterministic and identical to solving each instance alone.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error in instance order; remaining solutions are
+    /// discarded.
+    pub fn solve_many(&self, instances: &[Instance]) -> Result<Vec<Solution>, CoreError> {
+        let n = instances.len();
+        if n == 0 {
+            return Ok(Vec::new());
         }
-        let target = ticket_target(check.alpha_n, u128::from(total))?;
-        let target = u64::try_from(target).map_err(|_| CoreError::ArithmeticOverflow)?;
-        if target > total {
-            return Ok(true);
+        let workers = std::thread::available_parallelism().map_or(1, |p| p.get()).min(n);
+        let chunk = n.div_ceil(workers);
+        let mut slots: Vec<Option<Result<Solution, CoreError>>> = vec![None; n];
+        if workers <= 1 {
+            let oracle = &mut *self.mode.new_oracle();
+            for (inst, slot) in instances.iter().zip(slots.iter_mut()) {
+                *slot = Some(self.solve_instance_with(oracle, inst));
+            }
+        } else {
+            std::thread::scope(|scope| {
+                for (inst_chunk, slot_chunk) in
+                    instances.chunks(chunk).zip(slots.chunks_mut(chunk))
+                {
+                    let solver = *self;
+                    scope.spawn(move || {
+                        let oracle = &mut *solver.mode.new_oracle();
+                        for (inst, slot) in inst_chunk.iter().zip(slot_chunk.iter_mut()) {
+                            *slot = Some(solver.solve_instance_with(oracle, inst));
+                        }
+                    });
+                }
+            });
         }
-        // Conservative bound: certainly-unreachable target means valid.
-        if !knapsack::fractional_upper_bound_reaches(items, check.capacity, target) {
-            stats.settled_by_upper_bound += 1;
-            return Ok(true);
-        }
-        if self.mode == Mode::Linear {
-            // Only the conservative test is allowed: treat as invalid.
-            return Ok(false);
-        }
-        if knapsack::greedy_lower_bound_reaches(items, check.capacity, target) {
-            stats.settled_by_lower_bound += 1;
-            return Ok(false);
-        }
-        stats.dp_invocations += 1;
-        let reached = knapsack::max_profit_dp(items, check.capacity, target) >= target;
-        Ok(!reached)
-    }
-
-    /// WS validity check for a family member with total `total`.
-    fn check_separation(
-        &self,
-        check: &SeparationCheck,
-        items: &[Item],
-        total: u64,
-        stats: &mut SolveStats,
-    ) -> Result<bool, CoreError> {
-        if total == 0 {
-            return Ok(false);
-        }
-        // Conservative: floor(LP bound) on both sides still summing below
-        // total certifies validity (a + b < T  <=>  max-light < min-heavy).
-        let a_ub = knapsack::fractional_upper_bound_floor(items, check.cap_low);
-        let b_ub = knapsack::fractional_upper_bound_floor(items, check.cap_high);
-        if a_ub + b_ub < u128::from(total) {
-            stats.settled_by_upper_bound += 1;
-            return Ok(true);
-        }
-        if self.mode == Mode::Linear {
-            return Ok(false);
-        }
-        let a_lb = knapsack::greedy_lower_bound(items, check.cap_low);
-        let b_lb = knapsack::greedy_lower_bound(items, check.cap_high);
-        if a_lb + b_lb >= u128::from(total) {
-            stats.settled_by_lower_bound += 1;
-            return Ok(false);
-        }
-        stats.dp_invocations += 1;
-        let a = u128::from(knapsack::max_profit_dp(items, check.cap_low, total));
-        let b = u128::from(knapsack::max_profit_dp(items, check.cap_high, total));
-        Ok(a + b < u128::from(total))
+        slots.into_iter().map(|slot| slot.expect("every slot solved")).collect()
     }
 }
 
-fn to_items(weights: &Weights, tickets: &TicketAssignment) -> Vec<Item> {
-    weights
-        .as_slice()
-        .iter()
-        .zip(tickets.as_slice())
-        .map(|(&weight, &profit)| Item { profit, weight })
-        .collect()
+/// The generic binary-search driver: finds the least family member the
+/// oracle accepts, between the (invalid) all-zero member and the
+/// theoretical-bound member (valid by bootstrapping).
+///
+/// The driver owns the search-shaped counters (`candidates_checked`,
+/// `settled_by_theorem`); oracles only report how checks were settled. The
+/// oracle is drained even when the search aborts with an error, so a
+/// reused oracle never leaks one solve's counters into the next.
+fn solve_with<O: ValidityOracle + ?Sized>(
+    oracle: &mut O,
+    weights: &Weights,
+    family_constant: Ratio,
+    bound: u64,
+    check: &CheckParams,
+) -> Result<Solution, CoreError> {
+    let family = Family::new(weights, family_constant, bound)?;
+    let mut lo = 0u64;
+    let mut hi = bound;
+    let mut checked = 0u64;
+    let mut search = || -> Result<(), CoreError> {
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            let cand = family.assignment_with_total(mid)?;
+            let member = FamilyMember { weights, tickets: &cand, total: mid };
+            checked += 1;
+            match oracle.check(&member, check)? {
+                Verdict::Valid => hi = mid,
+                Verdict::Invalid => lo = mid,
+            }
+        }
+        Ok(())
+    };
+    let outcome = search();
+    let mut stats = oracle.take_stats();
+    outcome?;
+    stats.candidates_checked += checked;
+    stats.settled_by_theorem += u64::from(hi == bound);
+    let assignment = family.assignment_with_total(hi)?;
+    Ok(Solution { assignment, ticket_bound: bound, stats })
 }
 
 #[cfg(test)]
@@ -414,6 +524,218 @@ mod tests {
         assert!(settled <= sol.stats.candidates_checked + 2);
     }
 
+    #[test]
+    fn oracle_reuse_across_solves_is_isolated() {
+        // One oracle driven through many solves must behave as if fresh
+        // each time: scratch is rebuilt per candidate and stats drain per
+        // solve.
+        let p = WeightRestriction::new(Ratio::of(1, 4), Ratio::of(1, 3)).unwrap();
+        let a = weights(&[50, 30, 11, 5, 2, 1, 1]);
+        let b = weights(&[9, 9, 9, 9, 9, 9]);
+        let solver = Swiper::new();
+        let fresh_a = solver.solve_restriction(&a, &p).unwrap();
+        let fresh_b = solver.solve_restriction(&b, &p).unwrap();
+        let mut shared = FullOracle::new();
+        for _ in 0..3 {
+            let ra = solver.solve_restriction_with(&mut shared, &a, &p).unwrap();
+            let rb = solver.solve_restriction_with(&mut shared, &b, &p).unwrap();
+            assert_eq!(ra, fresh_a);
+            assert_eq!(rb, fresh_b);
+        }
+    }
+
+    #[test]
+    fn solve_many_matches_individual_solves() {
+        let wr = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2)).unwrap();
+        let wq = WeightQualification::new(Ratio::of(1, 3), Ratio::of(1, 4)).unwrap();
+        let ws = WeightSeparation::new(Ratio::of(1, 4), Ratio::of(1, 3)).unwrap();
+        let vectors = [
+            vec![100u64, 70, 55, 13, 8, 8, 4, 2, 1, 1, 1],
+            vec![7; 9],
+            vec![970, 10, 10, 10],
+            vec![50, 30, 11, 5, 2, 1, 1],
+        ];
+        let mut instances = Vec::new();
+        for v in &vectors {
+            let w = weights(v);
+            instances.push(Instance::restriction(w.clone(), wr));
+            instances.push(Instance::qualification(w.clone(), wq));
+            instances.push(Instance::separation(w, ws));
+        }
+        for mode in [Mode::Full, Mode::Linear] {
+            let solver = Swiper::with_mode(mode);
+            let batch = solver.solve_many(&instances).unwrap();
+            assert_eq!(batch.len(), instances.len());
+            for (inst, sol) in instances.iter().zip(&batch) {
+                assert_eq!(sol, &solver.solve_instance(inst).unwrap(), "{mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn solve_many_empty_batch() {
+        assert_eq!(Swiper::new().solve_many(&[]).unwrap(), Vec::new());
+    }
+
+    /// The seed's pre-oracle validity cascade for Weight Restriction,
+    /// kept verbatim as the reference for the equivalence proptests.
+    mod reference {
+        use crate::assignment::TicketAssignment;
+        use crate::error::CoreError;
+        use crate::family::Family;
+        use crate::knapsack::{self, Item};
+        use crate::problems::{WeightRestriction, WeightSeparation};
+        use crate::ratio::Ratio;
+        use crate::solver::{Mode, Solution, SolveStats};
+        use crate::verify::{strict_capacity, ticket_target};
+        use crate::weights::Weights;
+
+        struct RestrictionCheck {
+            capacity: u128,
+            alpha_n: Ratio,
+        }
+
+        struct SeparationCheck {
+            cap_low: u128,
+            cap_high: u128,
+        }
+
+        fn to_items(weights: &Weights, tickets: &TicketAssignment) -> Vec<Item> {
+            weights
+                .as_slice()
+                .iter()
+                .zip(tickets.as_slice())
+                .map(|(&weight, &profit)| Item { profit, weight })
+                .collect()
+        }
+
+        fn check_restriction(
+            mode: Mode,
+            check: &RestrictionCheck,
+            items: &[Item],
+            total: u64,
+            stats: &mut SolveStats,
+        ) -> Result<bool, CoreError> {
+            if total == 0 {
+                return Ok(false);
+            }
+            let target = ticket_target(check.alpha_n, u128::from(total))?;
+            let target = u64::try_from(target).map_err(|_| CoreError::ArithmeticOverflow)?;
+            if target > total {
+                return Ok(true);
+            }
+            if !knapsack::fractional_upper_bound_reaches(items, check.capacity, target) {
+                stats.settled_by_upper_bound += 1;
+                return Ok(true);
+            }
+            if mode == Mode::Linear {
+                return Ok(false);
+            }
+            if knapsack::greedy_lower_bound_reaches(items, check.capacity, target) {
+                stats.settled_by_lower_bound += 1;
+                return Ok(false);
+            }
+            stats.dp_invocations += 1;
+            let reached = knapsack::max_profit_dp(items, check.capacity, target) >= target;
+            Ok(!reached)
+        }
+
+        fn check_separation(
+            mode: Mode,
+            check: &SeparationCheck,
+            items: &[Item],
+            total: u64,
+            stats: &mut SolveStats,
+        ) -> Result<bool, CoreError> {
+            if total == 0 {
+                return Ok(false);
+            }
+            let a_ub = knapsack::fractional_upper_bound_floor(items, check.cap_low);
+            let b_ub = knapsack::fractional_upper_bound_floor(items, check.cap_high);
+            if a_ub + b_ub < u128::from(total) {
+                stats.settled_by_upper_bound += 1;
+                return Ok(true);
+            }
+            if mode == Mode::Linear {
+                return Ok(false);
+            }
+            let a_lb = knapsack::greedy_lower_bound(items, check.cap_low);
+            let b_lb = knapsack::greedy_lower_bound(items, check.cap_high);
+            if a_lb + b_lb >= u128::from(total) {
+                stats.settled_by_lower_bound += 1;
+                return Ok(false);
+            }
+            stats.dp_invocations += 1;
+            let a = u128::from(knapsack::max_profit_dp(items, check.cap_low, total));
+            let b = u128::from(knapsack::max_profit_dp(items, check.cap_high, total));
+            Ok(a + b < u128::from(total))
+        }
+
+        /// Seed `Swiper::solve_restriction`, verbatim.
+        pub fn solve_restriction(
+            mode: Mode,
+            weights: &Weights,
+            params: &WeightRestriction,
+        ) -> Result<Solution, CoreError> {
+            let n = u64::try_from(weights.len()).map_err(|_| CoreError::ArithmeticOverflow)?;
+            let bound = params.ticket_bound(n)?.max(1);
+            let family = Family::new(weights, params.family_constant(), bound)?;
+            let check = RestrictionCheck {
+                capacity: strict_capacity(params.alpha_w(), weights.total())?,
+                alpha_n: params.alpha_n(),
+            };
+            let mut stats = SolveStats::default();
+            let mut lo = 0u64;
+            let mut hi = bound;
+            while hi - lo > 1 {
+                let mid = lo + (hi - lo) / 2;
+                let cand = family.assignment_with_total(mid)?;
+                stats.candidates_checked += 1;
+                let items = to_items(weights, &cand);
+                if check_restriction(mode, &check, &items, mid, &mut stats)? {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            stats.settled_by_theorem += u64::from(hi == bound);
+            let assignment = family.assignment_with_total(hi)?;
+            Ok(Solution { assignment, ticket_bound: bound, stats })
+        }
+
+        /// Seed `Swiper::solve_separation`, verbatim.
+        pub fn solve_separation(
+            mode: Mode,
+            weights: &Weights,
+            params: &WeightSeparation,
+        ) -> Result<Solution, CoreError> {
+            let n = u64::try_from(weights.len()).map_err(|_| CoreError::ArithmeticOverflow)?;
+            let bound = params.ticket_bound(n)?.max(1);
+            let family = Family::new(weights, params.family_constant(), bound)?;
+            let check = SeparationCheck {
+                cap_low: strict_capacity(params.alpha(), weights.total())?,
+                cap_high: strict_capacity(params.beta().one_minus()?, weights.total())?,
+            };
+            let mut stats = SolveStats::default();
+            let mut lo = 0u64;
+            let mut hi = bound;
+            while hi - lo > 1 {
+                let mid = lo + (hi - lo) / 2;
+                let cand = family.assignment_with_total(mid)?;
+                stats.candidates_checked += 1;
+                let items = to_items(weights, &cand);
+                if check_separation(mode, &check, &items, mid, &mut stats)? {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            stats.settled_by_theorem += u64::from(hi == bound);
+            let assignment = family.assignment_with_total(hi)?;
+            Ok(Solution { assignment, ticket_bound: bound, stats })
+        }
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -451,6 +773,52 @@ mod tests {
                 let sol = Swiper::with_mode(mode).solve_separation(&w, &p).unwrap();
                 prop_assert!(verify_separation(&w, &sol.assignment, &p).unwrap());
                 prop_assert!(sol.total_tickets() <= u128::from(sol.ticket_bound));
+            }
+        }
+
+        /// Oracle equivalence (WR): the refactored solver must produce the
+        /// *identical* `TicketAssignment` as the seed cascade on random
+        /// skewed weight vectors — and identical `SolveStats`, so
+        /// `dp_invocations` cannot regress.
+        #[test]
+        fn oracle_matches_seed_cascade_wr(
+            mut ws in proptest::collection::vec(1u64..100_000, 1..24),
+            whale in 1u64..10_000_000,
+            pw in 1u128..6, pn in 2u128..7,
+        ) {
+            let aw = Ratio::of(pw, 7);
+            let an = Ratio::of(pn, 7);
+            prop_assume!(aw < an && aw.is_proper() && an.is_proper());
+            // Skew the vector: real stake distributions are whale-heavy.
+            ws.push(whale);
+            let w = Weights::new(ws).unwrap();
+            let p = WeightRestriction::new(aw, an).unwrap();
+            for mode in [Mode::Full, Mode::Linear] {
+                let new = Swiper::with_mode(mode).solve_restriction(&w, &p).unwrap();
+                let old = reference::solve_restriction(mode, &w, &p).unwrap();
+                prop_assert_eq!(&new.assignment, &old.assignment, "{:?}", mode);
+                prop_assert_eq!(new.ticket_bound, old.ticket_bound);
+                prop_assert_eq!(new.stats, old.stats, "{:?}", mode);
+                prop_assert!(new.stats.dp_invocations <= old.stats.dp_invocations);
+            }
+        }
+
+        /// Oracle equivalence (WS): same pinning for the separation shape.
+        #[test]
+        fn oracle_matches_seed_cascade_ws(
+            ws in proptest::collection::vec(1u64..100_000, 1..16),
+            pa in 1u128..5, pb in 2u128..6,
+        ) {
+            let alpha = Ratio::of(pa, 6);
+            let beta = Ratio::of(pb, 6);
+            prop_assume!(alpha < beta && alpha.is_proper() && beta.is_proper());
+            let w = Weights::new(ws).unwrap();
+            let p = WeightSeparation::new(alpha, beta).unwrap();
+            for mode in [Mode::Full, Mode::Linear] {
+                let new = Swiper::with_mode(mode).solve_separation(&w, &p).unwrap();
+                let old = reference::solve_separation(mode, &w, &p).unwrap();
+                prop_assert_eq!(&new.assignment, &old.assignment, "{:?}", mode);
+                prop_assert_eq!(new.stats, old.stats, "{:?}", mode);
             }
         }
     }

@@ -22,10 +22,7 @@ fn ceil_div(a: u128, b: u128) -> u128 {
 /// Largest integer subset-weight strictly below `threshold * W`, i.e. the
 /// knapsack capacity `floor((p*W - 1) / q)` for `threshold = p/q`.
 pub(crate) fn strict_capacity(threshold: Ratio, total_weight: u128) -> Result<u128, CoreError> {
-    let pw = threshold
-        .num()
-        .checked_mul(total_weight)
-        .ok_or(CoreError::ArithmeticOverflow)?;
+    let pw = threshold.num().checked_mul(total_weight).ok_or(CoreError::ArithmeticOverflow)?;
     // threshold > 0 and W > 0 imply pw >= 1.
     Ok((pw - 1) / threshold.den())
 }
@@ -33,10 +30,7 @@ pub(crate) fn strict_capacity(threshold: Ratio, total_weight: u128) -> Result<u1
 /// Smallest integer ticket count `k` with `k >= threshold * T`
 /// (`ceil(p*T / q)` for `threshold = p/q`).
 pub(crate) fn ticket_target(threshold: Ratio, total_tickets: u128) -> Result<u128, CoreError> {
-    let pt = threshold
-        .num()
-        .checked_mul(total_tickets)
-        .ok_or(CoreError::ArithmeticOverflow)?;
+    let pt = threshold.num().checked_mul(total_tickets).ok_or(CoreError::ArithmeticOverflow)?;
     Ok(ceil_div(pt, threshold.den()))
 }
 
@@ -186,7 +180,8 @@ pub fn verify_qualification_exhaustive(
             }
         }
         let over_weight = cmp_mul(w, bw.den(), bw.num(), big_w) == std::cmp::Ordering::Greater;
-        let under_tickets = cmp_mul(t, bn.den(), bn.num(), total) != std::cmp::Ordering::Greater;
+        let under_tickets =
+            cmp_mul(t, bn.den(), bn.num(), total) != std::cmp::Ordering::Greater;
         if over_weight && under_tickets {
             return false;
         }

@@ -62,7 +62,8 @@ impl Weights {
         if weights.is_empty() {
             return Err(CoreError::NoParties);
         }
-        let max = weights.iter().copied().filter(|w| w.is_finite() && *w > 0.0).fold(0.0, f64::max);
+        let max =
+            weights.iter().copied().filter(|w| w.is_finite() && *w > 0.0).fold(0.0, f64::max);
         if max <= 0.0 || scale_max == 0 {
             return Err(CoreError::ZeroTotalWeight);
         }

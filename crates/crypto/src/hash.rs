@@ -135,9 +135,8 @@ impl Hasher {
 
     fn absorb_block(&mut self) {
         for i in 0..8 {
-            let word = u32::from_le_bytes(
-                self.buf[i * 4..i * 4 + 4].try_into().expect("4 bytes"),
-            );
+            let word =
+                u32::from_le_bytes(self.buf[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
             self.state[i] ^= word;
         }
         permute(&mut self.state);
@@ -247,8 +246,7 @@ mod tests {
         // output bits.
         let a = digest(b"the quick brown fox");
         let b = digest(b"the quick brown foy");
-        let differing: u32 =
-            a.0.iter().zip(&b.0).map(|(x, y)| (x ^ y).count_ones()).sum();
+        let differing: u32 = a.0.iter().zip(&b.0).map(|(x, y)| (x ^ y).count_ones()).sum();
         assert!(differing > 80 && differing < 176, "differing bits: {differing}");
     }
 

@@ -13,7 +13,7 @@
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use swiper_field::{F61, Field};
+use swiper_field::{Field, F61};
 
 use crate::error::CryptoError;
 use crate::hash::{digest_parts, digest_to_f61};
@@ -61,12 +61,7 @@ pub struct MultiSignature {
 impl MultiSignature {
     /// Indices of contributing signers.
     pub fn signer_indices(&self) -> Vec<usize> {
-        self.signers
-            .iter()
-            .enumerate()
-            .filter(|(_, &s)| s)
-            .map(|(i, _)| i)
-            .collect()
+        self.signers.iter().enumerate().filter(|(_, &s)| s).map(|(i, _)| i).collect()
     }
 
     /// Size in bytes: one scalar plus the n-bit vector (the paper's "array
@@ -113,7 +108,10 @@ pub fn verify_individual(
 ///
 /// * [`CryptoError::InvalidParameters`] for a signer index `>= n`.
 /// * [`CryptoError::DuplicateShare`] when a signer appears twice.
-pub fn aggregate(n: usize, sigs: &[IndividualSignature]) -> Result<MultiSignature, CryptoError> {
+pub fn aggregate(
+    n: usize,
+    sigs: &[IndividualSignature],
+) -> Result<MultiSignature, CryptoError> {
     let mut signers = vec![false; n];
     let mut agg = F61::ZERO;
     for s in sigs {
@@ -164,17 +162,13 @@ pub fn signers_hold_weight(
         return false;
     }
     let total: u128 = weights.iter().map(|&w| u128::from(w)).sum();
-    let signed: u128 = ms
-        .signers
-        .iter()
-        .zip(weights)
-        .filter(|(&s, _)| s)
-        .map(|(_, &w)| u128::from(w))
-        .sum();
+    let signed: u128 =
+        ms.signers.iter().zip(weights).filter(|(&s, _)| s).map(|(_, &w)| u128::from(w)).sum();
     // signed > threshold * total  <=>  signed * den > num * total
-    signed.checked_mul(threshold_den).zip(threshold_num.checked_mul(total)).is_some_and(
-        |(lhs, rhs)| lhs > rhs,
-    )
+    signed
+        .checked_mul(threshold_den)
+        .zip(threshold_num.checked_mul(total))
+        .is_some_and(|(lhs, rhs)| lhs > rhs)
 }
 
 #[cfg(test)]
@@ -241,10 +235,7 @@ mod tests {
             Err(CryptoError::DuplicateShare { index: 0 })
         ));
         let bad = sign(&sks[0], 7, b"m");
-        assert!(matches!(
-            aggregate(3, &[bad]),
-            Err(CryptoError::InvalidParameters { .. })
-        ));
+        assert!(matches!(aggregate(3, &[bad]), Err(CryptoError::InvalidParameters { .. })));
     }
 
     #[test]

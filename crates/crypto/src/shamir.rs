@@ -10,7 +10,7 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use swiper_core::{TicketAssignment, VirtualUsers};
-use swiper_field::{poly, F61, Field};
+use swiper_field::{poly, Field, F61};
 
 use crate::error::CryptoError;
 
@@ -65,10 +65,7 @@ impl ShamirScheme {
             coeffs.push(F61::new(rng.random::<u64>()));
         }
         (0..self.total)
-            .map(|i| Share {
-                index: i as u64,
-                value: poly::eval(&coeffs, F61::eval_point(i)),
-            })
+            .map(|i| Share { index: i as u64, value: poly::eval(&coeffs, F61::eval_point(i)) })
             .collect()
     }
 
@@ -107,10 +104,8 @@ impl ShamirScheme {
                 have: all.len(),
             });
         }
-        let pts: Vec<(F61, F61)> = all
-            .iter()
-            .map(|s| (F61::eval_point(s.index as usize), s.value))
-            .collect();
+        let pts: Vec<(F61, F61)> =
+            all.iter().map(|s| (F61::eval_point(s.index as usize), s.value)).collect();
         let coeffs = poly::interpolate(&pts[..self.threshold]);
         if poly::degree(&coeffs).is_some_and(|d| d >= self.threshold) {
             return Err(CryptoError::InconsistentShares);
@@ -126,7 +121,10 @@ impl ShamirScheme {
     fn dedup<'a>(&self, shares: &'a [Share]) -> Result<Vec<&'a Share>, CryptoError> {
         let all = self.dedup_all(shares)?;
         if all.len() < self.threshold {
-            return Err(CryptoError::NotEnoughShares { needed: self.threshold, have: all.len() });
+            return Err(CryptoError::NotEnoughShares {
+                needed: self.threshold,
+                have: all.len(),
+            });
         }
         Ok(all.into_iter().take(self.threshold).collect())
     }
@@ -161,7 +159,10 @@ impl WeightedShamir {
     ///
     /// [`CryptoError::InvalidParameters`] when the threshold is infeasible
     /// or the assignment is empty.
-    pub fn new(tickets: &TicketAssignment, threshold_shares: usize) -> Result<Self, CryptoError> {
+    pub fn new(
+        tickets: &TicketAssignment,
+        threshold_shares: usize,
+    ) -> Result<Self, CryptoError> {
         let mapping = VirtualUsers::from_assignment(tickets)
             .map_err(|e| CryptoError::InvalidParameters { what: e.to_string() })?;
         let scheme = ShamirScheme::new(threshold_shares, mapping.total())?;
@@ -208,7 +209,7 @@ mod tests {
     use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use swiper_core::{Ratio, Swiper, Weights, WeightRestriction};
+    use swiper_core::{Ratio, Swiper, WeightRestriction, Weights};
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0xC0FFEE)
@@ -252,9 +253,7 @@ mod tests {
         for a in 0..6 {
             for b in (a + 1)..6 {
                 for c in (b + 1)..6 {
-                    let got = scheme
-                        .reconstruct(&[shares[a], shares[b], shares[c]])
-                        .unwrap();
+                    let got = scheme.reconstruct(&[shares[a], shares[b], shares[c]]).unwrap();
                     assert_eq!(got, secret);
                 }
             }

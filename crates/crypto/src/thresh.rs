@@ -22,7 +22,7 @@
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use swiper_field::{poly, F61, Field};
+use swiper_field::{poly, Field, F61};
 
 use crate::error::CryptoError;
 use crate::hash::{digest_parts, digest_to_f61, Digest};
@@ -146,7 +146,12 @@ impl ThresholdScheme {
 
     /// Verifies a partial signature against the per-share verification key:
     /// `sigma_i * h == vk_i * H(m)`.
-    pub fn verify_partial(&self, pk: &PublicKey, msg: &[u8], partial: &PartialSignature) -> bool {
+    pub fn verify_partial(
+        &self,
+        pk: &PublicKey,
+        msg: &[u8],
+        partial: &PartialSignature,
+    ) -> bool {
         let Some(&vk_i) = pk.per_share.get(partial.index as usize) else {
             return false;
         };

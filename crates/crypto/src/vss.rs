@@ -40,7 +40,8 @@ impl Commitment {
 
     /// Digest binding the whole commitment (what the dealer broadcasts).
     pub fn root(&self) -> Digest {
-        let parts: Vec<&[u8]> = self.per_share.iter().map(|d| d.as_bytes().as_slice()).collect();
+        let parts: Vec<&[u8]> =
+            self.per_share.iter().map(|d| d.as_bytes().as_slice()).collect();
         digest_parts(&parts)
     }
 }

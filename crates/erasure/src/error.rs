@@ -35,7 +35,9 @@ pub enum CodeError {
 impl fmt::Display for CodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CodeError::InvalidParameters { what } => write!(f, "invalid code parameters: {what}"),
+            CodeError::InvalidParameters { what } => {
+                write!(f, "invalid code parameters: {what}")
+            }
             CodeError::NotEnoughFragments { needed, have } => {
                 write!(f, "not enough fragments: need {needed}, have {have}")
             }

@@ -135,7 +135,10 @@ impl<F: Field> ReedSolomon<F> {
     ///
     /// As [`ReedSolomon::decode_erasures`], plus [`CodeError::DecodingFailed`]
     /// when any received fragment disagrees with the interpolation.
-    pub fn decode_erasures_checked(&self, fragments: &[Option<F>]) -> Result<Vec<F>, CodeError> {
+    pub fn decode_erasures_checked(
+        &self,
+        fragments: &[Option<F>],
+    ) -> Result<Vec<F>, CodeError> {
         let pts = self.present(fragments)?;
         let coeffs = poly::interpolate(&pts[..self.k]);
         if poly::degree(&coeffs).is_some_and(|d| d >= self.k) {
@@ -180,8 +183,7 @@ impl<F: Field> ReedSolomon<F> {
         }
         // The error budget applies to the solve window; a wrong window
         // solution shows up as > e mismatches there.
-        let in_window =
-            use_pts.iter().filter(|&&(x, y)| poly::eval(&p_coeffs, x) != y).count();
+        let in_window = use_pts.iter().filter(|&&(x, y)| poly::eval(&p_coeffs, x) != y).count();
         if in_window > max_errors {
             return Err(CodeError::DecodingFailed);
         }
@@ -200,6 +202,7 @@ impl<F: Field> ReedSolomon<F> {
     fn welch_berlekamp(&self, use_pts: &[(F, F)], e: usize) -> Result<Vec<F>, CodeError> {
         let nq = self.k + e; // unknown coefficients of Q = P * E
         let nvars = nq + e; // plus e non-monic coefficients of E
+
         // Equation per point: Q(x) - y * (E(x) - x^e) = y * x^e
         //   sum_j q_j x^j - y * sum_{j<e} e_j x^j = y * x^e.
         let mut a = Vec::with_capacity(use_pts.len());
@@ -267,7 +270,7 @@ mod tests {
     use proptest::prelude::*;
     use rand::prelude::*;
     use rand::rngs::StdRng;
-    use swiper_field::{F61, Gf256};
+    use swiper_field::{Gf256, F61};
 
     fn msg61(vals: &[u64]) -> Vec<F61> {
         vals.iter().map(|&v| F61::new(v)).collect()
@@ -356,6 +359,7 @@ mod tests {
         frags[0] = None; // erasure
         frags[9] = None; // erasure
         frags[2] = Some(F61::new(1)); // error
+
         // 8 fragments present, k + 2e = 3 + 2*2 = 7 <= 8.
         let out = rs.decode_errors(&frags, 2).unwrap();
         assert_eq!(out.message, msg);
@@ -408,7 +412,8 @@ mod tests {
     #[test]
     fn works_over_gf256() {
         let rs: ReedSolomon<Gf256> = ReedSolomon::new(4, 12).unwrap();
-        let msg: Vec<Gf256> = vec![0x01, 0x80, 0xFF, 0x42].into_iter().map(Gf256::new).collect();
+        let msg: Vec<Gf256> =
+            vec![0x01, 0x80, 0xFF, 0x42].into_iter().map(Gf256::new).collect();
         let mut frags: Vec<Option<Gf256>> =
             rs.encode(&msg).unwrap().into_iter().map(Some).collect();
         frags[0] = None;

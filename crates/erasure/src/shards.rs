@@ -11,7 +11,7 @@
 //! exceeds 255 (Table 2 of the paper reaches tens of thousands).
 
 use serde::{Deserialize, Serialize};
-use swiper_field::{F61, Field};
+use swiper_field::{Field, F61};
 
 use crate::error::CodeError;
 use crate::rs::ReedSolomon;
@@ -127,10 +127,7 @@ pub fn encode_bytes(data: &[u8], k: usize, m: usize) -> Result<Vec<Shard>, CodeE
     }
     let stripes = symbols.len() / k;
     let mut shards: Vec<Shard> = (0..m)
-        .map(|i| Shard {
-            index: i as u32,
-            data: Vec::with_capacity(stripes * SYMBOL_BYTES),
-        })
+        .map(|i| Shard { index: i as u32, data: Vec::with_capacity(stripes * SYMBOL_BYTES) })
         .collect();
     for stripe in symbols.chunks(k) {
         let frags = rs.encode(stripe)?;
@@ -210,9 +207,8 @@ pub fn encode_bytes_gf256(data: &[u8], k: usize, m: usize) -> Result<Vec<Shard>,
         framed.push(0);
     }
     let stripes = framed.len() / k;
-    let mut shards: Vec<Shard> = (0..m)
-        .map(|i| Shard { index: i as u32, data: Vec::with_capacity(stripes) })
-        .collect();
+    let mut shards: Vec<Shard> =
+        (0..m).map(|i| Shard { index: i as u32, data: Vec::with_capacity(stripes) }).collect();
     for stripe in framed.chunks(k) {
         let symbols: Vec<Gf256> = stripe.iter().map(|&b| Gf256::new(b)).collect();
         let frags = rs.encode(&symbols)?;
@@ -278,7 +274,11 @@ pub fn decode_bytes_gf256(shards: &[Shard], k: usize, m: usize) -> Result<Vec<u8
 ///
 /// As [`decode_bytes`], plus [`CodeError::DecodingFailed`] when any supplied
 /// shard is inconsistent with the reconstruction.
-pub fn decode_bytes_checked(shards: &[Shard], k: usize, m: usize) -> Result<Vec<u8>, CodeError> {
+pub fn decode_bytes_checked(
+    shards: &[Shard],
+    k: usize,
+    m: usize,
+) -> Result<Vec<u8>, CodeError> {
     let rs: ReedSolomon<F61> = ReedSolomon::new(k, m)?;
     let mut seen: Vec<Option<&Shard>> = vec![None; m];
     for s in shards {
@@ -288,7 +288,8 @@ pub fn decode_bytes_checked(shards: &[Shard], k: usize, m: usize) -> Result<Vec<
         }
         seen[idx].get_or_insert(s);
     }
-    let stripe_len = shards.first().ok_or(CodeError::NotEnoughFragments { needed: k, have: 0 })?.data.len();
+    let stripe_len =
+        shards.first().ok_or(CodeError::NotEnoughFragments { needed: k, have: 0 })?.data.len();
     if stripe_len % SYMBOL_BYTES != 0 || shards.iter().any(|s| s.data.len() != stripe_len) {
         return Err(CodeError::MalformedShard);
     }

@@ -201,7 +201,7 @@ pub fn lagrange_coefficients<F: Field>(xs: &[F], at: F) -> Vec<F> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{F61, Gf256};
+    use crate::{Gf256, F61};
     use proptest::prelude::*;
 
     fn f(v: u64) -> F61 {
@@ -238,16 +238,14 @@ mod tests {
     #[test]
     fn interpolate_recovers_polynomial() {
         let coeffs = vec![f(42), f(7), f(13), f(99)];
-        let pts: Vec<(F61, F61)> =
-            (1..=4).map(|i| (f(i), eval(&coeffs, f(i)))).collect();
+        let pts: Vec<(F61, F61)> = (1..=4).map(|i| (f(i), eval(&coeffs, f(i)))).collect();
         assert_eq!(interpolate(&pts), coeffs);
     }
 
     #[test]
     fn interpolate_at_matches_full_interpolation() {
         let coeffs = vec![f(1), f(2), f(3)];
-        let pts: Vec<(F61, F61)> =
-            (5..=7).map(|i| (f(i), eval(&coeffs, f(i)))).collect();
+        let pts: Vec<(F61, F61)> = (5..=7).map(|i| (f(i), eval(&coeffs, f(i)))).collect();
         for x in 0..10u64 {
             assert_eq!(interpolate_at(&pts, f(x)), eval(&coeffs, f(x)));
         }

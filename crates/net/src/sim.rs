@@ -41,7 +41,15 @@ pub struct Effects<M> {
 
 impl<M> Context<M> {
     fn new(node: NodeId, n: usize, now: u64) -> Self {
-        Context { node, n, now, outbox: Vec::new(), timers: Vec::new(), output: None, halted: false }
+        Context {
+            node,
+            n,
+            now,
+            outbox: Vec::new(),
+            timers: Vec::new(),
+            output: None,
+            halted: false,
+        }
     }
 
     /// Creates a context not owned by a simulation — for wrappers that run
@@ -53,7 +61,12 @@ impl<M> Context<M> {
 
     /// Consumes the context, returning its accumulated side effects.
     pub fn into_effects(self) -> Effects<M> {
-        Effects { outbox: self.outbox, timers: self.timers, output: self.output, halted: self.halted }
+        Effects {
+            outbox: self.outbox,
+            timers: self.timers,
+            output: self.output,
+            halted: self.halted,
+        }
     }
 
     /// This node's id.
@@ -298,8 +311,7 @@ impl<M: Clone + MessageSize> Simulation<M> {
         let n = self.n();
         for (to, msg) in outbox {
             self.metrics.record_send(node, msg.size_bytes());
-            let delay =
-                if to == node { 0 } else { self.delay.sample(&mut self.rng, node, n) };
+            let delay = if to == node { 0 } else { self.delay.sample(&mut self.rng, node, n) };
             self.seq += 1;
             self.queue.push(Reverse(Event {
                 time: self.time + delay,

@@ -385,7 +385,12 @@ mod tests {
     use swiper_net::adversary::Silent;
     use swiper_net::{DelayModel, Simulation};
 
-    fn run_nominal(n: usize, inputs: &[bool], silent: usize, seed: u64) -> swiper_net::RunReport {
+    fn run_nominal(
+        n: usize,
+        inputs: &[bool],
+        silent: usize,
+        seed: u64,
+    ) -> swiper_net::RunReport {
         let setup = AbaSetup::nominal(n, seed, &mut StdRng::seed_from_u64(seed));
         let mut nodes: Vec<Box<dyn Protocol<Msg = AbaMsg>>> = Vec::new();
         for i in 0..n {
@@ -401,7 +406,8 @@ mod tests {
     fn decisions(report: &swiper_net::RunReport, honest: usize) -> Vec<u8> {
         (0..honest)
             .map(|i| {
-                report.outputs[i].as_ref().unwrap_or_else(|| panic!("node {i} never decided"))[0]
+                report.outputs[i].as_ref().unwrap_or_else(|| panic!("node {i} never decided"))
+                    [0]
             })
             .collect()
     }
@@ -425,7 +431,10 @@ mod tests {
         for seed in [7u64, 8, 9, 10] {
             let report = run_nominal(4, &[true, false, true, false], 0, seed);
             let d = decisions(&report, 4);
-            assert!(d.windows(2).all(|w| w[0] == w[1]), "agreement violated, seed {seed}: {d:?}");
+            assert!(
+                d.windows(2).all(|w| w[0] == w[1]),
+                "agreement violated, seed {seed}: {d:?}"
+            );
         }
     }
 
@@ -443,10 +452,8 @@ mod tests {
     fn adversarial_delays_do_not_break_agreement() {
         let setup = AbaSetup::nominal(4, 99, &mut StdRng::seed_from_u64(99));
         let inputs = [true, false, false, true];
-        let nodes: Vec<Box<dyn Protocol<Msg = AbaMsg>>> = inputs
-            .iter()
-            .map(|&inp| Box::new(AbaNode::new(setup.clone(), inp)) as _)
-            .collect();
+        let nodes: Vec<Box<dyn Protocol<Msg = AbaMsg>>> =
+            inputs.iter().map(|&inp| Box::new(AbaNode::new(setup.clone(), inp)) as _).collect();
         let report =
             Simulation::new(nodes, 99).with_delay(DelayModel::BiasAgainstLowIds(1, 60)).run();
         let d = decisions(&report, 4);

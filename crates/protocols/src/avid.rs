@@ -24,10 +24,10 @@
 use std::collections::HashMap;
 
 use swiper_core::{Ratio, TicketAssignment, VirtualUsers, Weights};
-use swiper_erasure::shards::{decode_bytes, encode_bytes, Shard};
-use swiper_net::{Context, MessageSize, NodeId, Protocol};
 use swiper_crypto::hash::Digest;
 use swiper_crypto::{MerkleProof, MerkleTree};
+use swiper_erasure::shards::{decode_bytes, encode_bytes, Shard};
+use swiper_net::{Context, MessageSize, NodeId, Protocol};
 
 use crate::quorum::{Quorum, QuorumTracker};
 
@@ -419,7 +419,11 @@ mod tests {
 
         let config = crate::bracha::BrachaConfig::nominal(n);
         let mut nodes: Vec<Box<dyn Protocol<Msg = crate::bracha::BrachaMsg>>> = Vec::new();
-        nodes.push(Box::new(crate::bracha::BrachaNode::sender(config.clone(), 0, blob.clone())));
+        nodes.push(Box::new(crate::bracha::BrachaNode::sender(
+            config.clone(),
+            0,
+            blob.clone(),
+        )));
         for _ in 1..n {
             nodes.push(Box::new(crate::bracha::BrachaNode::new(config.clone(), 0)));
         }

@@ -106,7 +106,13 @@ pub struct BeaconNode {
 impl BeaconNode {
     /// A party contributing to (and outputting) round `round`.
     pub fn new(setup: BeaconSetup, round: u64) -> Self {
-        BeaconNode { setup, round, collected: Vec::new(), seen: Default::default(), done: false }
+        BeaconNode {
+            setup,
+            round,
+            collected: Vec::new(),
+            seen: Default::default(),
+            done: false,
+        }
     }
 
     fn try_combine(&mut self, ctx: &mut Context<BeaconMsg>) {
@@ -158,7 +164,7 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use swiper_core::{Swiper, Weights, WeightRestriction};
+    use swiper_core::{Swiper, WeightRestriction, Weights};
     use swiper_net::adversary::Silent;
     use swiper_net::Simulation;
 
@@ -173,9 +179,8 @@ mod tests {
     fn all_parties_agree_on_randomness() {
         let setup = weighted_setup(&[50, 30, 10, 5, 3, 2]);
         let n = setup.shares.len();
-        let nodes: Vec<Box<dyn Protocol<Msg = BeaconMsg>>> = (0..n)
-            .map(|_| Box::new(BeaconNode::new(setup.clone(), 7)) as _)
-            .collect();
+        let nodes: Vec<Box<dyn Protocol<Msg = BeaconMsg>>> =
+            (0..n).map(|_| Box::new(BeaconNode::new(setup.clone(), 7)) as _).collect();
         let report = Simulation::new(nodes, 5).run();
         let first = report.outputs[0].clone().expect("output produced");
         assert_eq!(first.len(), 32);
@@ -190,9 +195,8 @@ mod tests {
         let n = setup.shares.len();
         let mut outputs = Vec::new();
         for round in [1u64, 2] {
-            let nodes: Vec<Box<dyn Protocol<Msg = BeaconMsg>>> = (0..n)
-                .map(|_| Box::new(BeaconNode::new(setup.clone(), round)) as _)
-                .collect();
+            let nodes: Vec<Box<dyn Protocol<Msg = BeaconMsg>>> =
+                (0..n).map(|_| Box::new(BeaconNode::new(setup.clone(), round)) as _).collect();
             let report = Simulation::new(nodes, 5).run();
             outputs.push(report.outputs[0].clone().unwrap());
         }
@@ -232,10 +236,8 @@ mod tests {
             let coalition: Vec<usize> = (0..5).filter(|i| mask >> i & 1 == 1).collect();
             let coalition_weight = weights.subset_weight(&coalition);
             if coalition_weight * 3 < w_total {
-                let shares: u128 = coalition
-                    .iter()
-                    .map(|&p| setup.shares[p].len() as u128)
-                    .sum();
+                let shares: u128 =
+                    coalition.iter().map(|&p| setup.shares[p].len() as u128).sum();
                 assert!(
                     shares < (setup.scheme.threshold() as u128),
                     "coalition {coalition:?} holds {shares}/{total} shares"

@@ -212,8 +212,7 @@ impl<P: Protocol> Protocol for BlackBox<P> {
         match msg {
             BlackBoxMsg::Inner { from_virtual, to_virtual, msg } => {
                 let (from_v, to_v) = (from_virtual as usize, to_virtual as usize);
-                if from_v >= self.config.virtual_count()
-                    || to_v >= self.config.virtual_count()
+                if from_v >= self.config.virtual_count() || to_v >= self.config.virtual_count()
                 {
                     return;
                 }
@@ -257,7 +256,8 @@ impl<P: Protocol> Protocol for BlackBox<P> {
         let inner_id = id & 0xFFFF_FFFF;
         let total = self.config.virtual_count();
         let mut pending = Vec::new();
-        if let Some(slot) = self.virtuals.iter_mut().find(|(vid, _, halted)| *vid == v && !halted)
+        if let Some(slot) =
+            self.virtuals.iter_mut().find(|(vid, _, halted)| *vid == v && !halted)
         {
             let mut inner_ctx = Context::detached(v, total, ctx.now());
             slot.1.on_timer(inner_id, &mut inner_ctx);
@@ -363,10 +363,12 @@ mod tests {
         let weights = Weights::new(vec![500, 300, 198, 1, 1]).unwrap();
         let params = WeightRestriction::new(Ratio::of(1, 4), Ratio::of(1, 3)).unwrap();
         let sol = Swiper::new().solve_restriction(&weights, &params).unwrap();
-        let zero_parties: Vec<usize> =
-            (0..5).filter(|&p| sol.assignment.get(p) == 0).collect();
-        assert!(!zero_parties.is_empty(), "need a zero-ticket party: {:?}",
-            sol.assignment.as_slice());
+        let zero_parties: Vec<usize> = (0..5).filter(|&p| sol.assignment.get(p) == 0).collect();
+        assert!(
+            !zero_parties.is_empty(),
+            "need a zero-ticket party: {:?}",
+            sol.assignment.as_slice()
+        );
         let config = BlackBoxConfig::new(weights, &sol.assignment, Ratio::of(1, 4));
         let total = config.virtual_count();
         let payload = b"vouched".to_vec();

@@ -147,10 +147,7 @@ impl Protocol for BrachaNode {
                 if digest(&payload) != d {
                     return; // malformed
                 }
-                let q = self
-                    .echo_quorums
-                    .entry(d)
-                    .or_insert_with(|| self.config.echo_quorum());
+                let q = self.echo_quorums.entry(d).or_insert_with(|| self.config.echo_quorum());
                 if q.vote(from) {
                     self.maybe_ready(d, &payload, ctx);
                 }
@@ -160,18 +157,14 @@ impl Protocol for BrachaNode {
                     return;
                 }
                 // Amplification: join READY once weight > f_w supports it.
-                let amplify = self
-                    .ready_amplify
-                    .entry(d)
-                    .or_insert_with(|| self.config.amplify_quorum());
+                let amplify =
+                    self.ready_amplify.entry(d).or_insert_with(|| self.config.amplify_quorum());
                 if amplify.vote(from) {
                     self.maybe_ready(d, &payload, ctx);
                 }
                 // Delivery: the bigger `> 2 f_w` quorum.
-                let deliver = self
-                    .ready_deliver
-                    .entry(d)
-                    .or_insert_with(|| self.config.deliver_quorum());
+                let deliver =
+                    self.ready_deliver.entry(d).or_insert_with(|| self.config.deliver_quorum());
                 if deliver.vote(from) && !self.delivered {
                     self.delivered = true;
                     ctx.output(payload);
@@ -239,7 +232,11 @@ mod tests {
         // n = 7, t = 2 silent: the 5 honest nodes still deliver.
         let report = run_nominal(7, 2, 21);
         for i in 0..5 {
-            assert_eq!(report.outputs[i].as_deref(), Some(b"broadcast me".as_ref()), "node {i}");
+            assert_eq!(
+                report.outputs[i].as_deref(),
+                Some(b"broadcast me".as_ref()),
+                "node {i}"
+            );
         }
     }
 

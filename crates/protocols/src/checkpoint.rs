@@ -18,7 +18,9 @@
 
 use rand::Rng;
 use swiper_core::{Ratio, TicketAssignment, VirtualUsers, Weights};
-use swiper_crypto::thresh::{KeyShare, PartialSignature, PublicKey, Signature, ThresholdScheme};
+use swiper_crypto::thresh::{
+    KeyShare, PartialSignature, PublicKey, Signature, ThresholdScheme,
+};
 use swiper_crypto::CryptoError;
 
 /// A checkpointing authority over a weighted validator set.

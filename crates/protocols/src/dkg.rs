@@ -22,9 +22,9 @@
 
 use rand::Rng;
 use swiper_core::{TicketAssignment, VirtualUsers};
-use swiper_field::{poly, F61, Field};
 use swiper_crypto::thresh::{KeyShare, PublicKey, ThresholdScheme};
 use swiper_crypto::CryptoError;
+use swiper_field::{poly, Field, F61};
 
 /// One party's dealing: a verifiable sharing of a fresh random secret.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -173,7 +173,7 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use swiper_core::{Ratio, Swiper, Weights, WeightRestriction};
+    use swiper_core::{Ratio, Swiper, WeightRestriction, Weights};
 
     fn tickets() -> TicketAssignment {
         // No dominant party, so the solution spreads over several tickets.
@@ -189,8 +189,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let t = tickets();
         let params = DkgParams::majority(&t, &mut rng);
-        let dealings: Vec<Dealing> =
-            (0..5).map(|d| deal(&params, d, &mut rng)).collect();
+        let dealings: Vec<Dealing> = (0..5).map(|d| deal(&params, d, &mut rng)).collect();
         for d in &dealings {
             assert!(verify_dealing(&params, d), "dealer {}", d.dealer);
         }
@@ -249,14 +248,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let t = tickets();
         let params = DkgParams::majority(&t, &mut rng);
-        let mut dealings: Vec<Dealing> =
-            (0..5).map(|d| deal(&params, d, &mut rng)).collect();
+        let mut dealings: Vec<Dealing> = (0..5).map(|d| deal(&params, d, &mut rng)).collect();
         // Dealer 4 misbehaves; the qualified set excludes it.
         dealings[4].shares[0] = dealings[4].shares[0] + F61::ONE;
-        let qualified: Vec<Dealing> = dealings
-            .into_iter()
-            .filter(|d| verify_dealing(&params, d))
-            .collect();
+        let qualified: Vec<Dealing> =
+            dealings.into_iter().filter(|d| verify_dealing(&params, d)).collect();
         assert_eq!(qualified.len(), 4);
         let (scheme, pk, shares) = aggregate(&params, &qualified).unwrap();
         let msg = b"still works";
@@ -277,8 +273,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let t = tickets();
         let params = DkgParams::majority(&t, &mut rng);
-        let dealings: Vec<Dealing> =
-            (0..3).map(|d| deal(&params, d, &mut rng)).collect();
+        let dealings: Vec<Dealing> = (0..3).map(|d| deal(&params, d, &mut rng)).collect();
         let (_, pk, _) = aggregate(&params, &dealings).unwrap();
         for d in &dealings {
             assert_ne!(pk.group, d.group_vk);
@@ -291,8 +286,7 @@ mod tests {
         let t = tickets();
         let params = DkgParams::majority(&t, &mut rng);
         let mapping = VirtualUsers::from_assignment(&t).unwrap();
-        let dealings: Vec<Dealing> =
-            (0..2).map(|d| deal(&params, d, &mut rng)).collect();
+        let dealings: Vec<Dealing> = (0..2).map(|d| deal(&params, d, &mut rng)).collect();
         let (_, _, shares) = aggregate(&params, &dealings).unwrap();
         let per_party = shares_by_party(&mapping, &shares);
         for (p, bundle) in per_party.iter().enumerate() {
@@ -307,8 +301,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let t = tickets();
         let params = DkgParams::majority(&t, &mut rng);
-        let dealings: Vec<Dealing> =
-            (0..4).map(|d| deal(&params, d, &mut rng)).collect();
+        let dealings: Vec<Dealing> = (0..4).map(|d| deal(&params, d, &mut rng)).collect();
         let (scheme, pk, shares) = aggregate(&params, &dealings).unwrap();
         let msg = b"unique";
         let all: Vec<_> = shares.iter().map(|s| scheme.partial_sign(s, msg)).collect();

@@ -26,11 +26,11 @@
 use std::collections::HashMap;
 
 use swiper_core::{Ratio, TicketAssignment, VirtualUsers};
+use swiper_crypto::hash::{digest, Digest};
 use swiper_erasure::shards::{pack_symbols, unpack_symbols};
 use swiper_erasure::ReedSolomon;
 use swiper_field::F61;
 use swiper_net::{Context, MessageSize, NodeId, Protocol};
-use swiper_crypto::hash::{digest, Digest};
 
 /// ECBC protocol messages.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -202,7 +202,14 @@ impl EcbcNode {
                 if digest(&data) == hash {
                     self.delivered = true;
                     ctx.output(data);
-                    ctx.halt();
+                    // Totality depends on every honest party eventually
+                    // echoing its fragments: halting before our Propose
+                    // arrived would starve slower parties of one honest
+                    // fragment and leave them unable to absorb the full
+                    // error budget. Halt only once the echo duty is done.
+                    if self.echoed {
+                        ctx.halt();
+                    }
                     return;
                 }
             }
@@ -242,6 +249,9 @@ impl Protocol for EcbcNode {
                     .collect();
                 self.echoed = true;
                 ctx.broadcast(EcbcMsg::Echo { hash, stripes, fragments: mine });
+                if self.delivered {
+                    ctx.halt();
+                }
             }
             EcbcMsg::Echo { hash, stripes, fragments } => {
                 let config = &self.config;

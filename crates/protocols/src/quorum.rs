@@ -39,7 +39,13 @@ impl CountQuorum {
     /// Panics if the threshold denominator is zero (cannot happen for a
     /// valid [`Ratio`]).
     pub fn new(n: usize, threshold: Ratio) -> Self {
-        CountQuorum { n, num: threshold.num(), den: threshold.den(), voted: vec![false; n], count: 0 }
+        CountQuorum {
+            n,
+            num: threshold.num(),
+            den: threshold.den(),
+            voted: vec![false; n],
+            count: 0,
+        }
     }
 
     /// Classic `k`-of-`n` quorum (at least `k` distinct parties).

@@ -55,8 +55,7 @@ impl SmrConfig {
         let wr_mapping = VirtualUsers::from_assignment(wr_tickets).expect("fits memory");
         let total = wr_mapping.total();
         assert!(total > 0 && wq_tickets.total() > 0, "empty reduction");
-        let scheme =
-            ThresholdScheme::new(total / 2 + 1, total).expect("threshold <= total");
+        let scheme = ThresholdScheme::new(total / 2 + 1, total).expect("threshold <= total");
         let (pk, all) = scheme.keygen(rng);
         let shares = (0..wr_mapping.parties())
             .map(|p| wr_mapping.virtuals_of(p).map(|v| all[v]).collect())
@@ -228,10 +227,7 @@ mod tests {
         let run = run(&cfg, 400, &alive, |_, _| vec![0]);
         let whale_rounds = run.leaders.iter().filter(|&&l| l == 0).count();
         // The whale holds ~60% of tickets; allow generous slack.
-        assert!(
-            whale_rounds > 400 * 2 / 5,
-            "whale led only {whale_rounds}/400 rounds"
-        );
+        assert!(whale_rounds > 400 * 2 / 5, "whale led only {whale_rounds}/400 rounds");
     }
 
     #[test]

@@ -66,11 +66,7 @@ impl SsleInstance {
         assert!(mapping.total() > 0, "SSLE needs at least one registered user");
         let mut rng = StdRng::seed_from_u64(seed);
         let secrets: Vec<u64> = (0..mapping.total()).map(|_| rng.random()).collect();
-        let commitments = secrets
-            .iter()
-            .enumerate()
-            .map(|(v, s)| commit(v, *s))
-            .collect();
+        let commitments = secrets.iter().enumerate().map(|(v, s)| commit(v, *s)).collect();
         SsleInstance { mapping, secrets, commitments }
     }
 
@@ -84,7 +80,8 @@ impl SsleInstance {
     pub fn elect(&self, round: u64, beacon: &Digest) -> Election {
         let total = self.registered();
         // Beacon-seeded Fisher–Yates shuffle of commitment slots.
-        let seed = digest_parts(&[b"swiper.ssle.shuffle", beacon.as_bytes(), &round.to_le_bytes()]);
+        let seed =
+            digest_parts(&[b"swiper.ssle.shuffle", beacon.as_bytes(), &round.to_le_bytes()]);
         let mut rng = StdRng::seed_from_u64(seed.to_u64());
         let mut perm: Vec<usize> = (0..total).collect();
         for i in (1..total).rev() {
@@ -106,7 +103,10 @@ impl SsleInstance {
         if self.mapping.owner_of(e.winner_virtual) != party {
             return None;
         }
-        Some(LeaderProof { virtual_user: e.winner_virtual, secret: self.secrets[e.winner_virtual] })
+        Some(LeaderProof {
+            virtual_user: e.winner_virtual,
+            secret: self.secrets[e.winner_virtual],
+        })
     }
 
     /// Verifies a claimed leadership proof against the public commitments.
@@ -148,7 +148,8 @@ pub fn measure_elections(
     let mut corrupt_wins = 0u64;
     for round in 0..rounds {
         // Each round's beacon output is modelled as a hash of the round.
-        let beacon = digest_parts(&[b"swiper.ssle.beacon", &seed.to_le_bytes(), &round.to_le_bytes()]);
+        let beacon =
+            digest_parts(&[b"swiper.ssle.beacon", &seed.to_le_bytes(), &round.to_le_bytes()]);
         let e = instance.elect(round, &beacon);
         let party = instance.winner_party(&e);
         wins[party] += 1;

@@ -160,8 +160,11 @@ impl Protocol for TightNode {
             }
             TightMsg::Shares { partials } => {
                 for p in partials {
-                    if self.config.scheme.verify_partial(&self.config.pk, &self.config.action, &p)
-                        && self.seen.insert(p.index)
+                    if self.config.scheme.verify_partial(
+                        &self.config.pk,
+                        &self.config.action,
+                        &p,
+                    ) && self.seen.insert(p.index)
                     {
                         self.collected.push(p);
                     }
@@ -194,10 +197,8 @@ mod tests {
     }
 
     fn run(cfg: &TightConfig, approvals: &[bool], seed: u64) -> swiper_net::RunReport {
-        let nodes: Vec<Box<dyn Protocol<Msg = TightMsg>>> = approvals
-            .iter()
-            .map(|&a| Box::new(TightNode::new(cfg.clone(), a)) as _)
-            .collect();
+        let nodes: Vec<Box<dyn Protocol<Msg = TightMsg>>> =
+            approvals.iter().map(|&a| Box::new(TightNode::new(cfg.clone(), a)) as _).collect();
         Simulation::new(nodes, seed).run()
     }
 

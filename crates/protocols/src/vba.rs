@@ -103,7 +103,9 @@ impl VbaConfig {
             .map(|p| mapping.virtuals_of(p).map(|v| all[v]).collect())
             .collect();
         let aba_setups = (0..max_views)
-            .map(|view| AbaSetup::deal(weights.clone(), tickets, 0xABA_000 + u64::from(view), rng))
+            .map(|view| {
+                AbaSetup::deal(weights.clone(), tickets, 0xABA_000 + u64::from(view), rng)
+            })
             .collect();
         VbaConfig { weights, mapping, scheme, pk, shares, aba_setups, max_views }
     }
@@ -218,7 +220,9 @@ impl<V: Fn(&[u8]) -> bool> VbaNode<V> {
     /// Advances the state machine as far as possible.
     fn progress(&mut self, ctx: &mut Context<VbaMsg>) {
         // Enter the current view once enough proposals are delivered.
-        if !self.view_entered && self.delivered_quorum.reached() && self.view < self.config.max_views
+        if !self.view_entered
+            && self.delivered_quorum.reached()
+            && self.view < self.config.max_views
         {
             self.view_entered = true;
             let view = self.view;
@@ -250,10 +254,10 @@ impl<V: Fn(&[u8]) -> bool> VbaNode<V> {
         // Start the view's ABA once the leader is known.
         if let Some(&leader) = self.leaders.get(&view) {
             if !self.abas.contains_key(&view) {
-                let input = self.delivered[leader]
-                    .as_deref()
-                    .is_some_and(|p| (self.validity)(p));
-                let mut node = AbaNode::new(self.config.aba_setups[view as usize].clone(), input);
+                let input =
+                    self.delivered[leader].as_deref().is_some_and(|p| (self.validity)(p));
+                let mut node =
+                    AbaNode::new(self.config.aba_setups[view as usize].clone(), input);
                 let mut inner_ctx = Context::detached(ctx.me(), ctx.n(), ctx.now());
                 node.on_start(&mut inner_ctx);
                 self.abas.insert(view, node);
@@ -399,7 +403,8 @@ mod tests {
             // Agreement.
             assert!(report.agreement_among(&[0, 1, 2, 3, 4]), "seed {seed}");
             // Liveness + external validity.
-            let out = report.outputs[0].as_ref().unwrap_or_else(|| panic!("no output, seed {seed}"));
+            let out =
+                report.outputs[0].as_ref().unwrap_or_else(|| panic!("no output, seed {seed}"));
             assert!(valid(out), "invalid output {out:?}, seed {seed}");
             // Integrity: the output is one of the proposals.
             let all: Vec<Vec<u8>> =
@@ -426,7 +431,9 @@ mod tests {
             let report = Simulation::new(nodes, seed).run();
             assert!(report.agreement_among(&[1, 2, 3, 4]), "seed {seed}");
             for p in 1..5 {
-                let out = report.outputs[p].as_ref().unwrap_or_else(|| panic!("party {p} no output, seed {seed}"));
+                let out = report.outputs[p]
+                    .as_ref()
+                    .unwrap_or_else(|| panic!("party {p} no output, seed {seed}"));
                 assert!(valid(out), "seed {seed}");
             }
         }
@@ -462,12 +469,8 @@ mod tests {
         // Combine the election for view 0 from all shares and check every
         // party computes the same leader.
         let tag = cfg.election_tag(0);
-        let partials: Vec<PartialSignature> = cfg
-            .shares
-            .iter()
-            .flatten()
-            .map(|s| cfg.scheme.partial_sign(s, &tag))
-            .collect();
+        let partials: Vec<PartialSignature> =
+            cfg.shares.iter().flatten().map(|s| cfg.scheme.partial_sign(s, &tag)).collect();
         let sig = cfg.scheme.combine(&partials).unwrap();
         assert!(cfg.scheme.verify(&cfg.pk, &tag, &sig));
         let total = cfg.mapping.total() as u64;

@@ -1,0 +1,453 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The registry is unreachable in this build environment, so this crate
+//! reimplements the slice of proptest this workspace uses:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header,
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`] /
+//!   [`prop_assume!`],
+//! * strategies: integer/float ranges, tuples, [`collection::vec`],
+//!   [`arbitrary::any`], [`sample::Index`], [`strategy::Just`].
+//!
+//! Semantics differ from the real crate in one deliberate way: failing
+//! cases are **not shrunk** — the failing input is printed as sampled.
+//! Each test's random stream is seeded from a hash of its function name,
+//! so runs are deterministic and reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Test-runner plumbing used by the [`proptest!`] expansion.
+pub mod test_runner {
+    use rand::prelude::*;
+
+    /// Per-test configuration (subset of the real `ProptestConfig`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of accepted (non-rejected) cases to run.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` accepted cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Outcome of one sampled case; `Reject` comes from [`crate::prop_assume!`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TestCaseResult {
+        /// The case ran to completion (assertions panic on their own).
+        Pass,
+        /// The case's assumptions did not hold; sample a fresh one.
+        Reject,
+    }
+
+    /// Deterministic source of randomness for strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// Seeds from an arbitrary string (the test's name), so each test
+        /// gets a distinct but reproducible stream.
+        #[must_use]
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a over the name.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng(StdRng::seed_from_u64(h))
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+
+        /// A uniform draw below `bound` (`bound > 0`).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "below(0)");
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// Strategy trait and primitive strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeFrom};
+
+    /// A recipe for generating values (sampling-only subset of the real
+    /// `Strategy`: no shrink trees).
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u128;
+                    let draw = (u128::from(rng.next_u64()) % span) as $t;
+                    self.start + draw
+                }
+            }
+            impl Strategy for RangeFrom<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let span = (<$t>::MAX - self.start) as u128 + 1;
+                    let draw = (u128::from(rng.next_u64()) % span) as $t;
+                    self.start + draw
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    impl Strategy for Range<u128> {
+        type Value = u128;
+        fn sample(&self, rng: &mut TestRng) -> u128 {
+            assert!(self.start < self.end, "empty range strategy");
+            let span = self.end - self.start;
+            let wide = (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64());
+            self.start + wide % span
+        }
+    }
+
+    impl Strategy for RangeFrom<u128> {
+        type Value = u128;
+        fn sample(&self, rng: &mut TestRng) -> u128 {
+            let wide = (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64());
+            // Uniform over [start, MAX] without widening past u128: draw in
+            // [0, MAX - start] by rejection-free modulo on the span + 1 when
+            // it fits, falling back to a plain draw when span covers the type.
+            let span = u128::MAX - self.start;
+            if span == u128::MAX {
+                wide
+            } else {
+                self.start + wide % (span + 1)
+            }
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+}
+
+/// `any::<T>()` and the [`Arbitrary`] trait.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                #[allow(clippy::cast_possible_truncation)]
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+    impl Arbitrary for u128 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl<T: Arbitrary> Arbitrary for Vec<T> {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            let len = rng.below(65) as usize;
+            (0..len).map(|_| T::arbitrary(rng)).collect()
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Length specification for [`vec`]: a fixed length or a half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A strategy for vectors whose elements come from `element` and whose
+    /// length comes from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+/// Sampling helper types.
+pub mod sample {
+    use crate::arbitrary::Arbitrary;
+    use crate::test_runner::TestRng;
+
+    /// An index into a collection whose length is only known at use site
+    /// (mirror of `proptest::sample::Index`).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Maps this abstract index into `0..len`.
+        ///
+        /// # Panics
+        ///
+        /// Panics when `len == 0`, matching the real crate.
+        #[must_use]
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+/// The customary glob-import module.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Marks a case as rejected (resampled) when its assumption fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return $crate::test_runner::TestCaseResult::Reject;
+        }
+    };
+}
+
+/// `assert!` under a name the real proptest uses inside [`proptest!`] blocks.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under the proptest name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under the proptest name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Property-test entry point: samples each strategy, binds the patterns and
+/// runs the body for the configured number of accepted cases.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (
+        ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $cfg;
+                let cases = config.cases;
+                let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                while accepted < cases {
+                    attempts += 1;
+                    assert!(
+                        attempts <= cases.saturating_mul(200),
+                        "prop_assume rejected too many samples in {}",
+                        stringify!($name),
+                    );
+                    $(let $pat = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                    // An IIFE so prop_assume! can `return Reject` early.
+                    #[allow(clippy::redundant_closure_call)]
+                    let outcome = (move || -> $crate::test_runner::TestCaseResult {
+                        $body
+                        $crate::test_runner::TestCaseResult::Pass
+                    })();
+                    if outcome == $crate::test_runner::TestCaseResult::Pass {
+                        accepted += 1;
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_vecs_in_bounds(
+            x in 10u64..20,
+            ws in crate::collection::vec(1u64..100, 2..5),
+            (a, b) in (0u32..4, 0u64..1_000_000),
+            pick in any::<crate::sample::Index>(),
+        ) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!(ws.len() >= 2 && ws.len() < 5);
+            prop_assert!(ws.iter().all(|&w| (1..100).contains(&w)));
+            prop_assert!(a < 4);
+            prop_assert!(b < 1_000_000);
+            prop_assert!(pick.index(7) < 7);
+        }
+
+        #[test]
+        fn assume_resamples(x in 0u64..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+            prop_assert_ne!(x, 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_streams_per_name() {
+        let mut a = crate::test_runner::TestRng::deterministic("same");
+        let mut b = crate::test_runner::TestRng::deterministic("same");
+        let mut c = crate::test_runner::TestRng::deterministic("other");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

@@ -1,0 +1,250 @@
+//! Offline stand-in for `rand` 0.9.
+//!
+//! Provides exactly the surface this workspace uses — [`Rng::random`],
+//! [`Rng::random_range`], [`SeedableRng::seed_from_u64`],
+//! [`rngs::StdRng`], and slice [`seq::SliceRandom::shuffle`] — backed by a
+//! deterministic xoshiro256++ generator seeded through SplitMix64. The
+//! simulator and tests only need deterministic, well-mixed streams, not
+//! cryptographic quality, so the shim is drop-in for this repo; swapping
+//! in the real crate later is a manifest-only change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable generators (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a `u64` seed (SplitMix64-expanded).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types samplable from the "standard" (uniform over the domain) distribution.
+pub trait StandardUniform: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+/// Ranges a value can be drawn uniformly from (subset of `rand`'s
+/// `SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws one value in the range from `rng`.
+    ///
+    /// Panics when the range is empty, matching `rand`.
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// The user-facing generator trait (subset of `rand::Rng`).
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value of an inferred type from the standard distribution.
+    fn random<T: StandardUniform>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from a range (`lo..hi` or `lo..=hi`).
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_single(self)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+macro_rules! impl_uint_standard {
+    ($($t:ty),*) => {$(
+        impl StandardUniform for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_uint_standard!(u8, u16, u32, u64, usize);
+
+impl StandardUniform for u128 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl StandardUniform for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardUniform for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+macro_rules! impl_uint_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u128;
+                let draw = u128::from(rng.next_u64()) % span;
+                self.start + draw as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u128 + 1;
+                let draw = u128::from(rng.next_u64()) % span;
+                lo + draw as $t
+            }
+        }
+    )*};
+}
+impl_uint_range!(u8, u16, u32, u64, usize);
+
+impl SampleRange<u128> for Range<u128> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> u128 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = self.end - self.start;
+        self.start + u128::sample(rng) % span
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = f64::sample(rng);
+        let v = self.start + u * (self.end - self.start);
+        // Guard the pathological rounding-up-to-end case.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+/// Concrete generators (subset of `rand::rngs`).
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator standing in for `rand`'s
+    /// `StdRng`. Not cryptographically secure — matching the caveat on the
+    /// real `StdRng` that its stream is unstable across versions, the
+    /// stream here differs from upstream `rand`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence helpers (subset of `rand::seq`).
+pub mod seq {
+    use super::Rng;
+
+    /// Slice shuffling (subset of `rand::seq::SliceRandom`).
+    pub trait SliceRandom {
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+/// The customary glob-import module.
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_and_mixed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let xs: Vec<u64> = (0..8).map(|_| a.random()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.random()).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: u64 = rng.random_range(10..20);
+            assert!((10..20).contains(&x));
+            let y: usize = rng.random_range(0..=3);
+            assert!(y <= 3);
+            let f: f64 = rng.random_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+}

@@ -18,8 +18,7 @@ pub fn resample(weights: &Weights, size: usize, rng: &mut StdRng) -> Weights {
     assert!(size > 0, "bootstrap size must be positive");
     let n = weights.len();
     loop {
-        let sample: Vec<u64> =
-            (0..size).map(|_| weights.get(rng.random_range(0..n))).collect();
+        let sample: Vec<u64> = (0..size).map(|_| weights.get(rng.random_range(0..n))).collect();
         // All-zero draws are possible when the source contains zero
         // weights; redraw (the paper's data has positive stakes).
         if sample.iter().any(|&w| w > 0) {

@@ -60,10 +60,10 @@ impl Chain {
     /// Published total weight `W` (Table 2).
     pub fn total_weight(&self) -> u128 {
         match self {
-            Chain::Aptos => 847_000_000,                      // 8.47e8
-            Chain::Tezos => 676_000_000,                      // 6.76e8
-            Chain::Filecoin => 25_200_000_000_000_000_000,    // 2.52e19
-            Chain::Algorand => 9_720_000_000,                 // 9.72e9
+            Chain::Aptos => 847_000_000,                   // 8.47e8
+            Chain::Tezos => 676_000_000,                   // 6.76e8
+            Chain::Filecoin => 25_200_000_000_000_000_000, // 2.52e19
+            Chain::Algorand => 9_720_000_000,              // 9.72e9
         }
     }
 

@@ -26,10 +26,14 @@ fn main() {
     println!("\nerasure coding: {m} shards of {} bytes (any {k} reconstruct)", shards[0].len());
 
     // Keep only shards 5, 7, 9, 11 (8 of 12 lost).
-    let kept: Vec<_> = shards.iter().filter(|s| s.index % 2 == 1 && s.index >= 5).cloned().collect();
+    let kept: Vec<_> =
+        shards.iter().filter(|s| s.index % 2 == 1 && s.index >= 5).cloned().collect();
     let restored = decode_bytes(&kept, k, m).unwrap();
     assert_eq!(restored, blob);
-    println!("reconstructed from shards {:?}", kept.iter().map(|s| s.index).collect::<Vec<_>>());
+    println!(
+        "reconstructed from shards {:?}",
+        kept.iter().map(|s| s.index).collect::<Vec<_>>()
+    );
 
     // --- Error correction (ECBC style, Section 5.2) ---------------------
     // Symbol-level code: k + 2e fragments survive e corruptions.
@@ -48,9 +52,9 @@ fn main() {
     // ...then honest ones trickle in; decode as soon as possible.
     for i in 3..m {
         dec.add_fragment(i, frags[i]).unwrap();
-        if let Some(symbols) = dec.try_decode(|cand| {
-            unpack_symbols(cand).is_ok_and(|d| digest(&d) == expect_hash)
-        }) {
+        if let Some(symbols) =
+            dec.try_decode(|cand| unpack_symbols(cand).is_ok_and(|d| digest(&d) == expect_hash))
+        {
             let data = unpack_symbols(&symbols).unwrap();
             println!(
                 "fragment {i}: decoded through the garbage after {} attempts -> {:?}",

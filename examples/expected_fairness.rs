@@ -14,7 +14,11 @@ fn main() {
     let weights = Weights::new(vec![290, 260, 180, 130, 80, 60]).unwrap();
     let params = WeightRestriction::new(Ratio::of(1, 4), Ratio::of(1, 2)).unwrap();
     let sol = Swiper::new().solve_restriction(&weights, &params).unwrap();
-    println!("deterministic tickets: {:?} (T = {})", sol.assignment.as_slice(), sol.total_tickets());
+    println!(
+        "deterministic tickets: {:?} (T = {})",
+        sol.assignment.as_slice(),
+        sol.total_tickets()
+    );
 
     // Deterministic tickets distort shares (the SSLE fairness problem).
     println!("\nshare distortion before the lottery:");
@@ -74,9 +78,7 @@ fn main() {
         // member big.
         let narrow = WeightRestriction::new(Ratio::of(1, 4), Ratio::of(3, 10)).unwrap();
         let bound = narrow.ticket_bound(weights.len() as u64).unwrap();
-        let base = Swiper::new()
-            .restriction_family_member(&weights, &narrow, bound)
-            .unwrap();
+        let base = Swiper::new().restriction_family_member(&weights, &narrow, bound).unwrap();
         let fair = FairExtension::new(&weights, &base).unwrap();
         let safe = fair.verify_worst_case(&narrow).unwrap();
         println!(

@@ -22,10 +22,7 @@ fn main() -> Result<(), CoreError> {
 
     for (label, mode) in [("full", Mode::Full), ("linear", Mode::Linear)] {
         let solution = Swiper::with_mode(mode).solve_restriction(&stake, &params)?;
-        println!(
-            "\n[{label} mode] tickets = {:?}",
-            solution.assignment.as_slice()
-        );
+        println!("\n[{label} mode] tickets = {:?}", solution.assignment.as_slice());
         println!(
             "  total T = {} (theoretical bound {}), holders = {}, max = {}",
             solution.total_tickets(),

@@ -23,8 +23,12 @@ fn main() {
         sol.total_tickets() / 2 + 1
     );
 
-    let setup = BeaconSetup::deal(&sol.assignment, Ratio::of(1, 2), &mut StdRng::seed_from_u64(42));
-    println!("share bundles per party: {:?}", setup.shares.iter().map(Vec::len).collect::<Vec<_>>());
+    let setup =
+        BeaconSetup::deal(&sol.assignment, Ratio::of(1, 2), &mut StdRng::seed_from_u64(42));
+    println!(
+        "share bundles per party: {:?}",
+        setup.shares.iter().map(Vec::len).collect::<Vec<_>>()
+    );
 
     for round in 1..=3u64 {
         let nodes: Vec<Box<dyn Protocol<Msg = BeaconMsg>>> = (0..weights.len())

@@ -13,11 +13,7 @@ use swiper::{Ratio, Swiper, WeightRestriction, Weights};
 
 fn main() {
     let weights = Weights::new(vec![420, 330, 160, 50, 25, 15]).unwrap();
-    println!(
-        "stake shares: {:?} (gini {:.2})",
-        weights.as_slice(),
-        stats::gini(&weights)
-    );
+    println!("stake shares: {:?} (gini {:.2})", weights.as_slice(), stats::gini(&weights));
 
     let params = WeightRestriction::new(Ratio::of(1, 4), Ratio::of(1, 3)).unwrap();
     let sol = Swiper::new().solve_restriction(&weights, &params).unwrap();

@@ -47,6 +47,7 @@ pub use swiper_weights as weights;
 
 // The workhorse types at the crate root for convenience.
 pub use swiper_core::{
-    Mode, Ratio, Solution, Swiper, TicketAssignment, VirtualUsers, WeightQualification,
+    CheckParams, FamilyMember, FullOracle, Instance, LinearOracle, Mode, Ratio, Solution,
+    Swiper, TicketAssignment, ValidityOracle, Verdict, VirtualUsers, WeightQualification,
     WeightRestriction, WeightSeparation, Weights,
 };

@@ -132,7 +132,7 @@ fn tampering_rejected_across_the_stack() {
     use swiper::crypto::shamir::ShamirScheme;
     use swiper::crypto::thresh::ThresholdScheme;
     use swiper::crypto::{vss, MerkleTree};
-    use swiper::field::{F61, Field};
+    use swiper::field::{Field, F61};
 
     let mut rng = StdRng::seed_from_u64(2);
 

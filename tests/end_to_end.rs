@@ -24,7 +24,8 @@ fn aptos_replica_to_beacon() {
     // (simulating the full 104 keeps the test fast enough but adds little).
     let head = Weights::new(weights.as_slice()[..12].to_vec()).unwrap();
     let sol = Swiper::new().solve_restriction(&head, &params).unwrap();
-    let setup = BeaconSetup::deal(&sol.assignment, Ratio::of(1, 2), &mut StdRng::seed_from_u64(5));
+    let setup =
+        BeaconSetup::deal(&sol.assignment, Ratio::of(1, 2), &mut StdRng::seed_from_u64(5));
     let nodes: Vec<Box<dyn Protocol<Msg = BeaconMsg>>> =
         (0..12).map(|_| Box::new(BeaconNode::new(setup.clone(), 1)) as _).collect();
     let report = Simulation::new(nodes, 5).run();
@@ -76,8 +77,11 @@ fn whale_distribution_to_checkpoints() {
     let weights = gen::one_whale(10, 40);
     let params = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2)).unwrap();
     let sol = Swiper::new().solve_restriction(&weights, &params).unwrap();
-    let scheme =
-        CheckpointScheme::setup(weights.clone(), &sol.assignment, &mut StdRng::seed_from_u64(3));
+    let scheme = CheckpointScheme::setup(
+        weights.clone(),
+        &sol.assignment,
+        &mut StdRng::seed_from_u64(3),
+    );
 
     // Any coalition of weight > 2/3 (necessarily containing honest
     // majority-of-stake) certifies: whale + three smalls = 60%... use

@@ -118,14 +118,12 @@ fn csv_snapshot_to_solution() {
 /// Family members at or above the bound are always valid; far above the
 /// bound they approach proportionality.
 #[test]
-fn family_members_above_bound_are_valid_and_proportional()
-{
+fn family_members_above_bound_are_valid_and_proportional() {
     let weights = Weights::new(vec![500, 300, 120, 50, 20, 10]).unwrap();
     let params = WeightRestriction::new(Ratio::of(1, 4), Ratio::of(1, 3)).unwrap();
     let bound = params.ticket_bound(6).unwrap();
     for total in [bound, bound + 7, 4 * bound] {
-        let member =
-            Swiper::new().restriction_family_member(&weights, &params, total).unwrap();
+        let member = Swiper::new().restriction_family_member(&weights, &params, total).unwrap();
         assert_eq!(member.total(), u128::from(total));
         assert!(
             verify_restriction(&weights, &member, &params).unwrap(),
@@ -134,9 +132,7 @@ fn family_members_above_bound_are_valid_and_proportional()
     }
     // Proportionality: at 4x the bound, each party's ticket share is
     // within 2 percentage points of its weight share.
-    let big = Swiper::new()
-        .restriction_family_member(&weights, &params, 4 * bound)
-        .unwrap();
+    let big = Swiper::new().restriction_family_member(&weights, &params, 4 * bound).unwrap();
     for (i, w) in weights.iter() {
         let tshare = big.get(i) as f64 / big.total() as f64;
         let wshare = w as f64 / weights.total() as f64;

@@ -2,11 +2,10 @@
 //! crate boundaries (solver + verifier + applications).
 
 use proptest::prelude::*;
-use swiper::core::{
-    exact, verify_qualification, verify_restriction, verify_separation,
+use swiper::core::{exact, verify_qualification, verify_restriction, verify_separation};
+use swiper::{
+    Mode, Ratio, Swiper, WeightQualification, WeightRestriction, WeightSeparation, Weights,
 };
-use swiper::{Mode, Ratio, Swiper, WeightQualification, WeightRestriction, WeightSeparation,
-    Weights};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
