@@ -1,0 +1,205 @@
+//! Epoch-reconfiguration replay: perturbed chain snapshots through the
+//! incremental re-solve loop.
+//!
+//! For each chain × churn level, the driver replays `--epochs` snapshots
+//! where `churn%` of the parties move up to ±5% of their stake per epoch,
+//! re-solving WR(1/3, 1/2) each epoch three ways:
+//!
+//! * **warm** — the `Reconfigurator`'s warm-started bracket over the
+//!   persistent per-track `CachingOracle`;
+//! * **published** — the loop runs in verified mode, so the published
+//!   assignments are the cold-identical ones (re-derived through the
+//!   shared cache, which the warm pass just filled at the flip region);
+//! * **baseline** — an independent cold solve with a fresh oracle, the
+//!   "no incremental machinery" yardstick for dp counts.
+//!
+//! Per epoch it prints `dp_invocations` (warm pass vs baseline) and the
+//! running cache hit rate; per scenario a summary line including how
+//! often the warm bracket settled on a different (equally valid) local
+//! minimum than cold bisection — the non-monotone dips discussed in
+//! `Swiper::resolve_from`.
+//!
+//! ```text
+//! cargo run --release -p swiper-bench --bin epochs -- [--epochs N] \
+//!     [--churn 1,5,20] [--chains aptos,tezos] [--seed S] [--ci-smoke] [--quiet]
+//! ```
+//!
+//! `--ci-smoke` additionally exits non-zero when the 1%-churn scenarios
+//! record a zero cache hit rate — the nightly guard that the verdict
+//! cache keeps earning its keep.
+
+use std::process::ExitCode;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use swiper_core::{Ratio, Swiper, WeightRestriction};
+use swiper_weights::epoch::{churn, Reconfigurator, Setting};
+use swiper_weights::Chain;
+
+struct Args {
+    epochs: u64,
+    churn_pcts: Vec<u64>,
+    chains: Vec<Chain>,
+    seed: u64,
+    ci_smoke: bool,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        epochs: 16,
+        churn_pcts: vec![1, 5, 20],
+        chains: vec![Chain::Aptos, Chain::Tezos],
+        seed: 1,
+        ci_smoke: false,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value =
+            |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--epochs" => {
+                args.epochs =
+                    value("--epochs")?.parse().map_err(|e| format!("--epochs: {e}"))?;
+            }
+            "--churn" => {
+                args.churn_pcts = value("--churn")?
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|e| format!("--churn: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--chains" => {
+                args.chains = value("--chains")?
+                    .split(',')
+                    .map(|s| {
+                        Chain::parse(s.trim()).ok_or_else(|| format!("unknown chain `{s}`"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--seed" => {
+                args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--ci-smoke" => args.ci_smoke = true,
+            "--quiet" => args.quiet = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.epochs == 0 || args.churn_pcts.is_empty() || args.chains.is_empty() {
+        return Err("need at least one epoch, churn level and chain".into());
+    }
+    Ok(args)
+}
+
+struct ScenarioReport {
+    failed: bool,
+    hit_rate: f64,
+}
+
+/// One chain × churn replay.
+fn run_scenario(chain: Chain, churn_pct: u64, args: &Args) -> ScenarioReport {
+    let solver = Swiper::new();
+    let wr = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2)).expect("valid params");
+    let setting = Setting::Restriction(wr);
+    let mut reconf = Reconfigurator::new(solver, vec![setting]).with_cold_check(true);
+    let mut snapshot = chain.weights();
+    let churned = (snapshot.len() * usize::try_from(churn_pct).expect("small")).div_ceil(100);
+    // Distinct RNG stream per scenario, reproducible from --seed.
+    let mut rng = StdRng::seed_from_u64(args.seed ^ (churn_pct << 32) ^ chain.n() as u64);
+    let mut divergences = 0u64;
+    let mut warm_dp_total = 0u64;
+    let mut base_dp_total = 0u64;
+    let mut hits = 0u64;
+    let mut lookups = 0u64;
+    for epoch in 0..args.epochs {
+        let outcome = match reconf.advance(&snapshot) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("{chain} churn={churn_pct}% epoch={epoch}: solve failed: {e}");
+                return ScenarioReport { failed: true, hit_rate: 0.0 };
+            }
+        };
+        let baseline = solver
+            .solve_instance(&setting.instance(snapshot.clone()))
+            .expect("baseline solve cannot fail where advance succeeded");
+        // Verified mode publishes the cold-identical result; if this ever
+        // trips, the incremental machinery has an actual bug.
+        if outcome.solutions[0].assignment != baseline.assignment {
+            eprintln!(
+                "{chain} churn={churn_pct}% epoch={epoch}: published assignment differs \
+                 from the fresh cold solve — incremental machinery is broken"
+            );
+            return ScenarioReport { failed: true, hit_rate: 0.0 };
+        }
+        // Divergence = the warm bracket settled on a different (equally
+        // valid) local minimum than cold bisection — a non-monotone dip.
+        // Telemetry, not an error: the published result above is cold.
+        divergences += u64::from(outcome.verified() == Some(false));
+        let warm = outcome.warm_stats().expect("verified mode records the warm pass");
+        let published = outcome.stats();
+        warm_dp_total += warm.dp_invocations;
+        base_dp_total += baseline.stats.dp_invocations;
+        hits += warm.cache_hits + published.cache_hits;
+        lookups += warm.cache_lookups() + published.cache_lookups();
+        if !args.quiet {
+            println!(
+                "{:10} churn={:2}% epoch={:3} tickets={:6} delta={:4} dp={:2} dp_cold={:2} \
+                 hit_rate={:.2}",
+                chain.name(),
+                churn_pct,
+                epoch,
+                outcome.solutions[0].total_tickets(),
+                outcome.deltas[0].as_ref().map_or(0, |d| d.changes().len()),
+                warm.dp_invocations,
+                baseline.stats.dp_invocations,
+                if lookups == 0 { 0.0 } else { hits as f64 / lookups as f64 },
+            );
+        }
+        snapshot = churn(&snapshot, churned, 5, &mut rng);
+    }
+    let rate = if lookups == 0 { 0.0 } else { hits as f64 / lookups as f64 };
+    println!(
+        "{:10} churn={:2}% summary: epochs={} dp_warm={} dp_cold={} cache={}/{} ({:.0}%) \
+         divergences={} cached_verdicts={}",
+        chain.name(),
+        churn_pct,
+        args.epochs,
+        warm_dp_total,
+        base_dp_total,
+        hits,
+        lookups,
+        rate * 100.0,
+        divergences,
+        reconf.cached_verdicts(),
+    );
+    ScenarioReport { failed: false, hit_rate: rate }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("epochs: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut ok = true;
+    for &chain in &args.chains {
+        for &churn_pct in &args.churn_pcts {
+            let report = run_scenario(chain, churn_pct, &args);
+            ok &= !report.failed;
+            if args.ci_smoke && churn_pct == 1 && report.hit_rate <= 0.0 {
+                eprintln!(
+                    "{chain} churn=1%: cache hit rate is zero — the verdict cache \
+                     stopped earning its keep"
+                );
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

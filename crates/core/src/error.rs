@@ -39,6 +39,18 @@ pub enum CoreError {
         /// The computed bound that exceeded the supported maximum.
         bound: u128,
     },
+    /// A ticket delta does not match the state it is being applied to or
+    /// diffed against (party-count mismatch, stale base tickets, ...).
+    DeltaMismatch {
+        /// Human-readable description of the mismatch.
+        what: &'static str,
+    },
+    /// A keyed input contained the same identifier twice (e.g. duplicate
+    /// validator rows in a stake snapshot).
+    DuplicateKey {
+        /// The repeated identifier.
+        key: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -62,6 +74,12 @@ impl fmt::Display for CoreError {
             CoreError::BoundTooLarge { bound } => {
                 write!(f, "ticket bound {bound} exceeds the supported maximum")
             }
+            CoreError::DeltaMismatch { what } => {
+                write!(f, "ticket delta mismatch: {what}")
+            }
+            CoreError::DuplicateKey { key } => {
+                write!(f, "duplicate keyed entry `{key}`")
+            }
         }
     }
 }
@@ -83,6 +101,8 @@ mod tests {
             CoreError::NoParties,
             CoreError::ArithmeticOverflow,
             CoreError::BoundTooLarge { bound: 7 },
+            CoreError::DeltaMismatch { what: "t" },
+            CoreError::DuplicateKey { key: "k".into() },
         ];
         for e in errs {
             let s = e.to_string();

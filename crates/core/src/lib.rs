@@ -70,11 +70,13 @@
 //!    is *exact*; conservative oracles must accept it, or the search's
 //!    upper anchor breaks. (Both stock oracles satisfy this: the
 //!    fractional bound certifies the bound member.)
-//! 3. **Monotone flip** — for exact oracles the predicate "member with
-//!    total `T` is valid" flips false→true exactly once along the family,
-//!    which is what makes the binary search land on a *local minimum*.
-//!    Conservative oracles only guarantee the weaker "the accepted
-//!    prefix is upward closed", trading minimality for speed.
+//! 3. **Local minima, not a unique flip** — the predicate "member with
+//!    total `T` is valid" is mostly monotone along the family but dips on
+//!    real distributions (isolated `V.VVV` patterns near the flip), so a
+//!    bracketing search lands on *a* local minimum — which is all
+//!    Appendix A needs for the ticket bounds. Cold and warm-started
+//!    brackets usually agree; see [`Swiper::resolve_from`] for when they
+//!    may not.
 //! 4. **Drainable stats** — [`oracle::ValidityOracle::take_stats`]
 //!    returns counters accumulated since the previous drain, so one
 //!    oracle instance can be recycled across a whole
@@ -128,13 +130,13 @@ pub mod wide;
 pub use assignment::TicketAssignment;
 pub use error::CoreError;
 pub use oracle::{
-    CheckParams, FamilyMember, FullOracle, LinearOracle, ValidityOracle, Verdict,
+    CachingOracle, CheckParams, FamilyMember, FullOracle, LinearOracle, ValidityOracle, Verdict,
 };
 pub use problems::{WeightQualification, WeightRestriction, WeightSeparation};
 pub use ratio::Ratio;
 pub use solver::{Instance, Mode, Solution, SolveStats, Swiper};
 pub use verify::{verify_qualification, verify_restriction, verify_separation};
-pub use virtual_users::VirtualUsers;
+pub use virtual_users::{TicketChange, TicketDelta, VirtualUsers};
 pub use weights::Weights;
 
 #[cfg(test)]

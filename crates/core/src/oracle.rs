@@ -22,6 +22,13 @@
 //! Both produce *identical verdicts* to the pre-oracle cascade in
 //! `solver.rs`; the oracle-equivalence proptests in this module's tests and
 //! in `solver.rs` pin that down.
+//!
+//! A third implementation is a *decorator*: [`CachingOracle`] wraps any
+//! oracle and memoizes `(family member, params) → verdict` under a
+//! fingerprint of the member's weight/ticket multiset. Re-solves over
+//! shared weight vectors — per-epoch reconfiguration, settings grids,
+//! incremental-vs-cold verification passes — answer repeated checks from
+//! the cache without touching the knapsack machinery at all.
 
 use crate::assignment::TicketAssignment;
 use crate::error::CoreError;
@@ -57,7 +64,7 @@ pub struct FamilyMember<'a> {
 ///
 /// Weight Qualification reduces to Weight Restriction (Theorem 2.2), so two
 /// shapes cover all three problems.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CheckParams {
     /// Weight Restriction: no subset under `capacity` total weight may
     /// reach `ceil(alpha_n * T)` tickets.
@@ -116,9 +123,15 @@ impl CheckParams {
 ///   allowed (conservatism) **as long as** the theoretical-bound member is
 ///   still judged valid, or the search's bootstrapping fallback would break.
 ///   Exact oracles additionally make the search land on a local minimum.
-/// * Verdicts must be monotone in the family order for exact oracles:
-///   the searched predicate "member with total `T` is valid" flips from
-///   false to true exactly once.
+/// * The searched predicate "member with total `T` is valid" is *mostly*
+///   monotone along the family but **not guaranteed to flip exactly
+///   once**: real stake distributions exhibit isolated dips (`V.VVV`
+///   patterns — a valid member just below an invalid one), so the family
+///   can hold several local minima. Any bracketing search with `lo`
+///   invalid / `hi` valid lands on *a* local minimum — which is all
+///   Appendix A needs for the ticket bounds — but differently-seeded
+///   brackets (e.g. a warm-started epoch re-solve) may land on different
+///   ones.
 /// * `take_stats` returns the counters accumulated since the previous call
 ///   and resets them; the search drains once per solve (on errors too), so
 ///   a shared oracle instance yields per-solve stats for free. Oracles
@@ -316,6 +329,162 @@ impl ValidityOracle for LinearOracle {
     }
 }
 
+/// Memoizing decorator: `(family member, params) → verdict`, keyed by a
+/// 128-bit fingerprint of the member's weight/ticket vector and total
+/// (see [`CachingOracle::new`] for the soundness argument).
+///
+/// The fingerprint is two independent SipHash lanes keyed by per-oracle
+/// [`std::collections::hash_map::RandomState`]s drawn at construction.
+/// Weight snapshots are attacker-influenceable inputs, and an unkeyed
+/// fingerprint (FNV and friends) would let crafted colliding vectors
+/// poison the cache with a wrong verdict; with process-random keys a
+/// collision cannot be computed from the outside, and an *accidental*
+/// 128-bit collision stays negligible (~2^-60 even at billions of
+/// entries). Fingerprints differ across processes — irrelevant, the cache
+/// is process-local; the verdicts it stores are deterministic.
+///
+/// Hits and misses drain into [`SolveStats::cache_hits`] /
+/// [`SolveStats::cache_misses`] alongside the inner oracle's settlement
+/// counters, so sweeps can report hit rates per solve with no extra
+/// plumbing. The cache itself is *not* drained per solve — reuse across
+/// solves (and epochs) is the whole point; call [`CachingOracle::clear`]
+/// to reset it, or rely on the [`CachingOracle::with_max_entries`] bound.
+///
+/// # Examples
+///
+/// ```
+/// use swiper_core::{CachingOracle, FullOracle, Ratio, Swiper, Weights, WeightRestriction};
+///
+/// # fn main() -> Result<(), swiper_core::CoreError> {
+/// let weights = Weights::new(vec![100, 50, 20, 10, 5, 5, 5, 5])?;
+/// let params = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2))?;
+/// let mut oracle = CachingOracle::new(FullOracle::new());
+/// let solver = Swiper::new();
+/// let first = solver.solve_restriction_with(&mut oracle, &weights, &params)?;
+/// let again = solver.solve_restriction_with(&mut oracle, &weights, &params)?;
+/// assert_eq!(first.assignment, again.assignment);
+/// // The second identical solve is answered entirely from the cache.
+/// assert_eq!(again.stats.cache_misses, 0);
+/// assert_eq!(again.stats.cache_hits, again.stats.candidates_checked);
+/// assert_eq!(again.stats.dp_invocations, 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CachingOracle<O> {
+    inner: O,
+    cache: std::collections::HashMap<(u128, CheckParams), Verdict>,
+    /// The two SipHash key pairs behind the member fingerprint; cloning an
+    /// oracle keeps them, so clones share a key space (and could share
+    /// entries), while independently constructed oracles do not.
+    lanes: (std::collections::hash_map::RandomState, std::collections::hash_map::RandomState),
+    max_entries: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl<O> CachingOracle<O> {
+    /// Default bound on cached verdicts; the cache is wholesale-cleared
+    /// when an insert would exceed it (epoch workloads churn keys, so an
+    /// occasional cold restart beats per-entry eviction bookkeeping).
+    pub const DEFAULT_MAX_ENTRIES: usize = 1 << 20;
+
+    /// Wraps `inner` with an empty cache.
+    ///
+    /// Soundness: a verdict depends only on the `(weight, ticket)` item
+    /// multiset, the member total and the check parameters — exactly what
+    /// the key covers — so a hit returns what the inner oracle *would*
+    /// return, and the decorated oracle inherits the inner oracle's
+    /// contract (exactness included) verbatim.
+    pub fn new(inner: O) -> Self {
+        CachingOracle {
+            inner,
+            cache: std::collections::HashMap::new(),
+            lanes: Default::default(),
+            max_entries: Self::DEFAULT_MAX_ENTRIES,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The keyed 128-bit member fingerprint (two independent SipHash
+    /// lanes); see the type docs for why the keys matter.
+    fn member_fingerprint(&self, member: &FamilyMember<'_>) -> u128 {
+        use std::hash::{BuildHasher, Hasher};
+        let mut lo = self.lanes.0.build_hasher();
+        let mut hi = self.lanes.1.build_hasher();
+        let mut eat = |v: u64| {
+            lo.write_u64(v);
+            hi.write_u64(v);
+        };
+        eat(member.total);
+        eat(member.weights.len() as u64);
+        for (&w, &t) in member.weights.as_slice().iter().zip(member.tickets.as_slice()) {
+            eat(w);
+            eat(t);
+        }
+        (u128::from(hi.finish()) << 64) | u128::from(lo.finish())
+    }
+
+    /// Sets the cache-size bound (`0` disables caching entirely).
+    #[must_use]
+    pub fn with_max_entries(mut self, max_entries: usize) -> Self {
+        self.max_entries = max_entries;
+        self
+    }
+
+    /// Number of cached verdicts.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+
+    /// Drops all cached verdicts (counters are unaffected; they drain
+    /// through [`ValidityOracle::take_stats`]).
+    pub fn clear(&mut self) {
+        self.cache.clear();
+    }
+
+    /// The wrapped oracle.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+}
+
+impl<O: ValidityOracle> ValidityOracle for CachingOracle<O> {
+    fn check(
+        &mut self,
+        member: &FamilyMember<'_>,
+        params: &CheckParams,
+    ) -> Result<Verdict, CoreError> {
+        let key = (self.member_fingerprint(member), *params);
+        if let Some(&verdict) = self.cache.get(&key) {
+            self.hits += 1;
+            return Ok(verdict);
+        }
+        let verdict = self.inner.check(member, params)?;
+        self.misses += 1;
+        if self.max_entries > 0 {
+            if self.cache.len() >= self.max_entries {
+                self.cache.clear();
+            }
+            self.cache.insert(key, verdict);
+        }
+        Ok(verdict)
+    }
+
+    fn take_stats(&mut self) -> SolveStats {
+        let mut stats = self.inner.take_stats();
+        stats.cache_hits += std::mem::take(&mut self.hits);
+        stats.cache_misses += std::mem::take(&mut self.misses);
+        stats
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -355,6 +524,70 @@ mod tests {
                 assert_eq!(fv, Verdict::Valid, "linear accepted what full rejects at {total}");
             }
         }
+    }
+
+    #[test]
+    fn caching_oracle_hits_on_repeats_and_matches_inner() {
+        let w = Weights::new(vec![40, 25, 20, 10, 5]).unwrap();
+        let p = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2)).unwrap();
+        let params = CheckParams::restriction(&w, &p).unwrap();
+        let mut plain = FullOracle::new();
+        let mut cached = CachingOracle::new(FullOracle::new());
+        for round in 0..2 {
+            for total in 1u64..=10 {
+                let fam = crate::family::Family::new(&w, p.family_constant(), total).unwrap();
+                let t = fam.assignment_with_total(total).unwrap();
+                let member = member_for(&w, &t);
+                let expect = plain.check(&member, &params).unwrap();
+                assert_eq!(cached.check(&member, &params).unwrap(), expect, "round {round}");
+            }
+        }
+        let stats = cached.take_stats();
+        assert_eq!(stats.cache_misses, 10, "first round fills the cache");
+        assert_eq!(stats.cache_hits, 10, "second round is answered from it");
+        assert_eq!(cached.len(), 10);
+    }
+
+    #[test]
+    fn caching_oracle_distinguishes_params_and_members() {
+        let w = Weights::new(vec![40, 25, 20, 10, 5]).unwrap();
+        let t = TicketAssignment::new(vec![2, 1, 1, 1, 0]);
+        let member = member_for(&w, &t);
+        let pa = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2)).unwrap();
+        let pb = WeightRestriction::new(Ratio::of(1, 4), Ratio::of(1, 3)).unwrap();
+        let mut cached = CachingOracle::new(FullOracle::new());
+        cached.check(&member, &CheckParams::restriction(&w, &pa).unwrap()).unwrap();
+        cached.check(&member, &CheckParams::restriction(&w, &pb).unwrap()).unwrap();
+        // Same tickets under different weights must also be distinct keys.
+        let w2 = Weights::new(vec![40, 25, 20, 10, 6]).unwrap();
+        let member2 = member_for(&w2, &t);
+        cached.check(&member2, &CheckParams::restriction(&w2, &pa).unwrap()).unwrap();
+        let stats = cached.take_stats();
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.cache_misses, 3);
+        assert_eq!(cached.len(), 3);
+    }
+
+    #[test]
+    fn caching_oracle_respects_max_entries() {
+        let w = Weights::new(vec![40, 25, 20, 10, 5]).unwrap();
+        let p = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2)).unwrap();
+        let params = CheckParams::restriction(&w, &p).unwrap();
+        let mut cached = CachingOracle::new(FullOracle::new()).with_max_entries(0);
+        let t = TicketAssignment::new(vec![2, 1, 1, 1, 0]);
+        let member = member_for(&w, &t);
+        cached.check(&member, &params).unwrap();
+        cached.check(&member, &params).unwrap();
+        assert!(cached.is_empty(), "max_entries == 0 disables caching");
+        assert_eq!(cached.take_stats().cache_misses, 2);
+
+        let mut small = CachingOracle::new(FullOracle::new()).with_max_entries(2);
+        for total in 1u64..=5 {
+            let fam = crate::family::Family::new(&w, p.family_constant(), total).unwrap();
+            let t = fam.assignment_with_total(total).unwrap();
+            small.check(&member_for(&w, &t), &params).unwrap();
+        }
+        assert!(small.len() <= 2, "cache stays bounded: {}", small.len());
     }
 
     #[test]

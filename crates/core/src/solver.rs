@@ -71,6 +71,40 @@ pub struct SolveStats {
     pub dp_invocations: u64,
     /// Checks settled by the theoretical bound itself (bootstrapping).
     pub settled_by_theorem: u64,
+    /// Checks answered from a [`crate::CachingOracle`] verdict cache.
+    pub cache_hits: u64,
+    /// Checks that went through to the wrapped oracle (zero when no
+    /// caching decorator is in play).
+    pub cache_misses: u64,
+}
+
+impl SolveStats {
+    /// Adds `other`'s counters into `self` — the aggregation primitive for
+    /// sweeps and epoch replays.
+    pub fn absorb(&mut self, other: &SolveStats) {
+        self.candidates_checked += other.candidates_checked;
+        self.settled_by_upper_bound += other.settled_by_upper_bound;
+        self.settled_by_lower_bound += other.settled_by_lower_bound;
+        self.dp_invocations += other.dp_invocations;
+        self.settled_by_theorem += other.settled_by_theorem;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+    }
+
+    /// Cache lookups observed (`hits + misses`).
+    pub fn cache_lookups(&self) -> u64 {
+        self.cache_hits + self.cache_misses
+    }
+
+    /// Fraction of cache lookups answered from the cache (`0.0` when no
+    /// caching oracle was involved).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let lookups = self.cache_lookups();
+        if lookups == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / lookups as f64
+    }
 }
 
 /// A solved weight reduction instance.
@@ -214,10 +248,7 @@ impl Swiper {
         weights: &Weights,
         params: &WeightRestriction,
     ) -> Result<Solution, CoreError> {
-        let n = u64::try_from(weights.len()).map_err(|_| CoreError::ArithmeticOverflow)?;
-        let bound = params.ticket_bound(n)?.max(1);
-        let check = CheckParams::restriction(weights, params)?;
-        solve_with(oracle, weights, params.family_constant(), bound, &check)
+        solve_restriction_hinted(oracle, weights, params, None)
     }
 
     /// Returns the `t(s, k)` family member with exactly `total` tickets
@@ -295,10 +326,7 @@ impl Swiper {
         weights: &Weights,
         params: &WeightSeparation,
     ) -> Result<Solution, CoreError> {
-        let n = u64::try_from(weights.len()).map_err(|_| CoreError::ArithmeticOverflow)?;
-        let bound = params.ticket_bound(n)?.max(1);
-        let check = CheckParams::separation(weights, params)?;
-        solve_with(oracle, weights, params.family_constant(), bound, &check)
+        solve_separation_hinted(oracle, weights, params, None)
     }
 
     /// Solves one batch [`Instance`] with this solver's mode.
@@ -376,11 +404,188 @@ impl Swiper {
         }
         slots.into_iter().map(|slot| slot.expect("every slot solved")).collect()
     }
+
+    /// Re-solves `instance` seeding the binary search from a previous
+    /// epoch's solution instead of the cold `[0, bound]` bracket.
+    ///
+    /// Per-epoch weight deltas touch few parties, so the new answer is
+    /// almost always within a few tickets of the old total: the warm
+    /// search probes the old total, gallops outward until the bracket's
+    /// invariants (`lo` invalid, `hi` valid) are re-established, and only
+    /// then bisects. When the hint is useless — zero, or at/beyond the new
+    /// bound — the search degrades to exactly the cold path, bit-identical
+    /// stats included.
+    ///
+    /// # Guarantees
+    ///
+    /// The result carries the same guarantees as a cold solve: a *valid*
+    /// family member (oracle soundness), total at most the theoretical
+    /// bound, locally minimal for exact oracles, and fully deterministic —
+    /// every replica warm-starting from the same history derives the same
+    /// tickets. When the validity predicate flips once between the two
+    /// search ranges (the overwhelmingly common case on real stake
+    /// distributions) the warm result is **identical** to the cold solve.
+    /// The predicate is not monotone in general, though: isolated *dips*
+    /// (a valid member just below an invalid one — e.g. validity pattern
+    /// `V.VVV` near the flip) mean the family can hold several local
+    /// minima, and a warm bracket may settle on a neighbouring one where
+    /// cold bisection lands on another. Epoch loops that must stay
+    /// bit-identical to cold re-solves run
+    /// `swiper_weights::epoch::Reconfigurator::with_cold_check`, which
+    /// re-derives each epoch cold through the shared verdict cache and
+    /// publishes that result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter/overflow errors; see [`CoreError`].
+    pub fn resolve_from(
+        &self,
+        prev: &Solution,
+        instance: &Instance,
+    ) -> Result<Solution, CoreError> {
+        self.resolve_from_with(&mut *self.mode.new_oracle(), prev, instance)
+    }
+
+    /// [`Swiper::resolve_from`] driving a caller-supplied oracle — pair it
+    /// with a [`crate::CachingOracle`] to also reuse verdicts across
+    /// epochs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter/overflow errors; see [`CoreError`].
+    pub fn resolve_from_with<O: ValidityOracle + ?Sized>(
+        &self,
+        oracle: &mut O,
+        prev: &Solution,
+        instance: &Instance,
+    ) -> Result<Solution, CoreError> {
+        let warm = u64::try_from(prev.total_tickets()).ok();
+        match instance {
+            Instance::Restriction { weights, params } => {
+                solve_restriction_hinted(oracle, weights, params, warm)
+            }
+            Instance::Qualification { weights, params } => {
+                solve_restriction_hinted(oracle, weights, &params.to_restriction(), warm)
+            }
+            Instance::Separation { weights, params } => {
+                solve_separation_hinted(oracle, weights, params, warm)
+            }
+        }
+    }
+
+    /// The epoch-batch companion of [`Swiper::solve_many`]: solves
+    /// `instances[i]` warm-started from `priors[i]` (cold when `None`)
+    /// driving the caller's persistent `oracles[i]`, in parallel across OS
+    /// threads with deterministic, input-order results.
+    ///
+    /// Unlike [`Swiper::solve_many`] the oracles outlive the call, so
+    /// [`crate::CachingOracle`] state accumulates across epochs; each
+    /// instance keeps a dedicated oracle, which keeps the fan-out lock-free
+    /// and the per-track caches disjoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `instances`, `priors` and `oracles` have different
+    /// lengths — a structural misuse, not a data error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error in instance order; remaining solutions are
+    /// discarded.
+    pub fn resolve_many_with<O: ValidityOracle + Send>(
+        &self,
+        instances: &[Instance],
+        priors: &[Option<Solution>],
+        oracles: &mut [O],
+    ) -> Result<Vec<Solution>, CoreError> {
+        assert_eq!(instances.len(), priors.len(), "one prior slot per instance");
+        assert_eq!(instances.len(), oracles.len(), "one oracle per instance");
+        let n = instances.len();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let solve_one = |solver: &Swiper,
+                         oracle: &mut O,
+                         inst: &Instance,
+                         prior: &Option<Solution>| match prior {
+            Some(prev) => solver.resolve_from_with(oracle, prev, inst),
+            None => solver.solve_instance_with(oracle, inst),
+        };
+        let workers = std::thread::available_parallelism().map_or(1, |p| p.get()).min(n);
+        let chunk = n.div_ceil(workers);
+        let mut slots: Vec<Option<Result<Solution, CoreError>>> = vec![None; n];
+        if workers <= 1 {
+            for (((inst, prior), oracle), slot) in
+                instances.iter().zip(priors).zip(oracles.iter_mut()).zip(slots.iter_mut())
+            {
+                *slot = Some(solve_one(self, oracle, inst, prior));
+            }
+        } else {
+            std::thread::scope(|scope| {
+                let mut rest_o = oracles;
+                let mut rest_s = slots.as_mut_slice();
+                for (inst_chunk, prior_chunk) in
+                    instances.chunks(chunk).zip(priors.chunks(chunk))
+                {
+                    let (o_chunk, o_tail) = rest_o.split_at_mut(inst_chunk.len());
+                    let (s_chunk, s_tail) = rest_s.split_at_mut(inst_chunk.len());
+                    rest_o = o_tail;
+                    rest_s = s_tail;
+                    let solver = *self;
+                    scope.spawn(move || {
+                        for (((inst, prior), oracle), slot) in
+                            inst_chunk.iter().zip(prior_chunk).zip(o_chunk).zip(s_chunk)
+                        {
+                            *slot = Some(solve_one(&solver, oracle, inst, prior));
+                        }
+                    });
+                }
+            });
+        }
+        slots.into_iter().map(|slot| slot.expect("every slot solved")).collect()
+    }
+}
+
+/// Restriction-shaped solve (also serves Weight Qualification through the
+/// Theorem 2.2 reduction): bound + check-parameter setup shared by the
+/// cold entry points (`warm = None`) and [`Swiper::resolve_from_with`].
+fn solve_restriction_hinted<O: ValidityOracle + ?Sized>(
+    oracle: &mut O,
+    weights: &Weights,
+    params: &WeightRestriction,
+    warm: Option<u64>,
+) -> Result<Solution, CoreError> {
+    let n = u64::try_from(weights.len()).map_err(|_| CoreError::ArithmeticOverflow)?;
+    let bound = params.ticket_bound(n)?.max(1);
+    let check = CheckParams::restriction(weights, params)?;
+    solve_with(oracle, weights, params.family_constant(), bound, &check, warm)
+}
+
+/// Separation-shaped solve; see [`solve_restriction_hinted`].
+fn solve_separation_hinted<O: ValidityOracle + ?Sized>(
+    oracle: &mut O,
+    weights: &Weights,
+    params: &WeightSeparation,
+    warm: Option<u64>,
+) -> Result<Solution, CoreError> {
+    let n = u64::try_from(weights.len()).map_err(|_| CoreError::ArithmeticOverflow)?;
+    let bound = params.ticket_bound(n)?.max(1);
+    let check = CheckParams::separation(weights, params)?;
+    solve_with(oracle, weights, params.family_constant(), bound, &check, warm)
 }
 
 /// The generic binary-search driver: finds the least family member the
 /// oracle accepts, between the (invalid) all-zero member and the
 /// theoretical-bound member (valid by bootstrapping).
+///
+/// With a `warm` hint (a previous epoch's total), the driver first probes
+/// the hint and gallops outward with doubling steps until it brackets a
+/// validity flip, then bisects inside that bracket. The `lo`-invalid /
+/// `hi`-valid invariants hold throughout, so the warm result is a valid
+/// local minimum exactly like the cold one; when the predicate flips only
+/// once between the two search ranges the results coincide (see
+/// [`Swiper::resolve_from`] for the non-monotone caveat). A hint of `0`,
+/// or at/beyond the bound, is ignored (cold path).
 ///
 /// The driver owns the search-shaped counters (`candidates_checked`,
 /// `settled_by_theorem`); oracles only report how checks were settled. The
@@ -392,18 +597,66 @@ fn solve_with<O: ValidityOracle + ?Sized>(
     family_constant: Ratio,
     bound: u64,
     check: &CheckParams,
+    warm: Option<u64>,
 ) -> Result<Solution, CoreError> {
     let family = Family::new(weights, family_constant, bound)?;
     let mut lo = 0u64;
     let mut hi = bound;
     let mut checked = 0u64;
     let mut search = || -> Result<(), CoreError> {
+        let mut probe = |total: u64| -> Result<Verdict, CoreError> {
+            let cand = family.assignment_with_total(total)?;
+            let member = FamilyMember { weights, tickets: &cand, total };
+            checked += 1;
+            oracle.check(&member, check)
+        };
+        if let Some(hint) = warm {
+            if hint > 0 && hint < bound {
+                match probe(hint)? {
+                    Verdict::Valid => {
+                        // Gallop down for an invalid lower anchor.
+                        hi = hint;
+                        let mut step = 1u64;
+                        loop {
+                            let p = hi.saturating_sub(step);
+                            if p == 0 {
+                                break; // the all-zero member anchors lo.
+                            }
+                            match probe(p)? {
+                                Verdict::Valid => hi = p,
+                                Verdict::Invalid => {
+                                    lo = p;
+                                    break;
+                                }
+                            }
+                            step = step.saturating_mul(2);
+                        }
+                    }
+                    Verdict::Invalid => {
+                        // Gallop up for a valid upper anchor.
+                        lo = hint;
+                        let mut step = 1u64;
+                        loop {
+                            let p = lo.saturating_add(step);
+                            if p >= bound {
+                                break; // the bound member anchors hi.
+                            }
+                            match probe(p)? {
+                                Verdict::Invalid => lo = p,
+                                Verdict::Valid => {
+                                    hi = p;
+                                    break;
+                                }
+                            }
+                            step = step.saturating_mul(2);
+                        }
+                    }
+                }
+            }
+        }
         while hi - lo > 1 {
             let mid = lo + (hi - lo) / 2;
-            let cand = family.assignment_with_total(mid)?;
-            let member = FamilyMember { weights, tickets: &cand, total: mid };
-            checked += 1;
-            match oracle.check(&member, check)? {
+            match probe(mid)? {
                 Verdict::Valid => hi = mid,
                 Verdict::Invalid => lo = mid,
             }
@@ -422,6 +675,7 @@ fn solve_with<O: ValidityOracle + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::oracle::CachingOracle;
     use crate::verify::{
         verify_qualification, verify_restriction, verify_restriction_exhaustive,
         verify_separation,
@@ -575,6 +829,98 @@ mod tests {
     #[test]
     fn solve_many_empty_batch() {
         assert_eq!(Swiper::new().solve_many(&[]).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn resolve_from_matches_cold_solve_on_all_shapes() {
+        let wr = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2)).unwrap();
+        let wq = WeightQualification::new(Ratio::of(1, 3), Ratio::of(1, 4)).unwrap();
+        let ws = WeightSeparation::new(Ratio::of(1, 4), Ratio::of(1, 3)).unwrap();
+        let old = weights(&[100, 70, 55, 13, 8, 8, 4, 2, 1, 1, 1]);
+        // One party's stake moved ~10%: the epoch-delta shape.
+        let new = weights(&[100, 77, 55, 13, 8, 8, 4, 2, 1, 1, 1]);
+        let solver = Swiper::new();
+        for (prev_inst, next_inst) in [
+            (Instance::restriction(old.clone(), wr), Instance::restriction(new.clone(), wr)),
+            (
+                Instance::qualification(old.clone(), wq),
+                Instance::qualification(new.clone(), wq),
+            ),
+            (Instance::separation(old.clone(), ws), Instance::separation(new.clone(), ws)),
+        ] {
+            let prev = solver.solve_instance(&prev_inst).unwrap();
+            let cold = solver.solve_instance(&next_inst).unwrap();
+            let warm = solver.resolve_from(&prev, &next_inst).unwrap();
+            assert_eq!(warm.assignment, cold.assignment);
+            assert_eq!(warm.ticket_bound, cold.ticket_bound);
+            assert_eq!(warm.total_tickets(), cold.total_tickets());
+            assert!(
+                warm.stats.candidates_checked <= cold.stats.candidates_checked,
+                "warm bracket must not widen the search"
+            );
+        }
+    }
+
+    #[test]
+    fn resolve_from_with_useless_hint_falls_back_to_cold() {
+        let p = WeightRestriction::new(Ratio::of(1, 4), Ratio::of(1, 3)).unwrap();
+        let w = weights(&[50, 30, 11, 5, 2, 1, 1]);
+        let inst = Instance::restriction(w.clone(), p);
+        let solver = Swiper::new();
+        let cold = solver.solve_instance(&inst).unwrap();
+        // A stale solution whose total is at/above the new bound: hint is
+        // ignored and the warm path reproduces the cold search exactly.
+        let stale = Solution {
+            assignment: TicketAssignment::new(vec![cold.ticket_bound + 7]),
+            ticket_bound: cold.ticket_bound,
+            stats: SolveStats::default(),
+        };
+        let warm = solver.resolve_from(&stale, &inst).unwrap();
+        assert_eq!(warm, cold, "cold fallback must be bit-identical, stats included");
+    }
+
+    #[test]
+    fn resolve_from_on_identical_instance_needs_two_checks() {
+        let p = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2)).unwrap();
+        // Near-equal weights keep the optimum in the family's interior.
+        let w = weights(&[9, 9, 9, 9, 8, 8, 8, 7, 7]);
+        let inst = Instance::restriction(w, p);
+        let solver = Swiper::new();
+        let cold = solver.solve_instance(&inst).unwrap();
+        let total = u64::try_from(cold.total_tickets()).unwrap();
+        assert!(total > 1 && total < cold.ticket_bound, "interior optimum: {total}");
+        let warm = solver.resolve_from(&cold, &inst).unwrap();
+        assert_eq!(warm.assignment, cold.assignment);
+        // Unchanged epoch: probe the old total (valid) and its predecessor
+        // (invalid) — nothing else.
+        assert_eq!(warm.stats.candidates_checked, 2);
+        assert!(cold.stats.candidates_checked > 2, "cold search bisects from [0, bound]");
+    }
+
+    #[test]
+    fn resolve_many_with_matches_sequential_and_keeps_oracles() {
+        let wr = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2)).unwrap();
+        let vectors: Vec<Vec<u64>> =
+            (0..6).map(|k| (1..=12u64).map(|i| i * i + k * 17).collect::<Vec<u64>>()).collect();
+        let instances: Vec<Instance> =
+            vectors.iter().map(|v| Instance::restriction(weights(v), wr)).collect();
+        let solver = Swiper::new();
+        let mut oracles: Vec<CachingOracle<FullOracle>> =
+            instances.iter().map(|_| CachingOracle::new(FullOracle::new())).collect();
+        let priors: Vec<Option<Solution>> = vec![None; instances.len()];
+        let first = solver.resolve_many_with(&instances, &priors, &mut oracles).unwrap();
+        for (inst, sol) in instances.iter().zip(&first) {
+            let alone = solver.solve_instance(inst).unwrap();
+            assert_eq!(sol.assignment, alone.assignment);
+        }
+        // Epoch 2 over the same snapshots: warm-started, fully cached.
+        let priors: Vec<Option<Solution>> = first.iter().cloned().map(Some).collect();
+        let second = solver.resolve_many_with(&instances, &priors, &mut oracles).unwrap();
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.assignment, b.assignment);
+            assert_eq!(b.stats.cache_misses, 0, "persistent caches answer the re-solve");
+            assert!(b.stats.cache_hits > 0);
+        }
     }
 
     /// The seed's pre-oracle validity cascade for Weight Restriction,

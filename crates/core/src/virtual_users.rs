@@ -5,11 +5,148 @@
 //! of them. This module provides the deterministic bookkeeping: virtual ids
 //! are assigned in party order, so every participant derives the identical
 //! mapping from the (common-knowledge) ticket assignment.
+//!
+//! Epoch reconfiguration hands this module a [`TicketDelta`] — the compact
+//! diff between two epochs' ticket assignments — and
+//! [`VirtualUsers::apply_delta`] splices only the changed parties' virtual
+//! ranges instead of rebuilding the whole mapping.
 
 use serde::{Deserialize, Serialize};
 
 use crate::assignment::TicketAssignment;
 use crate::error::CoreError;
+
+/// One party's ticket-count change between two epochs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TicketChange {
+    /// The party whose count changed.
+    pub party: usize,
+    /// Tickets in the old epoch.
+    pub old: u64,
+    /// Tickets in the new epoch.
+    pub new: u64,
+}
+
+/// The diff between two epochs' ticket assignments: which parties' ticket
+/// counts changed, and by how much — the unit of work an epoch
+/// reconfiguration hands to the protocols layer (virtual users joining and
+/// leaving) without restarting in-flight instances.
+///
+/// # Examples
+///
+/// ```
+/// use swiper_core::{TicketAssignment, TicketDelta, VirtualUsers};
+///
+/// # fn main() -> Result<(), swiper_core::CoreError> {
+/// let old = TicketAssignment::new(vec![2, 0, 1]);
+/// let new = TicketAssignment::new(vec![1, 2, 1]);
+/// let delta = TicketDelta::between(&old, &new)?;
+/// assert_eq!(delta.changes().len(), 2);
+/// assert_eq!(delta.joining(), 2);
+/// assert_eq!(delta.leaving(), 1);
+///
+/// let mut mapping = VirtualUsers::from_assignment(&old)?;
+/// mapping.apply_delta(&delta)?;
+/// assert_eq!(mapping, VirtualUsers::from_assignment(&new)?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TicketDelta {
+    /// Changed parties in ascending party order.
+    changes: Vec<TicketChange>,
+    parties: usize,
+    old_total: u128,
+    new_total: u128,
+    /// Fingerprint of the *entire* old assignment, so
+    /// [`VirtualUsers::apply_delta`] can reject a base that matches the
+    /// delta's changed parties but differs elsewhere.
+    base_fingerprint: u128,
+}
+
+/// 128-bit FNV-1a over a ticket vector. Deterministic across processes —
+/// deltas travel between replicas, so a keyed hash is not an option here —
+/// and guarding against *stale or misrouted* bases, not adversarial ones:
+/// both assignments being fingerprinted are consensus-agreed values every
+/// honest replica derives identically.
+fn tickets_fingerprint(tickets: &[u64]) -> u128 {
+    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+    let mut h = OFFSET;
+    for &t in tickets {
+        for byte in t.to_le_bytes() {
+            h ^= u128::from(byte);
+            h = h.wrapping_mul(PRIME);
+        }
+    }
+    h
+}
+
+impl TicketDelta {
+    /// Diffs two assignments over the same party set.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::DeltaMismatch`] when the assignments disagree on the
+    /// number of parties.
+    pub fn between(old: &TicketAssignment, new: &TicketAssignment) -> Result<Self, CoreError> {
+        if old.len() != new.len() {
+            return Err(CoreError::DeltaMismatch {
+                what: "assignments cover different party counts",
+            });
+        }
+        let changes = old
+            .as_slice()
+            .iter()
+            .zip(new.as_slice())
+            .enumerate()
+            .filter(|(_, (o, n))| o != n)
+            .map(|(party, (&old, &new))| TicketChange { party, old, new })
+            .collect();
+        Ok(TicketDelta {
+            changes,
+            parties: old.len(),
+            old_total: old.total(),
+            new_total: new.total(),
+            base_fingerprint: tickets_fingerprint(old.as_slice()),
+        })
+    }
+
+    /// The changed parties, ascending by party id.
+    pub fn changes(&self) -> &[TicketChange] {
+        &self.changes
+    }
+
+    /// Whether the two epochs have identical assignments.
+    pub fn is_unchanged(&self) -> bool {
+        self.changes.is_empty()
+    }
+
+    /// Number of parties both assignments cover.
+    pub fn parties(&self) -> usize {
+        self.parties
+    }
+
+    /// Ticket total before the delta.
+    pub fn old_total(&self) -> u128 {
+        self.old_total
+    }
+
+    /// Ticket total after the delta.
+    pub fn new_total(&self) -> u128 {
+        self.new_total
+    }
+
+    /// Virtual users joining (sum of per-party ticket gains).
+    pub fn joining(&self) -> u128 {
+        self.changes.iter().map(|c| u128::from(c.new.saturating_sub(c.old))).sum()
+    }
+
+    /// Virtual users leaving (sum of per-party ticket losses).
+    pub fn leaving(&self) -> u128 {
+        self.changes.iter().map(|c| u128::from(c.old.saturating_sub(c.new))).sum()
+    }
+}
 
 /// A deterministic bijection between `T` virtual users and the real parties
 /// controlling them.
@@ -116,6 +253,90 @@ impl VirtualUsers {
     pub fn holders(&self) -> impl Iterator<Item = usize> + '_ {
         self.tickets.iter().enumerate().filter(|(_, &t)| t > 0).map(|(i, _)| i)
     }
+
+    /// Applies an epoch's [`TicketDelta`] in place, splicing only the
+    /// changed parties' virtual ranges. Equivalent to rebuilding via
+    /// [`VirtualUsers::from_assignment`] on the new assignment, but the
+    /// unchanged prefix of the owner table is never touched and unchanged
+    /// parties keep their relative ranges.
+    ///
+    /// Virtual ids stay dense and party-ordered, so ids *after* the first
+    /// changed party shift — callers translate in-flight per-virtual state
+    /// through the returned mapping, exactly as they would after a rebuild.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::DeltaMismatch`] when the delta was diffed against a
+    /// different party count or a different base assignment than `self`
+    /// (the mapping is left untouched in that case);
+    /// [`CoreError::ArithmeticOverflow`] when the new total does not fit
+    /// addressable memory.
+    pub fn apply_delta(&mut self, delta: &TicketDelta) -> Result<(), CoreError> {
+        if delta.parties() != self.parties() {
+            return Err(CoreError::DeltaMismatch {
+                what: "delta covers a different party count",
+            });
+        }
+        // Fingerprint of the *whole* base assignment: a delta diffed
+        // against an assignment that differs from `self` anywhere — even
+        // at parties the delta does not touch — must be rejected, or the
+        // splice would fabricate a mapping no epoch ever published.
+        if delta.base_fingerprint != tickets_fingerprint(&self.tickets) {
+            return Err(CoreError::DeltaMismatch {
+                what: "delta base does not match the current tickets",
+            });
+        }
+        // Deltas can arrive deserialized, so the changes list itself is
+        // untrusted: every change must target an in-range party (once, in
+        // ascending order, the shape `between` emits) and agree with the
+        // current tickets, or the splice below would panic or silently
+        // rewrite the wrong range. The new total is recomputed rather than
+        // trusted for the addressability check.
+        let mut new_total: u128 = self.total() as u128;
+        let mut prev_party: Option<usize> = None;
+        for change in delta.changes() {
+            if change.party >= self.parties() {
+                return Err(CoreError::DeltaMismatch {
+                    what: "change targets an unknown party",
+                });
+            }
+            if prev_party.is_some_and(|p| p >= change.party) {
+                return Err(CoreError::DeltaMismatch {
+                    what: "changes are not in ascending party order",
+                });
+            }
+            prev_party = Some(change.party);
+            if self.tickets[change.party] != change.old {
+                return Err(CoreError::DeltaMismatch {
+                    what: "change disagrees with the current tickets",
+                });
+            }
+            new_total = new_total - u128::from(change.old) + u128::from(change.new);
+        }
+        if new_total != delta.new_total() {
+            return Err(CoreError::DeltaMismatch {
+                what: "declared new total disagrees with the changes",
+            });
+        }
+        usize::try_from(new_total).map_err(|_| CoreError::ArithmeticOverflow)?;
+        // Splice in descending party order so the untouched offsets in
+        // `first` stay valid for every party still to be processed.
+        for change in delta.changes().iter().rev() {
+            let start = usize::try_from(self.first[change.party])
+                .map_err(|_| CoreError::ArithmeticOverflow)?;
+            let old = usize::try_from(change.old).map_err(|_| CoreError::ArithmeticOverflow)?;
+            let new = usize::try_from(change.new).map_err(|_| CoreError::ArithmeticOverflow)?;
+            self.owner.splice(start..start + old, std::iter::repeat_n(change.party, new));
+            self.tickets[change.party] = change.new;
+        }
+        // One prefix-sum pass from the first changed party restores `first`.
+        if let Some(first_changed) = delta.changes().first() {
+            for i in first_changed.party..self.parties().saturating_sub(1) {
+                self.first[i + 1] = self.first[i] + self.tickets[i];
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -147,7 +368,106 @@ mod tests {
         assert!(vu.holders().next().is_none());
     }
 
+    #[test]
+    fn delta_between_reports_changes_and_flows() {
+        let old = TicketAssignment::new(vec![3, 0, 2, 1]);
+        let new = TicketAssignment::new(vec![3, 2, 0, 1]);
+        let delta = TicketDelta::between(&old, &new).unwrap();
+        assert_eq!(
+            delta.changes(),
+            &[
+                TicketChange { party: 1, old: 0, new: 2 },
+                TicketChange { party: 2, old: 2, new: 0 }
+            ]
+        );
+        assert_eq!(delta.joining(), 2);
+        assert_eq!(delta.leaving(), 2);
+        assert_eq!((delta.old_total(), delta.new_total()), (6, 6));
+        assert!(!delta.is_unchanged());
+        assert!(TicketDelta::between(&old, &old).unwrap().is_unchanged());
+        let short = TicketAssignment::new(vec![1, 1]);
+        assert!(matches!(
+            TicketDelta::between(&old, &short),
+            Err(CoreError::DeltaMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn apply_delta_rejects_stale_bases() {
+        let old = TicketAssignment::new(vec![2, 2, 1]);
+        let new = TicketAssignment::new(vec![2, 3, 1]);
+        let delta = TicketDelta::between(&old, &new).unwrap();
+        // Same party count, different base tickets at the changed party.
+        let mut vu =
+            VirtualUsers::from_assignment(&TicketAssignment::new(vec![2, 1, 1])).unwrap();
+        assert!(matches!(vu.apply_delta(&delta), Err(CoreError::DeltaMismatch { .. })));
+        // Same values at changed parties but different total elsewhere.
+        let mut vu =
+            VirtualUsers::from_assignment(&TicketAssignment::new(vec![9, 2, 1])).unwrap();
+        assert!(matches!(vu.apply_delta(&delta), Err(CoreError::DeltaMismatch { .. })));
+        // Same total AND matching values at the changed party, but the
+        // unchanged parties differ ([1, 2, 2] vs the true base [2, 2, 1]) —
+        // only the full-base fingerprint catches this one.
+        let mut vu =
+            VirtualUsers::from_assignment(&TicketAssignment::new(vec![1, 2, 2])).unwrap();
+        assert!(matches!(vu.apply_delta(&delta), Err(CoreError::DeltaMismatch { .. })));
+        // Wrong party count.
+        let mut vu = VirtualUsers::from_assignment(&TicketAssignment::new(vec![2, 2])).unwrap();
+        assert!(matches!(vu.apply_delta(&delta), Err(CoreError::DeltaMismatch { .. })));
+    }
+
+    #[test]
+    fn apply_delta_rejects_malformed_changes() {
+        // Deltas can arrive deserialized, so a well-fingerprinted delta
+        // with a tampered changes list must still be rejected — never
+        // panic or corrupt the mapping.
+        let old = TicketAssignment::new(vec![2, 2, 1]);
+        let new = TicketAssignment::new(vec![2, 3, 1]);
+        let good = TicketDelta::between(&old, &new).unwrap();
+        let fresh = || VirtualUsers::from_assignment(&old).unwrap();
+
+        let mut forged = good.clone();
+        forged.changes = vec![TicketChange { party: 9, old: 2, new: 3 }];
+        assert!(matches!(fresh().apply_delta(&forged), Err(CoreError::DeltaMismatch { .. })));
+
+        let mut forged = good.clone();
+        forged.changes = vec![TicketChange { party: 0, old: 999, new: 0 }];
+        assert!(matches!(fresh().apply_delta(&forged), Err(CoreError::DeltaMismatch { .. })));
+
+        let mut forged = good.clone();
+        forged.changes = vec![
+            TicketChange { party: 1, old: 2, new: 3 },
+            TicketChange { party: 1, old: 2, new: 3 },
+        ];
+        assert!(matches!(fresh().apply_delta(&forged), Err(CoreError::DeltaMismatch { .. })));
+
+        let mut forged = good.clone();
+        forged.new_total = 1;
+        assert!(matches!(fresh().apply_delta(&forged), Err(CoreError::DeltaMismatch { .. })));
+
+        // The untampered delta still applies.
+        let mut vu = fresh();
+        vu.apply_delta(&good).unwrap();
+        assert_eq!(vu, VirtualUsers::from_assignment(&new).unwrap());
+    }
+
     proptest! {
+        #[test]
+        fn apply_delta_matches_full_rebuild(
+            old in proptest::collection::vec(0u64..9, 1..24),
+            new in proptest::collection::vec(0u64..9, 1..24),
+        ) {
+            // Diff/apply over the common prefix length so the shapes match.
+            let n = old.len().min(new.len());
+            let old = TicketAssignment::new(old[..n].to_vec());
+            let new = TicketAssignment::new(new[..n].to_vec());
+            let delta = TicketDelta::between(&old, &new).unwrap();
+            let mut incremental = VirtualUsers::from_assignment(&old).unwrap();
+            incremental.apply_delta(&delta).unwrap();
+            let rebuilt = VirtualUsers::from_assignment(&new).unwrap();
+            prop_assert_eq!(incremental, rebuilt);
+        }
+
         #[test]
         fn mapping_is_a_partition(ts in proptest::collection::vec(0u64..20, 1..20)) {
             let t = TicketAssignment::new(ts);

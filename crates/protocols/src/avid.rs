@@ -212,9 +212,26 @@ impl AvidNode {
         if tree.root() == root {
             ctx.output(data);
         } else {
+            // The BOT path too: totality still depends on this node's
+            // fragment relay, so the halt below stays duty-gated.
             ctx.output(BOT.to_vec());
         }
-        ctx.halt();
+        self.maybe_halt(ctx);
+    }
+
+    /// Halt-before-duty guard (same class as the ECBC seed-15 bug): a
+    /// party can decode from fragments others relayed *before* it has
+    /// acknowledged its own bundle or shared its own fragments — e.g. when
+    /// a Byzantine peer feeds fragments to it alone. Halting at that point
+    /// drops the pending `Disperse`/`Stored` deliveries, so this party's
+    /// acknowledgement never counts toward anyone's quorum and its
+    /// fragments are never relayed — starving slower parties below the
+    /// reconstruction threshold `k`. Exit only once both dispersal-echo
+    /// duties (ack, fragment relay) are done.
+    fn maybe_halt(&mut self, ctx: &mut Context<AvidMsg>) {
+        if self.delivered && self.acked && self.complete {
+            ctx.halt();
+        }
     }
 }
 
@@ -251,12 +268,20 @@ impl Protocol for AvidNode {
                 self.my_root = Some(root);
                 self.acked = true;
                 ctx.broadcast(AvidMsg::Stored { root });
+                if self.complete {
+                    // The ack quorum passed while our bundle was still in
+                    // flight, so the retrieval broadcast went out without
+                    // our fragments — relay them now.
+                    ctx.broadcast(AvidMsg::Fragments { root, shards: self.my_shards.clone() });
+                }
+                self.maybe_halt(ctx);
             }
             AvidMsg::Stored { root } => {
                 if self.ack_quorum.vote(from) && !self.complete {
                     self.complete = true;
                     // Retrieval phase: share stored fragments (if any).
                     ctx.broadcast(AvidMsg::Fragments { root, shards: self.my_shards.clone() });
+                    self.maybe_halt(ctx);
                 }
             }
             AvidMsg::Fragments { root, shards } => {
@@ -311,13 +336,47 @@ impl Protocol for MisencodingDealer {
     fn on_message(&mut self, _from: NodeId, _msg: AvidMsg, _ctx: &mut Context<AvidMsg>) {}
 }
 
+/// A Byzantine party that acknowledges honestly but relays its fragments
+/// to a single *target* party immediately — skipping the ack-quorum wait
+/// and leaving everyone else without them. The target can then reach the
+/// reconstruction threshold `k` before its own dispersal-echo duties are
+/// done, which is exactly the schedule that exposes halt-before-duty bugs
+/// in the retrieval phase.
+pub struct TargetedFragmentSender {
+    dealer: NodeId,
+    target: NodeId,
+}
+
+impl TargetedFragmentSender {
+    /// Creates the attacker aiming its fragments at `target`.
+    pub fn new(dealer: NodeId, target: NodeId) -> Self {
+        TargetedFragmentSender { dealer, target }
+    }
+}
+
+impl Protocol for TargetedFragmentSender {
+    type Msg = AvidMsg;
+
+    fn on_start(&mut self, _ctx: &mut Context<AvidMsg>) {}
+
+    fn on_message(&mut self, from: NodeId, msg: AvidMsg, ctx: &mut Context<AvidMsg>) {
+        if let AvidMsg::Disperse { root, shards } = msg {
+            if from != self.dealer {
+                return;
+            }
+            ctx.broadcast(AvidMsg::Stored { root });
+            ctx.send(self.target, AvidMsg::Fragments { root, shards });
+        }
+    }
+}
+
 #[cfg(test)]
 #[allow(clippy::vec_init_then_push)]
 mod tests {
     use super::*;
     use swiper_core::{Swiper, WeightQualification};
     use swiper_net::adversary::Silent;
-    use swiper_net::Simulation;
+    use swiper_net::{DelayModel, Simulation};
 
     fn run_nominal(n: usize, blob: &[u8], silent: usize, seed: u64) -> swiper_net::RunReport {
         let config = AvidConfig::nominal(n);
@@ -370,6 +429,39 @@ mod tests {
                 }
             }
             assert!(report.agreement_among(&[1, 2, 3]));
+        }
+    }
+
+    /// Regression for the halt-before-duty bug in the retrieval phase:
+    /// the victim (party 1, 2 fragments) can hit `k = 3` from the
+    /// dealer's 2 fragments plus the Byzantine's targeted 1 before its
+    /// own ack/relay duties are done. Pre-fix it halted there, its 2
+    /// fragments were never relayed, and the spectator (party 2, zero
+    /// fragments of its own) was starved below `k` forever — as was the
+    /// dealer. Post-fix every honest party delivers on every schedule.
+    #[test]
+    fn early_decoder_still_relays_its_fragments() {
+        let weights = Weights::new(vec![25, 25, 25, 25]).unwrap();
+        let tickets = TicketAssignment::new(vec![2, 2, 0, 1]);
+        let config = AvidConfig::weighted(weights, &tickets, Ratio::of(1, 2));
+        assert_eq!(config.k(), 3);
+        let blob = b"halt only after the dispersal-echo duty".to_vec();
+        for seed in 0..60 {
+            for delay in [DelayModel::Uniform(1, 24), DelayModel::Uniform(1, 64)] {
+                let mut nodes: Vec<Box<dyn Protocol<Msg = AvidMsg>>> = Vec::new();
+                nodes.push(Box::new(AvidNode::dealer(config.clone(), 0, blob.clone())));
+                nodes.push(Box::new(AvidNode::new(config.clone(), 0)));
+                nodes.push(Box::new(AvidNode::new(config.clone(), 0)));
+                nodes.push(Box::new(TargetedFragmentSender::new(0, 1)));
+                let report = Simulation::new(nodes, seed).with_delay(delay).run();
+                for i in 0..3 {
+                    assert_eq!(
+                        report.outputs[i].as_deref(),
+                        Some(blob.as_slice()),
+                        "party {i} starved at seed {seed} {delay:?}"
+                    );
+                }
+            }
         }
     }
 

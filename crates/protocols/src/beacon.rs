@@ -100,6 +100,9 @@ pub struct BeaconNode {
     round: u64,
     collected: Vec<PartialSignature>,
     seen: std::collections::HashSet<u64>,
+    /// Whether this party's own partials have been broadcast — the duty
+    /// that must be done before halting (see [`BeaconNode::try_combine`]).
+    shared: bool,
     done: bool,
 }
 
@@ -111,6 +114,7 @@ impl BeaconNode {
             round,
             collected: Vec::new(),
             seen: Default::default(),
+            shared: false,
             done: false,
         }
     }
@@ -124,7 +128,18 @@ impl BeaconNode {
             if self.setup.scheme.verify(&self.setup.pk, &msg, &sig) {
                 self.done = true;
                 ctx.output(BeaconSetup::output_of(&sig).as_bytes().to_vec());
-                ctx.halt();
+                // Halt-before-duty audit (same class as the ECBC seed-15
+                // bug, found live in `tight.rs`/`avid.rs`): the beacon's
+                // only duty towards slower parties is broadcasting its own
+                // partials, which `on_start` discharges unconditionally
+                // before any message can be delivered — so this halt can
+                // never starve anyone. The explicit gate keeps that
+                // invariant structural rather than incidental: if share
+                // broadcasting ever becomes conditional or message-driven,
+                // the node stays live until the duty is done.
+                if self.shared {
+                    ctx.halt();
+                }
             }
         }
     }
@@ -140,6 +155,7 @@ impl Protocol for BeaconNode {
             .map(|s| self.setup.scheme.partial_sign(s, &tag))
             .collect();
         ctx.broadcast(BeaconMsg { round: self.round, partials });
+        self.shared = true;
     }
 
     fn on_message(&mut self, _from: NodeId, msg: BeaconMsg, ctx: &mut Context<BeaconMsg>) {

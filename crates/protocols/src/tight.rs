@@ -126,6 +126,11 @@ impl TightNode {
                 .map(|s| self.config.scheme.partial_sign(s, &self.config.action))
                 .collect();
             ctx.broadcast(TightMsg::Shares { partials });
+            if self.done {
+                // The combine happened before our vote quorum; with the
+                // release duty now discharged it is safe to exit.
+                ctx.halt();
+            }
         }
     }
 
@@ -137,7 +142,17 @@ impl TightNode {
             if self.config.verify(&sig) {
                 self.done = true;
                 ctx.output(sig.0.value().to_le_bytes().to_vec());
-                ctx.halt();
+                // Halt-before-duty guard (same class as the ECBC seed-15
+                // bug): a node can cross the combine threshold from shares
+                // a Byzantine sender fed only to it, *before* its own vote
+                // quorum — halting then would drop the pending Vote
+                // deliveries and this node's shares would never be
+                // released, starving slower parties below
+                // `scheme.threshold()`. Halt only once the share-release
+                // duty is done.
+                if self.released {
+                    ctx.halt();
+                }
             }
         }
     }
@@ -175,13 +190,47 @@ impl Protocol for TightNode {
     }
 }
 
+/// A Byzantine voter that releases its signature shares to a single
+/// *target* party immediately (skipping the vote-quorum wait) and to
+/// nobody else. The target can then cross the combine threshold before
+/// its own vote quorum — the adverse schedule that exposes
+/// halt-before-duty bugs: if the target exits without releasing its own
+/// shares, the remaining honest parties may be starved below
+/// `scheme.threshold()` forever.
+pub struct TargetedShareSender {
+    config: TightConfig,
+    target: NodeId,
+}
+
+impl TargetedShareSender {
+    /// Creates the attacker aiming its shares at `target`.
+    pub fn new(config: TightConfig, target: NodeId) -> Self {
+        TargetedShareSender { config, target }
+    }
+}
+
+impl Protocol for TargetedShareSender {
+    type Msg = TightMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<TightMsg>) {
+        ctx.broadcast(TightMsg::Vote);
+        let partials: Vec<PartialSignature> = self.config.shares[ctx.me()]
+            .iter()
+            .map(|s| self.config.scheme.partial_sign(s, &self.config.action))
+            .collect();
+        ctx.send(self.target, TightMsg::Shares { partials });
+    }
+
+    fn on_message(&mut self, _from: NodeId, _msg: TightMsg, _ctx: &mut Context<TightMsg>) {}
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use swiper_core::{Swiper, WeightRestriction};
-    use swiper_net::Simulation;
+    use swiper_core::{Swiper, TicketAssignment, WeightRestriction};
+    use swiper_net::{DelayModel, Simulation};
 
     fn config(ws: &[u64], beta: Ratio) -> TightConfig {
         let weights = Weights::new(ws.to_vec()).unwrap();
@@ -238,6 +287,43 @@ mod tests {
         let first = report.outputs[0].as_ref().unwrap();
         for out in &report.outputs {
             assert_eq!(out.as_ref(), Some(first), "unique signature everywhere");
+        }
+    }
+
+    /// Regression for the halt-before-duty bug: party 0 holds shares the
+    /// other honest parties need (threshold 4 of 7; honest-others hold 3),
+    /// while a Byzantine voter feeds its shares to party 0 alone. Under
+    /// schedules where party 0 crosses the combine threshold before its
+    /// own vote quorum, the pre-fix node halted without ever releasing —
+    /// starving parties 1 and 2 forever. Post-fix every honest party
+    /// certifies on every schedule.
+    #[test]
+    fn early_combiner_still_releases_its_shares() {
+        let weights = Weights::new(vec![25, 25, 25, 25]).unwrap();
+        let tickets = TicketAssignment::new(vec![2, 2, 1, 2]);
+        let cfg = TightConfig::deal(
+            weights,
+            &tickets,
+            Ratio::of(2, 3),
+            b"tight-halt-duty".to_vec(),
+            &mut StdRng::seed_from_u64(8),
+        );
+        for seed in 0..60 {
+            for delay in [DelayModel::Uniform(1, 24), DelayModel::Uniform(1, 64)] {
+                let mut nodes: Vec<Box<dyn Protocol<Msg = TightMsg>>> = Vec::new();
+                for _ in 0..3 {
+                    nodes.push(Box::new(TightNode::new(cfg.clone(), true)));
+                }
+                nodes.push(Box::new(TargetedShareSender::new(cfg.clone(), 0)));
+                let report = Simulation::new(nodes, seed).with_delay(delay).run();
+                for i in 0..3 {
+                    assert!(
+                        report.outputs[i].is_some(),
+                        "party {i} starved at seed {seed} {delay:?}"
+                    );
+                }
+                assert!(report.agreement_among(&[0, 1, 2]));
+            }
         }
     }
 

@@ -17,6 +17,7 @@
 
 pub mod bootstrap;
 pub mod chains;
+pub mod epoch;
 pub mod gen;
 pub mod snapshot;
 pub mod stats;

@@ -16,7 +16,10 @@ use swiper_core::{CoreError, Weights};
 /// skipped; one optional non-numeric header row is tolerated):
 ///
 /// * `12345` — a bare stake value;
-/// * `validator-xyz,12345` — the stake is the **last** field;
+/// * `validator-xyz,12345` — the stake is the **last** field, everything
+///   before the last comma is the row's identifier; a repeated identifier
+///   is an error (a crawler artifact that would otherwise silently
+///   miscount a validator's stake);
 /// * stake values may carry a fractional part (quantized via
 ///   [`Weights::from_floats`] against the maximum).
 ///
@@ -24,10 +27,12 @@ use swiper_core::{CoreError, Weights};
 ///
 /// * [`CoreError::ParseRatio`] for a malformed row (reported with its
 ///   content).
+/// * [`CoreError::DuplicateKey`] for a repeated row identifier.
 /// * [`CoreError::NoParties`] / [`CoreError::ZeroTotalWeight`] when the
 ///   snapshot has no usable rows.
 pub fn parse_csv(text: &str) -> Result<Weights, CoreError> {
     let mut stakes: Vec<f64> = Vec::new();
+    let mut keys: std::collections::HashSet<&str> = std::collections::HashSet::new();
     let mut header_skipped = false;
     for line in text.lines() {
         let line = line.trim();
@@ -36,7 +41,15 @@ pub fn parse_csv(text: &str) -> Result<Weights, CoreError> {
         }
         let last = line.rsplit(',').next().unwrap_or(line).trim();
         match last.parse::<f64>() {
-            Ok(v) => stakes.push(v),
+            Ok(v) => {
+                if let Some((key, _)) = line.rsplit_once(',') {
+                    let key = key.trim();
+                    if !key.is_empty() && !keys.insert(key) {
+                        return Err(CoreError::DuplicateKey { key: key.to_string() });
+                    }
+                }
+                stakes.push(v);
+            }
             Err(_) if !header_skipped && stakes.is_empty() => {
                 // Tolerate exactly one header row at the top.
                 header_skipped = true;
@@ -113,6 +126,21 @@ mod tests {
         assert!(parse_csv("100\nnot-a-number\n").is_err());
         assert!(parse_csv("").is_err());
         assert!(parse_csv("# only comments\n").is_err());
+    }
+
+    #[test]
+    fn duplicate_keys_are_reported() {
+        // A repeated identifier is an error like any other bad row — it
+        // would otherwise silently miscount that validator's stake.
+        let err = parse_csv("val-a,500\nval-b,250\nval-a,125\n").unwrap_err();
+        assert!(matches!(&err, CoreError::DuplicateKey { key } if key == "val-a"), "{err}");
+        // Even with identical values: a crawler artifact, still reported.
+        assert!(parse_csv("val-a,500\nval-a,500\n").is_err());
+        // Bare rows carry no identifier — repeated *values* stay fine.
+        assert_eq!(parse_csv("500\n500\n").unwrap().as_slice(), &[500, 500]);
+        // Identifiers live left of the *last* comma, whole.
+        assert!(parse_csv("a,b,1\na,b,2\n").is_err());
+        assert_eq!(parse_csv("a,b,1\na,c,2\n").unwrap().as_slice(), &[1, 2]);
     }
 
     #[test]

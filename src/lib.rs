@@ -47,7 +47,7 @@ pub use swiper_weights as weights;
 
 // The workhorse types at the crate root for convenience.
 pub use swiper_core::{
-    CheckParams, FamilyMember, FullOracle, Instance, LinearOracle, Mode, Ratio, Solution,
-    Swiper, TicketAssignment, ValidityOracle, Verdict, VirtualUsers, WeightQualification,
-    WeightRestriction, WeightSeparation, Weights,
+    CachingOracle, CheckParams, FamilyMember, FullOracle, Instance, LinearOracle, Mode, Ratio,
+    Solution, SolveStats, Swiper, TicketAssignment, TicketDelta, ValidityOracle, Verdict,
+    VirtualUsers, WeightQualification, WeightRestriction, WeightSeparation, Weights,
 };

@@ -4,16 +4,43 @@
 //! invariants each time. These are the repro-style robustness tests that
 //! catch schedule-dependent protocol bugs.
 
+use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use swiper::net::adversary::Silent;
 use swiper::net::{DelayModel, Protocol, Simulation};
 use swiper::protocols::aba::{AbaMsg, AbaNode, AbaSetup};
+use swiper::protocols::avid::{AvidConfig, AvidMsg, AvidNode, TargetedFragmentSender, BOT};
+use swiper::protocols::beacon::{BeaconMsg, BeaconNode, BeaconSetup};
 use swiper::protocols::bracha::{BrachaConfig, BrachaMsg, BrachaNode, EquivocatingSender};
 use swiper::protocols::ecbc::{EcbcConfig, EcbcMsg, EcbcNode, GarbageEchoer};
-use swiper::{Ratio, Swiper, WeightRestriction, Weights};
+use swiper::protocols::tight::{TargetedShareSender, TightConfig, TightMsg, TightNode};
+use swiper::{
+    CachingOracle, FullOracle, Instance, Ratio, Swiper, TicketAssignment, WeightRestriction,
+    Weights,
+};
 
-const SEEDS: std::ops::Range<u64> = 0..25;
+/// Seeds (= delay schedules) swept per test: 25 by default, widened in the
+/// nightly CI job via `SWIPER_SWEEP_SEEDS` (e.g. 200). A set-but-invalid
+/// value is a loud failure — a silently narrowed nightly sweep would keep
+/// reporting green while providing none of its coverage.
+fn seeds() -> std::ops::Range<u64> {
+    let n = match std::env::var("SWIPER_SWEEP_SEEDS") {
+        Ok(v) => v
+            .trim()
+            .parse()
+            .unwrap_or_else(|e| panic!("SWIPER_SWEEP_SEEDS={v:?} is not a seed count: {e}")),
+        Err(_) => 25,
+    };
+    0..n
+}
+
+/// Proptest case count, scaled with the sweep width so the nightly job
+/// also deepens the warm-resolve equivalence proptest (64 cases per PR,
+/// `SWIPER_SWEEP_SEEDS` cases when that is larger).
+fn sweep_cases() -> u32 {
+    u32::try_from(seeds().end).unwrap_or(u32::MAX).max(64)
+}
 
 /// ABA agreement under mixed inputs + a silent party, across 25 schedules
 /// and two delay models.
@@ -22,7 +49,7 @@ fn aba_agreement_across_schedules() {
     let weights = Weights::new(vec![28, 26, 18, 16, 12]).unwrap();
     let params = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2)).unwrap();
     let tickets = Swiper::new().solve_restriction(&weights, &params).unwrap().assignment;
-    for seed in SEEDS {
+    for seed in seeds() {
         for delay in [DelayModel::Uniform(1, 24), DelayModel::BiasAgainstLowIds(1, 40)] {
             let setup = AbaSetup::deal(
                 weights.clone(),
@@ -54,7 +81,7 @@ fn aba_agreement_across_schedules() {
 /// honest parties ever deliver different payloads.
 #[test]
 fn bracha_equivocation_across_schedules() {
-    for seed in SEEDS {
+    for seed in seeds() {
         let config = BrachaConfig::nominal(7); // t = 2
         let mut nodes: Vec<Box<dyn Protocol<Msg = BrachaMsg>>> = Vec::new();
         nodes.push(Box::new(EquivocatingSender { a: b"A".to_vec(), b: b"B".to_vec() }));
@@ -75,7 +102,7 @@ fn bracha_equivocation_across_schedules() {
 #[test]
 fn ecbc_totality_across_schedules() {
     let blob = b"sweep the schedules".to_vec();
-    for seed in SEEDS {
+    for seed in seeds() {
         let config = EcbcConfig::nominal(7); // t = 2
         let mut nodes: Vec<Box<dyn Protocol<Msg = EcbcMsg>>> = Vec::new();
         nodes.push(Box::new(EcbcNode::sender(config.clone(), 0, blob.clone())));
@@ -95,6 +122,106 @@ fn ecbc_totality_across_schedules() {
     }
 }
 
+/// Beacon liveness + agreement across schedules: a sub-`f_w` silent party
+/// and both delay models. Audited for halt-before-duty alongside
+/// `tight`/`avid`: the beacon's duty (broadcasting its own partials) is
+/// discharged in `on_start`, and the sweep pins that halting on combine
+/// never starves slower parties of the threshold.
+#[test]
+fn beacon_liveness_across_schedules() {
+    let weights = Weights::new(vec![30, 25, 15, 15, 15]).unwrap();
+    let params = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2)).unwrap();
+    let sol = Swiper::new().solve_restriction(&weights, &params).unwrap();
+    for seed in seeds() {
+        for delay in [DelayModel::Uniform(1, 24), DelayModel::BiasAgainstLowIds(1, 40)] {
+            let setup = BeaconSetup::deal(
+                &sol.assignment,
+                Ratio::of(1, 2),
+                &mut StdRng::seed_from_u64(seed),
+            );
+            let mut nodes: Vec<Box<dyn Protocol<Msg = BeaconMsg>>> = Vec::new();
+            nodes.push(Box::new(Silent::new())); // party 0: 30% < 1/3, silent
+            for _ in 1..5 {
+                nodes.push(Box::new(BeaconNode::new(setup.clone(), seed)));
+            }
+            let report = Simulation::new(nodes, seed).with_delay(delay).run();
+            for i in 1..5 {
+                assert!(
+                    report.outputs[i].is_some(),
+                    "beacon liveness violated for party {i} at seed {seed} {delay:?}"
+                );
+            }
+            assert!(report.agreement_among(&[1, 2, 3, 4]), "seed {seed} {delay:?}");
+        }
+    }
+}
+
+/// Tight-threshold totality under the targeted-share adversary — the
+/// schedule family that caught the halt-before-release bug (a node
+/// combining from shares fed only to it, then exiting before its own
+/// release duty). Every honest party must certify on every schedule.
+#[test]
+fn tight_totality_across_schedules() {
+    let weights = Weights::new(vec![25, 25, 25, 25]).unwrap();
+    let tickets = TicketAssignment::new(vec![2, 2, 1, 2]);
+    let cfg = TightConfig::deal(
+        weights,
+        &tickets,
+        Ratio::of(2, 3),
+        b"sweep-the-schedules".to_vec(),
+        &mut StdRng::seed_from_u64(3),
+    );
+    for seed in seeds() {
+        for delay in [DelayModel::Uniform(1, 24), DelayModel::Uniform(1, 64)] {
+            let mut nodes: Vec<Box<dyn Protocol<Msg = TightMsg>>> = Vec::new();
+            for _ in 0..3 {
+                nodes.push(Box::new(TightNode::new(cfg.clone(), true)));
+            }
+            nodes.push(Box::new(TargetedShareSender::new(cfg.clone(), 0)));
+            let report = Simulation::new(nodes, seed).with_delay(delay).run();
+            for i in 0..3 {
+                assert!(
+                    report.outputs[i].is_some(),
+                    "tight party {i} starved at seed {seed} {delay:?}"
+                );
+            }
+            assert!(report.agreement_among(&[0, 1, 2]), "seed {seed} {delay:?}");
+        }
+    }
+}
+
+/// AVID totality under the targeted-fragment adversary — the schedule
+/// family that caught the halt-before-relay bug (a node decoding from
+/// fragments fed only to it, then exiting before its ack/relay duties).
+/// Every honest party, the zero-ticket spectator included, must deliver.
+#[test]
+fn avid_totality_across_schedules() {
+    let weights = Weights::new(vec![25, 25, 25, 25]).unwrap();
+    let tickets = TicketAssignment::new(vec![2, 2, 0, 1]);
+    let config = AvidConfig::weighted(weights, &tickets, Ratio::of(1, 2));
+    let blob = b"sweep the retrieval schedules".to_vec();
+    for seed in seeds() {
+        for delay in [DelayModel::Uniform(1, 24), DelayModel::Uniform(1, 64)] {
+            let nodes: Vec<Box<dyn Protocol<Msg = AvidMsg>>> = vec![
+                Box::new(AvidNode::dealer(config.clone(), 0, blob.clone())),
+                Box::new(AvidNode::new(config.clone(), 0)),
+                Box::new(AvidNode::new(config.clone(), 0)),
+                Box::new(TargetedFragmentSender::new(0, 1)),
+            ];
+            let report = Simulation::new(nodes, seed).with_delay(delay).run();
+            for i in 0..3 {
+                let out = report.outputs[i].as_deref();
+                assert_eq!(
+                    out,
+                    Some(blob.as_slice()),
+                    "avid party {i} failed at seed {seed} {delay:?}"
+                );
+                assert_ne!(out, Some(BOT), "honest dealer never yields BOT");
+            }
+        }
+    }
+}
+
 /// Solver determinism across platforms is seed-independent by design;
 /// stress it by solving the same instance interleaved with unrelated
 /// solves (shared state would show up here).
@@ -108,5 +235,52 @@ fn solver_state_isolation() {
         let _ = Swiper::new().solve_restriction(&b, &params).unwrap();
         let again = Swiper::new().solve_restriction(&a, &params).unwrap();
         assert_eq!(first.assignment, again.assignment);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(sweep_cases()))]
+
+    /// Warm-started re-solve equivalence: on a randomly perturbed weight
+    /// vector, `resolve_from` through a `CachingOracle` must agree with a
+    /// cold `FullOracle` solve — identical assignments and final totals —
+    /// whenever the epoch loop's verified mode would publish it, i.e. the
+    /// predicate flips once between the brackets. Mild perturbations (one
+    /// party ±10%) keep the flip unique on these vectors; the Tezos
+    /// replay test in `swiper-weights` covers the dip/fallback behavior.
+    #[test]
+    fn warm_resolve_with_caching_matches_cold_full_oracle(
+        mut ws in proptest::collection::vec(1u64..50_000, 4..20),
+        whale in 10_000u64..1_000_000,
+        churned_ix in 0usize..20,
+        factor in 90u64..111,
+        pw in 1u128..6, pn in 2u128..7,
+    ) {
+        let aw = Ratio::of(pw, 7);
+        let an = Ratio::of(pn, 7);
+        prop_assume!(aw < an && aw.is_proper() && an.is_proper());
+        ws.push(whale);
+        let old = Weights::new(ws.clone()).unwrap();
+        let p = WeightRestriction::new(aw, an).unwrap();
+        // Epoch delta: one party's stake moves by up to ±10%.
+        let ix = churned_ix % ws.len();
+        ws[ix] = (ws[ix].saturating_mul(factor) / 100).max(1);
+        let new = Weights::new(ws).unwrap();
+        let solver = Swiper::new();
+        let prev = solver.solve_restriction(&old, &p).unwrap();
+        let cold = solver.solve_restriction(&new, &p).unwrap();
+        let mut oracle = CachingOracle::new(FullOracle::new());
+        let inst = Instance::restriction(new.clone(), p);
+        let warm = solver.resolve_from_with(&mut oracle, &prev, &inst).unwrap();
+        prop_assume!(warm.total_tickets() == cold.total_tickets());
+        prop_assert_eq!(&warm.assignment, &cold.assignment,
+            "equal totals must mean the identical family member");
+        prop_assert_eq!(warm.ticket_bound, cold.ticket_bound);
+        // Verified-mode shape: a cold re-solve through the same cache is
+        // bit-identical to the fresh cold solve and reuses warm verdicts.
+        let verify = solver.solve_restriction_with(&mut oracle, &new, &p).unwrap();
+        prop_assert_eq!(&verify.assignment, &cold.assignment);
+        // Every probe of the verification pass went through the cache.
+        prop_assert_eq!(verify.stats.cache_lookups(), verify.stats.candidates_checked);
     }
 }
