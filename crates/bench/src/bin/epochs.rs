@@ -21,18 +21,29 @@
 //!
 //! ```text
 //! cargo run --release -p swiper-bench --bin epochs -- [--epochs N] \
-//!     [--churn 1,5,20] [--chains aptos,tezos] [--seed S] [--ci-smoke] [--quiet]
+//!     [--churn 1,5,20] [--chains aptos,tezos] [--seed S] [--smr] \
+//!     [--ci-smoke] [--quiet]
 //! ```
 //!
+//! `--smr` switches from solver-only replay to **live SMR replay**: each
+//! epoch's solutions are spliced into a running [`SmrInstance`] via
+//! [`Reconfigurator::drive_simulation`] while a teardown-rebuild twin
+//! replays the same epochs the hard way, and the driver reports
+//! rounds-survived-per-epoch-change plus any ledger divergence between
+//! the two.
+//!
 //! `--ci-smoke` additionally exits non-zero when the 1%-churn scenarios
-//! record a zero cache hit rate — the nightly guard that the verdict
-//! cache keeps earning its keep.
+//! record a zero cache hit rate (solver mode) or when the live ledger
+//! diverges from the teardown-rebuild baseline / stops beating it on
+//! restarted rounds at 1% churn (SMR mode) — the nightly guards that the
+//! incremental machinery keeps earning its keep.
 
 use std::process::ExitCode;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use swiper_core::{Ratio, Swiper, WeightRestriction};
+use swiper_core::{Ratio, Swiper, WeightQualification, WeightRestriction};
+use swiper_protocols::smr::{ReconfigureMode, SmrInstance};
 use swiper_weights::epoch::{churn, Reconfigurator, Setting};
 use swiper_weights::Chain;
 
@@ -41,6 +52,7 @@ struct Args {
     churn_pcts: Vec<u64>,
     chains: Vec<Chain>,
     seed: u64,
+    smr: bool,
     ci_smoke: bool,
     quiet: bool,
 }
@@ -51,6 +63,7 @@ fn parse_args() -> Result<Args, String> {
         churn_pcts: vec![1, 5, 20],
         chains: vec![Chain::Aptos, Chain::Tezos],
         seed: 1,
+        smr: false,
         ci_smoke: false,
         quiet: false,
     };
@@ -80,6 +93,7 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => {
                 args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
             }
+            "--smr" => args.smr = true,
             "--ci-smoke" => args.ci_smoke = true,
             "--quiet" => args.quiet = true,
             other => return Err(format!("unknown flag `{other}`")),
@@ -175,6 +189,152 @@ fn run_scenario(chain: Chain, churn_pct: u64, args: &Args) -> ScenarioReport {
     ScenarioReport { failed: false, hit_rate: rate }
 }
 
+/// Batches are a pure function of `(round, party)`, so the live instance
+/// and the teardown-rebuild twin disseminate identical payloads.
+fn batch_of(round: u64, party: usize) -> Vec<u8> {
+    format!("b{round}-{party}").into_bytes()
+}
+
+struct SmrReport {
+    failed: bool,
+    survived: u64,
+    restarted_live: u64,
+    restarted_base: u64,
+}
+
+/// One chain × churn **live SMR** replay: every epoch is re-solved for
+/// both tracks (WQ for dissemination, WR for the beacon), spliced into a
+/// live [`SmrInstance`] and torn down + rebuilt in a baseline twin. Per
+/// epoch the instance pipelines `ROUNDS_PER_EPOCH` rounds and leaves
+/// `PIPELINE_DEPTH` of them un-committed across the boundary — those are
+/// the rounds at stake.
+fn run_smr_scenario(chain: Chain, churn_pct: u64, args: &Args) -> SmrReport {
+    const ROUNDS_PER_EPOCH: u64 = 4;
+    const PIPELINE_DEPTH: usize = 2;
+    const PROPOSERS: usize = 8;
+
+    let solver = Swiper::new();
+    let wq = WeightQualification::new(Ratio::of(1, 3), Ratio::of(1, 4)).expect("valid params");
+    let wr = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2)).expect("valid params");
+    let mut reconf =
+        Reconfigurator::new(solver, vec![Setting::Qualification(wq), Setting::Restriction(wr)]);
+    let n = chain.n();
+    let alive: Vec<usize> = (0..n).collect();
+    let mut snapshot = chain.weights();
+    let churned = (n * usize::try_from(churn_pct).expect("small")).div_ceil(100);
+    let mut rng = StdRng::seed_from_u64(args.seed ^ (churn_pct << 32) ^ n as u64);
+    let snapshots: Vec<_> = (0..args.epochs)
+        .map(|_| {
+            let current = snapshot.clone();
+            snapshot = churn(&snapshot, churned, 5, &mut rng);
+            current
+        })
+        .collect();
+
+    let mut live: Option<SmrInstance> = None;
+    let mut base: Option<SmrInstance> = None;
+    let session_seed = args.seed;
+    let quiet = args.quiet;
+    let mut epoch = 0u64;
+    let result = reconf.drive_simulation(snapshots, |weights, outcome| {
+        let wq_t = outcome.solutions[0].assignment.clone();
+        let wr_t = outcome.solutions[1].assignment.clone();
+        match (&mut live, &mut base) {
+            (Some(l), Some(b)) => {
+                let crossing = l.reconfigure(
+                    weights.clone(),
+                    wq_t.clone(),
+                    wr_t.clone(),
+                    ReconfigureMode::Live,
+                );
+                let _ = b.reconfigure(weights.clone(), wq_t, wr_t, ReconfigureMode::Rebuild);
+                if !quiet {
+                    println!(
+                        "{:10} SMR churn={:2}% epoch={:3} survived={} restarted={} \
+                         rekeyed={} wq_delta={:3} wr_delta={:3}",
+                        chain.name(),
+                        churn_pct,
+                        epoch,
+                        crossing.survived,
+                        crossing.restarted,
+                        u8::from(crossing.rekeyed),
+                        outcome.deltas[0].as_ref().map_or(0, |d| d.changes().len()),
+                        outcome.deltas[1].as_ref().map_or(0, |d| d.changes().len()),
+                    );
+                }
+            }
+            _ => {
+                live = Some(SmrInstance::new(
+                    weights.clone(),
+                    wq_t.clone(),
+                    Ratio::of(1, 4),
+                    wr_t.clone(),
+                    session_seed,
+                ));
+                base = Some(SmrInstance::new(
+                    weights.clone(),
+                    wq_t,
+                    Ratio::of(1, 4),
+                    wr_t,
+                    session_seed,
+                ));
+            }
+        }
+        let (l, b) = (live.as_mut().expect("init"), base.as_mut().expect("init"));
+        // The heaviest parties propose (chain replicas list whales
+        // first); stake-weighted leaders usually land in that committee,
+        // so most rounds commit. The whole alive set backs the beacon.
+        // Committee size keeps the replay tractable on real chain sizes
+        // without changing the epoch semantics.
+        let proposers: Vec<usize> = (0..PROPOSERS.min(n)).collect();
+        for _ in 0..ROUNDS_PER_EPOCH {
+            for inst in [&mut *l, &mut *b] {
+                inst.prepare(&proposers, batch_of);
+                if inst.pipeline_len() > PIPELINE_DEPTH {
+                    inst.commit(&alive);
+                }
+            }
+        }
+        epoch += 1;
+    });
+    if let Err(e) = result {
+        eprintln!("{chain} SMR churn={churn_pct}%: solve failed: {e}");
+        return SmrReport { failed: true, survived: 0, restarted_live: 0, restarted_base: 0 };
+    }
+    let (mut l, mut b) = (live.expect("ran"), base.expect("ran"));
+    while l.commit(&alive).is_some() {}
+    while b.commit(&alive).is_some() {}
+    let diverged = l.ledger() != b.ledger();
+    if diverged {
+        eprintln!(
+            "{chain} SMR churn={churn_pct}%: live ledger diverged from the \
+             teardown-rebuild baseline — the live reconfiguration is broken"
+        );
+    }
+    println!(
+        "{:10} SMR churn={:2}% summary: epochs={} committed={} survived={} \
+         restarted_live={} restarted_base={} rekeys={}/{} coded_mb={:.2}/{:.2} ledger={}",
+        chain.name(),
+        churn_pct,
+        args.epochs,
+        l.ledger().len(),
+        l.survived_rounds(),
+        l.restarted_rounds(),
+        b.restarted_rounds(),
+        l.rekeys(),
+        b.rekeys(),
+        l.coded_bytes() as f64 / 1e6,
+        b.coded_bytes() as f64 / 1e6,
+        if diverged { "DIVERGED" } else { "match" },
+    );
+    SmrReport {
+        failed: diverged,
+        survived: l.survived_rounds(),
+        restarted_live: l.restarted_rounds(),
+        restarted_base: b.restarted_rounds(),
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -186,14 +346,36 @@ fn main() -> ExitCode {
     let mut ok = true;
     for &chain in &args.chains {
         for &churn_pct in &args.churn_pcts {
-            let report = run_scenario(chain, churn_pct, &args);
-            ok &= !report.failed;
-            if args.ci_smoke && churn_pct == 1 && report.hit_rate <= 0.0 {
-                eprintln!(
-                    "{chain} churn=1%: cache hit rate is zero — the verdict cache \
-                     stopped earning its keep"
-                );
-                ok = false;
+            if args.smr {
+                let report = run_smr_scenario(chain, churn_pct, &args);
+                ok &= !report.failed;
+                if args.ci_smoke && churn_pct == 1 {
+                    if report.restarted_live >= report.restarted_base {
+                        eprintln!(
+                            "{chain} SMR churn=1%: live reconfiguration no longer \
+                             reduces restarted rounds ({} vs {})",
+                            report.restarted_live, report.restarted_base
+                        );
+                        ok = false;
+                    }
+                    if report.survived == 0 {
+                        eprintln!(
+                            "{chain} SMR churn=1%: no round ever survived an epoch \
+                             change — the live pipeline stopped earning its keep"
+                        );
+                        ok = false;
+                    }
+                }
+            } else {
+                let report = run_scenario(chain, churn_pct, &args);
+                ok &= !report.failed;
+                if args.ci_smoke && churn_pct == 1 && report.hit_rate <= 0.0 {
+                    eprintln!(
+                        "{chain} churn=1%: cache hit rate is zero — the verdict cache \
+                         stopped earning its keep"
+                    );
+                    ok = false;
+                }
             }
         }
     }

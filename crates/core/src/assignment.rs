@@ -86,6 +86,31 @@ impl TicketAssignment {
     pub fn into_inner(self) -> Vec<u64> {
         self.tickets
     }
+
+    /// 128-bit FNV-1a fingerprint of the ticket vector. Deterministic
+    /// across processes and replicas, so epoch machinery can key derived
+    /// state (threshold-key seeds, verdict caches, delta bases) on the
+    /// assignment itself. Guards against *stale or misrouted* inputs, not
+    /// adversarial ones: assignments are consensus-agreed values every
+    /// honest replica derives identically.
+    pub fn fingerprint(&self) -> u128 {
+        tickets_fingerprint(&self.tickets)
+    }
+}
+
+/// 128-bit FNV-1a over a raw ticket vector (see
+/// [`TicketAssignment::fingerprint`]).
+pub(crate) fn tickets_fingerprint(tickets: &[u64]) -> u128 {
+    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+    let mut h = OFFSET;
+    for &t in tickets {
+        for byte in t.to_le_bytes() {
+            h ^= u128::from(byte);
+            h = h.wrapping_mul(PRIME);
+        }
+    }
+    h
 }
 
 impl AsRef<[u64]> for TicketAssignment {

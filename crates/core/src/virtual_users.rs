@@ -13,7 +13,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::assignment::TicketAssignment;
+use crate::assignment::{tickets_fingerprint, TicketAssignment};
 use crate::error::CoreError;
 
 /// One party's ticket-count change between two epochs.
@@ -62,24 +62,6 @@ pub struct TicketDelta {
     /// [`VirtualUsers::apply_delta`] can reject a base that matches the
     /// delta's changed parties but differs elsewhere.
     base_fingerprint: u128,
-}
-
-/// 128-bit FNV-1a over a ticket vector. Deterministic across processes —
-/// deltas travel between replicas, so a keyed hash is not an option here —
-/// and guarding against *stale or misrouted* bases, not adversarial ones:
-/// both assignments being fingerprinted are consensus-agreed values every
-/// honest replica derives identically.
-fn tickets_fingerprint(tickets: &[u64]) -> u128 {
-    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
-    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
-    let mut h = OFFSET;
-    for &t in tickets {
-        for byte in t.to_le_bytes() {
-            h ^= u128::from(byte);
-            h = h.wrapping_mul(PRIME);
-        }
-    }
-    h
 }
 
 impl TicketDelta {
@@ -237,6 +219,37 @@ impl VirtualUsers {
     /// Panics if `i >= self.parties()`.
     pub fn tickets_of(&self, i: usize) -> u64 {
         self.tickets[i]
+    }
+
+    /// Locates virtual user `v` as `(owner, offset)` — the controlling
+    /// party and `v`'s position within that party's range. The inverse of
+    /// [`VirtualUsers::at`]. Offsets are the epoch-stable coordinate of a
+    /// virtual user: after [`VirtualUsers::apply_delta`] renumbers the
+    /// dense ids, `(owner, offset)` still names the same surviving
+    /// sub-instance as long as `offset` is below the owner's new ticket
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= self.total()`.
+    pub fn locate(&self, v: usize) -> (usize, u64) {
+        let owner = self.owner[v];
+        (owner, v as u64 - self.first[owner])
+    }
+
+    /// The virtual id at `(party, offset)`, or `None` when the offset is
+    /// at or beyond the party's ticket count. The inverse of
+    /// [`VirtualUsers::locate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `party >= self.parties()`.
+    pub fn at(&self, party: usize, offset: u64) -> Option<usize> {
+        if offset < self.tickets[party] {
+            usize::try_from(self.first[party] + offset).ok()
+        } else {
+            None
+        }
     }
 
     /// Whether party `i` controls no virtual user — such parties must learn
@@ -466,6 +479,42 @@ mod tests {
             incremental.apply_delta(&delta).unwrap();
             let rebuilt = VirtualUsers::from_assignment(&new).unwrap();
             prop_assert_eq!(incremental, rebuilt);
+        }
+
+        /// Epoch chains compose: applying k consecutive deltas one by one
+        /// is the same mapping as a single rebuild from the final
+        /// snapshot — the invariant live-instance reconfiguration leans on
+        /// when it splices epoch after epoch into the same mapping.
+        #[test]
+        fn k_consecutive_deltas_compose_to_final_rebuild(
+            base in proptest::collection::vec(0u64..9, 1..16),
+            epochs in proptest::collection::vec(
+                proptest::collection::vec(0u64..9, 16), 1..6),
+        ) {
+            let n = base.len();
+            let mut current = TicketAssignment::new(base);
+            let mut incremental = VirtualUsers::from_assignment(&current).unwrap();
+            for epoch in &epochs {
+                let next = TicketAssignment::new(epoch[..n].to_vec());
+                let delta = TicketDelta::between(&current, &next).unwrap();
+                incremental.apply_delta(&delta).unwrap();
+                current = next;
+            }
+            let rebuilt = VirtualUsers::from_assignment(&current).unwrap();
+            prop_assert_eq!(incremental, rebuilt);
+        }
+
+        /// `locate` and `at` are inverse bijections over live ids.
+        #[test]
+        fn locate_at_round_trip(ts in proptest::collection::vec(0u64..9, 1..16)) {
+            let vu = VirtualUsers::from_assignment(&TicketAssignment::new(ts)).unwrap();
+            for v in 0..vu.total() {
+                let (owner, offset) = vu.locate(v);
+                prop_assert_eq!(vu.at(owner, offset), Some(v));
+            }
+            for party in 0..vu.parties() {
+                prop_assert_eq!(vu.at(party, vu.tickets_of(party)), None);
+            }
         }
 
         #[test]

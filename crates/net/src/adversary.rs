@@ -4,8 +4,23 @@
 //! wrap an honest implementation (or replace it outright) to inject
 //! silence, crashes or message corruption. Protocol crates add
 //! protocol-specific attackers (equivocators, bad dealers) on top.
+//!
+//! The *zoo* members below are the schedule-shaping attackers the nightly
+//! seed sweeps run against every protocol:
+//!
+//! * [`Silent`], [`CrashAfter`], [`Mangler`] — the classic trio;
+//! * [`EquivocatingDealer`] — runs two inner automata and shows each half
+//!   of the network a different one (conflicting AVID dispersals,
+//!   conflicting broadcasts);
+//! * [`SelectiveAck`] — runs the inner automaton honestly but lets its
+//!   traffic reach only a chosen quorum, stalling everyone else;
+//! * [`AdaptiveDelay`] — not a node but a *delay model keyed on message
+//!   type*, pinning chosen message classes to adversarial latencies.
 
-use crate::sim::{Context, NodeId, Protocol};
+use rand::rngs::StdRng;
+use swiper_core::TicketDelta;
+
+use crate::sim::{Context, DelayModel, NodeId, Protocol};
 use crate::MessageSize;
 
 /// A node that never sends anything — the simplest Byzantine behaviour
@@ -69,6 +84,10 @@ impl<P: Protocol> Protocol for CrashAfter<P> {
     fn on_timer(&mut self, id: u64, ctx: &mut Context<Self::Msg>) {
         self.inner.on_timer(id, ctx);
     }
+
+    fn on_reconfigure(&mut self, delta: &TicketDelta, ctx: &mut Context<Self::Msg>) {
+        self.inner.on_reconfigure(delta, ctx);
+    }
 }
 
 /// Runs the inner protocol but rewrites every outgoing message through a
@@ -107,6 +126,11 @@ where
         self.inner.on_timer(id, ctx);
         self.rewrite(ctx);
     }
+
+    fn on_reconfigure(&mut self, delta: &TicketDelta, ctx: &mut Context<Self::Msg>) {
+        self.inner.on_reconfigure(delta, ctx);
+        self.rewrite(ctx);
+    }
 }
 
 impl<P, F> Mangler<P, F>
@@ -121,6 +145,193 @@ where
                 ctx.outbox.push((to, m));
             }
         }
+    }
+}
+
+/// An equivocating dealer: runs **two** inner automata over the same
+/// protocol and partitions the network between them — recipients with
+/// id below `split` see only automaton `a`'s traffic, the rest see only
+/// `b`'s. Both inners receive every inbound message, so each keeps
+/// playing its half of the protocol plausibly.
+///
+/// This is the generic shape of the classic AVID attack (two internally
+/// consistent dispersals with different Merkle roots shown to different
+/// halves during retrieval) and of equivocating broadcast senders. The
+/// defense it probes: quorum intersection must be keyed on the *claim*
+/// (root, digest), never on bare sender identity.
+pub struct EquivocatingDealer<P: Protocol> {
+    a: P,
+    b: P,
+    split: NodeId,
+}
+
+impl<P: Protocol> EquivocatingDealer<P> {
+    /// Creates the attacker; recipients `< split` see `a`, the rest `b`.
+    pub fn new(a: P, b: P, split: NodeId) -> Self {
+        EquivocatingDealer { a, b, split }
+    }
+
+    /// Runs one inner phase: keeps only the sends its partition is
+    /// allowed to see, tags freshly set timers with the inner's bit, and
+    /// suppresses inner outputs and halts (the dealer never terminates
+    /// its own mischief early).
+    fn phase(
+        ctx: &mut Context<P::Msg>,
+        keep: impl Fn(NodeId) -> bool,
+        tag: u64,
+        run: impl FnOnce(&mut Context<P::Msg>),
+    ) {
+        let before_out = ctx.outbox.len();
+        let before_timers = ctx.timers.len();
+        run(ctx);
+        let staged: Vec<_> = ctx.outbox.drain(before_out..).collect();
+        ctx.outbox.extend(staged.into_iter().filter(|(to, _)| keep(*to)));
+        for (_, id) in &mut ctx.timers[before_timers..] {
+            *id = (*id << 1) | tag;
+        }
+        ctx.output = None;
+        ctx.halted = false;
+    }
+}
+
+impl<P: Protocol> Protocol for EquivocatingDealer<P> {
+    type Msg = P::Msg;
+
+    fn on_start(&mut self, ctx: &mut Context<Self::Msg>) {
+        let split = self.split;
+        let a = &mut self.a;
+        Self::phase(ctx, |to| to < split, 0, |c| a.on_start(c));
+        let b = &mut self.b;
+        Self::phase(ctx, |to| to >= split, 1, |c| b.on_start(c));
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: Self::Msg, ctx: &mut Context<Self::Msg>) {
+        let split = self.split;
+        let a = &mut self.a;
+        Self::phase(ctx, |to| to < split, 0, |c| a.on_message(from, msg.clone(), c));
+        let b = &mut self.b;
+        Self::phase(ctx, |to| to >= split, 1, |c| b.on_message(from, msg, c));
+    }
+
+    fn on_timer(&mut self, id: u64, ctx: &mut Context<Self::Msg>) {
+        // Timers carry the inner that set them in the low bit.
+        let split = self.split;
+        if id & 1 == 0 {
+            let a = &mut self.a;
+            Self::phase(ctx, |to| to < split, 0, |c| a.on_timer(id >> 1, c));
+        } else {
+            let b = &mut self.b;
+            Self::phase(ctx, |to| to >= split, 1, |c| b.on_timer(id >> 1, c));
+        }
+    }
+}
+
+/// A quorum-splitter: runs the inner protocol honestly but lets its
+/// outgoing traffic reach only the `allow`ed recipients — it acks (votes,
+/// echoes, stores) toward a chosen quorum and starves everyone else.
+///
+/// The chosen quorum races ahead (completes, possibly halts) while the
+/// stalled rest depend on the finishers' relay/late-duty paths — exactly
+/// the schedules that expose halt-before-duty and missing-late-relay
+/// bugs. Honest-majority protocols must stay live: the adversary only
+/// *withholds* its own traffic, which the resilience budget already
+/// tolerates.
+pub struct SelectiveAck<P> {
+    inner: P,
+    allow: Vec<NodeId>,
+}
+
+impl<P> SelectiveAck<P> {
+    /// Wraps `inner`; only recipients in `allow` ever hear from it.
+    pub fn new(inner: P, allow: Vec<NodeId>) -> Self {
+        SelectiveAck { inner, allow }
+    }
+}
+
+impl<P: Protocol> SelectiveAck<P> {
+    fn filter(&self, ctx: &mut Context<P::Msg>) {
+        let staged = std::mem::take(&mut ctx.outbox);
+        ctx.outbox.extend(staged.into_iter().filter(|(to, _)| self.allow.contains(to)));
+    }
+}
+
+impl<P: Protocol> Protocol for SelectiveAck<P> {
+    type Msg = P::Msg;
+
+    fn on_start(&mut self, ctx: &mut Context<Self::Msg>) {
+        self.inner.on_start(ctx);
+        self.filter(ctx);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: Self::Msg, ctx: &mut Context<Self::Msg>) {
+        self.inner.on_message(from, msg, ctx);
+        self.filter(ctx);
+    }
+
+    fn on_timer(&mut self, id: u64, ctx: &mut Context<Self::Msg>) {
+        self.inner.on_timer(id, ctx);
+        self.filter(ctx);
+    }
+
+    fn on_reconfigure(&mut self, delta: &TicketDelta, ctx: &mut Context<Self::Msg>) {
+        self.inner.on_reconfigure(delta, ctx);
+        self.filter(ctx);
+    }
+}
+
+/// An adversarial delay model **keyed on message type**: the first rule
+/// whose predicate matches an outgoing message pins its delay; everything
+/// else falls back to the base [`DelayModel`].
+///
+/// This models a network-level adversary that recognizes protocol phases
+/// on the wire (dispersals vs acks, votes vs shares) and reorders them —
+/// e.g. rushing share releases ahead of the votes that justify them. The
+/// rules use plain function pointers so the model stays `Clone` and the
+/// schedule stays fully deterministic for a given seed.
+pub struct AdaptiveDelay<M> {
+    base: DelayModel,
+    rules: Vec<DelayRule<M>>,
+}
+
+/// One [`AdaptiveDelay`] rule: messages matching the predicate take
+/// exactly the given number of ticks.
+pub type DelayRule<M> = (fn(&M) -> bool, u64);
+
+impl<M> AdaptiveDelay<M> {
+    /// A model that behaves like `base` until rules are added.
+    pub fn new(base: DelayModel) -> Self {
+        AdaptiveDelay { base, rules: Vec::new() }
+    }
+
+    /// Adds a rule (builder style): messages matching `matches` take
+    /// exactly `delay` ticks. Earlier rules win.
+    pub fn rule(mut self, matches: fn(&M) -> bool, delay: u64) -> Self {
+        self.rules.push((matches, delay));
+        self
+    }
+
+    pub(crate) fn sample(&self, rng: &mut StdRng, from: NodeId, n: usize, msg: &M) -> u64 {
+        for (matches, delay) in &self.rules {
+            if matches(msg) {
+                return *delay;
+            }
+        }
+        self.base.sample(rng, from, n)
+    }
+}
+
+impl<M> Clone for AdaptiveDelay<M> {
+    fn clone(&self) -> Self {
+        AdaptiveDelay { base: self.base, rules: self.rules.clone() }
+    }
+}
+
+impl<M> std::fmt::Debug for AdaptiveDelay<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdaptiveDelay")
+            .field("base", &self.base)
+            .field("rules", &self.rules.len())
+            .finish()
     }
 }
 

@@ -26,8 +26,11 @@ pub mod adversary;
 mod metrics;
 mod sim;
 
+pub use adversary::AdaptiveDelay;
 pub use metrics::Metrics;
-pub use sim::{Context, DelayModel, Effects, NodeId, Protocol, RunReport, Simulation};
+pub use sim::{
+    Context, DelayModel, Effects, EpochedSimulation, NodeId, Protocol, RunReport, Simulation,
+};
 
 /// Byte-size accounting for protocol messages (the communication metric).
 pub trait MessageSize {

@@ -1,11 +1,13 @@
 //! The event-driven simulation core.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use swiper_core::TicketDelta;
 
+use crate::adversary::AdaptiveDelay;
 use crate::metrics::Metrics;
 use crate::MessageSize;
 
@@ -132,6 +134,28 @@ pub trait Protocol {
 
     /// Invoked when a timer set via [`Context::set_timer`] fires.
     fn on_timer(&mut self, _id: u64, _ctx: &mut Context<Self::Msg>) {}
+
+    /// Invoked when an epoch reconfiguration reaches this node (see
+    /// [`EpochedSimulation`]): the common-knowledge ticket assignment
+    /// changed by `delta`, and the node should splice the change into its
+    /// live state instead of tearing the instance down.
+    ///
+    /// The contract for implementors:
+    ///
+    /// * **May keep** all state attached to *surviving* identities —
+    ///   per-virtual-user sub-instances whose `(owner, offset)` coordinate
+    ///   is still live under the new assignment, committed outputs, and
+    ///   collected quorum progress among unchanged parties.
+    /// * **Must drop** state attached to *retired* identities (a party's
+    ///   virtual users at offsets at or beyond its new ticket count) and
+    ///   must re-derive anything computed from the old ticket *totals*
+    ///   (coding parameters, thresholds) when the delta changes them.
+    /// * **Must spawn** newly added identities mid-flight; they start from
+    ///   `on_start` and may rely on vouching/relay paths to catch up.
+    ///
+    /// The default implementation ignores the event, which is correct for
+    /// protocols whose configuration does not embed the assignment.
+    fn on_reconfigure(&mut self, _delta: &TicketDelta, _ctx: &mut Context<Self::Msg>) {}
 }
 
 /// Message delay distribution (the asynchronous adversary's schedule).
@@ -147,7 +171,7 @@ pub enum DelayModel {
 }
 
 impl DelayModel {
-    fn sample(&self, rng: &mut StdRng, from: NodeId, n: usize) -> u64 {
+    pub(crate) fn sample(&self, rng: &mut StdRng, from: NodeId, n: usize) -> u64 {
         match *self {
             DelayModel::Fixed(d) => d,
             DelayModel::Uniform(lo, hi) => rng.random_range(lo..=hi),
@@ -202,6 +226,8 @@ pub struct RunReport {
     pub elapsed: u64,
     /// Events processed.
     pub events: u64,
+    /// Reconfigurations injected (see [`EpochedSimulation`]).
+    pub reconfigurations: u64,
     /// Communication counters.
     pub metrics: Metrics,
 }
@@ -212,13 +238,26 @@ impl RunReport {
         nodes.iter().map(|&i| self.outputs[i].as_deref()).collect()
     }
 
-    /// Whether every node in `nodes` produced the same output.
+    /// Whether no two nodes in `nodes` produced *different* outputs — the
+    /// safety half of agreement. Nodes that never output are **ignored**,
+    /// not treated as disagreeing: a halted-without-output node has made
+    /// no claim to disagree with, and epoch-crossing runs legitimately end
+    /// with some nodes (spawned mid-flight, or retired by a delta) never
+    /// producing one. Vacuously `true` when nothing was output. Liveness
+    /// is a separate assertion — use [`RunReport::unanimity_among`] when
+    /// every listed node must both produce and agree.
     pub fn agreement_among(&self, nodes: &[NodeId]) -> bool {
         let mut it = nodes.iter().filter_map(|&i| self.outputs[i].as_ref());
         match it.next() {
             None => true,
             Some(first) => it.all(|o| o == first),
         }
+    }
+
+    /// Whether every node in `nodes` produced an output *and* all outputs
+    /// are identical — agreement plus liveness in one check.
+    pub fn unanimity_among(&self, nodes: &[NodeId]) -> bool {
+        nodes.iter().all(|&i| self.outputs[i].is_some()) && self.agreement_among(nodes)
     }
 }
 
@@ -255,6 +294,10 @@ pub struct Simulation<M> {
     queue: BinaryHeap<Reverse<Event<M>>>,
     rng: StdRng,
     delay: DelayModel,
+    adaptive: Option<AdaptiveDelay<M>>,
+    /// Epoch reconfigurations, ascending by event count.
+    reconfigs: VecDeque<(u64, TicketDelta)>,
+    reconfigs_applied: u64,
     seq: u64,
     time: u64,
     max_events: u64,
@@ -273,6 +316,9 @@ impl<M: Clone + MessageSize> Simulation<M> {
             queue: BinaryHeap::new(),
             rng: StdRng::seed_from_u64(seed),
             delay: DelayModel::Uniform(1, 16),
+            adaptive: None,
+            reconfigs: VecDeque::new(),
+            reconfigs_applied: 0,
             seq: 0,
             time: 0,
             max_events: 2_000_000,
@@ -290,6 +336,25 @@ impl<M: Clone + MessageSize> Simulation<M> {
     /// Caps the number of processed events (runaway guard).
     pub fn with_max_events(mut self, max: u64) -> Self {
         self.max_events = max;
+        self
+    }
+
+    /// Installs an adversarial per-message-type delay model
+    /// ([`AdaptiveDelay`]); it overrides the plain [`DelayModel`] for
+    /// every non-self message.
+    pub fn with_adaptive_delay(mut self, adaptive: AdaptiveDelay<M>) -> Self {
+        self.adaptive = Some(adaptive);
+        self
+    }
+
+    /// Schedules an epoch reconfiguration: once `at_event` events have
+    /// been processed, every non-halted node receives
+    /// [`Protocol::on_reconfigure`] with `delta` before the next delivery.
+    /// Multiple reconfigurations compose in event order;
+    /// [`EpochedSimulation`] is the builder for whole epoch schedules.
+    pub fn with_reconfiguration(mut self, at_event: u64, delta: TicketDelta) -> Self {
+        let pos = self.reconfigs.partition_point(|(at, _)| *at <= at_event);
+        self.reconfigs.insert(pos, (at_event, delta));
         self
     }
 
@@ -311,7 +376,13 @@ impl<M: Clone + MessageSize> Simulation<M> {
         let n = self.n();
         for (to, msg) in outbox {
             self.metrics.record_send(node, msg.size_bytes());
-            let delay = if to == node { 0 } else { self.delay.sample(&mut self.rng, node, n) };
+            let delay = if to == node {
+                0
+            } else if let Some(adaptive) = &self.adaptive {
+                adaptive.sample(&mut self.rng, node, n, &msg)
+            } else {
+                self.delay.sample(&mut self.rng, node, n)
+            };
             self.seq += 1;
             self.queue.push(Reverse(Event {
                 time: self.time + delay,
@@ -344,8 +415,31 @@ impl<M: Clone + MessageSize> Simulation<M> {
             if events >= self.max_events {
                 break;
             }
-            events += 1;
+            // The boundary shares the upcoming delivery's timestamp:
+            // advancing the clock *before* applying reconfigurations
+            // keeps simulated time monotone — effects emitted from
+            // `on_reconfigure` are stamped at `ev.time + delay`, never
+            // before an event that already popped.
             self.time = ev.time;
+            // Epoch boundaries: apply every reconfiguration scheduled at
+            // or before the current event count, in order, before the
+            // next delivery. In-flight messages sent under the old
+            // assignment stay queued and are delivered afterwards —
+            // surviving protocol state must cope (the `on_reconfigure`
+            // contract).
+            while self.reconfigs.front().is_some_and(|(at, _)| *at <= events) {
+                let (_, delta) = self.reconfigs.pop_front().expect("front checked");
+                self.reconfigs_applied += 1;
+                for node in 0..n {
+                    if self.halted[node] {
+                        continue;
+                    }
+                    let mut ctx = Context::new(node, n, self.time);
+                    self.nodes[node].on_reconfigure(&delta, &mut ctx);
+                    self.flush(node, ctx);
+                }
+            }
+            events += 1;
             let node = ev.to;
             if self.halted[node] {
                 continue;
@@ -360,7 +454,101 @@ impl<M: Clone + MessageSize> Simulation<M> {
             }
             self.flush(node, ctx);
         }
-        RunReport { outputs: self.outputs, elapsed: self.time, events, metrics: self.metrics }
+        RunReport {
+            outputs: self.outputs,
+            elapsed: self.time,
+            events,
+            reconfigurations: self.reconfigs_applied,
+            metrics: self.metrics,
+        }
+    }
+}
+
+/// Driver for live-instance epoch reconfiguration: a [`Simulation`] plus a
+/// schedule of [`TicketDelta`]s injected at configured event counts.
+///
+/// Each injection delivers [`Protocol::on_reconfigure`] to every
+/// non-halted node *between* two event deliveries, modelling the
+/// common-knowledge moment at which all replicas learn the new epoch's
+/// ticket assignment. Messages already in flight were sent under the old
+/// assignment and are still delivered afterwards — protocols that embed
+/// virtual-user ids in their messages must translate across the boundary
+/// (see `swiper-protocols`' black-box wrapper for the reference
+/// implementation).
+///
+/// # Examples
+///
+/// ```
+/// use swiper_core::{TicketAssignment, TicketDelta};
+/// use swiper_net::{Context, EpochedSimulation, NodeId, Protocol};
+///
+/// /// Counts reconfigurations; outputs the count at quiescence.
+/// struct EpochCounter { seen: u8 }
+/// impl Protocol for EpochCounter {
+///     type Msg = u64;
+///     fn on_start(&mut self, ctx: &mut Context<u64>) {
+///         ctx.broadcast(1);
+///     }
+///     fn on_message(&mut self, _f: NodeId, _m: u64, ctx: &mut Context<u64>) {
+///         ctx.output(vec![self.seen]);
+///     }
+///     fn on_reconfigure(&mut self, _d: &TicketDelta, _ctx: &mut Context<u64>) {
+///         self.seen += 1;
+///     }
+/// }
+///
+/// let old = TicketAssignment::new(vec![1, 1]);
+/// let new = TicketAssignment::new(vec![2, 1]);
+/// let delta = TicketDelta::between(&old, &new).unwrap();
+/// let nodes: Vec<Box<dyn Protocol<Msg = u64>>> =
+///     (0..2).map(|_| Box::new(EpochCounter { seen: 0 }) as _).collect();
+/// let report = EpochedSimulation::new(nodes, 7).inject_at(1, delta).run();
+/// assert_eq!(report.reconfigurations, 1);
+/// ```
+pub struct EpochedSimulation<M> {
+    sim: Simulation<M>,
+}
+
+impl<M: Clone + MessageSize> EpochedSimulation<M> {
+    /// Creates the driver over the given node automata and seed.
+    pub fn new(nodes: Vec<Box<dyn Protocol<Msg = M>>>, seed: u64) -> Self {
+        EpochedSimulation { sim: Simulation::new(nodes, seed) }
+    }
+
+    /// Wraps an already-configured simulation.
+    pub fn from_simulation(sim: Simulation<M>) -> Self {
+        EpochedSimulation { sim }
+    }
+
+    /// Sets the delay model (builder style).
+    pub fn with_delay(mut self, delay: DelayModel) -> Self {
+        self.sim = self.sim.with_delay(delay);
+        self
+    }
+
+    /// Installs an adversarial per-message-type delay model.
+    pub fn with_adaptive_delay(mut self, adaptive: AdaptiveDelay<M>) -> Self {
+        self.sim = self.sim.with_adaptive_delay(adaptive);
+        self
+    }
+
+    /// Caps the number of processed events.
+    pub fn with_max_events(mut self, max: u64) -> Self {
+        self.sim = self.sim.with_max_events(max);
+        self
+    }
+
+    /// Schedules `delta` for injection once `at_event` events have been
+    /// processed. Deltas compose in event order; each must be diffed
+    /// against the assignment the previous one produced.
+    pub fn inject_at(mut self, at_event: u64, delta: TicketDelta) -> Self {
+        self.sim = self.sim.with_reconfiguration(at_event, delta);
+        self
+    }
+
+    /// Runs to quiescence (or the event cap) and reports.
+    pub fn run(self) -> RunReport {
+        self.sim.run()
     }
 }
 
@@ -515,6 +703,129 @@ mod tests {
     fn agreement_helper() {
         let report = Simulation::new(summers(4), 2).run();
         assert!(report.agreement_among(&[0, 1, 2, 3]));
+        assert!(report.unanimity_among(&[0, 1, 2, 3]));
         assert!(report.outputs_of(&[0, 1]).is_some());
+    }
+
+    /// Pins `agreement_among`'s intended semantics: silent (halted- or
+    /// crashed-without-output) nodes are *ignored*, never counted as
+    /// disagreeing — epoch-crossing runs legitimately produce late or
+    /// absent outputs. `unanimity_among` is the strict form that also
+    /// demands liveness.
+    #[test]
+    fn agreement_ignores_silent_nodes_unanimity_does_not() {
+        let base = RunReport {
+            outputs: vec![Some(vec![7]), None, Some(vec![7]), None],
+            elapsed: 0,
+            events: 0,
+            reconfigurations: 0,
+            metrics: Metrics::new(4),
+        };
+        // Two agreeing outputs + two silent nodes: agreement holds.
+        assert!(base.agreement_among(&[0, 1, 2, 3]));
+        // ...but unanimity (agreement + liveness) does not.
+        assert!(!base.unanimity_among(&[0, 1, 2, 3]));
+        // All-silent subsets agree vacuously.
+        assert!(base.agreement_among(&[1, 3]));
+        assert!(!base.unanimity_among(&[1, 3]));
+        assert!(base.unanimity_among(&[0, 2]));
+        // An actual conflict is disagreement in both forms.
+        let mut split = base.clone();
+        split.outputs[1] = Some(vec![9]);
+        assert!(!split.agreement_among(&[0, 1, 2, 3]));
+        assert!(!split.unanimity_among(&[0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn reconfigurations_fire_between_deliveries() {
+        use swiper_core::{TicketAssignment, TicketDelta};
+
+        /// Outputs how many reconfigurations it saw, once a message
+        /// arrives after the epoch boundary.
+        struct EpochAware {
+            seen: u8,
+        }
+        impl Protocol for EpochAware {
+            type Msg = u64;
+            fn on_start(&mut self, ctx: &mut Context<u64>) {
+                ctx.broadcast(0);
+            }
+            fn on_message(&mut self, _f: NodeId, _m: u64, ctx: &mut Context<u64>) {
+                if self.seen > 0 {
+                    ctx.output(vec![self.seen]);
+                }
+            }
+            fn on_reconfigure(&mut self, _d: &TicketDelta, ctx: &mut Context<u64>) {
+                self.seen += 1;
+                ctx.broadcast(1);
+            }
+        }
+
+        let old = TicketAssignment::new(vec![1, 1, 1]);
+        let new = TicketAssignment::new(vec![2, 1, 1]);
+        let delta = TicketDelta::between(&old, &new).unwrap();
+        let nodes: Vec<Box<dyn Protocol<Msg = u64>>> =
+            (0..3).map(|_| Box::new(EpochAware { seen: 0 }) as _).collect();
+        let report = Simulation::new(nodes, 5).with_reconfiguration(2, delta).run();
+        assert_eq!(report.reconfigurations, 1);
+        for out in &report.outputs {
+            assert_eq!(out.as_deref(), Some(&[1u8][..]));
+        }
+    }
+
+    #[test]
+    fn time_is_monotone_across_reconfiguration() {
+        use swiper_core::{TicketAssignment, TicketDelta};
+
+        /// Arms a far-future timer, then records `now()` at every
+        /// callback; the reconfiguration fires while that gap is open.
+        struct Clock {
+            stamps: std::rc::Rc<std::cell::RefCell<Vec<u64>>>,
+        }
+        impl Protocol for Clock {
+            type Msg = u64;
+            fn on_start(&mut self, ctx: &mut Context<u64>) {
+                ctx.set_timer(50, 1);
+            }
+            fn on_message(&mut self, _f: NodeId, _m: u64, ctx: &mut Context<u64>) {
+                self.stamps.borrow_mut().push(ctx.now());
+            }
+            fn on_timer(&mut self, _id: u64, ctx: &mut Context<u64>) {
+                self.stamps.borrow_mut().push(ctx.now());
+            }
+            fn on_reconfigure(&mut self, _d: &TicketDelta, ctx: &mut Context<u64>) {
+                self.stamps.borrow_mut().push(ctx.now());
+                let me = ctx.me();
+                ctx.send(me, 7);
+            }
+        }
+
+        let old = TicketAssignment::new(vec![1]);
+        let delta = TicketDelta::between(&old, &old).unwrap();
+        let stamps = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let nodes: Vec<Box<dyn Protocol<Msg = u64>>> =
+            vec![Box::new(Clock { stamps: stamps.clone() })];
+        // The boundary lands in the 0..50 gap before the timer delivery;
+        // it must share the upcoming event's timestamp, not the previous
+        // one's, or effects it emits travel back in time.
+        let report = Simulation::new(nodes, 2).with_reconfiguration(0, delta).run();
+        assert_eq!(report.reconfigurations, 1);
+        let stamps = stamps.borrow();
+        assert!(
+            stamps.windows(2).all(|w| w[0] <= w[1]),
+            "simulated time regressed across the epoch boundary: {stamps:?}"
+        );
+        assert_eq!(stamps.len(), 3, "reconfigure + timer + self-message all observed");
+    }
+
+    #[test]
+    fn reconfiguration_past_quiescence_never_fires() {
+        use swiper_core::{TicketAssignment, TicketDelta};
+        let old = TicketAssignment::new(vec![1, 1]);
+        let delta = TicketDelta::between(&old, &old).unwrap();
+        let report =
+            Simulation::new(summers(2), 1).with_reconfiguration(1_000_000, delta).run();
+        assert_eq!(report.reconfigurations, 0);
+        assert!(report.outputs.iter().all(|o| o.is_some()));
     }
 }

@@ -21,7 +21,7 @@
 //! `x1.33` communication and `x3.56` computation worst case for
 //! `(beta_w, beta_n) = (1/3, 1/4)`.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use swiper_core::{Ratio, TicketAssignment, VirtualUsers, Weights};
 use swiper_crypto::hash::Digest;
@@ -155,8 +155,18 @@ pub struct AvidNode {
     my_shards: Vec<ProvenShard>,
     my_root: Option<Digest>,
     acked: bool,
-    ack_quorum: Quorum,
-    complete: bool,
+    /// Ack quorums **keyed by root**: `Stored` votes for different
+    /// dispersals must never pool. An equivocating dealer shows each half
+    /// of the network an internally consistent dispersal under a
+    /// different root; with a single unkeyed quorum the mixed acks would
+    /// complete *both* halves and honest parties could retrieve
+    /// different blobs. Per-root counting restores the quorum
+    /// intersection argument: only a root acked by weight `> 2 f_w` —
+    /// which contains honest weight `> f_w`, enough fragments to decode
+    /// exactly one blob — ever enters retrieval.
+    ack_quorums: HashMap<Digest, Quorum>,
+    /// Roots whose ack quorum has completed (retrieval started).
+    completed: HashSet<Digest>,
     collected: HashMap<Digest, HashMap<u32, Shard>>,
     delivered: bool,
 }
@@ -164,7 +174,6 @@ pub struct AvidNode {
 impl AvidNode {
     /// A non-dealer party.
     pub fn new(config: AvidConfig, dealer: NodeId) -> Self {
-        let ack_quorum = config.ack_quorum();
         AvidNode {
             config,
             dealer,
@@ -172,8 +181,8 @@ impl AvidNode {
             my_shards: Vec::new(),
             my_root: None,
             acked: false,
-            ack_quorum,
-            complete: false,
+            ack_quorums: HashMap::new(),
+            completed: HashSet::new(),
             collected: HashMap::new(),
             delivered: false,
         }
@@ -227,9 +236,10 @@ impl AvidNode {
     /// acknowledgement never counts toward anyone's quorum and its
     /// fragments are never relayed — starving slower parties below the
     /// reconstruction threshold `k`. Exit only once both dispersal-echo
-    /// duties (ack, fragment relay) are done.
+    /// duties (ack, fragment relay for the acked root) are done.
     fn maybe_halt(&mut self, ctx: &mut Context<AvidMsg>) {
-        if self.delivered && self.acked && self.complete {
+        let relayed = self.my_root.as_ref().is_some_and(|r| self.completed.contains(r));
+        if self.delivered && self.acked && relayed {
             ctx.halt();
         }
     }
@@ -268,19 +278,32 @@ impl Protocol for AvidNode {
                 self.my_root = Some(root);
                 self.acked = true;
                 ctx.broadcast(AvidMsg::Stored { root });
-                if self.complete {
-                    // The ack quorum passed while our bundle was still in
-                    // flight, so the retrieval broadcast went out without
-                    // our fragments — relay them now.
+                if self.completed.contains(&root) {
+                    // This root's ack quorum passed while our bundle was
+                    // still in flight, so the retrieval broadcast went out
+                    // without our fragments — relay them now.
                     ctx.broadcast(AvidMsg::Fragments { root, shards: self.my_shards.clone() });
                 }
                 self.maybe_halt(ctx);
             }
             AvidMsg::Stored { root } => {
-                if self.ack_quorum.vote(from) && !self.complete {
-                    self.complete = true;
-                    // Retrieval phase: share stored fragments (if any).
-                    ctx.broadcast(AvidMsg::Fragments { root, shards: self.my_shards.clone() });
+                // Per-root vote: acks for different dispersals never pool
+                // (see `ack_quorums`).
+                if !self.ack_quorums.contains_key(&root) {
+                    let fresh = self.config.ack_quorum();
+                    self.ack_quorums.insert(root, fresh);
+                }
+                let quorum = self.ack_quorums.get_mut(&root).expect("just inserted");
+                if quorum.vote(from) && !self.completed.contains(&root) {
+                    self.completed.insert(root);
+                    // Retrieval phase: share the fragments we stored for
+                    // *this* root (none when we acked a different one).
+                    let shards = if self.my_root == Some(root) {
+                        self.my_shards.clone()
+                    } else {
+                        Vec::new()
+                    };
+                    ctx.broadcast(AvidMsg::Fragments { root, shards });
                     self.maybe_halt(ctx);
                 }
             }
@@ -461,6 +484,87 @@ mod tests {
                         "party {i} starved at seed {seed} {delay:?}"
                     );
                 }
+            }
+        }
+    }
+
+    /// Zoo regression (`EquivocatingDealer`): the dealer builds two
+    /// internally consistent dispersals — different blobs, different
+    /// Merkle roots — and shows each to half the network. The defense
+    /// under test is the **per-root ack quorum**: `Stored` votes for
+    /// different roots must never pool. Reverted to a single unkeyed
+    /// quorum, the mixed acks complete *both* halves, each half's
+    /// fragments enter retrieval, and on many schedules the lone A-half
+    /// party decodes blob A while the B-half decodes blob B — a safety
+    /// violation. With the defense, at most one root ever clears its
+    /// quorum and every honest party that outputs agrees.
+    #[test]
+    fn equivocating_dealer_cannot_split_honest_outputs() {
+        use swiper_net::adversary::EquivocatingDealer;
+        // n = 7, t = 2, k = 3, ack quorum 5: each half of the split holds
+        // k fragments of its own root, so if both halves' retrievals ever
+        // start, the halves decode different blobs. Only the per-root
+        // quorum prevents that: neither root can collect 5 same-root acks
+        // (the A-half has at most 4 voters, the B-half at most 4 counting
+        // the dealer), so with the defense no retrieval begins at all.
+        for seed in 0..50u64 {
+            for delay in [DelayModel::Uniform(1, 24), DelayModel::BiasAgainstLowIds(1, 40)] {
+                let config = AvidConfig::nominal(7);
+                assert_eq!(config.k(), 3);
+                let a = AvidNode::dealer(config.clone(), 0, b"blob-A".to_vec());
+                let b = AvidNode::dealer(config.clone(), 0, b"blob-B".to_vec());
+                let mut nodes: Vec<Box<dyn Protocol<Msg = AvidMsg>>> =
+                    vec![Box::new(EquivocatingDealer::new(a, b, 4))];
+                for _ in 1..7 {
+                    nodes.push(Box::new(AvidNode::new(config.clone(), 0)));
+                }
+                let report = Simulation::new(nodes, seed).with_delay(delay).run();
+                assert!(
+                    report.agreement_among(&[1, 2, 3, 4, 5, 6]),
+                    "equivocating dealer split honest outputs at seed {seed} {delay:?}: {:?}",
+                    report.outputs
+                );
+            }
+        }
+    }
+
+    /// Zoo regression (`AdaptiveDelay`): a network adversary that
+    /// recognizes the victim's dispersal bundle on the wire (by its
+    /// leading fragment index) and delays it until long after the ack
+    /// quorum completed. The victim's 4 fragments are load-bearing
+    /// (`k = 4`, everyone else holds 3 combined), so the defense under
+    /// test is the **late-relay branch** of the `Disperse` handler: a
+    /// party whose bundle arrives after retrieval began must still relay
+    /// its fragments. Revert that branch and every party — the victim
+    /// included — starves below `k` forever, on every seed.
+    #[test]
+    fn delayed_dispersal_still_relays_fragments_late() {
+        use swiper_net::AdaptiveDelay;
+        fn is_victim_bundle(m: &AvidMsg) -> bool {
+            matches!(m, AvidMsg::Disperse { shards, .. }
+                if shards.first().is_some_and(|ps| ps.shard.index == 1))
+        }
+        let weights = Weights::new(vec![30, 4, 33, 33]).unwrap();
+        let tickets = TicketAssignment::new(vec![1, 4, 1, 1]);
+        let config = AvidConfig::weighted(weights, &tickets, Ratio::of(1, 2));
+        assert_eq!(config.k(), 4, "victim fragments must be load-bearing");
+        let blob = b"the victim's fragments are load-bearing".to_vec();
+        for seed in 0..25u64 {
+            let adaptive =
+                AdaptiveDelay::new(DelayModel::Uniform(1, 16)).rule(is_victim_bundle, 400);
+            let nodes: Vec<Box<dyn Protocol<Msg = AvidMsg>>> = vec![
+                Box::new(AvidNode::dealer(config.clone(), 0, blob.clone())),
+                Box::new(AvidNode::new(config.clone(), 0)),
+                Box::new(AvidNode::new(config.clone(), 0)),
+                Box::new(AvidNode::new(config.clone(), 0)),
+            ];
+            let report = Simulation::new(nodes, seed).with_adaptive_delay(adaptive).run();
+            for (i, out) in report.outputs.iter().enumerate() {
+                assert_eq!(
+                    out.as_deref(),
+                    Some(blob.as_slice()),
+                    "party {i} starved at seed {seed} despite the late relay"
+                );
             }
         }
     }

@@ -17,10 +17,51 @@
 //! `P`'s guarantees carry over verbatim. The transformation needs no
 //! knowledge of `P`'s internals — the wrapper below is generic over any
 //! [`swiper_net::Protocol`] implementation.
+//!
+//! # Live-instance epoch reconfiguration
+//!
+//! A deployment re-solves weight reduction every epoch and publishes a
+//! [`TicketDelta`]. The wrapper's [`Protocol::on_reconfigure`] splices the
+//! delta into the live instance instead of tearing it down:
+//!
+//! * the virtual-user mapping is updated in place
+//!   ([`swiper_core::VirtualUsers::apply_delta`]), and the previous
+//!   epoch's mapping is retained so in-flight messages minted under old
+//!   numberings can still be translated (wrapped messages carry their
+//!   epoch);
+//! * **surviving** sub-instances — those whose `(owner, offset)`
+//!   coordinate is still live — keep their state and are re-keyed to
+//!   their new dense virtual ids;
+//! * **retired** sub-instances (offsets at or beyond the owner's new
+//!   ticket count) are dropped along with their pending timers;
+//! * **added** sub-instances are spawned mid-flight via the stored
+//!   factory; they begin at `on_start` and may rely on the vouching path
+//!   to learn an output that was decided before they joined.
+//!
+//! What a nominal protocol `P` may assume across the boundary: its own
+//! accumulated state survives, and messages keep flowing (translated).
+//! What it may **not** assume: that the total `T` or any peer's id is
+//! stable — deltas that touch party `i` renumber every virtual user after
+//! `i`'s range. Instances pinned to specific peer ids (a broadcast
+//! sender, dealt cryptographic shares) therefore survive exactly the
+//! deltas that keep those ids fixed (changes confined to later parties,
+//! or ticket moves that preserve prefix ranges); the epoch-crossing seed
+//! sweeps exercise both the friendly and the hostile case.
+//!
+//! Two deliberate limits of delta-only reconfiguration: a [`TicketDelta`]
+//! carries tickets, not stake, so the **vouch quorum keeps weighing votes
+//! with the construction-time weight vector** — deployments whose stake
+//! drifts far from the epoch-0 snapshot must rebuild the wrapper to
+//! refresh it (tracked in the ROADMAP's cross-epoch quorum identity
+//! item). And the per-epoch **mapping history is retained unboundedly**:
+//! in the asynchronous model no bound exists on how long a message minted
+//! in an old epoch may stay in flight, so no entry is provably dead;
+//! long-lived deployments would cap the window and accept dropping
+//! stragglers from evicted epochs.
 
 use std::collections::{HashMap, VecDeque};
 
-use swiper_core::{Ratio, TicketAssignment, VirtualUsers, Weights};
+use swiper_core::{Ratio, TicketAssignment, TicketDelta, VirtualUsers, Weights};
 use swiper_net::{Context, Effects, MessageSize, NodeId, Protocol};
 
 use crate::quorum::{QuorumTracker, WeightQuorum};
@@ -30,6 +71,8 @@ use crate::quorum::{QuorumTracker, WeightQuorum};
 pub enum BlackBoxMsg<M> {
     /// A nominal-protocol message between two virtual users.
     Inner {
+        /// The epoch whose numbering `from_virtual`/`to_virtual` use.
+        epoch: u64,
         /// Sending virtual user.
         from_virtual: u32,
         /// Receiving virtual user.
@@ -47,7 +90,7 @@ pub enum BlackBoxMsg<M> {
 impl<M: MessageSize> MessageSize for BlackBoxMsg<M> {
     fn size_bytes(&self) -> usize {
         match self {
-            BlackBoxMsg::Inner { msg, .. } => 8 + msg.size_bytes(),
+            BlackBoxMsg::Inner { msg, .. } => 16 + msg.size_bytes(),
             BlackBoxMsg::Vouch { output } => output.len(),
         }
     }
@@ -75,12 +118,12 @@ impl BlackBoxConfig {
         BlackBoxConfig { weights, mapping, f_w }
     }
 
-    /// Number of virtual users `T`.
+    /// Number of virtual users `T` (current epoch).
     pub fn virtual_count(&self) -> usize {
         self.mapping.total()
     }
 
-    /// The virtual-user mapping.
+    /// The virtual-user mapping (current epoch).
     pub fn mapping(&self) -> &VirtualUsers {
         &self.mapping
     }
@@ -90,8 +133,19 @@ impl BlackBoxConfig {
 pub struct BlackBox<P: Protocol> {
     config: BlackBoxConfig,
     party: usize,
-    /// My virtual users: `(virtual id, automaton, halted)`.
+    /// Epochs already crossed; also the tag on outgoing inner messages.
+    epoch: u64,
+    /// Mapping of each *past* epoch `e < self.epoch`, indexed by epoch —
+    /// the translation table for in-flight messages and timers minted
+    /// before a reconfiguration.
+    history: Vec<VirtualUsers>,
+    /// Factory for spawning virtual users, kept for mid-flight joins.
+    factory: Box<dyn FnMut(usize) -> P>,
+    /// My virtual users: `(current virtual id, automaton, halted)`.
     virtuals: Vec<(usize, P, bool)>,
+    /// Pending timers: nonce -> (epoch, virtual id at set time, inner id).
+    timer_map: HashMap<u64, (u64, usize, u64)>,
+    timer_nonce: u64,
     vouch_quorums: HashMap<Vec<u8>, WeightQuorum>,
     output_done: bool,
     started: bool,
@@ -99,21 +153,59 @@ pub struct BlackBox<P: Protocol> {
 
 impl<P: Protocol> BlackBox<P> {
     /// Creates party `party`'s wrapper; `factory(v)` builds the automaton
-    /// for virtual user `v` (it will see `n = T` and `me = v`).
+    /// for virtual user `v` (it will see `n = T` and `me = v`). The
+    /// factory is retained: epoch reconfigurations use it to spawn
+    /// virtual users added mid-flight.
     pub fn new<F>(config: BlackBoxConfig, party: usize, mut factory: F) -> Self
     where
-        F: FnMut(usize) -> P,
+        F: FnMut(usize) -> P + 'static,
     {
         let virtuals =
             config.mapping.virtuals_of(party).map(|v| (v, factory(v), false)).collect();
         BlackBox {
             config,
             party,
+            epoch: 0,
+            history: Vec::new(),
+            factory: Box::new(factory),
             virtuals,
+            timer_map: HashMap::new(),
+            timer_nonce: 0,
             vouch_quorums: HashMap::new(),
             output_done: false,
             started: false,
         }
+    }
+
+    /// Epochs crossed so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Translates virtual id `v` minted under `epoch`'s numbering to the
+    /// current numbering. `None` when the id never existed in that epoch,
+    /// the epoch is unknown (future), or the user has since retired.
+    fn translate(&self, epoch: u64, v: usize) -> Option<usize> {
+        if epoch == self.epoch {
+            return (v < self.config.mapping.total()).then_some(v);
+        }
+        let old = self.history.get(usize::try_from(epoch).ok()?)?;
+        if v >= old.total() {
+            return None;
+        }
+        let (owner, offset) = old.locate(v);
+        self.config.mapping.at(owner, offset)
+    }
+
+    /// The party owning `v` under `epoch`'s numbering (`None` when out of
+    /// range or the epoch is unknown).
+    fn owner_in(&self, epoch: u64, v: usize) -> Option<usize> {
+        let mapping = if epoch == self.epoch {
+            &self.config.mapping
+        } else {
+            self.history.get(usize::try_from(epoch).ok()?)?
+        };
+        (v < mapping.total()).then(|| mapping.owner_of(v))
     }
 
     /// Routes one batch of inner effects, draining same-party deliveries
@@ -151,6 +243,13 @@ impl<P: Protocol> BlackBox<P> {
     ) {
         let Effects { outbox, timers, output, halted } = effects;
         for (to_v, msg) in outbox {
+            // A surviving automaton may still address a peer id that only
+            // existed before a shrinking delta (its `n` was baked at
+            // construction); such sends are dropped, mirroring the
+            // receive-side translation, never indexed out of bounds.
+            if to_v >= self.config.mapping.total() {
+                continue;
+            }
             let owner = self.config.mapping.owner_of(to_v);
             if owner == self.party {
                 local.push_back((from_v, to_v, msg));
@@ -158,6 +257,7 @@ impl<P: Protocol> BlackBox<P> {
                 ctx.send(
                     owner,
                     BlackBoxMsg::Inner {
+                        epoch: self.epoch,
                         from_virtual: from_v as u32,
                         to_virtual: to_v as u32,
                         msg,
@@ -166,9 +266,13 @@ impl<P: Protocol> BlackBox<P> {
             }
         }
         for (delay, id) in timers {
-            // Encode the virtual id in the high bits of the timer id.
-            assert!(id < 1 << 32, "inner timer ids must fit 32 bits");
-            ctx.set_timer(delay, ((from_v as u64) << 32) | id);
+            // Timers survive renumbering: the nonce indirection records
+            // which epoch's id the setter used, and the firing path
+            // translates it (or drops it with the retired user).
+            let nonce = self.timer_nonce;
+            self.timer_nonce += 1;
+            self.timer_map.insert(nonce, (self.epoch, from_v, id));
+            ctx.set_timer(delay, nonce);
         }
         if let Some(out) = output {
             // "Party i outputs the value output by its first virtual
@@ -210,27 +314,36 @@ impl<P: Protocol> Protocol for BlackBox<P> {
 
     fn on_message(&mut self, from: NodeId, msg: Self::Msg, ctx: &mut Context<Self::Msg>) {
         match msg {
-            BlackBoxMsg::Inner { from_virtual, to_virtual, msg } => {
+            BlackBoxMsg::Inner { epoch, from_virtual, to_virtual, msg } => {
+                // Future-epoch tags cannot come from an honest replica:
+                // reconfigurations reach every node at the same event.
+                if epoch > self.epoch {
+                    return;
+                }
                 let (from_v, to_v) = (from_virtual as usize, to_virtual as usize);
-                if from_v >= self.config.virtual_count() || to_v >= self.config.virtual_count()
+                // Anti-spoofing under the *minting* epoch's numbering:
+                // the wire sender must own the claimed virtual sender; we
+                // must own the recipient.
+                if self.owner_in(epoch, from_v) != Some(from)
+                    || self.owner_in(epoch, to_v) != Some(self.party)
                 {
                     return;
                 }
-                // Anti-spoofing: the wire sender must own the claimed
-                // virtual sender; we must own the recipient.
-                if self.config.mapping.owner_of(from_v) != from
-                    || self.config.mapping.owner_of(to_v) != self.party
-                {
+                // Translate both ids into the current numbering; either
+                // end having retired drops the message.
+                let (Some(cur_from), Some(cur_to)) =
+                    (self.translate(epoch, from_v), self.translate(epoch, to_v))
+                else {
                     return;
-                }
+                };
                 let total = self.config.virtual_count();
                 let mut pending = Vec::new();
                 if let Some(slot) =
-                    self.virtuals.iter_mut().find(|(v, _, halted)| *v == to_v && !halted)
+                    self.virtuals.iter_mut().find(|(v, _, halted)| *v == cur_to && !halted)
                 {
-                    let mut inner_ctx = Context::detached(to_v, total, ctx.now());
-                    slot.1.on_message(from_v, msg, &mut inner_ctx);
-                    pending.push((to_v, inner_ctx.into_effects()));
+                    let mut inner_ctx = Context::detached(cur_to, total, ctx.now());
+                    slot.1.on_message(cur_from, msg, &mut inner_ctx);
+                    pending.push((cur_to, inner_ctx.into_effects()));
                 }
                 self.route(pending, ctx);
             }
@@ -251,9 +364,10 @@ impl<P: Protocol> Protocol for BlackBox<P> {
         }
     }
 
-    fn on_timer(&mut self, id: u64, ctx: &mut Context<Self::Msg>) {
-        let v = (id >> 32) as usize;
-        let inner_id = id & 0xFFFF_FFFF;
+    fn on_timer(&mut self, nonce: u64, ctx: &mut Context<Self::Msg>) {
+        let Some((epoch, set_v, inner_id)) = self.timer_map.remove(&nonce) else { return };
+        // A timer set by a since-retired user dies with it.
+        let Some(v) = self.translate(epoch, set_v) else { return };
         let total = self.config.virtual_count();
         let mut pending = Vec::new();
         if let Some(slot) =
@@ -262,6 +376,49 @@ impl<P: Protocol> Protocol for BlackBox<P> {
             let mut inner_ctx = Context::detached(v, total, ctx.now());
             slot.1.on_timer(inner_id, &mut inner_ctx);
             pending.push((v, inner_ctx.into_effects()));
+        }
+        self.route(pending, ctx);
+    }
+
+    fn on_reconfigure(&mut self, delta: &TicketDelta, ctx: &mut Context<Self::Msg>) {
+        let old = self.config.mapping.clone();
+        if self.config.mapping.apply_delta(delta).is_err() {
+            // A delta diffed against a different base than the live
+            // mapping is a driver bug; the mapping is untouched, so the
+            // instance keeps running under the old epoch.
+            debug_assert!(false, "mis-sequenced TicketDelta reached BlackBox");
+            return;
+        }
+        self.history.push(old);
+        self.epoch += 1;
+        let old_map = &self.history[self.history.len() - 1];
+        // Re-key survivors to their new dense ids; retire the rest. A
+        // party's users retire from the top of its range (offset >= new
+        // ticket count), so surviving state is the longest-served prefix.
+        let current = &self.config.mapping;
+        let mut survivors = Vec::with_capacity(self.virtuals.len());
+        for (v, automaton, halted) in self.virtuals.drain(..) {
+            let (owner, offset) = old_map.locate(v);
+            debug_assert_eq!(owner, self.party, "wrapper only hosts its own users");
+            if let Some(new_v) = current.at(owner, offset) {
+                survivors.push((new_v, automaton, halted));
+            }
+        }
+        self.virtuals = survivors;
+        // Spawn users added to this party mid-flight.
+        let old_count = old_map.tickets_of(self.party);
+        let new_count = current.tickets_of(self.party);
+        let total = current.total();
+        let spawned: Vec<usize> = (old_count..new_count)
+            .map(|offset| current.at(self.party, offset).expect("offset < new count"))
+            .collect();
+        let mut pending = Vec::new();
+        for new_v in spawned {
+            let mut automaton = (self.factory)(new_v);
+            let mut inner_ctx = Context::detached(new_v, total, ctx.now());
+            automaton.on_start(&mut inner_ctx);
+            self.virtuals.push((new_v, automaton, false));
+            pending.push((new_v, inner_ctx.into_effects()));
         }
         self.route(pending, ctx);
     }
@@ -275,7 +432,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use swiper_core::{Swiper, WeightRestriction};
-    use swiper_net::Simulation;
+    use swiper_net::{EpochedSimulation, Simulation};
 
     /// WR(f_w = 1/4, f_n = 1/3): the epsilon-loss transformation setup.
     fn config(ws: &[u64]) -> (BlackBoxConfig, TicketAssignment) {
@@ -414,9 +571,21 @@ mod tests {
                     ctx.send(
                         owner,
                         BlackBoxMsg::Inner {
+                            epoch: 0,
                             from_virtual: 0,
                             to_virtual: to_v as u32,
                             msg: BrachaMsg::Initial(b"forged".to_vec()),
+                        },
+                    );
+                    // Future-epoch tags must be dropped outright, whatever
+                    // the claimed ids.
+                    ctx.send(
+                        owner,
+                        BlackBoxMsg::Inner {
+                            epoch: 9,
+                            from_virtual: 0,
+                            to_virtual: to_v as u32,
+                            msg: BrachaMsg::Initial(b"forged-future".to_vec()),
                         },
                     );
                 }
@@ -441,6 +610,142 @@ mod tests {
         let report = Simulation::new(nodes, 13).run();
         for (i, out) in report.outputs.iter().enumerate() {
             assert!(out.is_none(), "party {i} must not deliver a forged broadcast");
+        }
+    }
+
+    /// The state-survival witness: each virtual user broadcasts one
+    /// `Hello` at start and arms a timer that fires long after the epoch
+    /// boundary; on fire it outputs iff it heard from every epoch-0
+    /// virtual id. The hellos are never re-sent, and all of them are
+    /// delivered *before* the boundary — so any implementation that drops
+    /// automaton state (or pending timers) at the epoch crossing can
+    /// never output, while one that splices keeps completing.
+    struct Accumulator {
+        expected: usize,
+        heard: std::collections::HashSet<usize>,
+    }
+
+    impl Accumulator {
+        fn new(expected: usize) -> Self {
+            Accumulator { expected, heard: std::collections::HashSet::new() }
+        }
+    }
+
+    impl Protocol for Accumulator {
+        type Msg = u64;
+        fn on_start(&mut self, ctx: &mut Context<u64>) {
+            ctx.broadcast(1);
+            ctx.set_timer(500, 0);
+        }
+        fn on_message(&mut self, from: NodeId, _m: u64, _ctx: &mut Context<u64>) {
+            self.heard.insert(from);
+        }
+        fn on_timer(&mut self, _id: u64, ctx: &mut Context<u64>) {
+            if self.heard.len() >= self.expected {
+                ctx.output(b"done".to_vec());
+            }
+        }
+    }
+
+    #[test]
+    fn reconfigure_preserves_surviving_state_and_spawns_joiners() {
+        // Epoch 0 tickets [2, 2, 1] -> epoch 1 tickets [2, 1, 2]: party 1
+        // retires its offset-1 user, party 2 gains one mid-flight, and
+        // every id from party 1 onward is renumbered. Hellos (16 wrapped
+        // cross-party messages) all land before the boundary at event 16;
+        // the verdict timers all fire after it. All parties completing
+        // therefore *proves* the heard-sets and pending timers crossed
+        // the epoch intact and were re-keyed to the new numbering.
+        let weights = Weights::new(vec![40, 40, 20]).unwrap();
+        let old = TicketAssignment::new(vec![2, 2, 1]);
+        let new = TicketAssignment::new(vec![2, 1, 2]);
+        let delta = TicketDelta::between(&old, &new).unwrap();
+        let total = old.total() as usize;
+        for seed in 0..25u64 {
+            let config = BlackBoxConfig::new(weights.clone(), &old, Ratio::of(1, 4));
+            let nodes: Vec<Box<dyn Protocol<Msg = BlackBoxMsg<u64>>>> = (0..3)
+                .map(|party| {
+                    Box::new(BlackBox::new(config.clone(), party, move |_v| {
+                        Accumulator::new(total)
+                    })) as _
+                })
+                .collect();
+            let report = EpochedSimulation::new(nodes, seed).inject_at(16, delta.clone()).run();
+            assert_eq!(report.reconfigurations, 1, "seed {seed}");
+            for (i, out) in report.outputs.iter().enumerate() {
+                assert_eq!(
+                    out.as_deref(),
+                    Some(b"done".as_ref()),
+                    "party {i} lost state across the epoch at seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bracha_survives_suffix_churn_mid_broadcast() {
+        // The broadcast sender is virtual user 0 (party 0); the delta
+        // only touches the *last* party, so the sender's id — and every
+        // id the Bracha instances have pinned — stays stable while the
+        // total ticket count changes under the instance's feet.
+        let weights = Weights::new(vec![50, 20, 15, 10, 5]).unwrap();
+        let params = WeightRestriction::new(Ratio::of(1, 4), Ratio::of(1, 3)).unwrap();
+        let sol = Swiper::new().solve_restriction(&weights, &params).unwrap();
+        let old = sol.assignment.clone();
+        let mut churned = old.as_slice().to_vec();
+        let last = churned.len() - 1;
+        churned[last] += 1; // the dust party gains one ticket
+        let new = TicketAssignment::new(churned);
+        let delta = TicketDelta::between(&old, &new).unwrap();
+        let total = old.total() as usize;
+        let payload = b"epoch-crossing broadcast".to_vec();
+        let bracha_cfg = BrachaConfig::nominal(total);
+        for seed in 0..25u64 {
+            let config = BlackBoxConfig::new(weights.clone(), &old, Ratio::of(1, 4));
+            let nodes: Vec<Box<dyn Protocol<Msg = BlackBoxMsg<BrachaMsg>>>> = (0..5)
+                .map(|party| {
+                    let bc = bracha_cfg.clone();
+                    let payload = payload.clone();
+                    Box::new(BlackBox::new(config.clone(), party, move |v| {
+                        if v == 0 {
+                            BrachaNode::sender(bc.clone(), 0, payload.clone())
+                        } else {
+                            BrachaNode::new(bc.clone(), 0)
+                        }
+                    })) as _
+                })
+                .collect();
+            let report = EpochedSimulation::new(nodes, seed).inject_at(10, delta.clone()).run();
+            assert_eq!(report.reconfigurations, 1, "seed {seed}");
+            for (i, out) in report.outputs.iter().enumerate() {
+                assert_eq!(out.as_deref(), Some(payload.as_slice()), "party {i} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn mis_sequenced_delta_leaves_instance_intact() {
+        // A delta diffed against a *different* base must be rejected and
+        // the live mapping left untouched (debug_assert fires only in
+        // debug builds; release keeps running the old epoch).
+        let weights = Weights::new(vec![40, 40, 20]).unwrap();
+        let base = TicketAssignment::new(vec![2, 2, 1]);
+        let other = TicketAssignment::new(vec![1, 2, 1]);
+        let next = TicketAssignment::new(vec![1, 2, 2]);
+        let bad_delta = TicketDelta::between(&other, &next).unwrap();
+        let config = BlackBoxConfig::new(weights, &base, Ratio::of(1, 4));
+        let mut bb: BlackBox<Accumulator> =
+            BlackBox::new(config, 0, move |_v| Accumulator::new(5));
+        let before = bb.config.mapping().clone();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut ctx = Context::detached(0, 3, 0);
+            bb.on_reconfigure(&bad_delta, &mut ctx);
+        }));
+        // Debug builds assert; if the assertion is compiled out, the
+        // mapping must be unchanged and the epoch not advanced.
+        if result.is_ok() {
+            assert_eq!(bb.config.mapping(), &before);
+            assert_eq!(bb.epoch(), 0);
         }
     }
 }

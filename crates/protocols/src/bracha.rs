@@ -219,6 +219,40 @@ mod tests {
         Simulation::new(nodes, seed).run()
     }
 
+    /// Zoo regression (`SelectiveAck`): the sender is wrapped so its
+    /// INITIAL/ECHO/READY reach only a chosen quorum of `2t+1 = 5` of the
+    /// 7 parties. The two unchosen parties never see INITIAL, never echo,
+    /// and collect only 4 of the 5 READYs the delivery quorum needs —
+    /// they can cross it only through the **READY amplification** path
+    /// (`> f_w` readies ⇒ join READY), the defense under test. Revert
+    /// amplification and the unchosen parties stall one ready short of
+    /// delivery forever, on every seed.
+    #[test]
+    fn selective_ack_sender_cannot_stall_unchosen_parties() {
+        use swiper_net::adversary::SelectiveAck;
+        let config = BrachaConfig::nominal(7); // t = 2, one Byzantine used
+        let payload = b"stall the rest".to_vec();
+        for seed in 0..25u64 {
+            let chosen = vec![0usize, 1, 2, 3, 4];
+            let mut nodes: Vec<Box<dyn Protocol<Msg = BrachaMsg>>> = Vec::new();
+            nodes.push(Box::new(SelectiveAck::new(
+                BrachaNode::sender(config.clone(), 0, payload.clone()),
+                chosen,
+            )));
+            for _ in 1..7 {
+                nodes.push(Box::new(BrachaNode::new(config.clone(), 0)));
+            }
+            let report = Simulation::new(nodes, seed).run();
+            for i in 1..7 {
+                assert_eq!(
+                    report.outputs[i].as_deref(),
+                    Some(payload.as_slice()),
+                    "party {i} stalled at seed {seed} without amplification"
+                );
+            }
+        }
+    }
+
     #[test]
     fn honest_sender_all_deliver() {
         let report = run_nominal(4, 0, 7);

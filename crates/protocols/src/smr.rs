@@ -17,11 +17,59 @@
 //! elects a stake-weighted leader, and every party appends the leader's
 //! batch. It measures the dissemination bytes of the erasure-coded path
 //! against naive full replication.
+//!
+//! # Live-instance epoch reconfiguration
+//!
+//! [`SmrInstance`] is the long-running form: it pipelines disseminated
+//! but not-yet-committed rounds and survives epoch reconfigurations
+//! ([`SmrInstance::reconfigure`]) instead of tearing down. Across an
+//! epoch boundary it carries
+//!
+//! * the **committed prefix** (the ledger) — always;
+//! * the **beacon state** (threshold scheme, group key, per-party
+//!   shares) — whenever the epoch's WR ticket assignment is unchanged;
+//!   otherwise the keys are re-dealt *deterministically* from the
+//!   session seed and the assignment's fingerprint, so every replica —
+//!   and the teardown-rebuild baseline — derives identical keys and
+//!   therefore identical leader sequences;
+//! * the **dissemination pipeline** — whenever the epoch's WQ ticket
+//!   assignment is unchanged; otherwise the coding parameters `(k, m)`
+//!   moved and the un-committed rounds re-disseminate (they are the only
+//!   rounds that ever re-run).
+//!
+//! [`ReconfigureMode::Rebuild`] is the teardown-rebuild baseline: every
+//! boundary re-keys and re-disseminates everything in flight. Both modes
+//! commit bit-identical ledgers by construction; the `epochs` bench bin
+//! and the nightly CI job fail on any divergence, and the live mode's
+//! value shows up as strictly fewer restarted rounds.
 
-use rand::Rng;
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use swiper_core::{Ratio, TicketAssignment, VirtualUsers, Weights};
 use swiper_crypto::thresh::{KeyShare, PublicKey, ThresholdScheme};
 use swiper_erasure::shards::encode_bytes;
+
+/// Folds a ticket-assignment fingerprint into a 64-bit RNG seed.
+fn fold_fingerprint(tickets: &TicketAssignment) -> u64 {
+    let fp = tickets.fingerprint();
+    (fp ^ (fp >> 64)) as u64
+}
+
+/// Deals the beacon's threshold keys over the WR virtual users.
+fn deal_beacon<R: Rng + ?Sized>(
+    wr_mapping: &VirtualUsers,
+    rng: &mut R,
+) -> (ThresholdScheme, PublicKey, Vec<Vec<KeyShare>>) {
+    let total = wr_mapping.total();
+    let scheme = ThresholdScheme::new(total / 2 + 1, total).expect("threshold <= total");
+    let (pk, all) = scheme.keygen(rng);
+    let shares = (0..wr_mapping.parties())
+        .map(|p| wr_mapping.virtuals_of(p).map(|v| all[v]).collect())
+        .collect();
+    (scheme, pk, shares)
+}
 
 /// Configuration of the SMR composition.
 #[derive(Debug, Clone)]
@@ -53,14 +101,26 @@ impl SmrConfig {
         assert_eq!(weights.len(), wq_tickets.len(), "WQ tickets mismatch");
         assert_eq!(weights.len(), wr_tickets.len(), "WR tickets mismatch");
         let wr_mapping = VirtualUsers::from_assignment(wr_tickets).expect("fits memory");
-        let total = wr_mapping.total();
-        assert!(total > 0 && wq_tickets.total() > 0, "empty reduction");
-        let scheme = ThresholdScheme::new(total / 2 + 1, total).expect("threshold <= total");
-        let (pk, all) = scheme.keygen(rng);
-        let shares = (0..wr_mapping.parties())
-            .map(|p| wr_mapping.virtuals_of(p).map(|v| all[v]).collect())
-            .collect();
+        assert!(wr_mapping.total() > 0 && wq_tickets.total() > 0, "empty reduction");
+        let (scheme, pk, shares) = deal_beacon(&wr_mapping, rng);
         SmrConfig { weights, wq_tickets, beta_n, wr_mapping, scheme, pk, shares }
+    }
+
+    /// Like [`SmrConfig::new`], but the beacon keys derive
+    /// deterministically from `session_seed` and the WR assignment's
+    /// fingerprint. Every replica — and every rebuild for the *same*
+    /// assignment — deals identical keys, which is what lets a live
+    /// instance carry its beacon state across an epoch whose WR tickets
+    /// did not move while staying bit-compatible with a full rebuild.
+    pub fn deterministic(
+        weights: Weights,
+        wq_tickets: TicketAssignment,
+        beta_n: Ratio,
+        wr_tickets: &TicketAssignment,
+        session_seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(session_seed ^ fold_fingerprint(wr_tickets));
+        SmrConfig::new(weights, wq_tickets, beta_n, wr_tickets, &mut rng)
     }
 
     /// The dissemination code parameters `(k, m)`.
@@ -163,6 +223,222 @@ where
     SmrRun { ledger, leaders, coded_bytes, replicated_bytes }
 }
 
+/// How an [`SmrInstance`] crosses an epoch boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReconfigureMode {
+    /// Splice: carry the committed prefix, the beacon state (when the WR
+    /// tickets are unchanged) and the dissemination pipeline (when the WQ
+    /// tickets are unchanged) across the boundary.
+    Live,
+    /// Teardown-rebuild baseline: re-key the beacon and re-disseminate
+    /// every un-committed round, whatever the deltas say.
+    Rebuild,
+}
+
+/// What one [`SmrInstance::reconfigure`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochCrossing {
+    /// Un-committed rounds that survived in the pipeline.
+    pub survived: u64,
+    /// Un-committed rounds torn down and re-disseminated.
+    pub restarted: u64,
+    /// Whether the beacon keys were re-dealt.
+    pub rekeyed: bool,
+}
+
+/// One disseminated, not-yet-committed round.
+#[derive(Debug, Clone)]
+struct PreparedRound {
+    round: u64,
+    batches: Vec<Option<Vec<u8>>>,
+}
+
+/// A long-running SMR composition that survives epoch reconfigurations:
+/// rounds are *prepared* (batches disseminated, erasure-coded under the
+/// epoch's WQ tickets) into a pipeline and *committed* (beacon → leader →
+/// ledger) in order. See the module docs for what crosses an epoch
+/// boundary in [`ReconfigureMode::Live`] versus
+/// [`ReconfigureMode::Rebuild`].
+pub struct SmrInstance {
+    config: SmrConfig,
+    wr_tickets: TicketAssignment,
+    session_seed: u64,
+    pipeline: VecDeque<PreparedRound>,
+    next_round: u64,
+    ledger: Vec<(u64, usize, Vec<u8>)>,
+    coded_bytes: u64,
+    restarted_rounds: u64,
+    survived_rounds: u64,
+    rekeys: u64,
+}
+
+impl SmrInstance {
+    /// Creates the instance at epoch 0. Beacon keys are dealt
+    /// deterministically from `session_seed` and the WR assignment (see
+    /// [`SmrConfig::deterministic`]).
+    pub fn new(
+        weights: Weights,
+        wq_tickets: TicketAssignment,
+        beta_n: Ratio,
+        wr_tickets: TicketAssignment,
+        session_seed: u64,
+    ) -> Self {
+        let config =
+            SmrConfig::deterministic(weights, wq_tickets, beta_n, &wr_tickets, session_seed);
+        SmrInstance {
+            config,
+            wr_tickets,
+            session_seed,
+            pipeline: VecDeque::new(),
+            next_round: 0,
+            ledger: Vec::new(),
+            coded_bytes: 0,
+            restarted_rounds: 0,
+            survived_rounds: 0,
+            rekeys: 0,
+        }
+    }
+
+    /// The committed ledger so far.
+    pub fn ledger(&self) -> &[(u64, usize, Vec<u8>)] {
+        &self.ledger
+    }
+
+    /// Disseminated-but-uncommitted rounds currently in flight.
+    pub fn pipeline_len(&self) -> usize {
+        self.pipeline.len()
+    }
+
+    /// Un-committed rounds re-disseminated across all epoch crossings.
+    pub fn restarted_rounds(&self) -> u64 {
+        self.restarted_rounds
+    }
+
+    /// Un-committed rounds that crossed an epoch without re-running.
+    pub fn survived_rounds(&self) -> u64 {
+        self.survived_rounds
+    }
+
+    /// Beacon key deals beyond the initial one.
+    pub fn rekeys(&self) -> u64 {
+        self.rekeys
+    }
+
+    /// Total erasure-coded dissemination bytes, re-dissemination included.
+    pub fn coded_bytes(&self) -> u64 {
+        self.coded_bytes
+    }
+
+    /// Erasure-codes one round's batches and charges the wire cost.
+    fn disseminate(&mut self, batches: &[Option<Vec<u8>>]) {
+        let n = self.config.weights.len();
+        let (k, m) = self.config.code_params();
+        for batch in batches.iter().flatten() {
+            let shards = encode_bytes(batch, k, m).expect("valid code");
+            let shard_bytes: usize = shards.iter().map(|s| s.len()).sum();
+            self.coded_bytes += shard_bytes as u64 * (1 + n as u64);
+        }
+    }
+
+    /// Prepares the next round: `alive` parties contribute
+    /// `batch_of(round, party)` and the batches disseminate under the
+    /// current epoch's coding parameters.
+    pub fn prepare<F>(&mut self, alive: &[usize], mut batch_of: F)
+    where
+        F: FnMut(u64, usize) -> Vec<u8>,
+    {
+        let n = self.config.weights.len();
+        let round = self.next_round;
+        self.next_round += 1;
+        let mut batches: Vec<Option<Vec<u8>>> = vec![None; n];
+        for &p in alive {
+            batches[p] = Some(batch_of(round, p));
+        }
+        self.disseminate(&batches);
+        self.pipeline.push_back(PreparedRound { round, batches });
+    }
+
+    /// Commits the oldest prepared round: beacon → leader → ledger (a
+    /// round led by a crashed party commits nothing). Returns whether a
+    /// block was appended; `None` when the pipeline is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the alive set cannot produce the beacon (alive weight
+    /// must exceed `2/3` of the total — the liveness condition).
+    pub fn commit(&mut self, alive: &[usize]) -> Option<bool> {
+        let prepared = self.pipeline.pop_front()?;
+        let beacon =
+            self.config.beacon(prepared.round, alive).expect("alive weight > 2/3 required");
+        let leader = self.config.leader(&beacon);
+        if let Some(batch) = &prepared.batches[leader] {
+            self.ledger.push((prepared.round, leader, batch.clone()));
+            Some(true)
+        } else {
+            Some(false)
+        }
+    }
+
+    /// Crosses an epoch boundary into the new weight/ticket assignments.
+    /// In [`ReconfigureMode::Live`] only the state the deltas actually
+    /// invalidate is rebuilt; in [`ReconfigureMode::Rebuild`] everything
+    /// in flight is. The committed prefix always survives.
+    pub fn reconfigure(
+        &mut self,
+        weights: Weights,
+        wq_tickets: TicketAssignment,
+        wr_tickets: TicketAssignment,
+        mode: ReconfigureMode,
+    ) -> EpochCrossing {
+        assert_eq!(weights.len(), wq_tickets.len(), "WQ tickets mismatch");
+        assert_eq!(weights.len(), wr_tickets.len(), "WR tickets mismatch");
+        let wq_changed = wq_tickets.as_slice() != self.config.wq_tickets.as_slice();
+        let wr_changed = wr_tickets.as_slice() != self.wr_tickets.as_slice();
+        self.config.weights = weights;
+        // Beacon: re-deal only when the WR assignment moved (or the
+        // baseline insists). Deterministic dealing keeps a re-deal for an
+        // unchanged assignment bit-identical to the carried state, which
+        // is exactly why Live and Rebuild commit the same ledgers.
+        let rekeyed = wr_changed || mode == ReconfigureMode::Rebuild;
+        if rekeyed {
+            let mapping = VirtualUsers::from_assignment(&wr_tickets).expect("fits memory");
+            assert!(mapping.total() > 0, "empty WR reduction");
+            let mut rng =
+                StdRng::seed_from_u64(self.session_seed ^ fold_fingerprint(&wr_tickets));
+            let (scheme, pk, shares) = deal_beacon(&mapping, &mut rng);
+            self.config.wr_mapping = mapping;
+            self.config.scheme = scheme;
+            self.config.pk = pk;
+            self.config.shares = shares;
+            self.rekeys += 1;
+        }
+        self.wr_tickets = wr_tickets;
+        // Pipeline: un-committed rounds re-disseminate only when the WQ
+        // assignment (and with it the code parameters) moved.
+        let in_flight = self.pipeline.len() as u64;
+        let restart = wq_changed || mode == ReconfigureMode::Rebuild;
+        self.config.wq_tickets = wq_tickets;
+        if restart {
+            self.restarted_rounds += in_flight;
+            // Re-charge the wire cost of every in-flight round under the
+            // new code parameters; taking the pipeline out and back
+            // avoids cloning the batches just to satisfy the borrows.
+            let rounds = std::mem::take(&mut self.pipeline);
+            for prepared in &rounds {
+                self.disseminate(&prepared.batches);
+            }
+            self.pipeline = rounds;
+        } else {
+            self.survived_rounds += in_flight;
+        }
+        EpochCrossing {
+            survived: if restart { 0 } else { in_flight },
+            restarted: if restart { in_flight } else { 0 },
+            rekeyed,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,5 +526,94 @@ mod tests {
         let cfg = config(&[40, 30, 20, 10]);
         // Only 30% alive: the beacon cannot be produced.
         let _ = run(&cfg, 1, &[1usize], |_, _| vec![]);
+    }
+
+    fn solutions(ws: &[u64]) -> (Weights, TicketAssignment, TicketAssignment) {
+        let weights = Weights::new(ws.to_vec()).unwrap();
+        let wq = WeightQualification::new(Ratio::of(1, 3), Ratio::of(1, 4)).unwrap();
+        let wr = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2)).unwrap();
+        let wq_sol = Swiper::new().solve_qualification(&weights, &wq).unwrap();
+        let wr_sol = Swiper::new().solve_restriction(&weights, &wr).unwrap();
+        (weights, wq_sol.assignment, wr_sol.assignment)
+    }
+
+    #[test]
+    fn live_instance_without_epochs_matches_run() {
+        let (weights, wq, wr) = solutions(&[40, 30, 20, 10]);
+        let cfg =
+            SmrConfig::deterministic(weights.clone(), wq.clone(), Ratio::of(1, 4), &wr, 9);
+        let alive = [0usize, 1, 2, 3];
+        let batch = |r: u64, p: usize| format!("b{r}-{p}").into_bytes();
+        let baseline = run(&cfg, 12, &alive, batch);
+        let mut inst = SmrInstance::new(weights, wq, Ratio::of(1, 4), wr, 9);
+        for _ in 0..12 {
+            inst.prepare(&alive, batch);
+        }
+        while inst.commit(&alive).is_some() {}
+        assert_eq!(inst.ledger(), &baseline.ledger[..]);
+        assert_eq!(inst.coded_bytes(), baseline.coded_bytes);
+    }
+
+    /// The live-reconfiguration contract in miniature: across an epoch
+    /// whose deltas are empty the pipeline and beacon state survive;
+    /// across one that moves the WQ tickets the in-flight rounds re-run;
+    /// and in every case the committed ledger is bit-identical to the
+    /// teardown-rebuild baseline — the live instance only ever does
+    /// *less* work, never different work.
+    #[test]
+    fn live_reconfigure_matches_rebuild_with_fewer_restarts() {
+        let (weights, wq, wr) = solutions(&[40, 30, 20, 10]);
+        let alive = [0usize, 1, 2, 3];
+        let batch = |r: u64, p: usize| format!("epoch-batch-{r}-{p}").into_bytes();
+        let mut live =
+            SmrInstance::new(weights.clone(), wq.clone(), Ratio::of(1, 4), wr.clone(), 5);
+        let mut base =
+            SmrInstance::new(weights.clone(), wq.clone(), Ratio::of(1, 4), wr.clone(), 5);
+        // Epoch 0: pipeline two rounds ahead, commit one.
+        for inst in [&mut live, &mut base] {
+            inst.prepare(&alive, batch);
+            inst.prepare(&alive, batch);
+            inst.prepare(&alive, batch);
+            inst.commit(&alive);
+        }
+        // Epoch 1: nothing moved — live splices, baseline rebuilds.
+        let c1_live =
+            live.reconfigure(weights.clone(), wq.clone(), wr.clone(), ReconfigureMode::Live);
+        let c1_base =
+            base.reconfigure(weights.clone(), wq.clone(), wr.clone(), ReconfigureMode::Rebuild);
+        assert_eq!(c1_live, EpochCrossing { survived: 2, restarted: 0, rekeyed: false });
+        assert_eq!(c1_base, EpochCrossing { survived: 0, restarted: 2, rekeyed: true });
+        for inst in [&mut live, &mut base] {
+            inst.prepare(&alive, batch);
+            inst.commit(&alive);
+        }
+        // Epoch 2: the WQ assignment moves — both re-disseminate.
+        let mut wq2 = wq.as_slice().to_vec();
+        wq2[3] += 1;
+        let wq2 = TicketAssignment::new(wq2);
+        let c2_live =
+            live.reconfigure(weights.clone(), wq2.clone(), wr.clone(), ReconfigureMode::Live);
+        assert_eq!(c2_live, EpochCrossing { survived: 0, restarted: 2, rekeyed: false });
+        let _ = base.reconfigure(
+            weights.clone(),
+            wq2.clone(),
+            wr.clone(),
+            ReconfigureMode::Rebuild,
+        );
+        for inst in [&mut live, &mut base] {
+            inst.prepare(&alive, batch);
+            while inst.commit(&alive).is_some() {}
+        }
+        assert_eq!(live.ledger(), base.ledger(), "live must commit the baseline's log");
+        assert_eq!(live.ledger().len(), 5, "five rounds commit with everyone alive");
+        assert!(
+            live.restarted_rounds() < base.restarted_rounds(),
+            "live restarted {} vs baseline {}",
+            live.restarted_rounds(),
+            base.restarted_rounds()
+        );
+        assert!(live.survived_rounds() > 0);
+        assert!(live.rekeys() < base.rekeys());
+        assert!(live.coded_bytes() < base.coded_bytes());
     }
 }

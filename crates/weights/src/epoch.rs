@@ -263,6 +263,37 @@ impl Reconfigurator {
     {
         snapshots.into_iter().map(|s| self.advance(&s)).collect()
     }
+
+    /// Drives the loop over a snapshot stream *against a live instance*:
+    /// after each epoch's solve, `driver` receives the snapshot and the
+    /// [`EpochOutcome`] — per-track solutions and deltas — and splices
+    /// them into whatever long-running protocol state it owns (an SMR
+    /// pipeline, black-box virtual users, ...) before the next snapshot
+    /// is consumed. This is the adapter the `epochs` bench bin uses to
+    /// replay churn chains against live SMR instead of solver-only.
+    ///
+    /// # Errors
+    ///
+    /// Stops at (and returns) the first failing epoch; epochs already
+    /// driven stay driven.
+    pub fn drive_simulation<I, F>(
+        &mut self,
+        snapshots: I,
+        mut driver: F,
+    ) -> Result<Vec<EpochOutcome>, CoreError>
+    where
+        I: IntoIterator<Item = Weights>,
+        F: FnMut(&Weights, &EpochOutcome),
+    {
+        snapshots
+            .into_iter()
+            .map(|snapshot| {
+                let outcome = self.advance(&snapshot)?;
+                driver(&snapshot, &outcome);
+                Ok(outcome)
+            })
+            .collect()
+    }
 }
 
 /// Perturbs a snapshot the way per-epoch stake churn does: `churned`
@@ -356,6 +387,44 @@ mod tests {
         }
         assert_eq!(loop_.epochs_consumed(), 7);
         assert!(loop_.cached_verdicts() > 0);
+    }
+
+    /// `drive_simulation` hands each epoch's snapshot + outcome to the
+    /// live-instance driver, in order, and the deltas it delivers splice
+    /// a mapping identically to rebuilding from the published solutions.
+    #[test]
+    fn drive_simulation_feeds_each_epoch_to_the_driver() {
+        let mut loop_ = Reconfigurator::new(Swiper::new(), vec![wr()]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut snapshots = vec![crate::gen::zipf(32, 0.8, 1 << 16)];
+        for _ in 0..4 {
+            let next = churn(snapshots.last().unwrap(), 2, 20, &mut rng);
+            snapshots.push(next);
+        }
+        let mut mapping: Option<VirtualUsers> = None;
+        let mut driven = 0u64;
+        let outcomes = loop_
+            .drive_simulation(snapshots, |snapshot, outcome| {
+                assert_eq!(snapshot.len(), 32);
+                assert_eq!(outcome.epoch, driven);
+                driven += 1;
+                match (&mut mapping, &outcome.deltas[0]) {
+                    (Some(m), Some(delta)) => m.apply_delta(delta).unwrap(),
+                    (m, _) => {
+                        *m = Some(
+                            VirtualUsers::from_assignment(&outcome.solutions[0].assignment)
+                                .unwrap(),
+                        );
+                    }
+                }
+            })
+            .unwrap();
+        assert_eq!(driven, 5);
+        assert_eq!(outcomes.len(), 5);
+        let final_mapping =
+            VirtualUsers::from_assignment(&outcomes.last().unwrap().solutions[0].assignment)
+                .unwrap();
+        assert_eq!(mapping.unwrap(), final_mapping);
     }
 
     #[test]

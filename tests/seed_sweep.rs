@@ -7,17 +7,21 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use swiper::net::adversary::Silent;
-use swiper::net::{DelayModel, Protocol, Simulation};
+use swiper::net::adversary::{SelectiveAck, Silent};
+use swiper::net::{AdaptiveDelay, DelayModel, EpochedSimulation, Protocol, Simulation};
 use swiper::protocols::aba::{AbaMsg, AbaNode, AbaSetup};
 use swiper::protocols::avid::{AvidConfig, AvidMsg, AvidNode, TargetedFragmentSender, BOT};
 use swiper::protocols::beacon::{BeaconMsg, BeaconNode, BeaconSetup};
+use swiper::protocols::blackbox::{BlackBox, BlackBoxConfig, BlackBoxMsg};
 use swiper::protocols::bracha::{BrachaConfig, BrachaMsg, BrachaNode, EquivocatingSender};
 use swiper::protocols::ecbc::{EcbcConfig, EcbcMsg, EcbcNode, GarbageEchoer};
+use swiper::protocols::smr::{ReconfigureMode, SmrInstance};
 use swiper::protocols::tight::{TargetedShareSender, TightConfig, TightMsg, TightNode};
+use swiper::weights::epoch::{churn, Reconfigurator, Setting};
+use swiper::weights::{gen, Chain};
 use swiper::{
-    CachingOracle, FullOracle, Instance, Ratio, Swiper, TicketAssignment, WeightRestriction,
-    Weights,
+    CachingOracle, FullOracle, Instance, Ratio, Swiper, TicketAssignment, TicketDelta,
+    WeightQualification, WeightRestriction, Weights,
 };
 
 /// Seeds (= delay schedules) swept per test: 25 by default, widened in the
@@ -220,6 +224,271 @@ fn avid_totality_across_schedules() {
             }
         }
     }
+}
+
+/// Epoch-crossing sweep for the black-box transformation: a Bracha
+/// broadcast runs over virtual users while a churned epoch's
+/// `TicketDelta` is spliced in mid-flight, under both delay models and
+/// with a `SelectiveAck` quorum-splitter in the party set. Safety
+/// (every produced output is the sender's payload) must hold on every
+/// schedule and every delta; liveness for every honest party is
+/// additionally asserted for gain-only deltas (`leaving() == 0`), where
+/// no virtual user retires — the provably-live case of the
+/// `on_reconfigure` contract.
+#[test]
+fn blackbox_epoch_crossing_sweep() {
+    let weights = gen::zipf(40, 0.8, 1 << 16);
+    let params = WeightRestriction::new(Ratio::of(1, 4), Ratio::of(1, 3)).unwrap();
+    let solver = Swiper::new();
+    let epoch0 = solver.solve_restriction(&weights, &params).unwrap().assignment;
+    let total = usize::try_from(epoch0.total()).unwrap();
+    let payload = b"epoch-crossing black-box".to_vec();
+    let bracha_cfg = BrachaConfig::nominal(total);
+    let splitter: usize = 35; // light party, well under f_w = 1/4
+    let chosen: Vec<usize> = (0..20).collect();
+    for churn_pct in [1usize, 5] {
+        let churned_parties = (weights.len() * churn_pct).div_ceil(100);
+        for seed in seeds() {
+            for delay in [DelayModel::Uniform(1, 24), DelayModel::BiasAgainstLowIds(1, 40)] {
+                let mut rng = StdRng::seed_from_u64(seed ^ ((churn_pct as u64) << 32));
+                let next = churn(&weights, churned_parties, 5, &mut rng);
+                let epoch1 = solver.solve_restriction(&next, &params).unwrap().assignment;
+                let delta = TicketDelta::between(&epoch0, &epoch1).unwrap();
+                let gain_only = delta.leaving() == 0;
+                let config = BlackBoxConfig::new(weights.clone(), &epoch0, Ratio::of(1, 4));
+                let mut nodes: Vec<Box<dyn Protocol<Msg = BlackBoxMsg<BrachaMsg>>>> =
+                    Vec::new();
+                for party in 0..weights.len() {
+                    let bc = bracha_cfg.clone();
+                    let payload = payload.clone();
+                    let bb = BlackBox::new(config.clone(), party, move |v| {
+                        if v == 0 {
+                            BrachaNode::sender(bc.clone(), 0, payload.clone())
+                        } else {
+                            BrachaNode::new(bc.clone(), 0)
+                        }
+                    });
+                    if party == splitter {
+                        nodes.push(Box::new(SelectiveAck::new(bb, chosen.clone())));
+                    } else {
+                        nodes.push(Box::new(bb));
+                    }
+                }
+                let report = EpochedSimulation::new(nodes, seed)
+                    .with_delay(delay)
+                    .inject_at(60, delta)
+                    .run();
+                assert_eq!(report.reconfigurations, 1, "seed {seed} churn {churn_pct}%");
+                for (i, out) in report.outputs.iter().enumerate() {
+                    if let Some(out) = out {
+                        assert_eq!(
+                            out.as_slice(),
+                            payload.as_slice(),
+                            "party {i} adopted a forged output at seed {seed} \
+                             churn {churn_pct}% {delay:?}"
+                        );
+                    }
+                }
+                if gain_only {
+                    for i in (0..weights.len()).filter(|&i| i != splitter) {
+                        assert!(
+                            report.outputs[i].is_some(),
+                            "party {i} lost liveness on a gain-only delta at seed {seed} \
+                             churn {churn_pct}% {delay:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The same epoch crossing under the `AdaptiveDelay` zoo member: vouch
+/// messages — the zero-ticket catch-up path — are pinned to adversarial
+/// latency while inner traffic flows normally. Outputs must still be
+/// exactly the sender's payload on every schedule.
+#[test]
+fn blackbox_epoch_crossing_under_adaptive_vouch_delay() {
+    fn is_vouch(m: &BlackBoxMsg<BrachaMsg>) -> bool {
+        matches!(m, BlackBoxMsg::Vouch { .. })
+    }
+    let weights = gen::zipf(24, 0.9, 1 << 16);
+    let params = WeightRestriction::new(Ratio::of(1, 4), Ratio::of(1, 3)).unwrap();
+    let solver = Swiper::new();
+    let epoch0 = solver.solve_restriction(&weights, &params).unwrap().assignment;
+    let total = usize::try_from(epoch0.total()).unwrap();
+    let payload = b"vouch-delayed epoch crossing".to_vec();
+    let bracha_cfg = BrachaConfig::nominal(total);
+    for seed in seeds() {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(7919));
+        let next = churn(&weights, 2, 5, &mut rng);
+        let epoch1 = solver.solve_restriction(&next, &params).unwrap().assignment;
+        let delta = TicketDelta::between(&epoch0, &epoch1).unwrap();
+        let config = BlackBoxConfig::new(weights.clone(), &epoch0, Ratio::of(1, 4));
+        let nodes: Vec<Box<dyn Protocol<Msg = BlackBoxMsg<BrachaMsg>>>> = (0..weights.len())
+            .map(|party| {
+                let bc = bracha_cfg.clone();
+                let payload = payload.clone();
+                Box::new(BlackBox::new(config.clone(), party, move |v| {
+                    if v == 0 {
+                        BrachaNode::sender(bc.clone(), 0, payload.clone())
+                    } else {
+                        BrachaNode::new(bc.clone(), 0)
+                    }
+                })) as _
+            })
+            .collect();
+        let adaptive = AdaptiveDelay::new(DelayModel::Uniform(1, 24)).rule(is_vouch, 300);
+        let report = EpochedSimulation::new(nodes, seed)
+            .with_adaptive_delay(adaptive)
+            .inject_at(40, delta)
+            .run();
+        assert_eq!(report.reconfigurations, 1, "seed {seed}");
+        for (i, out) in report.outputs.iter().enumerate() {
+            if let Some(out) = out {
+                assert_eq!(out.as_slice(), payload.as_slice(), "party {i} seed {seed}");
+            }
+        }
+    }
+}
+
+/// Drives one live-vs-rebuild SMR replay: every snapshot is re-solved
+/// for both tracks (WQ for dissemination, WR for the beacon), spliced
+/// into a live [`SmrInstance`] and torn down + rebuilt in a baseline
+/// twin, with `rounds_per_epoch` rounds prepared per epoch and two of
+/// them left un-committed across each boundary. Returns `(live, base)`
+/// fully drained, ready for assertions.
+fn replay_smr_live_vs_rebuild(
+    snapshots: Vec<Weights>,
+    proposer_count: usize,
+    rounds_per_epoch: u64,
+    session_seed: u64,
+) -> (SmrInstance, SmrInstance) {
+    let wq = WeightQualification::new(Ratio::of(1, 3), Ratio::of(1, 4)).unwrap();
+    let wr = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2)).unwrap();
+    let mut reconf = Reconfigurator::new(
+        Swiper::new(),
+        vec![Setting::Qualification(wq), Setting::Restriction(wr)],
+    );
+    let n = snapshots.first().expect("at least one epoch").len();
+    let alive: Vec<usize> = (0..n).collect();
+    let proposers: Vec<usize> = (0..proposer_count.min(n)).collect();
+    let mut live: Option<SmrInstance> = None;
+    let mut base: Option<SmrInstance> = None;
+    let batch = |r: u64, p: usize| format!("b{r}-{p}").into_bytes();
+    reconf
+        .drive_simulation(snapshots, |weights, outcome| {
+            let wq_t = outcome.solutions[0].assignment.clone();
+            let wr_t = outcome.solutions[1].assignment.clone();
+            match (&mut live, &mut base) {
+                (Some(l), Some(b)) => {
+                    l.reconfigure(
+                        weights.clone(),
+                        wq_t.clone(),
+                        wr_t.clone(),
+                        ReconfigureMode::Live,
+                    );
+                    b.reconfigure(weights.clone(), wq_t, wr_t, ReconfigureMode::Rebuild);
+                }
+                _ => {
+                    live = Some(SmrInstance::new(
+                        weights.clone(),
+                        wq_t.clone(),
+                        Ratio::of(1, 4),
+                        wr_t.clone(),
+                        session_seed,
+                    ));
+                    base = Some(SmrInstance::new(
+                        weights.clone(),
+                        wq_t,
+                        Ratio::of(1, 4),
+                        wr_t,
+                        session_seed,
+                    ));
+                }
+            }
+            let (l, b) = (live.as_mut().expect("init"), base.as_mut().expect("init"));
+            for _ in 0..rounds_per_epoch {
+                for inst in [&mut *l, &mut *b] {
+                    inst.prepare(&proposers, batch);
+                    if inst.pipeline_len() > 2 {
+                        inst.commit(&alive);
+                    }
+                }
+            }
+        })
+        .unwrap();
+    let (mut l, mut b) = (live.expect("ran"), base.expect("ran"));
+    while l.commit(&alive).is_some() {}
+    while b.commit(&alive).is_some() {}
+    (l, b)
+}
+
+/// Builds an epoch chain: the base snapshot followed by successive churn.
+fn churn_chain(base: &Weights, epochs: u64, churned: usize, rng: &mut StdRng) -> Vec<Weights> {
+    let mut snapshot = base.clone();
+    (0..epochs)
+        .map(|_| {
+            let current = snapshot.clone();
+            snapshot = churn(&snapshot, churned, 5, rng);
+            current
+        })
+        .collect()
+}
+
+/// Epoch-crossing sweep for live SMR: per seed, a 6-epoch churn chain is
+/// re-solved for both tracks and spliced into a live [`SmrInstance`]
+/// while a teardown-rebuild twin replays the same epochs. The committed
+/// logs must be bit-identical on every seed at both churn levels, and
+/// the live instance must never restart *more* rounds than the baseline.
+#[test]
+fn smr_epoch_crossing_sweep() {
+    let base_weights = gen::zipf(40, 0.9, 1 << 16);
+    for churn_pct in [1usize, 5] {
+        let churned_parties = (base_weights.len() * churn_pct).div_ceil(100);
+        for seed in seeds() {
+            let mut rng = StdRng::seed_from_u64(seed ^ ((churn_pct as u64) << 40));
+            let snapshots = churn_chain(&base_weights, 6, churned_parties, &mut rng);
+            let (l, b) = replay_smr_live_vs_rebuild(snapshots, 6, 3, seed);
+            assert_eq!(
+                l.ledger(),
+                b.ledger(),
+                "live ledger diverged at seed {seed} churn {churn_pct}%"
+            );
+            assert!(
+                l.restarted_rounds() <= b.restarted_rounds(),
+                "live restarted more than the baseline at seed {seed} churn {churn_pct}%"
+            );
+            assert_eq!(
+                l.survived_rounds() + l.restarted_rounds(),
+                b.restarted_rounds(),
+                "every boundary-crossing round is either survived or restarted \
+                 (seed {seed} churn {churn_pct}%)"
+            );
+        }
+    }
+}
+
+/// The ISSUE acceptance criterion: a 25-epoch Tezos 1%-churn live-SMR
+/// replay commits the same log as the teardown-rebuild baseline while
+/// strictly reducing restarted rounds.
+#[test]
+fn tezos_live_smr_replay_matches_baseline_with_strictly_fewer_restarts() {
+    let base = Chain::Tezos.weights();
+    let churned = base.len().div_ceil(100); // 1% churn
+    let mut rng = StdRng::seed_from_u64(1);
+    let snapshots = churn_chain(&base, 25, churned, &mut rng);
+    let (l, b) = replay_smr_live_vs_rebuild(snapshots, 8, 4, 7);
+    assert_eq!(l.ledger(), b.ledger(), "live must commit the baseline's log");
+    assert!(!l.ledger().is_empty(), "the replay must commit blocks");
+    assert!(
+        l.restarted_rounds() < b.restarted_rounds(),
+        "live reconfiguration must strictly reduce restarted rounds: {} vs {}",
+        l.restarted_rounds(),
+        b.restarted_rounds()
+    );
+    assert!(l.survived_rounds() > 0, "some rounds must survive an epoch change");
+    assert!(l.rekeys() < b.rekeys(), "the beacon state must be carried when WR holds");
 }
 
 /// Solver determinism across platforms is seed-independent by design;
