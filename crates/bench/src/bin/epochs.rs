@@ -21,8 +21,8 @@
 //!
 //! ```text
 //! cargo run --release -p swiper-bench --bin epochs -- [--epochs N] \
-//!     [--churn 1,5,20] [--chains aptos,tezos] [--seed S] [--smr] \
-//!     [--ci-smoke] [--quiet]
+//!     [--churn 1,5,20] [--churn-mode drift|mixed] [--chains aptos,tezos] \
+//!     [--seed S] [--smr] [--ci-smoke] [--quiet]
 //! ```
 //!
 //! `--smr` switches from solver-only replay to **live SMR replay**: each
@@ -42,14 +42,16 @@ use std::process::ExitCode;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use swiper_core::{Ratio, Swiper, WeightQualification, WeightRestriction};
+use swiper_core::{Ratio, Swiper, VirtualUsers, WeightQualification, WeightRestriction};
+use swiper_protocols::quorum::{CountQuorum, QuorumTracker, Roster};
 use swiper_protocols::smr::{ReconfigureMode, SmrInstance};
-use swiper_weights::epoch::{churn, Reconfigurator, Setting};
+use swiper_weights::epoch::{churn_with, ChurnMode, Reconfigurator, Setting};
 use swiper_weights::Chain;
 
 struct Args {
     epochs: u64,
     churn_pcts: Vec<u64>,
+    churn_mode: ChurnMode,
     chains: Vec<Chain>,
     seed: u64,
     smr: bool,
@@ -61,6 +63,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         epochs: 16,
         churn_pcts: vec![1, 5, 20],
+        churn_mode: ChurnMode::Drift,
         chains: vec![Chain::Aptos, Chain::Tezos],
         seed: 1,
         smr: false,
@@ -92,6 +95,11 @@ fn parse_args() -> Result<Args, String> {
             }
             "--seed" => {
                 args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--churn-mode" => {
+                let spelled = value("--churn-mode")?;
+                args.churn_mode = ChurnMode::parse(spelled.trim())
+                    .ok_or_else(|| format!("unknown churn mode `{spelled}`"))?;
             }
             "--smr" => args.smr = true,
             "--ci-smoke" => args.ci_smoke = true,
@@ -169,7 +177,7 @@ fn run_scenario(chain: Chain, churn_pct: u64, args: &Args) -> ScenarioReport {
                 if lookups == 0 { 0.0 } else { hits as f64 / lookups as f64 },
             );
         }
-        snapshot = churn(&snapshot, churned, 5, &mut rng);
+        snapshot = churn_with(args.churn_mode, &snapshot, churned, 5, &mut rng);
     }
     let rate = if lookups == 0 { 0.0 } else { hits as f64 / lookups as f64 };
     println!(
@@ -200,6 +208,9 @@ struct SmrReport {
     survived: u64,
     restarted_live: u64,
     restarted_base: u64,
+    /// Epochs where the stable-id census missed the live population —
+    /// a double-counted (or stranded) quorum voter. Always a failure.
+    double_counts: u64,
 }
 
 /// One chain × churn **live SMR** replay: every epoch is re-solved for
@@ -226,19 +237,48 @@ fn run_smr_scenario(chain: Chain, churn_pct: u64, args: &Args) -> SmrReport {
     let snapshots: Vec<_> = (0..args.epochs)
         .map(|_| {
             let current = snapshot.clone();
-            snapshot = churn(&snapshot, churned, 5, &mut rng);
+            snapshot = churn_with(args.churn_mode, &snapshot, churned, 5, &mut rng);
             current
         })
         .collect();
 
     let mut live: Option<SmrInstance> = None;
     let mut base: Option<SmrInstance> = None;
+    // Cross-epoch quorum-identity audit: a census tracker votes every
+    // live WR virtual user each epoch, migrating across the epoch's
+    // delta. Stable keying must land exactly on the live population every
+    // epoch — any excess is a double-counted voter (the dense-id bug),
+    // any deficit a stranded survivor.
+    let mut audit: Option<(Roster, CountQuorum)> = None;
+    let mut double_counts = 0u64;
     let session_seed = args.seed;
     let quiet = args.quiet;
     let mut epoch = 0u64;
     let result = reconf.drive_simulation(snapshots, |weights, outcome| {
         let wq_t = outcome.solutions[0].assignment.clone();
         let wr_t = outcome.solutions[1].assignment.clone();
+        match &mut audit {
+            Some((roster, census)) => {
+                if let Some(delta) = outcome.deltas[1].as_ref() {
+                    roster.apply_delta(delta).expect("WR deltas arrive in sequence");
+                    census.migrate(roster);
+                }
+                for v in 0..roster.total() {
+                    census.vote(roster.stable_of(v));
+                }
+                double_counts += u64::from(census.count() != roster.total());
+            }
+            None => {
+                let mapping = VirtualUsers::from_assignment(&wr_t).expect("fits memory");
+                let roster = Roster::new(mapping);
+                let mut census = CountQuorum::at_least(roster.total(), 1);
+                for v in 0..roster.total() {
+                    census.vote(roster.stable_of(v));
+                }
+                double_counts += u64::from(census.count() != roster.total());
+                audit = Some((roster, census));
+            }
+        }
         match (&mut live, &mut base) {
             (Some(l), Some(b)) => {
                 let crossing = l.reconfigure(
@@ -299,7 +339,13 @@ fn run_smr_scenario(chain: Chain, churn_pct: u64, args: &Args) -> SmrReport {
     });
     if let Err(e) = result {
         eprintln!("{chain} SMR churn={churn_pct}%: solve failed: {e}");
-        return SmrReport { failed: true, survived: 0, restarted_live: 0, restarted_base: 0 };
+        return SmrReport {
+            failed: true,
+            survived: 0,
+            restarted_live: 0,
+            restarted_base: 0,
+            double_counts: 0,
+        };
     }
     let (mut l, mut b) = (live.expect("ran"), base.expect("ran"));
     while l.commit(&alive).is_some() {}
@@ -311,9 +357,16 @@ fn run_smr_scenario(chain: Chain, churn_pct: u64, args: &Args) -> SmrReport {
              teardown-rebuild baseline — the live reconfiguration is broken"
         );
     }
+    if double_counts > 0 {
+        eprintln!(
+            "{chain} SMR churn={churn_pct}%: quorum double-count telemetry tripped on \
+             {double_counts} epoch(s) — stable-id vote migration is broken"
+        );
+    }
     println!(
         "{:10} SMR churn={:2}% summary: epochs={} committed={} survived={} \
-         restarted_live={} restarted_base={} rekeys={}/{} coded_mb={:.2}/{:.2} ledger={}",
+         restarted_live={} restarted_base={} rekeys={}/{} coded_mb={:.2}/{:.2} \
+         double_counts={} ledger={}",
         chain.name(),
         churn_pct,
         args.epochs,
@@ -325,13 +378,15 @@ fn run_smr_scenario(chain: Chain, churn_pct: u64, args: &Args) -> SmrReport {
         b.rekeys(),
         l.coded_bytes() as f64 / 1e6,
         b.coded_bytes() as f64 / 1e6,
+        double_counts,
         if diverged { "DIVERGED" } else { "match" },
     );
     SmrReport {
-        failed: diverged,
+        failed: diverged || double_counts > 0,
         survived: l.survived_rounds(),
         restarted_live: l.restarted_rounds(),
         restarted_base: b.restarted_rounds(),
+        double_counts,
     }
 }
 
@@ -349,6 +404,13 @@ fn main() -> ExitCode {
             if args.smr {
                 let report = run_smr_scenario(chain, churn_pct, &args);
                 ok &= !report.failed;
+                if args.ci_smoke && report.double_counts > 0 {
+                    eprintln!(
+                        "{chain} SMR churn={churn_pct}%: {} double-count epoch(s) \
+                         (see telemetry above)",
+                        report.double_counts
+                    );
+                }
                 if args.ci_smoke && churn_pct == 1 {
                     if report.restarted_live >= report.restarted_base {
                         eprintln!(

@@ -136,7 +136,7 @@ pub use problems::{WeightQualification, WeightRestriction, WeightSeparation};
 pub use ratio::Ratio;
 pub use solver::{Instance, Mode, Solution, SolveStats, Swiper};
 pub use verify::{verify_qualification, verify_restriction, verify_separation};
-pub use virtual_users::{TicketChange, TicketDelta, VirtualUsers};
+pub use virtual_users::{PartyId, StableId, TicketChange, TicketDelta, VirtualUsers};
 pub use weights::Weights;
 
 #[cfg(test)]

@@ -21,8 +21,10 @@
 //!
 //! Batch workloads (parameter sweeps, per-epoch re-solves over many chains)
 //! go through [`Swiper::solve_many`], which fans instances out across OS
-//! threads — weight reduction instances are embarrassingly parallel — while
-//! each worker recycles one oracle's memoized scratch across its share.
+//! threads — weight reduction instances are embarrassingly parallel — via a
+//! work-stealing index cursor (so one oversized instance never serializes a
+//! whole chunk behind it), while each worker recycles one oracle's memoized
+//! scratch across every instance it claims.
 
 use serde::{Deserialize, Serialize};
 
@@ -364,11 +366,17 @@ impl Swiper {
     /// Solves a batch of independent instances, in parallel across OS
     /// threads, returning solutions in input order.
     ///
-    /// Weight reduction instances share nothing, so the batch is split into
-    /// contiguous chunks — one per available core — and each worker drives
-    /// its own oracle, whose memoized scratch (sorted prefix sums, DP
-    /// table) is recycled across the worker's whole share. Results are
-    /// deterministic and identical to solving each instance alone.
+    /// Weight reduction instances share nothing, so the batch fans out
+    /// over a **work-stealing cursor**: workers claim the next unsolved
+    /// index from a shared atomic counter, so one huge instance (a
+    /// Filecoin-sized separation, say) occupies a single worker while the
+    /// rest drain the remaining batch — no long-tail imbalance from
+    /// contiguous chunking. Each worker drives its own oracle, whose
+    /// memoized scratch (sorted prefix sums, DP table) is recycled across
+    /// every instance that worker claims. Oracle scratch never changes
+    /// answers (only cost), so results — solutions *and* per-solve stats —
+    /// are deterministic, in input order, and identical to solving each
+    /// instance alone sequentially.
     ///
     /// # Errors
     ///
@@ -380,7 +388,6 @@ impl Swiper {
             return Ok(Vec::new());
         }
         let workers = std::thread::available_parallelism().map_or(1, |p| p.get()).min(n);
-        let chunk = n.div_ceil(workers);
         let mut slots: Vec<Option<Result<Solution, CoreError>>> = vec![None; n];
         if workers <= 1 {
             let oracle = &mut *self.mode.new_oracle();
@@ -388,15 +395,23 @@ impl Swiper {
                 *slot = Some(self.solve_instance_with(oracle, inst));
             }
         } else {
+            let cursor = std::sync::atomic::AtomicUsize::new(0);
+            // One uncontended mutex per slot: each index is claimed by
+            // exactly one worker through the cursor, so locks never block;
+            // they only let the borrow checker hand out disjoint slots.
+            let locked: Vec<std::sync::Mutex<&mut Option<Result<Solution, CoreError>>>> =
+                slots.iter_mut().map(std::sync::Mutex::new).collect();
             std::thread::scope(|scope| {
-                for (inst_chunk, slot_chunk) in
-                    instances.chunks(chunk).zip(slots.chunks_mut(chunk))
-                {
-                    let solver = *self;
+                for _ in 0..workers {
+                    let (solver, cursor, locked) = (*self, &cursor, &locked);
                     scope.spawn(move || {
                         let oracle = &mut *solver.mode.new_oracle();
-                        for (inst, slot) in inst_chunk.iter().zip(slot_chunk.iter_mut()) {
-                            *slot = Some(solver.solve_instance_with(oracle, inst));
+                        loop {
+                            let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let Some(inst) = instances.get(i) else { break };
+                            let solved = solver.solve_instance_with(oracle, inst);
+                            **locked[i].lock().expect("slot lock never poisoned") =
+                                Some(solved);
                         }
                     });
                 }
@@ -512,7 +527,6 @@ impl Swiper {
             None => solver.solve_instance_with(oracle, inst),
         };
         let workers = std::thread::available_parallelism().map_or(1, |p| p.get()).min(n);
-        let chunk = n.div_ceil(workers);
         let mut slots: Vec<Option<Result<Solution, CoreError>>> = vec![None; n];
         if workers <= 1 {
             for (((inst, prior), oracle), slot) in
@@ -521,23 +535,24 @@ impl Swiper {
                 *slot = Some(solve_one(self, oracle, inst, prior));
             }
         } else {
+            // Work-stealing over a shared cursor, same shape as
+            // [`Swiper::solve_many`]; here each index additionally owns a
+            // dedicated persistent oracle, so the per-index mutex bundles
+            // the oracle with its result slot (claimed exactly once, so
+            // the locks never contend).
+            type WorkItem<'a, O> = (&'a mut O, &'a mut Option<Result<Solution, CoreError>>);
+            let cursor = std::sync::atomic::AtomicUsize::new(0);
+            let locked: Vec<std::sync::Mutex<WorkItem<'_, O>>> =
+                oracles.iter_mut().zip(slots.iter_mut()).map(std::sync::Mutex::new).collect();
             std::thread::scope(|scope| {
-                let mut rest_o = oracles;
-                let mut rest_s = slots.as_mut_slice();
-                for (inst_chunk, prior_chunk) in
-                    instances.chunks(chunk).zip(priors.chunks(chunk))
-                {
-                    let (o_chunk, o_tail) = rest_o.split_at_mut(inst_chunk.len());
-                    let (s_chunk, s_tail) = rest_s.split_at_mut(inst_chunk.len());
-                    rest_o = o_tail;
-                    rest_s = s_tail;
-                    let solver = *self;
-                    scope.spawn(move || {
-                        for (((inst, prior), oracle), slot) in
-                            inst_chunk.iter().zip(prior_chunk).zip(o_chunk).zip(s_chunk)
-                        {
-                            *slot = Some(solve_one(&solver, oracle, inst, prior));
-                        }
+                for _ in 0..workers {
+                    let (solver, cursor, locked) = (*self, &cursor, &locked);
+                    scope.spawn(move || loop {
+                        let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(inst) = instances.get(i) else { break };
+                        let mut cell = locked[i].lock().expect("slot lock never poisoned");
+                        let (oracle, slot) = &mut *cell;
+                        **slot = Some(solve_one(&solver, oracle, inst, &priors[i]));
                     });
                 }
             });
@@ -1146,6 +1161,48 @@ mod tests {
                 prop_assert_eq!(new.ticket_bound, old.ticket_bound);
                 prop_assert_eq!(new.stats, old.stats, "{:?}", mode);
                 prop_assert!(new.stats.dp_invocations <= old.stats.dp_invocations);
+            }
+        }
+
+        /// The work-stealing batch fan-out must be invisible: whatever
+        /// order workers claim instances in, `solve_many` returns
+        /// solutions in input order with assignments *and* per-solve
+        /// stats bit-identical to the sequential one-oracle-per-instance
+        /// path. Mixed instance sizes (one whale-heavy vector among small
+        /// ones) exercise the imbalance the cursor exists to absorb.
+        #[test]
+        fn solve_many_work_stealing_matches_sequential_order_and_stats(
+            vectors in proptest::collection::vec(
+                proptest::collection::vec(1u64..50_000, 1..12), 1..8),
+            whale in 10_000u64..10_000_000,
+            pw in 1u128..6, pn in 2u128..7,
+        ) {
+            let aw = Ratio::of(pw, 7);
+            let an = Ratio::of(pn, 7);
+            prop_assume!(aw < an && aw.is_proper() && an.is_proper());
+            let p = WeightRestriction::new(aw, an).unwrap();
+            let instances: Vec<Instance> = vectors
+                .iter()
+                .enumerate()
+                .map(|(i, v)| {
+                    let mut v = v.clone();
+                    if i == 0 {
+                        // One oversized instance at the front: under the
+                        // old contiguous chunking this serialized its
+                        // whole chunk; the cursor must not change results.
+                        v.push(whale);
+                    }
+                    Instance::restriction(Weights::new(v).unwrap(), p)
+                })
+                .collect();
+            let solver = Swiper::new();
+            let batch = solver.solve_many(&instances).unwrap();
+            prop_assert_eq!(batch.len(), instances.len());
+            for (inst, sol) in instances.iter().zip(&batch) {
+                let alone = solver.solve_instance(inst).unwrap();
+                prop_assert_eq!(&sol.assignment, &alone.assignment);
+                prop_assert_eq!(sol.ticket_bound, alone.ticket_bound);
+                prop_assert_eq!(sol.stats, alone.stats, "stats identity");
             }
         }
 

@@ -16,6 +16,67 @@ use serde::{Deserialize, Serialize};
 use crate::assignment::{tickets_fingerprint, TicketAssignment};
 use crate::error::CoreError;
 
+/// A real party's index, as carried inside a [`StableId`]. Party sets are
+/// fixed across epochs (a [`TicketDelta`] covers the same parties on both
+/// sides), so a `PartyId` never renumbers.
+pub type PartyId = u32;
+
+/// The epoch-stable identity of a virtual user: the `offset`-th virtual
+/// user controlled by `party`.
+///
+/// Dense virtual ids are a per-epoch artifact — any [`TicketDelta`] that
+/// touches party `i` renumbers every virtual user after `i`'s range.
+/// `(party, offset)` is the coordinate that survives: after
+/// [`VirtualUsers::apply_delta`], the same `StableId` still names the same
+/// logical sub-instance as long as `offset` is below the party's new
+/// ticket count. Quorum trackers key votes on `StableId` and wire formats
+/// carry `StableId`s, so one logical voter can never be double-counted
+/// under its pre- and post-epoch dense ids.
+///
+/// The ordering is `(party, offset)` lexicographic — the same order dense
+/// ids enumerate the users of one epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct StableId {
+    /// The controlling party.
+    pub party: PartyId,
+    /// Position within the party's range (`0..tickets[party]`).
+    pub offset: u32,
+}
+
+impl StableId {
+    /// The identity at `(party, offset)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either coordinate exceeds the `u32` wire envelope
+    /// (party counts and per-party ticket counts far beyond any real
+    /// deployment).
+    pub fn new(party: usize, offset: u64) -> Self {
+        StableId {
+            party: PartyId::try_from(party).expect("party id fits the wire envelope"),
+            offset: u32::try_from(offset).expect("offset fits the wire envelope"),
+        }
+    }
+
+    /// The identity of a party acting in its own name (offset 0) — the
+    /// form party-keyed weighted protocols use, where the party set is
+    /// fixed and every party is its own stable identity.
+    pub fn solo(party: usize) -> Self {
+        StableId::new(party, 0)
+    }
+
+    /// The controlling party as an index.
+    pub fn party_ix(&self) -> usize {
+        self.party as usize
+    }
+}
+
+impl std::fmt::Display for StableId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}#{}", self.party, self.offset)
+    }
+}
+
 /// One party's ticket-count change between two epochs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TicketChange {
@@ -250,6 +311,37 @@ impl VirtualUsers {
         } else {
             None
         }
+    }
+
+    /// The epoch-stable identity of virtual user `v` under this epoch's
+    /// numbering — [`VirtualUsers::locate`] packaged as a [`StableId`].
+    /// The inverse of [`VirtualUsers::dense_of`] over live ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= self.total()` or the coordinate exceeds the
+    /// [`StableId`] wire envelope.
+    pub fn stable_of(&self, v: usize) -> StableId {
+        let (party, offset) = self.locate(v);
+        StableId::new(party, offset)
+    }
+
+    /// The dense virtual id currently backing `id`, or `None` when the
+    /// identity is retired (offset at or beyond the party's ticket count)
+    /// or names an unknown party. The inverse of
+    /// [`VirtualUsers::stable_of`]. Unlike [`VirtualUsers::at`] this never
+    /// panics — `id` may come straight off the wire.
+    pub fn dense_of(&self, id: StableId) -> Option<usize> {
+        let party = id.party_ix();
+        if party >= self.parties() {
+            return None;
+        }
+        self.at(party, u64::from(id.offset))
+    }
+
+    /// Whether `id` names a live virtual user in this epoch.
+    pub fn contains(&self, id: StableId) -> bool {
+        self.dense_of(id).is_some()
     }
 
     /// Whether party `i` controls no virtual user — such parties must learn
@@ -502,6 +594,50 @@ mod tests {
             }
             let rebuilt = VirtualUsers::from_assignment(&current).unwrap();
             prop_assert_eq!(incremental, rebuilt);
+        }
+
+        /// Stable identities survive arbitrary delta chains: for every
+        /// epoch along a random k-delta chain, `stable_of ∘ dense_of` is
+        /// the identity on live ids, and an id that was live in the base
+        /// epoch resolves after the whole chain **iff** its offset is
+        /// still below its party's final ticket count — in which case it
+        /// names the same `(party, offset)` coordinate it always did.
+        /// This is the invariant that lets quorum trackers keyed on
+        /// `StableId` carry votes across renumbering epochs.
+        #[test]
+        fn stable_ids_round_trip_across_delta_chains(
+            base in proptest::collection::vec(0u64..9, 1..16),
+            epochs in proptest::collection::vec(
+                proptest::collection::vec(0u64..9, 16), 1..6),
+        ) {
+            let n = base.len();
+            let mut current = TicketAssignment::new(base);
+            let base_map = VirtualUsers::from_assignment(&current).unwrap();
+            let base_ids: Vec<StableId> =
+                (0..base_map.total()).map(|v| base_map.stable_of(v)).collect();
+            let mut mapping = base_map.clone();
+            for epoch in &epochs {
+                let next = TicketAssignment::new(epoch[..n].to_vec());
+                let delta = TicketDelta::between(&current, &next).unwrap();
+                mapping.apply_delta(&delta).unwrap();
+                current = next;
+                // Per-epoch bijection between live dense ids and stable ids.
+                for v in 0..mapping.total() {
+                    let id = mapping.stable_of(v);
+                    prop_assert_eq!(mapping.dense_of(id), Some(v));
+                }
+            }
+            // Survivors of the whole chain keep their coordinate; retirees
+            // resolve to nothing.
+            for id in base_ids {
+                let survives = u64::from(id.offset) < mapping.tickets_of(id.party_ix());
+                prop_assert_eq!(mapping.contains(id), survives);
+                if let Some(v) = mapping.dense_of(id) {
+                    prop_assert_eq!(mapping.stable_of(v), id);
+                }
+            }
+            // Unknown parties never resolve (wire inputs must not panic).
+            prop_assert_eq!(mapping.dense_of(StableId::new(n, 0)), None);
         }
 
         /// `locate` and `at` are inverse bijections over live ids.

@@ -14,6 +14,9 @@
 //!   conflicting broadcasts);
 //! * [`SelectiveAck`] — runs the inner automaton honestly but lets its
 //!   traffic reach only a chosen quorum, stalling everyone else;
+//! * [`EpochShifter`] — honest until the first reconfiguration, then
+//!   replays its old-epoch traffic so the same logical votes straddle the
+//!   boundary under two numberings (the attack on cross-epoch identity);
 //! * [`AdaptiveDelay`] — not a node but a *delay model keyed on message
 //!   type*, pinning chosen message classes to adversarial latencies.
 
@@ -276,6 +279,78 @@ impl<P: Protocol> Protocol for SelectiveAck<P> {
     fn on_reconfigure(&mut self, delta: &TicketDelta, ctx: &mut Context<Self::Msg>) {
         self.inner.on_reconfigure(delta, ctx);
         self.filter(ctx);
+    }
+}
+
+/// An epoch-crossing adversary: behaves honestly until the first
+/// reconfiguration, then **replays every message it sent under the old
+/// epoch's identities** — the natural attack on a translation layer. The
+/// replayed wire bytes were minted when live participants held their
+/// pre-epoch dense numbering, so straddling deliveries hand the receiver
+/// the *same logical vote twice, once under each epoch's numbering*.
+///
+/// The defense under test is stable-identity resolution: wire formats
+/// that name endpoints by `(party, offset)` resolve both copies to the
+/// same logical voter, and stable-keyed quorum trackers dedupe them.
+/// A dense-id design (per-epoch translation tables) translates the
+/// pre-boundary copy under the old numbering and the post-boundary copy
+/// under the new one — two distinct tracker keys, double-counted weight.
+///
+/// Replay is *withholding-free*: the inner automaton runs honestly
+/// throughout, so the adversary stays inside the resilience budget; its
+/// only power is the duplicate schedule.
+pub struct EpochShifter<P: Protocol> {
+    inner: P,
+    sent: Vec<(NodeId, P::Msg)>,
+    shifted: bool,
+}
+
+impl<P: Protocol> EpochShifter<P> {
+    /// Wraps `inner`; the replay fires at the first reconfiguration.
+    pub fn new(inner: P) -> Self {
+        EpochShifter { inner, sent: Vec::new(), shifted: false }
+    }
+
+    /// Records this phase's fresh sends (pre-boundary only — the replay
+    /// payload is exactly the old epoch's traffic).
+    fn record(&mut self, ctx: &Context<P::Msg>, from: usize) {
+        if !self.shifted {
+            self.sent.extend(ctx.outbox[from..].iter().cloned());
+        }
+    }
+}
+
+impl<P: Protocol> Protocol for EpochShifter<P> {
+    type Msg = P::Msg;
+
+    fn on_start(&mut self, ctx: &mut Context<Self::Msg>) {
+        let before = ctx.outbox.len();
+        self.inner.on_start(ctx);
+        self.record(ctx, before);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: Self::Msg, ctx: &mut Context<Self::Msg>) {
+        let before = ctx.outbox.len();
+        self.inner.on_message(from, msg, ctx);
+        self.record(ctx, before);
+    }
+
+    fn on_timer(&mut self, id: u64, ctx: &mut Context<Self::Msg>) {
+        let before = ctx.outbox.len();
+        self.inner.on_timer(id, ctx);
+        self.record(ctx, before);
+    }
+
+    fn on_reconfigure(&mut self, delta: &TicketDelta, ctx: &mut Context<Self::Msg>) {
+        self.inner.on_reconfigure(delta, ctx);
+        if !self.shifted {
+            self.shifted = true;
+            // Equivocate under the old epoch's identities: every message
+            // minted pre-boundary goes out again, verbatim, into the new
+            // epoch.
+            let replay: Vec<_> = self.sent.drain(..).collect();
+            ctx.outbox.extend(replay);
+        }
     }
 }
 

@@ -140,18 +140,36 @@ pub trait Protocol {
     /// changed by `delta`, and the node should splice the change into its
     /// live state instead of tearing the instance down.
     ///
-    /// The contract for implementors:
+    /// The contract is written in terms of **stable identities**
+    /// (`swiper_core::StableId`, the `(party, offset)` coordinate of a
+    /// virtual user): dense per-epoch indices renumber whenever a delta
+    /// touches an earlier party, so nothing a node keeps across this call
+    /// — and nothing it ever puts on the wire — may be keyed by dense
+    /// index. For implementors:
     ///
-    /// * **May keep** all state attached to *surviving* identities —
-    ///   per-virtual-user sub-instances whose `(owner, offset)` coordinate
-    ///   is still live under the new assignment, committed outputs, and
-    ///   collected quorum progress among unchanged parties.
-    /// * **Must drop** state attached to *retired* identities (a party's
-    ///   virtual users at offsets at or beyond its new ticket count) and
-    ///   must re-derive anything computed from the old ticket *totals*
-    ///   (coding parameters, thresholds) when the delta changes them.
-    /// * **Must spawn** newly added identities mid-flight; they start from
+    /// * **Keep** all state attached to *surviving* stable identities
+    ///   (offsets below their party's new ticket count): sub-instances,
+    ///   committed outputs, and accumulated quorum progress. Stable keys
+    ///   make survival automatic — there is nothing to re-key.
+    /// * **Shed** state attached to *retired* identities: drop their
+    ///   sub-instances and pending timers, and *migrate* quorum trackers
+    ///   so retired voters' weight is released rather than frozen in
+    ///   (`swiper-protocols`' `QuorumTracker::migrate`). Re-derive
+    ///   anything computed from the old ticket *totals* (thresholds,
+    ///   populations) from the new assignment.
+    /// * **Spawn** newly added identities mid-flight; they start from
     ///   `on_start` and may rely on vouching/relay paths to catch up.
+    /// * Hosts that run nested automata (the black-box wrapper) must
+    ///   **propagate** this call to each surviving automaton so it can
+    ///   migrate its own trackers.
+    ///
+    /// Under this contract both gain-only and *shrinking/renumbering*
+    /// deltas are safe and live — the epoch-crossing seed sweeps pin both
+    /// without carve-outs. The remaining pinned-identity limit is
+    /// cryptographic material dealt to dense positions (threshold key
+    /// shares, fragment indices): those survive exactly the deltas that
+    /// keep their positions meaningful, and deployments re-deal them when
+    /// the relevant assignment moves (as the SMR composition does).
     ///
     /// The default implementation ignores the event, which is correct for
     /// protocols whose configuration does not embed the assignment.
@@ -546,6 +564,20 @@ impl<M: Clone + MessageSize> EpochedSimulation<M> {
         self
     }
 
+    /// Schedules a whole epoch chain: each `(at_event, delta)` pair is
+    /// injected in order. Shrinking and renumbering deltas are first-class
+    /// — the schedule is exactly what a churned multi-epoch replay (mixed
+    /// joins, leaves and live renumbering every epoch) hands the driver.
+    pub fn inject_schedule<I>(mut self, schedule: I) -> Self
+    where
+        I: IntoIterator<Item = (u64, TicketDelta)>,
+    {
+        for (at_event, delta) in schedule {
+            self.sim = self.sim.with_reconfiguration(at_event, delta);
+        }
+        self
+    }
+
     /// Runs to quiescence (or the event cap) and reports.
     pub fn run(self) -> RunReport {
         self.sim.run()
@@ -816,6 +848,50 @@ mod tests {
             "simulated time regressed across the epoch boundary: {stamps:?}"
         );
         assert_eq!(stamps.len(), 3, "reconfigure + timer + self-message all observed");
+    }
+
+    #[test]
+    fn inject_schedule_composes_epoch_chains_in_order() {
+        use swiper_core::{TicketAssignment, TicketDelta};
+
+        /// Counts reconfigurations; keeps traffic alive long enough for
+        /// the whole schedule to fire.
+        struct EpochCounter {
+            seen: u8,
+            bounced: u32,
+        }
+        impl Protocol for EpochCounter {
+            type Msg = u64;
+            fn on_start(&mut self, ctx: &mut Context<u64>) {
+                ctx.broadcast(0);
+            }
+            fn on_message(&mut self, _f: NodeId, _m: u64, ctx: &mut Context<u64>) {
+                if self.bounced < 20 {
+                    self.bounced += 1;
+                    ctx.broadcast(0);
+                }
+            }
+            fn on_reconfigure(&mut self, _d: &TicketDelta, ctx: &mut Context<u64>) {
+                self.seen += 1;
+                ctx.output(vec![self.seen]);
+            }
+        }
+
+        // A mixed chain: grow, then shrink-and-renumber, then grow again —
+        // each delta diffed against its predecessor.
+        let e0 = TicketAssignment::new(vec![2, 1]);
+        let e1 = TicketAssignment::new(vec![3, 1]);
+        let e2 = TicketAssignment::new(vec![1, 2]);
+        let e3 = TicketAssignment::new(vec![2, 2]);
+        let schedule = vec![
+            (2, TicketDelta::between(&e0, &e1).unwrap()),
+            (5, TicketDelta::between(&e1, &e2).unwrap()),
+            (9, TicketDelta::between(&e2, &e3).unwrap()),
+        ];
+        let nodes: Vec<Box<dyn Protocol<Msg = u64>>> =
+            (0..2).map(|_| Box::new(EpochCounter { seen: 0, bounced: 0 }) as _).collect();
+        let report = EpochedSimulation::new(nodes, 3).inject_schedule(schedule).run();
+        assert_eq!(report.reconfigurations, 3);
     }
 
     #[test]

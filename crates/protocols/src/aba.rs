@@ -20,11 +20,11 @@
 use std::collections::HashMap;
 
 use rand::Rng;
-use swiper_core::{Ratio, TicketAssignment, VirtualUsers, Weights};
+use swiper_core::{Ratio, StableId, TicketAssignment, TicketDelta, VirtualUsers, Weights};
 use swiper_crypto::thresh::{KeyShare, PartialSignature, PublicKey, ThresholdScheme};
 use swiper_net::{Context, MessageSize, NodeId, Protocol};
 
-use crate::quorum::{Quorum, QuorumTracker, WeightQuorum};
+use crate::quorum::{CountQuorum, IdentityView, Quorum, QuorumTracker, Roster, WeightQuorum};
 
 /// ABA protocol messages.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -76,6 +76,10 @@ pub struct AbaSetup {
     shares: Vec<Vec<KeyShare>>,
     /// Domain-separation tag so concurrent instances draw distinct coins.
     instance: u64,
+    /// Identity regime: [`IdentityView::Party`] for fixed party sets (the
+    /// default), [`IdentityView::Virtual`] for a nominal instance hosted
+    /// over a black-box roster whose population renumbers across epochs.
+    view: IdentityView,
 }
 
 impl AbaSetup {
@@ -104,7 +108,7 @@ impl AbaSetup {
         let shares = (0..mapping.parties())
             .map(|p| mapping.virtuals_of(p).map(|v| all_shares[v]).collect())
             .collect();
-        AbaSetup { weights, scheme, pk, shares, instance }
+        AbaSetup { weights, scheme, pk, shares, instance, view: IdentityView::Party }
     }
 
     /// Nominal instance: equal weights, one coin share per party.
@@ -112,6 +116,21 @@ impl AbaSetup {
         let weights = Weights::new(vec![1; n]).expect("n > 0");
         let tickets = TicketAssignment::new(vec![1; n]);
         Self::deal(weights, &tickets, instance, rng)
+    }
+
+    /// Installs the epoch-aware identity regime for a *nominal* instance
+    /// hosted over a black-box [`Roster`]: quorums become count-based over
+    /// the roster's current population, votes are keyed by stable
+    /// `(party, offset)` identity, and [`Protocol::on_reconfigure`]
+    /// migrates them across renumbering deltas. The coin's threshold keys
+    /// stay pinned to the dealing epoch (share indices are fixed points of
+    /// the scheme), so coin liveness across epochs holds exactly when
+    /// enough dealt shares survive — the documented limit of delta-only
+    /// reconfiguration for threshold cryptography.
+    #[must_use]
+    pub fn with_roster(mut self, roster: Roster) -> Self {
+        self.view = IdentityView::Virtual(roster);
+        self
     }
 
     fn coin_tag(&self, round: u32) -> Vec<u8> {
@@ -122,7 +141,28 @@ impl AbaSetup {
     }
 
     fn quorum(&self, threshold: Ratio) -> Quorum {
-        Quorum::Weight(WeightQuorum::new(self.weights.clone(), threshold))
+        match self.view.roster() {
+            None => Quorum::Weight(WeightQuorum::new(self.weights.clone(), threshold)),
+            Some(roster) => Quorum::Count(CountQuorum::new(roster.total(), threshold)),
+        }
+    }
+
+    /// One voter's contribution to a weighted tally (unit in the
+    /// roster-hosted nominal regime, the party's stake otherwise).
+    fn weight_of(&self, voter: StableId) -> u128 {
+        match self.view.roster() {
+            None => u128::from(self.weights.get(voter.party_ix())),
+            Some(_) => 1,
+        }
+    }
+
+    /// The weighted tally's denominator (current population or stake
+    /// total).
+    fn weight_total(&self) -> u128 {
+        match self.view.roster() {
+            None => self.weights.total(),
+            Some(roster) => roster.total() as u128,
+        }
     }
 }
 
@@ -133,8 +173,8 @@ struct RoundState {
     bval_relay: [Quorum; 2],
     bin: [bool; 2],
     aux_sent: bool,
-    /// First AUX value per party.
-    aux_of: HashMap<NodeId, bool>,
+    /// First AUX value per stable voter identity.
+    aux_of: HashMap<StableId, bool>,
     coin_sent: bool,
     coin_seen: std::collections::HashSet<u64>,
     coin_partials: Vec<PartialSignature>,
@@ -276,22 +316,21 @@ impl AbaNode {
     }
 
     fn try_snapshot_vals(&mut self, round: u32) {
-        let weights = self.setup.weights.clone();
-        let st = self.state(round);
+        let Some(st) = self.rounds.get(&round) else { return };
         if st.vals.is_some() || !st.aux_sent {
             return;
         }
         // Weight of AUX senders whose value is currently in bin_values.
         let mut vals = [false; 2];
         let mut weight: u128 = 0;
-        for (&party, &v) in &st.aux_of {
+        for (&voter, &v) in &st.aux_of {
             if st.bin[v as usize] {
-                weight += u128::from(weights.get(party));
+                weight += self.setup.weight_of(voter);
                 vals[v as usize] = true;
             }
         }
-        if weight * 3 > 2 * weights.total() {
-            st.vals = Some(vals);
+        if weight * 3 > 2 * self.setup.weight_total() {
+            self.rounds.get_mut(&round).expect("checked above").vals = Some(vals);
         }
     }
 
@@ -332,12 +371,13 @@ impl Protocol for AbaNode {
     }
 
     fn on_message(&mut self, from: NodeId, msg: AbaMsg, ctx: &mut Context<AbaMsg>) {
+        let voter = self.setup.view.stable_of(from);
         match msg {
             AbaMsg::BVal { round, value } => {
                 let relay = {
                     let st = self.state(round);
-                    st.bval_votes[value as usize].vote(from);
-                    st.bval_relay[value as usize].vote(from)
+                    st.bval_votes[value as usize].vote(voter);
+                    st.bval_relay[value as usize].vote(voter)
                 };
                 if relay {
                     self.send_bval(round, value, ctx);
@@ -348,7 +388,7 @@ impl Protocol for AbaNode {
                 }
             }
             AbaMsg::Aux { round, value } => {
-                self.state(round).aux_of.entry(from).or_insert(value);
+                self.state(round).aux_of.entry(voter).or_insert(value);
             }
             AbaMsg::CoinShare { round, partials } => {
                 let tag = self.setup.coin_tag(round);
@@ -362,15 +402,39 @@ impl Protocol for AbaNode {
                 }
             }
             AbaMsg::Decided { value } => {
-                if self.decided_adopt[value as usize].vote(from) && self.decided.is_none() {
+                if self.decided_adopt[value as usize].vote(voter) && self.decided.is_none() {
                     self.decide(value, ctx);
                 }
-                if self.decided_halt[value as usize].vote(from) && self.decided == Some(value) {
+                if self.decided_halt[value as usize].vote(voter) && self.decided == Some(value)
+                {
                     self.decide(value, ctx);
                     ctx.halt();
                     return;
                 }
             }
+        }
+        self.progress(ctx);
+    }
+
+    fn on_reconfigure(&mut self, _delta: &TicketDelta, ctx: &mut Context<AbaMsg>) {
+        // Party-keyed instances need nothing (fixed party sets). In the
+        // roster-hosted regime every tracker migrates onto the new epoch:
+        // surviving voters carry, retired voters and their AUX claims are
+        // shed, count thresholds re-derive from the new population.
+        let Some(roster) = self.setup.view.roster().cloned() else { return };
+        for st in self.rounds.values_mut() {
+            for q in st.bval_votes.iter_mut().chain(st.bval_relay.iter_mut()) {
+                q.migrate(&roster);
+            }
+            st.aux_of.retain(|id, _| roster.contains(*id));
+            for value in [false, true] {
+                if st.bval_votes[value as usize].reached() {
+                    st.bin[value as usize] = true;
+                }
+            }
+        }
+        for q in self.decided_adopt.iter_mut().chain(self.decided_halt.iter_mut()) {
+            q.migrate(&roster);
         }
         self.progress(ctx);
     }

@@ -23,7 +23,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use swiper_core::{Ratio, TicketAssignment, VirtualUsers, Weights};
+use swiper_core::{Ratio, StableId, TicketAssignment, TicketDelta, VirtualUsers, Weights};
 use swiper_crypto::hash::Digest;
 use swiper_crypto::{MerkleProof, MerkleTree};
 use swiper_erasure::shards::{decode_bytes, encode_bytes, Shard};
@@ -294,7 +294,7 @@ impl Protocol for AvidNode {
                     self.ack_quorums.insert(root, fresh);
                 }
                 let quorum = self.ack_quorums.get_mut(&root).expect("just inserted");
-                if quorum.vote(from) && !self.completed.contains(&root) {
+                if quorum.vote(StableId::solo(from)) && !self.completed.contains(&root) {
                     self.completed.insert(root);
                     // Retrieval phase: share the fragments we stored for
                     // *this* root (none when we acked a different one).
@@ -317,6 +317,17 @@ impl Protocol for AvidNode {
                 self.try_deliver(root, ctx);
             }
         }
+    }
+
+    fn on_reconfigure(&mut self, _delta: &TicketDelta, _ctx: &mut Context<AvidMsg>) {
+        // Deliberate no-op, per the stable-identity contract: AVID's
+        // per-sender state is keyed by *party* ([`StableId::solo`] acks)
+        // and by fragment index — both fixed for the lifetime of a
+        // dispersal. An in-flight dispersal completes under its minting
+        // epoch's `(k, m)` code and fragment ownership (re-deriving them
+        // mid-flight would orphan already-dealt fragments); epoch-crossing
+        // deployments start *new* dispersals under the new assignment, as
+        // the SMR pipeline does when its WQ tickets move.
     }
 }
 

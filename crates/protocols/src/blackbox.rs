@@ -18,65 +18,90 @@
 //! knowledge of `P`'s internals — the wrapper below is generic over any
 //! [`swiper_net::Protocol`] implementation.
 //!
+//! # The stable identity model
+//!
+//! Dense virtual ids are a **per-epoch artifact**: a [`TicketDelta`] that
+//! touches party `i` renumbers every virtual user after `i`'s range. The
+//! wire therefore never carries dense ids. Inner messages name their
+//! endpoints by [`StableId`] — `(party, offset)` — the coordinate that
+//! survives every reshuffle a surviving user can live through, and each
+//! replica resolves stable ids to its *current* dense numbering exactly
+//! once, at delivery, through a shared [`Roster`]:
+//!
+//! * **spoofing** is checked on the face of the id — the wire sender must
+//!   *be* the claimed identity's party — with no historical state;
+//! * a stable id that does not resolve (`offset` at or beyond the party's
+//!   current ticket count) belongs to a **retired** user — whether the
+//!   message was minted an epoch or ten epochs ago — and is dropped;
+//! * pending **timers** record the stable id of their setter and die with
+//!   it on retirement.
+//!
+//! This replaces the per-epoch translation tables of the dense-id design:
+//! there is no mapping history to retain (the documented unbounded-memory
+//! leak of delta-only reconfiguration is gone — translation state is one
+//! mapping plus the pending-timer table, independent of how many epochs
+//! the instance has crossed), and one logical voter can never be counted
+//! under both its pre- and post-epoch ids, because no component ever sees
+//! two ids for it.
+//!
 //! # Live-instance epoch reconfiguration
 //!
-//! A deployment re-solves weight reduction every epoch and publishes a
-//! [`TicketDelta`]. The wrapper's [`Protocol::on_reconfigure`] splices the
-//! delta into the live instance instead of tearing it down:
+//! [`Protocol::on_reconfigure`] splices a delta into the live instance:
 //!
-//! * the virtual-user mapping is updated in place
-//!   ([`swiper_core::VirtualUsers::apply_delta`]), and the previous
-//!   epoch's mapping is retained so in-flight messages minted under old
-//!   numberings can still be translated (wrapped messages carry their
-//!   epoch);
-//! * **surviving** sub-instances — those whose `(owner, offset)`
-//!   coordinate is still live — keep their state and are re-keyed to
-//!   their new dense virtual ids;
-//! * **retired** sub-instances (offsets at or beyond the owner's new
-//!   ticket count) are dropped along with their pending timers;
+//! * the shared [`Roster`] is updated in place
+//!   ([`swiper_core::VirtualUsers::apply_delta`]) — the wrapper *and*
+//!   every hosted automaton holding a roster clone see the new epoch
+//!   atomically;
+//! * **surviving** sub-instances (offsets below the owner's new ticket
+//!   count) keep their state — no re-keying is even needed, their
+//!   identity is the key;
+//! * **retired** sub-instances are dropped along with their pending
+//!   timers;
+//! * surviving automata then receive `on_reconfigure` themselves, so
+//!   epoch-aware nominal protocols (e.g.
+//!   [`crate::bracha::BrachaConfig::epochal`]) migrate their quorum
+//!   trackers — shedding retired voters' weight and re-deriving
+//!   thresholds from the new total;
 //! * **added** sub-instances are spawned mid-flight via the stored
 //!   factory; they begin at `on_start` and may rely on the vouching path
 //!   to learn an output that was decided before they joined.
 //!
 //! What a nominal protocol `P` may assume across the boundary: its own
-//! accumulated state survives, and messages keep flowing (translated).
-//! What it may **not** assume: that the total `T` or any peer's id is
-//! stable — deltas that touch party `i` renumber every virtual user after
-//! `i`'s range. Instances pinned to specific peer ids (a broadcast
-//! sender, dealt cryptographic shares) therefore survive exactly the
-//! deltas that keep those ids fixed (changes confined to later parties,
-//! or ticket moves that preserve prefix ranges); the epoch-crossing seed
-//! sweeps exercise both the friendly and the hostile case.
+//! accumulated state survives, messages keep flowing, and any identity it
+//! keyed by `(party, offset)` still means the same logical peer. What it
+//! may **not** assume: that the total `T` or any *dense* index is stable.
+//! Protocols that bake dense indices into cryptographic material (dealt
+//! shares, fragment positions) survive exactly the deltas that keep those
+//! positions meaningful; the epoch-crossing seed sweeps exercise both the
+//! friendly and the hostile case.
 //!
-//! Two deliberate limits of delta-only reconfiguration: a [`TicketDelta`]
-//! carries tickets, not stake, so the **vouch quorum keeps weighing votes
-//! with the construction-time weight vector** — deployments whose stake
-//! drifts far from the epoch-0 snapshot must rebuild the wrapper to
-//! refresh it (tracked in the ROADMAP's cross-epoch quorum identity
-//! item). And the per-epoch **mapping history is retained unboundedly**:
-//! in the asynchronous model no bound exists on how long a message minted
-//! in an old epoch may stay in flight, so no entry is provably dead;
-//! long-lived deployments would cap the window and accept dropping
-//! stragglers from evicted epochs.
+//! One deliberate limit remains: a [`TicketDelta`] carries tickets, not
+//! stake, so the **vouch quorum keeps weighing votes with the
+//! construction-time weight vector** — deployments whose stake drifts far
+//! from the epoch-0 snapshot must rebuild the wrapper to refresh it.
 
 use std::collections::{HashMap, VecDeque};
 
-use swiper_core::{Ratio, TicketAssignment, TicketDelta, VirtualUsers, Weights};
+use swiper_core::{Ratio, StableId, TicketAssignment, TicketDelta, VirtualUsers, Weights};
 use swiper_net::{Context, Effects, MessageSize, NodeId, Protocol};
 
-use crate::quorum::{QuorumTracker, WeightQuorum};
+use crate::quorum::{QuorumTracker, Roster, WeightQuorum};
+
+/// The virtual-user factory a [`BlackBox`] retains for mid-flight spawns:
+/// `factory(v, roster)` builds the automaton for dense id `v` under the
+/// spawn-time numbering, with the wrapper's live identity directory.
+pub type VirtualFactory<P> = Box<dyn FnMut(usize, &Roster) -> P>;
 
 /// Wrapper messages of the transformed protocol.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BlackBoxMsg<M> {
-    /// A nominal-protocol message between two virtual users.
+    /// A nominal-protocol message between two virtual users, named by
+    /// their epoch-stable identities.
     Inner {
-        /// The epoch whose numbering `from_virtual`/`to_virtual` use.
-        epoch: u64,
         /// Sending virtual user.
-        from_virtual: u32,
+        from: StableId,
         /// Receiving virtual user.
-        to_virtual: u32,
+        to: StableId,
         /// The wrapped nominal message.
         msg: M,
     },
@@ -118,12 +143,13 @@ impl BlackBoxConfig {
         BlackBoxConfig { weights, mapping, f_w }
     }
 
-    /// Number of virtual users `T` (current epoch).
+    /// Number of virtual users `T` (construction epoch).
     pub fn virtual_count(&self) -> usize {
         self.mapping.total()
     }
 
-    /// The virtual-user mapping (current epoch).
+    /// The virtual-user mapping (construction epoch; live instances track
+    /// the current epoch through their [`BlackBox::roster`]).
     pub fn mapping(&self) -> &VirtualUsers {
         &self.mapping
     }
@@ -131,20 +157,21 @@ impl BlackBoxConfig {
 
 /// The transformed node: party `i` running its `t_i` virtual users of `P`.
 pub struct BlackBox<P: Protocol> {
-    config: BlackBoxConfig,
+    weights: Weights,
+    f_w: Ratio,
     party: usize,
-    /// Epochs already crossed; also the tag on outgoing inner messages.
+    /// This replica's identity directory: the current epoch's mapping,
+    /// shared with every hosted automaton built through the factory.
+    roster: Roster,
+    /// Epochs crossed so far (telemetry only — nothing on the wire or in
+    /// the translation path depends on it).
     epoch: u64,
-    /// Mapping of each *past* epoch `e < self.epoch`, indexed by epoch —
-    /// the translation table for in-flight messages and timers minted
-    /// before a reconfiguration.
-    history: Vec<VirtualUsers>,
     /// Factory for spawning virtual users, kept for mid-flight joins.
-    factory: Box<dyn FnMut(usize) -> P>,
-    /// My virtual users: `(current virtual id, automaton, halted)`.
-    virtuals: Vec<(usize, P, bool)>,
-    /// Pending timers: nonce -> (epoch, virtual id at set time, inner id).
-    timer_map: HashMap<u64, (u64, usize, u64)>,
+    factory: VirtualFactory<P>,
+    /// My virtual users: `(stable identity, automaton, halted)`.
+    virtuals: Vec<(StableId, P, bool)>,
+    /// Pending timers: nonce -> (setter's stable id, inner timer id).
+    timer_map: HashMap<u64, (StableId, u64)>,
     timer_nonce: u64,
     vouch_quorums: HashMap<Vec<u8>, WeightQuorum>,
     output_done: bool,
@@ -152,21 +179,30 @@ pub struct BlackBox<P: Protocol> {
 }
 
 impl<P: Protocol> BlackBox<P> {
-    /// Creates party `party`'s wrapper; `factory(v)` builds the automaton
-    /// for virtual user `v` (it will see `n = T` and `me = v`). The
-    /// factory is retained: epoch reconfigurations use it to spawn
-    /// virtual users added mid-flight.
+    /// Creates party `party`'s wrapper; `factory(v, roster)` builds the
+    /// automaton for virtual user `v` (it will see `n = T` and `me = v`
+    /// under the numbering current at spawn time). The roster is this
+    /// replica's live identity directory — epoch-aware nominal protocols
+    /// capture a clone of it so their quorum trackers resolve and migrate
+    /// identities in lockstep with the wrapper. The factory is retained:
+    /// epoch reconfigurations use it to spawn virtual users added
+    /// mid-flight.
     pub fn new<F>(config: BlackBoxConfig, party: usize, mut factory: F) -> Self
     where
-        F: FnMut(usize) -> P + 'static,
+        F: FnMut(usize, &Roster) -> P + 'static,
     {
-        let virtuals =
-            config.mapping.virtuals_of(party).map(|v| (v, factory(v), false)).collect();
+        let BlackBoxConfig { weights, mapping, f_w } = config;
+        let roster = Roster::new(mapping.clone());
+        let virtuals = mapping
+            .virtuals_of(party)
+            .map(|v| (mapping.stable_of(v), factory(v, &roster), false))
+            .collect();
         BlackBox {
-            config,
+            weights,
+            f_w,
             party,
+            roster,
             epoch: 0,
-            history: Vec::new(),
             factory: Box::new(factory),
             virtuals,
             timer_map: HashMap::new(),
@@ -182,96 +218,82 @@ impl<P: Protocol> BlackBox<P> {
         self.epoch
     }
 
-    /// Translates virtual id `v` minted under `epoch`'s numbering to the
-    /// current numbering. `None` when the id never existed in that epoch,
-    /// the epoch is unknown (future), or the user has since retired.
-    fn translate(&self, epoch: u64, v: usize) -> Option<usize> {
-        if epoch == self.epoch {
-            return (v < self.config.mapping.total()).then_some(v);
-        }
-        let old = self.history.get(usize::try_from(epoch).ok()?)?;
-        if v >= old.total() {
-            return None;
-        }
-        let (owner, offset) = old.locate(v);
-        self.config.mapping.at(owner, offset)
+    /// The live identity directory (current epoch's mapping).
+    pub fn roster(&self) -> &Roster {
+        &self.roster
     }
 
-    /// The party owning `v` under `epoch`'s numbering (`None` when out of
-    /// range or the epoch is unknown).
-    fn owner_in(&self, epoch: u64, v: usize) -> Option<usize> {
-        let mapping = if epoch == self.epoch {
-            &self.config.mapping
-        } else {
-            self.history.get(usize::try_from(epoch).ok()?)?
-        };
-        (v < mapping.total()).then(|| mapping.owner_of(v))
+    /// Size of the cross-epoch translation state: the pending-timer table
+    /// plus the hosted automata roster. The stable-identity design keeps
+    /// exactly **one** mapping however many epochs the instance crosses —
+    /// this is the bounded-memory claim the long-replay regression pins
+    /// (the dense-id design retained one full mapping per crossed epoch).
+    pub fn translation_footprint(&self) -> usize {
+        self.timer_map.len() + self.virtuals.len() + 1
     }
 
     /// Routes one batch of inner effects, draining same-party deliveries
-    /// in-process until quiescent.
+    /// in-process until quiescent. Local queue entries carry the current
+    /// dense ids of both ends (delivery is always same-epoch in-process).
     fn route(
         &mut self,
-        initial: Vec<(usize, Effects<P::Msg>)>,
+        initial: Vec<(StableId, Effects<P::Msg>)>,
         ctx: &mut Context<BlackBoxMsg<P::Msg>>,
     ) {
-        // Queue of (from_virtual, to_virtual, msg) for local delivery.
-        let mut local: VecDeque<(usize, usize, P::Msg)> = VecDeque::new();
-        let mut pending: Vec<(usize, Effects<P::Msg>)> = initial;
+        let mut local: VecDeque<(usize, StableId, P::Msg)> = VecDeque::new();
+        let mut pending: Vec<(StableId, Effects<P::Msg>)> = initial;
         loop {
-            for (from_v, effects) in pending.drain(..) {
-                self.apply_effects(from_v, effects, &mut local, ctx);
+            for (from, effects) in pending.drain(..) {
+                self.apply_effects(from, effects, &mut local, ctx);
             }
-            let Some((from_v, to_v, msg)) = local.pop_front() else { break };
-            let total = self.config.virtual_count();
+            let Some((from_dense, to, msg)) = local.pop_front() else { break };
+            let total = self.roster.total();
             if let Some(slot) =
-                self.virtuals.iter_mut().find(|(v, _, halted)| *v == to_v && !halted)
+                self.virtuals.iter_mut().find(|(id, _, halted)| *id == to && !halted)
             {
-                let mut inner_ctx = Context::detached(to_v, total, ctx.now());
-                slot.1.on_message(from_v, msg, &mut inner_ctx);
-                pending.push((to_v, inner_ctx.into_effects()));
+                let Some(to_dense) = self.roster.dense_of(to) else { continue };
+                let mut inner_ctx = Context::detached(to_dense, total, ctx.now());
+                slot.1.on_message(from_dense, msg, &mut inner_ctx);
+                pending.push((to, inner_ctx.into_effects()));
             }
         }
     }
 
     fn apply_effects(
         &mut self,
-        from_v: usize,
+        from: StableId,
         effects: Effects<P::Msg>,
-        local: &mut VecDeque<(usize, usize, P::Msg)>,
+        local: &mut VecDeque<(usize, StableId, P::Msg)>,
         ctx: &mut Context<BlackBoxMsg<P::Msg>>,
     ) {
         let Effects { outbox, timers, output, halted } = effects;
+        let Some(from_dense) = self.roster.dense_of(from) else {
+            // A user can emit effects and retire within one boundary
+            // batch; its late effects die with it.
+            return;
+        };
         for (to_v, msg) in outbox {
-            // A surviving automaton may still address a peer id that only
-            // existed before a shrinking delta (its `n` was baked at
-            // construction); such sends are dropped, mirroring the
-            // receive-side translation, never indexed out of bounds.
-            if to_v >= self.config.mapping.total() {
+            // A surviving automaton may still address a dense peer id that
+            // only existed before a shrinking delta (its `n` was baked at
+            // spawn); such sends are dropped, mirroring the receive-side
+            // resolution, never indexed out of bounds.
+            if to_v >= self.roster.total() {
                 continue;
             }
-            let owner = self.config.mapping.owner_of(to_v);
-            if owner == self.party {
-                local.push_back((from_v, to_v, msg));
+            let to = self.roster.stable_of(to_v);
+            if to.party_ix() == self.party {
+                local.push_back((from_dense, to, msg));
             } else {
-                ctx.send(
-                    owner,
-                    BlackBoxMsg::Inner {
-                        epoch: self.epoch,
-                        from_virtual: from_v as u32,
-                        to_virtual: to_v as u32,
-                        msg,
-                    },
-                );
+                ctx.send(to.party_ix(), BlackBoxMsg::Inner { from, to, msg });
             }
         }
         for (delay, id) in timers {
-            // Timers survive renumbering: the nonce indirection records
-            // which epoch's id the setter used, and the firing path
-            // translates it (or drops it with the retired user).
+            // Timers survive renumbering for free: the nonce map records
+            // the setter's stable identity, and the firing path resolves
+            // it (or drops it with the retired user).
             let nonce = self.timer_nonce;
             self.timer_nonce += 1;
-            self.timer_map.insert(nonce, (self.epoch, from_v, id));
+            self.timer_map.insert(nonce, (from, id));
             ctx.set_timer(delay, nonce);
         }
         if let Some(out) = output {
@@ -285,7 +307,7 @@ impl<P: Protocol> BlackBox<P> {
             }
         }
         if halted {
-            if let Some(slot) = self.virtuals.iter_mut().find(|(v, _, _)| *v == from_v) {
+            if let Some(slot) = self.virtuals.iter_mut().find(|(id, _, _)| *id == from) {
                 slot.2 = true;
             }
         }
@@ -297,64 +319,59 @@ impl<P: Protocol> Protocol for BlackBox<P> {
 
     fn on_start(&mut self, ctx: &mut Context<Self::Msg>) {
         self.started = true;
-        let total = self.config.virtual_count();
+        let total = self.roster.total();
         let mut pending = Vec::new();
-        // Collect virtual ids first to satisfy the borrow checker, then
+        // Collect identities first to satisfy the borrow checker, then
         // start each automaton.
-        let ids: Vec<usize> = self.virtuals.iter().map(|(v, _, _)| *v).collect();
-        for v in ids {
-            let mut inner_ctx = Context::detached(v, total, ctx.now());
-            if let Some(slot) = self.virtuals.iter_mut().find(|(id, _, _)| *id == v) {
+        let ids: Vec<StableId> = self.virtuals.iter().map(|(id, _, _)| *id).collect();
+        for id in ids {
+            let Some(dense) = self.roster.dense_of(id) else { continue };
+            let mut inner_ctx = Context::detached(dense, total, ctx.now());
+            if let Some(slot) = self.virtuals.iter_mut().find(|(vid, _, _)| *vid == id) {
                 slot.1.on_start(&mut inner_ctx);
             }
-            pending.push((v, inner_ctx.into_effects()));
+            pending.push((id, inner_ctx.into_effects()));
         }
         self.route(pending, ctx);
     }
 
     fn on_message(&mut self, from: NodeId, msg: Self::Msg, ctx: &mut Context<Self::Msg>) {
         match msg {
-            BlackBoxMsg::Inner { epoch, from_virtual, to_virtual, msg } => {
-                // Future-epoch tags cannot come from an honest replica:
-                // reconfigurations reach every node at the same event.
-                if epoch > self.epoch {
+            BlackBoxMsg::Inner { from: from_id, to, msg } => {
+                // Anti-spoofing on the face of the identity: the wire
+                // sender must *be* the claimed sender's party, and we must
+                // be the recipient's. No history needed — party ids never
+                // renumber.
+                if from_id.party_ix() != from || to.party_ix() != self.party {
                     return;
                 }
-                let (from_v, to_v) = (from_virtual as usize, to_virtual as usize);
-                // Anti-spoofing under the *minting* epoch's numbering:
-                // the wire sender must own the claimed virtual sender; we
-                // must own the recipient.
-                if self.owner_in(epoch, from_v) != Some(from)
-                    || self.owner_in(epoch, to_v) != Some(self.party)
-                {
-                    return;
-                }
-                // Translate both ids into the current numbering; either
-                // end having retired drops the message.
-                let (Some(cur_from), Some(cur_to)) =
-                    (self.translate(epoch, from_v), self.translate(epoch, to_v))
+                // Resolve both ends against the current epoch; an end
+                // that does not resolve is retired (or never existed) and
+                // drops the message, however old or new its minting epoch.
+                let (Some(cur_from), Some(to_dense)) =
+                    (self.roster.dense_of(from_id), self.roster.dense_of(to))
                 else {
                     return;
                 };
-                let total = self.config.virtual_count();
+                let total = self.roster.total();
                 let mut pending = Vec::new();
                 if let Some(slot) =
-                    self.virtuals.iter_mut().find(|(v, _, halted)| *v == cur_to && !halted)
+                    self.virtuals.iter_mut().find(|(id, _, halted)| *id == to && !halted)
                 {
-                    let mut inner_ctx = Context::detached(cur_to, total, ctx.now());
+                    let mut inner_ctx = Context::detached(to_dense, total, ctx.now());
                     slot.1.on_message(cur_from, msg, &mut inner_ctx);
-                    pending.push((cur_to, inner_ctx.into_effects()));
+                    pending.push((to, inner_ctx.into_effects()));
                 }
                 self.route(pending, ctx);
             }
             BlackBoxMsg::Vouch { output } => {
-                let weights = self.config.weights.clone();
-                let f_w = self.config.f_w;
+                let weights = self.weights.clone();
+                let f_w = self.f_w;
                 let q = self
                     .vouch_quorums
                     .entry(output.clone())
                     .or_insert_with(|| WeightQuorum::new(weights, f_w));
-                if q.vote(from) && !self.output_done {
+                if q.vote(StableId::solo(from)) && !self.output_done {
                     // Weight > f_w vouching the same output: at least one
                     // voucher is honest.
                     self.output_done = true;
@@ -365,60 +382,70 @@ impl<P: Protocol> Protocol for BlackBox<P> {
     }
 
     fn on_timer(&mut self, nonce: u64, ctx: &mut Context<Self::Msg>) {
-        let Some((epoch, set_v, inner_id)) = self.timer_map.remove(&nonce) else { return };
+        let Some((setter, inner_id)) = self.timer_map.remove(&nonce) else { return };
         // A timer set by a since-retired user dies with it.
-        let Some(v) = self.translate(epoch, set_v) else { return };
-        let total = self.config.virtual_count();
+        if !self.roster.contains(setter) {
+            return;
+        }
+        let total = self.roster.total();
         let mut pending = Vec::new();
         if let Some(slot) =
-            self.virtuals.iter_mut().find(|(vid, _, halted)| *vid == v && !halted)
+            self.virtuals.iter_mut().find(|(id, _, halted)| *id == setter && !halted)
         {
-            let mut inner_ctx = Context::detached(v, total, ctx.now());
+            let Some(dense) = self.roster.dense_of(setter) else { return };
+            let mut inner_ctx = Context::detached(dense, total, ctx.now());
             slot.1.on_timer(inner_id, &mut inner_ctx);
-            pending.push((v, inner_ctx.into_effects()));
+            pending.push((setter, inner_ctx.into_effects()));
         }
         self.route(pending, ctx);
     }
 
     fn on_reconfigure(&mut self, delta: &TicketDelta, ctx: &mut Context<Self::Msg>) {
-        let old = self.config.mapping.clone();
-        if self.config.mapping.apply_delta(delta).is_err() {
+        let old_count = self.roster.tickets_of(self.party);
+        if self.roster.apply_delta(delta).is_err() {
             // A delta diffed against a different base than the live
             // mapping is a driver bug; the mapping is untouched, so the
             // instance keeps running under the old epoch.
             debug_assert!(false, "mis-sequenced TicketDelta reached BlackBox");
             return;
         }
-        self.history.push(old);
         self.epoch += 1;
-        let old_map = &self.history[self.history.len() - 1];
-        // Re-key survivors to their new dense ids; retire the rest. A
-        // party's users retire from the top of its range (offset >= new
-        // ticket count), so surviving state is the longest-served prefix.
-        let current = &self.config.mapping;
-        let mut survivors = Vec::with_capacity(self.virtuals.len());
-        for (v, automaton, halted) in self.virtuals.drain(..) {
-            let (owner, offset) = old_map.locate(v);
-            debug_assert_eq!(owner, self.party, "wrapper only hosts its own users");
-            if let Some(new_v) = current.at(owner, offset) {
-                survivors.push((new_v, automaton, halted));
-            }
-        }
-        self.virtuals = survivors;
-        // Spawn users added to this party mid-flight.
-        let old_count = old_map.tickets_of(self.party);
-        let new_count = current.tickets_of(self.party);
-        let total = current.total();
-        let spawned: Vec<usize> = (old_count..new_count)
-            .map(|offset| current.at(self.party, offset).expect("offset < new count"))
-            .collect();
+        // Retire users whose identity no longer resolves; their pending
+        // timers are purged eagerly (the fire path would drop them anyway
+        // — this just keeps the footprint tight). Survivors need no
+        // re-keying — their stable identity *is* their key.
+        let roster = self.roster.clone();
+        self.virtuals.retain(|(id, _, _)| roster.contains(*id));
+        self.timer_map.retain(|_, (setter, _)| roster.contains(*setter));
+        // Propagate the boundary to surviving automata so epoch-aware
+        // inner protocols migrate their trackers (shed retired voters,
+        // re-derive totals) and can make immediate progress.
+        let total = roster.total();
         let mut pending = Vec::new();
-        for new_v in spawned {
-            let mut automaton = (self.factory)(new_v);
-            let mut inner_ctx = Context::detached(new_v, total, ctx.now());
+        let ids: Vec<StableId> = self
+            .virtuals
+            .iter()
+            .filter(|(_, _, halted)| !halted)
+            .map(|(id, _, _)| *id)
+            .collect();
+        for id in ids {
+            let Some(dense) = roster.dense_of(id) else { continue };
+            let mut inner_ctx = Context::detached(dense, total, ctx.now());
+            if let Some(slot) = self.virtuals.iter_mut().find(|(vid, _, _)| *vid == id) {
+                slot.1.on_reconfigure(delta, &mut inner_ctx);
+            }
+            pending.push((id, inner_ctx.into_effects()));
+        }
+        // Spawn users added to this party mid-flight.
+        let new_count = roster.tickets_of(self.party);
+        for offset in old_count..new_count {
+            let id = StableId::new(self.party, offset);
+            let dense = roster.dense_of(id).expect("offset < new count");
+            let mut automaton = (self.factory)(dense, &roster);
+            let mut inner_ctx = Context::detached(dense, total, ctx.now());
             automaton.on_start(&mut inner_ctx);
-            self.virtuals.push((new_v, automaton, false));
-            pending.push((new_v, inner_ctx.into_effects()));
+            self.virtuals.push((id, automaton, false));
+            pending.push((id, inner_ctx.into_effects()));
         }
         self.route(pending, ctx);
     }
@@ -454,7 +481,7 @@ mod tests {
             .map(|party| {
                 let bc = bracha_cfg.clone();
                 let payload = payload.clone();
-                Box::new(BlackBox::new(config.clone(), party, move |v| {
+                Box::new(BlackBox::new(config.clone(), party, move |v, _roster| {
                     if v == 0 {
                         BrachaNode::sender(bc.clone(), 0, payload.clone())
                     } else {
@@ -480,7 +507,7 @@ mod tests {
         let nodes: Vec<Box<dyn Protocol<Msg = BlackBoxMsg<AbaMsg>>>> = (0..4)
             .map(|party| {
                 let s = setup.clone();
-                Box::new(BlackBox::new(config.clone(), party, move |_v| {
+                Box::new(BlackBox::new(config.clone(), party, move |_v, _roster| {
                     AbaNode::new(s.clone(), true)
                 })) as _
             })
@@ -501,7 +528,7 @@ mod tests {
                 .map(|party| {
                     let s = setup.clone();
                     let input = party % 2 == 0;
-                    Box::new(BlackBox::new(config.clone(), party, move |_v| {
+                    Box::new(BlackBox::new(config.clone(), party, move |_v, _roster| {
                         AbaNode::new(s.clone(), input)
                     })) as _
                 })
@@ -534,7 +561,7 @@ mod tests {
             .map(|party| {
                 let bc = bracha_cfg.clone();
                 let payload = payload.clone();
-                Box::new(BlackBox::new(config.clone(), party, move |v| {
+                Box::new(BlackBox::new(config.clone(), party, move |v, _roster| {
                     if v == 0 {
                         BrachaNode::sender(bc.clone(), 0, payload.clone())
                     } else {
@@ -555,8 +582,10 @@ mod tests {
 
     #[test]
     fn spoofed_virtual_senders_are_dropped() {
-        // Party 1 claims to speak for virtual users it does not own; the
-        // wrapper must ignore those messages entirely.
+        // Party 1 claims to speak for stable identities it does not own;
+        // the wrapper must ignore those messages entirely — the claimed
+        // identity's party is on the face of the id, so no history or
+        // epoch bookkeeping is involved.
         struct Spoofer {
             config: BlackBoxConfig,
         }
@@ -564,28 +593,28 @@ mod tests {
             type Msg = BlackBoxMsg<BrachaMsg>;
             fn on_start(&mut self, ctx: &mut Context<Self::Msg>) {
                 // Claim to be virtual user 0 (owned by party 0).
-                let owner0 = self.config.mapping().owner_of(0);
-                assert_ne!(owner0, 1);
+                let mapping = self.config.mapping();
+                let forged_from = mapping.stable_of(0);
+                assert_ne!(forged_from.party_ix(), 1);
                 for to_v in 0..self.config.virtual_count() {
-                    let owner = self.config.mapping().owner_of(to_v);
+                    let to = mapping.stable_of(to_v);
                     ctx.send(
-                        owner,
+                        to.party_ix(),
                         BlackBoxMsg::Inner {
-                            epoch: 0,
-                            from_virtual: 0,
-                            to_virtual: to_v as u32,
+                            from: forged_from,
+                            to,
                             msg: BrachaMsg::Initial(b"forged".to_vec()),
                         },
                     );
-                    // Future-epoch tags must be dropped outright, whatever
-                    // the claimed ids.
+                    // Identities that have never existed (absurd offsets)
+                    // must be dropped outright, whatever the claimed
+                    // party.
                     ctx.send(
-                        owner,
+                        to.party_ix(),
                         BlackBoxMsg::Inner {
-                            epoch: 9,
-                            from_virtual: 0,
-                            to_virtual: to_v as u32,
-                            msg: BrachaMsg::Initial(b"forged-future".to_vec()),
+                            from: StableId::new(1, 900),
+                            to,
+                            msg: BrachaMsg::Initial(b"forged-ghost".to_vec()),
                         },
                     );
                 }
@@ -601,10 +630,14 @@ mod tests {
                 nodes.push(Box::new(Spoofer { config: config.clone() }));
             } else {
                 let bc = bracha_cfg.clone();
-                nodes.push(Box::new(BlackBox::new(config.clone(), party, move |_v| {
-                    // No sender at all: nothing should ever be delivered.
-                    BrachaNode::new(bc.clone(), 0)
-                })));
+                nodes.push(Box::new(BlackBox::new(
+                    config.clone(),
+                    party,
+                    move |_v, _roster| {
+                        // No sender at all: nothing should ever be delivered.
+                        BrachaNode::new(bc.clone(), 0)
+                    },
+                )));
             }
         }
         let report = Simulation::new(nodes, 13).run();
@@ -655,7 +688,7 @@ mod tests {
         // cross-party messages) all land before the boundary at event 16;
         // the verdict timers all fire after it. All parties completing
         // therefore *proves* the heard-sets and pending timers crossed
-        // the epoch intact and were re-keyed to the new numbering.
+        // the epoch intact under the renumbering.
         let weights = Weights::new(vec![40, 40, 20]).unwrap();
         let old = TicketAssignment::new(vec![2, 2, 1]);
         let new = TicketAssignment::new(vec![2, 1, 2]);
@@ -665,7 +698,7 @@ mod tests {
             let config = BlackBoxConfig::new(weights.clone(), &old, Ratio::of(1, 4));
             let nodes: Vec<Box<dyn Protocol<Msg = BlackBoxMsg<u64>>>> = (0..3)
                 .map(|party| {
-                    Box::new(BlackBox::new(config.clone(), party, move |_v| {
+                    Box::new(BlackBox::new(config.clone(), party, move |_v, _roster| {
                         Accumulator::new(total)
                     })) as _
                 })
@@ -685,9 +718,9 @@ mod tests {
     #[test]
     fn bracha_survives_suffix_churn_mid_broadcast() {
         // The broadcast sender is virtual user 0 (party 0); the delta
-        // only touches the *last* party, so the sender's id — and every
-        // id the Bracha instances have pinned — stays stable while the
-        // total ticket count changes under the instance's feet.
+        // only touches the *last* party, so every stable identity the
+        // Bracha instances have pinned stays live while the total ticket
+        // count changes under the instance's feet.
         let weights = Weights::new(vec![50, 20, 15, 10, 5]).unwrap();
         let params = WeightRestriction::new(Ratio::of(1, 4), Ratio::of(1, 3)).unwrap();
         let sol = Swiper::new().solve_restriction(&weights, &params).unwrap();
@@ -697,20 +730,19 @@ mod tests {
         churned[last] += 1; // the dust party gains one ticket
         let new = TicketAssignment::new(churned);
         let delta = TicketDelta::between(&old, &new).unwrap();
-        let total = old.total() as usize;
         let payload = b"epoch-crossing broadcast".to_vec();
-        let bracha_cfg = BrachaConfig::nominal(total);
         for seed in 0..25u64 {
             let config = BlackBoxConfig::new(weights.clone(), &old, Ratio::of(1, 4));
+            let sender_id = config.mapping().stable_of(0);
             let nodes: Vec<Box<dyn Protocol<Msg = BlackBoxMsg<BrachaMsg>>>> = (0..5)
                 .map(|party| {
-                    let bc = bracha_cfg.clone();
                     let payload = payload.clone();
-                    Box::new(BlackBox::new(config.clone(), party, move |v| {
-                        if v == 0 {
-                            BrachaNode::sender(bc.clone(), 0, payload.clone())
+                    Box::new(BlackBox::new(config.clone(), party, move |v, roster| {
+                        let bc = BrachaConfig::epochal(roster.clone());
+                        if roster.stable_of(v) == sender_id {
+                            BrachaNode::sender_with_id(bc, sender_id, payload.clone())
                         } else {
-                            BrachaNode::new(bc.clone(), 0)
+                            BrachaNode::with_sender_id(bc, sender_id)
                         }
                     })) as _
                 })
@@ -735,8 +767,8 @@ mod tests {
         let bad_delta = TicketDelta::between(&other, &next).unwrap();
         let config = BlackBoxConfig::new(weights, &base, Ratio::of(1, 4));
         let mut bb: BlackBox<Accumulator> =
-            BlackBox::new(config, 0, move |_v| Accumulator::new(5));
-        let before = bb.config.mapping().clone();
+            BlackBox::new(config, 0, move |_v, _roster| Accumulator::new(5));
+        let before = bb.roster().snapshot();
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let mut ctx = Context::detached(0, 3, 0);
             bb.on_reconfigure(&bad_delta, &mut ctx);
@@ -744,8 +776,132 @@ mod tests {
         // Debug builds assert; if the assertion is compiled out, the
         // mapping must be unchanged and the epoch not advanced.
         if result.is_ok() {
-            assert_eq!(bb.config.mapping(), &before);
+            assert_eq!(bb.roster().snapshot(), before);
             assert_eq!(bb.epoch(), 0);
+        }
+    }
+
+    /// The bounded-memory regression for the deleted per-epoch mapping
+    /// history: a live instance is driven across many reconfigurations —
+    /// with pending timers and traffic in flight the whole time — and its
+    /// translation footprint must be *independent of the epoch count*.
+    /// The dense-id design retained one full `VirtualUsers` per crossed
+    /// epoch ("no entry is provably dead"); stable identities need
+    /// exactly one mapping, so 4 epochs and 40 must cost the same.
+    #[test]
+    fn translation_state_is_bounded_across_long_replays() {
+        /// Timer-free chatterer: broadcasts once at start (and once per
+        /// spawn), keeping traffic minted in every epoch without adding
+        /// *pending* state — so the footprint isolates exactly the
+        /// translation tables.
+        struct Hello;
+        impl Protocol for Hello {
+            type Msg = u64;
+            fn on_start(&mut self, ctx: &mut Context<u64>) {
+                ctx.broadcast(1);
+            }
+            fn on_message(&mut self, _f: NodeId, _m: u64, _c: &mut Context<u64>) {}
+        }
+
+        fn footprint_after(epochs: usize) -> usize {
+            let weights = Weights::new(vec![40, 40, 20]).unwrap();
+            let base = TicketAssignment::new(vec![2, 2, 1]);
+            let flip = TicketAssignment::new(vec![1, 3, 1]);
+            let config = BlackBoxConfig::new(weights, &base, Ratio::of(1, 4));
+            let mut bb: BlackBox<Hello> = BlackBox::new(config, 0, move |_v, _roster| Hello);
+            let mut ctx = Context::detached(0, 3, 0);
+            bb.on_start(&mut ctx);
+            // Alternate between two assignments so every epoch renumbers
+            // live identities (the worst case for translation state).
+            let (mut cur, mut nxt) = (base, flip);
+            for _ in 0..epochs {
+                let delta = TicketDelta::between(&cur, &nxt).unwrap();
+                let mut ctx = Context::detached(0, 3, 0);
+                bb.on_reconfigure(&delta, &mut ctx);
+                std::mem::swap(&mut cur, &mut nxt);
+            }
+            assert_eq!(bb.epoch(), epochs as u64);
+            bb.translation_footprint()
+        }
+        let short = footprint_after(4);
+        let long = footprint_after(40);
+        assert_eq!(
+            short, long,
+            "translation state grew with the epoch count: {short} -> {long}"
+        );
+    }
+
+    /// Post-boundary duplicates of a pre-boundary message must not be
+    /// double-delivered under a new identity: the wire names stable ids,
+    /// so a replayed message resolves to the *same* logical endpoints and
+    /// inner-protocol dedup (quorum trackers, heard-sets) sees one voter.
+    /// Counts each distinct *stable* sender exactly once and fails if a
+    /// renumbering epoch makes one voter look like two.
+    struct Census {
+        roster: Roster,
+        quorum: crate::quorum::CountQuorum,
+        expected: usize,
+    }
+
+    impl Protocol for Census {
+        type Msg = u64;
+        fn on_start(&mut self, ctx: &mut Context<u64>) {
+            ctx.broadcast(1);
+            ctx.set_timer(900, 0);
+        }
+        fn on_message(&mut self, from: NodeId, _m: u64, _ctx: &mut Context<u64>) {
+            self.quorum.vote(self.roster.stable_of(from));
+        }
+        fn on_reconfigure(&mut self, _d: &TicketDelta, _ctx: &mut Context<u64>) {
+            self.quorum.migrate(&self.roster);
+        }
+        fn on_timer(&mut self, _id: u64, ctx: &mut Context<u64>) {
+            // Exactly the live population: more means double-counting,
+            // fewer means lost survivors.
+            if self.quorum.count() == self.expected {
+                ctx.output(b"exact".to_vec());
+            } else {
+                ctx.output(format!("count={}", self.quorum.count()).into_bytes());
+            }
+        }
+    }
+
+    #[test]
+    fn renumbering_boundary_does_not_double_count_senders() {
+        // Epoch 0 [2, 2, 1] -> epoch 1 [1, 2, 2]: party 0 shrinks, so
+        // *every* surviving id renumbers; party 2 gains one user that
+        // broadcasts fresh hellos post-boundary. Pre-boundary hellos from
+        // survivors arrive under the old numbering, the joiner's under the
+        // new one — a dense-keyed census would count a renumbered survivor
+        // as a new voter (or mistake the joiner for a survivor occupying
+        // its old slot). The assertion is exact: the distinct-voter count
+        // must land on the live population, nothing more, nothing less.
+        let weights = Weights::new(vec![40, 40, 20]).unwrap();
+        let old = TicketAssignment::new(vec![2, 2, 1]);
+        let new = TicketAssignment::new(vec![1, 2, 2]);
+        let delta = TicketDelta::between(&old, &new).unwrap();
+        let expected = new.total() as usize;
+        for seed in 0..25u64 {
+            let config = BlackBoxConfig::new(weights.clone(), &old, Ratio::of(1, 4));
+            let nodes: Vec<Box<dyn Protocol<Msg = BlackBoxMsg<u64>>>> = (0..3)
+                .map(|party| {
+                    Box::new(BlackBox::new(config.clone(), party, move |_v, roster| Census {
+                        roster: roster.clone(),
+                        quorum: crate::quorum::CountQuorum::at_least(expected, expected),
+                        expected,
+                    })) as _
+                })
+                .collect();
+            let report = EpochedSimulation::new(nodes, seed).inject_at(12, delta.clone()).run();
+            assert_eq!(report.reconfigurations, 1, "seed {seed}");
+            for (i, out) in report.outputs.iter().enumerate() {
+                assert_eq!(
+                    out.as_deref(),
+                    Some(b"exact".as_ref()),
+                    "party {i} mis-counted voters across the boundary at seed {seed}: {:?}",
+                    report.outputs[i].as_deref().map(String::from_utf8_lossy)
+                );
+            }
         }
     }
 }

@@ -12,11 +12,11 @@
 
 use std::collections::HashMap;
 
-use swiper_core::{Ratio, Weights};
+use swiper_core::{Ratio, StableId, TicketDelta, Weights};
 use swiper_crypto::hash::{digest, Digest};
 use swiper_net::{Context, MessageSize, NodeId, Protocol};
 
-use crate::quorum::{Quorum, QuorumTracker};
+use crate::quorum::{IdentityView, Quorum, QuorumTracker, Roster};
 
 /// Bracha protocol messages.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,22 +43,38 @@ impl MessageSize for BrachaMsg {
 pub struct BrachaConfig {
     n: usize,
     weights: Option<Weights>,
+    /// How delivery-time sender ids map to stable voter identities.
+    view: IdentityView,
 }
 
 impl BrachaConfig {
     /// Nominal configuration for `n` parties (`t < n/3` tolerated).
     pub fn nominal(n: usize) -> Self {
-        BrachaConfig { n, weights: None }
+        BrachaConfig { n, weights: None, view: IdentityView::Party }
     }
 
     /// Weighted configuration (`f_w = 1/3` of total weight tolerated).
     pub fn weighted(weights: Weights) -> Self {
-        BrachaConfig { n: weights.len(), weights: Some(weights) }
+        BrachaConfig { n: weights.len(), weights: Some(weights), view: IdentityView::Party }
+    }
+
+    /// Epoch-aware nominal configuration over the black-box wrapper's
+    /// shared [`Roster`]: votes are keyed by stable `(party, offset)`
+    /// identity, quorum thresholds track the roster's *current* virtual
+    /// population, and [`Protocol::on_reconfigure`] migrates accumulated
+    /// votes across renumbering deltas (retired voters shed, survivors
+    /// kept). This is the form that stays safe *and live* under mixed
+    /// join/leave epoch reconfigurations.
+    pub fn epochal(roster: Roster) -> Self {
+        BrachaConfig { n: roster.total(), weights: None, view: IdentityView::Virtual(roster) }
     }
 
     fn quorum(&self, threshold: Ratio) -> Quorum {
         match &self.weights {
-            None => Quorum::nominal(self.n, threshold),
+            None => {
+                let n = self.view.roster().map_or(self.n, Roster::total);
+                Quorum::nominal(n, threshold)
+            }
             Some(w) => Quorum::weighted(w.clone(), threshold),
         }
     }
@@ -82,20 +98,41 @@ impl BrachaConfig {
 /// One Bracha node.
 pub struct BrachaNode {
     config: BrachaConfig,
-    sender: NodeId,
+    /// The designated sender's *stable* identity: dense sender ids are a
+    /// per-epoch artifact, so the INITIAL check resolves the delivery-time
+    /// id through the identity view and compares coordinates.
+    sender: StableId,
     /// `Some(payload)` when this node is the sender.
     input: Option<Vec<u8>>,
     echoed: bool,
     ready_sent: bool,
     delivered: bool,
+    /// What this node last echoed / declared ready, retained so the
+    /// epochal form can re-announce it to joiners spawned mid-flight
+    /// (stable-keyed trackers make the duplicates free).
+    echo_payload: Option<(Digest, Vec<u8>)>,
+    ready_payload: Option<(Digest, Vec<u8>)>,
     echo_quorums: HashMap<Digest, Quorum>,
     ready_amplify: HashMap<Digest, Quorum>,
     ready_deliver: HashMap<Digest, Quorum>,
 }
 
 impl BrachaNode {
-    /// A non-sender node waiting for `sender`'s broadcast.
+    /// A non-sender node waiting for `sender`'s broadcast (`sender` is the
+    /// dense id under the construction-time numbering). Epochal factories
+    /// that can spawn joiners *after* a renumbering delta must use
+    /// [`BrachaNode::with_sender_id`] instead: a dense id resolved at
+    /// spawn time may name a different logical user than it did at epoch
+    /// 0.
     pub fn new(config: BrachaConfig, sender: NodeId) -> Self {
+        let sender = config.view.stable_of(sender);
+        Self::with_sender_id(config, sender)
+    }
+
+    /// A non-sender node pinned to the designated sender's epoch-stable
+    /// identity — the renumbering-proof constructor (derive the id from
+    /// the epoch-0 mapping, e.g. `mapping.stable_of(0)`).
+    pub fn with_sender_id(config: BrachaConfig, sender: StableId) -> Self {
         BrachaNode {
             config,
             sender,
@@ -103,6 +140,8 @@ impl BrachaNode {
             echoed: false,
             ready_sent: false,
             delivered: false,
+            echo_payload: None,
+            ready_payload: None,
             echo_quorums: HashMap::new(),
             ready_amplify: HashMap::new(),
             ready_deliver: HashMap::new(),
@@ -116,9 +155,18 @@ impl BrachaNode {
         node
     }
 
+    /// The sender node pinned by stable identity (see
+    /// [`BrachaNode::with_sender_id`]).
+    pub fn sender_with_id(config: BrachaConfig, sender: StableId, payload: Vec<u8>) -> Self {
+        let mut node = Self::with_sender_id(config, sender);
+        node.input = Some(payload);
+        node
+    }
+
     fn maybe_ready(&mut self, d: Digest, payload: &[u8], ctx: &mut Context<BrachaMsg>) {
         if !self.ready_sent {
             self.ready_sent = true;
+            self.ready_payload = Some((d, payload.to_vec()));
             ctx.broadcast(BrachaMsg::Ready(d, payload.to_vec()));
         }
     }
@@ -134,12 +182,14 @@ impl Protocol for BrachaNode {
     }
 
     fn on_message(&mut self, from: NodeId, msg: BrachaMsg, ctx: &mut Context<BrachaMsg>) {
+        let voter = self.config.view.stable_of(from);
         match msg {
             BrachaMsg::Initial(payload) => {
                 // Only the designated sender's first INITIAL is echoed.
-                if from == self.sender && !self.echoed {
+                if voter == self.sender && !self.echoed {
                     self.echoed = true;
                     let d = digest(&payload);
+                    self.echo_payload = Some((d, payload.clone()));
                     ctx.broadcast(BrachaMsg::Echo(d, payload));
                 }
             }
@@ -148,7 +198,7 @@ impl Protocol for BrachaNode {
                     return; // malformed
                 }
                 let q = self.echo_quorums.entry(d).or_insert_with(|| self.config.echo_quorum());
-                if q.vote(from) {
+                if q.vote(voter) {
                     self.maybe_ready(d, &payload, ctx);
                 }
             }
@@ -159,18 +209,51 @@ impl Protocol for BrachaNode {
                 // Amplification: join READY once weight > f_w supports it.
                 let amplify =
                     self.ready_amplify.entry(d).or_insert_with(|| self.config.amplify_quorum());
-                if amplify.vote(from) {
+                if amplify.vote(voter) {
                     self.maybe_ready(d, &payload, ctx);
                 }
                 // Delivery: the bigger `> 2 f_w` quorum.
                 let deliver =
                     self.ready_deliver.entry(d).or_insert_with(|| self.config.deliver_quorum());
-                if deliver.vote(from) && !self.delivered {
+                if deliver.vote(voter) && !self.delivered {
                     self.delivered = true;
                     ctx.output(payload);
                     ctx.halt();
                 }
             }
+        }
+    }
+
+    fn on_reconfigure(&mut self, _delta: &TicketDelta, ctx: &mut Context<BrachaMsg>) {
+        // Party-keyed instances need nothing: party sets are fixed. The
+        // epochal form migrates every tracker onto the roster's new epoch —
+        // survivors' votes carry (stable keys never renumber), retired
+        // voters are shed, and thresholds re-derive from the new total.
+        let Some(roster) = self.config.view.roster().cloned() else { return };
+        for q in self
+            .echo_quorums
+            .values_mut()
+            .chain(self.ready_amplify.values_mut())
+            .chain(self.ready_deliver.values_mut())
+        {
+            q.migrate(&roster);
+        }
+        // Catch-up re-announcement: voters spawned this epoch missed the
+        // pre-boundary traffic, and with enough joins the 2/3 quorums
+        // over the *new* population are unreachable from survivor votes
+        // alone. Re-broadcasting what this node already said (INITIAL for
+        // the sender, its ECHO, its READY) lets joiners participate;
+        // stable-keyed trackers make every duplicate a no-op, so the
+        // re-announcement can never inflate a tally — this is precisely
+        // the move the dense-id design could not afford.
+        if let Some(payload) = self.input.clone() {
+            ctx.broadcast(BrachaMsg::Initial(payload));
+        }
+        if let Some((d, payload)) = self.echo_payload.clone() {
+            ctx.broadcast(BrachaMsg::Echo(d, payload));
+        }
+        if let Some((d, payload)) = self.ready_payload.clone() {
+            ctx.broadcast(BrachaMsg::Ready(d, payload));
         }
     }
 }

@@ -1,109 +1,278 @@
 //! Weighted voting (paper Section 1.2): quorum trackers with exact
-//! rational thresholds.
+//! rational thresholds, keyed on **epoch-stable identities**.
 //!
 //! Converting a protocol from "wait for `2t+1` parties" to "wait for
 //! parties holding more than a `2/3` fraction of the weight" is the
 //! *weighted voting* strategy. [`QuorumTracker`] abstracts both forms so a
 //! protocol implementation is generic over them.
+//!
+//! # Cross-epoch identity
+//!
+//! Votes are keyed by [`StableId`] — `(party, offset)` — never by dense
+//! per-epoch indices. Dense virtual ids renumber whenever a
+//! [`TicketDelta`](swiper_core::TicketDelta) touches an earlier party, so
+//! a dense-keyed tracker would count one logical voter under both its
+//! pre- and post-epoch ids (double-counting) while freezing in the weight
+//! of voters that have since retired. Stable keying makes vote survival
+//! automatic; an epoch crossing only needs [`QuorumTracker::migrate`] to
+//! re-derive the threshold base for the new population and shed retired
+//! voters.
+//!
+//! Two identity regimes exist, captured by [`IdentityView`]:
+//!
+//! * **party-keyed** protocols (weighted Bracha, AVID acks, vote-then-act,
+//!   vouching) vote as [`StableId::solo`] — party sets are fixed across
+//!   epochs, so these identities never retire;
+//! * **virtual-user-keyed** nominal protocols hosted by the black-box
+//!   transformation resolve delivery-time dense ids through a shared
+//!   [`Roster`], the per-replica identity directory the wrapper splices
+//!   each epoch's delta into.
+//!
+//! Identity *validation* (spoof checks, membership of the wire sender) is
+//! the hosting protocol's job — the simulator guarantees `from` is the
+//! real wire sender, and the black-box wrapper rejects inner messages
+//! whose claimed identity is not owned by the wire sender. Trackers count
+//! whatever distinct identities they are handed.
 
-use swiper_core::{Ratio, Weights};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::{collections::HashSet, fmt};
 
-/// Tracks votes from distinct parties until a threshold is reached.
+use swiper_core::{CoreError, Ratio, StableId, TicketDelta, VirtualUsers, Weights};
+
+/// A shared, epoch-aware identity directory: one replica's view of the
+/// current virtual-user mapping, shared (via `Rc`) between a black-box
+/// wrapper and the nominal automata it hosts so that *one*
+/// [`Roster::apply_delta`] at the epoch boundary atomically re-keys every
+/// component's identity resolution.
+///
+/// Cloning a `Roster` shares the underlying mapping; replicas must **not**
+/// share rosters with each other (each node splices deltas into its own).
+#[derive(Clone)]
+pub struct Roster {
+    map: Rc<RefCell<VirtualUsers>>,
+}
+
+impl Roster {
+    /// A directory over the given epoch's mapping.
+    pub fn new(mapping: VirtualUsers) -> Self {
+        Roster { map: Rc::new(RefCell::new(mapping)) }
+    }
+
+    /// Current number of virtual users `T`.
+    pub fn total(&self) -> usize {
+        self.map.borrow().total()
+    }
+
+    /// Number of real parties (fixed across epochs).
+    pub fn parties(&self) -> usize {
+        self.map.borrow().parties()
+    }
+
+    /// Current tickets of `party`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `party >= self.parties()`.
+    pub fn tickets_of(&self, party: usize) -> u64 {
+        self.map.borrow().tickets_of(party)
+    }
+
+    /// The stable identity of the current dense id `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= self.total()`.
+    pub fn stable_of(&self, v: usize) -> StableId {
+        self.map.borrow().stable_of(v)
+    }
+
+    /// The current dense id backing `id`, or `None` when retired/unknown.
+    pub fn dense_of(&self, id: StableId) -> Option<usize> {
+        self.map.borrow().dense_of(id)
+    }
+
+    /// Whether `id` is live in the current epoch.
+    pub fn contains(&self, id: StableId) -> bool {
+        self.map.borrow().contains(id)
+    }
+
+    /// The party owning the current dense id `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= self.total()`.
+    pub fn owner_of(&self, v: usize) -> usize {
+        self.map.borrow().owner_of(v)
+    }
+
+    /// Splices an epoch's delta into the shared mapping; every component
+    /// holding a clone of this roster sees the new epoch at once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`swiper_core::VirtualUsers::apply_delta`] errors (the
+    /// mapping is untouched on failure).
+    pub fn apply_delta(&self, delta: &TicketDelta) -> Result<(), CoreError> {
+        self.map.borrow_mut().apply_delta(delta)
+    }
+
+    /// A snapshot of the current mapping (for assertions and spawning).
+    pub fn snapshot(&self) -> VirtualUsers {
+        self.map.borrow().clone()
+    }
+}
+
+impl fmt::Debug for Roster {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Roster")
+            .field("total", &self.total())
+            .field("parties", &self.parties())
+            .finish()
+    }
+}
+
+/// How a protocol maps delivery-time sender ids to stable identities.
+#[derive(Clone, Debug, Default)]
+pub enum IdentityView {
+    /// Fixed party set: the sender id *is* the identity
+    /// ([`StableId::solo`]); nothing ever renumbers or retires.
+    #[default]
+    Party,
+    /// Epoch-aware virtual users: dense ids resolve through the shared
+    /// [`Roster`], which the host splices each epoch's delta into.
+    Virtual(Roster),
+}
+
+impl IdentityView {
+    /// Resolves a delivery-time sender id into its stable identity.
+    ///
+    /// # Panics
+    ///
+    /// In the [`IdentityView::Virtual`] regime, panics when `from` is not
+    /// a live dense id — hosts deliver only translated, live ids.
+    pub fn stable_of(&self, from: usize) -> StableId {
+        match self {
+            IdentityView::Party => StableId::solo(from),
+            IdentityView::Virtual(roster) => roster.stable_of(from),
+        }
+    }
+
+    /// The roster, in the epoch-aware regime.
+    pub fn roster(&self) -> Option<&Roster> {
+        match self {
+            IdentityView::Party => None,
+            IdentityView::Virtual(roster) => Some(roster),
+        }
+    }
+}
+
+/// Tracks votes from distinct stable identities until a threshold is
+/// reached.
 pub trait QuorumTracker {
-    /// Registers a vote from `party`; duplicate votes are ignored.
+    /// Registers a vote from `voter`; duplicate votes are ignored.
     /// Returns `true` once (and as long as) the quorum is reached.
-    fn vote(&mut self, party: usize) -> bool;
+    fn vote(&mut self, voter: StableId) -> bool;
 
     /// Whether the quorum has been reached.
     fn reached(&self) -> bool;
 
     /// Resets to the empty vote set.
     fn reset(&mut self);
+
+    /// Epoch migration: re-derives the threshold base from the roster's
+    /// new population and sheds votes of retired identities, so
+    /// accumulated progress survives renumbering while retired voters'
+    /// weight is released rather than frozen in.
+    fn migrate(&mut self, roster: &Roster);
 }
 
-/// Nominal quorum: strictly more than `num/den` of the `n` parties.
+/// Nominal quorum: strictly more than `num/den` of the `population`
+/// eligible voters.
 #[derive(Debug, Clone)]
 pub struct CountQuorum {
-    n: usize,
+    population: usize,
     num: u128,
     den: u128,
-    voted: Vec<bool>,
-    count: usize,
+    voted: HashSet<StableId>,
 }
 
 impl CountQuorum {
-    /// Quorum of strictly more than `threshold * n` parties.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the threshold denominator is zero (cannot happen for a
-    /// valid [`Ratio`]).
+    /// Quorum of strictly more than `threshold * n` voters.
     pub fn new(n: usize, threshold: Ratio) -> Self {
         CountQuorum {
-            n,
+            population: n,
             num: threshold.num(),
             den: threshold.den(),
-            voted: vec![false; n],
-            count: 0,
+            voted: HashSet::new(),
         }
     }
 
-    /// Classic `k`-of-`n` quorum (at least `k` distinct parties).
+    /// Classic `k`-of-`n` quorum (at least `k` distinct voters).
     pub fn at_least(n: usize, k: usize) -> Self {
         // "at least k" == "strictly more than k-1": represent as (k-1)/n.
         CountQuorum {
-            n,
+            population: n,
             num: k.saturating_sub(1) as u128,
             den: n.max(1) as u128,
-            voted: vec![false; n],
-            count: 0,
+            voted: HashSet::new(),
         }
     }
 
     /// Current number of distinct voters.
     pub fn count(&self) -> usize {
-        self.count
+        self.voted.len()
+    }
+
+    /// The threshold base (eligible-voter population).
+    pub fn population(&self) -> usize {
+        self.population
     }
 }
 
 impl QuorumTracker for CountQuorum {
-    fn vote(&mut self, party: usize) -> bool {
-        if party < self.n && !self.voted[party] {
-            self.voted[party] = true;
-            self.count += 1;
-        }
+    fn vote(&mut self, voter: StableId) -> bool {
+        self.voted.insert(voter);
         self.reached()
     }
 
     fn reached(&self) -> bool {
-        (self.count as u128) * self.den > self.num * (self.n as u128)
+        (self.voted.len() as u128) * self.den > self.num * (self.population as u128)
     }
 
     fn reset(&mut self) {
-        self.voted.iter_mut().for_each(|v| *v = false);
-        self.count = 0;
+        self.voted.clear();
+    }
+
+    fn migrate(&mut self, roster: &Roster) {
+        self.population = roster.total();
+        self.voted.retain(|id| roster.contains(*id));
     }
 }
 
 /// Weighted quorum: strictly more than `threshold * W` of total weight.
+///
+/// Weights are per *party*; each distinct voter contributes its party's
+/// weight once. The weighted protocols in this crate host exactly one
+/// voter per party ([`StableId::solo`]), which gives the exact
+/// weighted-voting semantics of paper §1.2.
 #[derive(Debug, Clone)]
 pub struct WeightQuorum {
     weights: Weights,
     num: u128,
     den: u128,
-    voted: Vec<bool>,
+    voted: HashSet<StableId>,
     weight: u128,
 }
 
 impl WeightQuorum {
     /// Quorum of strictly more than `threshold * W` weight.
     pub fn new(weights: Weights, threshold: Ratio) -> Self {
-        let n = weights.len();
         WeightQuorum {
             weights,
             num: threshold.num(),
             den: threshold.den(),
-            voted: vec![false; n],
+            voted: HashSet::new(),
             weight: 0,
         }
     }
@@ -115,10 +284,11 @@ impl WeightQuorum {
 }
 
 impl QuorumTracker for WeightQuorum {
-    fn vote(&mut self, party: usize) -> bool {
-        if party < self.voted.len() && !self.voted[party] {
-            self.voted[party] = true;
-            self.weight += u128::from(self.weights.get(party));
+    fn vote(&mut self, voter: StableId) -> bool {
+        // A voter naming a party outside the weight vector carries no
+        // weight (and party sets are fixed, so it never will).
+        if voter.party_ix() < self.weights.len() && self.voted.insert(voter) {
+            self.weight += u128::from(self.weights.get(voter.party_ix()));
         }
         self.reached()
     }
@@ -128,8 +298,20 @@ impl QuorumTracker for WeightQuorum {
     }
 
     fn reset(&mut self) {
-        self.voted.iter_mut().for_each(|v| *v = false);
+        self.voted.clear();
         self.weight = 0;
+    }
+
+    fn migrate(&mut self, roster: &Roster) {
+        // Shed retired voters and release their weight; the weight vector
+        // itself is per-party and parties never retire, so it is kept.
+        self.voted.retain(|id| roster.contains(*id));
+        self.weight = self
+            .voted
+            .iter()
+            .filter(|id| id.party_ix() < self.weights.len())
+            .map(|id| u128::from(self.weights.get(id.party_ix())))
+            .sum();
     }
 }
 
@@ -144,7 +326,7 @@ pub enum Quorum {
 }
 
 impl Quorum {
-    /// Nominal quorum over `n` parties.
+    /// Nominal quorum over `n` voters.
     pub fn nominal(n: usize, threshold: Ratio) -> Self {
         Quorum::Count(CountQuorum::new(n, threshold))
     }
@@ -156,10 +338,10 @@ impl Quorum {
 }
 
 impl QuorumTracker for Quorum {
-    fn vote(&mut self, party: usize) -> bool {
+    fn vote(&mut self, voter: StableId) -> bool {
         match self {
-            Quorum::Count(q) => q.vote(party),
-            Quorum::Weight(q) => q.vote(party),
+            Quorum::Count(q) => q.vote(voter),
+            Quorum::Weight(q) => q.vote(voter),
         }
     }
 
@@ -176,50 +358,74 @@ impl QuorumTracker for Quorum {
             Quorum::Weight(q) => q.reset(),
         }
     }
+
+    fn migrate(&mut self, roster: &Roster) {
+        match self {
+            Quorum::Count(q) => q.migrate(roster),
+            Quorum::Weight(q) => q.migrate(roster),
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use swiper_core::{TicketAssignment, TicketDelta};
+
+    fn solo(p: usize) -> StableId {
+        StableId::solo(p)
+    }
 
     #[test]
     fn count_quorum_strict_threshold() {
         // n = 6, threshold 2/3: need > 4, i.e. 5 parties.
         let mut q = CountQuorum::new(6, Ratio::of(2, 3));
         for p in 0..4 {
-            assert!(!q.vote(p), "party {p}");
+            assert!(!q.vote(solo(p)), "party {p}");
         }
-        assert!(q.vote(4));
+        assert!(q.vote(solo(4)));
         assert!(q.reached());
     }
 
     #[test]
     fn count_quorum_at_least() {
         let mut q = CountQuorum::at_least(4, 3);
-        q.vote(0);
-        q.vote(1);
+        q.vote(solo(0));
+        q.vote(solo(1));
         assert!(!q.reached());
-        q.vote(2);
+        q.vote(solo(2));
         assert!(q.reached());
     }
 
     #[test]
     fn duplicates_ignored() {
         let mut q = CountQuorum::at_least(3, 2);
-        q.vote(1);
-        q.vote(1);
-        q.vote(1);
+        q.vote(solo(1));
+        q.vote(solo(1));
+        q.vote(solo(1));
         assert!(!q.reached());
         assert_eq!(q.count(), 1);
+    }
+
+    #[test]
+    fn distinct_offsets_are_distinct_voters() {
+        // Virtual users of the same party are independent voters in the
+        // nominal model — the black-box transformation depends on it.
+        let mut q = CountQuorum::at_least(4, 3);
+        q.vote(StableId::new(0, 0));
+        q.vote(StableId::new(0, 1));
+        assert!(!q.reached());
+        q.vote(StableId::new(1, 0));
+        assert!(q.reached());
     }
 
     #[test]
     fn weight_quorum_strict() {
         let w = Weights::new(vec![50, 30, 20]).unwrap();
         let mut q = WeightQuorum::new(w, Ratio::of(1, 2));
-        q.vote(0); // exactly 50 = W/2, not strictly more
+        q.vote(solo(0)); // exactly 50 = W/2, not strictly more
         assert!(!q.reached());
-        q.vote(2); // 70 > 50
+        q.vote(solo(2)); // 70 > 50
         assert!(q.reached());
     }
 
@@ -230,27 +436,129 @@ mod tests {
         let w = Weights::new(vec![90, 5, 5]).unwrap();
         let mut wq = Quorum::weighted(w, Ratio::of(1, 2));
         let mut nq = Quorum::nominal(3, Ratio::of(1, 2));
-        assert!(wq.vote(0));
-        assert!(!nq.vote(0));
+        assert!(wq.vote(solo(0)));
+        assert!(!nq.vote(solo(0)));
     }
 
     #[test]
     fn reset_clears_state() {
         let w = Weights::new(vec![10, 10]).unwrap();
         let mut q = Quorum::weighted(w, Ratio::of(1, 3));
-        q.vote(0);
+        q.vote(solo(0));
         assert!(q.reached());
         q.reset();
         assert!(!q.reached());
-        q.vote(1);
+        q.vote(solo(1));
         assert!(q.reached());
     }
 
     #[test]
-    fn out_of_range_votes_ignored() {
-        let mut q = CountQuorum::at_least(2, 1);
-        q.vote(99);
+    fn unknown_party_votes_carry_no_weight() {
+        // Identity validation is upstream; a voter naming a party beyond
+        // the weight vector must at least never add weight or panic.
+        let w = Weights::new(vec![10, 10]).unwrap();
+        let mut q = WeightQuorum::new(w, Ratio::of(1, 3));
+        q.vote(solo(99));
         assert!(!q.reached());
+        assert_eq!(q.weight(), 0);
+    }
+
+    /// The dense-id double-counting regression the `StableId` re-keying
+    /// exists to kill. One cohort of voters votes under the epoch-0
+    /// numbering; a renumbering delta is spliced in; every *live* voter
+    /// votes again under the epoch-1 numbering (the in-flight-duplicate
+    /// schedule an epoch-crossing adversary forces). Keyed on stable
+    /// identities the tracker must end with exactly the live population —
+    /// a dense-keyed tracker counts survivors under both their pre- and
+    /// post-epoch ids and blows past it.
+    #[test]
+    fn renumbering_epoch_never_double_counts_voters() {
+        let old = TicketAssignment::new(vec![2, 3, 1, 2]);
+        // Mixed delta: party 0 shrinks (renumbers *everyone* after it),
+        // party 2 retires entirely, party 3 grows.
+        let new = TicketAssignment::new(vec![1, 3, 0, 3]);
+        let delta = TicketDelta::between(&old, &new).unwrap();
+        let old_map = VirtualUsers::from_assignment(&old).unwrap();
+        let roster = Roster::new(old_map.clone());
+
+        let mut q = CountQuorum::at_least(old_map.total(), old_map.total());
+        for v in 0..old_map.total() {
+            q.vote(roster.stable_of(v));
+        }
+        assert_eq!(q.count(), old_map.total());
+        assert!(q.reached());
+
+        roster.apply_delta(&delta).unwrap();
+        q.migrate(&roster);
+        // Retired voters shed: (0,1), (2,0); survivors retained.
+        assert_eq!(q.count(), old_map.total() - 2);
+        assert_eq!(q.population(), roster.total());
+
+        // Epoch-1 duplicates: every live voter votes again under the new
+        // numbering. Stable keying dedupes them all; the only fresh voter
+        // is party 3's joiner.
+        for v in 0..roster.total() {
+            q.vote(roster.stable_of(v));
+        }
+        assert_eq!(
+            q.count(),
+            roster.total(),
+            "one logical voter was counted under two epochs' numberings"
+        );
+    }
+
+    /// Retired voters' weight is shed on migration, not frozen into the
+    /// accumulated total — the "ghost weight" half of the cross-epoch
+    /// quorum-identity fix.
+    #[test]
+    fn migrate_sheds_retired_weight() {
+        let w = Weights::new(vec![40, 35, 25]).unwrap();
+        let old = TicketAssignment::new(vec![1, 1, 1]);
+        let new = TicketAssignment::new(vec![1, 0, 1]);
+        let delta = TicketDelta::between(&old, &new).unwrap();
+        let roster = Roster::new(VirtualUsers::from_assignment(&old).unwrap());
+
+        let mut q = WeightQuorum::new(w, Ratio::of(2, 3));
+        q.vote(solo(0));
+        q.vote(solo(1));
+        assert!(q.reached(), "75 > 2/3 of 100");
+
+        roster.apply_delta(&delta).unwrap();
+        // Party-keyed voters never retire: solo identities stay live as
+        // long as the party holds a ticket; party 1's retired here.
+        q.migrate(&roster);
+        assert_eq!(q.weight(), 40, "retired voter's 35 released");
+        assert!(!q.reached());
+        q.vote(solo(2));
+        assert!(!q.reached(), "65 is not > 2/3 of 100");
+    }
+
+    #[test]
+    fn roster_is_shared_between_clones() {
+        let old = TicketAssignment::new(vec![2, 1]);
+        let new = TicketAssignment::new(vec![1, 2]);
+        let delta = TicketDelta::between(&old, &new).unwrap();
+        let roster = Roster::new(VirtualUsers::from_assignment(&old).unwrap());
+        let view = roster.clone();
+        roster.apply_delta(&delta).unwrap();
+        assert_eq!(view.total(), 3);
+        assert_eq!(view.tickets_of(0), 1);
+        assert_eq!(view.dense_of(StableId::new(0, 1)), None, "retired via the shared map");
+        assert_eq!(view.dense_of(StableId::new(1, 1)), Some(2), "joined via the shared map");
+    }
+
+    #[test]
+    fn identity_view_regimes() {
+        let view = IdentityView::Party;
+        assert_eq!(view.stable_of(3), StableId::solo(3));
+        assert!(view.roster().is_none());
+        let roster = Roster::new(
+            VirtualUsers::from_assignment(&TicketAssignment::new(vec![2, 1])).unwrap(),
+        );
+        let view = IdentityView::Virtual(roster);
+        assert_eq!(view.stable_of(1), StableId::new(0, 1));
+        assert_eq!(view.stable_of(2), StableId::new(1, 0));
+        assert!(view.roster().is_some());
     }
 
     mod properties {
@@ -274,8 +582,8 @@ mod tests {
                 let mut nq = Quorum::nominal(n, threshold);
                 for ix in votes {
                     let party = ix.index(n);
-                    wq.vote(party);
-                    nq.vote(party);
+                    wq.vote(StableId::solo(party));
+                    nq.vote(StableId::solo(party));
                     prop_assert_eq!(wq.reached(), nq.reached());
                 }
             }
@@ -291,7 +599,7 @@ mod tests {
                 let mut q = Quorum::weighted(weights, Ratio::of(1, 2));
                 let mut was_reached = false;
                 for ix in votes {
-                    q.vote(ix.index(n));
+                    q.vote(StableId::solo(ix.index(n)));
                     if was_reached {
                         prop_assert!(q.reached(), "quorum regressed");
                     }
@@ -311,9 +619,40 @@ mod tests {
                 let weights = Weights::new(ws).unwrap();
                 let mut q = Quorum::weighted(weights, threshold);
                 for p in 0..n {
-                    q.vote(p);
+                    q.vote(StableId::solo(p));
                 }
                 prop_assert!(q.reached());
+            }
+
+            /// Stable keying is invariant under delta chains: voting every
+            /// virtual user once per epoch along a random chain, with a
+            /// migrate at each boundary, ends with exactly the final
+            /// population — never more (double counts), never less (lost
+            /// survivors), whatever the renumbering did.
+            #[test]
+            fn vote_once_per_epoch_counts_each_logical_voter_once(
+                base in proptest::collection::vec(0u64..6, 1..10),
+                epochs in proptest::collection::vec(
+                    proptest::collection::vec(0u64..6, 10), 1..5),
+            ) {
+                let n = base.len();
+                let mut current = TicketAssignment::new(base);
+                let roster = Roster::new(VirtualUsers::from_assignment(&current).unwrap());
+                let mut q = CountQuorum::at_least(roster.total(), 1);
+                for v in 0..roster.total() {
+                    q.vote(roster.stable_of(v));
+                }
+                for epoch in &epochs {
+                    let next = TicketAssignment::new(epoch[..n].to_vec());
+                    let delta = TicketDelta::between(&current, &next).unwrap();
+                    roster.apply_delta(&delta).unwrap();
+                    current = next;
+                    q.migrate(&roster);
+                    for v in 0..roster.total() {
+                        q.vote(roster.stable_of(v));
+                    }
+                    prop_assert_eq!(q.count(), roster.total());
+                }
             }
         }
     }

@@ -42,6 +42,21 @@
 //! commit bit-identical ledgers by construction; the `epochs` bench bin
 //! and the nightly CI job fail on any divergence, and the live mode's
 //! value shows up as strictly fewer restarted rounds.
+//!
+//! # Identity model
+//!
+//! Per the stable-identity contract (`swiper_net::Protocol`'s
+//! `on_reconfigure` docs), everything this composition carries across a
+//! boundary is keyed by identities that never renumber: the ledger and
+//! pipeline by *round number*, batches and beacon shares by *party* —
+//! party sets are fixed across epochs, and deltas of any shape (gains,
+//! losses, mixed join/leave with live renumbering) are equally
+//! supported. Dense virtual positions appear only inside one epoch's
+//! coding/dealing (fragment indices, share indices); when the assignment
+//! backing them moves, the affected state is re-derived rather than
+//! translated — deterministically for the beacon, by re-dissemination
+//! for the pipeline — which is exactly why no gain-only restriction
+//! exists here.
 
 use std::collections::VecDeque;
 

@@ -16,7 +16,7 @@
 //! honest shares alone suffice. This module implements the wrapper as a
 //! simulator protocol over the threshold-signature primitive.
 
-use swiper_core::{Ratio, TicketAssignment, VirtualUsers, Weights};
+use swiper_core::{Ratio, StableId, TicketAssignment, VirtualUsers, Weights};
 use swiper_crypto::thresh::{KeyShare, PartialSignature, PublicKey, ThresholdScheme};
 use swiper_net::{Context, MessageSize, NodeId, Protocol};
 
@@ -170,7 +170,10 @@ impl Protocol for TightNode {
     fn on_message(&mut self, from: NodeId, msg: TightMsg, ctx: &mut Context<TightMsg>) {
         match msg {
             TightMsg::Vote => {
-                self.vote_quorum.vote(from);
+                // Party-keyed stable identity: the voter set is the fixed
+                // party set, so votes survive any epoch's renumbering of
+                // *virtual* users untouched.
+                self.vote_quorum.vote(StableId::solo(from));
                 self.maybe_release(ctx);
             }
             TightMsg::Shares { partials } => {

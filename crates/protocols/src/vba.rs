@@ -22,7 +22,7 @@
 use std::collections::HashMap;
 
 use rand::Rng;
-use swiper_core::{Ratio, TicketAssignment, VirtualUsers, Weights};
+use swiper_core::{Ratio, StableId, TicketAssignment, VirtualUsers, Weights};
 use swiper_crypto::thresh::{KeyShare, PartialSignature, PublicKey, ThresholdScheme};
 use swiper_net::{Context, Effects, MessageSize, NodeId, Protocol};
 
@@ -196,7 +196,7 @@ impl<V: Fn(&[u8]) -> bool> VbaNode<V> {
         if let Some(out) = effects.output {
             if self.delivered[instance].is_none() {
                 self.delivered[instance] = Some(out);
-                self.delivered_quorum.vote(instance);
+                self.delivered_quorum.vote(StableId::solo(instance));
             }
         }
         if effects.halted {

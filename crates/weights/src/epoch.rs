@@ -296,13 +296,86 @@ impl Reconfigurator {
     }
 }
 
+/// How [`churn_with`] draws per-party stake moves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChurnMode {
+    /// Unbiased drift: each churned party rescales by a factor drawn
+    /// uniformly from `±magnitude_pct` percent — the benchmark default.
+    #[default]
+    Drift,
+    /// Mixed join/leave pressure: the churned parties are split half and
+    /// half into strict losers (factor in `[100 - magnitude, 99]`%) and
+    /// strict gainers (`[101, 100 + magnitude]`%). Re-solving such
+    /// snapshots yields [`TicketDelta`]s that *shrink some ranges while
+    /// growing others* — the live-renumbering epochs the stable-identity
+    /// plumbing must survive, where dense-id designs double-count or
+    /// strand voters.
+    Mixed,
+}
+
+impl ChurnMode {
+    /// Parses a CLI spelling (`drift` / `mixed`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "drift" => Some(ChurnMode::Drift),
+            "mixed" => Some(ChurnMode::Mixed),
+            _ => None,
+        }
+    }
+}
+
 /// Perturbs a snapshot the way per-epoch stake churn does: `churned`
 /// distinct parties (picked uniformly) have their stake rescaled by a
-/// factor drawn uniformly from `[100 - magnitude_pct, 100 + magnitude_pct]`
-/// percent, floored at 1 so no party vanishes. Per-epoch stake moves are
-/// small in practice — delegation drift, rewards, partial unbonds — so
-/// `magnitude_pct = 5` is the benchmark default. Deterministic given the
-/// RNG state.
+/// factor drawn per [`ChurnMode`], floored at 1 so no party vanishes.
+/// Per-epoch stake moves are small in practice — delegation drift,
+/// rewards, partial unbonds — so `magnitude_pct = 5` is the benchmark
+/// default. Deterministic given the RNG state.
+///
+/// # Panics
+///
+/// Panics if `churned > snapshot.len()`, `magnitude_pct >= 100`, or
+/// (mixed mode) `magnitude_pct == 0` — a mixed draw needs room on both
+/// sides of 100%.
+#[must_use]
+pub fn churn_with(
+    mode: ChurnMode,
+    snapshot: &Weights,
+    churned: usize,
+    magnitude_pct: u64,
+    rng: &mut StdRng,
+) -> Weights {
+    assert!(churned <= snapshot.len(), "cannot churn more parties than exist");
+    assert!(magnitude_pct < 100, "stake cannot shrink below zero");
+    assert!(
+        mode == ChurnMode::Drift || magnitude_pct > 0,
+        "mixed churn needs a nonzero magnitude"
+    );
+    let n = snapshot.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    // Partial Fisher–Yates: the first `churned` slots are a uniform draw
+    // of distinct parties.
+    for i in 0..churned {
+        let j = rng.random_range(i..n);
+        order.swap(i, j);
+    }
+    let mut next = snapshot.as_slice().to_vec();
+    for (slot, &party) in order[..churned].iter().enumerate() {
+        let factor = match mode {
+            ChurnMode::Drift => rng.random_range(100 - magnitude_pct..=100 + magnitude_pct),
+            // First half loses, second half gains (odd counts lean
+            // loser-heavy: shrink is the historically under-tested side).
+            ChurnMode::Mixed if slot < churned.div_ceil(2) => {
+                rng.random_range(100 - magnitude_pct..=99)
+            }
+            ChurnMode::Mixed => rng.random_range(101..=100 + magnitude_pct),
+        };
+        next[party] = (next[party].saturating_mul(factor) / 100).max(1);
+    }
+    Weights::new(next).expect("churn keeps every weight positive")
+}
+
+/// [`churn_with`] in the default [`ChurnMode::Drift`] regime.
 ///
 /// # Panics
 ///
@@ -314,22 +387,7 @@ pub fn churn(
     magnitude_pct: u64,
     rng: &mut StdRng,
 ) -> Weights {
-    assert!(churned <= snapshot.len(), "cannot churn more parties than exist");
-    assert!(magnitude_pct < 100, "stake cannot shrink below zero");
-    let n = snapshot.len();
-    let mut order: Vec<usize> = (0..n).collect();
-    // Partial Fisher–Yates: the first `churned` slots are a uniform draw
-    // of distinct parties.
-    for i in 0..churned {
-        let j = rng.random_range(i..n);
-        order.swap(i, j);
-    }
-    let mut next = snapshot.as_slice().to_vec();
-    for &party in &order[..churned] {
-        let factor = rng.random_range(100 - magnitude_pct..=100 + magnitude_pct);
-        next[party] = (next[party].saturating_mul(factor) / 100).max(1);
-    }
-    Weights::new(next).expect("churn keeps every weight positive")
+    churn_with(ChurnMode::Drift, snapshot, churned, magnitude_pct, rng)
 }
 
 #[cfg(test)]
@@ -344,6 +402,24 @@ mod tests {
 
     fn ws() -> Setting {
         Setting::Separation(WeightSeparation::new(Ratio::of(1, 4), Ratio::of(1, 3)).unwrap())
+    }
+
+    #[test]
+    fn mixed_churn_moves_stake_in_both_directions() {
+        let w = crate::gen::zipf(64, 0.8, 1 << 20);
+        let mut rng = StdRng::seed_from_u64(5);
+        let next = churn_with(ChurnMode::Mixed, &w, 8, 10, &mut rng);
+        let mut gained = 0usize;
+        let mut lost = 0usize;
+        for (a, b) in w.as_slice().iter().zip(next.as_slice()) {
+            gained += usize::from(b > a);
+            lost += usize::from(b < a);
+        }
+        // 8 churned parties, half strict losers and half strict gainers
+        // (integer floor can only ever soften a move to "unchanged", and
+        // only for tiny stakes, which zipf(1<<20) does not produce here).
+        assert_eq!(gained, 4, "gainers: {gained}");
+        assert_eq!(lost, 4, "losers: {lost}");
     }
 
     #[test]

@@ -41,7 +41,7 @@ fn main() {
             let input = inputs[party];
             // Every virtual identity of a party inherits the party's input
             // (the problem-specific input mapping of Section 4.4).
-            Box::new(BlackBox::new(config.clone(), party, move |_v| {
+            Box::new(BlackBox::new(config.clone(), party, move |_v, _roster| {
                 AbaNode::new(s.clone(), input)
             })) as _
         })

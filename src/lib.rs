@@ -47,7 +47,8 @@ pub use swiper_weights as weights;
 
 // The workhorse types at the crate root for convenience.
 pub use swiper_core::{
-    CachingOracle, CheckParams, FamilyMember, FullOracle, Instance, LinearOracle, Mode, Ratio,
-    Solution, SolveStats, Swiper, TicketAssignment, TicketDelta, ValidityOracle, Verdict,
-    VirtualUsers, WeightQualification, WeightRestriction, WeightSeparation, Weights,
+    CachingOracle, CheckParams, FamilyMember, FullOracle, Instance, LinearOracle, Mode,
+    PartyId, Ratio, Solution, SolveStats, StableId, Swiper, TicketAssignment, TicketDelta,
+    ValidityOracle, Verdict, VirtualUsers, WeightQualification, WeightRestriction,
+    WeightSeparation, Weights,
 };

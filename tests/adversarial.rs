@@ -109,7 +109,7 @@ fn zero_ticket_parties_with_partial_vouchers() {
         .map(|party| {
             let bc = bracha_cfg.clone();
             let payload = payload.clone();
-            Box::new(BlackBox::new(config.clone(), party, move |v| {
+            Box::new(BlackBox::new(config.clone(), party, move |v, _roster| {
                 if v == 0 {
                     BrachaNode::sender(bc.clone(), 0, payload.clone())
                 } else {

@@ -17,7 +17,7 @@ use swiper::protocols::bracha::{BrachaConfig, BrachaMsg, BrachaNode, Equivocatin
 use swiper::protocols::ecbc::{EcbcConfig, EcbcMsg, EcbcNode, GarbageEchoer};
 use swiper::protocols::smr::{ReconfigureMode, SmrInstance};
 use swiper::protocols::tight::{TargetedShareSender, TightConfig, TightMsg, TightNode};
-use swiper::weights::epoch::{churn, Reconfigurator, Setting};
+use swiper::weights::epoch::{churn, churn_with, ChurnMode, Reconfigurator, Setting};
 use swiper::weights::{gen, Chain};
 use swiper::{
     CachingOracle, FullOracle, Instance, Ratio, Swiper, TicketAssignment, TicketDelta,
@@ -228,44 +228,51 @@ fn avid_totality_across_schedules() {
 
 /// Epoch-crossing sweep for the black-box transformation: a Bracha
 /// broadcast runs over virtual users while a churned epoch's
-/// `TicketDelta` is spliced in mid-flight, under both delay models and
-/// with a `SelectiveAck` quorum-splitter in the party set. Safety
-/// (every produced output is the sender's payload) must hold on every
-/// schedule and every delta; liveness for every honest party is
-/// additionally asserted for gain-only deltas (`leaving() == 0`), where
-/// no virtual user retires — the provably-live case of the
-/// `on_reconfigure` contract.
+/// `TicketDelta` — **mixed joins and leaves included** — is spliced in
+/// mid-flight, under both delay models and with a `SelectiveAck`
+/// quorum-splitter in the party set. Safety (every produced output is
+/// the sender's payload) must hold on every schedule and every delta;
+/// liveness is asserted for every honest party on *every* delta shape,
+/// shrinking and renumbering ones included — the gain-only carve-out of
+/// the dense-id design is gone. The single structural precondition is
+/// that the broadcast's designated sender still holds a ticket (a
+/// broadcast whose sender retires before dissemination cannot complete
+/// under any identity scheme); the mixed churn below never retires the
+/// sender's party.
 #[test]
 fn blackbox_epoch_crossing_sweep() {
     let weights = gen::zipf(40, 0.8, 1 << 16);
     let params = WeightRestriction::new(Ratio::of(1, 4), Ratio::of(1, 3)).unwrap();
     let solver = Swiper::new();
     let epoch0 = solver.solve_restriction(&weights, &params).unwrap().assignment;
-    let total = usize::try_from(epoch0.total()).unwrap();
+    let sender_party = (0..epoch0.len()).find(|&p| epoch0.get(p) > 0).unwrap();
     let payload = b"epoch-crossing black-box".to_vec();
-    let bracha_cfg = BrachaConfig::nominal(total);
     let splitter: usize = 35; // light party, well under f_w = 1/4
     let chosen: Vec<usize> = (0..20).collect();
-    for churn_pct in [1usize, 5] {
+    for (churn_pct, mode) in [(1usize, ChurnMode::Drift), (5, ChurnMode::Mixed)] {
         let churned_parties = (weights.len() * churn_pct).div_ceil(100);
         for seed in seeds() {
             for delay in [DelayModel::Uniform(1, 24), DelayModel::BiasAgainstLowIds(1, 40)] {
                 let mut rng = StdRng::seed_from_u64(seed ^ ((churn_pct as u64) << 32));
-                let next = churn(&weights, churned_parties, 5, &mut rng);
+                let next = churn_with(mode, &weights, churned_parties, 5, &mut rng);
                 let epoch1 = solver.solve_restriction(&next, &params).unwrap().assignment;
                 let delta = TicketDelta::between(&epoch0, &epoch1).unwrap();
-                let gain_only = delta.leaving() == 0;
+                let sender_lives = epoch1.get(sender_party) > 0;
                 let config = BlackBoxConfig::new(weights.clone(), &epoch0, Ratio::of(1, 4));
+                // The designated sender is epoch-0 virtual user 0, pinned
+                // by *stable* identity: a dense id resolved at spawn time
+                // could name a different logical user after the delta.
+                let sender_id = config.mapping().stable_of(0);
                 let mut nodes: Vec<Box<dyn Protocol<Msg = BlackBoxMsg<BrachaMsg>>>> =
                     Vec::new();
                 for party in 0..weights.len() {
-                    let bc = bracha_cfg.clone();
                     let payload = payload.clone();
-                    let bb = BlackBox::new(config.clone(), party, move |v| {
-                        if v == 0 {
-                            BrachaNode::sender(bc.clone(), 0, payload.clone())
+                    let bb = BlackBox::new(config.clone(), party, move |v, roster| {
+                        let bc = BrachaConfig::epochal(roster.clone());
+                        if roster.stable_of(v) == sender_id {
+                            BrachaNode::sender_with_id(bc, sender_id, payload.clone())
                         } else {
-                            BrachaNode::new(bc.clone(), 0)
+                            BrachaNode::with_sender_id(bc, sender_id)
                         }
                     });
                     if party == splitter {
@@ -276,7 +283,7 @@ fn blackbox_epoch_crossing_sweep() {
                 }
                 let report = EpochedSimulation::new(nodes, seed)
                     .with_delay(delay)
-                    .inject_at(60, delta)
+                    .inject_at(60, delta.clone())
                     .run();
                 assert_eq!(report.reconfigurations, 1, "seed {seed} churn {churn_pct}%");
                 for (i, out) in report.outputs.iter().enumerate() {
@@ -289,15 +296,155 @@ fn blackbox_epoch_crossing_sweep() {
                         );
                     }
                 }
-                if gain_only {
-                    for i in (0..weights.len()).filter(|&i| i != splitter) {
-                        assert!(
-                            report.outputs[i].is_some(),
-                            "party {i} lost liveness on a gain-only delta at seed {seed} \
-                             churn {churn_pct}% {delay:?}"
-                        );
-                    }
+                assert!(sender_lives, "mixed churn must never retire the sender's party");
+                for i in (0..weights.len()).filter(|&i| i != splitter) {
+                    assert!(
+                        report.outputs[i].is_some(),
+                        "party {i} lost liveness on a {mode:?} delta (joining {} \
+                         leaving {}) at seed {seed} churn {churn_pct}% {delay:?}",
+                        delta.joining(),
+                        delta.leaving(),
+                    );
                 }
+            }
+        }
+    }
+}
+
+/// Shrinking-and-renumbering sweep with a hand-crafted mixed delta that
+/// exercises every hostile shape at once: the *first* party shrinks (so
+/// every surviving dense id renumbers), one party retires entirely
+/// (zero tickets — it must fall back to the vouching path), and another
+/// party gains users mid-flight. Safety **and liveness** are pinned for
+/// every party on every schedule under both delay models — the case the
+/// dense-id design provably could not serve (its quorum votes froze
+/// under stale numberings and its trackers kept epoch-0 populations).
+#[test]
+fn blackbox_shrinking_renumbering_sweep() {
+    let weights = Weights::new(vec![40, 25, 20, 15]).unwrap();
+    let old = TicketAssignment::new(vec![3, 2, 2, 1]);
+    // Only 4 of the 8 epoch-1 voters survive from epoch 0: the 2/3
+    // delivery quorum (6 of 8) is unreachable from survivor votes alone,
+    // so this delta additionally pins the epochal catch-up
+    // re-announcement (`BrachaNode::on_reconfigure` re-broadcasting
+    // INITIAL/ECHO/READY so joiners can vote) — remove it and every
+    // schedule that has not delivered by event 30 stalls forever.
+    let new = TicketAssignment::new(vec![1, 2, 0, 5]);
+    let delta = TicketDelta::between(&old, &new).unwrap();
+    assert!(delta.joining() > 0 && delta.leaving() > 0, "the delta must mix joins and leaves");
+    let payload = b"shrink, renumber, stay live".to_vec();
+    for seed in seeds() {
+        for delay in [DelayModel::Uniform(1, 24), DelayModel::BiasAgainstLowIds(1, 40)] {
+            let config = BlackBoxConfig::new(weights.clone(), &old, Ratio::of(1, 4));
+            let sender_id = config.mapping().stable_of(0);
+            let nodes: Vec<Box<dyn Protocol<Msg = BlackBoxMsg<BrachaMsg>>>> = (0..4)
+                .map(|party| {
+                    let payload = payload.clone();
+                    Box::new(BlackBox::new(config.clone(), party, move |v, roster| {
+                        let bc = BrachaConfig::epochal(roster.clone());
+                        if roster.stable_of(v) == sender_id {
+                            BrachaNode::sender_with_id(bc, sender_id, payload.clone())
+                        } else {
+                            BrachaNode::with_sender_id(bc, sender_id)
+                        }
+                    })) as _
+                })
+                .collect();
+            let report = EpochedSimulation::new(nodes, seed)
+                .with_delay(delay)
+                .inject_at(30, delta.clone())
+                .run();
+            assert_eq!(report.reconfigurations, 1, "seed {seed} {delay:?}");
+            for (i, out) in report.outputs.iter().enumerate() {
+                assert_eq!(
+                    out.as_deref(),
+                    Some(payload.as_slice()),
+                    "party {i} lost safety or liveness across the shrinking delta \
+                     at seed {seed} {delay:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Zoo round three, first slice: the `EpochShifter` behaves honestly
+/// until the first reconfiguration, then replays its entire old-epoch
+/// traffic — the same logical votes arrive once under the pre-epoch
+/// numbering and once after the boundary. Each node runs a census that
+/// counts *distinct stable voters* with a `CountQuorum` and outputs
+/// whether the tally landed exactly on the live population. Under
+/// stable-id resolution the replays are duplicates and the count is
+/// exact on every schedule; revert to dense-id keying (per-epoch
+/// translation of `from`) and the renumbered replays count twice,
+/// failing this regression.
+#[test]
+fn epoch_shifter_replay_cannot_double_count_votes() {
+    use swiper::net::adversary::EpochShifter;
+    use swiper::protocols::quorum::{CountQuorum, QuorumTracker, Roster};
+
+    /// One virtual user: broadcasts a hello, counts distinct stable
+    /// senders, reports the tally long after the boundary.
+    struct Census {
+        roster: Roster,
+        quorum: CountQuorum,
+    }
+    impl Protocol for Census {
+        type Msg = u64;
+        fn on_start(&mut self, ctx: &mut swiper::net::Context<u64>) {
+            ctx.broadcast(1);
+            ctx.set_timer(900, 0);
+        }
+        fn on_message(&mut self, from: usize, _m: u64, _ctx: &mut swiper::net::Context<u64>) {
+            self.quorum.vote(self.roster.stable_of(from));
+        }
+        fn on_reconfigure(&mut self, _d: &TicketDelta, _ctx: &mut swiper::net::Context<u64>) {
+            self.quorum.migrate(&self.roster);
+        }
+        fn on_timer(&mut self, _id: u64, ctx: &mut swiper::net::Context<u64>) {
+            let exact = self.quorum.count() == self.roster.total();
+            ctx.output(if exact {
+                b"exact".to_vec()
+            } else {
+                format!("count={} of {}", self.quorum.count(), self.roster.total()).into_bytes()
+            });
+        }
+    }
+
+    let weights = Weights::new(vec![40, 30, 15, 15]).unwrap();
+    let old = TicketAssignment::new(vec![2, 2, 1, 2]);
+    // Party 0 shrinks: every other id renumbers. Party 2 retires; party 3
+    // gains a joiner.
+    let new = TicketAssignment::new(vec![1, 2, 0, 4]);
+    let delta = TicketDelta::between(&old, &new).unwrap();
+    let shifter: usize = 1;
+    for seed in seeds() {
+        for delay in [DelayModel::Uniform(1, 24), DelayModel::Uniform(1, 64)] {
+            let config = BlackBoxConfig::new(weights.clone(), &old, Ratio::of(1, 4));
+            let mut nodes: Vec<Box<dyn Protocol<Msg = BlackBoxMsg<u64>>>> = Vec::new();
+            for party in 0..4 {
+                let bb = BlackBox::new(config.clone(), party, move |_v, roster| Census {
+                    roster: roster.clone(),
+                    quorum: CountQuorum::at_least(roster.total(), 1),
+                });
+                if party == shifter {
+                    nodes.push(Box::new(EpochShifter::new(bb)));
+                } else {
+                    nodes.push(Box::new(bb));
+                }
+            }
+            let report = EpochedSimulation::new(nodes, seed)
+                .with_delay(delay)
+                .inject_at(14, delta.clone())
+                .run();
+            assert_eq!(report.reconfigurations, 1, "seed {seed} {delay:?}");
+            for (i, out) in report.outputs.iter().enumerate() {
+                assert_eq!(
+                    out.as_deref(),
+                    Some(b"exact".as_ref()),
+                    "party {i}'s census mis-counted under the epoch-shifted replay at \
+                     seed {seed} {delay:?}: {:?}",
+                    out.as_deref().map(String::from_utf8_lossy)
+                );
             }
         }
     }
@@ -316,24 +463,23 @@ fn blackbox_epoch_crossing_under_adaptive_vouch_delay() {
     let params = WeightRestriction::new(Ratio::of(1, 4), Ratio::of(1, 3)).unwrap();
     let solver = Swiper::new();
     let epoch0 = solver.solve_restriction(&weights, &params).unwrap().assignment;
-    let total = usize::try_from(epoch0.total()).unwrap();
     let payload = b"vouch-delayed epoch crossing".to_vec();
-    let bracha_cfg = BrachaConfig::nominal(total);
     for seed in seeds() {
         let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(7919));
         let next = churn(&weights, 2, 5, &mut rng);
         let epoch1 = solver.solve_restriction(&next, &params).unwrap().assignment;
         let delta = TicketDelta::between(&epoch0, &epoch1).unwrap();
         let config = BlackBoxConfig::new(weights.clone(), &epoch0, Ratio::of(1, 4));
+        let sender_id = config.mapping().stable_of(0);
         let nodes: Vec<Box<dyn Protocol<Msg = BlackBoxMsg<BrachaMsg>>>> = (0..weights.len())
             .map(|party| {
-                let bc = bracha_cfg.clone();
                 let payload = payload.clone();
-                Box::new(BlackBox::new(config.clone(), party, move |v| {
-                    if v == 0 {
-                        BrachaNode::sender(bc.clone(), 0, payload.clone())
+                Box::new(BlackBox::new(config.clone(), party, move |v, roster| {
+                    let bc = BrachaConfig::epochal(roster.clone());
+                    if roster.stable_of(v) == sender_id {
+                        BrachaNode::sender_with_id(bc, sender_id, payload.clone())
                     } else {
-                        BrachaNode::new(bc.clone(), 0)
+                        BrachaNode::with_sender_id(bc, sender_id)
                     }
                 })) as _
             })
@@ -424,36 +570,44 @@ fn replay_smr_live_vs_rebuild(
     (l, b)
 }
 
-/// Builds an epoch chain: the base snapshot followed by successive churn.
-fn churn_chain(base: &Weights, epochs: u64, churned: usize, rng: &mut StdRng) -> Vec<Weights> {
+/// Builds an epoch chain: the base snapshot followed by successive churn
+/// in the given mode.
+fn churn_chain(
+    mode: ChurnMode,
+    base: &Weights,
+    epochs: u64,
+    churned: usize,
+    rng: &mut StdRng,
+) -> Vec<Weights> {
     let mut snapshot = base.clone();
     (0..epochs)
         .map(|_| {
             let current = snapshot.clone();
-            snapshot = churn(&snapshot, churned, 5, rng);
+            snapshot = churn_with(mode, &snapshot, churned, 5, rng);
             current
         })
         .collect()
 }
 
-/// Epoch-crossing sweep for live SMR: per seed, a 6-epoch churn chain is
-/// re-solved for both tracks and spliced into a live [`SmrInstance`]
-/// while a teardown-rebuild twin replays the same epochs. The committed
-/// logs must be bit-identical on every seed at both churn levels, and
-/// the live instance must never restart *more* rounds than the baseline.
+/// Epoch-crossing sweep for live SMR: per seed, a 6-epoch churn chain —
+/// drift at 1%, **mixed join/leave** at 5% — is re-solved for both
+/// tracks and spliced into a live [`SmrInstance`] while a
+/// teardown-rebuild twin replays the same epochs. The committed logs
+/// must be bit-identical on every seed in both regimes, and the live
+/// instance must never restart *more* rounds than the baseline.
 #[test]
 fn smr_epoch_crossing_sweep() {
     let base_weights = gen::zipf(40, 0.9, 1 << 16);
-    for churn_pct in [1usize, 5] {
+    for (churn_pct, mode) in [(1usize, ChurnMode::Drift), (5, ChurnMode::Mixed)] {
         let churned_parties = (base_weights.len() * churn_pct).div_ceil(100);
         for seed in seeds() {
             let mut rng = StdRng::seed_from_u64(seed ^ ((churn_pct as u64) << 40));
-            let snapshots = churn_chain(&base_weights, 6, churned_parties, &mut rng);
+            let snapshots = churn_chain(mode, &base_weights, 6, churned_parties, &mut rng);
             let (l, b) = replay_smr_live_vs_rebuild(snapshots, 6, 3, seed);
             assert_eq!(
                 l.ledger(),
                 b.ledger(),
-                "live ledger diverged at seed {seed} churn {churn_pct}%"
+                "live ledger diverged at seed {seed} churn {churn_pct}% ({mode:?})"
             );
             assert!(
                 l.restarted_rounds() <= b.restarted_rounds(),
@@ -470,14 +624,34 @@ fn smr_epoch_crossing_sweep() {
 }
 
 /// The ISSUE acceptance criterion: a 25-epoch Tezos 1%-churn live-SMR
-/// replay commits the same log as the teardown-rebuild baseline while
-/// strictly reducing restarted rounds.
+/// replay under **mixed join/leave** deltas (joins and leaves both occur
+/// across the chain, renumbering live ranges) commits the same log as
+/// the teardown-rebuild baseline while strictly reducing restarted
+/// rounds — no gain-only restriction anywhere.
 #[test]
 fn tezos_live_smr_replay_matches_baseline_with_strictly_fewer_restarts() {
     let base = Chain::Tezos.weights();
     let churned = base.len().div_ceil(100); // 1% churn
     let mut rng = StdRng::seed_from_u64(1);
-    let snapshots = churn_chain(&base, 25, churned, &mut rng);
+    let snapshots = churn_chain(ChurnMode::Mixed, &base, 25, churned, &mut rng);
+    // The chain must actually exercise both directions of ticket flow.
+    let wr = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2)).unwrap();
+    let solver = Swiper::new();
+    let (mut joins, mut leaves) = (0u128, 0u128);
+    let mut prev: Option<swiper::TicketAssignment> = None;
+    for snapshot in &snapshots {
+        let sol = solver.solve_restriction(snapshot, &wr).unwrap();
+        if let Some(prev) = &prev {
+            let delta = TicketDelta::between(prev, &sol.assignment).unwrap();
+            joins += delta.joining();
+            leaves += delta.leaving();
+        }
+        prev = Some(sol.assignment);
+    }
+    assert!(
+        joins > 0 && leaves > 0,
+        "mixed churn must produce joins AND leaves across the chain ({joins}/{leaves})"
+    );
     let (l, b) = replay_smr_live_vs_rebuild(snapshots, 8, 4, 7);
     assert_eq!(l.ledger(), b.ledger(), "live must commit the baseline's log");
     assert!(!l.ledger().is_empty(), "the replay must commit blocks");
