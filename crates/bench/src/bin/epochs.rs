@@ -36,14 +36,19 @@
 //! record a zero cache hit rate (solver mode) or when the live ledger
 //! diverges from the teardown-rebuild baseline / stops beating it on
 //! restarted rounds at 1% churn (SMR mode) — the nightly guards that the
-//! incremental machinery keeps earning its keep.
+//! incremental machinery keeps earning its keep. SMR mode also runs the
+//! **stake-refresh audit**: a vouch-style weighted quorum is reweighed
+//! through each epoch's `EpochEvent`, and any epoch whose published
+//! vouch-quorum weights diverge from that epoch's snapshot fails the run
+//! (per-epoch `stake=ok|STALE` in the replay lines, `stake_mismatches`
+//! in the summary).
 
 use std::process::ExitCode;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use swiper_core::{Ratio, Swiper, VirtualUsers, WeightQualification, WeightRestriction};
-use swiper_protocols::quorum::{CountQuorum, QuorumTracker, Roster};
+use swiper_protocols::quorum::{CountQuorum, QuorumTracker, Roster, WeightQuorum};
 use swiper_protocols::smr::{ReconfigureMode, SmrInstance};
 use swiper_weights::epoch::{churn_with, ChurnMode, Reconfigurator, Setting};
 use swiper_weights::Chain;
@@ -171,7 +176,7 @@ fn run_scenario(chain: Chain, churn_pct: u64, args: &Args) -> ScenarioReport {
                 churn_pct,
                 epoch,
                 outcome.solutions[0].total_tickets(),
-                outcome.deltas[0].as_ref().map_or(0, |d| d.changes().len()),
+                outcome.delta(0).map_or(0, |d| d.changes().len()),
                 warm.dp_invocations,
                 baseline.stats.dp_invocations,
                 if lookups == 0 { 0.0 } else { hits as f64 / lookups as f64 },
@@ -211,6 +216,11 @@ struct SmrReport {
     /// Epochs where the stable-id census missed the live population —
     /// a double-counted (or stranded) quorum voter. Always a failure.
     double_counts: u64,
+    /// Epochs where the published vouch-quorum weights diverged from the
+    /// epoch's snapshot — the stake-refresh audit. Always a failure: a
+    /// vouch tally weighing votes under any other epoch's stake is
+    /// exactly the stale-weights hole the `EpochEvent` contract closes.
+    stake_mismatches: u64,
 }
 
 /// One chain × churn **live SMR** replay: every epoch is re-solved for
@@ -251,16 +261,29 @@ fn run_smr_scenario(chain: Chain, churn_pct: u64, args: &Args) -> SmrReport {
     // any deficit a stranded survivor.
     let mut audit: Option<(Roster, CountQuorum)> = None;
     let mut double_counts = 0u64;
+    // Cross-epoch stake-refresh audit: a vouch-style weighted quorum is
+    // reweighed through each epoch's event; its published weight vector
+    // must be bit-identical to the epoch's snapshot, or the vouch path is
+    // tallying under stale stake.
+    let mut vouch: Option<WeightQuorum> = None;
+    let mut stake_mismatches = 0u64;
     let session_seed = args.seed;
     let quiet = args.quiet;
     let mut epoch = 0u64;
     let result = reconf.drive_simulation(snapshots, |weights, outcome| {
         let wq_t = outcome.solutions[0].assignment.clone();
         let wr_t = outcome.solutions[1].assignment.clone();
+        let vouch_q =
+            vouch.get_or_insert_with(|| WeightQuorum::new(weights.clone(), Ratio::of(1, 4)));
+        if let Some(event) = outcome.event(1) {
+            vouch_q.reweigh(event);
+        }
+        let stake_stale = vouch_q.weights() != weights;
+        stake_mismatches += u64::from(stake_stale);
         match &mut audit {
             Some((roster, census)) => {
-                if let Some(delta) = outcome.deltas[1].as_ref() {
-                    roster.apply_delta(delta).expect("WR deltas arrive in sequence");
+                if let Some(event) = outcome.event(1) {
+                    roster.apply_delta(event.delta()).expect("WR deltas arrive in sequence");
                     census.migrate(roster);
                 }
                 for v in 0..roster.total() {
@@ -291,15 +314,16 @@ fn run_smr_scenario(chain: Chain, churn_pct: u64, args: &Args) -> SmrReport {
                 if !quiet {
                     println!(
                         "{:10} SMR churn={:2}% epoch={:3} survived={} restarted={} \
-                         rekeyed={} wq_delta={:3} wr_delta={:3}",
+                         rekeyed={} wq_delta={:3} wr_delta={:3} stake={}",
                         chain.name(),
                         churn_pct,
                         epoch,
                         crossing.survived,
                         crossing.restarted,
                         u8::from(crossing.rekeyed),
-                        outcome.deltas[0].as_ref().map_or(0, |d| d.changes().len()),
-                        outcome.deltas[1].as_ref().map_or(0, |d| d.changes().len()),
+                        outcome.delta(0).map_or(0, |d| d.changes().len()),
+                        outcome.delta(1).map_or(0, |d| d.changes().len()),
+                        if stake_stale { "STALE" } else { "ok" },
                     );
                 }
             }
@@ -345,6 +369,7 @@ fn run_smr_scenario(chain: Chain, churn_pct: u64, args: &Args) -> SmrReport {
             restarted_live: 0,
             restarted_base: 0,
             double_counts: 0,
+            stake_mismatches: 0,
         };
     }
     let (mut l, mut b) = (live.expect("ran"), base.expect("ran"));
@@ -363,10 +388,16 @@ fn run_smr_scenario(chain: Chain, churn_pct: u64, args: &Args) -> SmrReport {
              {double_counts} epoch(s) — stable-id vote migration is broken"
         );
     }
+    if stake_mismatches > 0 {
+        eprintln!(
+            "{chain} SMR churn={churn_pct}%: vouch-quorum weights diverged from the epoch \
+             snapshot on {stake_mismatches} epoch(s) — the stake refresh is broken"
+        );
+    }
     println!(
         "{:10} SMR churn={:2}% summary: epochs={} committed={} survived={} \
          restarted_live={} restarted_base={} rekeys={}/{} coded_mb={:.2}/{:.2} \
-         double_counts={} ledger={}",
+         double_counts={} stake_mismatches={} ledger={}",
         chain.name(),
         churn_pct,
         args.epochs,
@@ -379,14 +410,16 @@ fn run_smr_scenario(chain: Chain, churn_pct: u64, args: &Args) -> SmrReport {
         l.coded_bytes() as f64 / 1e6,
         b.coded_bytes() as f64 / 1e6,
         double_counts,
+        stake_mismatches,
         if diverged { "DIVERGED" } else { "match" },
     );
     SmrReport {
-        failed: diverged || double_counts > 0,
+        failed: diverged || double_counts > 0 || stake_mismatches > 0,
         survived: l.survived_rounds(),
         restarted_live: l.restarted_rounds(),
         restarted_base: b.restarted_rounds(),
         double_counts,
+        stake_mismatches,
     }
 }
 
@@ -409,6 +442,13 @@ fn main() -> ExitCode {
                         "{chain} SMR churn={churn_pct}%: {} double-count epoch(s) \
                          (see telemetry above)",
                         report.double_counts
+                    );
+                }
+                if args.ci_smoke && report.stake_mismatches > 0 {
+                    eprintln!(
+                        "{chain} SMR churn={churn_pct}%: {} stale-stake epoch(s) — \
+                         published vouch weights diverged from the snapshot",
+                        report.stake_mismatches
                     );
                 }
                 if args.ci_smoke && churn_pct == 1 {

@@ -39,6 +39,17 @@ pub enum CoreError {
         /// The computed bound that exceeded the supported maximum.
         bound: u128,
     },
+    /// An epoch stream changed the party *count* between consecutive
+    /// snapshots. Party sets are fixed across epochs (deltas rename no
+    /// one); a grown or shrunk roster needs a new deployment, and
+    /// validating it at the API boundary beats the late `DeltaMismatch`
+    /// the stale-base check would eventually raise deep in `apply_delta`.
+    PartyCountChanged {
+        /// Parties in the previous epoch's snapshot.
+        expected: usize,
+        /// Parties in the offending snapshot.
+        found: usize,
+    },
     /// A ticket delta does not match the state it is being applied to or
     /// diffed against (party-count mismatch, stale base tickets, ...).
     DeltaMismatch {
@@ -74,6 +85,13 @@ impl fmt::Display for CoreError {
             CoreError::BoundTooLarge { bound } => {
                 write!(f, "ticket bound {bound} exceeds the supported maximum")
             }
+            CoreError::PartyCountChanged { expected, found } => {
+                write!(
+                    f,
+                    "snapshot changes the party count ({expected} -> {found}) without a \
+                     matching delta: party sets are fixed across epochs"
+                )
+            }
             CoreError::DeltaMismatch { what } => {
                 write!(f, "ticket delta mismatch: {what}")
             }
@@ -101,6 +119,7 @@ mod tests {
             CoreError::NoParties,
             CoreError::ArithmeticOverflow,
             CoreError::BoundTooLarge { bound: 7 },
+            CoreError::PartyCountChanged { expected: 3, found: 4 },
             CoreError::DeltaMismatch { what: "t" },
             CoreError::DuplicateKey { key: "k".into() },
         ];

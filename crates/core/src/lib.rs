@@ -111,6 +111,7 @@
 #![warn(missing_docs)]
 
 mod assignment;
+mod epoch_event;
 mod error;
 mod family;
 mod ratio;
@@ -128,6 +129,7 @@ pub mod virtual_users;
 pub mod wide;
 
 pub use assignment::TicketAssignment;
+pub use epoch_event::EpochEvent;
 pub use error::CoreError;
 pub use oracle::{
     CachingOracle, CheckParams, FamilyMember, FullOracle, LinearOracle, ValidityOracle, Verdict,

@@ -189,6 +189,76 @@ impl TicketDelta {
     pub fn leaving(&self) -> u128 {
         self.changes.iter().map(|c| u128::from(c.old.saturating_sub(c.new))).sum()
     }
+
+    /// Applies this delta to the assignment it was diffed against,
+    /// producing the new epoch's assignment — the assignment-level twin of
+    /// [`VirtualUsers::apply_delta`], for consumers that track tickets
+    /// rather than mappings (e.g. re-dealing epoch-pinned keys).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::DeltaMismatch`] when `old` is not the base this delta
+    /// was diffed against, or the (possibly deserialized) changes list is
+    /// malformed.
+    pub fn apply_to(&self, old: &TicketAssignment) -> Result<TicketAssignment, CoreError> {
+        self.validate_against(old.as_slice())?;
+        let mut next = old.as_slice().to_vec();
+        for change in &self.changes {
+            next[change.party] = change.new;
+        }
+        Ok(TicketAssignment::new(next))
+    }
+
+    /// Validates this (possibly deserialized) delta against the base
+    /// ticket vector it claims to extend — party count, full-base
+    /// fingerprint, well-formed ascending changes that agree with the
+    /// base, declared new total — and returns that total. The one shared
+    /// rule for both the assignment-level ([`TicketDelta::apply_to`]) and
+    /// mapping-level ([`VirtualUsers::apply_delta`]) splices, so the two
+    /// can never drift apart.
+    fn validate_against(&self, tickets: &[u64]) -> Result<u128, CoreError> {
+        if self.parties != tickets.len() {
+            return Err(CoreError::DeltaMismatch {
+                what: "delta covers a different party count",
+            });
+        }
+        // Fingerprint of the *whole* base: a delta diffed against an
+        // assignment that differs anywhere — even at parties it does not
+        // touch — must be rejected, or the splice would fabricate a
+        // vector no epoch ever published.
+        if self.base_fingerprint != tickets_fingerprint(tickets) {
+            return Err(CoreError::DeltaMismatch {
+                what: "delta base does not match the current tickets",
+            });
+        }
+        let mut new_total: u128 = tickets.iter().map(|&t| u128::from(t)).sum();
+        let mut prev_party: Option<usize> = None;
+        for change in &self.changes {
+            if change.party >= tickets.len() {
+                return Err(CoreError::DeltaMismatch {
+                    what: "change targets an unknown party",
+                });
+            }
+            if prev_party.is_some_and(|p| p >= change.party) {
+                return Err(CoreError::DeltaMismatch {
+                    what: "changes are not in ascending party order",
+                });
+            }
+            prev_party = Some(change.party);
+            if tickets[change.party] != change.old {
+                return Err(CoreError::DeltaMismatch {
+                    what: "change disagrees with the current tickets",
+                });
+            }
+            new_total = new_total - u128::from(change.old) + u128::from(change.new);
+        }
+        if new_total != self.new_total {
+            return Err(CoreError::DeltaMismatch {
+                what: "declared new total disagrees with the changes",
+            });
+        }
+        Ok(new_total)
+    }
 }
 
 /// A deterministic bijection between `T` virtual users and the real parties
@@ -377,52 +447,11 @@ impl VirtualUsers {
     /// [`CoreError::ArithmeticOverflow`] when the new total does not fit
     /// addressable memory.
     pub fn apply_delta(&mut self, delta: &TicketDelta) -> Result<(), CoreError> {
-        if delta.parties() != self.parties() {
-            return Err(CoreError::DeltaMismatch {
-                what: "delta covers a different party count",
-            });
-        }
-        // Fingerprint of the *whole* base assignment: a delta diffed
-        // against an assignment that differs from `self` anywhere — even
-        // at parties the delta does not touch — must be rejected, or the
-        // splice would fabricate a mapping no epoch ever published.
-        if delta.base_fingerprint != tickets_fingerprint(&self.tickets) {
-            return Err(CoreError::DeltaMismatch {
-                what: "delta base does not match the current tickets",
-            });
-        }
-        // Deltas can arrive deserialized, so the changes list itself is
-        // untrusted: every change must target an in-range party (once, in
-        // ascending order, the shape `between` emits) and agree with the
-        // current tickets, or the splice below would panic or silently
-        // rewrite the wrong range. The new total is recomputed rather than
-        // trusted for the addressability check.
-        let mut new_total: u128 = self.total() as u128;
-        let mut prev_party: Option<usize> = None;
-        for change in delta.changes() {
-            if change.party >= self.parties() {
-                return Err(CoreError::DeltaMismatch {
-                    what: "change targets an unknown party",
-                });
-            }
-            if prev_party.is_some_and(|p| p >= change.party) {
-                return Err(CoreError::DeltaMismatch {
-                    what: "changes are not in ascending party order",
-                });
-            }
-            prev_party = Some(change.party);
-            if self.tickets[change.party] != change.old {
-                return Err(CoreError::DeltaMismatch {
-                    what: "change disagrees with the current tickets",
-                });
-            }
-            new_total = new_total - u128::from(change.old) + u128::from(change.new);
-        }
-        if new_total != delta.new_total() {
-            return Err(CoreError::DeltaMismatch {
-                what: "declared new total disagrees with the changes",
-            });
-        }
+        // Deltas can arrive deserialized, so the shared validation treats
+        // the changes list as untrusted (see
+        // `TicketDelta::validate_against`); the new total is recomputed
+        // rather than trusted for the addressability check.
+        let new_total = delta.validate_against(&self.tickets)?;
         usize::try_from(new_total).map_err(|_| CoreError::ArithmeticOverflow)?;
         // Splice in descending party order so the untouched offsets in
         // `first` stay valid for every party still to be processed.
@@ -519,6 +548,23 @@ mod tests {
         // Wrong party count.
         let mut vu = VirtualUsers::from_assignment(&TicketAssignment::new(vec![2, 2])).unwrap();
         assert!(matches!(vu.apply_delta(&delta), Err(CoreError::DeltaMismatch { .. })));
+    }
+
+    #[test]
+    fn apply_to_produces_the_new_assignment_and_rejects_stale_bases() {
+        let old = TicketAssignment::new(vec![3, 0, 2, 1]);
+        let new = TicketAssignment::new(vec![3, 2, 0, 1]);
+        let delta = TicketDelta::between(&old, &new).unwrap();
+        assert_eq!(delta.apply_to(&old).unwrap(), new);
+        // A base the delta was not diffed against is rejected.
+        let other = TicketAssignment::new(vec![3, 0, 2, 2]);
+        assert!(matches!(delta.apply_to(&other), Err(CoreError::DeltaMismatch { .. })));
+        let short = TicketAssignment::new(vec![3, 0]);
+        assert!(matches!(delta.apply_to(&short), Err(CoreError::DeltaMismatch { .. })));
+        // Tampered changes never corrupt the output.
+        let mut forged = delta.clone();
+        forged.changes = vec![TicketChange { party: 9, old: 0, new: 1 }];
+        assert!(matches!(forged.apply_to(&old), Err(CoreError::DeltaMismatch { .. })));
     }
 
     #[test]

@@ -127,6 +127,15 @@ impl Weights {
         &self.weights
     }
 
+    /// 128-bit FNV-1a fingerprint of the weight vector — the compact
+    /// handle epoch machinery uses to detect stake drift (see
+    /// `EpochEvent::prev_weights_fingerprint`). Deterministic across
+    /// processes and replicas; guards against stale inputs, not
+    /// adversarial ones.
+    pub fn fingerprint(&self) -> u128 {
+        crate::assignment::tickets_fingerprint(&self.weights)
+    }
+
     /// Iterate over `(party, weight)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
         self.weights.iter().copied().enumerate()

@@ -139,6 +139,74 @@ impl ThresholdScheme {
         (PublicKey { h, group: secret * h, per_share }, shares)
     }
 
+    /// Deals fresh shares of an **existing** group secret to this scheme's
+    /// population — proactive resharing, the epoch-crossing form of
+    /// [`ThresholdScheme::keygen`]. `self` is the *new* `(threshold,
+    /// total)` scheme; the secret is recovered from at least
+    /// `old.threshold()` of the old generation's shares (the trusted-
+    /// dealer simulation holds them all) and re-split over a fresh random
+    /// polynomial, keeping the old base point.
+    ///
+    /// Because the group secret and base survive, the group verification
+    /// key — and therefore the **unique combined signature of every
+    /// message** — is identical across generations: a consumer deriving
+    /// randomness from combined signatures (common coins, beacons) sees
+    /// the same output whether a tag is combined from old-generation or
+    /// new-generation partials, which is what makes mid-protocol re-deals
+    /// safe. Old-generation *partials* do not verify against the new
+    /// per-share keys, so post-reshare traffic cleanly rejects them.
+    ///
+    /// # Errors
+    ///
+    /// As [`ThresholdScheme::combine`], for the secret recovery.
+    pub fn reshare<R: Rng + ?Sized>(
+        &self,
+        old: &ThresholdScheme,
+        old_pk: &PublicKey,
+        old_shares: &[KeyShare],
+        rng: &mut R,
+    ) -> Result<(PublicKey, Vec<KeyShare>), CryptoError> {
+        // Recover the secret by interpolating `old.threshold` distinct
+        // shares at zero.
+        let mut seen = std::collections::HashSet::new();
+        let mut use_shares = Vec::with_capacity(old.threshold);
+        for s in old_shares {
+            if !seen.insert(s.index) {
+                return Err(CryptoError::DuplicateShare { index: s.index });
+            }
+            if use_shares.len() < old.threshold {
+                use_shares.push(*s);
+            }
+        }
+        if use_shares.len() < old.threshold {
+            return Err(CryptoError::NotEnoughShares {
+                needed: old.threshold,
+                have: use_shares.len(),
+            });
+        }
+        let xs: Vec<F61> =
+            use_shares.iter().map(|s| F61::eval_point(s.index as usize)).collect();
+        let lambdas = poly::lagrange_coefficients(&xs, F61::ZERO);
+        let mut secret = F61::ZERO;
+        for (s, l) in use_shares.iter().zip(lambdas) {
+            secret = secret + s.value * l;
+        }
+        // Fresh polynomial, same constant term, same base point.
+        let h = old_pk.h;
+        let mut coeffs = vec![secret];
+        for _ in 1..self.threshold {
+            coeffs.push(F61::new(rng.random::<u64>()));
+        }
+        let shares: Vec<KeyShare> = (0..self.total)
+            .map(|i| KeyShare {
+                index: i as u64,
+                value: poly::eval(&coeffs, F61::eval_point(i)),
+            })
+            .collect();
+        let per_share = shares.iter().map(|ks| ks.value * h).collect();
+        Ok((PublicKey { h, group: secret * h, per_share }, shares))
+    }
+
     /// Produces a partial signature.
     pub fn partial_sign(&self, share: &KeyShare, msg: &[u8]) -> PartialSignature {
         PartialSignature { index: share.index, value: share.value * hash_to_field(msg) }
@@ -336,6 +404,53 @@ mod tests {
         // And the derived beacon output is deterministic.
         let s = sigs.into_iter().next().unwrap();
         assert_eq!(s.beacon_output(), s.beacon_output());
+    }
+
+    #[test]
+    fn reshare_carries_the_group_key_and_retires_old_partials() {
+        let old_scheme = ThresholdScheme::new(4, 6).unwrap();
+        let (old_pk, old_shares) = old_scheme.keygen(&mut rng());
+        // Shrink to a 3-holder population: any 2 of the new shares sign.
+        let new_scheme = ThresholdScheme::new(2, 3).unwrap();
+        let (new_pk, new_shares) = new_scheme
+            .reshare(&old_scheme, &old_pk, &old_shares, &mut StdRng::seed_from_u64(5))
+            .unwrap();
+        assert_eq!(new_pk.group, old_pk.group, "the group verification key survives");
+        assert_eq!(new_pk.per_share.len(), 3);
+        let msg = b"straddling-round-coin";
+        // The unique combined signature is identical across generations —
+        // a round combined pre-reshare and one combined post-reshare see
+        // the same coin.
+        let old_partials: Vec<PartialSignature> =
+            old_shares[..4].iter().map(|s| old_scheme.partial_sign(s, msg)).collect();
+        let new_partials: Vec<PartialSignature> =
+            new_shares[..2].iter().map(|s| new_scheme.partial_sign(s, msg)).collect();
+        let old_sig = old_scheme.combine(&old_partials).unwrap();
+        let new_sig = new_scheme.combine(&new_partials).unwrap();
+        assert_eq!(old_sig, new_sig);
+        assert!(new_scheme.verify(&new_pk, msg, &new_sig));
+        // Old-generation partials are rejected under the new per-share
+        // keys (in-flight pre-boundary traffic cannot poison a tally).
+        for p in &old_partials {
+            assert!(!new_scheme.verify_partial(&new_pk, msg, p));
+        }
+        // Determinism: the same rng state deals the same shares.
+        let (again_pk, again_shares) = new_scheme
+            .reshare(&old_scheme, &old_pk, &old_shares, &mut StdRng::seed_from_u64(5))
+            .unwrap();
+        assert_eq!(again_pk, new_pk);
+        assert_eq!(again_shares, new_shares);
+    }
+
+    #[test]
+    fn reshare_needs_a_recovery_quorum() {
+        let old_scheme = ThresholdScheme::new(3, 5).unwrap();
+        let (old_pk, old_shares) = old_scheme.keygen(&mut rng());
+        let new_scheme = ThresholdScheme::new(2, 4).unwrap();
+        assert!(matches!(
+            new_scheme.reshare(&old_scheme, &old_pk, &old_shares[..2], &mut rng()),
+            Err(CryptoError::NotEnoughShares { needed: 3, have: 2 })
+        ));
     }
 
     #[test]

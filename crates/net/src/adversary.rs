@@ -17,11 +17,15 @@
 //! * [`EpochShifter`] — honest until the first reconfiguration, then
 //!   replays its old-epoch traffic so the same logical votes straddle the
 //!   boundary under two numberings (the attack on cross-epoch identity);
+//! * [`BoundaryEquivocator`] — honest *within* every epoch, but at the
+//!   first [`EpochEvent`] boundary re-asserts mangled versions of its own
+//!   pre-boundary statements (the attack on cross-epoch consistency
+//!   checks: its two stories live in different epochs);
 //! * [`AdaptiveDelay`] — not a node but a *delay model keyed on message
 //!   type*, pinning chosen message classes to adversarial latencies.
 
 use rand::rngs::StdRng;
-use swiper_core::TicketDelta;
+use swiper_core::EpochEvent;
 
 use crate::sim::{Context, DelayModel, NodeId, Protocol};
 use crate::MessageSize;
@@ -88,8 +92,8 @@ impl<P: Protocol> Protocol for CrashAfter<P> {
         self.inner.on_timer(id, ctx);
     }
 
-    fn on_reconfigure(&mut self, delta: &TicketDelta, ctx: &mut Context<Self::Msg>) {
-        self.inner.on_reconfigure(delta, ctx);
+    fn on_reconfigure(&mut self, event: &EpochEvent, ctx: &mut Context<Self::Msg>) {
+        self.inner.on_reconfigure(event, ctx);
     }
 }
 
@@ -130,8 +134,8 @@ where
         self.rewrite(ctx);
     }
 
-    fn on_reconfigure(&mut self, delta: &TicketDelta, ctx: &mut Context<Self::Msg>) {
-        self.inner.on_reconfigure(delta, ctx);
+    fn on_reconfigure(&mut self, event: &EpochEvent, ctx: &mut Context<Self::Msg>) {
+        self.inner.on_reconfigure(event, ctx);
         self.rewrite(ctx);
     }
 }
@@ -276,8 +280,8 @@ impl<P: Protocol> Protocol for SelectiveAck<P> {
         self.filter(ctx);
     }
 
-    fn on_reconfigure(&mut self, delta: &TicketDelta, ctx: &mut Context<Self::Msg>) {
-        self.inner.on_reconfigure(delta, ctx);
+    fn on_reconfigure(&mut self, event: &EpochEvent, ctx: &mut Context<Self::Msg>) {
+        self.inner.on_reconfigure(event, ctx);
         self.filter(ctx);
     }
 }
@@ -341,8 +345,8 @@ impl<P: Protocol> Protocol for EpochShifter<P> {
         self.record(ctx, before);
     }
 
-    fn on_reconfigure(&mut self, delta: &TicketDelta, ctx: &mut Context<Self::Msg>) {
-        self.inner.on_reconfigure(delta, ctx);
+    fn on_reconfigure(&mut self, event: &EpochEvent, ctx: &mut Context<Self::Msg>) {
+        self.inner.on_reconfigure(event, ctx);
         if !self.shifted {
             self.shifted = true;
             // Equivocate under the old epoch's identities: every message
@@ -350,6 +354,82 @@ impl<P: Protocol> Protocol for EpochShifter<P> {
             // epoch.
             let replay: Vec<_> = self.sent.drain(..).collect();
             ctx.outbox.extend(replay);
+        }
+    }
+}
+
+/// An epoch-boundary equivocator: behaves honestly **within every
+/// epoch**, but at the first [`EpochEvent`] it re-asserts mangled
+/// versions of every message it sent under the old epoch — the same
+/// identity telling two stories, one per epoch. Unlike [`EpochShifter`]
+/// (whose replay is verbatim, probing identity *dedup*), the mangled
+/// replay probes the receiver's **consistency checks**: payload/digest
+/// binding, first-vote-wins maps, claim-keyed quorums. Within each epoch
+/// the node is unimpeachable; only a cross-boundary comparison reveals
+/// the contradiction.
+///
+/// `mangle(to, msg)` transforms (or, returning `None`, drops) each
+/// recorded message at replay time — e.g. re-sending an `Echo(digest,
+/// payload)` with the original digest but a forged payload.
+pub struct BoundaryEquivocator<P: Protocol, F> {
+    inner: P,
+    sent: Vec<(NodeId, P::Msg)>,
+    shifted: bool,
+    mangle: F,
+}
+
+impl<P: Protocol, F> BoundaryEquivocator<P, F> {
+    /// Wraps `inner`; the mangled replay fires at the first epoch event.
+    pub fn new(inner: P, mangle: F) -> Self {
+        BoundaryEquivocator { inner, sent: Vec::new(), shifted: false, mangle }
+    }
+
+    /// Records this phase's fresh sends (pre-boundary only — the replay
+    /// payload is exactly the old epoch's traffic).
+    fn record(&mut self, ctx: &Context<P::Msg>, from: usize) {
+        if !self.shifted {
+            self.sent.extend(ctx.outbox[from..].iter().cloned());
+        }
+    }
+}
+
+impl<P, F> Protocol for BoundaryEquivocator<P, F>
+where
+    P: Protocol,
+    F: FnMut(NodeId, P::Msg) -> Option<P::Msg>,
+{
+    type Msg = P::Msg;
+
+    fn on_start(&mut self, ctx: &mut Context<Self::Msg>) {
+        let before = ctx.outbox.len();
+        self.inner.on_start(ctx);
+        self.record(ctx, before);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: Self::Msg, ctx: &mut Context<Self::Msg>) {
+        let before = ctx.outbox.len();
+        self.inner.on_message(from, msg, ctx);
+        self.record(ctx, before);
+    }
+
+    fn on_timer(&mut self, id: u64, ctx: &mut Context<Self::Msg>) {
+        let before = ctx.outbox.len();
+        self.inner.on_timer(id, ctx);
+        self.record(ctx, before);
+    }
+
+    fn on_reconfigure(&mut self, event: &EpochEvent, ctx: &mut Context<Self::Msg>) {
+        self.inner.on_reconfigure(event, ctx);
+        if !self.shifted {
+            self.shifted = true;
+            // Contradict the old epoch's statements in the new one: every
+            // message minted pre-boundary goes out again, mangled.
+            let replay: Vec<_> = self.sent.drain(..).collect();
+            for (to, msg) in replay {
+                if let Some(mangled) = (self.mangle)(to, msg) {
+                    ctx.send(to, mangled);
+                }
+            }
         }
     }
 }

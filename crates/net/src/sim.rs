@@ -5,7 +5,7 @@ use std::collections::{BinaryHeap, VecDeque};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use swiper_core::TicketDelta;
+use swiper_core::EpochEvent;
 
 use crate::adversary::AdaptiveDelay;
 use crate::metrics::Metrics;
@@ -136,16 +136,21 @@ pub trait Protocol {
     fn on_timer(&mut self, _id: u64, _ctx: &mut Context<Self::Msg>) {}
 
     /// Invoked when an epoch reconfiguration reaches this node (see
-    /// [`EpochedSimulation`]): the common-knowledge ticket assignment
-    /// changed by `delta`, and the node should splice the change into its
-    /// live state instead of tearing the instance down.
+    /// [`EpochedSimulation`]): the common-knowledge [`EpochEvent`] carries
+    /// the epoch's `TicketDelta` **and the new per-party weight vector**
+    /// (plus a deterministic rekey seed), and the node should splice the
+    /// change into its live state instead of tearing the instance down.
+    /// Weights are the live input of a weighted protocol — an event that
+    /// renumbered identities but froze stake would be only half a
+    /// reconfiguration, so the ticket-only `on_reconfigure(&TicketDelta)`
+    /// contract is retired.
     ///
-    /// The contract is written in terms of **stable identities**
-    /// (`swiper_core::StableId`, the `(party, offset)` coordinate of a
-    /// virtual user): dense per-epoch indices renumber whenever a delta
-    /// touches an earlier party, so nothing a node keeps across this call
-    /// — and nothing it ever puts on the wire — may be keyed by dense
-    /// index. For implementors:
+    /// The identity half of the contract is written in terms of **stable
+    /// identities** (`swiper_core::StableId`, the `(party, offset)`
+    /// coordinate of a virtual user): dense per-epoch indices renumber
+    /// whenever a delta touches an earlier party, so nothing a node keeps
+    /// across this call — and nothing it ever puts on the wire — may be
+    /// keyed by dense index. For implementors:
     ///
     /// * **Keep** all state attached to *surviving* stable identities
     ///   (offsets below their party's new ticket count): sub-instances,
@@ -157,23 +162,32 @@ pub trait Protocol {
     ///   (`swiper-protocols`' `QuorumTracker::migrate`). Re-derive
     ///   anything computed from the old ticket *totals* (thresholds,
     ///   populations) from the new assignment.
+    /// * **Reweigh** weighted tallies under `event.weights()` — partial
+    ///   quorums keep their votes but re-derive per-party weights and
+    ///   thresholds from the new stake, so a pending tally can *lose*
+    ///   ground (a whale's collapse revokes an almost-complete quorum)
+    ///   and stale stake can never cross a current-epoch threshold
+    ///   (`swiper-protocols`' `WeightQuorum::reweigh`).
+    /// * **Re-deal or carry** epoch-pinned cryptographic material: when
+    ///   the assignment backing dealt keys moved, re-derive them
+    ///   deterministically from `event.rekey_seed()` and the new
+    ///   assignment's fingerprint (every replica deals identically); when
+    ///   it did not move, carry them — mirroring the SMR composition's
+    ///   beacon carry/re-deal split.
     /// * **Spawn** newly added identities mid-flight; they start from
     ///   `on_start` and may rely on vouching/relay paths to catch up.
     /// * Hosts that run nested automata (the black-box wrapper) must
     ///   **propagate** this call to each surviving automaton so it can
-    ///   migrate its own trackers.
+    ///   migrate and reweigh its own trackers.
     ///
-    /// Under this contract both gain-only and *shrinking/renumbering*
-    /// deltas are safe and live — the epoch-crossing seed sweeps pin both
-    /// without carve-outs. The remaining pinned-identity limit is
-    /// cryptographic material dealt to dense positions (threshold key
-    /// shares, fragment indices): those survive exactly the deltas that
-    /// keep their positions meaningful, and deployments re-deal them when
-    /// the relevant assignment moves (as the SMR composition does).
+    /// Under this contract gain-only, shrinking/renumbering *and
+    /// stake-drifting* epochs are safe and live — the epoch-crossing seed
+    /// sweeps pin all three without carve-outs.
     ///
     /// The default implementation ignores the event, which is correct for
-    /// protocols whose configuration does not embed the assignment.
-    fn on_reconfigure(&mut self, _delta: &TicketDelta, _ctx: &mut Context<Self::Msg>) {}
+    /// protocols whose configuration embeds neither the assignment nor
+    /// the stake.
+    fn on_reconfigure(&mut self, _event: &EpochEvent, _ctx: &mut Context<Self::Msg>) {}
 }
 
 /// Message delay distribution (the asynchronous adversary's schedule).
@@ -314,7 +328,7 @@ pub struct Simulation<M> {
     delay: DelayModel,
     adaptive: Option<AdaptiveDelay<M>>,
     /// Epoch reconfigurations, ascending by event count.
-    reconfigs: VecDeque<(u64, TicketDelta)>,
+    reconfigs: VecDeque<(u64, EpochEvent)>,
     reconfigs_applied: u64,
     seq: u64,
     time: u64,
@@ -367,12 +381,12 @@ impl<M: Clone + MessageSize> Simulation<M> {
 
     /// Schedules an epoch reconfiguration: once `at_event` events have
     /// been processed, every non-halted node receives
-    /// [`Protocol::on_reconfigure`] with `delta` before the next delivery.
+    /// [`Protocol::on_reconfigure`] with `event` before the next delivery.
     /// Multiple reconfigurations compose in event order;
     /// [`EpochedSimulation`] is the builder for whole epoch schedules.
-    pub fn with_reconfiguration(mut self, at_event: u64, delta: TicketDelta) -> Self {
+    pub fn with_reconfiguration(mut self, at_event: u64, event: EpochEvent) -> Self {
         let pos = self.reconfigs.partition_point(|(at, _)| *at <= at_event);
-        self.reconfigs.insert(pos, (at_event, delta));
+        self.reconfigs.insert(pos, (at_event, event));
         self
     }
 
@@ -446,14 +460,14 @@ impl<M: Clone + MessageSize> Simulation<M> {
             // surviving protocol state must cope (the `on_reconfigure`
             // contract).
             while self.reconfigs.front().is_some_and(|(at, _)| *at <= events) {
-                let (_, delta) = self.reconfigs.pop_front().expect("front checked");
+                let (_, event) = self.reconfigs.pop_front().expect("front checked");
                 self.reconfigs_applied += 1;
                 for node in 0..n {
                     if self.halted[node] {
                         continue;
                     }
                     let mut ctx = Context::new(node, n, self.time);
-                    self.nodes[node].on_reconfigure(&delta, &mut ctx);
+                    self.nodes[node].on_reconfigure(&event, &mut ctx);
                     self.flush(node, ctx);
                 }
             }
@@ -483,13 +497,14 @@ impl<M: Clone + MessageSize> Simulation<M> {
 }
 
 /// Driver for live-instance epoch reconfiguration: a [`Simulation`] plus a
-/// schedule of [`TicketDelta`]s injected at configured event counts.
+/// schedule of [`EpochEvent`]s injected at configured event counts.
 ///
 /// Each injection delivers [`Protocol::on_reconfigure`] to every
 /// non-halted node *between* two event deliveries, modelling the
 /// common-knowledge moment at which all replicas learn the new epoch's
-/// ticket assignment. Messages already in flight were sent under the old
-/// assignment and are still delivered afterwards — protocols that embed
+/// ticket assignment *and stake distribution*. Messages already in flight
+/// were sent under the old assignment and are still delivered afterwards
+/// — protocols that embed
 /// virtual-user ids in their messages must translate across the boundary
 /// (see `swiper-protocols`' black-box wrapper for the reference
 /// implementation).
@@ -497,7 +512,7 @@ impl<M: Clone + MessageSize> Simulation<M> {
 /// # Examples
 ///
 /// ```
-/// use swiper_core::{TicketAssignment, TicketDelta};
+/// use swiper_core::{EpochEvent, TicketAssignment, TicketDelta, Weights};
 /// use swiper_net::{Context, EpochedSimulation, NodeId, Protocol};
 ///
 /// /// Counts reconfigurations; outputs the count at quiescence.
@@ -510,7 +525,7 @@ impl<M: Clone + MessageSize> Simulation<M> {
 ///     fn on_message(&mut self, _f: NodeId, _m: u64, ctx: &mut Context<u64>) {
 ///         ctx.output(vec![self.seen]);
 ///     }
-///     fn on_reconfigure(&mut self, _d: &TicketDelta, _ctx: &mut Context<u64>) {
+///     fn on_reconfigure(&mut self, _e: &EpochEvent, _ctx: &mut Context<u64>) {
 ///         self.seen += 1;
 ///     }
 /// }
@@ -518,9 +533,11 @@ impl<M: Clone + MessageSize> Simulation<M> {
 /// let old = TicketAssignment::new(vec![1, 1]);
 /// let new = TicketAssignment::new(vec![2, 1]);
 /// let delta = TicketDelta::between(&old, &new).unwrap();
+/// let stake = Weights::new(vec![6, 4]).unwrap();
+/// let event = EpochEvent::new(1, delta, &stake, stake.clone(), 0).unwrap();
 /// let nodes: Vec<Box<dyn Protocol<Msg = u64>>> =
 ///     (0..2).map(|_| Box::new(EpochCounter { seen: 0 }) as _).collect();
-/// let report = EpochedSimulation::new(nodes, 7).inject_at(1, delta).run();
+/// let report = EpochedSimulation::new(nodes, 7).inject_at(1, event).run();
 /// assert_eq!(report.reconfigurations, 1);
 /// ```
 pub struct EpochedSimulation<M> {
@@ -556,24 +573,27 @@ impl<M: Clone + MessageSize> EpochedSimulation<M> {
         self
     }
 
-    /// Schedules `delta` for injection once `at_event` events have been
-    /// processed. Deltas compose in event order; each must be diffed
-    /// against the assignment the previous one produced.
-    pub fn inject_at(mut self, at_event: u64, delta: TicketDelta) -> Self {
-        self.sim = self.sim.with_reconfiguration(at_event, delta);
+    /// Schedules `event` for injection once `at_event` events have been
+    /// processed. Events compose in event order; each delta must be
+    /// diffed against the assignment the previous one produced (and each
+    /// event's weights follow its predecessor's).
+    pub fn inject_at(mut self, at_event: u64, event: EpochEvent) -> Self {
+        self.sim = self.sim.with_reconfiguration(at_event, event);
         self
     }
 
-    /// Schedules a whole epoch chain: each `(at_event, delta)` pair is
-    /// injected in order. Shrinking and renumbering deltas are first-class
-    /// — the schedule is exactly what a churned multi-epoch replay (mixed
-    /// joins, leaves and live renumbering every epoch) hands the driver.
+    /// Schedules a whole epoch chain: each `(at_event, event)` pair is
+    /// injected in order. Shrinking and renumbering deltas — and
+    /// stake-drifting weight vectors — are first-class: the schedule is
+    /// exactly what a churned multi-epoch replay (mixed joins, leaves and
+    /// live renumbering every epoch, weights refreshed each epoch) hands
+    /// the driver.
     pub fn inject_schedule<I>(mut self, schedule: I) -> Self
     where
-        I: IntoIterator<Item = (u64, TicketDelta)>,
+        I: IntoIterator<Item = (u64, EpochEvent)>,
     {
-        for (at_event, delta) in schedule {
-            self.sim = self.sim.with_reconfiguration(at_event, delta);
+        for (at_event, event) in schedule {
+            self.sim = self.sim.with_reconfiguration(at_event, event);
         }
         self
     }
@@ -768,10 +788,21 @@ mod tests {
         assert!(!split.unanimity_among(&[0, 1, 2, 3]));
     }
 
+    /// Unit-weight event over `n` parties for plumbing tests that do not
+    /// exercise stake refresh.
+    fn unit_event(old: &[u64], new: &[u64]) -> EpochEvent {
+        use swiper_core::{TicketAssignment, TicketDelta, Weights};
+        let delta = TicketDelta::between(
+            &TicketAssignment::new(old.to_vec()),
+            &TicketAssignment::new(new.to_vec()),
+        )
+        .unwrap();
+        let stake = Weights::new(vec![1; old.len()]).unwrap();
+        EpochEvent::new(1, delta, &stake, stake.clone(), 0).unwrap()
+    }
+
     #[test]
     fn reconfigurations_fire_between_deliveries() {
-        use swiper_core::{TicketAssignment, TicketDelta};
-
         /// Outputs how many reconfigurations it saw, once a message
         /// arrives after the epoch boundary.
         struct EpochAware {
@@ -787,18 +818,16 @@ mod tests {
                     ctx.output(vec![self.seen]);
                 }
             }
-            fn on_reconfigure(&mut self, _d: &TicketDelta, ctx: &mut Context<u64>) {
+            fn on_reconfigure(&mut self, _e: &EpochEvent, ctx: &mut Context<u64>) {
                 self.seen += 1;
                 ctx.broadcast(1);
             }
         }
 
-        let old = TicketAssignment::new(vec![1, 1, 1]);
-        let new = TicketAssignment::new(vec![2, 1, 1]);
-        let delta = TicketDelta::between(&old, &new).unwrap();
+        let event = unit_event(&[1, 1, 1], &[2, 1, 1]);
         let nodes: Vec<Box<dyn Protocol<Msg = u64>>> =
             (0..3).map(|_| Box::new(EpochAware { seen: 0 }) as _).collect();
-        let report = Simulation::new(nodes, 5).with_reconfiguration(2, delta).run();
+        let report = Simulation::new(nodes, 5).with_reconfiguration(2, event).run();
         assert_eq!(report.reconfigurations, 1);
         for out in &report.outputs {
             assert_eq!(out.as_deref(), Some(&[1u8][..]));
@@ -807,8 +836,6 @@ mod tests {
 
     #[test]
     fn time_is_monotone_across_reconfiguration() {
-        use swiper_core::{TicketAssignment, TicketDelta};
-
         /// Arms a far-future timer, then records `now()` at every
         /// callback; the reconfiguration fires while that gap is open.
         struct Clock {
@@ -825,22 +852,21 @@ mod tests {
             fn on_timer(&mut self, _id: u64, ctx: &mut Context<u64>) {
                 self.stamps.borrow_mut().push(ctx.now());
             }
-            fn on_reconfigure(&mut self, _d: &TicketDelta, ctx: &mut Context<u64>) {
+            fn on_reconfigure(&mut self, _e: &EpochEvent, ctx: &mut Context<u64>) {
                 self.stamps.borrow_mut().push(ctx.now());
                 let me = ctx.me();
                 ctx.send(me, 7);
             }
         }
 
-        let old = TicketAssignment::new(vec![1]);
-        let delta = TicketDelta::between(&old, &old).unwrap();
+        let event = unit_event(&[1], &[1]);
         let stamps = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
         let nodes: Vec<Box<dyn Protocol<Msg = u64>>> =
             vec![Box::new(Clock { stamps: stamps.clone() })];
         // The boundary lands in the 0..50 gap before the timer delivery;
         // it must share the upcoming event's timestamp, not the previous
         // one's, or effects it emits travel back in time.
-        let report = Simulation::new(nodes, 2).with_reconfiguration(0, delta).run();
+        let report = Simulation::new(nodes, 2).with_reconfiguration(0, event).run();
         assert_eq!(report.reconfigurations, 1);
         let stamps = stamps.borrow();
         assert!(
@@ -852,8 +878,6 @@ mod tests {
 
     #[test]
     fn inject_schedule_composes_epoch_chains_in_order() {
-        use swiper_core::{TicketAssignment, TicketDelta};
-
         /// Counts reconfigurations; keeps traffic alive long enough for
         /// the whole schedule to fire.
         struct EpochCounter {
@@ -871,7 +895,7 @@ mod tests {
                     ctx.broadcast(0);
                 }
             }
-            fn on_reconfigure(&mut self, _d: &TicketDelta, ctx: &mut Context<u64>) {
+            fn on_reconfigure(&mut self, _e: &EpochEvent, ctx: &mut Context<u64>) {
                 self.seen += 1;
                 ctx.output(vec![self.seen]);
             }
@@ -879,14 +903,10 @@ mod tests {
 
         // A mixed chain: grow, then shrink-and-renumber, then grow again —
         // each delta diffed against its predecessor.
-        let e0 = TicketAssignment::new(vec![2, 1]);
-        let e1 = TicketAssignment::new(vec![3, 1]);
-        let e2 = TicketAssignment::new(vec![1, 2]);
-        let e3 = TicketAssignment::new(vec![2, 2]);
         let schedule = vec![
-            (2, TicketDelta::between(&e0, &e1).unwrap()),
-            (5, TicketDelta::between(&e1, &e2).unwrap()),
-            (9, TicketDelta::between(&e2, &e3).unwrap()),
+            (2, unit_event(&[2, 1], &[3, 1])),
+            (5, unit_event(&[3, 1], &[1, 2])),
+            (9, unit_event(&[1, 2], &[2, 2])),
         ];
         let nodes: Vec<Box<dyn Protocol<Msg = u64>>> =
             (0..2).map(|_| Box::new(EpochCounter { seen: 0, bounced: 0 }) as _).collect();
@@ -896,11 +916,9 @@ mod tests {
 
     #[test]
     fn reconfiguration_past_quiescence_never_fires() {
-        use swiper_core::{TicketAssignment, TicketDelta};
-        let old = TicketAssignment::new(vec![1, 1]);
-        let delta = TicketDelta::between(&old, &old).unwrap();
+        let event = unit_event(&[1, 1], &[1, 1]);
         let report =
-            Simulation::new(summers(2), 1).with_reconfiguration(1_000_000, delta).run();
+            Simulation::new(summers(2), 1).with_reconfiguration(1_000_000, event).run();
         assert_eq!(report.reconfigurations, 0);
         assert!(report.outputs.iter().all(|o| o.is_some()));
     }

@@ -19,8 +19,9 @@
 
 use std::collections::HashMap;
 
-use rand::Rng;
-use swiper_core::{Ratio, StableId, TicketAssignment, TicketDelta, VirtualUsers, Weights};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use swiper_core::{EpochEvent, Ratio, StableId, TicketAssignment, VirtualUsers, Weights};
 use swiper_crypto::thresh::{KeyShare, PartialSignature, PublicKey, ThresholdScheme};
 use swiper_net::{Context, MessageSize, NodeId, Protocol};
 
@@ -68,9 +69,30 @@ impl MessageSize for AbaMsg {
 }
 
 /// Shared setup: weights for quorums plus the dealt coin keys.
+///
+/// # The coin carry/re-deal rule
+///
+/// Coin keys are dealt to the **virtual users of a ticket assignment**,
+/// and share indices are fixed points of the threshold scheme — so the
+/// keys are pinned to their dealing epoch's assignment. Across an
+/// [`EpochEvent`] boundary ([`AbaSetup::on_epoch`]) the rule mirrors the
+/// SMR composition's beacon split:
+///
+/// * **carry** — when the event's delta leaves the backing tickets
+///   unchanged, the dealt keys remain exactly right and nothing happens;
+/// * **re-deal** — when the tickets moved, every replica *reshares* the
+///   group secret deterministically from `event.rekey_seed()` folded with
+///   the new assignment's fingerprint: fresh shares for the new
+///   population (old partials stop verifying), same group key. Keeping
+///   the secret keeps the unique combined signature of every round tag,
+///   so a round whose coin was combined before the boundary and one
+///   combined after it see the **same coin value** — re-dealing can never
+///   fork an in-flight round's randomness.
 #[derive(Debug, Clone)]
 pub struct AbaSetup {
     weights: Weights,
+    /// The assignment the coin keys are currently dealt to.
+    tickets: TicketAssignment,
     scheme: ThresholdScheme,
     pk: PublicKey,
     shares: Vec<Vec<KeyShare>>,
@@ -108,7 +130,15 @@ impl AbaSetup {
         let shares = (0..mapping.parties())
             .map(|p| mapping.virtuals_of(p).map(|v| all_shares[v]).collect())
             .collect();
-        AbaSetup { weights, scheme, pk, shares, instance, view: IdentityView::Party }
+        AbaSetup {
+            weights,
+            tickets: tickets.clone(),
+            scheme,
+            pk,
+            shares,
+            instance,
+            view: IdentityView::Party,
+        }
     }
 
     /// Nominal instance: equal weights, one coin share per party.
@@ -122,15 +152,108 @@ impl AbaSetup {
     /// hosted over a black-box [`Roster`]: quorums become count-based over
     /// the roster's current population, votes are keyed by stable
     /// `(party, offset)` identity, and [`Protocol::on_reconfigure`]
-    /// migrates them across renumbering deltas. The coin's threshold keys
-    /// stay pinned to the dealing epoch (share indices are fixed points of
-    /// the scheme), so coin liveness across epochs holds exactly when
-    /// enough dealt shares survive — the documented limit of delta-only
-    /// reconfiguration for threshold cryptography.
+    /// migrates them across renumbering deltas. Coin keys follow the
+    /// carry/re-deal rule (see the type docs): an epoch whose delta moves
+    /// the hosting tickets re-deals them deterministically over the new
+    /// population from the event's rekey seed; an epoch that does not
+    /// carries them untouched. (Under the retired ticket-only contract
+    /// the keys stayed pinned to the dealing epoch forever — a shrinking
+    /// delta could strand the coin below its own threshold, and a growing
+    /// one left joiners shareless.)
     #[must_use]
     pub fn with_roster(mut self, roster: Roster) -> Self {
         self.view = IdentityView::Virtual(roster);
         self
+    }
+
+    /// Splices an [`EpochEvent`] into the setup, applying the coin
+    /// carry/re-deal rule (see the type docs). Returns `Some(rekeyed)` —
+    /// callers must, on a re-deal, drop buffered partials of un-combined
+    /// rounds (they no longer verify) and re-release their own shares —
+    /// or `None` when the event does not address this setup (a party-
+    /// regime delta that does not chain from the dealt tickets): the
+    /// setup is then left **wholly** untouched, stake included, and the
+    /// caller should ignore the event too rather than half-apply it.
+    ///
+    /// In the roster regime the hosting [`Roster`] must already hold the
+    /// new epoch (the black-box wrapper splices it before propagating the
+    /// event, and validates the event against its own mapping).
+    pub fn on_epoch(&mut self, event: &EpochEvent) -> Option<bool> {
+        match self.view.roster().cloned() {
+            // Party regime: chain the delta from our dealt tickets; only
+            // an event that does chain is allowed to touch anything.
+            None => match event.delta().apply_to(&self.tickets) {
+                Err(_) => None,
+                Ok(next) => {
+                    let _ = event.refresh_weights(&mut self.weights);
+                    if next != self.tickets {
+                        self.redeal(next, event);
+                        Some(true)
+                    } else {
+                        Some(false)
+                    }
+                }
+            },
+            // Roster regime: the wrapper already spliced the mapping. The
+            // hosted nominal instance treats each virtual user as a
+            // one-ticket party, so shares re-deal over the roster's new
+            // *population*; the seed folds the real per-party assignment,
+            // which is what the epoch actually changed. Every changed
+            // epoch reshares unconditionally: ticket-vector equality is
+            // NOT a proxy for key currency — a factory-cloned joiner
+            // still holds the construction generation, and an epoch chain
+            // that revisits the dealing assignment would otherwise let it
+            // carry those stale keys while survivors hold a reshared
+            // generation. Resharing is idempotent across catch-up depths
+            // (same secret, same base, same event-derived polynomial), so
+            // the unconditional reshare is what makes joiners and
+            // survivors converge bit-identically.
+            Some(roster) => {
+                if event.delta().is_unchanged() {
+                    return Some(false);
+                }
+                let per_party: Vec<u64> =
+                    (0..roster.parties()).map(|p| roster.tickets_of(p)).collect();
+                self.redeal(TicketAssignment::new(per_party), event);
+                Some(true)
+            }
+        }
+    }
+
+    /// Deterministically reshares the coin keys for the new epoch: same
+    /// group secret (straddling rounds keep their coin value), fresh
+    /// shares for the new population, identical on every replica. In the
+    /// party regime shares distribute over `tickets`' virtual users; in
+    /// the roster regime every virtual user of the new population is its
+    /// own one-share holder (the nominal hosting shape).
+    fn redeal(&mut self, tickets: TicketAssignment, event: &EpochEvent) {
+        let seed = event.fold_rekey(tickets.fingerprint()) ^ self.instance;
+        let deal_over = match self.view.roster() {
+            None => tickets.clone(),
+            Some(roster) => TicketAssignment::new(vec![1; roster.total()]),
+        };
+        let mapping = VirtualUsers::from_assignment(&deal_over).expect("fits memory");
+        let total = mapping.total();
+        assert!(total > 0, "coin needs at least one ticket");
+        let new_scheme =
+            ThresholdScheme::new(total / 2 + 1, total).expect("threshold <= total");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let flat: Vec<KeyShare> = self.shares.iter().flatten().copied().collect();
+        let (pk, all) = new_scheme
+            .reshare(&self.scheme, &self.pk, &flat, &mut rng)
+            .expect("the dealt generation holds a recovery quorum");
+        self.shares = (0..mapping.parties())
+            .map(|p| mapping.virtuals_of(p).map(|v| all[v]).collect())
+            .collect();
+        self.scheme = new_scheme;
+        self.pk = pk;
+        self.tickets = tickets;
+        // In the roster-hosted nominal regime the weight vector is the
+        // (unused) equal-weight one over the old population; keep it in
+        // step so `weights.len()` matches the new share table.
+        if self.view.roster().is_some() {
+            self.weights = Weights::new(vec![1; total]).expect("total > 0");
+        }
     }
 
     fn coin_tag(&self, round: u32) -> Vec<u8> {
@@ -173,6 +296,9 @@ struct RoundState {
     bval_relay: [Quorum; 2],
     bin: [bool; 2],
     aux_sent: bool,
+    /// The AUX value this node broadcast (`Some` iff `aux_sent`), kept so
+    /// the epochal form can re-announce it to joiners spawned mid-flight.
+    aux_value: Option<bool>,
     /// First AUX value per stable voter identity.
     aux_of: HashMap<StableId, bool>,
     coin_sent: bool,
@@ -194,6 +320,7 @@ impl RoundState {
             bval_relay: [setup.quorum(Ratio::of(1, 3)), setup.quorum(Ratio::of(1, 3))],
             bin: [false; 2],
             aux_sent: false,
+            aux_value: None,
             aux_of: HashMap::new(),
             coin_sent: false,
             coin_seen: Default::default(),
@@ -268,6 +395,7 @@ impl AbaNode {
                 let v = if bin[self.est as usize] { self.est } else { bin[1] };
                 let st = self.state(round);
                 st.aux_sent = true;
+                st.aux_value = Some(v);
                 ctx.broadcast(AbaMsg::Aux { round, value: v });
             }
             // Phase 3: once AUX weight > 2 f_w with values in bin_values,
@@ -416,25 +544,127 @@ impl Protocol for AbaNode {
         self.progress(ctx);
     }
 
-    fn on_reconfigure(&mut self, _delta: &TicketDelta, ctx: &mut Context<AbaMsg>) {
-        // Party-keyed instances need nothing (fixed party sets). In the
-        // roster-hosted regime every tracker migrates onto the new epoch:
-        // surviving voters carry, retired voters and their AUX claims are
-        // shed, count thresholds re-derive from the new population.
-        let Some(roster) = self.setup.view.roster().cloned() else { return };
-        for st in self.rounds.values_mut() {
-            for q in st.bval_votes.iter_mut().chain(st.bval_relay.iter_mut()) {
-                q.migrate(&roster);
-            }
-            st.aux_of.retain(|id, _| roster.contains(*id));
-            for value in [false, true] {
-                if st.bval_votes[value as usize].reached() {
-                    st.bin[value as usize] = true;
+    fn on_reconfigure(&mut self, event: &EpochEvent, ctx: &mut Context<AbaMsg>) {
+        // Coin keys first: carry when the backing tickets are unchanged,
+        // deterministic same-secret re-deal when they moved (see
+        // `AbaSetup::on_epoch`). After a re-deal, buffered partials of
+        // un-combined rounds no longer verify and our own shares must go
+        // out again under the new generation; already-combined coins keep
+        // their value (the group secret survives resharing), so no round
+        // can see two different coins.
+        let Some(rekeyed) = self.setup.on_epoch(event) else {
+            // A mis-addressed event (its delta does not chain from this
+            // instance's dealt tickets) is ignored wholesale — reweighing
+            // trackers under weights the setup never adopted would be the
+            // half-applied state the contract forbids.
+            return;
+        };
+        if rekeyed {
+            for st in self.rounds.values_mut() {
+                if st.coin.is_none() {
+                    st.coin_partials.clear();
+                    st.coin_seen.clear();
+                    st.coin_sent = false;
                 }
             }
         }
-        for q in self.decided_adopt.iter_mut().chain(self.decided_halt.iter_mut()) {
-            q.migrate(&roster);
+        match self.setup.view.roster().cloned() {
+            // Party regime: identities are fixed, but stake is not — every
+            // weighted tally re-derives under the event's weight vector
+            // (`AbaSetup::on_epoch` already refreshed the vector new
+            // quorums are minted from).
+            None => {
+                for st in self.rounds.values_mut() {
+                    for q in st.bval_votes.iter_mut().chain(st.bval_relay.iter_mut()) {
+                        q.reweigh(event);
+                    }
+                    for value in [false, true] {
+                        if st.bval_votes[value as usize].reached() {
+                            st.bin[value as usize] = true;
+                        }
+                    }
+                }
+                for q in self.decided_adopt.iter_mut().chain(self.decided_halt.iter_mut()) {
+                    q.reweigh(event);
+                }
+            }
+            // Roster-hosted nominal regime: every tracker migrates onto
+            // the new epoch — surviving voters carry, retired voters and
+            // their AUX claims are shed, count thresholds re-derive from
+            // the new population.
+            Some(roster) => {
+                for st in self.rounds.values_mut() {
+                    for q in st.bval_votes.iter_mut().chain(st.bval_relay.iter_mut()) {
+                        q.migrate(&roster);
+                    }
+                    st.aux_of.retain(|id, _| roster.contains(*id));
+                    for value in [false, true] {
+                        if st.bval_votes[value as usize].reached() {
+                            st.bin[value as usize] = true;
+                        }
+                    }
+                }
+                for q in self.decided_adopt.iter_mut().chain(self.decided_halt.iter_mut()) {
+                    q.migrate(&roster);
+                }
+                // Catch-up re-announcement (the epochal Bracha move):
+                // voters spawned this epoch missed every pre-boundary
+                // message, and with enough joins the quorums over the
+                // grown population are unreachable from survivor votes
+                // alone — while survivors, having spoken exactly once,
+                // would never speak again. Re-broadcast what this node
+                // already said (its BVals, its AUX per round, its
+                // Decided); stable-keyed trackers and first-vote-wins
+                // maps make every duplicate a no-op. Rounds go out in
+                // ascending order so the emission schedule — and with it
+                // the seeded delay stream — stays deterministic.
+                let mut rounds: Vec<u32> = self.rounds.keys().copied().collect();
+                rounds.sort_unstable();
+                for round in rounds {
+                    let st = &self.rounds[&round];
+                    for value in [false, true] {
+                        if st.bval_sent[value as usize] {
+                            ctx.broadcast(AbaMsg::BVal { round, value });
+                        }
+                    }
+                    if let Some(value) = st.aux_value {
+                        ctx.broadcast(AbaMsg::Aux { round, value });
+                    }
+                }
+                if self.decided_sent {
+                    if let Some(value) = self.decided {
+                        ctx.broadcast(AbaMsg::Decided { value });
+                    }
+                }
+            }
+        }
+        // The boundary op itself can cross a threshold with no further
+        // vote arriving (stake grew onto recorded voters; a shrinking
+        // population lowered a count base) — and honest parties cast each
+        // vote exactly once, so the vote-path transitions would never
+        // re-run. Re-fire them here: BV relay duty, then the decide
+        // gadget; `progress` covers the bin/AUX/coin chain.
+        let mut relays: Vec<(u32, bool)> = Vec::new();
+        for (&round, st) in self.rounds.iter() {
+            for value in [false, true] {
+                if st.bval_relay[value as usize].reached() && !st.bval_sent[value as usize] {
+                    relays.push((round, value));
+                }
+            }
+        }
+        relays.sort_unstable();
+        for (round, value) in relays {
+            self.send_bval(round, value, ctx);
+        }
+        for value in [false, true] {
+            if self.decided_adopt[value as usize].reached() && self.decided.is_none() {
+                self.decide(value, ctx);
+            }
+            if self.decided_halt[value as usize].reached() && self.decided == Some(value) {
+                self.decide(value, ctx);
+                ctx.halt();
+                return;
+            }
         }
         self.progress(ctx);
     }

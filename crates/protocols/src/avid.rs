@@ -23,7 +23,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use swiper_core::{Ratio, StableId, TicketAssignment, TicketDelta, VirtualUsers, Weights};
+use swiper_core::{EpochEvent, Ratio, StableId, TicketAssignment, VirtualUsers, Weights};
 use swiper_crypto::hash::Digest;
 use swiper_crypto::{MerkleProof, MerkleTree};
 use swiper_erasure::shards::{decode_bytes, encode_bytes, Shard};
@@ -136,6 +136,13 @@ impl AvidConfig {
     fn ack_quorum(&self) -> Quorum {
         // > 2 f_w = 2/3 of weight (nominal: > 2n/3 parties = 2t+1).
         Quorum::weighted(self.weights.clone(), Ratio::of(2, 3))
+    }
+
+    /// Epoch stake refresh: replaces the weight vector new ack quorums
+    /// are minted from. Party sets are fixed across epochs; an event over
+    /// a different count is a mis-addressed driver bug and is ignored.
+    fn reweigh(&mut self, event: &EpochEvent) {
+        let _ = event.refresh_weights(&mut self.weights);
     }
 
     fn shards_of(&self, party: usize, all: &[Shard], tree: &MerkleTree) -> Vec<ProvenShard> {
@@ -319,15 +326,35 @@ impl Protocol for AvidNode {
         }
     }
 
-    fn on_reconfigure(&mut self, _delta: &TicketDelta, _ctx: &mut Context<AvidMsg>) {
-        // Deliberate no-op, per the stable-identity contract: AVID's
-        // per-sender state is keyed by *party* ([`StableId::solo`] acks)
-        // and by fragment index — both fixed for the lifetime of a
-        // dispersal. An in-flight dispersal completes under its minting
-        // epoch's `(k, m)` code and fragment ownership (re-deriving them
-        // mid-flight would orphan already-dealt fragments); epoch-crossing
-        // deployments start *new* dispersals under the new assignment, as
-        // the SMR pipeline does when its WQ tickets move.
+    fn on_reconfigure(&mut self, event: &EpochEvent, ctx: &mut Context<AvidMsg>) {
+        // Per the stable-identity contract, the dispersal itself is
+        // epoch-pinned: fragment indices and ownership are fixed by the
+        // minting epoch's `(k, m)` code (re-deriving them mid-flight would
+        // orphan already-dealt fragments), and epoch-crossing deployments
+        // start *new* dispersals under the new assignment, as the SMR
+        // pipeline does when its WQ tickets move. Stake is NOT pinned:
+        // the ack quorum is a weighted tally and re-derives under the
+        // event's weight vector — acks are kept, their weight is current.
+        // A reweigh can also COMPLETE a pending ack quorum (stake grew
+        // onto recorded ackers), and parties ack exactly once — run the
+        // retrieval transition here, in root order so replays stay
+        // deterministic.
+        self.config.reweigh(event);
+        let mut newly_completed: Vec<Digest> = Vec::new();
+        for (root, q) in self.ack_quorums.iter_mut() {
+            q.reweigh(event);
+            if q.reached() && !self.completed.contains(root) {
+                newly_completed.push(*root);
+            }
+        }
+        newly_completed.sort();
+        for root in newly_completed {
+            self.completed.insert(root);
+            let shards =
+                if self.my_root == Some(root) { self.my_shards.clone() } else { Vec::new() };
+            ctx.broadcast(AvidMsg::Fragments { root, shards });
+        }
+        self.maybe_halt(ctx);
     }
 }
 

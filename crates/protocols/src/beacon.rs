@@ -15,7 +15,7 @@
 //!   — the beacon stays **live** without any corrupt help.
 
 use rand::Rng;
-use swiper_core::{Ratio, TicketAssignment, TicketDelta, VirtualUsers};
+use swiper_core::{EpochEvent, Ratio, TicketAssignment, VirtualUsers};
 use swiper_crypto::hash::Digest;
 use swiper_crypto::thresh::{KeyShare, PartialSignature, PublicKey, ThresholdScheme};
 use swiper_net::{Context, MessageSize, NodeId, Protocol};
@@ -174,15 +174,16 @@ impl Protocol for BeaconNode {
         self.try_combine(ctx);
     }
 
-    fn on_reconfigure(&mut self, _delta: &TicketDelta, _ctx: &mut Context<BeaconMsg>) {
+    fn on_reconfigure(&mut self, _event: &EpochEvent, _ctx: &mut Context<BeaconMsg>) {
         // Deliberate no-op, per the stable-identity contract: the beacon
         // tracks no per-sender quorums — partials deduplicate by *share
         // index*, a fixed point of the threshold scheme dealt once per
-        // setup, so nothing here is keyed by a renumbering identity. A
-        // delta that moves the WR assignment invalidates the dealt shares
-        // themselves; hosts re-deal for the new epoch (see
-        // `swiper-protocols::smr`'s deterministic re-keying) rather than
-        // splice this round.
+        // setup, so neither identity nor stake enters a tally here. An
+        // event whose delta moves the WR assignment invalidates the dealt
+        // shares themselves; hosts re-deal for the new epoch from the
+        // event's rekey seed (the SMR composition's deterministic
+        // carry/re-deal split, which `AbaSetup::on_epoch` now shares)
+        // rather than splice this round.
     }
 }
 

@@ -57,11 +57,13 @@
 //!   identity is the key;
 //! * **retired** sub-instances are dropped along with their pending
 //!   timers;
-//! * surviving automata then receive `on_reconfigure` themselves, so
+//! * surviving automata then receive the `EpochEvent` themselves, so
 //!   epoch-aware nominal protocols (e.g.
 //!   [`crate::bracha::BrachaConfig::epochal`]) migrate their quorum
 //!   trackers — shedding retired voters' weight and re-deriving
-//!   thresholds from the new total;
+//!   thresholds from the new total — and protocols holding epoch-pinned
+//!   keys (e.g. [`crate::aba::AbaSetup::with_roster`]) apply their
+//!   carry/re-deal rule from the event's rekey seed;
 //! * **added** sub-instances are spawned mid-flight via the stored
 //!   factory; they begin at `on_start` and may rely on the vouching path
 //!   to learn an output that was decided before they joined.
@@ -75,14 +77,29 @@
 //! positions meaningful; the epoch-crossing seed sweeps exercise both the
 //! friendly and the hostile case.
 //!
-//! One deliberate limit remains: a [`TicketDelta`] carries tickets, not
-//! stake, so the **vouch quorum keeps weighing votes with the
-//! construction-time weight vector** — deployments whose stake drifts far
-//! from the epoch-0 snapshot must rebuild the wrapper to refresh it.
+//! # Cross-epoch stake refresh
+//!
+//! Reconfiguration arrives as an [`EpochEvent`] — the delta *plus the new
+//! per-party weight vector* — so the wrapper is weight-bearing end to
+//! end: the **vouch quorum tallies with current-epoch stake**. At every
+//! boundary the stored weight vector is replaced by the event's and each
+//! accumulated vouch tally is re-derived under it
+//! ([`crate::quorum::WeightQuorum::reweigh`]): votes are kept, per-party
+//! weights and the threshold base re-derive, so a whale whose stake
+//! collapsed mid-vouch stops propping up an almost-complete quorum (the
+//! pending tally is *revoked*) and stale stake can never push a forged
+//! output across a current-epoch threshold. Outputs already adopted are
+//! irreversible — the guarantee is that no quorum *crosses* a threshold
+//! except under the stake of the epoch it crosses in. The former
+//! limitation of the ticket-only contract — "the vouch quorum keeps
+//! weighing votes with the construction-time weight vector; rebuild the
+//! wrapper to refresh it" — is gone: a long-lived wrapped instance is
+//! correct and live under both renumbering *and* stake drift, which the
+//! mixed-churn sweeps assert with weights actually refreshed each epoch.
 
 use std::collections::{HashMap, VecDeque};
 
-use swiper_core::{Ratio, StableId, TicketAssignment, TicketDelta, VirtualUsers, Weights};
+use swiper_core::{EpochEvent, Ratio, StableId, TicketAssignment, VirtualUsers, Weights};
 use swiper_net::{Context, Effects, MessageSize, NodeId, Protocol};
 
 use crate::quorum::{QuorumTracker, Roster, WeightQuorum};
@@ -400,16 +417,47 @@ impl<P: Protocol> Protocol for BlackBox<P> {
         self.route(pending, ctx);
     }
 
-    fn on_reconfigure(&mut self, delta: &TicketDelta, ctx: &mut Context<Self::Msg>) {
+    fn on_reconfigure(&mut self, event: &EpochEvent, ctx: &mut Context<Self::Msg>) {
         let old_count = self.roster.tickets_of(self.party);
-        if self.roster.apply_delta(delta).is_err() {
-            // A delta diffed against a different base than the live
-            // mapping is a driver bug; the mapping is untouched, so the
-            // instance keeps running under the old epoch.
-            debug_assert!(false, "mis-sequenced TicketDelta reached BlackBox");
+        if self.roster.apply_delta(event.delta()).is_err() {
+            // An event whose delta was diffed against a different base
+            // than the live mapping is a driver bug; the mapping is
+            // untouched, so the instance keeps running under the old
+            // epoch (weights included — a half-applied event would be
+            // worse than a stale one).
+            debug_assert!(false, "mis-sequenced EpochEvent reached BlackBox");
             return;
         }
         self.epoch += 1;
+        // Stake refresh: the vouch path tallies under this epoch's
+        // weights from here on. Pending vouch quorums keep their votes
+        // but re-derive every contribution and the threshold base — a
+        // collapsed whale's almost-complete quorum is revoked, stale
+        // stake never crosses a live threshold.
+        if event.refresh_weights(&mut self.weights) {
+            // A reweigh can also COMPLETE a pending quorum (stake grew
+            // onto already-recorded vouchers), and vouchers vouch exactly
+            // once — no later vote will re-run the adoption check. Act on
+            // the transition here; ties across outputs (possible only
+            // with Byzantine vouchers) break lexicographically so every
+            // replay is deterministic.
+            let mut completed: Vec<&Vec<u8>> = Vec::new();
+            for (output, q) in self.vouch_quorums.iter_mut() {
+                q.reweigh(event);
+                if q.reached() {
+                    completed.push(output);
+                }
+            }
+            completed.sort();
+            if let Some(&output) = completed.first() {
+                if !self.output_done {
+                    self.output_done = true;
+                    ctx.output(output.clone());
+                }
+            }
+        } else {
+            debug_assert!(false, "EpochEvent weights cover a different party count");
+        }
         // Retire users whose identity no longer resolves; their pending
         // timers are purged eagerly (the fire path would drop them anyway
         // — this just keeps the footprint tight). Survivors need no
@@ -432,17 +480,25 @@ impl<P: Protocol> Protocol for BlackBox<P> {
             let Some(dense) = roster.dense_of(id) else { continue };
             let mut inner_ctx = Context::detached(dense, total, ctx.now());
             if let Some(slot) = self.virtuals.iter_mut().find(|(vid, _, _)| *vid == id) {
-                slot.1.on_reconfigure(delta, &mut inner_ctx);
+                slot.1.on_reconfigure(event, &mut inner_ctx);
             }
             pending.push((id, inner_ctx.into_effects()));
         }
-        // Spawn users added to this party mid-flight.
+        // Spawn users added to this party mid-flight. The factory's
+        // captured state is *dealing-epoch* state (for instance an
+        // `AbaSetup`'s coin key table, sized for the old population), so
+        // a joiner receives the event before it starts: it enters the
+        // protocol already in the current epoch, holding the same
+        // re-dealt material every survivor derived — resharing depends
+        // only on the group secret and the event, not on which old
+        // generation a replica caught up from.
         let new_count = roster.tickets_of(self.party);
         for offset in old_count..new_count {
             let id = StableId::new(self.party, offset);
             let dense = roster.dense_of(id).expect("offset < new count");
             let mut automaton = (self.factory)(dense, &roster);
             let mut inner_ctx = Context::detached(dense, total, ctx.now());
+            automaton.on_reconfigure(event, &mut inner_ctx);
             automaton.on_start(&mut inner_ctx);
             self.virtuals.push((id, automaton, false));
             pending.push((id, inner_ctx.into_effects()));
@@ -458,8 +514,14 @@ mod tests {
     use crate::bracha::{BrachaConfig, BrachaMsg, BrachaNode};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use swiper_core::{Swiper, WeightRestriction};
+    use swiper_core::{Swiper, TicketDelta, WeightRestriction};
     use swiper_net::{EpochedSimulation, Simulation};
+
+    /// Event whose stake stands still: the identity-plumbing tests
+    /// exercise renumbering, not stake drift.
+    fn event_of(delta: &TicketDelta, weights: &Weights) -> EpochEvent {
+        EpochEvent::new(1, delta.clone(), weights, weights.clone(), 0).unwrap()
+    }
 
     /// WR(f_w = 1/4, f_n = 1/3): the epsilon-loss transformation setup.
     fn config(ws: &[u64]) -> (BlackBoxConfig, TicketAssignment) {
@@ -693,6 +755,7 @@ mod tests {
         let old = TicketAssignment::new(vec![2, 2, 1]);
         let new = TicketAssignment::new(vec![2, 1, 2]);
         let delta = TicketDelta::between(&old, &new).unwrap();
+        let event = event_of(&delta, &weights);
         let total = old.total() as usize;
         for seed in 0..25u64 {
             let config = BlackBoxConfig::new(weights.clone(), &old, Ratio::of(1, 4));
@@ -703,7 +766,7 @@ mod tests {
                     })) as _
                 })
                 .collect();
-            let report = EpochedSimulation::new(nodes, seed).inject_at(16, delta.clone()).run();
+            let report = EpochedSimulation::new(nodes, seed).inject_at(16, event.clone()).run();
             assert_eq!(report.reconfigurations, 1, "seed {seed}");
             for (i, out) in report.outputs.iter().enumerate() {
                 assert_eq!(
@@ -730,6 +793,7 @@ mod tests {
         churned[last] += 1; // the dust party gains one ticket
         let new = TicketAssignment::new(churned);
         let delta = TicketDelta::between(&old, &new).unwrap();
+        let event = event_of(&delta, &weights);
         let payload = b"epoch-crossing broadcast".to_vec();
         for seed in 0..25u64 {
             let config = BlackBoxConfig::new(weights.clone(), &old, Ratio::of(1, 4));
@@ -747,7 +811,7 @@ mod tests {
                     })) as _
                 })
                 .collect();
-            let report = EpochedSimulation::new(nodes, seed).inject_at(10, delta.clone()).run();
+            let report = EpochedSimulation::new(nodes, seed).inject_at(10, event.clone()).run();
             assert_eq!(report.reconfigurations, 1, "seed {seed}");
             for (i, out) in report.outputs.iter().enumerate() {
                 assert_eq!(out.as_deref(), Some(payload.as_slice()), "party {i} seed {seed}");
@@ -765,13 +829,14 @@ mod tests {
         let other = TicketAssignment::new(vec![1, 2, 1]);
         let next = TicketAssignment::new(vec![1, 2, 2]);
         let bad_delta = TicketDelta::between(&other, &next).unwrap();
+        let bad_event = event_of(&bad_delta, &weights);
         let config = BlackBoxConfig::new(weights, &base, Ratio::of(1, 4));
         let mut bb: BlackBox<Accumulator> =
             BlackBox::new(config, 0, move |_v, _roster| Accumulator::new(5));
         let before = bb.roster().snapshot();
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let mut ctx = Context::detached(0, 3, 0);
-            bb.on_reconfigure(&bad_delta, &mut ctx);
+            bb.on_reconfigure(&bad_event, &mut ctx);
         }));
         // Debug builds assert; if the assertion is compiled out, the
         // mapping must be unchanged and the epoch not advanced.
@@ -813,11 +878,13 @@ mod tests {
             bb.on_start(&mut ctx);
             // Alternate between two assignments so every epoch renumbers
             // live identities (the worst case for translation state).
+            let stake = Weights::new(vec![40, 40, 20]).unwrap();
             let (mut cur, mut nxt) = (base, flip);
             for _ in 0..epochs {
                 let delta = TicketDelta::between(&cur, &nxt).unwrap();
+                let event = event_of(&delta, &stake);
                 let mut ctx = Context::detached(0, 3, 0);
-                bb.on_reconfigure(&delta, &mut ctx);
+                bb.on_reconfigure(&event, &mut ctx);
                 std::mem::swap(&mut cur, &mut nxt);
             }
             assert_eq!(bb.epoch(), epochs as u64);
@@ -852,7 +919,7 @@ mod tests {
         fn on_message(&mut self, from: NodeId, _m: u64, _ctx: &mut Context<u64>) {
             self.quorum.vote(self.roster.stable_of(from));
         }
-        fn on_reconfigure(&mut self, _d: &TicketDelta, _ctx: &mut Context<u64>) {
+        fn on_reconfigure(&mut self, _e: &EpochEvent, _ctx: &mut Context<u64>) {
             self.quorum.migrate(&self.roster);
         }
         fn on_timer(&mut self, _id: u64, ctx: &mut Context<u64>) {
@@ -880,6 +947,7 @@ mod tests {
         let old = TicketAssignment::new(vec![2, 2, 1]);
         let new = TicketAssignment::new(vec![1, 2, 2]);
         let delta = TicketDelta::between(&old, &new).unwrap();
+        let event = event_of(&delta, &weights);
         let expected = new.total() as usize;
         for seed in 0..25u64 {
             let config = BlackBoxConfig::new(weights.clone(), &old, Ratio::of(1, 4));
@@ -892,7 +960,7 @@ mod tests {
                     })) as _
                 })
                 .collect();
-            let report = EpochedSimulation::new(nodes, seed).inject_at(12, delta.clone()).run();
+            let report = EpochedSimulation::new(nodes, seed).inject_at(12, event.clone()).run();
             assert_eq!(report.reconfigurations, 1, "seed {seed}");
             for (i, out) in report.outputs.iter().enumerate() {
                 assert_eq!(

@@ -12,7 +12,7 @@
 
 use std::collections::HashMap;
 
-use swiper_core::{Ratio, StableId, TicketDelta, Weights};
+use swiper_core::{EpochEvent, Ratio, StableId, Weights};
 use swiper_crypto::hash::{digest, Digest};
 use swiper_net::{Context, MessageSize, NodeId, Protocol};
 
@@ -163,6 +163,23 @@ impl BrachaNode {
         node
     }
 
+    /// Re-asserts everything this node already said (its INITIAL when it
+    /// is the sender, its ECHO, its READY). Duplicates are free votes
+    /// that return the tracker's current verdict, so both epoch-boundary
+    /// paths lean on this: the party regime to fire quorums completed by
+    /// a reweigh, the epochal regime to let joiners catch up.
+    fn reannounce(&self, ctx: &mut Context<BrachaMsg>) {
+        if let Some(payload) = self.input.clone() {
+            ctx.broadcast(BrachaMsg::Initial(payload));
+        }
+        if let Some((d, payload)) = self.echo_payload.clone() {
+            ctx.broadcast(BrachaMsg::Echo(d, payload));
+        }
+        if let Some((d, payload)) = self.ready_payload.clone() {
+            ctx.broadcast(BrachaMsg::Ready(d, payload));
+        }
+    }
+
     fn maybe_ready(&mut self, d: Digest, payload: &[u8], ctx: &mut Context<BrachaMsg>) {
         if !self.ready_sent {
             self.ready_sent = true;
@@ -224,12 +241,45 @@ impl Protocol for BrachaNode {
         }
     }
 
-    fn on_reconfigure(&mut self, _delta: &TicketDelta, ctx: &mut Context<BrachaMsg>) {
-        // Party-keyed instances need nothing: party sets are fixed. The
-        // epochal form migrates every tracker onto the roster's new epoch —
-        // survivors' votes carry (stable keys never renumber), retired
-        // voters are shed, and thresholds re-derive from the new total.
-        let Some(roster) = self.config.view.roster().cloned() else { return };
+    fn on_reconfigure(&mut self, event: &EpochEvent, ctx: &mut Context<BrachaMsg>) {
+        // Weighted party-keyed instances refresh their stake: the event's
+        // weight vector replaces the construction-time one in the config
+        // (so quorums minted after the boundary start current) and every
+        // accumulated tracker re-tallies its kept votes under it — stale
+        // stake can neither complete nor hold open a quorum.
+        let weighted = self.config.weights.is_some();
+        if let Some(weights) = &mut self.config.weights {
+            let _ = event.refresh_weights(weights);
+        }
+        let Some(roster) = self.config.view.roster().cloned() else {
+            for q in self
+                .echo_quorums
+                .values_mut()
+                .chain(self.ready_amplify.values_mut())
+                .chain(self.ready_deliver.values_mut())
+            {
+                q.reweigh(event);
+            }
+            // A reweigh can also COMPLETE a pending quorum (stake grew
+            // onto already-recorded voters), but every quorum transition
+            // lives in the vote path, where the payload rides the
+            // message — and honest nodes vote exactly once. Re-assert
+            // what this node already said: duplicates are free votes
+            // that return the tracker's current verdict, so every peer
+            // (and this node, via self-delivery) re-runs its transitions
+            // under the new stake with the payload in hand. Only a
+            // weighted instance under actual stake drift can be
+            // boundary-completed, so the nominal party regime (and
+            // stake-stationary boundaries) skip the O(n) re-broadcasts.
+            if weighted && event.weights_changed() {
+                self.reannounce(ctx);
+            }
+            return;
+        };
+        // The epochal (roster-hosted nominal) form migrates every tracker
+        // onto the roster's new epoch — survivors' votes carry (stable
+        // keys never renumber), retired voters are shed, and thresholds
+        // re-derive from the new total.
         for q in self
             .echo_quorums
             .values_mut()
@@ -241,20 +291,11 @@ impl Protocol for BrachaNode {
         // Catch-up re-announcement: voters spawned this epoch missed the
         // pre-boundary traffic, and with enough joins the 2/3 quorums
         // over the *new* population are unreachable from survivor votes
-        // alone. Re-broadcasting what this node already said (INITIAL for
-        // the sender, its ECHO, its READY) lets joiners participate;
-        // stable-keyed trackers make every duplicate a no-op, so the
-        // re-announcement can never inflate a tally — this is precisely
-        // the move the dense-id design could not afford.
-        if let Some(payload) = self.input.clone() {
-            ctx.broadcast(BrachaMsg::Initial(payload));
-        }
-        if let Some((d, payload)) = self.echo_payload.clone() {
-            ctx.broadcast(BrachaMsg::Echo(d, payload));
-        }
-        if let Some((d, payload)) = self.ready_payload.clone() {
-            ctx.broadcast(BrachaMsg::Ready(d, payload));
-        }
+        // alone. Re-broadcasting what this node already said lets joiners
+        // participate; stable-keyed trackers make every duplicate a
+        // no-op, so the re-announcement can never inflate a tally — this
+        // is precisely the move the dense-id design could not afford.
+        self.reannounce(ctx);
     }
 }
 

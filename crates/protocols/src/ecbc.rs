@@ -25,7 +25,7 @@
 
 use std::collections::HashMap;
 
-use swiper_core::{Ratio, TicketAssignment, TicketDelta, VirtualUsers};
+use swiper_core::{EpochEvent, Ratio, TicketAssignment, VirtualUsers};
 use swiper_crypto::hash::{digest, Digest};
 use swiper_erasure::shards::{pack_symbols, unpack_symbols};
 use swiper_erasure::ReedSolomon;
@@ -273,15 +273,16 @@ impl Protocol for EcbcNode {
         }
     }
 
-    fn on_reconfigure(&mut self, _delta: &TicketDelta, _ctx: &mut Context<EcbcMsg>) {
-        // Deliberate no-op, per the stable-identity contract: ECBC keeps
-        // no quorum trackers — its per-sender state is the fragment table,
-        // keyed by *code position*, and the `owns` checks bind positions
-        // to parties. Both are fixed by the minting epoch's `(k, m)` code:
-        // an in-flight broadcast must complete under the layout its
-        // fragments were encoded for (re-deriving ownership mid-flight
-        // would reject honest echoes of already-dealt fragments), and new
-        // epochs start new broadcasts under their own assignment.
+    fn on_reconfigure(&mut self, _event: &EpochEvent, _ctx: &mut Context<EcbcMsg>) {
+        // Deliberate no-op: ECBC keeps no quorum trackers — neither
+        // identity nor stake ever enters a tally. Its per-sender state is
+        // the fragment table, keyed by *code position*, and the `owns`
+        // checks bind positions to parties; both are fixed by the minting
+        // epoch's `(k, m)` code. An in-flight broadcast must complete
+        // under the layout its fragments were encoded for (re-deriving
+        // ownership mid-flight would reject honest echoes of already-
+        // dealt fragments); new epochs start new broadcasts under their
+        // own assignment and weights.
     }
 }
 

@@ -38,7 +38,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use std::{collections::HashSet, fmt};
 
-use swiper_core::{CoreError, Ratio, StableId, TicketDelta, VirtualUsers, Weights};
+use swiper_core::{CoreError, EpochEvent, Ratio, StableId, TicketDelta, VirtualUsers, Weights};
 
 /// A shared, epoch-aware identity directory: one replica's view of the
 /// current virtual-user mapping, shared (via `Rc`) between a black-box
@@ -281,6 +281,43 @@ impl WeightQuorum {
     pub fn weight(&self) -> u128 {
         self.weight
     }
+
+    /// The weight vector this quorum currently tallies under.
+    pub fn weights(&self) -> &Weights {
+        &self.weights
+    }
+
+    /// Epoch stake refresh: re-derives the tally under the event's new
+    /// per-party weight vector. Votes are **kept** — identity progress is
+    /// orthogonal to stake — but each voter's contribution and the
+    /// threshold base `W` are recomputed from the new weights, so the
+    /// verdict after `reweigh` equals a fresh tracker's fed the same
+    /// votes under the new weights: no ghost stake (a collapsed whale's
+    /// kept vote now carries its *current* dust weight, which can
+    /// **revoke** an almost-complete quorum), no lost votes.
+    ///
+    /// Party sets are fixed across epochs; an event whose weight vector
+    /// covers a different party count is a driver bug and is ignored
+    /// (`debug_assert` in debug builds).
+    pub fn reweigh(&mut self, event: &EpochEvent) {
+        self.reweigh_to(event.weights());
+    }
+
+    /// [`WeightQuorum::reweigh`] from a bare weight vector (the form
+    /// internal epoch plumbing uses once the event is unpacked).
+    pub fn reweigh_to(&mut self, weights: &Weights) {
+        if weights.len() != self.weights.len() {
+            debug_assert!(false, "reweigh with a different party count");
+            return;
+        }
+        self.weights = weights.clone();
+        self.weight = self
+            .voted
+            .iter()
+            .filter(|id| id.party_ix() < self.weights.len())
+            .map(|id| u128::from(self.weights.get(id.party_ix())))
+            .sum();
+    }
 }
 
 impl QuorumTracker for WeightQuorum {
@@ -334,6 +371,17 @@ impl Quorum {
     /// Weighted quorum.
     pub fn weighted(weights: Weights, threshold: Ratio) -> Self {
         Quorum::Weight(WeightQuorum::new(weights, threshold))
+    }
+
+    /// Epoch stake refresh: weighted trackers re-derive their tally under
+    /// the event's weights ([`WeightQuorum::reweigh`]); count-based
+    /// trackers have no stake to refresh and are untouched (their
+    /// population moves through [`QuorumTracker::migrate`]).
+    pub fn reweigh(&mut self, event: &EpochEvent) {
+        match self {
+            Quorum::Count(_) => {}
+            Quorum::Weight(q) => q.reweigh(event),
+        }
     }
 }
 
@@ -533,6 +581,60 @@ mod tests {
         assert!(!q.reached(), "65 is not > 2/3 of 100");
     }
 
+    /// Builds a stake-refresh event over an unchanged assignment — the
+    /// pure weight-drift epoch the reweigh machinery exists for.
+    fn stake_event(prev: &Weights, next: &[u64]) -> EpochEvent {
+        let tickets = TicketAssignment::new(vec![1; prev.len()]);
+        let delta = TicketDelta::between(&tickets, &tickets).unwrap();
+        EpochEvent::new(1, delta, prev, Weights::new(next.to_vec()).unwrap(), 0).unwrap()
+    }
+
+    /// The stale-stake hole the reweigh API closes: a pending quorum that
+    /// was one dust vote short under the old weights must NOT cross the
+    /// threshold after the whale backing it collapsed — the kept votes
+    /// re-tally under current stake, revoking the almost-complete quorum.
+    #[test]
+    fn reweigh_revokes_an_almost_complete_quorum_after_whale_collapse() {
+        let old = Weights::new(vec![50, 30, 20]).unwrap();
+        let mut q = WeightQuorum::new(old.clone(), Ratio::of(2, 3));
+        q.vote(solo(0));
+        assert_eq!(q.weight(), 50);
+        assert!(!q.reached(), "50 is not > 2/3 of 100");
+        // The whale's stake collapses mid-vouch (slashed / unbonded).
+        q.reweigh(&stake_event(&old, &[5, 30, 20]));
+        assert_eq!(q.weight(), 5, "the kept vote carries current stake");
+        // Under the old weights this vote would have completed the quorum
+        // (50 + 30 = 80 > 66); under live stake it must not (35 ≤ 36.7).
+        assert!(!q.vote(solo(1)), "stale whale weight crossed a current-epoch threshold");
+        assert_eq!(q.weight(), 35);
+        // A fresh tracker under the new weights agrees vote-for-vote.
+        let mut fresh =
+            WeightQuorum::new(Weights::new(vec![5, 30, 20]).unwrap(), Ratio::of(2, 3));
+        fresh.vote(solo(0));
+        fresh.vote(solo(1));
+        assert_eq!((fresh.weight(), fresh.reached()), (q.weight(), q.reached()));
+        // Stake moving the other way completes it without new votes.
+        q.reweigh(&stake_event(&Weights::new(vec![5, 30, 20]).unwrap(), &[90, 30, 20]));
+        assert!(q.reached(), "re-grown stake counts immediately");
+    }
+
+    #[test]
+    fn reweigh_ignores_party_count_mismatches_in_release() {
+        // Release builds must not corrupt the tracker on a mis-addressed
+        // event (debug builds assert).
+        let old = Weights::new(vec![10, 10]).unwrap();
+        let mut q = WeightQuorum::new(old.clone(), Ratio::of(1, 3));
+        q.vote(solo(0));
+        let before = q.weight();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            q.reweigh_to(&Weights::new(vec![1, 1, 1]).unwrap());
+        }));
+        if result.is_ok() {
+            assert_eq!(q.weight(), before);
+            assert_eq!(q.weights().len(), 2);
+        }
+    }
+
     #[test]
     fn roster_is_shared_between_clones() {
         let old = TicketAssignment::new(vec![2, 1]);
@@ -622,6 +724,52 @@ mod tests {
                     q.vote(StableId::solo(p));
                 }
                 prop_assert!(q.reached());
+            }
+
+            /// The reweigh contract, in full generality: for ANY vote
+            /// prefix and ANY weight re-draw, the re-weighed tracker's
+            /// verdict — and its exact tally — equals a fresh tracker's
+            /// fed the same votes under the new weights. No ghost stake
+            /// (old weights never linger in the tally), no lost votes
+            /// (identity progress survives the re-draw). Checked after
+            /// every single vote on both sides of the boundary.
+            #[test]
+            fn reweigh_matches_fresh_tracker_on_any_prefix_and_redraw(
+                old_ws in proptest::collection::vec(1u64..1000, 1..10),
+                new_ws in proptest::collection::vec(1u64..1000, 10),
+                votes in proptest::collection::vec(any::<proptest::sample::Index>(), 0..24),
+                split in any::<proptest::sample::Index>(),
+                num in 1u128..5,
+            ) {
+                let n = old_ws.len();
+                let threshold = Ratio::of(num, 5);
+                prop_assume!(threshold.is_proper());
+                let old = Weights::new(old_ws).unwrap();
+                let new = Weights::new(new_ws[..n].to_vec()).unwrap();
+                let boundary = split.index(votes.len() + 1);
+                let mut reweighed = WeightQuorum::new(old.clone(), threshold);
+                // Pre-boundary votes under the old weights...
+                for ix in &votes[..boundary] {
+                    reweighed.vote(StableId::solo(ix.index(n)));
+                }
+                // ...then the stake refresh...
+                reweighed.reweigh(&stake_event(&old, new.as_slice()));
+                // ...must leave a tracker indistinguishable from a fresh
+                // one that saw every vote under the new weights.
+                let mut fresh = WeightQuorum::new(new, threshold);
+                for ix in &votes[..boundary] {
+                    fresh.vote(StableId::solo(ix.index(n)));
+                }
+                prop_assert_eq!(reweighed.weight(), fresh.weight());
+                prop_assert_eq!(reweighed.reached(), fresh.reached());
+                for ix in &votes[boundary..] {
+                    let party = ix.index(n);
+                    prop_assert_eq!(
+                        reweighed.vote(StableId::solo(party)),
+                        fresh.vote(StableId::solo(party))
+                    );
+                    prop_assert_eq!(reweighed.weight(), fresh.weight());
+                }
             }
 
             /// Stable keying is invariant under delta chains: voting every

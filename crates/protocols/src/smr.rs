@@ -31,7 +31,9 @@
 //!   otherwise the keys are re-dealt *deterministically* from the
 //!   session seed and the assignment's fingerprint, so every replica —
 //!   and the teardown-rebuild baseline — derives identical keys and
-//!   therefore identical leader sequences;
+//!   therefore identical leader sequences (this carry/re-deal split is
+//!   the recipe `EpochEvent::rekey_seed` now carries to every consumer;
+//!   `crate::aba::AbaSetup::on_epoch` applies it to coin keys);
 //! * the **dissemination pipeline** — whenever the epoch's WQ ticket
 //!   assignment is unchanged; otherwise the coding parameters `(k, m)`
 //!   moved and the un-committed rounds re-disseminate (they are the only

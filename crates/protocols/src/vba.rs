@@ -22,7 +22,7 @@
 use std::collections::HashMap;
 
 use rand::Rng;
-use swiper_core::{Ratio, StableId, TicketAssignment, VirtualUsers, Weights};
+use swiper_core::{EpochEvent, Ratio, StableId, TicketAssignment, VirtualUsers, Weights};
 use swiper_crypto::thresh::{KeyShare, PartialSignature, PublicKey, ThresholdScheme};
 use swiper_net::{Context, Effects, MessageSize, NodeId, Protocol};
 
@@ -70,6 +70,10 @@ impl MessageSize for VbaMsg {
 #[derive(Debug, Clone)]
 pub struct VbaConfig {
     weights: Weights,
+    /// The current epoch's WR assignment — the base the next event's
+    /// delta must chain from (the election `mapping` itself stays pinned
+    /// to the dealing epoch; see [`VbaConfig::on_epoch`]).
+    tickets: TicketAssignment,
     mapping: VirtualUsers,
     scheme: ThresholdScheme,
     pk: PublicKey,
@@ -107,12 +111,47 @@ impl VbaConfig {
                 AbaSetup::deal(weights.clone(), tickets, 0xABA_000 + u64::from(view), rng)
             })
             .collect();
-        VbaConfig { weights, mapping, scheme, pk, shares, aba_setups, max_views }
+        VbaConfig {
+            weights,
+            tickets: tickets.clone(),
+            mapping,
+            scheme,
+            pk,
+            shares,
+            aba_setups,
+            max_views,
+        }
     }
 
     /// Maximum number of views before giving up.
     pub fn max_views(&self) -> u32 {
         self.max_views
+    }
+
+    /// Epoch stake refresh for the shared config, all-or-nothing: an
+    /// event whose delta does not chain from the current WR assignment is
+    /// rejected (`false`) and NOTHING is touched — refreshing the weights
+    /// while the hosted setups ignore the same event would leave the
+    /// proposal tally and the per-view quorums under different epochs'
+    /// stake. On a chaining event the weight vector future quorums are
+    /// minted from follows it, and every per-view ABA setup applies its
+    /// coin carry/re-deal rule (so a view instantiated *after* the
+    /// boundary deals from the same key generation as a live instance
+    /// that re-keyed at it). The **leader-election coin stays pinned to
+    /// its dealing epoch**: its shares are released within a single
+    /// view's lifetime, and re-dealing mid-election would race the
+    /// release — the per-view ABA carry/re-deal split already covers the
+    /// long-lived material.
+    fn on_epoch(&mut self, event: &EpochEvent) -> bool {
+        let Ok(next) = event.delta().apply_to(&self.tickets) else {
+            return false;
+        };
+        self.tickets = next;
+        let _ = event.refresh_weights(&mut self.weights);
+        for setup in &mut self.aba_setups {
+            let _ = setup.on_epoch(event);
+        }
+        true
     }
 
     fn election_tag(&self, view: u32) -> Vec<u8> {
@@ -313,6 +352,41 @@ impl<V: Fn(&[u8]) -> bool> Protocol for VbaNode<V> {
             self.rbc[instance].on_start(&mut inner_ctx);
             let fx = inner_ctx.into_effects();
             self.route_rbc(instance, fx, ctx);
+        }
+        self.progress(ctx);
+    }
+
+    fn on_reconfigure(&mut self, event: &EpochEvent, ctx: &mut Context<VbaMsg>) {
+        // Stake refresh end to end: the shared config (future quorums +
+        // per-view coin setups), the proposal-delivery tally, and every
+        // hosted automaton — the RBC instances reweigh their own quorums,
+        // live ABA instances reweigh and apply the coin rule. A
+        // mis-addressed event is ignored wholesale (half-applying it
+        // would split the tallies across epochs).
+        if !self.config.on_epoch(event) {
+            return;
+        }
+        self.delivered_quorum.reweigh(event);
+        for instance in 0..self.rbc.len() {
+            if self.rbc_halted[instance] {
+                continue;
+            }
+            let mut inner_ctx = Context::detached(ctx.me(), ctx.n(), ctx.now());
+            self.rbc[instance].on_reconfigure(event, &mut inner_ctx);
+            let fx = inner_ctx.into_effects();
+            self.route_rbc(instance, fx, ctx);
+        }
+        let views: Vec<u32> = self.abas.keys().copied().collect();
+        for view in views {
+            if self.aba_halted.contains(&view) {
+                continue;
+            }
+            if let Some(node) = self.abas.get_mut(&view) {
+                let mut inner_ctx = Context::detached(ctx.me(), ctx.n(), ctx.now());
+                node.on_reconfigure(event, &mut inner_ctx);
+                let fx = inner_ctx.into_effects();
+                self.route_aba(view, fx, ctx);
+            }
         }
         self.progress(ctx);
     }

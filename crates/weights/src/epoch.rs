@@ -43,8 +43,8 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 use swiper_core::{
-    CachingOracle, CoreError, FullOracle, Instance, Solution, SolveStats, Swiper, TicketDelta,
-    WeightQualification, WeightRestriction, WeightSeparation, Weights,
+    CachingOracle, CoreError, EpochEvent, FullOracle, Instance, Solution, SolveStats, Swiper,
+    TicketDelta, WeightQualification, WeightRestriction, WeightSeparation, Weights,
 };
 
 /// A tracked problem shape with fixed thresholds; the weights come from
@@ -80,9 +80,11 @@ pub struct EpochOutcome {
     /// setting order: the warm-pass results in incremental mode, the
     /// cold-identical results under [`Reconfigurator::with_cold_check`].
     pub solutions: Vec<Solution>,
-    /// Per-track diffs of the published assignments against the previous
-    /// epoch's (`None` on epoch 0).
-    pub deltas: Vec<Option<TicketDelta>>,
+    /// Per-track weight-bearing reconfiguration events: the diff of the
+    /// published assignment against the previous epoch's plus this
+    /// epoch's snapshot and the loop's rekey seed (`None` on epoch 0 —
+    /// there is nothing to reconfigure *from*).
+    pub events: Vec<Option<EpochEvent>>,
     /// The warm pass, when it is not the published one (`Some` only under
     /// [`Reconfigurator::with_cold_check`]): telemetry for how far the
     /// warm bracket got and what it cost.
@@ -90,6 +92,19 @@ pub struct EpochOutcome {
 }
 
 impl EpochOutcome {
+    /// This track's reconfiguration event (`None` on epoch 0).
+    #[must_use]
+    pub fn event(&self, track: usize) -> Option<&EpochEvent> {
+        self.events[track].as_ref()
+    }
+
+    /// This track's ticket delta (`None` on epoch 0) — shorthand for
+    /// [`EpochOutcome::event`]`.map(EpochEvent::delta)`.
+    #[must_use]
+    pub fn delta(&self, track: usize) -> Option<&TicketDelta> {
+        self.events[track].as_ref().map(EpochEvent::delta)
+    }
+
     /// Aggregated counters of the published solve pass across all tracks.
     #[must_use]
     pub fn stats(&self) -> SolveStats {
@@ -146,10 +161,11 @@ impl EpochOutcome {
 /// let epoch0 = loop_.advance(&Weights::new(vec![50, 30, 11, 5, 2, 1, 1])?)?;
 /// let mut mapping = VirtualUsers::from_assignment(&epoch0.solutions[0].assignment)?;
 ///
-/// // One party's stake moved: warm re-solve, splice the delta.
+/// // One party's stake moved: warm re-solve, splice the event's delta.
 /// let epoch1 = loop_.advance(&Weights::new(vec![50, 30, 11, 5, 2, 4, 1])?)?;
-/// if let Some(delta) = &epoch1.deltas[0] {
-///     mapping.apply_delta(delta)?;
+/// if let Some(event) = epoch1.event(0) {
+///     mapping.apply_delta(event.delta())?;
+///     assert!(event.weights_changed());
 /// }
 /// assert_eq!(mapping, VirtualUsers::from_assignment(&epoch1.solutions[0].assignment)?);
 /// # Ok(())
@@ -161,8 +177,10 @@ pub struct Reconfigurator {
     settings: Vec<Setting>,
     oracles: Vec<CachingOracle<FullOracle>>,
     prev: Vec<Option<Solution>>,
+    prev_snapshot: Option<Weights>,
     epoch: u64,
     cold_check: bool,
+    rekey_seed: u64,
 }
 
 impl Reconfigurator {
@@ -174,7 +192,27 @@ impl Reconfigurator {
     pub fn new(solver: Swiper, settings: Vec<Setting>) -> Self {
         let oracles = settings.iter().map(|_| CachingOracle::new(FullOracle::new())).collect();
         let prev = settings.iter().map(|_| None).collect();
-        Reconfigurator { solver, settings, oracles, prev, epoch: 0, cold_check: false }
+        Reconfigurator {
+            solver,
+            settings,
+            oracles,
+            prev,
+            prev_snapshot: None,
+            epoch: 0,
+            cold_check: false,
+            rekey_seed: 0,
+        }
+    }
+
+    /// Sets the session rekey seed carried by every emitted
+    /// [`EpochEvent`] (default 0). Consumers fold it with the new
+    /// assignment's fingerprint when re-dealing epoch-pinned keys, so one
+    /// seed per deployment keeps every replica — and any teardown-rebuild
+    /// twin — dealing identical keys.
+    #[must_use]
+    pub fn with_rekey_seed(mut self, seed: u64) -> Self {
+        self.rekey_seed = seed;
+        self
     }
 
     /// Enables verified mode: every `advance` additionally re-solves each
@@ -209,14 +247,26 @@ impl Reconfigurator {
     }
 
     /// Consumes the next snapshot: warm re-solves every track (cold on the
-    /// first epoch), emits per-track deltas against the previous epoch,
-    /// and rolls the loop state forward.
+    /// first epoch), emits per-track [`EpochEvent`]s against the previous
+    /// epoch, and rolls the loop state forward.
     ///
     /// # Errors
     ///
-    /// Propagates solver errors; the loop state is unchanged when any
-    /// track fails.
+    /// [`CoreError::PartyCountChanged`] when the snapshot covers a
+    /// different number of parties than the previous epoch's — party sets
+    /// are fixed across epochs, and validating here surfaces the real
+    /// mistake instead of the downstream `DeltaMismatch` the stale-base
+    /// check would eventually raise deep in `apply_delta`. Otherwise
+    /// propagates solver errors; the loop state is unchanged on failure.
     pub fn advance(&mut self, snapshot: &Weights) -> Result<EpochOutcome, CoreError> {
+        if let Some(prev) = &self.prev_snapshot {
+            if prev.len() != snapshot.len() {
+                return Err(CoreError::PartyCountChanged {
+                    expected: prev.len(),
+                    found: snapshot.len(),
+                });
+            }
+        }
         let instances: Vec<Instance> =
             self.settings.iter().map(|s| s.instance(snapshot.clone())).collect();
         let warm = self.solver.resolve_many_with(&instances, &self.prev, &mut self.oracles)?;
@@ -231,23 +281,34 @@ impl Reconfigurator {
         } else {
             (warm, None)
         };
-        let deltas = self
+        let prev_snapshot = self.prev_snapshot.as_ref().unwrap_or(snapshot);
+        let events = self
             .prev
             .iter()
             .zip(&published)
             .map(|(prev, sol)| {
                 prev.as_ref()
-                    .map(|p| TicketDelta::between(&p.assignment, &sol.assignment))
+                    .map(|p| {
+                        let delta = TicketDelta::between(&p.assignment, &sol.assignment)?;
+                        EpochEvent::new(
+                            self.epoch,
+                            delta,
+                            prev_snapshot,
+                            snapshot.clone(),
+                            self.rekey_seed,
+                        )
+                    })
                     .transpose()
             })
             .collect::<Result<Vec<_>, _>>()?;
         let outcome = EpochOutcome {
             epoch: self.epoch,
             solutions: published.clone(),
-            deltas,
+            events,
             warm_solutions,
         };
         self.prev = published.into_iter().map(Some).collect();
+        self.prev_snapshot = Some(snapshot.clone());
         self.epoch += 1;
         Ok(outcome)
     }
@@ -266,7 +327,7 @@ impl Reconfigurator {
 
     /// Drives the loop over a snapshot stream *against a live instance*:
     /// after each epoch's solve, `driver` receives the snapshot and the
-    /// [`EpochOutcome`] — per-track solutions and deltas — and splices
+    /// [`EpochOutcome`] — per-track solutions and [`EpochEvent`]s — and splices
     /// them into whatever long-running protocol state it owns (an SMR
     /// pipeline, black-box virtual users, ...) before the next snapshot
     /// is consumed. This is the adapter the `epochs` bench bin uses to
@@ -442,7 +503,7 @@ mod tests {
         let mut snapshot = crate::gen::zipf(48, 0.9, 1 << 16);
         let first = loop_.advance(&snapshot).unwrap();
         assert_eq!(first.epoch, 0);
-        assert!(first.deltas.iter().all(Option::is_none), "no delta before epoch 1");
+        assert!(first.events.iter().all(Option::is_none), "no event before epoch 1");
         let mut mappings: Vec<VirtualUsers> = first
             .solutions
             .iter()
@@ -452,8 +513,9 @@ mod tests {
             snapshot = churn(&snapshot, 2, 30, &mut rng);
             let outcome = loop_.advance(&snapshot).unwrap();
             for (track, mapping) in mappings.iter_mut().enumerate() {
-                if let Some(delta) = &outcome.deltas[track] {
-                    mapping.apply_delta(delta).unwrap();
+                if let Some(event) = outcome.event(track) {
+                    mapping.apply_delta(event.delta()).unwrap();
+                    assert_eq!(event.weights(), &snapshot, "track {track} stake refresh");
                 }
                 let rebuilt =
                     VirtualUsers::from_assignment(&outcome.solutions[track].assignment)
@@ -484,8 +546,8 @@ mod tests {
                 assert_eq!(snapshot.len(), 32);
                 assert_eq!(outcome.epoch, driven);
                 driven += 1;
-                match (&mut mapping, &outcome.deltas[0]) {
-                    (Some(m), Some(delta)) => m.apply_delta(delta).unwrap(),
+                match (&mut mapping, &outcome.events[0]) {
+                    (Some(m), Some(event)) => m.apply_delta(event.delta()).unwrap(),
                     (m, _) => {
                         *m = Some(
                             VirtualUsers::from_assignment(&outcome.solutions[0].assignment)
@@ -503,6 +565,52 @@ mod tests {
         assert_eq!(mapping.unwrap(), final_mapping);
     }
 
+    /// Satellite fix: a snapshot that changes the party *count* is
+    /// rejected at the API boundary with the typed error — not with the
+    /// `DeltaMismatch` that used to surface much later from deep inside
+    /// `apply_delta` — and the loop state stays untouched.
+    #[test]
+    fn party_count_change_is_a_typed_boundary_error() {
+        let mut loop_ = Reconfigurator::new(Swiper::new(), vec![wr()]);
+        loop_.advance(&crate::gen::zipf(12, 0.8, 1 << 12)).unwrap();
+        let grown = crate::gen::zipf(13, 0.8, 1 << 12);
+        let err = loop_.advance(&grown).unwrap_err();
+        assert_eq!(err, CoreError::PartyCountChanged { expected: 12, found: 13 });
+        assert_eq!(
+            err.to_string(),
+            "snapshot changes the party count (12 -> 13) without a matching delta: \
+             party sets are fixed across epochs"
+        );
+        // The boundary check leaves the loop usable: the original shape
+        // still advances, and epoch numbering never consumed the reject.
+        assert_eq!(loop_.epochs_consumed(), 1);
+        let ok = loop_.advance(&crate::gen::zipf(12, 0.7, 1 << 12)).unwrap();
+        assert_eq!(ok.epoch, 1);
+    }
+
+    /// The emitted events chain: each epoch's previous-weights
+    /// fingerprint is exactly the fingerprint of the snapshot before it,
+    /// the carried weights are the epoch's snapshot, and the rekey seed
+    /// is the session's.
+    #[test]
+    fn events_chain_fingerprints_across_epochs() {
+        let mut loop_ = Reconfigurator::new(Swiper::new(), vec![wr()]).with_rekey_seed(77);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut snapshot = crate::gen::zipf(24, 0.9, 1 << 14);
+        loop_.advance(&snapshot).unwrap();
+        for epoch in 1..5 {
+            let prev = snapshot.clone();
+            snapshot = churn(&snapshot, 2, 40, &mut rng);
+            let outcome = loop_.advance(&snapshot).unwrap();
+            let event = outcome.event(0).expect("events from epoch 1 on");
+            assert_eq!(event.epoch(), epoch);
+            assert_eq!(event.prev_weights_fingerprint(), prev.fingerprint());
+            assert_eq!(event.weights(), &snapshot);
+            assert_eq!(event.rekey_seed(), 77);
+            assert_eq!(event.weights_changed(), snapshot != prev);
+        }
+    }
+
     #[test]
     fn unchanged_snapshot_is_fully_cached() {
         let mut loop_ = Reconfigurator::new(Swiper::new(), vec![wr()]);
@@ -512,7 +620,8 @@ mod tests {
         let stats = again.stats();
         assert_eq!(stats.cache_misses, 0, "identical epoch re-solves from the cache");
         assert!(stats.cache_hits > 0);
-        assert!(again.deltas[0].as_ref().unwrap().is_unchanged());
+        assert!(again.delta(0).unwrap().is_unchanged());
+        assert!(!again.event(0).unwrap().weights_changed());
     }
 
     /// The ISSUE acceptance criterion: on a 1%-churn replay, the

@@ -20,8 +20,8 @@ use swiper::protocols::tight::{TargetedShareSender, TightConfig, TightMsg, Tight
 use swiper::weights::epoch::{churn, churn_with, ChurnMode, Reconfigurator, Setting};
 use swiper::weights::{gen, Chain};
 use swiper::{
-    CachingOracle, FullOracle, Instance, Ratio, Swiper, TicketAssignment, TicketDelta,
-    WeightQualification, WeightRestriction, Weights,
+    CachingOracle, EpochEvent, FullOracle, Instance, Ratio, Swiper, TicketAssignment,
+    TicketDelta, WeightQualification, WeightRestriction, Weights,
 };
 
 /// Seeds (= delay schedules) swept per test: 25 by default, widened in the
@@ -257,6 +257,8 @@ fn blackbox_epoch_crossing_sweep() {
                 let next = churn_with(mode, &weights, churned_parties, 5, &mut rng);
                 let epoch1 = solver.solve_restriction(&next, &params).unwrap().assignment;
                 let delta = TicketDelta::between(&epoch0, &epoch1).unwrap();
+                let event =
+                    EpochEvent::new(1, delta.clone(), &weights, next.clone(), seed).unwrap();
                 let sender_lives = epoch1.get(sender_party) > 0;
                 let config = BlackBoxConfig::new(weights.clone(), &epoch0, Ratio::of(1, 4));
                 // The designated sender is epoch-0 virtual user 0, pinned
@@ -283,7 +285,7 @@ fn blackbox_epoch_crossing_sweep() {
                 }
                 let report = EpochedSimulation::new(nodes, seed)
                     .with_delay(delay)
-                    .inject_at(60, delta.clone())
+                    .inject_at(60, event)
                     .run();
                 assert_eq!(report.reconfigurations, 1, "seed {seed} churn {churn_pct}%");
                 for (i, out) in report.outputs.iter().enumerate() {
@@ -332,6 +334,7 @@ fn blackbox_shrinking_renumbering_sweep() {
     let new = TicketAssignment::new(vec![1, 2, 0, 5]);
     let delta = TicketDelta::between(&old, &new).unwrap();
     assert!(delta.joining() > 0 && delta.leaving() > 0, "the delta must mix joins and leaves");
+    let event = EpochEvent::new(1, delta, &weights, weights.clone(), 0).unwrap();
     let payload = b"shrink, renumber, stay live".to_vec();
     for seed in seeds() {
         for delay in [DelayModel::Uniform(1, 24), DelayModel::BiasAgainstLowIds(1, 40)] {
@@ -352,7 +355,7 @@ fn blackbox_shrinking_renumbering_sweep() {
                 .collect();
             let report = EpochedSimulation::new(nodes, seed)
                 .with_delay(delay)
-                .inject_at(30, delta.clone())
+                .inject_at(30, event.clone())
                 .run();
             assert_eq!(report.reconfigurations, 1, "seed {seed} {delay:?}");
             for (i, out) in report.outputs.iter().enumerate() {
@@ -397,7 +400,7 @@ fn epoch_shifter_replay_cannot_double_count_votes() {
         fn on_message(&mut self, from: usize, _m: u64, _ctx: &mut swiper::net::Context<u64>) {
             self.quorum.vote(self.roster.stable_of(from));
         }
-        fn on_reconfigure(&mut self, _d: &TicketDelta, _ctx: &mut swiper::net::Context<u64>) {
+        fn on_reconfigure(&mut self, _e: &EpochEvent, _ctx: &mut swiper::net::Context<u64>) {
             self.quorum.migrate(&self.roster);
         }
         fn on_timer(&mut self, _id: u64, ctx: &mut swiper::net::Context<u64>) {
@@ -416,6 +419,7 @@ fn epoch_shifter_replay_cannot_double_count_votes() {
     // gains a joiner.
     let new = TicketAssignment::new(vec![1, 2, 0, 4]);
     let delta = TicketDelta::between(&old, &new).unwrap();
+    let event = EpochEvent::new(1, delta, &weights, weights.clone(), 0).unwrap();
     let shifter: usize = 1;
     for seed in seeds() {
         for delay in [DelayModel::Uniform(1, 24), DelayModel::Uniform(1, 64)] {
@@ -434,7 +438,7 @@ fn epoch_shifter_replay_cannot_double_count_votes() {
             }
             let report = EpochedSimulation::new(nodes, seed)
                 .with_delay(delay)
-                .inject_at(14, delta.clone())
+                .inject_at(14, event.clone())
                 .run();
             assert_eq!(report.reconfigurations, 1, "seed {seed} {delay:?}");
             for (i, out) in report.outputs.iter().enumerate() {
@@ -469,6 +473,7 @@ fn blackbox_epoch_crossing_under_adaptive_vouch_delay() {
         let next = churn(&weights, 2, 5, &mut rng);
         let epoch1 = solver.solve_restriction(&next, &params).unwrap().assignment;
         let delta = TicketDelta::between(&epoch0, &epoch1).unwrap();
+        let event = EpochEvent::new(1, delta, &weights, next, seed).unwrap();
         let config = BlackBoxConfig::new(weights.clone(), &epoch0, Ratio::of(1, 4));
         let sender_id = config.mapping().stable_of(0);
         let nodes: Vec<Box<dyn Protocol<Msg = BlackBoxMsg<BrachaMsg>>>> = (0..weights.len())
@@ -487,7 +492,7 @@ fn blackbox_epoch_crossing_under_adaptive_vouch_delay() {
         let adaptive = AdaptiveDelay::new(DelayModel::Uniform(1, 24)).rule(is_vouch, 300);
         let report = EpochedSimulation::new(nodes, seed)
             .with_adaptive_delay(adaptive)
-            .inject_at(40, delta)
+            .inject_at(40, event)
             .run();
         assert_eq!(report.reconfigurations, 1, "seed {seed}");
         for (i, out) in report.outputs.iter().enumerate() {
@@ -502,30 +507,48 @@ fn blackbox_epoch_crossing_under_adaptive_vouch_delay() {
 /// for both tracks (WQ for dissemination, WR for the beacon), spliced
 /// into a live [`SmrInstance`] and torn down + rebuilt in a baseline
 /// twin, with `rounds_per_epoch` rounds prepared per epoch and two of
-/// them left un-committed across each boundary. Returns `(live, base)`
-/// fully drained, ready for assertions.
+/// them left un-committed across each boundary. A vouch-style weighted
+/// quorum rides along, reweighed through each epoch's [`EpochEvent`]:
+/// its published weights must match every epoch's snapshot exactly —
+/// the stake-refresh audit. Returns `(live, base)` fully drained, ready
+/// for assertions.
 fn replay_smr_live_vs_rebuild(
     snapshots: Vec<Weights>,
     proposer_count: usize,
     rounds_per_epoch: u64,
     session_seed: u64,
 ) -> (SmrInstance, SmrInstance) {
+    use swiper::protocols::quorum::WeightQuorum;
     let wq = WeightQualification::new(Ratio::of(1, 3), Ratio::of(1, 4)).unwrap();
     let wr = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2)).unwrap();
     let mut reconf = Reconfigurator::new(
         Swiper::new(),
         vec![Setting::Qualification(wq), Setting::Restriction(wr)],
-    );
+    )
+    .with_rekey_seed(session_seed);
     let n = snapshots.first().expect("at least one epoch").len();
     let alive: Vec<usize> = (0..n).collect();
     let proposers: Vec<usize> = (0..proposer_count.min(n)).collect();
     let mut live: Option<SmrInstance> = None;
     let mut base: Option<SmrInstance> = None;
+    let mut vouch: Option<WeightQuorum> = None;
     let batch = |r: u64, p: usize| format!("b{r}-{p}").into_bytes();
     reconf
         .drive_simulation(snapshots, |weights, outcome| {
             let wq_t = outcome.solutions[0].assignment.clone();
             let wr_t = outcome.solutions[1].assignment.clone();
+            let vouch_q = vouch
+                .get_or_insert_with(|| WeightQuorum::new(weights.clone(), Ratio::of(1, 4)));
+            if let Some(event) = outcome.event(1) {
+                assert_eq!(event.weights(), weights, "the event carries the snapshot");
+                vouch_q.reweigh(event);
+            }
+            assert_eq!(
+                vouch_q.weights(),
+                weights,
+                "epoch {}: published vouch-quorum weights diverged from the snapshot",
+                outcome.epoch
+            );
             match (&mut live, &mut base) {
                 (Some(l), Some(b)) => {
                     l.reconfigure(
@@ -663,6 +686,508 @@ fn tezos_live_smr_replay_matches_baseline_with_strictly_fewer_restarts() {
     );
     assert!(l.survived_rounds() > 0, "some rounds must survive an epoch change");
     assert!(l.rekeys() < b.rekeys(), "the beacon state must be carried when WR holds");
+}
+
+/// The coin carry/re-deal sweep: a nominal ABA hosted over the black-box
+/// wrapper crosses an epoch that HALVES the virtual population —
+/// `[2, 2, 2] -> [1, 1, 1]`, so only 3 of the 6 dealt coin shares
+/// survive, strictly below the dealing generation's 4-of-6 threshold.
+/// Under the retired ticket-only contract the keys stayed pinned to the
+/// dealing epoch and every round not yet coined stalled forever; with
+/// `AbaSetup::on_epoch` the shares re-deal deterministically over the new
+/// population (2-of-3, same group secret, every replica dealing
+/// identically from the event's rekey seed) and the instance keeps
+/// deciding. Liveness + agreement asserted on every schedule; revert the
+/// re-deal hook and the sweep stalls.
+#[test]
+fn aba_coin_redeal_survives_shrinking_epoch() {
+    use swiper::protocols::quorum::Roster;
+    let weights = Weights::new(vec![40, 35, 25]).unwrap();
+    let old = TicketAssignment::new(vec![2, 2, 2]);
+    let new = TicketAssignment::new(vec![1, 1, 1]);
+    let delta = TicketDelta::between(&old, &new).unwrap();
+    let event = EpochEvent::new(1, delta, &weights, weights.clone(), 7).unwrap();
+    let total = old.total() as usize;
+    for seed in seeds() {
+        for delay in [DelayModel::Uniform(1, 24), DelayModel::BiasAgainstLowIds(1, 40)] {
+            let config = BlackBoxConfig::new(weights.clone(), &old, Ratio::of(1, 4));
+            let setup = AbaSetup::nominal(total, seed, &mut StdRng::seed_from_u64(seed));
+            let nodes: Vec<Box<dyn Protocol<Msg = BlackBoxMsg<AbaMsg>>>> = (0..3)
+                .map(|party| {
+                    let setup = setup.clone();
+                    Box::new(BlackBox::new(config.clone(), party, move |v, roster: &Roster| {
+                        // Mixed inputs so rounds genuinely need the coin.
+                        AbaNode::new(setup.clone().with_roster(roster.clone()), v % 2 == 0)
+                    })) as _
+                })
+                .collect();
+            // Inject early: most schedules cross the boundary before any
+            // round combines its coin, which is exactly the case where
+            // the stranded 3-of-6 shares would deadlock the old keys.
+            let report = EpochedSimulation::new(nodes, seed)
+                .with_delay(delay)
+                .inject_at(6, event.clone())
+                .run();
+            assert_eq!(report.reconfigurations, 1, "seed {seed} {delay:?}");
+            assert!(
+                report.unanimity_among(&[0, 1, 2]),
+                "ABA lost liveness or agreement across the re-dealing epoch at \
+                 seed {seed} {delay:?}: {:?}",
+                report.outputs
+            );
+        }
+    }
+}
+
+/// The growth half of the coin rule: a joiner-majority epoch
+/// `[2, 2, 2] -> [2, 2, 6]` spawns virtual users whose factory-cloned
+/// `AbaSetup` still holds the 6-share dealing-generation table. The
+/// black-box wrapper now hands every mid-flight joiner the `EpochEvent`
+/// before `on_start`, so it re-deals to the same 10-share generation the
+/// survivors derived (resharing depends only on the group secret and the
+/// event, not on which generation a replica caught up from). Without the
+/// propagation the joiner indexes `shares[dense]` out of bounds (panics)
+/// or signs with stranded old-generation shares and the quorums over the
+/// grown population stall.
+#[test]
+fn aba_coin_redeal_reaches_joiners_on_growth() {
+    use swiper::protocols::quorum::Roster;
+    let weights = Weights::new(vec![40, 35, 25]).unwrap();
+    let old = TicketAssignment::new(vec![2, 2, 2]);
+    let new = TicketAssignment::new(vec![2, 2, 6]);
+    let delta = TicketDelta::between(&old, &new).unwrap();
+    let event = EpochEvent::new(1, delta, &weights, weights.clone(), 11).unwrap();
+    let total = old.total() as usize;
+    for seed in seeds() {
+        for delay in [DelayModel::Uniform(1, 24), DelayModel::BiasAgainstLowIds(1, 40)] {
+            let config = BlackBoxConfig::new(weights.clone(), &old, Ratio::of(1, 4));
+            let setup = AbaSetup::nominal(total, seed, &mut StdRng::seed_from_u64(seed));
+            let nodes: Vec<Box<dyn Protocol<Msg = BlackBoxMsg<AbaMsg>>>> = (0..3)
+                .map(|party| {
+                    let setup = setup.clone();
+                    Box::new(BlackBox::new(config.clone(), party, move |v, roster: &Roster| {
+                        AbaNode::new(setup.clone().with_roster(roster.clone()), v % 2 == 0)
+                    })) as _
+                })
+                .collect();
+            let report = EpochedSimulation::new(nodes, seed)
+                .with_delay(delay)
+                .inject_at(6, event.clone())
+                .run();
+            assert_eq!(report.reconfigurations, 1, "seed {seed} {delay:?}");
+            assert!(
+                report.unanimity_among(&[0, 1, 2]),
+                "ABA lost liveness or agreement across the joiner-majority epoch at \
+                 seed {seed} {delay:?}: {:?}",
+                report.outputs
+            );
+        }
+    }
+}
+
+/// The stale-clone revisit hazard: an epoch chain that shrinks and then
+/// returns to the dealing assignment `[1,1,1,1] -> [1,0,0,1] ->
+/// [1,1,1,1]`. Survivors reshare twice; the epoch-2 joiners' factory-
+/// cloned setups still hold the *construction* generation, whose ticket
+/// vector equals the epoch-2 assignment — so any "tickets unchanged =>
+/// keys current" shortcut would carry construction keys that no longer
+/// match the survivors' reshared generation, stranding the 2 surviving
+/// shares below the 3-of-4 threshold forever. `AbaSetup::on_epoch`
+/// reshares unconditionally on every changed epoch (resharing is
+/// idempotent across catch-up depths), so joiners and survivors converge
+/// bit-identically and every schedule decides.
+#[test]
+fn aba_coin_redeal_survives_revisited_assignment() {
+    use swiper::protocols::quorum::Roster;
+    let weights = Weights::new(vec![30, 20, 20, 30]).unwrap();
+    let e0 = TicketAssignment::new(vec![1, 1, 1, 1]);
+    let e1 = TicketAssignment::new(vec![1, 0, 0, 1]);
+    let event1 = EpochEvent::new(
+        1,
+        TicketDelta::between(&e0, &e1).unwrap(),
+        &weights,
+        weights.clone(),
+        5,
+    )
+    .unwrap();
+    let event2 = EpochEvent::new(
+        2,
+        TicketDelta::between(&e1, &e0).unwrap(),
+        &weights,
+        weights.clone(),
+        5,
+    )
+    .unwrap();
+    let total = e0.total() as usize;
+    for seed in seeds() {
+        for delay in [DelayModel::Uniform(1, 24), DelayModel::BiasAgainstLowIds(1, 40)] {
+            let config = BlackBoxConfig::new(weights.clone(), &e0, Ratio::of(1, 4));
+            let setup = AbaSetup::nominal(total, seed, &mut StdRng::seed_from_u64(seed));
+            let nodes: Vec<Box<dyn Protocol<Msg = BlackBoxMsg<AbaMsg>>>> = (0..4)
+                .map(|party| {
+                    let setup = setup.clone();
+                    Box::new(BlackBox::new(config.clone(), party, move |v, roster: &Roster| {
+                        AbaNode::new(setup.clone().with_roster(roster.clone()), v % 2 == 0)
+                    })) as _
+                })
+                .collect();
+            let report = EpochedSimulation::new(nodes, seed)
+                .with_delay(delay)
+                .inject_at(6, event1.clone())
+                .inject_at(12, event2.clone())
+                .run();
+            assert_eq!(report.reconfigurations, 2, "seed {seed} {delay:?}");
+            assert!(
+                report.unanimity_among(&[0, 1, 2, 3]),
+                "ABA stalled across the revisited assignment at seed {seed} {delay:?}: {:?}",
+                report.outputs
+            );
+        }
+    }
+}
+
+/// Zoo round three, next slice: the `BoundaryEquivocator` is honest
+/// within every epoch but re-asserts mangled copies of its own
+/// pre-boundary statements at the first `EpochEvent` — here, its Bracha
+/// ECHO/READY votes replayed with the original digest over a forged
+/// payload. The defense under test is the payload/digest binding check
+/// on delivery (`digest(&payload) != d => drop`): with it, the forged
+/// replays are discarded and every honest party still delivers the real
+/// payload on every schedule; revert it and the forged copy poisons the
+/// per-digest quorum, so whichever schedule lets the equivocator cast a
+/// quorum-completing vote makes an honest party output the forged bytes.
+#[test]
+fn boundary_equivocator_cannot_forge_across_the_boundary() {
+    use swiper::net::adversary::BoundaryEquivocator;
+    let n = 7;
+    let payload = b"hold the line across epochs".to_vec();
+    let unit = Weights::new(vec![1; n]).unwrap();
+    let tickets = TicketAssignment::new(vec![1u64; n]);
+    let delta = TicketDelta::between(&tickets, &tickets).unwrap();
+    let event = EpochEvent::new(1, delta, &unit, unit.clone(), 0).unwrap();
+    for seed in seeds() {
+        for delay in [DelayModel::Uniform(1, 24), DelayModel::BiasAgainstLowIds(1, 40)] {
+            let config = BrachaConfig::nominal(n);
+            let mut nodes: Vec<Box<dyn Protocol<Msg = BrachaMsg>>> = Vec::new();
+            nodes.push(Box::new(BrachaNode::sender(config.clone(), 0, payload.clone())));
+            nodes.push(Box::new(BoundaryEquivocator::new(
+                BrachaNode::new(config.clone(), 0),
+                |_to, m: BrachaMsg| {
+                    Some(match m {
+                        BrachaMsg::Echo(d, _) => BrachaMsg::Echo(d, b"forged".to_vec()),
+                        BrachaMsg::Ready(d, _) => BrachaMsg::Ready(d, b"forged".to_vec()),
+                        other => other,
+                    })
+                },
+            )));
+            for _ in 2..n {
+                nodes.push(Box::new(BrachaNode::new(config.clone(), 0)));
+            }
+            let report = EpochedSimulation::new(nodes, seed)
+                .with_delay(delay)
+                .inject_at(10, event.clone())
+                .run();
+            assert_eq!(report.reconfigurations, 1, "seed {seed} {delay:?}");
+            for i in (0..n).filter(|&i| i != 1) {
+                assert_eq!(
+                    report.outputs[i].as_deref(),
+                    Some(payload.as_slice()),
+                    "party {i} adopted the boundary equivocation at seed {seed} {delay:?}"
+                );
+            }
+        }
+    }
+}
+
+/// VBA's first zoo-backed weighted sweep: a `SelectiveAck`
+/// quorum-splitter (its votes reach only parties 0..3) plus a silent
+/// party — 25% of the stake misbehaving, under `f_w = 1/3` — while a
+/// **weight-drift** `EpochEvent` lands mid-protocol (the former whale
+/// shrinks, party 1 grows; every hosted RBC/ABA quorum and the
+/// proposal-delivery tally must reweigh in place). Agreement + external
+/// validity on every schedule, liveness for the unimpeded honest
+/// parties. The buffering of early ABA messages (`aba_buffer`) is the
+/// zoo-pinned defense: the splitter races its chosen quorum ahead, so
+/// un-chosen parties receive view-0 BVal/coin traffic before they learn
+/// the leader — drop instead of buffer and they stall.
+#[test]
+fn vba_weighted_zoo_sweep_with_stake_drift() {
+    use swiper::protocols::vba::{VbaConfig, VbaMsg, VbaNode};
+    fn valid(p: &[u8]) -> bool {
+        p.starts_with(b"ok:")
+    }
+    let weights0 = Weights::new(vec![30, 25, 20, 15, 10]).unwrap();
+    let weights1 = Weights::new(vec![20, 30, 20, 15, 10]).unwrap();
+    let params = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2)).unwrap();
+    let sol = Swiper::new().solve_restriction(&weights0, &params).unwrap();
+    let delta = TicketDelta::between(&sol.assignment, &sol.assignment).unwrap();
+    let event = EpochEvent::new(1, delta, &weights0, weights1, 0).unwrap();
+    for seed in seeds() {
+        let cfg = VbaConfig::deal(
+            weights0.clone(),
+            &sol.assignment,
+            16,
+            &mut StdRng::seed_from_u64(seed),
+        );
+        let mut nodes: Vec<Box<dyn Protocol<Msg = VbaMsg>>> = Vec::new();
+        for p in 0..3 {
+            nodes.push(Box::new(VbaNode::new(
+                cfg.clone(),
+                p,
+                format!("ok:proposal-{p}").into_bytes(),
+                valid,
+            )));
+        }
+        nodes.push(Box::new(SelectiveAck::new(
+            VbaNode::new(cfg.clone(), 3, b"ok:proposal-3".to_vec(), valid),
+            vec![0, 1, 2, 3],
+        )));
+        nodes.push(Box::new(Silent::new()));
+        let report = EpochedSimulation::new(nodes, seed).inject_at(25, event.clone()).run();
+        assert_eq!(report.reconfigurations, 1, "seed {seed}");
+        assert!(report.agreement_among(&[0, 1, 2, 3]), "seed {seed}");
+        for p in 0..3 {
+            let out = report.outputs[p]
+                .as_ref()
+                .unwrap_or_else(|| panic!("party {p} never decided at seed {seed}"));
+            assert!(valid(out), "externally invalid decision {out:?} at seed {seed}");
+        }
+    }
+}
+
+/// The whale-collapse vouch regression: the stale-stake SAFETY hole the
+/// weight-bearing contract closes. A Byzantine whale vouches a forged
+/// output for the zero-ticket victim *before* the boundary (24 of the
+/// 26.0 needed — almost complete); the epoch event then slashes the
+/// whale to dust, and a Byzantine accomplice adds its vote *after* the
+/// boundary. Under construction-time weights the pair holds 28 > 26 and
+/// the victim adopts the forgery on any schedule that delivers it before
+/// the (deliberately late) honest vouches; under `WeightQuorum::reweigh`
+/// the whale's kept vote re-tallies at its current weight 2, the forged
+/// quorum is revoked (6 of the 19 now needed), and the victim adopts
+/// only the honest output — on every schedule.
+#[test]
+fn whale_collapse_revokes_stale_vouch_weight() {
+    const FORGED: &[u8] = b"forged-by-stale-stake";
+
+    /// Byzantine whale: its only act is the pre-boundary forged vouch.
+    struct StaleWhale;
+    impl Protocol for StaleWhale {
+        type Msg = BlackBoxMsg<u64>;
+        fn on_start(&mut self, ctx: &mut swiper::net::Context<Self::Msg>) {
+            ctx.send(4, BlackBoxMsg::Vouch { output: FORGED.to_vec() });
+        }
+        fn on_message(
+            &mut self,
+            _f: usize,
+            _m: Self::Msg,
+            _c: &mut swiper::net::Context<Self::Msg>,
+        ) {
+        }
+    }
+
+    /// Byzantine accomplice: completes the forged quorum post-boundary.
+    struct Accomplice;
+    impl Protocol for Accomplice {
+        type Msg = BlackBoxMsg<u64>;
+        fn on_start(&mut self, _ctx: &mut swiper::net::Context<Self::Msg>) {}
+        fn on_message(
+            &mut self,
+            _f: usize,
+            _m: Self::Msg,
+            _c: &mut swiper::net::Context<Self::Msg>,
+        ) {
+        }
+        fn on_reconfigure(
+            &mut self,
+            _e: &EpochEvent,
+            ctx: &mut swiper::net::Context<Self::Msg>,
+        ) {
+            ctx.send(4, BlackBoxMsg::Vouch { output: FORGED.to_vec() });
+        }
+    }
+
+    /// Honest inner automaton that outputs late, so the forged vouches
+    /// always race ahead of the honest ones.
+    struct LateOk;
+    impl Protocol for LateOk {
+        type Msg = u64;
+        fn on_start(&mut self, ctx: &mut swiper::net::Context<u64>) {
+            ctx.set_timer(100, 0);
+        }
+        fn on_message(&mut self, _f: usize, _m: u64, _c: &mut swiper::net::Context<u64>) {}
+        fn on_timer(&mut self, _id: u64, ctx: &mut swiper::net::Context<u64>) {
+            ctx.output(b"ok".to_vec());
+        }
+    }
+
+    // f_w = 1/3. Old stake: whale 24 + accomplice 4 = 28 > 78/3 (the
+    // stale crossing); new stake: 2 + 4 = 6 <= 56/3 (revoked). Honest
+    // parties 2 and 3 (49 of either total) vouch the real output late.
+    let weights0 = Weights::new(vec![24, 4, 30, 19, 1]).unwrap();
+    let weights1 = Weights::new(vec![2, 4, 30, 19, 1]).unwrap();
+    let tickets = TicketAssignment::new(vec![1, 1, 1, 1, 0]);
+    let delta = TicketDelta::between(&tickets, &tickets).unwrap();
+    let event = EpochEvent::new(1, delta, &weights0, weights1, 0).unwrap();
+    for seed in seeds() {
+        for delay in [DelayModel::Uniform(1, 16), DelayModel::Uniform(1, 48)] {
+            let config = BlackBoxConfig::new(weights0.clone(), &tickets, Ratio::of(1, 3));
+            let mut nodes: Vec<Box<dyn Protocol<Msg = BlackBoxMsg<u64>>>> = Vec::new();
+            nodes.push(Box::new(StaleWhale));
+            nodes.push(Box::new(Accomplice));
+            for party in 2..4 {
+                nodes
+                    .push(Box::new(BlackBox::new(config.clone(), party, |_v, _roster| LateOk)));
+            }
+            nodes.push(Box::new(BlackBox::new(config.clone(), 4, |_v, _roster| LateOk)));
+            let report = EpochedSimulation::new(nodes, seed)
+                .with_delay(delay)
+                .inject_at(1, event.clone())
+                .run();
+            assert_eq!(report.reconfigurations, 1, "seed {seed} {delay:?}");
+            assert_eq!(
+                report.outputs[4].as_deref(),
+                Some(b"ok".as_ref()),
+                "the zero-ticket victim adopted stale-stake forgery at seed {seed} \
+                 {delay:?}: {:?}",
+                report.outputs[4].as_deref().map(String::from_utf8_lossy)
+            );
+        }
+    }
+}
+
+/// The growth half of the stake-refresh contract: a reweigh that
+/// COMPLETES a pending quorum must fire the quorum's transition at the
+/// boundary, because honest voters vote exactly once and no later vote
+/// will re-run the check. Three honest dust parties vouch "ok" toward
+/// the zero-ticket victim pre-boundary (29 of the 33.4 needed under the
+/// whale-dominated stake); the epoch event then shifts stake onto the
+/// vouchers. Every vouch was already delivered — the only way the victim
+/// can ever output is the boundary transition itself. Fails with the
+/// reweigh-completion check in `BlackBox::on_reconfigure` reverted.
+#[test]
+fn stake_growth_completes_pending_vouch_quorum_at_the_boundary() {
+    /// Byzantine whale: contributes nothing but keeps the event queue
+    /// non-empty past the boundary (reconfigurations only fire between
+    /// deliveries).
+    struct KeepAlive;
+    impl Protocol for KeepAlive {
+        type Msg = BlackBoxMsg<u64>;
+        fn on_start(&mut self, ctx: &mut swiper::net::Context<Self::Msg>) {
+            ctx.set_timer(400, 0);
+            ctx.set_timer(800, 1);
+        }
+        fn on_message(
+            &mut self,
+            _f: usize,
+            _m: Self::Msg,
+            _c: &mut swiper::net::Context<Self::Msg>,
+        ) {
+        }
+    }
+
+    /// Honest inner automaton: outputs immediately, so every vouch is on
+    /// the wire (and delivered) long before the boundary.
+    struct InstantOk;
+    impl Protocol for InstantOk {
+        type Msg = u64;
+        fn on_start(&mut self, ctx: &mut swiper::net::Context<u64>) {
+            ctx.output(b"ok".to_vec());
+        }
+        fn on_message(&mut self, _f: usize, _m: u64, _c: &mut swiper::net::Context<u64>) {}
+    }
+
+    // f_w = 1/3: vouchers hold 29 <= 100/3 before the event, 89 > 100/3
+    // after it. The whale (70 -> 10) never vouches.
+    let weights0 = Weights::new(vec![70, 10, 10, 9, 1]).unwrap();
+    let weights1 = Weights::new(vec![10, 30, 30, 29, 1]).unwrap();
+    let tickets = TicketAssignment::new(vec![1, 1, 1, 1, 0]);
+    let delta = TicketDelta::between(&tickets, &tickets).unwrap();
+    let event = EpochEvent::new(1, delta, &weights0, weights1, 0).unwrap();
+    for seed in seeds() {
+        for delay in [DelayModel::Uniform(1, 16), DelayModel::Uniform(1, 48)] {
+            let config = BlackBoxConfig::new(weights0.clone(), &tickets, Ratio::of(1, 3));
+            let mut nodes: Vec<Box<dyn Protocol<Msg = BlackBoxMsg<u64>>>> = Vec::new();
+            nodes.push(Box::new(KeepAlive));
+            for party in 1..4 {
+                nodes.push(Box::new(BlackBox::new(config.clone(), party, |_v, _r| InstantOk)));
+            }
+            nodes.push(Box::new(BlackBox::new(config.clone(), 4, |_v, _r| InstantOk)));
+            // 15 vouch deliveries (3 broadcasts x 5 nodes) precede the
+            // keep-alive timers; the boundary lands after all of them.
+            let report = EpochedSimulation::new(nodes, seed)
+                .with_delay(delay)
+                .inject_at(15, event.clone())
+                .run();
+            assert_eq!(report.reconfigurations, 1, "seed {seed} {delay:?}");
+            assert_eq!(
+                report.outputs[4].as_deref(),
+                Some(b"ok".as_ref()),
+                "the boundary-completed vouch quorum never fired for the zero-ticket \
+                 victim at seed {seed} {delay:?}"
+            );
+        }
+    }
+}
+
+/// Same transition class for weighted Bracha in the party regime: the
+/// echo quorum is pending under a whale-dominated stake when the epoch
+/// event shifts weight onto the echoers — with every echo already
+/// delivered. `BrachaNode::on_reconfigure`'s re-announcement (duplicate
+/// votes are free and return the tracker's current verdict) is the only
+/// path to READY and delivery; revert it and the broadcast stalls on
+/// every schedule.
+#[test]
+fn stake_growth_completes_pending_bracha_quorums_at_the_boundary() {
+    struct KeepAlive;
+    impl Protocol for KeepAlive {
+        type Msg = BrachaMsg;
+        fn on_start(&mut self, ctx: &mut swiper::net::Context<BrachaMsg>) {
+            ctx.set_timer(400, 0);
+            ctx.set_timer(800, 1);
+        }
+        fn on_message(
+            &mut self,
+            _f: usize,
+            _m: BrachaMsg,
+            _c: &mut swiper::net::Context<BrachaMsg>,
+        ) {
+        }
+    }
+
+    // Echo threshold > 2/3: echoers hold 20 of 100 pre-event (pending
+    // with the whale silent), 95 of 105 post-event.
+    let weights0 = Weights::new(vec![80, 10, 5, 5]).unwrap();
+    let weights1 = Weights::new(vec![10, 40, 30, 25]).unwrap();
+    let tickets = TicketAssignment::new(vec![1u64; 4]);
+    let delta = TicketDelta::between(&tickets, &tickets).unwrap();
+    let event = EpochEvent::new(1, delta, &weights0, weights1, 0).unwrap();
+    let payload = b"growth completes the echo quorum".to_vec();
+    for seed in seeds() {
+        for delay in [DelayModel::Uniform(1, 16), DelayModel::Uniform(1, 48)] {
+            let config = BrachaConfig::weighted(weights0.clone());
+            let nodes: Vec<Box<dyn Protocol<Msg = BrachaMsg>>> = vec![
+                Box::new(KeepAlive),
+                Box::new(BrachaNode::sender(config.clone(), 1, payload.clone())),
+                Box::new(BrachaNode::new(config.clone(), 1)),
+                Box::new(BrachaNode::new(config.clone(), 1)),
+            ];
+            // 4 INITIAL + 12 ECHO deliveries, then only keep-alive timers.
+            let report = EpochedSimulation::new(nodes, seed)
+                .with_delay(delay)
+                .inject_at(16, event.clone())
+                .run();
+            assert_eq!(report.reconfigurations, 1, "seed {seed} {delay:?}");
+            for i in 1..4 {
+                assert_eq!(
+                    report.outputs[i].as_deref(),
+                    Some(payload.as_slice()),
+                    "party {i} stalled on a boundary-completed quorum at seed {seed} \
+                     {delay:?}"
+                );
+            }
+        }
+    }
 }
 
 /// Solver determinism across platforms is seed-independent by design;
