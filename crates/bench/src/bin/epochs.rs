@@ -121,64 +121,99 @@ fn parse_args() -> Result<Args, String> {
 struct ScenarioReport {
     failed: bool,
     hit_rate: f64,
+    /// Warm-pass DP totals with certificates on / off, and the skips that
+    /// explain the gap.
+    warm_dp_certified: u64,
+    warm_dp_plain: u64,
+    cert_skips: u64,
 }
 
-/// One chain × churn replay.
+impl ScenarioReport {
+    fn failure() -> Self {
+        ScenarioReport {
+            failed: true,
+            hit_rate: 0.0,
+            warm_dp_certified: 0,
+            warm_dp_plain: 0,
+            cert_skips: 0,
+        }
+    }
+}
+
+/// One chain × churn replay. Two verified-mode loops consume the same
+/// snapshot stream — one with delta-stable certificates (the default), one
+/// without (the PR-2 warm baseline) — so their warm passes face identical
+/// members and the DP-count gap is attributable to certificates alone.
 fn run_scenario(chain: Chain, churn_pct: u64, args: &Args) -> ScenarioReport {
     let solver = Swiper::new();
     let wr = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2)).expect("valid params");
     let setting = Setting::Restriction(wr);
     let mut reconf = Reconfigurator::new(solver, vec![setting]).with_cold_check(true);
+    let mut plain = Reconfigurator::new(solver, vec![setting])
+        .with_cold_check(true)
+        .with_certificates(false);
     let mut snapshot = chain.weights();
     let churned = (snapshot.len() * usize::try_from(churn_pct).expect("small")).div_ceil(100);
     // Distinct RNG stream per scenario, reproducible from --seed.
     let mut rng = StdRng::seed_from_u64(args.seed ^ (churn_pct << 32) ^ chain.n() as u64);
     let mut divergences = 0u64;
     let mut warm_dp_total = 0u64;
+    let mut plain_dp_total = 0u64;
     let mut base_dp_total = 0u64;
+    let mut cert_skips = 0u64;
     let mut hits = 0u64;
     let mut lookups = 0u64;
     for epoch in 0..args.epochs {
-        let outcome = match reconf.advance(&snapshot) {
-            Ok(o) => o,
-            Err(e) => {
-                eprintln!("{chain} churn={churn_pct}% epoch={epoch}: solve failed: {e}");
-                return ScenarioReport { failed: true, hit_rate: 0.0 };
-            }
-        };
+        let (outcome, plain_outcome) =
+            match (reconf.advance(&snapshot), plain.advance(&snapshot)) {
+                (Ok(o), Ok(p)) => (o, p),
+                (Err(e), _) | (_, Err(e)) => {
+                    eprintln!("{chain} churn={churn_pct}% epoch={epoch}: solve failed: {e}");
+                    return ScenarioReport::failure();
+                }
+            };
         let baseline = solver
             .solve_instance(&setting.instance(snapshot.clone()))
             .expect("baseline solve cannot fail where advance succeeded");
         // Verified mode publishes the cold-identical result; if this ever
-        // trips, the incremental machinery has an actual bug.
-        if outcome.solutions[0].assignment != baseline.assignment {
+        // trips, the incremental machinery has an actual bug. The
+        // certificate-free twin must agree too — certificates may only
+        // skip work, never move the published answer.
+        if outcome.solutions[0].assignment != baseline.assignment
+            || plain_outcome.solutions[0].assignment != baseline.assignment
+        {
             eprintln!(
                 "{chain} churn={churn_pct}% epoch={epoch}: published assignment differs \
                  from the fresh cold solve — incremental machinery is broken"
             );
-            return ScenarioReport { failed: true, hit_rate: 0.0 };
+            return ScenarioReport::failure();
         }
         // Divergence = the warm bracket settled on a different (equally
         // valid) local minimum than cold bisection — a non-monotone dip.
         // Telemetry, not an error: the published result above is cold.
         divergences += u64::from(outcome.verified() == Some(false));
         let warm = outcome.warm_stats().expect("verified mode records the warm pass");
+        let plain_warm = plain_outcome.warm_stats().expect("verified mode");
         let published = outcome.stats();
         warm_dp_total += warm.dp_invocations;
+        plain_dp_total += plain_warm.dp_invocations;
         base_dp_total += baseline.stats.dp_invocations;
+        cert_skips += warm.certificate_skips + published.certificate_skips;
         hits += warm.cache_hits + published.cache_hits;
         lookups += warm.cache_lookups() + published.cache_lookups();
         if !args.quiet {
             println!(
-                "{:10} churn={:2}% epoch={:3} tickets={:6} delta={:4} dp={:2} dp_cold={:2} \
-                 hit_rate={:.2}",
+                "{:10} churn={:2}% epoch={:3} tickets={:6} delta={:4} dp={:2} dp_plain={:2} \
+                 dp_cold={:2} skips={:2} hit_rate={:.2}",
                 chain.name(),
                 churn_pct,
                 epoch,
                 outcome.solutions[0].total_tickets(),
                 outcome.delta(0).map_or(0, |d| d.changes().len()),
                 warm.dp_invocations,
+                plain_warm.dp_invocations,
                 baseline.stats.dp_invocations,
+                warm.certificate_skips + published.certificate_skips,
                 if lookups == 0 { 0.0 } else { hits as f64 / lookups as f64 },
             );
         }
@@ -186,20 +221,28 @@ fn run_scenario(chain: Chain, churn_pct: u64, args: &Args) -> ScenarioReport {
     }
     let rate = if lookups == 0 { 0.0 } else { hits as f64 / lookups as f64 };
     println!(
-        "{:10} churn={:2}% summary: epochs={} dp_warm={} dp_cold={} cache={}/{} ({:.0}%) \
-         divergences={} cached_verdicts={}",
+        "{:10} churn={:2}% summary: epochs={} dp_warm={} dp_warm_plain={} dp_cold={} \
+         cert_skips={} cache={}/{} ({:.0}%) divergences={} cached_verdicts={}",
         chain.name(),
         churn_pct,
         args.epochs,
         warm_dp_total,
+        plain_dp_total,
         base_dp_total,
+        cert_skips,
         hits,
         lookups,
         rate * 100.0,
         divergences,
         reconf.cached_verdicts(),
     );
-    ScenarioReport { failed: false, hit_rate: rate }
+    ScenarioReport {
+        failed: false,
+        hit_rate: rate,
+        warm_dp_certified: warm_dp_total,
+        warm_dp_plain: plain_dp_total,
+        cert_skips,
+    }
 }
 
 /// Batches are a pure function of `(round, party)`, so the live instance
@@ -471,12 +514,31 @@ fn main() -> ExitCode {
             } else {
                 let report = run_scenario(chain, churn_pct, &args);
                 ok &= !report.failed;
-                if args.ci_smoke && churn_pct == 1 && report.hit_rate <= 0.0 {
-                    eprintln!(
-                        "{chain} churn=1%: cache hit rate is zero — the verdict cache \
-                         stopped earning its keep"
-                    );
-                    ok = false;
+                if args.ci_smoke && churn_pct == 1 {
+                    if report.hit_rate <= 0.0 {
+                        eprintln!(
+                            "{chain} churn=1%: cache hit rate is zero — the verdict cache \
+                             stopped earning its keep"
+                        );
+                        ok = false;
+                    }
+                    if report.warm_dp_plain > 0
+                        && report.warm_dp_certified >= report.warm_dp_plain
+                    {
+                        eprintln!(
+                            "{chain} churn=1%: certificates no longer skip DP calls \
+                             (certified warm {} vs plain warm {})",
+                            report.warm_dp_certified, report.warm_dp_plain
+                        );
+                        ok = false;
+                    }
+                    if report.cert_skips == 0 {
+                        eprintln!(
+                            "{chain} churn=1%: zero certificate skips — the delta-stable \
+                             fast path stopped earning its keep"
+                        );
+                        ok = false;
+                    }
                 }
             }
         }

@@ -1,14 +1,23 @@
 //! Quick solver sanity sweep over the four chain replicas — a fast way to
 //! eyeball ticket totals, bounds, modes and runtimes before running the
-//! full experiment suite.
+//! full experiment suite. Each chain also runs a short certified warm
+//! replay so the delta-stable certificate fast path's skip counter is
+//! visible next to `dp=`.
 //!
 //! ```text
 //! cargo run --release -p swiper-bench --bin smoke
 //! ```
 
 use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use swiper_core::{Mode, Ratio, Swiper, WeightRestriction, WeightSeparation};
+use swiper_weights::epoch::{churn_with, ChurnMode, Reconfigurator, Setting};
 use swiper_weights::CHAINS;
+
+/// Epochs of 1%-churn warm replay per chain.
+const REPLAY_EPOCHS: u64 = 6;
 
 fn main() {
     for chain in CHAINS {
@@ -36,6 +45,30 @@ fn main() {
             chain.name(),
             sol.total_tickets(),
             sol.ticket_bound,
+            t0.elapsed()
+        );
+        // Certified warm replay: a few 1%-churn epochs through the
+        // reconfiguration loop (certificates on by default) to surface the
+        // skip counter alongside the DP count.
+        let mut reconf = Reconfigurator::new(Swiper::new(), vec![Setting::Restriction(p)]);
+        let mut snapshot = w.clone();
+        let churned = snapshot.len().div_ceil(100);
+        let mut rng = StdRng::seed_from_u64(7);
+        let t0 = Instant::now();
+        let mut stats = swiper_core::SolveStats::default();
+        for _ in 0..REPLAY_EPOCHS {
+            let outcome = reconf.advance(&snapshot).unwrap();
+            stats.absorb(&outcome.stats());
+            snapshot = churn_with(ChurnMode::Drift, &snapshot, churned, 5, &mut rng);
+        }
+        println!(
+            "{:10} replay epochs={} dp={} cert_skips={} cache={}/{} time={:?}",
+            chain.name(),
+            REPLAY_EPOCHS,
+            stats.dp_invocations,
+            stats.certificate_skips,
+            stats.cache_hits,
+            stats.cache_lookups(),
             t0.elapsed()
         );
     }

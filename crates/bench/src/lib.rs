@@ -120,6 +120,184 @@ impl From<&Solution> for SolveMeasurement {
     }
 }
 
+/// Schema tag written into (and required from) `BENCH_solver.json`.
+pub const BENCH_SOLVER_SCHEMA: &str = "swiper-bench-solver/v1";
+
+/// One measurement row of the machine-checked benchmark trajectory
+/// (`BENCH_solver.json`). Counter fields are bit-deterministic for a given
+/// seed and code version; `wall_ms` and `peak_rss_kb` are environmental.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchRow {
+    /// Benchmark family, e.g. `solver_scale`.
+    pub bench: String,
+    /// Case within the family, e.g. `cold` / `warm` / `certified`.
+    pub case_name: String,
+    /// Population size.
+    pub n: u64,
+    /// Wall-clock milliseconds.
+    pub wall_ms: u64,
+    /// Total tickets allocated by the published solution.
+    pub tickets: u128,
+    /// Exact-DP invocations across the run.
+    pub dp_invocations: u64,
+    /// Checks settled by replaying a delta-stable certificate.
+    pub certificate_skips: u64,
+    /// Family members materialized and checked.
+    pub candidates_checked: u64,
+    /// Peak resident set size in kilobytes (0 when unavailable).
+    pub peak_rss_kb: u64,
+}
+
+impl BenchRow {
+    /// The `(bench, case, n)` identity rows are matched on when diffing.
+    pub fn key(&self) -> (String, String, u64) {
+        (self.bench.clone(), self.case_name.clone(), self.n)
+    }
+
+    fn to_json_line(&self) -> String {
+        format!(
+            "    {{\"bench\":\"{}\",\"case\":\"{}\",\"n\":{},\"wall_ms\":{},\"tickets\":{},\
+             \"dp_invocations\":{},\"certificate_skips\":{},\"candidates_checked\":{},\
+             \"peak_rss_kb\":{}}}",
+            self.bench,
+            self.case_name,
+            self.n,
+            self.wall_ms,
+            self.tickets,
+            self.dp_invocations,
+            self.certificate_skips,
+            self.candidates_checked,
+            self.peak_rss_kb
+        )
+    }
+}
+
+/// Serializes rows as the `BENCH_solver.json` document: a schema header
+/// plus one row object per line (line-oriented so the lenient parser and
+/// plain `diff` both stay useful). Hand-rolled — the vendored serde shim
+/// is marker-only.
+pub fn render_bench_json(rows: &[BenchRow]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{BENCH_SOLVER_SCHEMA}\",");
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&row.to_json_line());
+        out.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parses a `BENCH_solver.json` document produced by
+/// [`render_bench_json`]. Lenient and line-oriented: any line containing a
+/// `"bench"` key is treated as a row; missing numeric fields default to 0
+/// so older files with fewer columns still diff.
+///
+/// # Errors
+///
+/// Returns a description when the schema tag is absent or unexpected.
+pub fn parse_bench_json(doc: &str) -> Result<Vec<BenchRow>, String> {
+    if !doc.contains(&format!("\"schema\": \"{BENCH_SOLVER_SCHEMA}\"")) {
+        return Err(format!("missing or unexpected schema tag (want {BENCH_SOLVER_SCHEMA})"));
+    }
+    let mut rows = Vec::new();
+    for line in doc.lines() {
+        let Some(bench) = json_str_field(line, "bench") else { continue };
+        rows.push(BenchRow {
+            bench,
+            case_name: json_str_field(line, "case").unwrap_or_default(),
+            n: json_num_field(line, "n").unwrap_or(0) as u64,
+            wall_ms: json_num_field(line, "wall_ms").unwrap_or(0) as u64,
+            tickets: json_num_field(line, "tickets").unwrap_or(0),
+            dp_invocations: json_num_field(line, "dp_invocations").unwrap_or(0) as u64,
+            certificate_skips: json_num_field(line, "certificate_skips").unwrap_or(0) as u64,
+            candidates_checked: json_num_field(line, "candidates_checked").unwrap_or(0) as u64,
+            peak_rss_kb: json_num_field(line, "peak_rss_kb").unwrap_or(0) as u64,
+        });
+    }
+    Ok(rows)
+}
+
+fn json_str_field(line: &str, key: &str) -> Option<String> {
+    let tail = &line[line.find(&format!("\"{key}\":\""))? + key.len() + 4..];
+    Some(tail[..tail.find('"')?].to_string())
+}
+
+fn json_num_field(line: &str, key: &str) -> Option<u128> {
+    let tail = &line[line.find(&format!("\"{key}\":"))? + key.len() + 3..];
+    let digits: String = tail.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Wall-clock floor below which timing rows are treated as noise and not
+/// regression-gated.
+pub const BENCH_WALL_FLOOR_MS: u64 = 250;
+
+/// Compares a fresh benchmark run against a committed baseline and
+/// returns human-readable regression descriptions (empty = pass).
+///
+/// Deterministic counters (`tickets`, `dp_invocations`,
+/// `certificate_skips`, `candidates_checked`) must match exactly; wall
+/// time regresses when it exceeds the baseline by more than `tol_pct`
+/// percent and both sides are above [`BENCH_WALL_FLOOR_MS`]. Peak RSS is
+/// reported but never gated (container-dependent). Baseline rows missing
+/// from the fresh run are regressions; extra fresh rows are not.
+pub fn diff_bench_rows(baseline: &[BenchRow], fresh: &[BenchRow], tol_pct: u64) -> Vec<String> {
+    let mut problems = Vec::new();
+    for old in baseline {
+        let Some(new) = fresh.iter().find(|r| r.key() == old.key()) else {
+            problems.push(format!(
+                "row {}/{}/n={} missing from fresh run",
+                old.bench, old.case_name, old.n
+            ));
+            continue;
+        };
+        let id = format!("{}/{}/n={}", old.bench, old.case_name, old.n);
+        let counters = [
+            ("tickets", old.tickets, new.tickets),
+            ("dp_invocations", u128::from(old.dp_invocations), u128::from(new.dp_invocations)),
+            (
+                "certificate_skips",
+                u128::from(old.certificate_skips),
+                u128::from(new.certificate_skips),
+            ),
+            (
+                "candidates_checked",
+                u128::from(old.candidates_checked),
+                u128::from(new.candidates_checked),
+            ),
+        ];
+        for (name, was, now) in counters {
+            if was != now {
+                problems.push(format!("{id}: {name} changed {was} -> {now}"));
+            }
+        }
+        if old.wall_ms >= BENCH_WALL_FLOOR_MS
+            && new.wall_ms >= BENCH_WALL_FLOOR_MS
+            && new.wall_ms.saturating_mul(100) > old.wall_ms.saturating_mul(100 + tol_pct)
+        {
+            problems.push(format!(
+                "{id}: wall_ms regressed {} -> {} (> {tol_pct}%)",
+                old.wall_ms, new.wall_ms
+            ));
+        }
+    }
+    problems
+}
+
+/// Peak resident set size of this process in kilobytes, from
+/// `/proc/self/status` (`VmHWM`). Returns 0 when unavailable (non-Linux).
+pub fn peak_rss_kb() -> u64 {
+    let Ok(status) = fs::read_to_string("/proc/self/status") else { return 0 };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|l| l.split_whitespace().next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
 /// A minimal aligned-column table printer for terminal reports.
 #[derive(Debug, Default)]
 pub struct TextTable {
@@ -219,6 +397,52 @@ mod tests {
         assert!(m.total_tickets <= u128::from(m.bound));
         assert!(u128::from(m.max_tickets) <= m.total_tickets);
         assert!(m.holders <= 5);
+    }
+
+    fn row(case: &str, n: u64, wall: u64, dp: u64) -> BenchRow {
+        BenchRow {
+            bench: "solver_scale".into(),
+            case_name: case.into(),
+            n,
+            wall_ms: wall,
+            tickets: 123_456_789_012_345_678_901u128,
+            dp_invocations: dp,
+            certificate_skips: 3,
+            candidates_checked: 40,
+            peak_rss_kb: 10_000,
+        }
+    }
+
+    #[test]
+    fn bench_json_roundtrips() {
+        let rows = vec![row("cold", 1000, 12, 5), row("certified", 1_000_000, 900, 0)];
+        let doc = render_bench_json(&rows);
+        assert_eq!(parse_bench_json(&doc).unwrap(), rows);
+        assert!(parse_bench_json("{}").is_err(), "schema tag is mandatory");
+    }
+
+    #[test]
+    fn bench_diff_gates_counters_exactly_and_wall_with_tolerance() {
+        let base = vec![row("cold", 1000, 400, 5)];
+        // Identical: clean.
+        assert!(diff_bench_rows(&base, &base, 20).is_empty());
+        // Counter drift: flagged regardless of magnitude.
+        let mut drift = base.clone();
+        drift[0].dp_invocations = 6;
+        assert_eq!(diff_bench_rows(&base, &drift, 20).len(), 1);
+        // Wall within tolerance: clean; beyond: flagged; below floor: noise.
+        let mut slow = base.clone();
+        slow[0].wall_ms = 470;
+        assert!(diff_bench_rows(&base, &slow, 20).is_empty());
+        slow[0].wall_ms = 500;
+        assert_eq!(diff_bench_rows(&base, &slow, 20).len(), 1);
+        let mut tiny = base.clone();
+        tiny[0].wall_ms = 10;
+        let mut tiny_slow = tiny.clone();
+        tiny_slow[0].wall_ms = 100;
+        assert!(diff_bench_rows(&tiny, &tiny_slow, 20).is_empty());
+        // Missing row: flagged.
+        assert_eq!(diff_bench_rows(&base, &[], 20).len(), 1);
     }
 
     #[test]

@@ -48,6 +48,23 @@ impl Crossing {
     }
 }
 
+/// See [`Family::eval_at`]. `Narrow` is exact because the constructor
+/// proves `a * w_max + add <= u64::MAX` and every `w_i <= w_max`.
+enum TicketsEval {
+    Narrow { a: u64, add: u64, den: u64 },
+    Wide { a: u128, add: u128, den: u128 },
+}
+
+impl TicketsEval {
+    #[inline]
+    fn tickets(&self, w_i: u64) -> u128 {
+        match *self {
+            TicketsEval::Narrow { a, add, den } => u128::from((a * w_i + add) / den),
+            TicketsEval::Wide { a, add, den } => (a * u128::from(w_i) + add) / den,
+        }
+    }
+}
+
 /// The `t(s, k)` family for a weight vector and rounding constant.
 #[derive(Debug)]
 pub(crate) struct Family<'a> {
@@ -87,21 +104,34 @@ impl<'a> Family<'a> {
         Ok(Family { weights, cn, cd, w_max })
     }
 
-    /// `floor(s * w_i + c)` for `s = a / (cd * w_p)`:
-    /// `floor((a * w_i + cn * w_p) / (cd * w_p))`.
-    fn tickets_at(&self, a: u128, w_p: u64, w_i: u64) -> u128 {
-        let num = a * u128::from(w_i) + self.cn * u128::from(w_p);
-        num / (self.cd * u128::from(w_p))
+    /// Hoisted evaluator for `floor(s * w_i + c)` at a fixed scale
+    /// `s = a / (cd * w_p)`, i.e. `floor((a*w_i + cn*w_p) / (cd*w_p))`: the
+    /// addend `cn * w_p` and denominator `cd * w_p` are per-scale constants,
+    /// and when `a * w_max + add` provably fits in `u64` the whole
+    /// evaluation runs at native width (`u128` division lowers to a
+    /// libcall an order of magnitude slower — this is the inner loop of
+    /// every binary-search probe, O(n) per probe at n up to 10⁶).
+    fn eval_at(&self, a: u128, w_p: u64) -> TicketsEval {
+        let add = self.cn * u128::from(w_p);
+        let den = self.cd * u128::from(w_p);
+        let w_max = u128::from(self.w_max.max(1));
+        let narrow = (|| {
+            let den64 = u64::try_from(den).ok()?;
+            let add64 = u64::try_from(add).ok()?;
+            let a64 = u64::try_from(a).ok()?;
+            if a > (u128::MAX - add) / w_max || a * w_max + add > u128::from(u64::MAX) {
+                return None;
+            }
+            Some(TicketsEval::Narrow { a: a64, add: add64, den: den64 })
+        })();
+        narrow.unwrap_or(TicketsEval::Wide { a, add, den })
     }
 
     /// Total tickets of the base assignment at scale `s = a / (cd * w_p)`,
     /// i.e. the number of crossings with value `<= s`.
     fn count_at(&self, a: u128, w_p: u64) -> u128 {
-        self.weights
-            .as_slice()
-            .iter()
-            .map(|&w| if w == 0 { 0 } else { self.tickets_at(a, w_p, w) })
-            .sum()
+        let eval = self.eval_at(a, w_p);
+        self.weights.as_slice().iter().map(|&w| if w == 0 { 0 } else { eval.tickets(w) }).sum()
     }
 
     /// Numerator `a = j * cd - cn` of the scale `(j - c) / w_max`.
@@ -137,14 +167,17 @@ impl<'a> Family<'a> {
 
         // Step 2: one candidate crossing per party inside ((j-1-c)/w_max, (j-c)/w_max].
         let r_a = self.grid_a(j);
+        let left_eval = (j > 1).then(|| self.eval_at(self.grid_a(j - 1), self.w_max));
         let mut cands: Vec<Crossing> = Vec::new();
         for (i, w) in self.weights.iter() {
             if w == 0 {
                 continue;
             }
             // First crossing index strictly after the left end.
-            let m =
-                if j == 1 { 1 } else { self.tickets_at(self.grid_a(j - 1), self.w_max, w) + 1 };
+            let m = match &left_eval {
+                None => 1,
+                Some(eval) => eval.tickets(w) + 1,
+            };
             let a = m * self.cd - self.cn;
             // Include iff value <= right end: a/(cd*w) <= r_a/(cd*w_max)
             //   <=> a * w_max <= r_a * w.
@@ -159,8 +192,9 @@ impl<'a> Family<'a> {
         // Step 3: base assignment at s* and the border set.
         let mut tickets: Vec<u64> = Vec::with_capacity(n);
         let mut total_base: u128 = 0;
+        let star_eval = self.eval_at(star.a, star.w);
         for (_, w) in self.weights.iter() {
-            let t = if w == 0 { 0 } else { self.tickets_at(star.a, star.w, w) };
+            let t = if w == 0 { 0 } else { star_eval.tickets(w) };
             total_base += t;
             tickets.push(u64::try_from(t).map_err(|_| CoreError::ArithmeticOverflow)?);
         }

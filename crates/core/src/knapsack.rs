@@ -18,6 +18,31 @@
 //!
 //! Combining the two bounds yields the three-valued [`quick_test`] used by
 //! Swiper's full mode to dodge most DP invocations.
+//!
+//! ## DP kernel
+//!
+//! The DP is organised for whale-skewed, large-`n` populations:
+//!
+//! * **Dominated-item prefilter.** Items heavier than the weight horizon are
+//!   dropped outright; items whose profit saturates the cap collapse to the
+//!   single lightest such item; and when the item count exceeds the harmonic
+//!   bound `cap · (log cap + 2)`, each distinct profit class `p` is reduced
+//!   to its `ceil(cap / p)` lightest members — any subset with profit at
+//!   most `cap` uses at most that many items of class `p`, and an exchange
+//!   argument lets it use the lightest ones. Million-item inputs shrink to
+//!   `O(cap log cap)` items before the table is touched.
+//! * **Flat min-weight-per-profit inner loop.** The per-item update is a
+//!   flat saturating min-fold over the table — no data-dependent `INF` skip
+//!   branch — bounded by the current reach.
+//! * **Monotone-frontier pruning.** `dp[p]` = min weight to reach profit
+//!   `>= p`, so a state that weighs no less than some higher-profit state
+//!   can never matter. Every [`PRUNE_STRIDE`] items (and before any read)
+//!   dominated states are cleared, leaving a strictly increasing
+//!   profit/weight frontier.
+//! * **Chunked parallel item blocks.** Large prefiltered inputs with modest
+//!   caps are split into per-thread blocks; each block builds its own
+//!   frontier and the blocks combine by exact min-plus convolution, which
+//!   is associative — results are bit-identical to the sequential fill.
 
 use crate::wide::cmp_mul;
 use std::cmp::Ordering;
@@ -36,7 +61,7 @@ pub enum QuickOutcome {
 }
 
 /// A knapsack view over parties: profit `t_i` (tickets), weight `w_i`.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Item {
     /// Profit (tickets of the party).
     pub profit: u64,
@@ -44,23 +69,12 @@ pub struct Item {
     pub weight: u64,
 }
 
-/// Sorts item indices by profit/weight ratio, descending, with exact
-/// cross-multiplied comparisons (no floating point). Zero-weight items must
-/// already be removed.
-fn sort_by_ratio(items: &mut [Item]) {
-    items.sort_by(|a, b| {
-        // a.profit/a.weight vs b.profit/b.weight, descending.
-        match cmp_mul(
-            u128::from(b.profit),
-            u128::from(a.weight),
-            u128::from(a.profit),
-            u128::from(b.weight),
-        ) {
-            Ordering::Equal => b.profit.cmp(&a.profit), // denser item first
-            ord => ord,
-        }
-    });
-}
+const INF: u128 = u128::MAX;
+
+/// Items between frontier prunes in the DP fill. Pruning costs `O(cap)`, so
+/// amortize it across a block of items while still keeping the table mostly
+/// frontier-shaped for the reach bound.
+const PRUNE_STRIDE: usize = 128;
 
 /// Reusable buffer for [`max_profit_dp_with`]: callers running many DP
 /// invocations (the solver's binary search, batch sweeps) keep one scratch
@@ -68,7 +82,26 @@ fn sort_by_ratio(items: &mut [Item]) {
 #[derive(Debug, Default, Clone)]
 pub struct DpScratch {
     dp: Vec<u128>,
-    rest: Vec<Item>,
+    kept: Vec<Item>,
+}
+
+/// Exact min-weight frontier produced by [`max_profit_dp_probe`].
+///
+/// `frontier` lists `(total profit, min weight)` pairs, strictly increasing
+/// in both coordinates, including the trivial `(free profit, 0)` entry. For
+/// any `q <= profit_cap + free`, the minimum weight of a subset with profit
+/// `>= q` is the weight of the first entry with profit `>= q`; if no such
+/// entry exists, that minimum exceeds `prune_limit`. Entries are exact as
+/// long as their weight is at most `prune_limit`.
+#[derive(Debug, Clone, Default)]
+pub struct DpProbe {
+    /// Exact maximum total profit within `capacity`, saturated at
+    /// `profit_cap` — identical to [`max_profit_dp`].
+    pub best: u64,
+    /// The pruned min-weight frontier (see type docs).
+    pub frontier: Vec<(u64, u128)>,
+    /// Weight horizon the table is exact to (`capacity + slack`).
+    pub prune_limit: u128,
 }
 
 /// Exact maximum achievable profit, saturated at `profit_cap`, over subsets
@@ -76,7 +109,8 @@ pub struct DpScratch {
 ///
 /// Dynamic programming by profits: `dp[p]` = minimum weight needed to reach
 /// profit at least `p` (profits saturate at `profit_cap`). Runtime
-/// `O(n * profit_cap)`, memory `O(profit_cap)`.
+/// `O(n * profit_cap)` worst case, heavily reduced by the prefilter and
+/// frontier pruning described in the module docs; memory `O(profit_cap)`.
 ///
 /// # Panics
 ///
@@ -97,57 +131,296 @@ pub fn max_profit_dp_with(
     capacity: u128,
     profit_cap: u64,
 ) -> u64 {
+    let cap = usize::try_from(profit_cap).expect("profit cap fits usize");
+    let free = split_free(&mut scratch.kept, items, capacity);
+    if free >= u128::from(profit_cap) {
+        return profit_cap;
+    }
+    let free = free as u64;
+    reduce_items(&mut scratch.kept, cap);
+    dp_table(&mut scratch.dp, &scratch.kept, cap, capacity, Some(capacity));
+    // Highest finite frontier state within capacity.
+    let mut best = 0u64;
+    for (p, &w) in scratch.dp.iter().enumerate().rev() {
+        if w <= capacity {
+            best = p as u64;
+            break;
+        }
+    }
+    (best + free).min(profit_cap)
+}
+
+/// Certificate-grade variant of [`max_profit_dp`]: additionally returns the
+/// exact min-weight frontier, explored out to `capacity + slack` so callers
+/// can measure *how far* each profit level is from feasibility (the margin
+/// behind delta-stable verdict certificates in [`crate::oracle`]).
+///
+/// # Panics
+///
+/// Panics if `profit_cap` does not fit in `usize`.
+pub fn max_profit_dp_probe(
+    scratch: &mut DpScratch,
+    items: &[Item],
+    capacity: u128,
+    profit_cap: u64,
+    slack: u128,
+) -> DpProbe {
+    let cap = usize::try_from(profit_cap).expect("profit cap fits usize");
+    let prune_limit = capacity.saturating_add(slack);
+    let free = split_free(&mut scratch.kept, items, prune_limit);
+    if free >= u128::from(profit_cap) {
+        return DpProbe { best: profit_cap, frontier: vec![(profit_cap, 0)], prune_limit };
+    }
+    let free = free as u64;
+    reduce_items(&mut scratch.kept, cap);
+    dp_table(&mut scratch.dp, &scratch.kept, cap, prune_limit, None);
+    let mut frontier = Vec::new();
+    let mut best = 0u64;
+    for (p, &w) in scratch.dp.iter().enumerate() {
+        if w != INF {
+            frontier.push((p as u64 + free, w));
+            if w <= capacity {
+                best = p as u64;
+            }
+        }
+    }
+    DpProbe { best: (best + free).min(profit_cap), frontier, prune_limit }
+}
+
+/// Splits out free profit (zero-weight items) and keeps only items that can
+/// participate: positive profit, weight within the horizon. Returns the
+/// (unsaturated) free profit.
+fn split_free(kept: &mut Vec<Item>, items: &[Item], prune_limit: u128) -> u128 {
     let mut free: u128 = 0;
-    scratch.rest.clear();
+    kept.clear();
     for it in items {
-        if it.profit == 0 {
+        if it.profit == 0 || u128::from(it.weight) > prune_limit {
             continue;
         }
         if it.weight == 0 {
             free += u128::from(it.profit);
         } else {
-            scratch.rest.push(*it);
+            kept.push(*it);
         }
     }
-    let free = free.min(u128::from(profit_cap)) as u64;
-    if free >= profit_cap {
-        return profit_cap;
+    free
+}
+
+/// The dominated-item prefilter: collapses cap-saturating items to the
+/// single lightest one and, when worthwhile, keeps only the `ceil(cap / p)`
+/// lightest items of each profit class `p`. Exact for the cap-saturated DP:
+/// any subset with (saturated) profit `q <= cap` takes at most
+/// `floor(cap / p)` items of class `p`, and swapping any member for a
+/// lighter same-profit item never hurts.
+fn reduce_items(kept: &mut Vec<Item>, cap: usize) {
+    let cap64 = cap as u64;
+    // Items whose profit alone saturates the table: only the lightest can
+    // ever be preferable, and no subset needs two of them.
+    let mut sat: Option<Item> = None;
+    kept.retain(|it| {
+        if it.profit >= cap64 {
+            if sat.is_none_or(|s| it.weight < s.weight) {
+                sat = Some(*it);
+            }
+            false
+        } else {
+            true
+        }
+    });
+    // Harmonic bound on the reduced size; skip the sort when the input is
+    // already at least that small.
+    let log2 = usize::BITS - cap.leading_zeros();
+    let bound = (cap as u128).saturating_mul(u128::from(log2) + 2);
+    if (kept.len() as u128) > bound {
+        kept.sort_unstable_by(|a, b| a.profit.cmp(&b.profit).then(a.weight.cmp(&b.weight)));
+        let mut out = 0usize;
+        let mut i = 0usize;
+        while i < kept.len() {
+            let p = kept[i].profit;
+            let mut end = i + 1;
+            while end < kept.len() && kept[end].profit == p {
+                end += 1;
+            }
+            let keep = usize::try_from(cap64.div_ceil(p)).unwrap_or(usize::MAX).min(end - i);
+            for j in i..i + keep {
+                kept[out] = kept[j];
+                out += 1;
+            }
+            i = end;
+        }
+        kept.truncate(out);
     }
-    let cap = usize::try_from(profit_cap).expect("profit cap fits usize");
-    // dp[p] = min weight to achieve >= p profit (p saturating at cap).
-    const INF: u128 = u128::MAX;
-    scratch.dp.clear();
-    scratch.dp.resize(cap + 1, INF);
-    let dp = &mut scratch.dp[..cap + 1];
-    dp[0] = 0;
-    let mut best_reach: usize = 0; // highest p with dp[p] finite
-    for it in &scratch.rest {
-        let p = usize::try_from(it.profit).expect("profit fits usize").min(cap);
+    if let Some(s) = sat {
+        kept.push(s);
+    }
+}
+
+/// Clears states dominated by an equal-or-lighter state of higher profit;
+/// afterwards finite entries are strictly increasing in weight. Returns the
+/// highest finite index.
+fn prune_frontier(dp: &mut [u128]) -> usize {
+    let mut best = INF;
+    let mut reach = 0usize;
+    for q in (1..dp.len()).rev() {
+        if dp[q] < best {
+            best = dp[q];
+            if reach == 0 {
+                reach = q;
+            }
+        } else {
+            dp[q] = INF;
+        }
+    }
+    reach
+}
+
+/// Sequential DP fill over `items` into `dp` (which must be a pruned,
+/// partially filled table with `dp[0] == 0`). States heavier than
+/// `prune_limit` are discarded; with `stop_at` set, the fill returns as soon
+/// as the saturated state is reachable within that budget (sound when the
+/// caller only needs `best`, not the full frontier). The table is left
+/// frontier-pruned.
+fn dp_fill(dp: &mut [u128], items: &[Item], prune_limit: u128, stop_at: Option<u128>) {
+    let cap = dp.len() - 1;
+    let mut reach = prune_frontier(dp);
+    for (k, it) in items.iter().enumerate() {
+        let p = usize::try_from(it.profit).unwrap_or(cap).min(cap);
         let w = u128::from(it.weight);
-        let hi = best_reach.min(cap);
-        // Iterate downwards so each item is used at most once.
-        for q in (0..=hi).rev() {
-            if dp[q] == INF {
+        // Flat min-fold: saturating_add keeps INF states INF, and the
+        // prune-limit compare rejects them without a dedicated branch.
+        for q in (0..=reach).rev() {
+            let nw = dp[q].saturating_add(w);
+            let np = (q + p).min(cap);
+            if nw <= prune_limit && nw < dp[np] {
+                dp[np] = nw;
+            }
+        }
+        // Upper bound on the new reach; tightened at each prune.
+        reach = (reach + p).min(cap);
+        if let Some(budget) = stop_at {
+            if dp[cap] <= budget {
+                break;
+            }
+        }
+        if k % PRUNE_STRIDE == PRUNE_STRIDE - 1 {
+            reach = prune_frontier(dp);
+        }
+    }
+    prune_frontier(dp);
+}
+
+/// Minimum worthwhile per-block item count for the parallel fill.
+const PAR_MIN_ITEMS: usize = 8192;
+/// Largest profit cap where min-plus block merges stay cheap relative to
+/// the per-block fills.
+const PAR_MAX_CAP: usize = 1 << 13;
+
+/// Fills `dp` (resized and reset here) with the min-weight table for
+/// `items`, choosing between the sequential fill and chunked parallel
+/// blocks. Both paths produce identical frontier-pruned tables.
+fn dp_table(
+    dp: &mut Vec<u128>,
+    items: &[Item],
+    cap: usize,
+    prune_limit: u128,
+    stop_at: Option<u128>,
+) {
+    dp.clear();
+    dp.resize(cap + 1, INF);
+    dp[0] = 0;
+    let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
+    let chunks = if items.len() >= 2 * PAR_MIN_ITEMS && cap <= PAR_MAX_CAP && threads > 1 {
+        threads.min(items.len() / PAR_MIN_ITEMS)
+    } else {
+        1
+    };
+    if chunks <= 1 {
+        dp_fill(dp, items, prune_limit, stop_at);
+    } else {
+        dp_chunked(dp, items, prune_limit, chunks);
+    }
+}
+
+/// Parallel DP: per-thread blocks each build an independent frontier, then
+/// the frontiers combine by exact min-plus convolution (associative, so the
+/// result does not depend on the block split).
+fn dp_chunked(dp: &mut Vec<u128>, items: &[Item], prune_limit: u128, chunks: usize) {
+    let cap = dp.len() - 1;
+    let per = items.len().div_ceil(chunks);
+    let tables: Vec<Vec<u128>> = std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(per)
+            .map(|block| {
+                s.spawn(move || {
+                    let mut t = vec![INF; cap + 1];
+                    t[0] = 0;
+                    dp_fill(&mut t, block, prune_limit, None);
+                    t
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("DP block worker panicked")).collect()
+    });
+    let mut tmp = vec![INF; cap + 1];
+    for t in &tables {
+        min_plus_merge(dp, t, &mut tmp, prune_limit);
+    }
+}
+
+/// `acc <- min-plus(acc, add)`, both frontier-pruned: for every finite pair
+/// the combined state `(qa + qb, wa + wb)` is folded in, saturating profit
+/// at the cap and discarding weights beyond `prune_limit`.
+fn min_plus_merge(acc: &mut Vec<u128>, add: &[u128], tmp: &mut Vec<u128>, prune_limit: u128) {
+    let cap = acc.len() - 1;
+    tmp.clear();
+    tmp.resize(cap + 1, INF);
+    for (qa, &wa) in acc.iter().enumerate() {
+        if wa == INF {
+            continue;
+        }
+        for (qb, &wb) in add.iter().enumerate() {
+            if wb == INF {
                 continue;
             }
-            let np = (q + p).min(cap);
-            let nw = dp[q].saturating_add(w);
-            if nw < dp[np] {
-                dp[np] = nw;
-                if np > best_reach {
-                    best_reach = np;
-                }
+            let nw = wa.saturating_add(wb);
+            if nw > prune_limit {
+                // Finite entries of a pruned table ascend in weight.
+                break;
+            }
+            let np = (qa + qb).min(cap);
+            if nw < tmp[np] {
+                tmp[np] = nw;
             }
         }
     }
-    // Max p with dp[p] <= capacity; dp is not necessarily monotone, so scan.
-    let mut best = 0u64;
-    for (p, &w) in dp.iter().enumerate() {
-        if w <= capacity {
-            best = best.max(p as u64);
-        }
+    prune_frontier(tmp);
+    std::mem::swap(acc, tmp);
+}
+
+/// A positive-profit, positive-weight party in the ratio-sorted view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    profit: u64,
+    weight: u64,
+    party: u32,
+}
+
+/// Total order of the sorted view: ratio descending with exact
+/// cross-multiplied comparisons, denser profit first on ties, then party.
+/// Because equal ratio plus equal profit forces equal weight, this is
+/// exactly the order the original stable ratio sort produced (ties kept
+/// input order, and entries are pushed in party order) — which is what lets
+/// [`SortedItems::splice`] target positions by binary search.
+fn cmp_entry(a: &Entry, b: &Entry) -> Ordering {
+    match cmp_mul(
+        u128::from(b.profit),
+        u128::from(a.weight),
+        u128::from(a.profit),
+        u128::from(b.weight),
+    ) {
+        Ordering::Equal => b.profit.cmp(&a.profit).then(a.party.cmp(&b.party)),
+        ord => ord,
     }
-    (best + free).min(profit_cap)
 }
 
 /// A ratio-sorted item view with prefix sums, shared by every bound query
@@ -157,19 +430,24 @@ pub fn max_profit_dp_with(
 /// (two capacities × two bounds for Weight Separation); building this once
 /// per candidate replaces one sort *per query* with one sort per candidate,
 /// and [`SortedItems::rebuild`] recycles the allocations across the whole
-/// binary search. Answers are bit-identical to the one-shot free functions
-/// below, which delegate here.
+/// binary search. Between epochs, [`SortedItems::splice`] updates only the
+/// changed parties instead of re-sorting from scratch. Answers are
+/// bit-identical to the one-shot free functions below, which delegate here.
 #[derive(Debug, Default, Clone)]
 pub struct SortedItems {
     /// Profit of zero-weight items: free under any capacity.
     free: u128,
-    /// Positive-weight, positive-profit items in descending ratio order.
-    items: Vec<Item>,
-    /// `prefix_profit[i]` = total profit of `items[..i]`.
+    /// Positive-weight, positive-profit entries in descending ratio order.
+    entries: Vec<Entry>,
+    /// `prefix_profit[i]` = total profit of `entries[..i]`.
     prefix_profit: Vec<u128>,
-    /// `prefix_weight[i]` = total weight of `items[..i]` (strictly
+    /// `prefix_weight[i]` = total weight of `entries[..i]` (strictly
     /// increasing: zero weights were split out).
     prefix_weight: Vec<u128>,
+    /// Splice scratch, recycled across epochs.
+    scratch: Vec<Entry>,
+    splice_ins: Vec<Entry>,
+    splice_rem: Vec<usize>,
 }
 
 impl SortedItems {
@@ -182,31 +460,113 @@ impl SortedItems {
     }
 
     /// Rebuilds the view in place for a new candidate, reusing allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items.len()` exceeds `u32::MAX` parties.
     pub fn rebuild(&mut self, items: &[Item]) {
         self.free = 0;
-        self.items.clear();
-        for it in items {
+        self.entries.clear();
+        for (i, it) in items.iter().enumerate() {
             if it.profit == 0 {
                 continue; // never helps
             }
             if it.weight == 0 {
                 self.free += u128::from(it.profit);
             } else {
-                self.items.push(*it);
+                let party = u32::try_from(i).expect("party count fits u32");
+                self.entries.push(Entry { profit: it.profit, weight: it.weight, party });
             }
         }
-        sort_by_ratio(&mut self.items);
+        self.entries.sort_unstable_by(cmp_entry);
+        self.rebuild_prefixes();
+    }
+
+    /// Incremental [`SortedItems::rebuild`]: `old_items` must be exactly the
+    /// slice this view was last built from, and `changed` lists the indices
+    /// where `new_items` may differ. The result is bit-identical to
+    /// `rebuild(new_items)` at `O(n + k log n)` instead of `O(n log n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a changed old entry is not present in the view (the view
+    /// was not built from `old_items`).
+    pub fn splice(&mut self, old_items: &[Item], new_items: &[Item], changed: &[usize]) {
+        debug_assert_eq!(old_items.len(), new_items.len());
+        self.splice_rem.clear();
+        self.splice_ins.clear();
+        for &i in changed {
+            let (old, new) = (old_items[i], new_items[i]);
+            if old == new {
+                continue;
+            }
+            let party = u32::try_from(i).expect("party count fits u32");
+            if old.profit > 0 {
+                if old.weight == 0 {
+                    self.free -= u128::from(old.profit);
+                } else {
+                    let e = Entry { profit: old.profit, weight: old.weight, party };
+                    let pos = self
+                        .entries
+                        .binary_search_by(|x| cmp_entry(x, &e))
+                        .expect("changed old entry present in view");
+                    self.splice_rem.push(pos);
+                }
+            }
+            if new.profit > 0 {
+                if new.weight == 0 {
+                    self.free += u128::from(new.profit);
+                } else {
+                    self.splice_ins.push(Entry {
+                        profit: new.profit,
+                        weight: new.weight,
+                        party,
+                    });
+                }
+            }
+        }
+        self.splice_rem.sort_unstable();
+        self.splice_ins.sort_unstable_by(cmp_entry);
+        let mut out = std::mem::take(&mut self.scratch);
+        out.clear();
+        out.reserve(self.entries.len() + self.splice_ins.len());
+        let mut rem = self.splice_rem.iter().copied().peekable();
+        let mut ins = self.splice_ins.iter().copied().peekable();
+        for (idx, &e) in self.entries.iter().enumerate() {
+            if rem.peek() == Some(&idx) {
+                rem.next();
+                continue;
+            }
+            while ins.peek().is_some_and(|x| cmp_entry(x, &e) == Ordering::Less) {
+                out.push(ins.next().expect("peeked"));
+            }
+            out.push(e);
+        }
+        out.extend(ins);
+        std::mem::swap(&mut self.entries, &mut out);
+        self.scratch = out;
+        self.rebuild_prefixes();
+    }
+
+    fn rebuild_prefixes(&mut self) {
         self.prefix_profit.clear();
         self.prefix_weight.clear();
         self.prefix_profit.push(0);
         self.prefix_weight.push(0);
         let (mut ap, mut aw) = (0u128, 0u128);
-        for it in &self.items {
-            ap += u128::from(it.profit);
-            aw += u128::from(it.weight);
+        for e in &self.entries {
+            ap += u128::from(e.profit);
+            aw += u128::from(e.weight);
             self.prefix_profit.push(ap);
             self.prefix_weight.push(aw);
         }
+    }
+
+    /// The best profit/weight ratio among positive-weight items, as a
+    /// `(profit, weight)` pair — the slope bound certificates need.
+    #[must_use]
+    pub fn densest(&self) -> Option<(u64, u64)> {
+        self.entries.first().map(|e| (e.profit, e.weight))
     }
 
     /// Number of leading sorted items whose cumulative weight fits within
@@ -232,7 +592,7 @@ impl SortedItems {
         if acc_profit >= target {
             return true;
         }
-        let Some(it) = self.items.get(cut) else {
+        let Some(it) = self.entries.get(cut) else {
             return false; // everything fits and still falls short
         };
         // Fractional part of the breaking item: remaining capacity.
@@ -249,7 +609,7 @@ impl SortedItems {
     pub fn fractional_upper_bound_floor(&self, capacity: u128) -> u128 {
         let cut = self.cut(capacity);
         let acc_profit = self.free + self.prefix_profit[cut];
-        let Some(it) = self.items.get(cut) else {
+        let Some(it) = self.entries.get(cut) else {
             return acc_profit;
         };
         let rem = capacity - self.prefix_weight[cut];
@@ -265,29 +625,36 @@ impl SortedItems {
     /// reachable).
     #[must_use]
     pub fn greedy_lower_bound_reaches(&self, capacity: u128, target: u64) -> bool {
-        if target == 0 {
-            return true;
-        }
-        if self.free >= u128::from(target) {
-            return true;
+        self.greedy_witness(capacity, target).is_some()
+    }
+
+    /// Like [`SortedItems::greedy_lower_bound_reaches`], but returns the
+    /// witness packing `(profit, weight)` — free profit included — when the
+    /// target is reached. `Some` exactly when the boolean test is `true`;
+    /// the pair is a concrete subset certificates can carry forward.
+    #[must_use]
+    pub fn greedy_witness(&self, capacity: u128, target: u64) -> Option<(u128, u128)> {
+        if u128::from(target) <= self.free {
+            return Some((self.free, 0));
         }
         let target = u128::from(target) - self.free;
         let mut acc_profit: u128 = 0;
         let mut acc_weight: u128 = 0;
-        for it in &self.items {
-            let w = u128::from(it.weight);
+        for e in &self.entries {
+            let w = u128::from(e.weight);
             if acc_weight + w <= capacity {
                 acc_weight += w;
-                acc_profit += u128::from(it.profit);
+                acc_profit += u128::from(e.profit);
                 if acc_profit >= target {
-                    return true;
+                    return Some((self.free + acc_profit, acc_weight));
                 }
             }
         }
         // Best single item is another classic feasible witness.
-        self.items
+        self.entries
             .iter()
-            .any(|it| u128::from(it.weight) <= capacity && u128::from(it.profit) >= target)
+            .find(|e| u128::from(e.weight) <= capacity && u128::from(e.profit) >= target)
+            .map(|e| (self.free + u128::from(e.profit), u128::from(e.weight)))
     }
 
     /// Profit of the greedy feasible packing under `capacity` — a certified
@@ -296,18 +663,18 @@ impl SortedItems {
     pub fn greedy_lower_bound(&self, capacity: u128) -> u128 {
         let mut acc_profit: u128 = 0;
         let mut acc_weight: u128 = 0;
-        for it in &self.items {
-            let w = u128::from(it.weight);
+        for e in &self.entries {
+            let w = u128::from(e.weight);
             if acc_weight + w <= capacity {
                 acc_weight += w;
-                acc_profit += u128::from(it.profit);
+                acc_profit += u128::from(e.profit);
             }
         }
         let best_single = self
-            .items
+            .entries
             .iter()
-            .filter(|it| u128::from(it.weight) <= capacity)
-            .map(|it| u128::from(it.profit))
+            .filter(|e| u128::from(e.weight) <= capacity)
+            .map(|e| u128::from(e.profit))
             .max()
             .unwrap_or(0);
         self.free + acc_profit.max(best_single)
@@ -399,6 +766,56 @@ mod tests {
         pairs.iter().map(|&(profit, weight)| Item { profit, weight }).collect()
     }
 
+    /// The pre-rework scalar DP, kept verbatim as a differential reference:
+    /// no prefilter, no frontier pruning, no chunking.
+    fn reference_scalar_dp(items: &[Item], capacity: u128, profit_cap: u64) -> u64 {
+        let mut free: u128 = 0;
+        let mut rest: Vec<Item> = Vec::new();
+        for it in items {
+            if it.profit == 0 {
+                continue;
+            }
+            if it.weight == 0 {
+                free += u128::from(it.profit);
+            } else {
+                rest.push(*it);
+            }
+        }
+        let free = free.min(u128::from(profit_cap)) as u64;
+        if free >= profit_cap {
+            return profit_cap;
+        }
+        let cap = usize::try_from(profit_cap).expect("profit cap fits usize");
+        let mut dp = vec![INF; cap + 1];
+        dp[0] = 0;
+        let mut best_reach: usize = 0;
+        for it in &rest {
+            let p = usize::try_from(it.profit).expect("profit fits usize").min(cap);
+            let w = u128::from(it.weight);
+            let hi = best_reach.min(cap);
+            for q in (0..=hi).rev() {
+                if dp[q] == INF {
+                    continue;
+                }
+                let np = (q + p).min(cap);
+                let nw = dp[q].saturating_add(w);
+                if nw < dp[np] {
+                    dp[np] = nw;
+                    if np > best_reach {
+                        best_reach = np;
+                    }
+                }
+            }
+        }
+        let mut best = 0u64;
+        for (p, &w) in dp.iter().enumerate() {
+            if w <= capacity {
+                best = best.max(p as u64);
+            }
+        }
+        (best + free).min(profit_cap)
+    }
+
     #[test]
     fn dp_simple() {
         let its = items(&[(6, 5), (5, 4), (5, 4)]);
@@ -422,6 +839,87 @@ mod tests {
         let its = items(&[(3, 0), (4, 10)]);
         assert_eq!(max_profit_dp(&its, 0, 100), 3);
         assert_eq!(max_profit_dp(&its, 10, 100), 7);
+    }
+
+    #[test]
+    fn dp_probe_frontier_is_exact_and_monotone() {
+        let its = items(&[(6, 5), (5, 4), (5, 4), (3, 0)]);
+        let mut scratch = DpScratch::default();
+        let probe = max_profit_dp_probe(&mut scratch, &its, 8, 100, 1000);
+        assert_eq!(probe.best, max_profit_dp(&its, 8, 100));
+        // Strictly increasing in both coordinates, starting at the free
+        // profit with zero weight.
+        assert_eq!(probe.frontier[0], (3, 0));
+        for w in probe.frontier.windows(2) {
+            assert!(w[0].0 < w[1].0 && w[0].1 < w[1].1, "frontier not monotone: {w:?}");
+        }
+        // Each frontier weight is the brute-force min weight for its profit.
+        for &(q, wmin) in &probe.frontier {
+            let feasible = max_profit_brute_force(&its, wmin) >= u128::from(q);
+            let below = wmin == 0 || max_profit_brute_force(&its, wmin - 1) < u128::from(q);
+            assert!(feasible && below, "({q}, {wmin}) is not a tight frontier point");
+        }
+    }
+
+    #[test]
+    fn chunked_fill_matches_sequential() {
+        // Deterministic pseudo-random items, forced through the chunked
+        // path, must produce the same frontier as one sequential fill.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let its: Vec<Item> = (0..4000)
+            .map(|_| Item { profit: next() % 12 + 1, weight: next() % 90 + 1 })
+            .collect();
+        let cap = 64usize;
+        let prune_limit = 500u128;
+        let mut seq = vec![INF; cap + 1];
+        seq[0] = 0;
+        dp_fill(&mut seq, &its, prune_limit, None);
+        for chunks in [2usize, 3, 7] {
+            let mut par = vec![INF; cap + 1];
+            par[0] = 0;
+            dp_chunked(&mut par, &its, prune_limit, chunks);
+            assert_eq!(seq, par, "chunked fill diverged at {chunks} chunks");
+        }
+    }
+
+    #[test]
+    fn splice_matches_rebuild() {
+        let old = items(&[(5, 4), (0, 7), (3, 0), (9, 2), (5, 4), (1, 9)]);
+        let mut new = old.clone();
+        new[0] = Item { profit: 2, weight: 2 }; // ratio change
+        new[2] = Item { profit: 0, weight: 5 }; // free profit removed
+        new[5] = Item { profit: 4, weight: 0 }; // becomes free
+        let mut spliced = SortedItems::new(&old);
+        spliced.splice(&old, &new, &[0, 2, 5, 4]); // includes an unchanged index
+        let rebuilt = SortedItems::new(&new);
+        assert_eq!(spliced.free, rebuilt.free);
+        assert_eq!(spliced.entries, rebuilt.entries);
+        assert_eq!(spliced.prefix_profit, rebuilt.prefix_profit);
+        assert_eq!(spliced.prefix_weight, rebuilt.prefix_weight);
+    }
+
+    #[test]
+    fn greedy_witness_agrees_with_reaches_and_is_feasible() {
+        let its = items(&[(6, 5), (5, 4), (5, 4), (2, 0)]);
+        let sorted = SortedItems::new(&its);
+        for target in 0u64..=20 {
+            for cap in [0u128, 3, 8, 13] {
+                match sorted.greedy_witness(cap, target) {
+                    Some((p, w)) => {
+                        assert!(sorted.greedy_lower_bound_reaches(cap, target));
+                        assert!(p >= u128::from(target) && w <= cap);
+                        assert!(max_profit_brute_force(&its, w) >= p, "witness not real");
+                    }
+                    None => assert!(!sorted.greedy_lower_bound_reaches(cap, target)),
+                }
+            }
+        }
     }
 
     #[test]
@@ -479,6 +977,18 @@ mod tests {
         assert_eq!(max_profit_brute_force(&its, 0), 0);
     }
 
+    /// Expands `(profit, weight, selector)` draws into a whale-skewed item
+    /// mix: three quarters small parties, one quarter order-of-magnitude
+    /// whales.
+    fn whale_items(pw: &[(u64, u64, u64)]) -> Vec<Item> {
+        pw.iter()
+            .map(|&(profit, weight, sel)| Item {
+                profit,
+                weight: if sel == 0 { 500 + weight * 90 } else { weight },
+            })
+            .collect()
+    }
+
     proptest! {
         #[test]
         fn dp_matches_brute_force(
@@ -490,6 +1000,64 @@ mod tests {
             let exact = max_profit_brute_force(&its, cap.into());
             let dp = max_profit_dp(&its, cap.into(), total.max(1));
             prop_assert_eq!(u128::from(dp), exact);
+        }
+
+        #[test]
+        fn dp_matches_brute_force_and_old_scalar_on_whale_mixes(
+            pw in proptest::collection::vec((0u64..30, 0u64..50, 0u64..4), 1..24),
+            cap in 0u64..8000,
+            pcap in 1u64..200,
+        ) {
+            let its = whale_items(&pw);
+            let new = max_profit_dp(&its, cap.into(), pcap);
+            let old = reference_scalar_dp(&its, cap.into(), pcap);
+            prop_assert_eq!(new, old);
+            if its.len() < 20 {
+                let exact = max_profit_brute_force(&its, cap.into());
+                prop_assert_eq!(u128::from(new), exact.min(u128::from(pcap)));
+            }
+        }
+
+        #[test]
+        fn dp_probe_best_matches_plain_dp(
+            pw in proptest::collection::vec((0u64..30, 0u64..50, 0u64..4), 1..24),
+            cap in 0u64..8000,
+            pcap in 1u64..200,
+            slack in 0u128..500,
+        ) {
+            let its = whale_items(&pw);
+            let mut scratch = DpScratch::default();
+            let probe = max_profit_dp_probe(&mut scratch, &its, cap.into(), pcap, slack);
+            prop_assert_eq!(probe.best, max_profit_dp(&its, cap.into(), pcap));
+            // Frontier entries are real subsets (probe-side soundness).
+            for &(q, w) in &probe.frontier {
+                if its.len() < 20 {
+                    prop_assert!(max_profit_brute_force(&its, w) >= u128::from(q));
+                }
+            }
+        }
+
+        #[test]
+        fn splice_equals_rebuild_on_random_churn(
+            pw in proptest::collection::vec((0u64..30, 0u64..60), 1..24),
+            churn in proptest::collection::vec((0usize..24, 0u64..30, 0u64..60), 0..8),
+        ) {
+            let old = items(&pw);
+            let mut new = old.clone();
+            let mut changed: Vec<usize> = Vec::new();
+            for (i, p, w) in churn {
+                let i = i % old.len();
+                new[i] = Item { profit: p, weight: w };
+                changed.push(i);
+            }
+            changed.sort_unstable();
+            changed.dedup();
+            let mut spliced = SortedItems::new(&old);
+            spliced.splice(&old, &new, &changed);
+            let rebuilt = SortedItems::new(&new);
+            prop_assert_eq!(spliced.free, rebuilt.free);
+            prop_assert_eq!(spliced.entries, rebuilt.entries);
+            prop_assert_eq!(spliced.prefix_weight, rebuilt.prefix_weight);
         }
 
         #[test]

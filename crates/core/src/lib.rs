@@ -132,7 +132,8 @@ pub use assignment::TicketAssignment;
 pub use epoch_event::EpochEvent;
 pub use error::CoreError;
 pub use oracle::{
-    CachingOracle, CheckParams, FamilyMember, FullOracle, LinearOracle, ValidityOracle, Verdict,
+    CachingOracle, CertKind, CertifyingOracle, CheckParams, FamilyMember, FullOracle,
+    LinearOracle, ValidityOracle, Verdict, VerdictCertificate,
 };
 pub use problems::{WeightQualification, WeightRestriction, WeightSeparation};
 pub use ratio::Ratio;

@@ -78,6 +78,11 @@ pub struct SolveStats {
     /// Checks that went through to the wrapped oracle (zero when no
     /// caching decorator is in play).
     pub cache_misses: u64,
+    /// Checks settled by replaying a delta-stable verdict certificate
+    /// (see [`crate::oracle`]) instead of re-running bounds or the DP.
+    /// Counted separately from cache hits: the member differed from the
+    /// one that produced the stored verdict.
+    pub certificate_skips: u64,
 }
 
 impl SolveStats {
@@ -91,6 +96,7 @@ impl SolveStats {
         self.settled_by_theorem += other.settled_by_theorem;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.certificate_skips += other.certificate_skips;
     }
 
     /// Cache lookups observed (`hits + misses`).

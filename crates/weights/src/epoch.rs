@@ -185,12 +185,18 @@ pub struct Reconfigurator {
 
 impl Reconfigurator {
     /// A reconfiguration loop tracking the given settings. Each track gets
-    /// a dedicated persistent [`CachingOracle`] around a [`FullOracle`];
-    /// the solver's mode is ignored for oracle construction (the loop's
-    /// identity guarantees are stated for exact oracles).
+    /// a dedicated persistent [`CachingOracle`] around a [`FullOracle`]
+    /// with delta-stable verdict certificates enabled (the loop is exactly
+    /// the replay workload certificates exist for; disable via
+    /// [`Reconfigurator::with_certificates`]); the solver's mode is
+    /// ignored for oracle construction (the loop's identity guarantees are
+    /// stated for exact oracles).
     #[must_use]
     pub fn new(solver: Swiper, settings: Vec<Setting>) -> Self {
-        let oracles = settings.iter().map(|_| CachingOracle::new(FullOracle::new())).collect();
+        let oracles = settings
+            .iter()
+            .map(|_| CachingOracle::new(FullOracle::new()).with_certificates(true))
+            .collect();
         let prev = settings.iter().map(|_| None).collect();
         Reconfigurator {
             solver,
@@ -226,6 +232,22 @@ impl Reconfigurator {
     pub fn with_cold_check(mut self, on: bool) -> Self {
         self.cold_check = on;
         self
+    }
+
+    /// Enables or disables delta-stable verdict certificates on every
+    /// track's caching oracle (default: enabled). Certificates never
+    /// change a verdict — see `swiper_core::oracle` — so this only moves
+    /// `dp_invocations` into `certificate_skips`.
+    #[must_use]
+    pub fn with_certificates(mut self, on: bool) -> Self {
+        self.oracles = self.oracles.into_iter().map(|o| o.with_certificates(on)).collect();
+        self
+    }
+
+    /// Whether the per-track oracles replay delta-stable certificates.
+    #[must_use]
+    pub fn certificates_enabled(&self) -> bool {
+        self.oracles.iter().any(CachingOracle::certificates_enabled)
     }
 
     /// The tracked settings, in track order.
@@ -667,5 +689,42 @@ mod tests {
         );
         assert!(lookups > 0, "the shared caches must actually be consulted");
         assert!(warm_agreed >= 20, "warm pass should agree on most epochs: {warm_agreed}/25");
+    }
+
+    /// The PR-6 acceptance criterion: on the same 25-epoch Tezos 1%-churn
+    /// replay, a certificate-enabled loop publishes bit-identical
+    /// assignments to a certificate-free one while running the DP strictly
+    /// fewer times — the skipped calls show up in `certificate_skips`.
+    #[test]
+    fn certified_replay_beats_warm_baseline_dp_count() {
+        let setting = wr();
+        let mut base =
+            Reconfigurator::new(Swiper::new(), vec![setting]).with_certificates(false);
+        let mut cert = Reconfigurator::new(Swiper::new(), vec![setting]);
+        assert!(!base.certificates_enabled());
+        assert!(cert.certificates_enabled());
+        let mut snapshot = crate::Chain::Tezos.weights();
+        let churned = snapshot.len().div_ceil(100);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (mut base_dp, mut cert_dp, mut skips) = (0u64, 0u64, 0u64);
+        for epoch in 0..25 {
+            let b = base.advance(&snapshot).unwrap();
+            let c = cert.advance(&snapshot).unwrap();
+            assert_eq!(
+                b.solutions[0].assignment, c.solutions[0].assignment,
+                "epoch {epoch}: certificates must not change the published assignment"
+            );
+            let (bs, cs) = (b.stats(), c.stats());
+            assert_eq!(bs.certificate_skips, 0);
+            base_dp += bs.dp_invocations;
+            cert_dp += cs.dp_invocations;
+            skips += cs.certificate_skips;
+            snapshot = churn(&snapshot, churned, 5, &mut rng);
+        }
+        assert!(
+            cert_dp < base_dp,
+            "certificates must skip DP calls: certified {cert_dp} vs baseline {base_dp}"
+        );
+        assert!(skips > 0, "the skip counter must surface the fast path");
     }
 }

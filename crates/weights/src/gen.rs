@@ -109,6 +109,41 @@ pub fn exponential(n: usize, mean: f64, seed: u64) -> Weights {
     Weights::new(w).expect("positive weights")
 }
 
+/// Whale-skewed population: a small Zipf head of whales grafted onto a
+/// log-normal body, then shuffled so the heavy parties are scattered
+/// through the index space (adversarial for anything that assumes sorted
+/// or clustered stake). This is the profile real validator sets show —
+/// a few exchange-scale whales over a long retail tail — and the input
+/// family the `solver_scale` bench sweeps. Deterministic per seed.
+///
+/// `whales` is clamped to `n`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn whale_mix(n: usize, whales: usize, seed: u64) -> Weights {
+    assert!(n > 0);
+    let whales = whales.min(n);
+    // Body: ln-stake centered at e^10 (~22k) with heavy spread.
+    let mut w = lognormal(n, 10.0, 1.5, seed).as_slice().to_vec();
+    // Head: whale i holds ~whale_scale / (i+1)^0.8 — flat-ish Zipf, so
+    // several parties are individually dominant.
+    let body_total: u128 = w.iter().map(|&x| u128::from(x)).sum();
+    let whale_scale = u64::try_from((body_total / 8).clamp(1, u128::from(u64::MAX / 4)))
+        .expect("clamped to u64 range");
+    for (i, slot) in w.iter_mut().take(whales).enumerate() {
+        let v = (whale_scale as f64) / ((i + 1) as f64).powf(0.8);
+        *slot = (v.round() as u64).max(1);
+    }
+    // Fisher–Yates with the same seeded stream, offset past the body draws.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    for i in (1..w.len()).rev() {
+        let j = rng.random_range(0..=i);
+        w.swap(i, j);
+    }
+    Weights::new(w).expect("positive weights")
+}
+
 /// Rescales a weight vector so that the total is (approximately, up to
 /// rounding with a guaranteed minimum of 1 per non-zero party) `target`.
 ///
@@ -177,6 +212,26 @@ mod tests {
         let e = exponential(40, 1000.0, 3);
         assert!(l.as_slice().iter().all(|&w| w >= 1));
         assert!(e.as_slice().iter().all(|&w| w >= 1));
+    }
+
+    #[test]
+    fn whale_mix_is_seeded_skewed_and_scattered() {
+        let a = whale_mix(500, 8, 42);
+        let b = whale_mix(500, 8, 42);
+        let c = whale_mix(500, 8, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // The 8 whales should dominate: top-8 share well above a uniform
+        // 8/500 slice.
+        let mut sorted: Vec<u64> = a.as_slice().to_vec();
+        sorted.sort_unstable_by(|x, y| y.cmp(x));
+        let top: u128 = sorted.iter().take(8).map(|&x| u128::from(x)).sum();
+        assert!(top * 4 > a.total(), "whale share too small: {top} of {}", a.total());
+        // And scattered: the heaviest party should (for this seed) not sit
+        // at index 0 where the unshuffled head would leave it.
+        let max = a.as_slice().iter().max().unwrap();
+        assert_ne!(a.get(0), *max);
+        assert!(a.as_slice().iter().all(|&w| w >= 1));
     }
 
     #[test]

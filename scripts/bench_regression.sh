@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Re-runs the solver_scale sweep and diffs it against the committed
+# BENCH_solver.json. Fails on any deterministic-counter mismatch, >20%
+# wall-time regression (rows over 250 ms), or a blown --budget-ms.
+#
+# Usage: scripts/bench_regression.sh [--max-n N] [--budget-ms MS]
+# Extra flags are forwarded to the solver_scale binary verbatim.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BASELINE="BENCH_solver.json"
+if [[ ! -f "$BASELINE" ]]; then
+    echo "bench_regression: missing committed baseline $BASELINE" >&2
+    exit 1
+fi
+
+FRESH="$(mktemp /tmp/BENCH_solver.fresh.XXXXXX.json)"
+trap 'rm -f "$FRESH"' EXIT
+
+cargo run --release -p swiper-bench --bin solver_scale -- \
+    --out "$FRESH" --diff "$BASELINE" "$@"
