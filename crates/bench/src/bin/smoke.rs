@@ -2,7 +2,9 @@
 //! eyeball ticket totals, bounds, modes and runtimes before running the
 //! full experiment suite. Each chain also runs a short certified warm
 //! replay so the delta-stable certificate fast path's skip counter is
-//! visible next to `dp=`.
+//! visible next to `dp=`, plus one threaded-runtime line: a weighted
+//! Bracha broadcast over the chain's whale stakes on the
+//! [`ThreadedRuntime`], twin-replayed against the simulator substrate.
 //!
 //! ```text
 //! cargo run --release -p swiper-bench --bin smoke
@@ -12,12 +14,33 @@ use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use swiper_core::{Mode, Ratio, Swiper, WeightRestriction, WeightSeparation};
+use swiper_core::{Mode, Ratio, Swiper, WeightRestriction, WeightSeparation, Weights};
+use swiper_net::{Protocol, SendNodes, ThreadedRuntime};
+use swiper_protocols::bracha::{BrachaConfig, BrachaMsg, BrachaNode};
 use swiper_weights::epoch::{churn_with, ChurnMode, Reconfigurator, Setting};
 use swiper_weights::CHAINS;
 
 /// Epochs of 1%-churn warm replay per chain.
 const REPLAY_EPOCHS: u64 = 6;
+
+/// Parties in the runtime line's weighted broadcast: the chain's top
+/// stakes, kept small so the all-to-all automaton stays a smoke test.
+const RUNTIME_PARTIES: usize = 16;
+
+/// Weighted Bracha replicas over the chain's heaviest stakes.
+fn bracha_nodes(weights: &Weights, payload: &[u8]) -> SendNodes<BrachaMsg> {
+    let n = weights.len();
+    (0..n)
+        .map(|me| {
+            let config = BrachaConfig::weighted(weights.clone());
+            if me == 0 {
+                Box::new(BrachaNode::sender(config, 0, payload.to_vec())) as _
+            } else {
+                Box::new(BrachaNode::new(config, 0)) as _
+            }
+        })
+        .collect()
+}
 
 fn main() {
     for chain in CHAINS {
@@ -71,5 +94,36 @@ fn main() {
             stats.cache_lookups(),
             t0.elapsed()
         );
+        // Threaded-runtime line: weighted Bracha over the chain's whale
+        // stakes, with the delivery trace replayed on the simulator twin.
+        let mut stakes = w.as_slice().to_vec();
+        stakes.sort_unstable_by(|a, b| b.cmp(a));
+        stakes.truncate(RUNTIME_PARTIES);
+        let whales = Weights::new(stakes).unwrap();
+        let payload = format!("smoke payload for {}", chain.name()).into_bytes();
+        let t0 = Instant::now();
+        let full =
+            ThreadedRuntime::new(bracha_nodes(&whales, &payload)).with_workers(2).run_traced();
+        let fresh: Vec<Box<dyn Protocol<Msg = BrachaMsg>>> = bracha_nodes(&whales, &payload)
+            .into_iter()
+            .map(|b| b as Box<dyn Protocol<Msg = BrachaMsg>>)
+            .collect();
+        let twin_ok = full
+            .trace
+            .replay(fresh)
+            .map(|r| r.outputs == full.report.outputs && r.metrics == full.report.metrics)
+            .unwrap_or(false);
+        let delivered = full.report.outputs.iter().filter(|o| o.is_some()).count();
+        println!(
+            "{:10} runtime n={:6} workers=2 delivered={}/{} msgs={:5} twin={} time={:?}",
+            chain.name(),
+            whales.len(),
+            delivered,
+            whales.len(),
+            full.report.metrics.delivered_messages(),
+            if twin_ok { "ok" } else { "DIVERGED" },
+            t0.elapsed()
+        );
+        assert!(twin_ok, "smoke: {} runtime twin replay diverged", chain.name());
     }
 }

@@ -230,6 +230,179 @@ fn json_num_field(line: &str, key: &str) -> Option<u128> {
     digits.parse().ok()
 }
 
+/// Schema tag written into (and required from) `BENCH_runtime.json`.
+pub const BENCH_RUNTIME_SCHEMA: &str = "swiper-bench-runtime/v1";
+
+/// One measurement row of the threaded-runtime trajectory
+/// (`BENCH_runtime.json`): a protocol chain driven to quiescence on the
+/// [`ThreadedRuntime`](swiper_net::ThreadedRuntime) and replay-checked
+/// against its simulator twin.
+///
+/// `commits` (protocol-level progress at quiescence) and `twin_ok` are
+/// schedule-independent and regression-gated exactly; wall time is gated
+/// with tolerance above [`BENCH_WALL_FLOOR_MS`]; message counts, latency
+/// percentiles and RSS vary with the OS schedule and are informational.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeBenchRow {
+    /// Benchmark family, e.g. `runtime_scale`.
+    pub bench: String,
+    /// Protocol chain: `bracha` / `aba` / `smr`.
+    pub protocol: String,
+    /// Population size.
+    pub n: u64,
+    /// Worker threads the runtime ran with.
+    pub workers: u64,
+    /// Wall-clock milliseconds of the run.
+    pub wall_ms: u64,
+    /// Protocol-level progress at quiescence (deliveries, decisions, or
+    /// committed rounds — deterministic for an honest chain).
+    pub commits: u64,
+    /// Commit throughput, rounded commits per second.
+    pub commits_per_sec: u64,
+    /// Messages delivered (schedule-dependent for halting protocols).
+    pub msgs: u64,
+    /// Delivery throughput, rounded messages per second.
+    pub msgs_per_sec: u64,
+    /// Median send→process latency, microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile latency, microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: u64,
+    /// Peak resident set size in kilobytes (0 when unavailable).
+    pub peak_rss_kb: u64,
+    /// 1 when the delivery trace replayed bit-identically on the
+    /// simulator twin, 0 otherwise.
+    pub twin_ok: u64,
+}
+
+impl RuntimeBenchRow {
+    /// The `(bench, protocol, n, workers)` identity rows are matched on
+    /// when diffing.
+    pub fn key(&self) -> (String, String, u64, u64) {
+        (self.bench.clone(), self.protocol.clone(), self.n, self.workers)
+    }
+
+    fn to_json_line(&self) -> String {
+        format!(
+            "    {{\"bench\":\"{}\",\"protocol\":\"{}\",\"n\":{},\"workers\":{},\
+             \"wall_ms\":{},\"commits\":{},\"commits_per_sec\":{},\"msgs\":{},\
+             \"msgs_per_sec\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\
+             \"peak_rss_kb\":{},\"twin_ok\":{}}}",
+            self.bench,
+            self.protocol,
+            self.n,
+            self.workers,
+            self.wall_ms,
+            self.commits,
+            self.commits_per_sec,
+            self.msgs,
+            self.msgs_per_sec,
+            self.p50_us,
+            self.p95_us,
+            self.p99_us,
+            self.peak_rss_kb,
+            self.twin_ok
+        )
+    }
+}
+
+/// Serializes runtime rows as the `BENCH_runtime.json` document (same
+/// line-oriented shape as [`render_bench_json`]).
+pub fn render_runtime_json(rows: &[RuntimeBenchRow]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{BENCH_RUNTIME_SCHEMA}\",");
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&row.to_json_line());
+        out.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parses a `BENCH_runtime.json` document produced by
+/// [`render_runtime_json`]. Lenient and line-oriented, like
+/// [`parse_bench_json`].
+///
+/// # Errors
+///
+/// Returns a description when the schema tag is absent or unexpected.
+pub fn parse_runtime_json(doc: &str) -> Result<Vec<RuntimeBenchRow>, String> {
+    if !doc.contains(&format!("\"schema\": \"{BENCH_RUNTIME_SCHEMA}\"")) {
+        return Err(format!("missing or unexpected schema tag (want {BENCH_RUNTIME_SCHEMA})"));
+    }
+    let mut rows = Vec::new();
+    for line in doc.lines() {
+        let Some(bench) = json_str_field(line, "bench") else { continue };
+        let num = |key: &str| json_num_field(line, key).unwrap_or(0) as u64;
+        rows.push(RuntimeBenchRow {
+            bench,
+            protocol: json_str_field(line, "protocol").unwrap_or_default(),
+            n: num("n"),
+            workers: num("workers"),
+            wall_ms: num("wall_ms"),
+            commits: num("commits"),
+            commits_per_sec: num("commits_per_sec"),
+            msgs: num("msgs"),
+            msgs_per_sec: num("msgs_per_sec"),
+            p50_us: num("p50_us"),
+            p95_us: num("p95_us"),
+            p99_us: num("p99_us"),
+            peak_rss_kb: num("peak_rss_kb"),
+            twin_ok: num("twin_ok"),
+        });
+    }
+    Ok(rows)
+}
+
+/// Compares a fresh runtime-benchmark run against a committed baseline.
+///
+/// `commits` and `twin_ok` must match exactly (they are
+/// schedule-independent; a `twin_ok` flip means the determinism-twin
+/// contract broke). Wall time regresses when it exceeds the baseline by
+/// more than `tol_pct` percent and both sides are above
+/// [`BENCH_WALL_FLOOR_MS`]. Message counts, latency percentiles and RSS
+/// are never gated. Baseline rows missing from the fresh run are
+/// regressions; extra fresh rows are not.
+pub fn diff_runtime_rows(
+    baseline: &[RuntimeBenchRow],
+    fresh: &[RuntimeBenchRow],
+    tol_pct: u64,
+) -> Vec<String> {
+    let mut problems = Vec::new();
+    for old in baseline {
+        let Some(new) = fresh.iter().find(|r| r.key() == old.key()) else {
+            problems.push(format!(
+                "row {}/{}/n={}/w={} missing from fresh run",
+                old.bench, old.protocol, old.n, old.workers
+            ));
+            continue;
+        };
+        let id = format!("{}/{}/n={}/w={}", old.bench, old.protocol, old.n, old.workers);
+        if old.commits != new.commits {
+            problems.push(format!("{id}: commits changed {} -> {}", old.commits, new.commits));
+        }
+        if old.twin_ok != new.twin_ok {
+            problems.push(format!(
+                "{id}: twin replay status changed {} -> {}",
+                old.twin_ok, new.twin_ok
+            ));
+        }
+        if old.wall_ms >= BENCH_WALL_FLOOR_MS
+            && new.wall_ms >= BENCH_WALL_FLOOR_MS
+            && new.wall_ms.saturating_mul(100) > old.wall_ms.saturating_mul(100 + tol_pct)
+        {
+            problems.push(format!(
+                "{id}: wall_ms regressed {} -> {} (> {tol_pct}%)",
+                old.wall_ms, new.wall_ms
+            ));
+        }
+    }
+    problems
+}
+
 /// Wall-clock floor below which timing rows are treated as noise and not
 /// regression-gated.
 pub const BENCH_WALL_FLOOR_MS: u64 = 250;
@@ -443,6 +616,67 @@ mod tests {
         assert!(diff_bench_rows(&tiny, &tiny_slow, 20).is_empty());
         // Missing row: flagged.
         assert_eq!(diff_bench_rows(&base, &[], 20).len(), 1);
+    }
+
+    fn runtime_row(protocol: &str, n: u64, workers: u64, wall: u64) -> RuntimeBenchRow {
+        RuntimeBenchRow {
+            bench: "runtime_scale".into(),
+            protocol: protocol.into(),
+            n,
+            workers,
+            wall_ms: wall,
+            commits: n,
+            commits_per_sec: 1000,
+            msgs: 5000,
+            msgs_per_sec: 90_000,
+            p50_us: 40,
+            p95_us: 200,
+            p99_us: 900,
+            peak_rss_kb: 20_000,
+            twin_ok: 1,
+        }
+    }
+
+    #[test]
+    fn runtime_json_roundtrips() {
+        let rows = vec![runtime_row("bracha", 20, 1, 300), runtime_row("smr", 10, 4, 800)];
+        let doc = render_runtime_json(&rows);
+        assert_eq!(parse_runtime_json(&doc).unwrap(), rows);
+        assert!(parse_runtime_json("{}").is_err(), "schema tag is mandatory");
+        assert!(
+            parse_runtime_json(&render_bench_json(&[])).is_err(),
+            "solver documents must not pass as runtime documents"
+        );
+    }
+
+    #[test]
+    fn runtime_diff_gates_commits_twin_and_wall() {
+        let base = vec![runtime_row("aba", 20, 2, 400)];
+        assert!(diff_runtime_rows(&base, &base, 20).is_empty());
+        // Schedule-dependent columns may drift freely.
+        let mut drift = base.clone();
+        drift[0].msgs = 9999;
+        drift[0].p99_us = 1;
+        drift[0].peak_rss_kb = 1;
+        assert!(diff_runtime_rows(&base, &drift, 20).is_empty());
+        // Commits and the twin flag are exact.
+        let mut commits = base.clone();
+        commits[0].commits = 19;
+        assert_eq!(diff_runtime_rows(&base, &commits, 20).len(), 1);
+        let mut twin = base.clone();
+        twin[0].twin_ok = 0;
+        assert_eq!(diff_runtime_rows(&base, &twin, 20).len(), 1);
+        // Wall: tolerated within tol_pct above the floor, noise below it.
+        let mut slow = base.clone();
+        slow[0].wall_ms = 500;
+        assert_eq!(diff_runtime_rows(&base, &slow, 20).len(), 1);
+        let mut tiny = base.clone();
+        tiny[0].wall_ms = 10;
+        let mut tiny_slow = tiny.clone();
+        tiny_slow[0].wall_ms = 100;
+        assert!(diff_runtime_rows(&tiny, &tiny_slow, 20).is_empty());
+        // Missing row: flagged.
+        assert_eq!(diff_runtime_rows(&base, &[], 20).len(), 1);
     }
 
     #[test]

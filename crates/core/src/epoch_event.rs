@@ -33,7 +33,7 @@ use crate::virtual_users::TicketDelta;
 use crate::weights::Weights;
 
 /// One epoch reconfiguration: the ticket delta *and* the stake that goes
-/// with it. See the [module docs](self) for the role of each field.
+/// with it. The module docs above explain the role of each field.
 ///
 /// # Examples
 ///

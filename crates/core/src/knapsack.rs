@@ -36,7 +36,7 @@
 //!   branch — bounded by the current reach.
 //! * **Monotone-frontier pruning.** `dp[p]` = min weight to reach profit
 //!   `>= p`, so a state that weighs no less than some higher-profit state
-//!   can never matter. Every [`PRUNE_STRIDE`] items (and before any read)
+//!   can never matter. Every `PRUNE_STRIDE` items (and before any read)
 //!   dominated states are cleared, leaving a strictly increasing
 //!   profit/weight frontier.
 //! * **Chunked parallel item blocks.** Large prefiltered inputs with modest

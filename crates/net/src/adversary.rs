@@ -146,10 +146,9 @@ where
     F: FnMut(NodeId, P::Msg) -> Option<P::Msg>,
 {
     fn rewrite(&mut self, ctx: &mut Context<P::Msg>) {
-        let staged = std::mem::take(&mut ctx.outbox);
-        for (to, msg) in staged {
+        for (to, msg) in ctx.take_staged_expanded(0) {
             if let Some(m) = (self.mangle)(to, msg) {
-                ctx.outbox.push((to, m));
+                ctx.send(to, m);
             }
         }
     }
@@ -191,8 +190,11 @@ impl<P: Protocol> EquivocatingDealer<P> {
         let before_out = ctx.outbox.len();
         let before_timers = ctx.timers.len();
         run(ctx);
-        let staged: Vec<_> = ctx.outbox.drain(before_out..).collect();
-        ctx.outbox.extend(staged.into_iter().filter(|(to, _)| keep(*to)));
+        for (to, msg) in ctx.take_staged_expanded(before_out) {
+            if keep(to) {
+                ctx.send(to, msg);
+            }
+        }
         for (_, id) in &mut ctx.timers[before_timers..] {
             *id = (*id << 1) | tag;
         }
@@ -257,8 +259,11 @@ impl<P> SelectiveAck<P> {
 
 impl<P: Protocol> SelectiveAck<P> {
     fn filter(&self, ctx: &mut Context<P::Msg>) {
-        let staged = std::mem::take(&mut ctx.outbox);
-        ctx.outbox.extend(staged.into_iter().filter(|(to, _)| self.allow.contains(to)));
+        for (to, msg) in ctx.take_staged_expanded(0) {
+            if self.allow.contains(&to) {
+                ctx.send(to, msg);
+            }
+        }
     }
 }
 
@@ -316,10 +321,16 @@ impl<P: Protocol> EpochShifter<P> {
     }
 
     /// Records this phase's fresh sends (pre-boundary only — the replay
-    /// payload is exactly the old epoch's traffic).
-    fn record(&mut self, ctx: &Context<P::Msg>, from: usize) {
+    /// payload is exactly the old epoch's traffic). Staged broadcasts are
+    /// expanded so the replay re-sends the identical per-recipient wire
+    /// traffic.
+    fn record(&mut self, ctx: &mut Context<P::Msg>, from: usize) {
+        let staged = ctx.take_staged_expanded(from);
         if !self.shifted {
-            self.sent.extend(ctx.outbox[from..].iter().cloned());
+            self.sent.extend(staged.iter().cloned());
+        }
+        for (to, msg) in staged {
+            ctx.send(to, msg);
         }
     }
 }
@@ -353,7 +364,9 @@ impl<P: Protocol> Protocol for EpochShifter<P> {
             // minted pre-boundary goes out again, verbatim, into the new
             // epoch.
             let replay: Vec<_> = self.sent.drain(..).collect();
-            ctx.outbox.extend(replay);
+            for (to, msg) in replay {
+                ctx.send(to, msg);
+            }
         }
     }
 }
@@ -385,10 +398,15 @@ impl<P: Protocol, F> BoundaryEquivocator<P, F> {
     }
 
     /// Records this phase's fresh sends (pre-boundary only — the replay
-    /// payload is exactly the old epoch's traffic).
-    fn record(&mut self, ctx: &Context<P::Msg>, from: usize) {
+    /// payload is exactly the old epoch's traffic), expanded per
+    /// recipient so the mangled replay targets the same wire audience.
+    fn record(&mut self, ctx: &mut Context<P::Msg>, from: usize) {
+        let staged = ctx.take_staged_expanded(from);
         if !self.shifted {
-            self.sent.extend(ctx.outbox[from..].iter().cloned());
+            self.sent.extend(staged.iter().cloned());
+        }
+        for (to, msg) in staged {
+            ctx.send(to, msg);
         }
     }
 }

@@ -1,19 +1,29 @@
-//! # swiper-net — a deterministic asynchronous network simulator
+//! # swiper-net — execution substrates for asynchronous protocols
 //!
 //! The weighted protocols of the Swiper paper (broadcast, agreement,
 //! beacons, SSLE, SMR) are *asynchronous message-passing* protocols. This
-//! crate provides the discrete-event substrate they run on in tests,
-//! examples and benchmarks:
+//! crate provides the substrates they run on — one [`Protocol`] automaton
+//! interface, two interchangeable backends behind the [`Runtime`] seam:
 //!
 //! * [`Protocol`] — the node automaton interface (`on_start`,
-//!   `on_message`, `on_timer`), object-safe so heterogeneous behaviours
-//!   (honest, crashed, Byzantine) can share one simulation.
-//! * [`Simulation`] — a seeded event queue with configurable message
-//!   delays. Same seed, same run: every execution is exactly reproducible.
+//!   `on_message`, `on_timer`, `on_reconfigure`), object-safe so
+//!   heterogeneous behaviours (honest, crashed, Byzantine) can share one
+//!   run.
+//! * [`Simulation`] — the deterministic backend: a seeded discrete-event
+//!   queue with configurable message delays. Same seed, same run: every
+//!   execution is exactly reproducible.
+//! * [`ThreadedRuntime`] — the deployed backend: worker threads, bounded
+//!   links over a pluggable [`Transport`], monotonic-clock timers. Every
+//!   run records a [`DeliveryTrace`] that replays on the simulator
+//!   substrate bit-identically (the determinism-twin contract).
 //! * [`adversary`] — generic fault injection: silence, crash-after-k,
 //!   and arbitrary message-mangling wrappers.
 //! * [`Metrics`] — per-node message/byte counters, the paper's
 //!   communication-overhead measurements (Table 1) read these.
+//!
+//! The layering (Protocol → Runtime → Transport) and the determinism-twin
+//! contract are documented in `docs/ARCHITECTURE.md` at the repository
+//! root.
 //!
 //! The asynchronous model matches the paper's: the adversary (here, the
 //! delay schedule) may reorder messages arbitrarily but must eventually
@@ -24,13 +34,22 @@
 
 pub mod adversary;
 mod metrics;
+mod runtime;
 mod sim;
+mod transport;
+mod twin;
 
 pub use adversary::AdaptiveDelay;
 pub use metrics::Metrics;
+pub use runtime::{LatencySummary, RuntimeReport, ThreadedRuntime};
 pub use sim::{
     Context, DelayModel, Effects, EpochedSimulation, NodeId, Protocol, RunReport, Simulation,
 };
+pub use transport::{
+    ChannelTransport, Delivery, Envelope, Runtime, SendError, SendNodes, Transport,
+    DEFAULT_LINK_CAPACITY,
+};
+pub use twin::{DeliveryTrace, TraceEvent, TwinError};
 
 /// Byte-size accounting for protocol messages (the communication metric).
 pub trait MessageSize {

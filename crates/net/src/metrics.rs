@@ -33,6 +33,27 @@ impl Metrics {
         self.delivered_bytes[node] += bytes as u64;
     }
 
+    /// Adds `other`'s counters into `self`, node by node. The threaded
+    /// runtime keeps one `Metrics` per worker (no shared counters on the
+    /// hot path) and absorbs them into the run report at shutdown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two metrics cover different populations.
+    pub fn absorb(&mut self, other: &Metrics) {
+        assert_eq!(
+            self.sent_messages.len(),
+            other.sent_messages.len(),
+            "cannot absorb metrics for a different population"
+        );
+        for i in 0..self.sent_messages.len() {
+            self.sent_messages[i] += other.sent_messages[i];
+            self.sent_bytes[i] += other.sent_bytes[i];
+            self.delivered_messages[i] += other.delivered_messages[i];
+            self.delivered_bytes[i] += other.delivered_bytes[i];
+        }
+    }
+
     /// Messages sent across all nodes.
     pub fn total_messages(&self) -> u64 {
         self.sent_messages.iter().sum()
@@ -82,5 +103,30 @@ mod tests {
         assert_eq!(m.delivered_bytes(), 10);
         assert_eq!(m.sent_by(0), 2);
         assert_eq!(m.bytes_sent_by(0), 15);
+    }
+
+    #[test]
+    fn absorb_merges_per_node() {
+        let mut a = Metrics::new(2);
+        a.record_send(0, 4);
+        a.record_delivery(1, 4);
+        let mut b = Metrics::new(2);
+        b.record_send(0, 6);
+        b.record_send(1, 1);
+        b.record_delivery(0, 6);
+        a.absorb(&b);
+        assert_eq!(a.sent_by(0), 2);
+        assert_eq!(a.bytes_sent_by(0), 10);
+        assert_eq!(a.sent_by(1), 1);
+        assert_eq!(a.total_messages(), 3);
+        assert_eq!(a.delivered_messages(), 2);
+        assert_eq!(a.delivered_bytes(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "different population")]
+    fn absorb_rejects_population_mismatch() {
+        let mut a = Metrics::new(2);
+        a.absorb(&Metrics::new(3));
     }
 }

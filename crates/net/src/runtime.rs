@@ -1,0 +1,774 @@
+//! The threaded in-process runtime: the deployed twin of the
+//! deterministic simulator.
+//!
+//! [`ThreadedRuntime`] drives the **same unmodified [`Protocol`]
+//! automata** the simulator runs, but over real parallelism: nodes are
+//! sharded across worker threads, links are bounded per-node inboxes on a
+//! pluggable [`Transport`], timers fire off a monotonic clock, and epoch
+//! reconfigurations are injected through the existing
+//! [`EpochEvent`]/`on_reconfigure` machinery once the global event count
+//! crosses the scheduled threshold. Every run records a
+//! [`DeliveryTrace`]; replaying it on the simulator substrate
+//! ([`DeliveryTrace::replay`]) must reproduce the run's outputs and
+//! metrics bit-identically — the determinism-twin contract that keeps
+//! this backend testable (see `docs/ARCHITECTURE.md`).
+//!
+//! # Progress and shutdown
+//!
+//! Workers never block inside the transport: a backpressured envelope
+//! goes to the sender's local retry queue, which keeps bounded links
+//! deadlock-free by construction. Quiescence is detected exactly with a
+//! global in-flight counter — incremented when an event (message, timer,
+//! reconfiguration, start credit) is created, decremented only after its
+//! callback *and* the flush of its effects complete — so a zero reading
+//! proves no event exists and none can be created. The coordinator then
+//! closes the transport and joins every worker: clean shutdown, no
+//! detached threads.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use swiper_core::EpochEvent;
+
+use crate::metrics::Metrics;
+use crate::sim::{Context, NodeId, Protocol, RunReport};
+use crate::transport::{ChannelTransport, Envelope, Runtime, SendError, SendNodes, Transport};
+use crate::twin::{DeliveryTrace, TraceEvent};
+use crate::MessageSize;
+
+/// Latency percentiles of one run, in clock ticks (microseconds), taken
+/// over every delivered message's send→process interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Median delivery latency.
+    pub p50_us: u64,
+    /// 95th-percentile delivery latency.
+    pub p95_us: u64,
+    /// 99th-percentile delivery latency.
+    pub p99_us: u64,
+    /// Number of deliveries measured.
+    pub samples: u64,
+}
+
+impl LatencySummary {
+    fn from_samples(mut samples: Vec<u64>) -> Self {
+        if samples.is_empty() {
+            return LatencySummary { p50_us: 0, p95_us: 0, p99_us: 0, samples: 0 };
+        }
+        samples.sort_unstable();
+        let pct = |q: u64| samples[((samples.len() - 1) as u64 * q / 100) as usize];
+        LatencySummary {
+            p50_us: pct(50),
+            p95_us: pct(95),
+            p99_us: pct(99),
+            samples: samples.len() as u64,
+        }
+    }
+}
+
+/// Everything a threaded run produces: the portable [`RunReport`], the
+/// replayable [`DeliveryTrace`], and the wall-clock measurements the
+/// benchmark layer reads.
+#[derive(Debug)]
+pub struct RuntimeReport {
+    /// Outputs, event counts and communication metrics — the part that
+    /// must match the twin replay bit for bit.
+    pub report: RunReport,
+    /// The recorded callback sequence (see [`DeliveryTrace::replay`]).
+    pub trace: DeliveryTrace,
+    /// Real elapsed time of the run.
+    pub wall: Duration,
+    /// Send→process latency percentiles.
+    pub latency: LatencySummary,
+}
+
+/// A multi-threaded in-process runtime over boxed `Send` node automata.
+///
+/// Construction mirrors [`Simulation`](crate::Simulation): boxed nodes
+/// plus builder-style configuration. `run` consumes the runtime; use
+/// [`ThreadedRuntime::run_traced`] to keep the trace and wall-clock
+/// measurements.
+///
+/// # Examples
+///
+/// ```
+/// use swiper_net::{Context, NodeId, Protocol, ThreadedRuntime};
+///
+/// struct Hello { heard: usize }
+/// impl Protocol for Hello {
+///     type Msg = u64;
+///     fn on_start(&mut self, ctx: &mut Context<u64>) {
+///         ctx.broadcast(7);
+///     }
+///     fn on_message(&mut self, _from: NodeId, _msg: u64, ctx: &mut Context<u64>) {
+///         self.heard += 1;
+///         if self.heard == ctx.n() {
+///             ctx.output(b"done".to_vec());
+///         }
+///     }
+/// }
+///
+/// let nodes: Vec<Box<dyn Protocol<Msg = u64> + Send>> =
+///     (0..4).map(|_| Box::new(Hello { heard: 0 }) as _).collect();
+/// let full = ThreadedRuntime::new(nodes).with_workers(2).run_traced();
+/// assert!(full.report.outputs.iter().all(|o| o.as_deref() == Some(b"done".as_ref())));
+///
+/// // The determinism twin: replay the trace on fresh nodes, bit-identical.
+/// let fresh: Vec<Box<dyn Protocol<Msg = u64>>> =
+///     (0..4).map(|_| Box::new(Hello { heard: 0 }) as _).collect();
+/// let twin = full.trace.replay(fresh).expect("no divergence");
+/// assert_eq!(twin.outputs, full.report.outputs);
+/// ```
+pub struct ThreadedRuntime<M, T: Transport<M> = ChannelTransport<M>> {
+    nodes: SendNodes<M>,
+    transport: T,
+    workers: usize,
+    max_events: u64,
+    /// Epoch schedule, ascending by global event count.
+    reconfigs: Vec<(u64, EpochEvent)>,
+    /// Coordinator gives up after this long without any event progress —
+    /// a diagnosis aid, not a control-flow tool (the design is
+    /// deadlock-free; a stall means an automaton is stuck inside a
+    /// callback).
+    stall_limit: Duration,
+}
+
+impl<M: Send + Clone + MessageSize + 'static> ThreadedRuntime<M, ChannelTransport<M>> {
+    /// A runtime over the given automata on an in-process
+    /// [`ChannelTransport`], one worker thread per node by default.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty node set.
+    pub fn new(nodes: SendNodes<M>) -> Self {
+        assert!(!nodes.is_empty(), "a runtime needs at least one node");
+        let n = nodes.len();
+        ThreadedRuntime {
+            nodes,
+            transport: ChannelTransport::new(n),
+            workers: n,
+            max_events: 2_000_000,
+            reconfigs: Vec::new(),
+            stall_limit: Duration::from_secs(10),
+        }
+    }
+}
+
+impl<M: Send + Clone + MessageSize + 'static, T: Transport<M>> ThreadedRuntime<M, T> {
+    /// Replaces the transport backend (builder style). The new transport
+    /// must address the same population.
+    pub fn with_transport<T2: Transport<M>>(self, transport: T2) -> ThreadedRuntime<M, T2> {
+        assert_eq!(transport.n(), self.nodes.len(), "transport population mismatch");
+        ThreadedRuntime {
+            nodes: self.nodes,
+            transport,
+            workers: self.workers,
+            max_events: self.max_events,
+            reconfigs: self.reconfigs,
+            stall_limit: self.stall_limit,
+        }
+    }
+
+    /// Sets the worker-thread count (builder style); nodes are sharded
+    /// round-robin. Clamped to `1..=n`.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.clamp(1, self.nodes.len());
+        self
+    }
+
+    /// Caps the number of processed events (runaway guard; best-effort —
+    /// in-flight callbacks may overshoot by a few events).
+    pub fn with_max_events(mut self, max: u64) -> Self {
+        self.max_events = max;
+        self
+    }
+
+    /// Schedules an epoch reconfiguration: once the global processed-event
+    /// count reaches `at_event`, every non-halted node receives
+    /// [`Protocol::on_reconfigure`] with `event` between two of its
+    /// callbacks. Same contract as the simulator's
+    /// [`Simulation::with_reconfiguration`](crate::Simulation::with_reconfiguration),
+    /// with the injection point per node recorded in the trace so the twin
+    /// replay applies it at exactly the same position.
+    pub fn with_reconfiguration(mut self, at_event: u64, event: EpochEvent) -> Self {
+        let pos = self.reconfigs.partition_point(|(at, _)| *at <= at_event);
+        self.reconfigs.insert(pos, (at_event, event));
+        self
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Runs to quiescence (or the event cap) and returns the full report:
+    /// outputs/metrics, the replayable trace, wall time and latency
+    /// percentiles.
+    pub fn run_traced(self) -> RuntimeReport {
+        let n = self.nodes.len();
+        let workers = self.workers;
+        let transport = &self.transport;
+        let max_events = self.max_events;
+        let (thresholds, epochs): (Vec<u64>, Vec<EpochEvent>) =
+            self.reconfigs.into_iter().unzip();
+
+        // In-flight event credits: n start credits, +1 per message/timer/
+        // per-node reconfiguration, -1 only after the event's callback and
+        // effect flush complete. Zero ⟺ quiescent.
+        let pending = AtomicI64::new(n as i64);
+        let processed = AtomicU64::new(0);
+        let shutdown = AtomicBool::new(false);
+        let trace = Mutex::new(Vec::<TraceEvent>::new());
+        let start_at = Mutex::new(vec![0u64; n]);
+        let controls: Vec<Mutex<VecDeque<usize>>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        let origin = Instant::now();
+        let clock = |origin: Instant| origin.elapsed().as_micros() as u64;
+
+        // Shard nodes round-robin across workers.
+        let mut shards: Vec<Shard<M>> = (0..workers).map(|_| Vec::new()).collect();
+        for (i, node) in self.nodes.into_iter().enumerate() {
+            shards[i % workers].push((i, node));
+        }
+
+        let mut injected = 0usize;
+        let (outputs, metrics, latencies) = std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(workers);
+            for shard in shards {
+                let epochs = &epochs;
+                let pending = &pending;
+                let processed = &processed;
+                let shutdown = &shutdown;
+                let trace = &trace;
+                let start_at = &start_at;
+                let controls = &controls;
+                handles.push(s.spawn(move || {
+                    worker_loop(WorkerEnv {
+                        shard,
+                        n,
+                        transport,
+                        epochs,
+                        pending,
+                        processed,
+                        shutdown,
+                        trace,
+                        start_at,
+                        controls,
+                        worker_count: workers,
+                        origin,
+                    })
+                }));
+            }
+
+            // Coordinator: inject due epochs, detect quiescence, enforce
+            // the event cap, then shut down.
+            let mut last_progress = (Instant::now(), 0u64);
+            loop {
+                std::thread::sleep(Duration::from_micros(200));
+                let done = processed.load(Ordering::SeqCst);
+                while injected < thresholds.len() && thresholds[injected] <= done {
+                    pending.fetch_add(n as i64, Ordering::SeqCst);
+                    for c in controls.iter() {
+                        c.lock().expect("control poisoned").push_back(injected);
+                    }
+                    injected += 1;
+                }
+                if pending.load(Ordering::SeqCst) == 0 || done >= max_events {
+                    break;
+                }
+                if done != last_progress.1 {
+                    last_progress = (Instant::now(), done);
+                } else if last_progress.0.elapsed() > self.stall_limit {
+                    break; // an automaton is stuck inside a callback
+                }
+            }
+            shutdown.store(true, Ordering::SeqCst);
+            transport.close();
+
+            let mut outputs: Vec<Option<Vec<u8>>> = vec![None; n];
+            let mut metrics = Metrics::new(n);
+            let mut latencies = Vec::new();
+            for handle in handles {
+                let part = handle.join().expect("worker panicked");
+                for (node, out) in part.outputs {
+                    outputs[node] = out;
+                }
+                metrics.absorb(&part.metrics);
+                latencies.extend(part.latencies);
+            }
+            (outputs, metrics, latencies)
+        });
+
+        let elapsed = clock(origin);
+        let trace = DeliveryTrace {
+            n,
+            start_at: start_at.into_inner().expect("start stamps poisoned"),
+            events: trace.into_inner().expect("trace poisoned"),
+            epochs: epochs.into_iter().take(injected).collect(),
+        };
+        RuntimeReport {
+            report: RunReport {
+                outputs,
+                elapsed,
+                events: processed.load(Ordering::SeqCst),
+                reconfigurations: injected as u64,
+                metrics,
+            },
+            trace,
+            wall: origin.elapsed(),
+            latency: LatencySummary::from_samples(latencies),
+        }
+    }
+}
+
+impl<M: Send + Clone + MessageSize + 'static, T: Transport<M>> Runtime<M>
+    for ThreadedRuntime<M, T>
+{
+    fn backend(&self) -> &'static str {
+        "threaded"
+    }
+
+    fn run(self) -> RunReport {
+        self.run_traced().report
+    }
+}
+
+/// One worker's slice of the population: `(node id, automaton)` pairs.
+type Shard<M> = Vec<(NodeId, Box<dyn Protocol<Msg = M> + Send>)>;
+
+/// Shared environment one worker operates in.
+struct WorkerEnv<'a, M, T: Transport<M>> {
+    shard: Shard<M>,
+    n: usize,
+    transport: &'a T,
+    epochs: &'a [EpochEvent],
+    pending: &'a AtomicI64,
+    processed: &'a AtomicU64,
+    shutdown: &'a AtomicBool,
+    trace: &'a Mutex<Vec<TraceEvent>>,
+    start_at: &'a Mutex<Vec<u64>>,
+    controls: &'a [Mutex<VecDeque<usize>>],
+    worker_count: usize,
+    origin: Instant,
+}
+
+/// What one worker hands back at shutdown.
+struct WorkerPart {
+    outputs: Vec<(NodeId, Option<Vec<u8>>)>,
+    metrics: Metrics,
+    latencies: Vec<u64>,
+}
+
+/// Per-hosted-node bookkeeping the worker owns.
+struct Hosted<M> {
+    id: NodeId,
+    node: Box<dyn Protocol<Msg = M> + Send>,
+    next_send_ix: u64,
+    next_timer_ix: u64,
+    halted: bool,
+    output: Option<Vec<u8>>,
+}
+
+fn worker_loop<M: Send + Clone + MessageSize, T: Transport<M>>(
+    mut env: WorkerEnv<'_, M, T>,
+) -> WorkerPart {
+    let worker_ix = env.shard.first().map_or(0, |(id, _)| id % env.worker_count);
+    let mut hosted: Vec<Hosted<M>> = std::mem::take(&mut env.shard)
+        .into_iter()
+        .map(|(id, node)| Hosted {
+            id,
+            node,
+            next_send_ix: 0,
+            next_timer_ix: 0,
+            halted: false,
+            output: None,
+        })
+        .collect();
+    let mut metrics = Metrics::new(env.n);
+    let mut latencies: Vec<u64> = Vec::new();
+    // Backpressured envelopes, retried in order so this worker's sends
+    // stay FIFO even across a full link.
+    let mut pending_out: VecDeque<Envelope<M>> = VecDeque::new();
+    // (due, slot-in-hosted, timer_ix, id), soonest first.
+    let mut timers: BinaryHeap<Reverse<(u64, usize, u64, u64)>> = BinaryHeap::new();
+    let now = |env: &WorkerEnv<'_, M, T>| env.origin.elapsed().as_micros() as u64;
+
+    // Flush one callback's effects: record the trace entry *first* (so the
+    // global order stays causally consistent — no receiver can process a
+    // message before its send's parent event is on record), then hand the
+    // sends to the transport with per-sender indices assigned in staging
+    // order.
+    #[allow(clippy::too_many_arguments)]
+    fn flush<M: Send + Clone + MessageSize, T: Transport<M>>(
+        env: &WorkerEnv<'_, M, T>,
+        host: &mut Hosted<M>,
+        ctx: Context<M>,
+        entry: Option<TraceEvent>,
+        metrics: &mut Metrics,
+        pending_out: &mut VecDeque<Envelope<M>>,
+        timers: &mut BinaryHeap<Reverse<(u64, usize, u64, u64)>>,
+        slot: usize,
+        at: u64,
+    ) {
+        if let Some(entry) = entry {
+            env.trace.lock().expect("trace poisoned").push(entry);
+        }
+        let effects = ctx.into_effects();
+        if let Some(out) = effects.output {
+            if host.output.is_none() {
+                host.output = Some(out);
+            }
+        }
+        if effects.halted {
+            host.halted = true;
+        }
+        for (to, msg) in effects.outbox {
+            metrics.record_send(host.id, msg.size_bytes());
+            let send_ix = host.next_send_ix;
+            host.next_send_ix += 1;
+            let envlp = Envelope { from: host.id, to, send_ix, sent_at: at, msg };
+            env.pending.fetch_add(1, Ordering::SeqCst);
+            if !pending_out.is_empty() {
+                pending_out.push_back(envlp);
+                continue;
+            }
+            match env.transport.try_send(envlp) {
+                Ok(()) => {}
+                Err(SendError::Full(e)) => pending_out.push_back(e),
+                Err(SendError::Closed(_)) => {
+                    env.pending.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+        }
+        for (delay, id) in effects.timers {
+            let timer_ix = host.next_timer_ix;
+            host.next_timer_ix += 1;
+            env.pending.fetch_add(1, Ordering::SeqCst);
+            timers.push(Reverse((at + delay.max(1), slot, timer_ix, id)));
+        }
+    }
+
+    // Time zero: every hosted node starts before this worker consumes any
+    // traffic; inbound envelopes simply queue in the transport meanwhile.
+    for (slot, host) in hosted.iter_mut().enumerate() {
+        let at = now(&env);
+        env.start_at.lock().expect("start stamps poisoned")[host.id] = at;
+        let mut ctx = Context::detached(host.id, env.n, at);
+        host.node.on_start(&mut ctx);
+        flush(&env, host, ctx, None, &mut metrics, &mut pending_out, &mut timers, slot, at);
+        env.pending.fetch_sub(1, Ordering::SeqCst); // start credit
+    }
+
+    let mut idle_spins = 0u32;
+    loop {
+        let mut did_work = false;
+
+        // 1. Epoch controls: apply to every hosted node, between callbacks.
+        loop {
+            let next = env.controls[worker_ix].lock().expect("control poisoned").pop_front();
+            let Some(epoch_ix) = next else { break };
+            did_work = true;
+            for (slot, host) in hosted.iter_mut().enumerate() {
+                let at = now(&env);
+                if host.halted {
+                    env.pending.fetch_sub(1, Ordering::SeqCst);
+                    continue;
+                }
+                let id = host.id;
+                let mut ctx = Context::detached(id, env.n, at);
+                host.node.on_reconfigure(&env.epochs[epoch_ix], &mut ctx);
+                flush(
+                    &env,
+                    host,
+                    ctx,
+                    Some(TraceEvent::Epoch { to: id, epoch_ix, at }),
+                    &mut metrics,
+                    &mut pending_out,
+                    &mut timers,
+                    slot,
+                    at,
+                );
+                env.pending.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+
+        // 2. Retry backpressured sends, strictly in order.
+        while let Some(envlp) = pending_out.pop_front() {
+            match env.transport.try_send(envlp) {
+                Ok(()) => did_work = true,
+                Err(SendError::Full(e)) => {
+                    pending_out.push_front(e);
+                    break;
+                }
+                Err(SendError::Closed(_)) => {
+                    env.pending.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+        }
+
+        // 3. Fire due timers.
+        while let Some(&Reverse((due, slot, timer_ix, id))) = timers.peek() {
+            let at = now(&env);
+            if due > at {
+                break;
+            }
+            timers.pop();
+            did_work = true;
+            env.processed.fetch_add(1, Ordering::SeqCst);
+            let host = &mut hosted[slot];
+            if host.halted {
+                env.pending.fetch_sub(1, Ordering::SeqCst);
+                continue;
+            }
+            let host_id = host.id;
+            let mut ctx = Context::detached(host_id, env.n, at);
+            host.node.on_timer(id, &mut ctx);
+            flush(
+                &env,
+                &mut hosted[slot],
+                ctx,
+                Some(TraceEvent::Timer { to: host_id, timer_ix, id, at }),
+                &mut metrics,
+                &mut pending_out,
+                &mut timers,
+                slot,
+                at,
+            );
+            env.pending.fetch_sub(1, Ordering::SeqCst);
+        }
+
+        // 4. Drain inbound traffic, a bounded batch per node per pass so
+        // timers and controls stay serviced under load.
+        for (slot, host) in hosted.iter_mut().enumerate() {
+            for _ in 0..32 {
+                let Some(envlp) = env.transport.try_recv(host.id) else { break };
+                did_work = true;
+                env.processed.fetch_add(1, Ordering::SeqCst);
+                let at = now(&env);
+                if host.halted {
+                    // Parity with the simulator: deliveries to a halted
+                    // node count as events but run no callback (and are
+                    // not traced — the twin never sees them).
+                    env.pending.fetch_sub(1, Ordering::SeqCst);
+                    continue;
+                }
+                latencies.push(at.saturating_sub(envlp.sent_at));
+                metrics.record_delivery(host.id, envlp.msg.size_bytes());
+                let host_id = host.id;
+                let mut ctx = Context::detached(host_id, env.n, at);
+                host.node.on_message(envlp.from, envlp.msg, &mut ctx);
+                flush(
+                    &env,
+                    host,
+                    ctx,
+                    Some(TraceEvent::Deliver {
+                        to: host_id,
+                        from: envlp.from,
+                        send_ix: envlp.send_ix,
+                        at,
+                    }),
+                    &mut metrics,
+                    &mut pending_out,
+                    &mut timers,
+                    slot,
+                    at,
+                );
+                env.pending.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+
+        if env.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        if did_work {
+            idle_spins = 0;
+        } else {
+            idle_spins += 1;
+            if idle_spins < 64 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(Duration::from_micros(100));
+            }
+        }
+    }
+
+    WorkerPart {
+        outputs: hosted.into_iter().map(|h| (h.id, h.output)).collect(),
+        metrics,
+        latencies,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Each node broadcasts its id once; outputs the sum of ids received.
+    struct Summer {
+        sum: u64,
+        heard: usize,
+    }
+
+    impl Protocol for Summer {
+        type Msg = u64;
+
+        fn on_start(&mut self, ctx: &mut Context<u64>) {
+            ctx.broadcast(ctx.me() as u64);
+        }
+
+        fn on_message(&mut self, _from: NodeId, msg: u64, ctx: &mut Context<u64>) {
+            self.sum += msg;
+            self.heard += 1;
+            if self.heard == ctx.n() {
+                ctx.output(self.sum.to_le_bytes().to_vec());
+            }
+        }
+    }
+
+    fn summers(n: usize) -> SendNodes<u64> {
+        (0..n).map(|_| Box::new(Summer { sum: 0, heard: 0 }) as _).collect()
+    }
+
+    fn summers_sim(n: usize) -> Vec<Box<dyn Protocol<Msg = u64>>> {
+        (0..n).map(|_| Box::new(Summer { sum: 0, heard: 0 }) as _).collect()
+    }
+
+    #[test]
+    fn threaded_run_delivers_everything() {
+        for workers in [1, 2, 5] {
+            let full = ThreadedRuntime::new(summers(5)).with_workers(workers).run_traced();
+            let expect = (0u64..5).sum::<u64>().to_le_bytes().to_vec();
+            for out in &full.report.outputs {
+                assert_eq!(out.as_ref(), Some(&expect), "workers={workers}");
+            }
+            assert_eq!(full.report.metrics.total_messages(), 25);
+            assert_eq!(full.report.metrics.total_bytes(), 25 * 8);
+            assert_eq!(full.report.metrics.delivered_messages(), 25);
+        }
+    }
+
+    #[test]
+    fn trace_replays_bit_identically() {
+        let full = ThreadedRuntime::new(summers(6)).with_workers(3).run_traced();
+        assert!(!full.trace.is_empty());
+        let twin = full.trace.replay(summers_sim(6)).expect("no divergence");
+        assert_eq!(twin.outputs, full.report.outputs);
+        assert_eq!(twin.metrics, full.report.metrics);
+    }
+
+    #[test]
+    fn timers_fire_on_the_monotonic_clock() {
+        struct TimerNode;
+        impl Protocol for TimerNode {
+            type Msg = u64;
+            fn on_start(&mut self, ctx: &mut Context<u64>) {
+                ctx.set_timer(10, 42);
+            }
+            fn on_message(&mut self, _f: NodeId, _m: u64, _c: &mut Context<u64>) {}
+            fn on_timer(&mut self, id: u64, ctx: &mut Context<u64>) {
+                ctx.output(id.to_le_bytes().to_vec());
+            }
+        }
+        let nodes: SendNodes<u64> = vec![Box::new(TimerNode)];
+        let full = ThreadedRuntime::new(nodes).run_traced();
+        assert_eq!(full.report.outputs[0].as_deref(), Some(&42u64.to_le_bytes()[..]));
+        let fresh: Vec<Box<dyn Protocol<Msg = u64>>> = vec![Box::new(TimerNode)];
+        let twin = full.trace.replay(fresh).expect("no divergence");
+        assert_eq!(twin.outputs, full.report.outputs);
+    }
+
+    #[test]
+    fn event_cap_stops_runaway() {
+        struct Chatter;
+        impl Protocol for Chatter {
+            type Msg = u64;
+            fn on_start(&mut self, ctx: &mut Context<u64>) {
+                ctx.broadcast(0);
+            }
+            fn on_message(&mut self, from: NodeId, msg: u64, ctx: &mut Context<u64>) {
+                ctx.send(from, msg + 1);
+            }
+        }
+        let nodes: SendNodes<u64> = (0..3).map(|_| Box::new(Chatter) as _).collect();
+        let report = ThreadedRuntime::new(nodes).with_max_events(500).run();
+        assert!(report.events >= 500, "cap is a floor for the stop decision");
+        assert!(report.outputs.iter().all(|o| o.is_none()));
+    }
+
+    #[test]
+    fn reconfigurations_reach_every_node_and_replay() {
+        use swiper_core::{TicketAssignment, TicketDelta, Weights};
+        /// Counts reconfigurations; outputs the count on the next message.
+        struct EpochAware {
+            seen: u8,
+        }
+        impl Protocol for EpochAware {
+            type Msg = u64;
+            fn on_start(&mut self, ctx: &mut Context<u64>) {
+                ctx.broadcast(0);
+            }
+            fn on_message(&mut self, _f: NodeId, _m: u64, ctx: &mut Context<u64>) {
+                if self.seen > 0 {
+                    ctx.output(vec![self.seen]);
+                }
+            }
+            fn on_reconfigure(&mut self, _e: &EpochEvent, ctx: &mut Context<u64>) {
+                self.seen += 1;
+                ctx.broadcast(1);
+            }
+        }
+        let delta = TicketDelta::between(
+            &TicketAssignment::new(vec![1, 1, 1]),
+            &TicketAssignment::new(vec![2, 1, 1]),
+        )
+        .unwrap();
+        let stake = Weights::new(vec![1, 1, 1]).unwrap();
+        let event = EpochEvent::new(1, delta, &stake, stake.clone(), 0).unwrap();
+        let nodes: SendNodes<u64> =
+            (0..3).map(|_| Box::new(EpochAware { seen: 0 }) as _).collect();
+        let full = ThreadedRuntime::new(nodes)
+            .with_workers(2)
+            .with_reconfiguration(2, event)
+            .run_traced();
+        assert_eq!(full.report.reconfigurations, 1);
+        for out in &full.report.outputs {
+            assert_eq!(out.as_deref(), Some(&[1u8][..]));
+        }
+        let fresh: Vec<Box<dyn Protocol<Msg = u64>>> =
+            (0..3).map(|_| Box::new(EpochAware { seen: 0 }) as _).collect();
+        let twin = full.trace.replay(fresh).expect("no divergence");
+        assert_eq!(twin.outputs, full.report.outputs);
+        assert_eq!(twin.metrics, full.report.metrics);
+        assert_eq!(twin.reconfigurations, 1);
+    }
+
+    #[test]
+    fn tiny_links_backpressure_without_deadlock() {
+        // Capacity-1 links under an all-to-all burst: progress must come
+        // from the retry queues alone.
+        let nodes = summers(6);
+        let transport = ChannelTransport::with_capacity(6, 1);
+        let full =
+            ThreadedRuntime::new(nodes).with_transport(transport).with_workers(3).run_traced();
+        let expect = (0u64..6).sum::<u64>().to_le_bytes().to_vec();
+        for out in &full.report.outputs {
+            assert_eq!(out.as_ref(), Some(&expect));
+        }
+        let twin = full.trace.replay(summers_sim(6)).expect("no divergence");
+        assert_eq!(twin.outputs, full.report.outputs);
+    }
+
+    #[test]
+    fn latency_summary_percentiles() {
+        let s = LatencySummary::from_samples((1..=100).collect());
+        assert_eq!(s.p50_us, 50);
+        assert_eq!(s.p95_us, 95);
+        assert_eq!(s.p99_us, 99);
+        assert_eq!(s.samples, 100);
+        let empty = LatencySummary::from_samples(Vec::new());
+        assert_eq!(empty.samples, 0);
+    }
+}

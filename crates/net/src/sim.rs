@@ -9,6 +9,7 @@ use swiper_core::EpochEvent;
 
 use crate::adversary::AdaptiveDelay;
 use crate::metrics::Metrics;
+use crate::transport::{Delivery, Runtime};
 use crate::MessageSize;
 
 /// Index of a node in the simulation (`0..n`).
@@ -20,7 +21,7 @@ pub struct Context<M> {
     node: NodeId,
     n: usize,
     now: u64,
-    pub(crate) outbox: Vec<(NodeId, M)>,
+    pub(crate) outbox: Vec<Delivery<M>>,
     pub(crate) timers: Vec<(u64, u64)>,
     pub(crate) output: Option<Vec<u8>>,
     pub(crate) halted: bool,
@@ -62,13 +63,34 @@ impl<M> Context<M> {
     }
 
     /// Consumes the context, returning its accumulated side effects.
-    pub fn into_effects(self) -> Effects<M> {
-        Effects {
-            outbox: self.outbox,
-            timers: self.timers,
-            output: self.output,
-            halted: self.halted,
+    /// Broadcasts are expanded into per-recipient sends here: a wrapper
+    /// hosting nested automata routes each `(to, msg)` pair itself
+    /// (typically re-addressing it), so the symbolic form has no consumer
+    /// past this point.
+    pub fn into_effects(self) -> Effects<M>
+    where
+        M: Clone,
+    {
+        let mut outbox = Vec::with_capacity(self.outbox.len());
+        for d in self.outbox {
+            d.expand_into(self.n, &mut outbox);
         }
+        Effects { outbox, timers: self.timers, output: self.output, halted: self.halted }
+    }
+
+    /// Drains the staged sends from index `from` on, expanded into
+    /// `(to, msg)` pairs (broadcasts become `n` ascending unicasts).
+    /// Adversary wrappers use this to filter, record or rewrite a phase's
+    /// traffic per recipient before re-staging it.
+    pub(crate) fn take_staged_expanded(&mut self, from: usize) -> Vec<(NodeId, M)>
+    where
+        M: Clone,
+    {
+        let mut out = Vec::new();
+        for d in self.outbox.drain(from..) {
+            d.expand_into(self.n, &mut out);
+        }
+        out
     }
 
     /// This node's id.
@@ -88,18 +110,19 @@ impl<M> Context<M> {
 
     /// Sends `msg` to `to` (including to self).
     pub fn send(&mut self, to: NodeId, msg: M) {
-        self.outbox.push((to, msg));
+        self.outbox.push(Delivery::Unicast(to, msg));
     }
 
     /// Sends `msg` to every node, including the sender itself (the usual
     /// convention in the BFT literature).
-    pub fn broadcast(&mut self, msg: M)
-    where
-        M: Clone,
-    {
-        for to in 0..self.n {
-            self.outbox.push((to, msg.clone()));
-        }
+    ///
+    /// The broadcast is staged as a single symbolic [`Delivery::Broadcast`]
+    /// effect, not `n` eager clones: the backend expands it at flush time
+    /// (the threaded runtime with last-send-moves, so a large AVID/ECBC
+    /// payload is cloned `n - 1` times at most), and a future gossip
+    /// backend can disseminate it without materializing the fan-out.
+    pub fn broadcast(&mut self, msg: M) {
+        self.outbox.push(Delivery::Broadcast(msg));
     }
 
     /// Schedules `on_timer(id)` after `delay` ticks.
@@ -406,7 +429,15 @@ impl<M: Clone + MessageSize> Simulation<M> {
             self.halted[node] = true;
         }
         let n = self.n();
-        for (to, msg) in outbox {
+        // Expand symbolic broadcasts into ascending per-recipient sends.
+        // Recipient order (and the skip-self rule below) must match the
+        // eager-clone era exactly so seeded delay streams — and therefore
+        // every pinned seed in the test suite — are unchanged.
+        let mut sends = Vec::with_capacity(outbox.len());
+        for d in outbox {
+            d.expand_into(n, &mut sends);
+        }
+        for (to, msg) in sends {
             self.metrics.record_send(node, msg.size_bytes());
             let delay = if to == node {
                 0
@@ -601,6 +632,26 @@ impl<M: Clone + MessageSize> EpochedSimulation<M> {
     /// Runs to quiescence (or the event cap) and reports.
     pub fn run(self) -> RunReport {
         self.sim.run()
+    }
+}
+
+impl<M: Clone + MessageSize> Runtime<M> for Simulation<M> {
+    fn backend(&self) -> &'static str {
+        "sim"
+    }
+
+    fn run(self) -> RunReport {
+        Simulation::run(self)
+    }
+}
+
+impl<M: Clone + MessageSize> Runtime<M> for EpochedSimulation<M> {
+    fn backend(&self) -> &'static str {
+        "sim"
+    }
+
+    fn run(self) -> RunReport {
+        EpochedSimulation::run(self)
     }
 }
 

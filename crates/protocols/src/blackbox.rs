@@ -20,7 +20,7 @@
 //!
 //! # The stable identity model
 //!
-//! Dense virtual ids are a **per-epoch artifact**: a [`TicketDelta`] that
+//! Dense virtual ids are a **per-epoch artifact**: a [`TicketDelta`](swiper_core::TicketDelta) that
 //! touches party `i` renumbers every virtual user after `i`'s range. The
 //! wire therefore never carries dense ids. Inner messages name their
 //! endpoints by [`StableId`] — `(party, offset)` — the coordinate that

@@ -10,7 +10,7 @@
 //!
 //! Votes are keyed by [`StableId`] — `(party, offset)` — never by dense
 //! per-epoch indices. Dense virtual ids renumber whenever a
-//! [`TicketDelta`](swiper_core::TicketDelta) touches an earlier party, so
+//! [`TicketDelta`] touches an earlier party, so
 //! a dense-keyed tracker would count one logical voter under both its
 //! pre- and post-epoch ids (double-counting) while freezing in the weight
 //! of voters that have since retired. Stable keying makes vote survival
@@ -34,39 +34,48 @@
 //! whose claimed identity is not owned by the wire sender. Trackers count
 //! whatever distinct identities they are handed.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use std::{collections::HashSet, fmt};
 
 use swiper_core::{CoreError, EpochEvent, Ratio, StableId, TicketDelta, VirtualUsers, Weights};
 
 /// A shared, epoch-aware identity directory: one replica's view of the
-/// current virtual-user mapping, shared (via `Rc`) between a black-box
-/// wrapper and the nominal automata it hosts so that *one*
-/// [`Roster::apply_delta`] at the epoch boundary atomically re-keys every
-/// component's identity resolution.
+/// current virtual-user mapping, shared between a black-box wrapper and
+/// the nominal automata it hosts so that *one* [`Roster::apply_delta`] at
+/// the epoch boundary atomically re-keys every component's identity
+/// resolution.
+///
+/// The handle is `Arc<Mutex<_>>`-backed (rather than `Rc<RefCell<_>>`) so
+/// that roster-carrying automata are `Send` and can be hosted by the
+/// threaded runtime as well as the simulator. The lock is uncontended in
+/// practice — a roster is shared only *within* one node, and a node's
+/// callbacks run on one thread at a time.
 ///
 /// Cloning a `Roster` shares the underlying mapping; replicas must **not**
 /// share rosters with each other (each node splices deltas into its own).
 #[derive(Clone)]
 pub struct Roster {
-    map: Rc<RefCell<VirtualUsers>>,
+    map: Arc<Mutex<VirtualUsers>>,
 }
 
 impl Roster {
     /// A directory over the given epoch's mapping.
     pub fn new(mapping: VirtualUsers) -> Self {
-        Roster { map: Rc::new(RefCell::new(mapping)) }
+        Roster { map: Arc::new(Mutex::new(mapping)) }
+    }
+
+    fn read(&self) -> std::sync::MutexGuard<'_, VirtualUsers> {
+        self.map.lock().expect("roster poisoned")
     }
 
     /// Current number of virtual users `T`.
     pub fn total(&self) -> usize {
-        self.map.borrow().total()
+        self.read().total()
     }
 
     /// Number of real parties (fixed across epochs).
     pub fn parties(&self) -> usize {
-        self.map.borrow().parties()
+        self.read().parties()
     }
 
     /// Current tickets of `party`.
@@ -75,7 +84,7 @@ impl Roster {
     ///
     /// Panics if `party >= self.parties()`.
     pub fn tickets_of(&self, party: usize) -> u64 {
-        self.map.borrow().tickets_of(party)
+        self.read().tickets_of(party)
     }
 
     /// The stable identity of the current dense id `v`.
@@ -84,17 +93,17 @@ impl Roster {
     ///
     /// Panics if `v >= self.total()`.
     pub fn stable_of(&self, v: usize) -> StableId {
-        self.map.borrow().stable_of(v)
+        self.read().stable_of(v)
     }
 
     /// The current dense id backing `id`, or `None` when retired/unknown.
     pub fn dense_of(&self, id: StableId) -> Option<usize> {
-        self.map.borrow().dense_of(id)
+        self.read().dense_of(id)
     }
 
     /// Whether `id` is live in the current epoch.
     pub fn contains(&self, id: StableId) -> bool {
-        self.map.borrow().contains(id)
+        self.read().contains(id)
     }
 
     /// The party owning the current dense id `v`.
@@ -103,7 +112,7 @@ impl Roster {
     ///
     /// Panics if `v >= self.total()`.
     pub fn owner_of(&self, v: usize) -> usize {
-        self.map.borrow().owner_of(v)
+        self.read().owner_of(v)
     }
 
     /// Splices an epoch's delta into the shared mapping; every component
@@ -114,12 +123,12 @@ impl Roster {
     /// Propagates [`swiper_core::VirtualUsers::apply_delta`] errors (the
     /// mapping is untouched on failure).
     pub fn apply_delta(&self, delta: &TicketDelta) -> Result<(), CoreError> {
-        self.map.borrow_mut().apply_delta(delta)
+        self.read().apply_delta(delta)
     }
 
     /// A snapshot of the current mapping (for assertions and spawning).
     pub fn snapshot(&self) -> VirtualUsers {
-        self.map.borrow().clone()
+        self.read().clone()
     }
 }
 

@@ -60,7 +60,7 @@
 //! for the pipeline — which is exactly why no gain-only restriction
 //! exists here.
 
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -456,6 +456,269 @@ impl SmrInstance {
     }
 }
 
+/// Wire messages of the [`SmrNode`] message-passing automaton.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SmrMsg {
+    /// The round leader's batch.
+    Propose(u64, Vec<u8>),
+    /// Witness of the leader's batch digest.
+    Echo(u64, swiper_crypto::hash::Digest),
+    /// Commit vote for the batch digest.
+    Ready(u64, swiper_crypto::hash::Digest),
+}
+
+impl swiper_net::MessageSize for SmrMsg {
+    fn size_bytes(&self) -> usize {
+        match self {
+            SmrMsg::Propose(_, batch) => 8 + batch.len(),
+            SmrMsg::Echo(..) | SmrMsg::Ready(..) => 8 + 32,
+        }
+    }
+}
+
+/// Per-round voting state of one [`SmrNode`].
+#[derive(Default)]
+struct SmrRound {
+    /// Digest of the leader's verified batch, once the propose arrived.
+    accepted: Option<swiper_crypto::hash::Digest>,
+    /// Distinct echo senders per digest. `BTreeMap`, not `HashMap`: when
+    /// an equivocating leader lets two digests clear a threshold in the
+    /// same callback, the winner must not depend on hash iteration order
+    /// (fresh replay nodes have fresh hasher seeds — the twin contract
+    /// forbids it).
+    echoes: std::collections::BTreeMap<swiper_crypto::hash::Digest, HashSet<usize>>,
+    /// Distinct ready senders per digest (ordered for the same reason).
+    readies: std::collections::BTreeMap<swiper_crypto::hash::Digest, HashSet<usize>>,
+    sent_echo: bool,
+    sent_ready: bool,
+    /// Digest with a full ready quorum, pending in-order commit.
+    committable: Option<swiper_crypto::hash::Digest>,
+}
+
+/// A message-passing SMR replica: the [`Protocol`](swiper_net::Protocol)
+/// automaton form of the composition, runnable on *both* execution
+/// backends (the deterministic simulator and the threaded runtime — see
+/// `docs/ARCHITECTURE.md`).
+///
+/// Each round is a Bracha-shaped commit: the round's stake-weighted
+/// leader (elected from a digest chain seeded by `session_seed`, election
+/// probability proportional to weight) proposes a deterministic batch,
+/// replicas echo its digest after verifying it, send `Ready` on an
+/// `n - f` echo quorum (amplifying on `f + 1` readies), and commit on an
+/// `n - f` ready quorum. Rounds commit strictly in order; committing
+/// round `r` triggers the leader of `r + 1`, so the commit rate is the
+/// pipeline's end-to-end latency — what the `runtime_scale` bench
+/// measures as commits/sec. After the last round every replica outputs
+/// `committed_rounds (8 bytes LE) || ledger_digest` and goes quiet.
+///
+/// All internal tallies are keyed lookups, counts, or ordered-map scans —
+/// nothing consults hash iteration order to decide *what to send* — so
+/// the automaton is a deterministic function of its callback sequence,
+/// which the twin-replay contract requires.
+pub struct SmrNode {
+    me: usize,
+    n: usize,
+    weights: Weights,
+    session_seed: u64,
+    rounds: u64,
+    batch_bytes: usize,
+    /// Highest round not yet committed (rounds commit in order).
+    next_commit: u64,
+    ledger_digest: swiper_crypto::hash::Digest,
+    state: std::collections::BTreeMap<u64, SmrRound>,
+    done: bool,
+}
+
+impl SmrNode {
+    /// A replica for `me` of an `n`-party, `rounds`-round chain with
+    /// `batch_bytes` batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != n` or `rounds == 0`.
+    pub fn new(
+        me: usize,
+        weights: Weights,
+        session_seed: u64,
+        rounds: u64,
+        batch_bytes: usize,
+    ) -> Self {
+        let n = weights.len();
+        assert!(me < n, "replica id out of range");
+        assert!(rounds > 0, "need at least one round");
+        SmrNode {
+            me,
+            n,
+            weights,
+            session_seed,
+            rounds,
+            batch_bytes,
+            next_commit: 0,
+            ledger_digest: swiper_crypto::hash::digest(b"swiper.smr.genesis"),
+            state: std::collections::BTreeMap::new(),
+            done: false,
+        }
+    }
+
+    /// Tolerated faults: `floor((n - 1) / 3)`.
+    fn f(&self) -> usize {
+        (self.n - 1) / 3
+    }
+
+    /// Quorum size `n - f`.
+    fn quorum(&self) -> usize {
+        self.n - self.f()
+    }
+
+    /// The round's election digest: a chain seeded by `session_seed`, the
+    /// same at every replica.
+    fn round_digest(&self, round: u64) -> swiper_crypto::hash::Digest {
+        swiper_crypto::hash::digest_parts(&[
+            b"swiper.smr.node.round",
+            &self.session_seed.to_le_bytes(),
+            &round.to_le_bytes(),
+        ])
+    }
+
+    /// Stake-weighted leader of `round`: sample the election digest
+    /// against the cumulative weight distribution.
+    pub fn leader_of(&self, round: u64) -> usize {
+        let total = self.weights.total();
+        let point = self.round_digest(round).to_u64() as u128 % total;
+        let mut acc = 0u128;
+        for (p, w) in self.weights.as_slice().iter().enumerate() {
+            acc += u128::from(*w);
+            if point < acc {
+                return p;
+            }
+        }
+        self.n - 1
+    }
+
+    /// The deterministic batch the round's leader proposes: an expansion
+    /// of the election digest, so any replica can verify it byte for
+    /// byte.
+    fn batch_of(&self, round: u64) -> Vec<u8> {
+        let seed = self.round_digest(round);
+        let mut batch = Vec::with_capacity(self.batch_bytes);
+        let mut counter = 0u64;
+        while batch.len() < self.batch_bytes {
+            let block = swiper_crypto::hash::digest_parts(&[
+                b"swiper.smr.batch",
+                seed.as_bytes(),
+                &counter.to_le_bytes(),
+            ]);
+            let take = (self.batch_bytes - batch.len()).min(32);
+            batch.extend_from_slice(&block.as_bytes()[..take]);
+            counter += 1;
+        }
+        batch
+    }
+
+    /// Rounds committed so far.
+    pub fn committed(&self) -> u64 {
+        self.next_commit
+    }
+
+    fn propose(&mut self, round: u64, ctx: &mut swiper_net::Context<SmrMsg>) {
+        if round < self.rounds && self.leader_of(round) == self.me {
+            ctx.broadcast(SmrMsg::Propose(round, self.batch_of(round)));
+        }
+    }
+
+    /// Re-examines `round` after new state: emit echo/ready when a
+    /// threshold cleared, then commit every in-order committable round.
+    fn advance(&mut self, round: u64, ctx: &mut swiper_net::Context<SmrMsg>) {
+        let quorum = self.quorum();
+        let amplify = self.f() + 1;
+        let entry = self.state.entry(round).or_default();
+        if !entry.sent_echo {
+            if let Some(d) = entry.accepted {
+                entry.sent_echo = true;
+                ctx.broadcast(SmrMsg::Echo(round, d));
+            }
+        }
+        if !entry.sent_ready {
+            // An echo quorum, or a Byzantine-safe f+1 ready amplification,
+            // commits this replica to the digest.
+            let ready_for = entry
+                .echoes
+                .iter()
+                .find(|(_, s)| s.len() >= quorum)
+                .or_else(|| entry.readies.iter().find(|(_, s)| s.len() >= amplify))
+                .map(|(d, _)| *d);
+            if let Some(d) = ready_for {
+                entry.sent_ready = true;
+                ctx.broadcast(SmrMsg::Ready(round, d));
+            }
+        }
+        if entry.committable.is_none() {
+            if let Some((d, _)) = entry.readies.iter().find(|(_, s)| s.len() >= quorum) {
+                entry.committable = Some(*d);
+            }
+        }
+        // Commit strictly in order; each commit folds the batch digest
+        // into the ledger digest and unleashes the next round's leader.
+        while self.next_commit < self.rounds {
+            let r = self.next_commit;
+            let Some(d) = self.state.get(&r).and_then(|s| s.committable) else { break };
+            self.ledger_digest = swiper_crypto::hash::digest_parts(&[
+                b"swiper.smr.ledger",
+                self.ledger_digest.as_bytes(),
+                d.as_bytes(),
+            ]);
+            self.next_commit += 1;
+            self.state.remove(&r);
+            self.propose(self.next_commit, ctx);
+        }
+        if self.next_commit == self.rounds && !self.done {
+            self.done = true;
+            let mut out = self.next_commit.to_le_bytes().to_vec();
+            out.extend_from_slice(self.ledger_digest.as_bytes());
+            ctx.output(out);
+        }
+    }
+}
+
+impl swiper_net::Protocol for SmrNode {
+    type Msg = SmrMsg;
+
+    fn on_start(&mut self, ctx: &mut swiper_net::Context<SmrMsg>) {
+        self.propose(0, ctx);
+    }
+
+    fn on_message(&mut self, from: usize, msg: SmrMsg, ctx: &mut swiper_net::Context<SmrMsg>) {
+        match msg {
+            SmrMsg::Propose(round, batch) => {
+                if round >= self.rounds
+                    || round < self.next_commit
+                    || from != self.leader_of(round)
+                    || batch != self.batch_of(round)
+                {
+                    return;
+                }
+                let d = swiper_crypto::hash::digest(&batch);
+                self.state.entry(round).or_default().accepted = Some(d);
+                self.advance(round, ctx);
+            }
+            SmrMsg::Echo(round, d) => {
+                if round >= self.rounds || round < self.next_commit {
+                    return;
+                }
+                self.state.entry(round).or_default().echoes.entry(d).or_default().insert(from);
+                self.advance(round, ctx);
+            }
+            SmrMsg::Ready(round, d) => {
+                if round >= self.rounds || round < self.next_commit {
+                    return;
+                }
+                self.state.entry(round).or_default().readies.entry(d).or_default().insert(from);
+                self.advance(round, ctx);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -476,6 +739,67 @@ mod tests {
             &wr_sol.assignment,
             &mut StdRng::seed_from_u64(3),
         )
+    }
+
+    fn smr_nodes(
+        ws: &[u64],
+        seed: u64,
+        rounds: u64,
+    ) -> Vec<Box<dyn swiper_net::Protocol<Msg = SmrMsg>>> {
+        let weights = Weights::new(ws.to_vec()).unwrap();
+        (0..ws.len())
+            .map(|me| {
+                Box::new(SmrNode::new(me, weights.clone(), seed, rounds, 64))
+                    as Box<dyn swiper_net::Protocol<Msg = SmrMsg>>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn smr_node_chain_commits_on_the_simulator() {
+        let report = swiper_net::Simulation::new(smr_nodes(&[40, 30, 20, 10], 11, 5), 77)
+            .with_delay(swiper_net::DelayModel::Uniform(1, 9))
+            .run();
+        let outs = report.outputs_of(&[0, 1, 2, 3]);
+        assert!(report.unanimity_among(&[0, 1, 2, 3]), "replicas disagree: {outs:?}");
+        let out = report.outputs[0].as_ref().expect("committed");
+        assert_eq!(u64::from_le_bytes(out[..8].try_into().unwrap()), 5);
+        assert_eq!(out.len(), 8 + 32);
+    }
+
+    #[test]
+    fn smr_node_runs_identically_on_both_backends() {
+        // The same automaton drives on the threaded runtime, and its trace
+        // replays on the simulator substrate bit-identically.
+        let weights = Weights::new(vec![40, 30, 20, 10]).unwrap();
+        let nodes: swiper_net::SendNodes<SmrMsg> = (0..4)
+            .map(|me| {
+                Box::new(SmrNode::new(me, weights.clone(), 11, 4, 64))
+                    as Box<dyn swiper_net::Protocol<Msg = SmrMsg> + Send>
+            })
+            .collect();
+        let full = swiper_net::ThreadedRuntime::new(nodes).with_workers(2).run_traced();
+        assert!(full.report.unanimity_among(&[0, 1, 2, 3]));
+        let twin = full.trace.replay(smr_nodes(&[40, 30, 20, 10], 11, 4)).expect("twin");
+        assert_eq!(twin.outputs, full.report.outputs);
+        assert_eq!(twin.metrics, full.report.metrics);
+    }
+
+    #[test]
+    fn smr_node_leaders_are_stake_weighted() {
+        let weights = Weights::new(vec![60, 20, 10, 10]).unwrap();
+        let node = SmrNode::new(0, weights, 3, 1, 16);
+        let whale = (0..400).filter(|&r| node.leader_of(r) == 0).count();
+        assert!(whale > 160, "whale led only {whale}/400 rounds");
+    }
+
+    #[test]
+    fn node_automata_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<SmrNode>();
+        assert_send::<crate::bracha::BrachaNode>();
+        assert_send::<crate::aba::AbaNode>();
+        assert_send::<crate::quorum::Roster>();
     }
 
     #[test]

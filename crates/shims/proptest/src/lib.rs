@@ -182,7 +182,7 @@ pub mod strategy {
     impl_tuple_strategy!(A, B, C, D);
 }
 
-/// `any::<T>()` and the [`Arbitrary`] trait.
+/// `any::<T>()` and the `Arbitrary` trait.
 pub mod arbitrary {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
@@ -249,7 +249,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::Range;
 
-    /// Length specification for [`vec`]: a fixed length or a half-open range.
+    /// Length specification for [`vec()`]: a fixed length or a half-open range.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,
@@ -269,7 +269,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,

@@ -1,10 +1,18 @@
 #!/usr/bin/env bash
-# Re-runs the solver_scale sweep and diffs it against the committed
-# BENCH_solver.json. Fails on any deterministic-counter mismatch, >20%
-# wall-time regression (rows over 250 ms), or a blown --budget-ms.
+# Re-runs the benchmark sweeps and diffs them against the committed
+# baselines.
+#
+# Solver section (BENCH_solver.json): fails on any deterministic-counter
+# mismatch, >20% wall-time regression (rows over 250 ms), or a blown
+# --budget-ms. Extra flags are forwarded to solver_scale verbatim.
+#
+# Runtime section (BENCH_runtime.json): re-runs the threaded-runtime
+# smoke sweep and diffs the cells it covers against the committed full
+# sweep — commits and twin-replay status exact, >20% wall-time
+# regression (rows over 250 ms) fails. Any twin divergence fails on its
+# own, baseline or not.
 #
 # Usage: scripts/bench_regression.sh [--max-n N] [--budget-ms MS]
-# Extra flags are forwarded to the solver_scale binary verbatim.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -15,8 +23,18 @@ if [[ ! -f "$BASELINE" ]]; then
     exit 1
 fi
 
+RUNTIME_BASELINE="BENCH_runtime.json"
+if [[ ! -f "$RUNTIME_BASELINE" ]]; then
+    echo "bench_regression: missing committed baseline $RUNTIME_BASELINE" >&2
+    exit 1
+fi
+
 FRESH="$(mktemp /tmp/BENCH_solver.fresh.XXXXXX.json)"
-trap 'rm -f "$FRESH"' EXIT
+RUNTIME_FRESH="$(mktemp /tmp/BENCH_runtime.fresh.XXXXXX.json)"
+trap 'rm -f "$FRESH" "$RUNTIME_FRESH"' EXIT
 
 cargo run --release -p swiper-bench --bin solver_scale -- \
     --out "$FRESH" --diff "$BASELINE" "$@"
+
+cargo run --release -p swiper-bench --bin runtime_scale -- \
+    --ci-smoke --out "$RUNTIME_FRESH" --diff "$RUNTIME_BASELINE"
