@@ -42,10 +42,13 @@ use swiper_bench::{
     TextTable,
 };
 use swiper_core::Weights;
-use swiper_net::{MessageSize, Protocol, RunReport, SendNodes, ThreadedRuntime};
+use swiper_net::{
+    MessageSize, Protocol, RunReport, SendNodes, SocketTransport, ThreadedRuntime, WireCodec,
+};
 use swiper_protocols::aba::{AbaNode, AbaSetup};
 use swiper_protocols::bracha::{BrachaConfig, BrachaNode};
 use swiper_protocols::smr::SmrNode;
+use swiper_protocols::wire::{AbaCodec, BrachaCodec, SmrCodec};
 
 /// Rounds of the SMR pipeline per run.
 const SMR_ROUNDS: u64 = 30;
@@ -60,11 +63,18 @@ struct Args {
     out: String,
     diff: Option<String>,
     seed: u64,
+    /// Transport backends to sweep: `channel`, `socket`, or both.
+    transports: Vec<&'static str>,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args =
-        Args { ci_smoke: false, out: "BENCH_runtime.json".into(), diff: None, seed: 1 };
+    let mut args = Args {
+        ci_smoke: false,
+        out: "BENCH_runtime.json".into(),
+        diff: None,
+        seed: 1,
+        transports: vec!["channel", "socket"],
+    };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value =
@@ -76,27 +86,53 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => {
                 args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
             }
+            "--transport" => {
+                args.transports = match value("--transport")?.as_str() {
+                    "channel" => vec!["channel"],
+                    "socket" => vec!["socket"],
+                    "both" => vec!["channel", "socket"],
+                    other => {
+                        return Err(format!(
+                            "--transport: `{other}` (want channel, socket or both)"
+                        ))
+                    }
+                };
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
     Ok(args)
 }
 
-/// Runs one sweep cell: the chain on the threaded runtime, then the twin
-/// replay. Returns the row plus whether the twin held.
-fn run_cell<M, F, C>(
+/// Runs one sweep cell: the chain on the threaded runtime over the given
+/// transport backend, then the twin replay. Returns the row plus whether
+/// the twin held.
+fn run_cell<M, F, C, K>(
     protocol: &str,
+    transport: &str,
     n: usize,
     workers: usize,
     make: F,
-    commits_of: C,
+    commits_of: K,
 ) -> (RuntimeBenchRow, bool)
 where
     M: Clone + MessageSize + Send + 'static,
     F: Fn() -> SendNodes<M>,
-    C: Fn(&RunReport) -> u64,
+    C: WireCodec<M> + Default,
+    K: Fn(&RunReport) -> u64,
 {
-    let full = ThreadedRuntime::new(make()).with_workers(workers).run_traced();
+    // Per-cell RSS attribution: VmHWM is a process-lifetime high-water
+    // mark, so report this cell's *growth* of the peak, not the peak
+    // itself (see `swiper_bench::peak_rss_kb`).
+    let rss_before = peak_rss_kb();
+    let runtime = ThreadedRuntime::new(make()).with_workers(workers);
+    let full = if transport == "socket" {
+        let wire: SocketTransport<M, C> =
+            SocketTransport::loopback(n).expect("bind loopback sockets");
+        runtime.with_transport(wire).run_traced()
+    } else {
+        runtime.run_traced()
+    };
     // The twin: fresh automata, same constructors, replayed on the
     // simulator substrate. Outputs and metrics must match bit for bit.
     let fresh: Vec<Box<dyn Protocol<Msg = M>>> =
@@ -106,14 +142,14 @@ where
             let ok = r.outputs == full.report.outputs && r.metrics == full.report.metrics;
             if !ok {
                 eprintln!(
-                    "runtime_scale: {protocol}/n={n}/w={workers}: twin replay ran but \
-                           outputs or metrics differ"
+                    "runtime_scale: {protocol}/{transport}/n={n}/w={workers}: twin replay \
+                           ran but outputs or metrics differ"
                 );
             }
             ok
         }
         Err(e) => {
-            eprintln!("runtime_scale: {protocol}/n={n}/w={workers}: {e}");
+            eprintln!("runtime_scale: {protocol}/{transport}/n={n}/w={workers}: {e}");
             false
         }
     };
@@ -124,6 +160,7 @@ where
     let row = RuntimeBenchRow {
         bench: "runtime_scale".into(),
         protocol: protocol.into(),
+        transport: transport.into(),
         n: n as u64,
         workers: workers as u64,
         wall_ms: wall_us / 1000,
@@ -134,7 +171,7 @@ where
         p50_us: full.latency.p50_us,
         p95_us: full.latency.p95_us,
         p99_us: full.latency.p99_us,
-        peak_rss_kb: peak_rss_kb(),
+        peak_rss_kb: peak_rss_kb().saturating_sub(rss_before),
         twin_ok: u64::from(twin_ok),
     };
     (row, twin_ok)
@@ -197,36 +234,57 @@ fn main() -> ExitCode {
 
     let mut rows = Vec::new();
     let mut all_twins_ok = true;
-    let sweep = |rows: &mut Vec<RuntimeBenchRow>, ok: &mut bool| {
+    let sweep = |rows: &mut Vec<RuntimeBenchRow>, ok: &mut bool, transport: &str| {
         for &n in bracha_sizes {
             for &w in worker_counts.iter().filter(|&&w| w <= n) {
-                let (row, twin) =
-                    run_cell("bracha", n, w, || bracha_nodes(n, args.seed), outputs_count);
+                let (row, twin) = run_cell::<_, _, BrachaCodec, _>(
+                    "bracha",
+                    transport,
+                    n,
+                    w,
+                    || bracha_nodes(n, args.seed),
+                    outputs_count,
+                );
                 rows.push(row);
                 *ok &= twin;
             }
         }
         for &n in aba_sizes {
             for &w in worker_counts.iter().filter(|&&w| w <= n) {
-                let (row, twin) =
-                    run_cell("aba", n, w, || aba_nodes(n, args.seed), outputs_count);
+                let (row, twin) = run_cell::<_, _, AbaCodec, _>(
+                    "aba",
+                    transport,
+                    n,
+                    w,
+                    || aba_nodes(n, args.seed),
+                    outputs_count,
+                );
                 rows.push(row);
                 *ok &= twin;
             }
         }
         for &n in smr_sizes {
             for &w in worker_counts.iter().filter(|&&w| w <= n) {
-                let (row, twin) =
-                    run_cell("smr", n, w, || smr_nodes(n, args.seed), smr_commits);
+                let (row, twin) = run_cell::<_, _, SmrCodec, _>(
+                    "smr",
+                    transport,
+                    n,
+                    w,
+                    || smr_nodes(n, args.seed),
+                    smr_commits,
+                );
                 rows.push(row);
                 *ok &= twin;
             }
         }
     };
-    sweep(&mut rows, &mut all_twins_ok);
+    for transport in &args.transports {
+        sweep(&mut rows, &mut all_twins_ok, transport);
+    }
 
     let mut table = TextTable::new(vec![
         "protocol",
+        "transport",
         "n",
         "workers",
         "wall_ms",
@@ -242,6 +300,7 @@ fn main() -> ExitCode {
     for r in &rows {
         table.row(vec![
             r.protocol.clone(),
+            r.transport.clone(),
             r.n.to_string(),
             r.workers.to_string(),
             r.wall_ms.to_string(),

@@ -91,7 +91,14 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn row(case: &str, n: u64, wall_ms: u64, tickets: u128, stats: &SolveStats) -> BenchRow {
+fn row(
+    case: &str,
+    n: u64,
+    wall_ms: u64,
+    tickets: u128,
+    stats: &SolveStats,
+    rss_delta_kb: u64,
+) -> BenchRow {
     BenchRow {
         bench: "solver_scale".into(),
         case_name: case.into(),
@@ -101,7 +108,7 @@ fn row(case: &str, n: u64, wall_ms: u64, tickets: u128, stats: &SolveStats) -> B
         dp_invocations: stats.dp_invocations,
         certificate_skips: stats.certificate_skips,
         candidates_checked: stats.candidates_checked,
-        peak_rss_kb: peak_rss_kb(),
+        peak_rss_kb: rss_delta_kb,
     }
 }
 
@@ -113,10 +120,17 @@ fn run_size(n: u64, seed: u64) -> Vec<BenchRow> {
     let w = gen::whale_mix(usize::try_from(n).expect("fits"), whales, seed ^ n);
     let churned = usize::try_from(n * CHURN_PCT).expect("fits").div_ceil(100);
 
+    // VmHWM is a process-lifetime high-water mark; reporting it raw would
+    // attribute every earlier cell's peak to this one. Each measured phase
+    // reports the *delta* it pushed the mark by (zero when it fits inside
+    // a previous peak), so rss columns stay attributable per cell.
+    let rss_before = peak_rss_kb();
     let t0 = Instant::now();
     let cold = Swiper::new().solve_restriction(&w, &p).expect("solvable");
     let cold_ms = u64::try_from(t0.elapsed().as_millis()).unwrap_or(u64::MAX);
-    let mut rows = vec![row("cold", n, cold_ms, cold.assignment.total(), &cold.stats)];
+    let cold_rss = peak_rss_kb().saturating_sub(rss_before);
+    let mut rows =
+        vec![row("cold", n, cold_ms, cold.assignment.total(), &cold.stats, cold_rss)];
 
     for (case, certs) in [("warm", false), ("certified", true)] {
         let mut reconf =
@@ -126,15 +140,18 @@ fn run_size(n: u64, seed: u64) -> Vec<BenchRow> {
         // faces are identical, so the counter gap is certificates alone.
         let mut rng = StdRng::seed_from_u64(seed ^ n ^ 0xDEAD_BEEF);
         let w2 = churn_with(ChurnMode::Drift, &w, churned, 5, &mut rng);
+        let rss_before = peak_rss_kb();
         let t0 = Instant::now();
         let outcome = reconf.advance(&w2).expect("churned epoch solvable");
         let wall = u64::try_from(t0.elapsed().as_millis()).unwrap_or(u64::MAX);
+        let rss = peak_rss_kb().saturating_sub(rss_before);
         rows.push(row(
             case,
             n,
             wall,
             outcome.solutions[0].assignment.total(),
             &outcome.stats(),
+            rss,
         ));
     }
     rows

@@ -144,7 +144,12 @@ pub struct BenchRow {
     pub certificate_skips: u64,
     /// Family members materialized and checked.
     pub candidates_checked: u64,
-    /// Peak resident set size in kilobytes (0 when unavailable).
+    /// Per-cell growth of the process peak RSS in kilobytes: `VmHWM`
+    /// delta across the cell's measured phase. `VmHWM` is a
+    /// process-lifetime high-water mark, so this is a monotone-floor
+    /// decomposition — a cell whose footprint fits inside an earlier
+    /// cell's peak reports 0, never an inherited peak. Informational,
+    /// never regression-gated; 0 when `/proc` is unavailable.
     pub peak_rss_kb: u64,
 }
 
@@ -248,6 +253,9 @@ pub struct RuntimeBenchRow {
     pub bench: String,
     /// Protocol chain: `bracha` / `aba` / `smr`.
     pub protocol: String,
+    /// Transport backend the runtime ran on: `channel` (in-process
+    /// inboxes) or `socket` (loopback TCP through the wire codecs).
+    pub transport: String,
     /// Population size.
     pub n: u64,
     /// Worker threads the runtime ran with.
@@ -269,7 +277,12 @@ pub struct RuntimeBenchRow {
     pub p95_us: u64,
     /// 99th-percentile latency, microseconds.
     pub p99_us: u64,
-    /// Peak resident set size in kilobytes (0 when unavailable).
+    /// Per-cell growth of the process peak RSS in kilobytes: `VmHWM`
+    /// delta across the cell's measured phase. `VmHWM` itself is a
+    /// process-lifetime high-water mark, so this is a monotone-floor
+    /// decomposition — a cell that fits entirely inside a predecessor's
+    /// peak reports 0, never the predecessor's footprint. Informational,
+    /// never regression-gated.
     pub peak_rss_kb: u64,
     /// 1 when the delivery trace replayed bit-identically on the
     /// simulator twin, 0 otherwise.
@@ -277,20 +290,28 @@ pub struct RuntimeBenchRow {
 }
 
 impl RuntimeBenchRow {
-    /// The `(bench, protocol, n, workers)` identity rows are matched on
-    /// when diffing.
-    pub fn key(&self) -> (String, String, u64, u64) {
-        (self.bench.clone(), self.protocol.clone(), self.n, self.workers)
+    /// The `(bench, protocol, transport, n, workers)` identity rows are
+    /// matched on when diffing.
+    pub fn key(&self) -> (String, String, String, u64, u64) {
+        (
+            self.bench.clone(),
+            self.protocol.clone(),
+            self.transport.clone(),
+            self.n,
+            self.workers,
+        )
     }
 
     fn to_json_line(&self) -> String {
         format!(
-            "    {{\"bench\":\"{}\",\"protocol\":\"{}\",\"n\":{},\"workers\":{},\
+            "    {{\"bench\":\"{}\",\"protocol\":\"{}\",\"transport\":\"{}\",\"n\":{},\
+             \"workers\":{},\
              \"wall_ms\":{},\"commits\":{},\"commits_per_sec\":{},\"msgs\":{},\
              \"msgs_per_sec\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\
              \"peak_rss_kb\":{},\"twin_ok\":{}}}",
             self.bench,
             self.protocol,
+            self.transport,
             self.n,
             self.workers,
             self.wall_ms,
@@ -340,6 +361,9 @@ pub fn parse_runtime_json(doc: &str) -> Result<Vec<RuntimeBenchRow>, String> {
         rows.push(RuntimeBenchRow {
             bench,
             protocol: json_str_field(line, "protocol").unwrap_or_default(),
+            // Rows written before the transport axis existed are channel
+            // rows: that was the only backend.
+            transport: json_str_field(line, "transport").unwrap_or_else(|| "channel".into()),
             n: num("n"),
             workers: num("workers"),
             wall_ms: num("wall_ms"),
@@ -375,12 +399,15 @@ pub fn diff_runtime_rows(
     for old in baseline {
         let Some(new) = fresh.iter().find(|r| r.key() == old.key()) else {
             problems.push(format!(
-                "row {}/{}/n={}/w={} missing from fresh run",
-                old.bench, old.protocol, old.n, old.workers
+                "row {}/{}/{}/n={}/w={} missing from fresh run",
+                old.bench, old.protocol, old.transport, old.n, old.workers
             ));
             continue;
         };
-        let id = format!("{}/{}/n={}/w={}", old.bench, old.protocol, old.n, old.workers);
+        let id = format!(
+            "{}/{}/{}/n={}/w={}",
+            old.bench, old.protocol, old.transport, old.n, old.workers
+        );
         if old.commits != new.commits {
             problems.push(format!("{id}: commits changed {} -> {}", old.commits, new.commits));
         }
@@ -461,6 +488,13 @@ pub fn diff_bench_rows(baseline: &[BenchRow], fresh: &[BenchRow], tol_pct: u64) 
 
 /// Peak resident set size of this process in kilobytes, from
 /// `/proc/self/status` (`VmHWM`). Returns 0 when unavailable (non-Linux).
+///
+/// `VmHWM` is monotone over the process lifetime: it never decreases, so
+/// in a multi-cell sweep every cell after the largest would inherit its
+/// peak. Benchmark binaries must therefore report **per-cell deltas** —
+/// sample before the measured phase and subtract (`saturating_sub`), as
+/// the [`BenchRow::peak_rss_kb`] / [`RuntimeBenchRow::peak_rss_kb`]
+/// schema docs specify.
 pub fn peak_rss_kb() -> u64 {
     let Ok(status) = fs::read_to_string("/proc/self/status") else { return 0 };
     status
@@ -622,6 +656,7 @@ mod tests {
         RuntimeBenchRow {
             bench: "runtime_scale".into(),
             protocol: protocol.into(),
+            transport: "channel".into(),
             n,
             workers,
             wall_ms: wall,
@@ -639,7 +674,10 @@ mod tests {
 
     #[test]
     fn runtime_json_roundtrips() {
-        let rows = vec![runtime_row("bracha", 20, 1, 300), runtime_row("smr", 10, 4, 800)];
+        let mut socket = runtime_row("bracha", 20, 1, 300);
+        socket.transport = "socket".into();
+        let rows =
+            vec![runtime_row("bracha", 20, 1, 300), socket, runtime_row("smr", 10, 4, 800)];
         let doc = render_runtime_json(&rows);
         assert_eq!(parse_runtime_json(&doc).unwrap(), rows);
         assert!(parse_runtime_json("{}").is_err(), "schema tag is mandatory");
@@ -647,6 +685,32 @@ mod tests {
             parse_runtime_json(&render_bench_json(&[])).is_err(),
             "solver documents must not pass as runtime documents"
         );
+    }
+
+    #[test]
+    fn rows_without_a_transport_column_parse_as_channel() {
+        // Baselines written before the transport axis existed must keep
+        // diffing as channel rows.
+        let doc = format!(
+            "{{\n  \"schema\": \"{BENCH_RUNTIME_SCHEMA}\",\n  \"rows\": [\n    \
+             {{\"bench\":\"runtime_scale\",\"protocol\":\"aba\",\"n\":8,\"workers\":2,\
+             \"wall_ms\":10,\"commits\":8,\"twin_ok\":1}}\n  ]\n}}\n"
+        );
+        let rows = parse_runtime_json(&doc).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].transport, "channel");
+    }
+
+    #[test]
+    fn transport_is_part_of_the_row_identity() {
+        // A socket row never matches a channel baseline (and vice versa):
+        // the two backends have independent trajectories.
+        let channel = vec![runtime_row("bracha", 20, 1, 300)];
+        let mut socket = channel.clone();
+        socket[0].transport = "socket".into();
+        assert_eq!(diff_runtime_rows(&channel, &socket, 20).len(), 1, "baseline row unmatched");
+        let both = vec![channel[0].clone(), socket[0].clone()];
+        assert!(diff_runtime_rows(&both, &both, 20).is_empty());
     }
 
     #[test]

@@ -1,0 +1,234 @@
+//! Wire codecs: how a protocol message becomes bytes on a socket.
+//!
+//! The [`SocketTransport`](crate::SocketTransport) frames every
+//! [`Envelope`](crate::Envelope) as a length-prefixed record whose header
+//! carries the coordinates (`from`, `to`, `send_ix`, `sent_at`) and whose
+//! body is the payload, encoded by a [`WireCodec`]. The codec is the only
+//! message-type-specific piece: `swiper-net` ships [`U64Codec`] and
+//! [`BytesCodec`] for the plain test payloads, and protocol crates
+//! implement the trait for their own message enums (see
+//! `swiper_protocols::wire`).
+//!
+//! Encodings are hand-rolled little-endian records (the vendored serde
+//! shim is marker-only). The [`WireReader`]/`put_*` helpers keep
+//! downstream codecs short and make truncation/trailing-byte errors
+//! uniform.
+
+use std::fmt;
+
+/// Why a wire payload failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the record did.
+    Truncated,
+    /// Bytes remained after the record was fully decoded.
+    TrailingBytes(usize),
+    /// An enum discriminant byte had no meaning for this message type.
+    BadTag(u8),
+    /// A decoded field value is outside its type's domain.
+    BadValue(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "wire record truncated"),
+            WireError::TrailingBytes(k) => write!(f, "{k} trailing bytes after wire record"),
+            WireError::BadTag(t) => write!(f, "unknown wire tag {t}"),
+            WireError::BadValue(what) => write!(f, "wire field out of domain: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encodes and decodes one message type for the socket transport.
+///
+/// The contract is exact round-tripping: `decode(encode(m)) == m` for
+/// every message the protocol can emit, with no bytes to spare — the
+/// transport frames records, so a codec never needs to find its own end,
+/// but it must consume *exactly* the body it is given (decode errors on
+/// trailing bytes catch version skew early). Codecs must be pure: the
+/// determinism-twin contract replays payloads from fresh automata, so an
+/// encoding that depends on anything but the message would desynchronize
+/// the metrics byte counts.
+pub trait WireCodec<M>: Send + Sync + 'static {
+    /// Appends the encoding of `msg` to `out`.
+    fn encode(&self, msg: &M, out: &mut Vec<u8>);
+
+    /// Decodes one message from exactly `buf`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] when `buf` is not exactly one valid encoding.
+    fn decode(&self, buf: &[u8]) -> Result<M, WireError>;
+}
+
+/// Codec for bare `u64` payloads (the unit-test message type).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct U64Codec;
+
+impl WireCodec<u64> for U64Codec {
+    fn encode(&self, msg: &u64, out: &mut Vec<u8>) {
+        out.extend_from_slice(&msg.to_le_bytes());
+    }
+
+    fn decode(&self, buf: &[u8]) -> Result<u64, WireError> {
+        let mut r = WireReader::new(buf);
+        let v = r.take_u64()?;
+        r.finish()?;
+        Ok(v)
+    }
+}
+
+/// Codec for raw byte-vector payloads.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BytesCodec;
+
+impl WireCodec<Vec<u8>> for BytesCodec {
+    fn encode(&self, msg: &Vec<u8>, out: &mut Vec<u8>) {
+        out.extend_from_slice(msg);
+    }
+
+    fn decode(&self, buf: &[u8]) -> Result<Vec<u8>, WireError> {
+        Ok(buf.to_vec())
+    }
+}
+
+/// Appends a little-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `bool` as one byte.
+pub fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(u8::from(v));
+}
+
+/// Appends a `u32`-length-prefixed byte slice.
+pub fn put_slice(out: &mut Vec<u8>, v: &[u8]) {
+    put_u32(out, u32::try_from(v.len()).expect("wire slice fits u32"));
+    out.extend_from_slice(v);
+}
+
+/// Cursor over a wire record body; every `take_*` advances and errors
+/// uniformly on truncation, and [`WireReader::finish`] rejects leftovers.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> WireReader<'a> {
+    /// A reader over the whole of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf }
+    }
+
+    fn take(&mut self, k: usize) -> Result<&'a [u8], WireError> {
+        if self.buf.len() < k {
+            return Err(WireError::Truncated);
+        }
+        let (head, tail) = self.buf.split_at(k);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    /// Reads one byte.
+    pub fn take_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a one-byte `bool` (strictly 0 or 1).
+    pub fn take_bool(&mut self) -> Result<bool, WireError> {
+        match self.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::BadValue("bool byte")),
+        }
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn take_u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn take_u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a `u32`-length-prefixed byte slice (the [`put_slice`] twin).
+    pub fn take_slice(&mut self) -> Result<&'a [u8], WireError> {
+        let len = self.take_u32()? as usize;
+        self.take(len)
+    }
+
+    /// Reads exactly `k` raw bytes.
+    pub fn take_bytes(&mut self, k: usize) -> Result<&'a [u8], WireError> {
+        self.take(k)
+    }
+
+    /// Asserts the record is fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::TrailingBytes`] when bytes remain.
+    pub fn finish(self) -> Result<(), WireError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes(self.buf.len()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_codec_roundtrips_and_rejects_malformed() {
+        let c = U64Codec;
+        let mut buf = Vec::new();
+        c.encode(&0xDEAD_BEEF_0042u64, &mut buf);
+        assert_eq!(c.decode(&buf), Ok(0xDEAD_BEEF_0042u64));
+        assert_eq!(c.decode(&buf[..7]), Err(WireError::Truncated));
+        buf.push(0);
+        assert_eq!(c.decode(&buf), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn bytes_codec_roundtrips_including_empty() {
+        let c = BytesCodec;
+        for payload in [Vec::new(), b"swiper".to_vec()] {
+            let mut buf = Vec::new();
+            c.encode(&payload, &mut buf);
+            assert_eq!(c.decode(&buf), Ok(payload));
+        }
+    }
+
+    #[test]
+    fn reader_helpers_roundtrip_and_bound_check() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 7);
+        put_u64(&mut buf, u64::MAX);
+        put_bool(&mut buf, true);
+        put_slice(&mut buf, b"abc");
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.take_u32(), Ok(7));
+        assert_eq!(r.take_u64(), Ok(u64::MAX));
+        assert_eq!(r.take_bool(), Ok(true));
+        assert_eq!(r.take_slice(), Ok(b"abc".as_ref()));
+        assert!(r.finish().is_ok());
+
+        let mut r = WireReader::new(&[2]);
+        assert_eq!(r.take_bool(), Err(WireError::BadValue("bool byte")));
+        let mut r = WireReader::new(&[1, 0, 0, 0]);
+        assert_eq!(r.take_slice(), Err(WireError::Truncated));
+    }
+}

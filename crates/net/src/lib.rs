@@ -13,7 +13,9 @@
 //!   queue with configurable message delays. Same seed, same run: every
 //!   execution is exactly reproducible.
 //! * [`ThreadedRuntime`] — the deployed backend: worker threads, bounded
-//!   links over a pluggable [`Transport`], monotonic-clock timers. Every
+//!   links over a pluggable [`Transport`] ([`ChannelTransport`]
+//!   in-process, [`SocketTransport`] over real loopback TCP with a
+//!   [`WireCodec`] per message type), monotonic-clock timers. Every
 //!   run records a [`DeliveryTrace`] that replays on the simulator
 //!   substrate bit-identically (the determinism-twin contract).
 //! * [`adversary`] — generic fault injection: silence, crash-after-k,
@@ -33,18 +35,25 @@
 #![warn(missing_docs)]
 
 pub mod adversary;
+mod codec;
 mod metrics;
 mod runtime;
 mod sim;
+mod socket;
 mod transport;
 mod twin;
 
 pub use adversary::AdaptiveDelay;
+pub use codec::{
+    put_bool, put_slice, put_u32, put_u64, BytesCodec, U64Codec, WireCodec, WireError,
+    WireReader,
+};
 pub use metrics::Metrics;
-pub use runtime::{LatencySummary, RuntimeReport, ThreadedRuntime};
+pub use runtime::{HistSummary, LatencySummary, RuntimeReport, ThreadedRuntime};
 pub use sim::{
     Context, DelayModel, Effects, EpochedSimulation, NodeId, Protocol, RunReport, Simulation,
 };
+pub use socket::SocketTransport;
 pub use transport::{
     ChannelTransport, Delivery, Envelope, Runtime, SendError, SendNodes, Transport,
     DEFAULT_LINK_CAPACITY,

@@ -24,6 +24,15 @@
 //! proves no event exists and none can be created. The coordinator then
 //! closes the transport and joins every worker: clean shutdown, no
 //! detached threads.
+//!
+//! Events that can no longer happen release their credits as *drops*,
+//! with identical bookkeeping to a delivery to a halted node: envelopes
+//! rejected by a closed transport, retry-queue and inbox leftovers drained
+//! at shutdown, and transport-internal in-flight losses surfaced through
+//! [`Transport::take_dropped`] (polled by the coordinator, so a socket
+//! closed mid-run converges instead of stalling). The
+//! [`RuntimeReport::dropped`] tally closes the conservation law
+//! `total_messages == delivered_messages + dropped` for every run.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -39,10 +48,11 @@ use crate::transport::{ChannelTransport, Envelope, Runtime, SendError, SendNodes
 use crate::twin::{DeliveryTrace, TraceEvent};
 use crate::MessageSize;
 
-/// Latency percentiles of one run, in clock ticks (microseconds), taken
-/// over every delivered message's send→process interval.
+/// Percentile summary of a sample histogram, in clock ticks
+/// (microseconds) — used for every delivered message's send→process
+/// interval.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct LatencySummary {
+pub struct HistSummary {
     /// Median delivery latency.
     pub p50_us: u64,
     /// 95th-percentile delivery latency.
@@ -53,14 +63,21 @@ pub struct LatencySummary {
     pub samples: u64,
 }
 
-impl LatencySummary {
-    fn from_samples(mut samples: Vec<u64>) -> Self {
-        if samples.is_empty() {
-            return LatencySummary { p50_us: 0, p95_us: 0, p99_us: 0, samples: 0 };
-        }
+/// The historical name of [`HistSummary`].
+pub type LatencySummary = HistSummary;
+
+impl HistSummary {
+    /// Summarizes `samples` by nearest-rank percentiles. An empty vector —
+    /// a swept cell that produced zero commits, a run whose transport died
+    /// before any delivery — yields the all-zero summary, never a panic:
+    /// zero percentiles over `samples: 0` are unambiguous downstream.
+    pub fn from_samples(mut samples: Vec<u64>) -> Self {
+        let Some(last) = samples.len().checked_sub(1) else {
+            return HistSummary { p50_us: 0, p95_us: 0, p99_us: 0, samples: 0 };
+        };
         samples.sort_unstable();
-        let pct = |q: u64| samples[((samples.len() - 1) as u64 * q / 100) as usize];
-        LatencySummary {
+        let pct = |q: u64| samples[(last as u64 * q / 100) as usize];
+        HistSummary {
             p50_us: pct(50),
             p95_us: pct(95),
             p99_us: pct(99),
@@ -82,7 +99,14 @@ pub struct RuntimeReport {
     /// Real elapsed time of the run.
     pub wall: Duration,
     /// Send→process latency percentiles.
-    pub latency: LatencySummary,
+    pub latency: HistSummary,
+    /// Messages sent but never processed by a live callback: deliveries to
+    /// halted nodes, envelopes rejected by a closed transport, retry-queue
+    /// and inbox leftovers drained at shutdown, and transport-internal
+    /// in-flight drops ([`Transport::take_dropped`]). The conservation law
+    /// `metrics.total_messages() == metrics.delivered_messages() + dropped`
+    /// holds for every run, however it ended.
+    pub dropped: u64,
 }
 
 /// A multi-threaded in-process runtime over boxed `Send` node automata.
@@ -220,6 +244,7 @@ impl<M: Send + Clone + MessageSize + 'static, T: Transport<M>> ThreadedRuntime<M
         // effect flush complete. Zero ⟺ quiescent.
         let pending = AtomicI64::new(n as i64);
         let processed = AtomicU64::new(0);
+        let dropped = AtomicU64::new(0);
         let shutdown = AtomicBool::new(false);
         let trace = Mutex::new(Vec::<TraceEvent>::new());
         let start_at = Mutex::new(vec![0u64; n]);
@@ -241,6 +266,7 @@ impl<M: Send + Clone + MessageSize + 'static, T: Transport<M>> ThreadedRuntime<M
                 let epochs = &epochs;
                 let pending = &pending;
                 let processed = &processed;
+                let dropped = &dropped;
                 let shutdown = &shutdown;
                 let trace = &trace;
                 let start_at = &start_at;
@@ -253,6 +279,7 @@ impl<M: Send + Clone + MessageSize + 'static, T: Transport<M>> ThreadedRuntime<M
                         epochs,
                         pending,
                         processed,
+                        dropped,
                         shutdown,
                         trace,
                         start_at,
@@ -268,6 +295,16 @@ impl<M: Send + Clone + MessageSize + 'static, T: Transport<M>> ThreadedRuntime<M
             let mut last_progress = (Instant::now(), 0u64);
             loop {
                 std::thread::sleep(Duration::from_micros(200));
+                // Transport-internal drops (a socket closed mid-run) are
+                // events that will never arrive: account them here like
+                // halted-node drops, or their pending credits would stall
+                // quiescence until the stall limit.
+                let d = transport.take_dropped();
+                if d > 0 {
+                    dropped.fetch_add(d, Ordering::SeqCst);
+                    processed.fetch_add(d, Ordering::SeqCst);
+                    pending.fetch_sub(d as i64, Ordering::SeqCst);
+                }
                 let done = processed.load(Ordering::SeqCst);
                 while injected < thresholds.len() && thresholds[injected] <= done {
                     pending.fetch_add(n as i64, Ordering::SeqCst);
@@ -276,7 +313,10 @@ impl<M: Send + Clone + MessageSize + 'static, T: Transport<M>> ThreadedRuntime<M
                     }
                     injected += 1;
                 }
-                if pending.load(Ordering::SeqCst) == 0 || done >= max_events {
+                // `<= 0`, not `== 0`: a drop can be accounted above in the
+                // same window its sender's credit lands, so the counter may
+                // pass through negative transients.
+                if pending.load(Ordering::SeqCst) <= 0 || done >= max_events {
                     break;
                 }
                 if done != last_progress.1 {
@@ -299,6 +339,14 @@ impl<M: Send + Clone + MessageSize + 'static, T: Transport<M>> ThreadedRuntime<M
                 metrics.absorb(&part.metrics);
                 latencies.extend(part.latencies);
             }
+            // Final sweep: envelopes the transport accepted that no worker
+            // will ever pop (socket buffers emptied by `close`).
+            let d = transport.take_dropped();
+            if d > 0 {
+                dropped.fetch_add(d, Ordering::SeqCst);
+                processed.fetch_add(d, Ordering::SeqCst);
+                pending.fetch_sub(d as i64, Ordering::SeqCst);
+            }
             (outputs, metrics, latencies)
         });
 
@@ -319,7 +367,8 @@ impl<M: Send + Clone + MessageSize + 'static, T: Transport<M>> ThreadedRuntime<M
             },
             trace,
             wall: origin.elapsed(),
-            latency: LatencySummary::from_samples(latencies),
+            latency: HistSummary::from_samples(latencies),
+            dropped: dropped.load(Ordering::SeqCst),
         }
     }
 }
@@ -347,6 +396,7 @@ struct WorkerEnv<'a, M, T: Transport<M>> {
     epochs: &'a [EpochEvent],
     pending: &'a AtomicI64,
     processed: &'a AtomicU64,
+    dropped: &'a AtomicU64,
     shutdown: &'a AtomicBool,
     trace: &'a Mutex<Vec<TraceEvent>>,
     start_at: &'a Mutex<Vec<u64>>,
@@ -360,6 +410,17 @@ struct WorkerPart {
     outputs: Vec<(NodeId, Option<Vec<u8>>)>,
     metrics: Metrics,
     latencies: Vec<u64>,
+}
+
+/// Accounts one message envelope that will never reach a live callback:
+/// the same bookkeeping as a delivery to a halted node — it counts as a
+/// processed event and releases its pending credit, but runs no callback,
+/// records no delivery and is never traced. The `dropped` tally is what
+/// keeps `total_messages == delivered_messages + dropped` exact.
+fn account_drop(pending: &AtomicI64, processed: &AtomicU64, dropped: &AtomicU64) {
+    processed.fetch_add(1, Ordering::SeqCst);
+    dropped.fetch_add(1, Ordering::SeqCst);
+    pending.fetch_sub(1, Ordering::SeqCst);
 }
 
 /// Per-hosted-node bookkeeping the worker owns.
@@ -439,7 +500,7 @@ fn worker_loop<M: Send + Clone + MessageSize, T: Transport<M>>(
                 Ok(()) => {}
                 Err(SendError::Full(e)) => pending_out.push_back(e),
                 Err(SendError::Closed(_)) => {
-                    env.pending.fetch_sub(1, Ordering::SeqCst);
+                    account_drop(env.pending, env.processed, env.dropped);
                 }
             }
         }
@@ -504,7 +565,7 @@ fn worker_loop<M: Send + Clone + MessageSize, T: Transport<M>>(
                     break;
                 }
                 Err(SendError::Closed(_)) => {
-                    env.pending.fetch_sub(1, Ordering::SeqCst);
+                    account_drop(env.pending, env.processed, env.dropped);
                 }
             }
         }
@@ -546,15 +607,16 @@ fn worker_loop<M: Send + Clone + MessageSize, T: Transport<M>>(
             for _ in 0..32 {
                 let Some(envlp) = env.transport.try_recv(host.id) else { break };
                 did_work = true;
-                env.processed.fetch_add(1, Ordering::SeqCst);
                 let at = now(&env);
                 if host.halted {
                     // Parity with the simulator: deliveries to a halted
                     // node count as events but run no callback (and are
-                    // not traced — the twin never sees them).
-                    env.pending.fetch_sub(1, Ordering::SeqCst);
+                    // not traced — the twin never sees them). They are
+                    // drops for the message conservation law.
+                    account_drop(env.pending, env.processed, env.dropped);
                     continue;
                 }
+                env.processed.fetch_add(1, Ordering::SeqCst);
                 latencies.push(at.saturating_sub(envlp.sent_at));
                 metrics.record_delivery(host.id, envlp.msg.size_bytes());
                 let host_id = host.id;
@@ -592,6 +654,20 @@ fn worker_loop<M: Send + Clone + MessageSize, T: Transport<M>>(
             } else {
                 std::thread::sleep(Duration::from_micros(100));
             }
+        }
+    }
+
+    // Shutdown drain: when the coordinator trips `max_events` (or a stall,
+    // or a mid-run transport close), this worker's retry queue and its
+    // nodes' inboxes may still hold envelopes whose pending credits were
+    // taken at send time. Every one must be drop-accounted, or the run
+    // leaks credits and reports a miscounted event total.
+    for _ in pending_out.drain(..) {
+        account_drop(env.pending, env.processed, env.dropped);
+    }
+    for host in &hosted {
+        while env.transport.try_recv(host.id).is_some() {
+            account_drop(env.pending, env.processed, env.dropped);
         }
     }
 
@@ -762,13 +838,107 @@ mod tests {
     }
 
     #[test]
-    fn latency_summary_percentiles() {
-        let s = LatencySummary::from_samples((1..=100).collect());
+    fn hist_summary_percentiles() {
+        let s = HistSummary::from_samples((1..=100).collect());
         assert_eq!(s.p50_us, 50);
         assert_eq!(s.p95_us, 95);
         assert_eq!(s.p99_us, 99);
         assert_eq!(s.samples, 100);
-        let empty = LatencySummary::from_samples(Vec::new());
-        assert_eq!(empty.samples, 0);
+        // The historical alias keeps downstream code compiling.
+        let also: LatencySummary = s;
+        assert_eq!(also, s);
+    }
+
+    #[test]
+    fn hist_summary_of_zero_samples_is_all_zero() {
+        // A swept cell with zero commits must summarize, not panic.
+        let empty = HistSummary::from_samples(Vec::new());
+        assert_eq!(empty, HistSummary { p50_us: 0, p95_us: 0, p99_us: 0, samples: 0 });
+        let single = HistSummary::from_samples(vec![7]);
+        assert_eq!(single, HistSummary { p50_us: 7, p95_us: 7, p99_us: 7, samples: 1 });
+    }
+
+    #[test]
+    fn zero_delivery_run_reports_zero_percentiles() {
+        // End-to-end empty-histogram path: one silent node, no traffic.
+        struct Silent;
+        impl Protocol for Silent {
+            type Msg = u64;
+            fn on_start(&mut self, _ctx: &mut Context<u64>) {}
+            fn on_message(&mut self, _f: NodeId, _m: u64, _c: &mut Context<u64>) {}
+        }
+        let nodes: SendNodes<u64> = vec![Box::new(Silent)];
+        let full = ThreadedRuntime::new(nodes).run_traced();
+        assert_eq!(full.latency.samples, 0);
+        assert_eq!((full.latency.p50_us, full.latency.p99_us), (0, 0));
+        assert_eq!(full.dropped, 0);
+    }
+
+    #[test]
+    fn max_events_shutdown_drains_retry_queues_and_accounts_drops() {
+        // Fan-out-2 chatter over capacity-1 links: traffic grows without
+        // bound, so when the event cap trips, worker retry queues and
+        // node inboxes still hold backpressured envelopes whose pending
+        // credits were taken at send time. The shutdown drain must
+        // account every one — with the drain reverted, `dropped`
+        // undercounts and the conservation law below fails.
+        struct Chatter;
+        impl Protocol for Chatter {
+            type Msg = u64;
+            fn on_start(&mut self, ctx: &mut Context<u64>) {
+                ctx.broadcast(0);
+            }
+            fn on_message(&mut self, from: NodeId, msg: u64, ctx: &mut Context<u64>) {
+                ctx.send(from, msg + 1);
+                ctx.send(from, msg + 1);
+            }
+        }
+        let nodes: SendNodes<u64> = (0..3).map(|_| Box::new(Chatter) as _).collect();
+        let full = ThreadedRuntime::new(nodes)
+            .with_transport(ChannelTransport::with_capacity(3, 1))
+            .with_workers(3)
+            .with_max_events(200)
+            .run_traced();
+        assert!(full.report.events >= 200, "cap is a floor for the stop decision");
+        assert!(full.dropped > 0, "the cap must strand in-flight envelopes here");
+        assert_eq!(
+            full.report.metrics.total_messages(),
+            full.report.metrics.delivered_messages() + full.dropped,
+            "every sent envelope is either delivered or drop-accounted"
+        );
+    }
+
+    #[test]
+    fn mid_run_transport_close_converges_and_accounts_drops() {
+        // Killing the transport while traffic is in flight must end the
+        // run by drop accounting, not by the 10-second stall limit.
+        struct PingPong;
+        impl Protocol for PingPong {
+            type Msg = u64;
+            fn on_start(&mut self, ctx: &mut Context<u64>) {
+                ctx.broadcast(0);
+            }
+            fn on_message(&mut self, from: NodeId, msg: u64, ctx: &mut Context<u64>) {
+                if msg < 100_000 {
+                    ctx.send(from, msg + 1);
+                }
+            }
+        }
+        let nodes: SendNodes<u64> = (0..4).map(|_| Box::new(PingPong) as _).collect();
+        let transport = std::sync::Arc::new(ChannelTransport::new(4));
+        let killer = std::sync::Arc::clone(&transport);
+        let saboteur = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(2));
+            killer.close();
+        });
+        let full =
+            ThreadedRuntime::new(nodes).with_transport(transport).with_workers(2).run_traced();
+        saboteur.join().unwrap();
+        assert!(full.wall < Duration::from_secs(5), "must not ride the stall limit");
+        assert_eq!(
+            full.report.metrics.total_messages(),
+            full.report.metrics.delivered_messages() + full.dropped,
+            "every sent envelope is either delivered or drop-accounted"
+        );
     }
 }

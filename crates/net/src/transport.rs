@@ -13,9 +13,10 @@
 //!   sender's per-node send index (the coordinate the determinism twin
 //!   replays by) and the monotonic send tick (latency accounting).
 //! * [`Transport`] — the link layer: non-blocking, bounded, per-node
-//!   inboxes. [`ChannelTransport`] is the in-process implementation; a
-//!   socket transport implements the same three operations over the
-//!   network (see `docs/ARCHITECTURE.md` for the contract).
+//!   inboxes. [`ChannelTransport`] is the in-process implementation;
+//!   [`SocketTransport`](crate::SocketTransport) carries the same
+//!   operations over real loopback TCP (see `docs/ARCHITECTURE.md` for
+//!   the contract).
 //! * [`Runtime`] — the execution seam: anything that can drive a set of
 //!   automata to quiescence and report. The deterministic
 //!   [`Simulation`](crate::Simulation) and the threaded
@@ -107,9 +108,10 @@ pub enum SendError<M> {
 /// operations are non-blocking by contract — a runtime worker never parks
 /// inside the transport, which is what makes the bounded links
 /// deadlock-free (backpressured envelopes are retried by the sender, not
-/// waited on). A future socket transport implements exactly this surface:
-/// `try_send` serializes onto a connection, `try_recv` polls the
-/// demultiplexed per-node receive queue (see `docs/ARCHITECTURE.md`).
+/// waited on). [`SocketTransport`](crate::SocketTransport) implements
+/// exactly this surface over loopback TCP: `try_send` serializes onto a
+/// connection, `try_recv` polls the demultiplexed per-node receive queue
+/// (see `docs/ARCHITECTURE.md`).
 pub trait Transport<M>: Send + Sync {
     /// Number of addressable nodes.
     fn n(&self) -> usize;
@@ -128,6 +130,44 @@ pub trait Transport<M>: Send + Sync {
     /// Shuts the transport down; subsequent sends fail with
     /// [`SendError::Closed`].
     fn close(&self);
+
+    /// Takes the count of envelopes this transport accepted but dropped
+    /// undelivered since the last call (in-flight at [`Transport::close`],
+    /// lost on a dead connection). Each drop is reported exactly once; the
+    /// runtime accounts them like halted-node drops, which is what keeps
+    /// counted quiescence converging when a transport dies mid-run.
+    ///
+    /// The default is `0`: [`ChannelTransport`] never drops on its own —
+    /// its leftovers stay poppable after `close()` and are drained (and
+    /// counted) by the workers at shutdown.
+    fn take_dropped(&self) -> u64 {
+        0
+    }
+}
+
+/// A shared transport handle is a transport: lets a test or harness keep
+/// one `Arc` aside (to `close()` mid-run, injecting a fault) while the
+/// runtime owns another.
+impl<M, T: Transport<M> + ?Sized> Transport<M> for std::sync::Arc<T> {
+    fn n(&self) -> usize {
+        (**self).n()
+    }
+
+    fn try_send(&self, env: Envelope<M>) -> Result<(), SendError<M>> {
+        (**self).try_send(env)
+    }
+
+    fn try_recv(&self, node: NodeId) -> Option<Envelope<M>> {
+        (**self).try_recv(node)
+    }
+
+    fn close(&self) {
+        (**self).close()
+    }
+
+    fn take_dropped(&self) -> u64 {
+        (**self).take_dropped()
+    }
 }
 
 /// In-process transport: one bounded MPSC inbox per node.

@@ -38,3 +38,4 @@ pub mod smr;
 pub mod ssle;
 pub mod tight;
 pub mod vba;
+pub mod wire;

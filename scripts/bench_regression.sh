@@ -7,10 +7,12 @@
 # --budget-ms. Extra flags are forwarded to solver_scale verbatim.
 #
 # Runtime section (BENCH_runtime.json): re-runs the threaded-runtime
-# smoke sweep and diffs the cells it covers against the committed full
-# sweep — commits and twin-replay status exact, >20% wall-time
-# regression (rows over 250 ms) fails. Any twin divergence fails on its
-# own, baseline or not.
+# smoke sweep — both transport backends, in-process channels and
+# loopback-TCP sockets — and diffs the cells it covers against the
+# committed full sweep. A row's identity includes its transport, so
+# socket cells gate against socket baselines only: commits and
+# twin-replay status exact, >20% wall-time regression (rows over
+# 250 ms) fails. Any twin divergence fails on its own, baseline or not.
 #
 # Usage: scripts/bench_regression.sh [--max-n N] [--budget-ms MS]
 set -euo pipefail
@@ -37,4 +39,4 @@ cargo run --release -p swiper-bench --bin solver_scale -- \
     --out "$FRESH" --diff "$BASELINE" "$@"
 
 cargo run --release -p swiper-bench --bin runtime_scale -- \
-    --ci-smoke --out "$RUNTIME_FRESH" --diff "$RUNTIME_BASELINE"
+    --ci-smoke --transport both --out "$RUNTIME_FRESH" --diff "$RUNTIME_BASELINE"

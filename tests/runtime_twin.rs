@@ -9,10 +9,13 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use swiper::net::{Protocol, SendNodes, ThreadedRuntime};
+use swiper::net::{
+    Protocol, SendNodes, SocketTransport, ThreadedRuntime, Transport, WireCodec,
+};
 use swiper::protocols::aba::{AbaMsg, AbaNode, AbaSetup};
 use swiper::protocols::bracha::{BrachaConfig, BrachaMsg, BrachaNode};
 use swiper::protocols::smr::{SmrMsg, SmrNode};
+use swiper::protocols::wire::{AbaCodec, BrachaCodec, SmrCodec};
 use swiper::Weights;
 
 fn bracha_nodes(n: usize) -> SendNodes<BrachaMsg> {
@@ -60,6 +63,38 @@ where
     assert_eq!(twin.metrics, full.report.metrics, "metrics must be bit-identical");
 }
 
+/// The same contract across a real wire: every message of the run is
+/// encoded, crosses loopback TCP, is decoded on the far side — and the
+/// recorded trace still replays bit-identically on the simulator.
+fn assert_twin_socket<M, C, F>(make: F, workers: usize)
+where
+    M: Clone + swiper::net::MessageSize + Send + 'static,
+    C: WireCodec<M> + Default,
+    F: Fn() -> SendNodes<M>,
+{
+    let nodes = make();
+    let transport: SocketTransport<M, C> =
+        SocketTransport::loopback(nodes.len()).expect("loopback sockets");
+    let probe = transport.clone();
+    let full = ThreadedRuntime::new(nodes)
+        .with_transport(transport)
+        .with_workers(workers)
+        .run_traced();
+    assert!(!full.trace.is_empty(), "the run must record a trace");
+    assert_eq!(probe.decode_errors(), 0, "every frame must decode");
+    // A healthy wire loses nothing in transit: the only drops are
+    // deliveries to nodes that had already halted (Bracha and ABA halt on
+    // decision), and the message conservation law stays exact.
+    assert_eq!(
+        full.report.metrics.total_messages(),
+        full.report.metrics.delivered_messages() + full.dropped,
+        "every sent message is delivered or drop-accounted"
+    );
+    let twin = full.trace.replay(desend(make())).expect("twin replay must not diverge");
+    assert_eq!(twin.outputs, full.report.outputs, "outputs must be bit-identical");
+    assert_eq!(twin.metrics, full.report.metrics, "metrics must be bit-identical");
+}
+
 #[test]
 fn bracha_runtime_run_replays_bit_identically() {
     assert_twin(|| bracha_nodes(7), 3);
@@ -73,6 +108,58 @@ fn aba_runtime_run_replays_bit_identically() {
 #[test]
 fn smr_runtime_run_replays_bit_identically() {
     assert_twin(|| smr_nodes(6, 42), 3);
+}
+
+#[test]
+fn bracha_socket_run_replays_bit_identically() {
+    assert_twin_socket::<_, BrachaCodec, _>(|| bracha_nodes(7), 3);
+}
+
+#[test]
+fn aba_socket_run_replays_bit_identically() {
+    assert_twin_socket::<_, AbaCodec, _>(|| aba_nodes(7, 42), 3);
+}
+
+#[test]
+fn smr_socket_run_replays_bit_identically() {
+    assert_twin_socket::<_, SmrCodec, _>(|| smr_nodes(6, 42), 3);
+}
+
+/// Transport fault injection: kill the socket transport mid-run. The
+/// runtime must account every in-flight envelope exactly like a
+/// halted-node drop (counted quiescence converges instead of stalling),
+/// and the twin replay must still pass on the delivered prefix.
+#[test]
+fn socket_close_mid_run_accounts_drops_and_replays_the_prefix() {
+    for delay_us in [50, 300, 1500] {
+        let n = 7;
+        let transport: SocketTransport<BrachaMsg, BrachaCodec> =
+            SocketTransport::loopback(n).expect("loopback sockets");
+        let saboteur = transport.clone();
+        let killer = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_micros(delay_us));
+            saboteur.close();
+        });
+        let full = ThreadedRuntime::new(bracha_nodes(n))
+            .with_transport(transport)
+            .with_workers(3)
+            .run_traced();
+        killer.join().unwrap();
+        assert!(
+            full.wall < std::time::Duration::from_secs(5),
+            "drop accounting must converge the run, not ride the stall limit"
+        );
+        assert_eq!(
+            full.report.metrics.total_messages(),
+            full.report.metrics.delivered_messages() + full.dropped,
+            "in-flight drops are accounted exactly like halted-node drops (close at {delay_us}us)"
+        );
+        // The delivered prefix — whatever the schedule managed before the
+        // wire died — still replays bit-identically.
+        let twin = full.trace.replay(desend(bracha_nodes(n))).expect("prefix replay");
+        assert_eq!(twin.outputs, full.report.outputs);
+        assert_eq!(twin.metrics, full.report.metrics);
+    }
 }
 
 #[test]
