@@ -17,12 +17,15 @@
 //! running cache hit rate; per scenario a summary line including how
 //! often the warm bracket settled on a different (equally valid) local
 //! minimum than cold bisection — the non-monotone dips discussed in
-//! `Swiper::resolve_from`.
+//! `Swiper::resolve_from`. Solver-mode scenarios are also written as
+//! `BENCH_epochs.json` (schema `swiper-bench-epochs/v1`), one row per
+//! chain × churn with the `bracket_divergence` counter machine-readable
+//! instead of buried in the summary line.
 //!
 //! ```text
 //! cargo run --release -p swiper-bench --bin epochs -- [--epochs N] \
 //!     [--churn 1,5,20] [--churn-mode drift|mixed] [--chains aptos,tezos] \
-//!     [--seed S] [--smr] [--ci-smoke] [--quiet]
+//!     [--seed S] [--smr] [--ci-smoke] [--quiet] [--out PATH]
 //! ```
 //!
 //! `--smr` switches from solver-only replay to **live SMR replay**: each
@@ -47,6 +50,7 @@ use std::process::ExitCode;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use swiper_bench::{render_epochs_json, EpochBenchRow};
 use swiper_core::{Ratio, Swiper, VirtualUsers, WeightQualification, WeightRestriction};
 use swiper_protocols::quorum::{CountQuorum, QuorumTracker, Roster, WeightQuorum};
 use swiper_protocols::smr::{ReconfigureMode, SmrInstance};
@@ -62,6 +66,7 @@ struct Args {
     smr: bool,
     ci_smoke: bool,
     quiet: bool,
+    out: String,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -74,6 +79,7 @@ fn parse_args() -> Result<Args, String> {
         smr: false,
         ci_smoke: false,
         quiet: false,
+        out: "BENCH_epochs.json".into(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -109,6 +115,7 @@ fn parse_args() -> Result<Args, String> {
             "--smr" => args.smr = true,
             "--ci-smoke" => args.ci_smoke = true,
             "--quiet" => args.quiet = true,
+            "--out" => args.out = value("--out")?,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -126,6 +133,11 @@ struct ScenarioReport {
     warm_dp_certified: u64,
     warm_dp_plain: u64,
     cert_skips: u64,
+    /// Fresh cold-solve DP total — the no-machinery yardstick.
+    cold_dp: u64,
+    /// Epochs where the warm bracket settled on a different (equally
+    /// valid) local minimum than cold bisection.
+    divergences: u64,
 }
 
 impl ScenarioReport {
@@ -136,6 +148,8 @@ impl ScenarioReport {
             warm_dp_certified: 0,
             warm_dp_plain: 0,
             cert_skips: 0,
+            cold_dp: 0,
+            divergences: 0,
         }
     }
 }
@@ -242,6 +256,8 @@ fn run_scenario(chain: Chain, churn_pct: u64, args: &Args) -> ScenarioReport {
         warm_dp_certified: warm_dp_total,
         warm_dp_plain: plain_dp_total,
         cert_skips,
+        cold_dp: base_dp_total,
+        divergences,
     }
 }
 
@@ -475,6 +491,7 @@ fn main() -> ExitCode {
         }
     };
     let mut ok = true;
+    let mut json_rows: Vec<EpochBenchRow> = Vec::new();
     for &chain in &args.chains {
         for &churn_pct in &args.churn_pcts {
             if args.smr {
@@ -514,6 +531,20 @@ fn main() -> ExitCode {
             } else {
                 let report = run_scenario(chain, churn_pct, &args);
                 ok &= !report.failed;
+                if !report.failed {
+                    json_rows.push(EpochBenchRow {
+                        bench: "epochs".into(),
+                        chain: chain.name().into(),
+                        churn_pct,
+                        epochs: args.epochs,
+                        bracket_divergence: report.divergences,
+                        cert_skips: report.cert_skips,
+                        warm_dp: report.warm_dp_certified,
+                        plain_dp: report.warm_dp_plain,
+                        cold_dp: report.cold_dp,
+                        hit_rate_pct: (report.hit_rate * 100.0).round() as u64,
+                    });
+                }
                 if args.ci_smoke && churn_pct == 1 {
                     if report.hit_rate <= 0.0 {
                         eprintln!(
@@ -542,6 +573,11 @@ fn main() -> ExitCode {
                 }
             }
         }
+    }
+    if !json_rows.is_empty() {
+        std::fs::write(&args.out, render_epochs_json(&json_rows))
+            .expect("write benchmark file");
+        println!("wrote {}", args.out);
     }
     if ok {
         ExitCode::SUCCESS

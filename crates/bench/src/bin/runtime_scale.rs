@@ -38,8 +38,8 @@ use std::process::ExitCode;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use swiper_bench::{
-    diff_runtime_rows, parse_runtime_json, peak_rss_kb, render_runtime_json, RuntimeBenchRow,
-    TextTable,
+    current_rss_kb, diff_runtime_rows, parse_runtime_json, peak_rss_kb, render_runtime_json,
+    RuntimeBenchRow, TextTable,
 };
 use swiper_core::Weights;
 use swiper_net::{
@@ -121,10 +121,6 @@ where
     C: WireCodec<M> + Default,
     K: Fn(&RunReport) -> u64,
 {
-    // Per-cell RSS attribution: VmHWM is a process-lifetime high-water
-    // mark, so report this cell's *growth* of the peak, not the peak
-    // itself (see `swiper_bench::peak_rss_kb`).
-    let rss_before = peak_rss_kb();
     let runtime = ThreadedRuntime::new(make()).with_workers(workers);
     let full = if transport == "socket" {
         let wire: SocketTransport<M, C> =
@@ -132,6 +128,17 @@ where
         runtime.with_transport(wire).run_traced()
     } else {
         runtime.run_traced()
+    };
+    // RSS at quiescence: the runtime has joined its workers and the trace
+    // is fully materialized, so `VmRSS` here is the footprint this cell
+    // actually held — sampled before the twin replay allocates its own
+    // copy. `VmHWM`-delta attribution degenerates to 0 for any cell that
+    // fits inside an earlier cell's peak; the quiescent sample (with the
+    // process peak as a non-Linux-safe fallback) is nonzero for every
+    // row.
+    let rss_kb = match current_rss_kb() {
+        0 => peak_rss_kb(),
+        kb => kb,
     };
     // The twin: fresh automata, same constructors, replayed on the
     // simulator substrate. Outputs and metrics must match bit for bit.
@@ -171,7 +178,7 @@ where
         p50_us: full.latency.p50_us,
         p95_us: full.latency.p95_us,
         p99_us: full.latency.p99_us,
-        peak_rss_kb: peak_rss_kb().saturating_sub(rss_before),
+        peak_rss_kb: rss_kb,
         twin_ok: u64::from(twin_ok),
     };
     (row, twin_ok)

@@ -15,8 +15,10 @@
 //!   verdicts replay from stored margins instead of re-running bounds or
 //!   the DP.
 //!
-//! Every row records wall time, published tickets, `dp_invocations`,
-//! `certificate_skips`, `candidates_checked` and peak RSS, and the whole
+//! Every row records the generator seed, wall time, published tickets,
+//! `dp_invocations`, `certificate_skips`, `candidates_checked`, the
+//! accelerator counters (`cursor_advances`, `probes_saved`,
+//! `coarse_cert_hits`) and peak RSS, and the whole
 //! sweep is written as `BENCH_solver.json` (schema
 //! `swiper-bench-solver/v1`, one row per line). Counter fields are
 //! bit-deterministic for a fixed seed, which is what makes the file
@@ -94,6 +96,7 @@ fn parse_args() -> Result<Args, String> {
 fn row(
     case: &str,
     n: u64,
+    gen_seed: u64,
     wall_ms: u64,
     tickets: u128,
     stats: &SolveStats,
@@ -108,6 +111,10 @@ fn row(
         dp_invocations: stats.dp_invocations,
         certificate_skips: stats.certificate_skips,
         candidates_checked: stats.candidates_checked,
+        cursor_advances: stats.cursor_advances,
+        probes_saved: stats.probes_saved,
+        coarse_cert_hits: stats.coarse_cert_hits,
+        seed: gen_seed,
         peak_rss_kb: rss_delta_kb,
     }
 }
@@ -117,7 +124,10 @@ fn run_size(n: u64, seed: u64) -> Vec<BenchRow> {
     let p = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2)).expect("valid params");
     let setting = Setting::Restriction(p);
     let whales = usize::try_from((n / 10_000).max(8)).expect("fits");
-    let w = gen::whale_mix(usize::try_from(n).expect("fits"), whales, seed ^ n);
+    // The per-size generator seed lands in every emitted row, so any row
+    // is reproducible from `(bench, case, n, seed)` alone.
+    let gen_seed = seed ^ n;
+    let w = gen::whale_mix(usize::try_from(n).expect("fits"), whales, gen_seed);
     let churned = usize::try_from(n * CHURN_PCT).expect("fits").div_ceil(100);
 
     // VmHWM is a process-lifetime high-water mark; reporting it raw would
@@ -130,7 +140,7 @@ fn run_size(n: u64, seed: u64) -> Vec<BenchRow> {
     let cold_ms = u64::try_from(t0.elapsed().as_millis()).unwrap_or(u64::MAX);
     let cold_rss = peak_rss_kb().saturating_sub(rss_before);
     let mut rows =
-        vec![row("cold", n, cold_ms, cold.assignment.total(), &cold.stats, cold_rss)];
+        vec![row("cold", n, gen_seed, cold_ms, cold.assignment.total(), &cold.stats, cold_rss)];
 
     for (case, certs) in [("warm", false), ("certified", true)] {
         let mut reconf =
@@ -148,6 +158,7 @@ fn run_size(n: u64, seed: u64) -> Vec<BenchRow> {
         rows.push(row(
             case,
             n,
+            gen_seed,
             wall,
             outcome.solutions[0].assignment.total(),
             &outcome.stats(),
@@ -178,10 +189,14 @@ fn main() -> ExitCode {
     let mut table = TextTable::new(vec![
         "n",
         "case",
+        "seed",
         "wall_ms",
         "tickets",
         "dp",
         "cert_skips",
+        "coarse",
+        "cursor",
+        "saved",
         "candidates",
         "rss_kb",
     ]);
@@ -189,10 +204,14 @@ fn main() -> ExitCode {
         table.row(vec![
             r.n.to_string(),
             r.case_name.clone(),
+            r.seed.to_string(),
             r.wall_ms.to_string(),
             r.tickets.to_string(),
             r.dp_invocations.to_string(),
             r.certificate_skips.to_string(),
+            r.coarse_cert_hits.to_string(),
+            r.cursor_advances.to_string(),
+            r.probes_saved.to_string(),
             r.candidates_checked.to_string(),
             r.peak_rss_kb.to_string(),
         ]);

@@ -144,6 +144,18 @@ pub struct BenchRow {
     pub certificate_skips: u64,
     /// Family members materialized and checked.
     pub candidates_checked: u64,
+    /// Probes answered by the incremental family cursor reusing its
+    /// interval state instead of rebuilding candidates from scratch.
+    pub cursor_advances: u64,
+    /// Estimated probes the sampling-guided bracket avoided versus a cold
+    /// bisection of the full `[0, bound]` range.
+    pub probes_saved: u64,
+    /// Checks settled by a certificate found under a *nearby* stored
+    /// total (coarse key); disjoint from `certificate_skips`.
+    pub coarse_cert_hits: u64,
+    /// RNG seed the weight generator ran with — rows are reproducible
+    /// from `(bench, case, n, seed)` alone.
+    pub seed: u64,
     /// Per-cell growth of the process peak RSS in kilobytes: `VmHWM`
     /// delta across the cell's measured phase. `VmHWM` is a
     /// process-lifetime high-water mark, so this is a monotone-floor
@@ -161,17 +173,23 @@ impl BenchRow {
 
     fn to_json_line(&self) -> String {
         format!(
-            "    {{\"bench\":\"{}\",\"case\":\"{}\",\"n\":{},\"wall_ms\":{},\"tickets\":{},\
+            "    {{\"bench\":\"{}\",\"case\":\"{}\",\"n\":{},\"seed\":{},\"wall_ms\":{},\
+             \"tickets\":{},\
              \"dp_invocations\":{},\"certificate_skips\":{},\"candidates_checked\":{},\
+             \"cursor_advances\":{},\"probes_saved\":{},\"coarse_cert_hits\":{},\
              \"peak_rss_kb\":{}}}",
             self.bench,
             self.case_name,
             self.n,
+            self.seed,
             self.wall_ms,
             self.tickets,
             self.dp_invocations,
             self.certificate_skips,
             self.candidates_checked,
+            self.cursor_advances,
+            self.probes_saved,
+            self.coarse_cert_hits,
             self.peak_rss_kb
         )
     }
@@ -218,6 +236,10 @@ pub fn parse_bench_json(doc: &str) -> Result<Vec<BenchRow>, String> {
             dp_invocations: json_num_field(line, "dp_invocations").unwrap_or(0) as u64,
             certificate_skips: json_num_field(line, "certificate_skips").unwrap_or(0) as u64,
             candidates_checked: json_num_field(line, "candidates_checked").unwrap_or(0) as u64,
+            cursor_advances: json_num_field(line, "cursor_advances").unwrap_or(0) as u64,
+            probes_saved: json_num_field(line, "probes_saved").unwrap_or(0) as u64,
+            coarse_cert_hits: json_num_field(line, "coarse_cert_hits").unwrap_or(0) as u64,
+            seed: json_num_field(line, "seed").unwrap_or(0) as u64,
             peak_rss_kb: json_num_field(line, "peak_rss_kb").unwrap_or(0) as u64,
         });
     }
@@ -233,6 +255,111 @@ fn json_num_field(line: &str, key: &str) -> Option<u128> {
     let tail = &line[line.find(&format!("\"{key}\":"))? + key.len() + 3..];
     let digits: String = tail.chars().take_while(char::is_ascii_digit).collect();
     digits.parse().ok()
+}
+
+/// Schema tag written into (and required from) `BENCH_epochs.json`.
+pub const BENCH_EPOCHS_SCHEMA: &str = "swiper-bench-epochs/v1";
+
+/// One scenario row of the epoch-replay trajectory (`BENCH_epochs.json`):
+/// a chain × churn replay through the incremental re-solve loop. The
+/// headline counter is `bracket_divergence` — epochs where the warm
+/// bracket settled on a different (equally valid) local minimum than cold
+/// bisection, the non-monotone dips discussed in `Swiper::resolve_from`.
+/// Previously this telemetry only existed as a text summary line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochBenchRow {
+    /// Benchmark family, always `epochs`.
+    pub bench: String,
+    /// Chain the snapshot stream replayed, e.g. `aptos`.
+    pub chain: String,
+    /// Churned parties per epoch, percent of the population.
+    pub churn_pct: u64,
+    /// Epochs replayed.
+    pub epochs: u64,
+    /// Epochs where the warm bracket landed on a different local minimum
+    /// than cold bisection (published results stay cold-identical).
+    pub bracket_divergence: u64,
+    /// Certificate skips across the replay (exact-total key).
+    pub cert_skips: u64,
+    /// Warm-pass DP invocations with certificates on.
+    pub warm_dp: u64,
+    /// Warm-pass DP invocations with certificates off.
+    pub plain_dp: u64,
+    /// Fresh cold-solve DP invocations (the no-machinery yardstick).
+    pub cold_dp: u64,
+    /// Verdict-cache hit rate over the replay, rounded percent.
+    pub hit_rate_pct: u64,
+}
+
+impl EpochBenchRow {
+    /// The `(bench, chain, churn_pct)` identity rows are matched on.
+    pub fn key(&self) -> (String, String, u64) {
+        (self.bench.clone(), self.chain.clone(), self.churn_pct)
+    }
+
+    fn to_json_line(&self) -> String {
+        format!(
+            "    {{\"bench\":\"{}\",\"chain\":\"{}\",\"churn_pct\":{},\"epochs\":{},\
+             \"bracket_divergence\":{},\"cert_skips\":{},\"warm_dp\":{},\"plain_dp\":{},\
+             \"cold_dp\":{},\"hit_rate_pct\":{}}}",
+            self.bench,
+            self.chain,
+            self.churn_pct,
+            self.epochs,
+            self.bracket_divergence,
+            self.cert_skips,
+            self.warm_dp,
+            self.plain_dp,
+            self.cold_dp,
+            self.hit_rate_pct
+        )
+    }
+}
+
+/// Serializes epoch-replay rows as the `BENCH_epochs.json` document (same
+/// line-oriented shape as [`render_bench_json`]).
+pub fn render_epochs_json(rows: &[EpochBenchRow]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{BENCH_EPOCHS_SCHEMA}\",");
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&row.to_json_line());
+        out.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parses a `BENCH_epochs.json` document produced by
+/// [`render_epochs_json`]. Lenient and line-oriented, like
+/// [`parse_bench_json`].
+///
+/// # Errors
+///
+/// Returns a description when the schema tag is absent or unexpected.
+pub fn parse_epochs_json(doc: &str) -> Result<Vec<EpochBenchRow>, String> {
+    if !doc.contains(&format!("\"schema\": \"{BENCH_EPOCHS_SCHEMA}\"")) {
+        return Err(format!("missing or unexpected schema tag (want {BENCH_EPOCHS_SCHEMA})"));
+    }
+    let mut rows = Vec::new();
+    for line in doc.lines() {
+        let Some(bench) = json_str_field(line, "bench") else { continue };
+        let num = |key: &str| json_num_field(line, key).unwrap_or(0) as u64;
+        rows.push(EpochBenchRow {
+            bench,
+            chain: json_str_field(line, "chain").unwrap_or_default(),
+            churn_pct: num("churn_pct"),
+            epochs: num("epochs"),
+            bracket_divergence: num("bracket_divergence"),
+            cert_skips: num("cert_skips"),
+            warm_dp: num("warm_dp"),
+            plain_dp: num("plain_dp"),
+            cold_dp: num("cold_dp"),
+            hit_rate_pct: num("hit_rate_pct"),
+        });
+    }
+    Ok(rows)
 }
 
 /// Schema tag written into (and required from) `BENCH_runtime.json`.
@@ -277,12 +404,13 @@ pub struct RuntimeBenchRow {
     pub p95_us: u64,
     /// 99th-percentile latency, microseconds.
     pub p99_us: u64,
-    /// Per-cell growth of the process peak RSS in kilobytes: `VmHWM`
-    /// delta across the cell's measured phase. `VmHWM` itself is a
-    /// process-lifetime high-water mark, so this is a monotone-floor
-    /// decomposition — a cell that fits entirely inside a predecessor's
-    /// peak reports 0, never the predecessor's footprint. Informational,
-    /// never regression-gated.
+    /// Resident set size in kilobytes sampled at quiescence (workers
+    /// joined, queues drained), falling back to the process `VmHWM` peak
+    /// when `VmRSS` is unavailable. The earlier `VmHWM`-delta scheme
+    /// reported 0 for any cell whose footprint fit inside a predecessor's
+    /// peak, which zeroed most rows of a sweep; a quiescent sample is
+    /// nonzero for every live process. Informational, never
+    /// regression-gated.
     pub peak_rss_kb: u64,
     /// 1 when the delivery trace replayed bit-identically on the
     /// simulator twin, 0 otherwise.
@@ -438,7 +566,8 @@ pub const BENCH_WALL_FLOOR_MS: u64 = 250;
 /// returns human-readable regression descriptions (empty = pass).
 ///
 /// Deterministic counters (`tickets`, `dp_invocations`,
-/// `certificate_skips`, `candidates_checked`) must match exactly; wall
+/// `certificate_skips`, `candidates_checked`, `cursor_advances`,
+/// `probes_saved`, `coarse_cert_hits`) must match exactly; wall
 /// time regresses when it exceeds the baseline by more than `tol_pct`
 /// percent and both sides are above [`BENCH_WALL_FLOOR_MS`]. Peak RSS is
 /// reported but never gated (container-dependent). Baseline rows missing
@@ -466,6 +595,17 @@ pub fn diff_bench_rows(baseline: &[BenchRow], fresh: &[BenchRow], tol_pct: u64) 
                 "candidates_checked",
                 u128::from(old.candidates_checked),
                 u128::from(new.candidates_checked),
+            ),
+            (
+                "cursor_advances",
+                u128::from(old.cursor_advances),
+                u128::from(new.cursor_advances),
+            ),
+            ("probes_saved", u128::from(old.probes_saved), u128::from(new.probes_saved)),
+            (
+                "coarse_cert_hits",
+                u128::from(old.coarse_cert_hits),
+                u128::from(new.coarse_cert_hits),
             ),
         ];
         for (name, was, now) in counters {
@@ -496,10 +636,26 @@ pub fn diff_bench_rows(baseline: &[BenchRow], fresh: &[BenchRow], tol_pct: u64) 
 /// the [`BenchRow::peak_rss_kb`] / [`RuntimeBenchRow::peak_rss_kb`]
 /// schema docs specify.
 pub fn peak_rss_kb() -> u64 {
+    proc_status_kb("VmHWM:")
+}
+
+/// Current resident set size of this process in kilobytes, from
+/// `/proc/self/status` (`VmRSS`). Returns 0 when unavailable (non-Linux).
+///
+/// Unlike [`peak_rss_kb`] this is *not* monotone: sampled at quiescence
+/// (workers joined, queues drained) it attributes the footprint actually
+/// held by a benchmark cell even when an earlier, larger cell already
+/// raised the process high-water mark — exactly the case where the
+/// `VmHWM` delta degenerates to 0.
+pub fn current_rss_kb() -> u64 {
+    proc_status_kb("VmRSS:")
+}
+
+fn proc_status_kb(key: &str) -> u64 {
     let Ok(status) = fs::read_to_string("/proc/self/status") else { return 0 };
     status
         .lines()
-        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .find_map(|l| l.strip_prefix(key))
         .and_then(|l| l.split_whitespace().next())
         .and_then(|v| v.parse().ok())
         .unwrap_or(0)
@@ -616,6 +772,10 @@ mod tests {
             dp_invocations: dp,
             certificate_skips: 3,
             candidates_checked: 40,
+            cursor_advances: 7,
+            probes_saved: 2,
+            coarse_cert_hits: 1,
+            seed: 42,
             peak_rss_kb: 10_000,
         }
     }
@@ -626,6 +786,42 @@ mod tests {
         let doc = render_bench_json(&rows);
         assert_eq!(parse_bench_json(&doc).unwrap(), rows);
         assert!(parse_bench_json("{}").is_err(), "schema tag is mandatory");
+    }
+
+    #[test]
+    fn rows_without_the_accelerator_columns_parse_as_zero() {
+        // Baselines written before the cursor/sampler/coarse counters (and
+        // the seed column) existed must keep parsing — the lenient parser
+        // defaults every missing numeric field to 0.
+        let doc = format!(
+            "{{\n  \"schema\": \"{BENCH_SOLVER_SCHEMA}\",\n  \"rows\": [\n    \
+             {{\"bench\":\"solver_scale\",\"case\":\"cold\",\"n\":1000,\"wall_ms\":12,\
+             \"tickets\":307,\"dp_invocations\":2,\"certificate_skips\":0,\
+             \"candidates_checked\":17,\"peak_rss_kb\":100}}\n  ]\n}}\n"
+        );
+        let rows = parse_bench_json(&doc).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].tickets, 307);
+        assert_eq!(rows[0].cursor_advances, 0);
+        assert_eq!(rows[0].probes_saved, 0);
+        assert_eq!(rows[0].coarse_cert_hits, 0);
+        assert_eq!(rows[0].seed, 0);
+    }
+
+    #[test]
+    fn bench_diff_gates_the_accelerator_counters_exactly() {
+        let base = vec![row("warm", 1_000_000, 400, 0)];
+        for field in ["cursor_advances", "probes_saved", "coarse_cert_hits"] {
+            let mut drift = base.clone();
+            match field {
+                "cursor_advances" => drift[0].cursor_advances += 1,
+                "probes_saved" => drift[0].probes_saved += 1,
+                _ => drift[0].coarse_cert_hits += 1,
+            }
+            let problems = diff_bench_rows(&base, &drift, 20);
+            assert_eq!(problems.len(), 1, "{field} must be exact-gated");
+            assert!(problems[0].contains(field), "{problems:?}");
+        }
     }
 
     #[test]
@@ -650,6 +846,43 @@ mod tests {
         assert!(diff_bench_rows(&tiny, &tiny_slow, 20).is_empty());
         // Missing row: flagged.
         assert_eq!(diff_bench_rows(&base, &[], 20).len(), 1);
+    }
+
+    #[test]
+    fn epochs_json_roundtrips() {
+        let rows = vec![
+            EpochBenchRow {
+                bench: "epochs".into(),
+                chain: "aptos".into(),
+                churn_pct: 1,
+                epochs: 16,
+                bracket_divergence: 2,
+                cert_skips: 40,
+                warm_dp: 3,
+                plain_dp: 9,
+                cold_dp: 30,
+                hit_rate_pct: 87,
+            },
+            EpochBenchRow {
+                bench: "epochs".into(),
+                chain: "tezos".into(),
+                churn_pct: 20,
+                epochs: 16,
+                bracket_divergence: 0,
+                cert_skips: 0,
+                warm_dp: 12,
+                plain_dp: 12,
+                cold_dp: 31,
+                hit_rate_pct: 40,
+            },
+        ];
+        let doc = render_epochs_json(&rows);
+        assert_eq!(parse_epochs_json(&doc).unwrap(), rows);
+        assert!(parse_epochs_json("{}").is_err(), "schema tag is mandatory");
+        assert!(
+            parse_epochs_json(&render_bench_json(&[])).is_err(),
+            "solver documents must not pass as epochs documents"
+        );
     }
 
     fn runtime_row(protocol: &str, n: u64, workers: u64, wall: u64) -> RuntimeBenchRow {

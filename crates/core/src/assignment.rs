@@ -28,6 +28,15 @@ impl TicketAssignment {
         TicketAssignment { tickets, total }
     }
 
+    /// Wraps a ticket vector whose total the caller already knows — the
+    /// incremental family cursor maintains the total as it splices ticket
+    /// deltas, so re-summing a million-entry vector per probe would undo
+    /// the O(Δ) advance. Debug builds still verify the claimed total.
+    pub(crate) fn from_parts(tickets: Vec<u64>, total: u128) -> Self {
+        debug_assert_eq!(tickets.iter().map(|&t| u128::from(t)).sum::<u128>(), total);
+        TicketAssignment { tickets, total }
+    }
+
     /// Number of parties.
     pub fn len(&self) -> usize {
         self.tickets.len()

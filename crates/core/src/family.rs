@@ -23,6 +23,7 @@
 //! implementation.
 
 use std::cmp::Ordering;
+use std::collections::BTreeMap;
 
 use crate::assignment::TicketAssignment;
 use crate::error::CoreError;
@@ -218,6 +219,249 @@ impl<'a> Family<'a> {
     }
 }
 
+/// Party count above which the cursor's O(n) interval build fans out over
+/// chunked worker threads (same gate shape as the knapsack kernel).
+const CURSOR_PAR_MIN_PARTIES: usize = 8192;
+
+/// Cached state of one grid interval `((j-1-c)/w_max, (j-c)/w_max]`: the
+/// sorted candidate crossings inside it and the ticket vector materialized
+/// somewhere along it. Any total whose boundary crossing falls in the same
+/// interval is reachable from here by splicing only the candidates between
+/// the two ranks — the O(Δ) path.
+struct IntervalState {
+    j: u64,
+    /// Candidate crossings in the interval, sorted by `(value, party)`.
+    cands: Vec<Crossing>,
+    /// `cands[..applied]` currently carry their `+1` in the ticket vector.
+    applied: usize,
+    /// Parties currently holding a border `-1` (the "all but k" drop).
+    dropped: Vec<usize>,
+}
+
+/// Incremental materializer over one [`Family`]: [`FamilyCursor::advance_to`]
+/// produces the member with a given total **bit-identically** to
+/// [`Family::assignment_with_total`], but shares work across calls.
+///
+/// Two memoizations carry between probes of one binary search:
+///
+/// 1. **Grid counts** — `count(j)` evaluations (the O(n) inner loop of the
+///    grid search) are memoized per `j`, and each search pre-narrows its
+///    bracket from the memo before computing anything new; across a whole
+///    solve the count work approaches one cold search's instead of one per
+///    probe.
+/// 2. **Interval state** — when consecutive totals land in the same grid
+///    interval (the common case once a bracket tightens), the ticket vector
+///    is spliced by rank delta: only parties whose crossing sits between
+///    the two boundary ranks change, plus border-drop bookkeeping.
+///
+/// Equivalence with the from-scratch path is pinned by the
+/// `cursor_matches_from_scratch` proptest below.
+pub(crate) struct FamilyCursor<'f, 'a> {
+    family: &'f Family<'a>,
+    /// Memoized `j -> count_at(grid_a(j), w_max)`.
+    grid_counts: BTreeMap<u64, u128>,
+    interval: Option<IntervalState>,
+    /// Current ticket vector for the cached interval (valid when
+    /// `interval.is_some()`).
+    tickets: Vec<u64>,
+    /// Advances served from the cached interval via rank-delta splicing.
+    reused: u64,
+}
+
+impl<'f, 'a> FamilyCursor<'f, 'a> {
+    pub fn new(family: &'f Family<'a>) -> Self {
+        FamilyCursor {
+            family,
+            grid_counts: BTreeMap::new(),
+            interval: None,
+            tickets: Vec::new(),
+            reused: 0,
+        }
+    }
+
+    /// Advances served by the O(Δ) same-interval splice so far.
+    pub fn reused(&self) -> u64 {
+        self.reused
+    }
+
+    /// Memoized `count_at(grid_a(j), w_max)`.
+    fn count(&mut self, j: u64) -> u128 {
+        if let Some(&c) = self.grid_counts.get(&j) {
+            return c;
+        }
+        let c = self.family.count_at(self.family.grid_a(j), self.family.w_max);
+        self.grid_counts.insert(j, c);
+        c
+    }
+
+    /// Minimal `j` in `[1, total]` with `count(j) >= total` — same value the
+    /// from-scratch grid search finds, reached through the memo: counts are
+    /// monotone in `j`, so every memoized entry narrows the bracket before
+    /// any new O(n) count runs.
+    fn find_j(&mut self, total: u64) -> u64 {
+        let want = u128::from(total);
+        let mut lo = 0u64; // count(lo) < total (j=0 -> s<0 -> count 0)
+        let mut hi = total; // count(total) >= total (w_max alone reaches it)
+        for (&j, &c) in &self.grid_counts {
+            if j >= hi {
+                break;
+            }
+            if c < want {
+                lo = lo.max(j);
+            } else {
+                hi = hi.min(j);
+            }
+        }
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if self.count(mid) >= want {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        hi
+    }
+
+    /// The family member with exactly `total` tickets; see
+    /// [`Family::assignment_with_total`] for the semantics — outputs are
+    /// bit-identical, including the deterministic border rule.
+    pub fn advance_to(&mut self, total: u64) -> Result<TicketAssignment, CoreError> {
+        let family = self.family;
+        let n = family.weights.len();
+        if total == 0 {
+            return Ok(TicketAssignment::new(vec![0; n]));
+        }
+        let j = self.find_j(total);
+        let count_left = if j == 1 { 0 } else { self.count(j - 1) };
+        debug_assert!(count_left < u128::from(total));
+        let rank = (u128::from(total) - count_left) as usize;
+
+        let same_interval = self.interval.as_ref().is_some_and(|iv| iv.j == j);
+        if same_interval {
+            self.reused += 1;
+        } else {
+            self.build_interval(j);
+        }
+        let iv = self.interval.as_mut().expect("interval built above");
+        debug_assert!(iv.cands.len() >= rank, "interval must contain the target crossing");
+        let star = iv.cands[rank - 1];
+
+        // Border block: candidates sharing the star's value are contiguous
+        // in the (value, party) sort.
+        let mut lb = rank - 1;
+        while lb > 0 && iv.cands[lb - 1].cmp_value(&star) == Ordering::Equal {
+            lb -= 1;
+        }
+        let mut ub = rank;
+        while ub < iv.cands.len() && iv.cands[ub].cmp_value(&star) == Ordering::Equal {
+            ub += 1;
+        }
+
+        // Undo the previous total's border drops, splice the base by rank
+        // delta, then apply this total's drops: O(Δ + border).
+        for &p in &iv.dropped {
+            self.tickets[p] += 1;
+        }
+        iv.dropped.clear();
+        if ub > iv.applied {
+            for c in &iv.cands[iv.applied..ub] {
+                self.tickets[c.party] += 1;
+            }
+        } else {
+            for c in &iv.cands[ub..iv.applied] {
+                self.tickets[c.party] -= 1;
+            }
+        }
+        iv.applied = ub;
+
+        let overshoot = ub - rank;
+        if overshoot > 0 {
+            let mut border: Vec<&Crossing> = iv.cands[lb..ub].iter().collect();
+            debug_assert!(border.len() > overshoot, "overshoot bounded by border size");
+            border.sort_by(|x, y| x.w.cmp(&y.w).then(y.party.cmp(&x.party)));
+            for c in border.into_iter().take(overshoot) {
+                self.tickets[c.party] -= 1;
+                iv.dropped.push(c.party);
+            }
+        }
+        Ok(TicketAssignment::from_parts(self.tickets.clone(), u128::from(total)))
+    }
+
+    /// Materializes the interval `j`: left-boundary tickets for every party
+    /// plus the sorted in-interval candidates. Both scans are O(n) and
+    /// independent per party, so large vectors fan out over chunked worker
+    /// threads exactly like the knapsack DP blocks; chunk results are
+    /// stitched back in party order, so the outcome is bit-identical to the
+    /// sequential scan.
+    fn build_interval(&mut self, j: u64) {
+        let family = self.family;
+        let n = family.weights.len();
+        let left_eval = (j > 1).then(|| family.eval_at(family.grid_a(j - 1), family.w_max));
+        let r_a = family.grid_a(j);
+        self.tickets.clear();
+        self.tickets.resize(n, 0);
+
+        let weights = family.weights.as_slice();
+        let workers = std::thread::available_parallelism().map_or(1, |p| p.get());
+        let mut cands: Vec<Crossing>;
+        if n >= CURSOR_PAR_MIN_PARTIES && workers > 1 {
+            let chunk = n.div_ceil(workers);
+            let mut parts: Vec<Vec<Crossing>> = Vec::new();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = weights
+                    .chunks(chunk)
+                    .zip(self.tickets.chunks_mut(chunk))
+                    .enumerate()
+                    .map(|(k, (ws, ts))| {
+                        let left_eval = &left_eval;
+                        scope.spawn(move || {
+                            scan_block(family, ws, ts, k * chunk, left_eval, r_a)
+                        })
+                    })
+                    .collect();
+                parts = handles.into_iter().map(|h| h.join().expect("scan worker")).collect();
+            });
+            cands = parts.concat();
+        } else {
+            cands = scan_block(family, weights, &mut self.tickets, 0, &left_eval, r_a);
+        }
+        cands.sort_by(|x, y| x.cmp_value(y).then(x.party.cmp(&y.party)));
+        self.interval = Some(IntervalState { j, cands, applied: 0, dropped: Vec::new() });
+    }
+}
+
+/// One chunk of the interval build: writes each party's left-boundary
+/// tickets into `tickets` and returns the chunk's candidate crossings
+/// (parties whose next crossing falls inside the interval), in party order.
+fn scan_block(
+    family: &Family<'_>,
+    weights: &[u64],
+    tickets: &mut [u64],
+    base: usize,
+    left_eval: &Option<TicketsEval>,
+    r_a: u128,
+) -> Vec<Crossing> {
+    let mut cands = Vec::new();
+    for (off, (&w, t)) in weights.iter().zip(tickets.iter_mut()).enumerate() {
+        if w == 0 {
+            *t = 0;
+            continue;
+        }
+        let left = match left_eval {
+            None => 0,
+            Some(eval) => eval.tickets(w),
+        };
+        *t = u64::try_from(left).expect("validated by Family::new envelope");
+        let m = left + 1;
+        let a = m * family.cd - family.cn;
+        if cmp_mul(a, u128::from(family.w_max), r_a, u128::from(w)) != Ordering::Greater {
+            cands.push(Crossing { a, party: base + off, w });
+        }
+    }
+    cands
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -358,7 +602,52 @@ mod tests {
         }
     }
 
+    #[test]
+    fn cursor_matches_from_scratch_on_fixed_vectors() {
+        let weights = Weights::new(vec![13, 7, 29, 1, 50, 50, 3]).unwrap();
+        let fam = Family::new(&weights, Ratio::of(2, 5), 60).unwrap();
+        let mut cursor = FamilyCursor::new(&fam);
+        // A bisection-shaped probe order: far jumps, then a tight cluster.
+        for t in [30u64, 15, 45, 52, 48, 50, 49, 0, 49, 1, 60] {
+            let inc = cursor.advance_to(t).unwrap();
+            let scratch = fam.assignment_with_total(t).unwrap();
+            assert_eq!(inc, scratch, "total={t}");
+        }
+        assert!(cursor.reused() > 0, "clustered probes must hit the splice path");
+    }
+
     proptest! {
+        /// Satellite pin: the cursor's spliced advance is bit-identical to
+        /// the from-scratch materialization, under random weight vectors,
+        /// random probe orders, and epoch churn (fresh weights -> fresh
+        /// family -> fresh cursor, as the solver rebuilds per epoch).
+        #[test]
+        fn cursor_matches_from_scratch(
+            ws in proptest::collection::vec(0u64..1_000_000, 1..24),
+            mut churned in proptest::collection::vec(0u64..1_000_000, 1..24),
+            probes in proptest::collection::vec(0u64..80, 1..12),
+            cn in 1u128..20,
+        ) {
+            prop_assume!(ws.iter().any(|&w| w > 0));
+            let c = Ratio::of(cn, 20);
+            prop_assume!(c.is_proper());
+            // Epoch churn delta: perturb a prefix of the old vector.
+            for (dst, &src) in churned.iter_mut().zip(&ws) {
+                *dst = (*dst).wrapping_add(src) % 1_000_000;
+            }
+            prop_assume!(churned.iter().any(|&w| w > 0));
+            for vec in [ws, churned] {
+                let weights = Weights::new(vec).unwrap();
+                let fam = Family::new(&weights, c, 80).unwrap();
+                let mut cursor = FamilyCursor::new(&fam);
+                for &t in &probes {
+                    let inc = cursor.advance_to(t).unwrap();
+                    let scratch = fam.assignment_with_total(t).unwrap();
+                    prop_assert_eq!(inc, scratch, "total={}", t);
+                }
+            }
+        }
+
         #[test]
         fn totals_always_exact(
             ws in proptest::collection::vec(0u64..1_000_000, 1..20),

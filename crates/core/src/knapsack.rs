@@ -43,6 +43,15 @@
 //!   caps are split into per-thread blocks; each block builds its own
 //!   frontier and the blocks combine by exact min-plus convolution, which
 //!   is associative — results are bit-identical to the sequential fill.
+//! * **Profit-class Monge decomposition.** When the surviving items bunch
+//!   into few distinct profit values — the shape of every at-scale ticket
+//!   vector, where hundreds of thousands of parties hold one or two
+//!   tickets — each class collapses to its convex lightest-`k`
+//!   prefix-weight curve, and folding a class is a min-plus convolution
+//!   with a convex sequence: a Monge minimization solved by monotone
+//!   divide-and-conquer in `O(cap log cap)` per class instead of
+//!   `O(items · cap)` overall. This is what holds the near-flip decision
+//!   DP at a million parties to tens of milliseconds.
 
 use crate::wide::cmp_mul;
 use std::cmp::Ordering;
@@ -315,9 +324,31 @@ const PAR_MIN_ITEMS: usize = 8192;
 /// the per-block fills.
 const PAR_MAX_CAP: usize = 1 << 13;
 
+/// Minimum total items before the profit-class decomposition is worth its
+/// grouping sort.
+const CLASS_MIN_ITEMS: usize = 4096;
+/// The class path engages only when items bunch: at least this many items
+/// per distinct profit value on average. Ticket vectors at scale are
+/// exactly this shape (hundreds of thousands of 1- and 2-ticket parties,
+/// a handful of whale values); all-distinct profit sets stay on the
+/// per-item fills, where the class machinery would only add overhead.
+const CLASS_MIN_BUNCHING: usize = 8;
+/// Profit classes below this size are folded item-by-item instead of
+/// through the Monge minimization — a k-item class costs `O(k * reach)`
+/// per-item but `O(cap log cap)` through the convolution, so tiny classes
+/// (whales are usually singletons) stay on the cheap side.
+const CLASS_MONGE_MIN: usize = 32;
+/// Stand-in for `INF` inside the Monge minimization. The monotone-argmin
+/// property needs *exact* (non-saturating) arithmetic, so unreachable
+/// states enter as this finite sentinel: far above any real weight sum
+/// (which the caller's `prune_limit` bounds), far below overflow even
+/// when two sentinels add.
+const CLASS_INF: u128 = 1 << 110;
+
 /// Fills `dp` (resized and reset here) with the min-weight table for
-/// `items`, choosing between the sequential fill and chunked parallel
-/// blocks. Both paths produce identical frontier-pruned tables.
+/// `items`, choosing between the sequential fill, chunked parallel
+/// blocks, and the profit-class decomposition. All paths produce
+/// identical frontier-pruned tables.
 fn dp_table(
     dp: &mut Vec<u128>,
     items: &[Item],
@@ -328,6 +359,9 @@ fn dp_table(
     dp.clear();
     dp.resize(cap + 1, INF);
     dp[0] = 0;
+    if class_dp(dp, items, prune_limit, stop_at) {
+        return;
+    }
     let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
     let chunks = if items.len() >= 2 * PAR_MIN_ITEMS && cap <= PAR_MAX_CAP && threads > 1 {
         threads.min(items.len() / PAR_MIN_ITEMS)
@@ -339,6 +373,167 @@ fn dp_table(
     } else {
         dp_chunked(dp, items, prune_limit, chunks);
     }
+}
+
+/// Profit-class decomposition of the DP fill (Axiotis–Tzamos style): items
+/// sharing a profit `p` collapse into one *convex* step curve — any subset
+/// taking `k` of them takes the `k` lightest, whose prefix-weight
+/// increments are nondecreasing — and folding a whole class into the table
+/// is then a min-plus convolution with a convex sequence. Such a
+/// convolution is a Monge minimization (the arbitrary-table terms cancel
+/// from the quadrangle inequality; convexity of the curve is exactly what
+/// remains), so its argmin is monotone and divide-and-conquer evaluates it
+/// in `O((cap/p + k) log)` per residue class mod `p` — `O(cap log cap)`
+/// per profit class instead of `O(k * cap)`. Million-party ticket vectors
+/// bunch a few hundred thousand items into a few hundred classes, turning
+/// the near-flip decision DP from seconds into tens of milliseconds.
+///
+/// Returns `false` (table untouched beyond the reset) when the input does
+/// not bunch enough to pay for the grouping sort; the caller falls back to
+/// the per-item fills. When it runs, the resulting frontier-pruned table
+/// is identical to the sequential fill's: both compute the exact
+/// min-weight-per-profit function over the same subset space, and the
+/// final domination prune is path-independent.
+fn class_dp(dp: &mut [u128], items: &[Item], prune_limit: u128, stop_at: Option<u128>) -> bool {
+    let cap = dp.len() - 1;
+    if items.len() < CLASS_MIN_ITEMS || cap == 0 || prune_limit >= CLASS_INF {
+        return false;
+    }
+    let mut sorted = items.to_vec();
+    sorted.sort_unstable_by(|a, b| a.profit.cmp(&b.profit).then(a.weight.cmp(&b.weight)));
+    let distinct = 1 + sorted.windows(2).filter(|w| w[0].profit != w[1].profit).count();
+    if distinct.saturating_mul(CLASS_MIN_BUNCHING) > sorted.len() {
+        return false;
+    }
+    let cap64 = cap as u64;
+    // Small classes (and cap-saturating items) fold item-by-item at the
+    // end; `dp_fill` also performs the final domination prune.
+    let mut loose: Vec<Item> = Vec::new();
+    let mut f: Vec<u128> = Vec::new();
+    let mut g: Vec<u128> = Vec::new();
+    let mut wpfx: Vec<u128> = Vec::new();
+    let mut budget_met = false;
+    let mut i = 0usize;
+    while i < sorted.len() {
+        let p = sorted[i].profit;
+        let mut end = i + 1;
+        while end < sorted.len() && sorted[end].profit == p {
+            end += 1;
+        }
+        let class = &sorted[i..end];
+        i = end;
+        if p >= cap64 {
+            // One such item alone saturates the table; only the lightest
+            // (first — the class is weight-sorted) can matter.
+            loose.push(class[0]);
+            continue;
+        }
+        // A subset with (saturated) profit <= cap uses at most
+        // ceil(cap / p) items of this class, and exchange keeps them the
+        // lightest; prefix weights beyond the prune horizon can never
+        // participate either.
+        let k_cap = usize::try_from(cap64.div_ceil(p)).unwrap_or(usize::MAX);
+        let k_use = k_cap.min(class.len());
+        if k_use < CLASS_MONGE_MIN {
+            loose.extend_from_slice(&class[..k_use]);
+            continue;
+        }
+        wpfx.clear();
+        wpfx.push(0);
+        let mut acc: u128 = 0;
+        for it in &class[..k_use] {
+            acc += u128::from(it.weight);
+            if acc > prune_limit {
+                break;
+            }
+            wpfx.push(acc);
+        }
+        let k_max = wpfx.len() - 1;
+        if k_max == 0 {
+            continue; // even one item of this class overshoots the horizon
+        }
+        let p_us = p as usize; // p < cap <= usize::MAX
+        let mut sat_min = INF;
+        for r in 0..p_us.min(cap) {
+            // Exact-profit entries of this residue: q = r + p*t < cap.
+            let len_f = (cap - r).div_ceil(p_us);
+            f.clear();
+            f.extend((0..len_f).map(|t| {
+                let v = dp[r + t * p_us];
+                if v == INF {
+                    CLASS_INF
+                } else {
+                    v
+                }
+            }));
+            // Outputs j carry profit r + p*j; j >= len_f overshoots into
+            // the saturated bucket.
+            let out_len = len_f + k_max;
+            g.clear();
+            g.resize(out_len, CLASS_INF);
+            monge_fill(&f, &wpfx, &mut g, 0, out_len, 0, len_f - 1);
+            for (j, &v) in g.iter().enumerate().take(len_f) {
+                dp[r + j * p_us] = if v >= CLASS_INF || v > prune_limit { INF } else { v };
+            }
+            for &v in &g[len_f..] {
+                if v < sat_min {
+                    sat_min = v;
+                }
+            }
+        }
+        if sat_min <= prune_limit && sat_min < dp[cap] {
+            dp[cap] = sat_min;
+        }
+        if let Some(budget) = stop_at {
+            if dp[cap] <= budget {
+                budget_met = true;
+                break;
+            }
+        }
+    }
+    if budget_met {
+        prune_frontier(dp);
+    } else {
+        dp_fill(dp, &loose, prune_limit, stop_at);
+    }
+    true
+}
+
+/// Divide-and-conquer Monge minimization for one residue class:
+/// `g[j] = min over i of f[i] + wpfx[j - i]` with `i` restricted to
+/// `[j - k_max, j] ∩ [0, f.len() - 1]`. Convexity of `wpfx` makes the
+/// leftmost argmin monotone in `j` (the quadrangle inequality cancels the
+/// `f` terms exactly — which is why unreachable states are the finite
+/// [`CLASS_INF`] rather than a saturating `INF`), so each level of the
+/// recursion scans a window bounded by its parent's argmin.
+fn monge_fill(
+    f: &[u128],
+    wpfx: &[u128],
+    g: &mut [u128],
+    jlo: usize,
+    jhi: usize,
+    ilo: usize,
+    ihi: usize,
+) {
+    if jlo >= jhi {
+        return;
+    }
+    let jm = jlo + (jhi - jlo) / 2;
+    let k_max = wpfx.len() - 1;
+    let lo = ilo.max(jm.saturating_sub(k_max));
+    let hi = ihi.min(jm).min(f.len() - 1);
+    let mut best = u128::MAX;
+    let mut best_i = lo;
+    for i in lo..=hi {
+        let c = f[i] + wpfx[jm - i];
+        if c < best {
+            best = c;
+            best_i = i;
+        }
+    }
+    g[jm] = best;
+    monge_fill(f, wpfx, g, jlo, jm, ilo, best_i);
+    monge_fill(f, wpfx, g, jm + 1, jhi, best_i, ihi);
 }
 
 /// Parallel DP: per-thread blocks each build an independent frontier, then
@@ -888,6 +1083,70 @@ mod tests {
         }
     }
 
+    /// Deterministic xorshift stream for the bulk class-path tests.
+    fn xorshift_stream(mut state: u64) -> impl FnMut() -> u64 {
+        move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        }
+    }
+
+    #[test]
+    fn class_dp_matches_sequential_fill() {
+        // A bunched instance well above the gate: profits drawn from a
+        // small set (plus a saturating whale), weights spread out. The
+        // class decomposition must engage and produce the identical
+        // frontier-pruned table as one sequential per-item fill.
+        let mut next = xorshift_stream(0x9E3779B97F4A7C15);
+        let profits = [1u64, 1, 1, 2, 2, 3, 5, 9, 120];
+        let mut its: Vec<Item> = (0..6000)
+            .map(|_| Item {
+                profit: profits[(next() % profits.len() as u64) as usize],
+                weight: next() % 900 + 1,
+            })
+            .collect();
+        its.push(Item { profit: 100_000, weight: 333 }); // saturates cap
+        let cap = 400usize;
+        for (prune_limit, stop_at) in
+            [(40_000u128, None), (40_000, Some(9_000u128)), (120_000, None)]
+        {
+            let mut seq = vec![INF; cap + 1];
+            seq[0] = 0;
+            dp_fill(&mut seq, &its, prune_limit, stop_at);
+            let mut cls = vec![INF; cap + 1];
+            cls[0] = 0;
+            assert!(
+                class_dp(&mut cls, &its, prune_limit, stop_at),
+                "bunched instance must take the class path"
+            );
+            if let Some(budget) = stop_at {
+                // Early-exit tables are partial; only the saturated
+                // bucket's budget verdict is contractual.
+                assert_eq!(
+                    seq[cap] <= budget,
+                    cls[cap] <= budget,
+                    "budget verdict diverged at prune_limit {prune_limit}"
+                );
+            } else {
+                assert_eq!(seq, cls, "tables diverged at prune_limit {prune_limit}");
+            }
+        }
+    }
+
+    #[test]
+    fn class_dp_declines_unbunched_input() {
+        // All-distinct profits: the class path must decline and leave the
+        // table untouched past the reset.
+        let its: Vec<Item> =
+            (0..5000).map(|i| Item { profit: i + 1, weight: i % 97 + 1 }).collect();
+        let mut dp = vec![INF; 301];
+        dp[0] = 0;
+        assert!(!class_dp(&mut dp, &its, 10_000, None));
+        assert!(dp[1..].iter().all(|&w| w == INF));
+    }
+
     #[test]
     fn splice_matches_rebuild() {
         let old = items(&[(5, 4), (0, 7), (3, 0), (9, 2), (5, 4), (1, 9)]);
@@ -1096,6 +1355,46 @@ mod tests {
             let full = max_profit_dp(&its, cap.into(), total.max(1));
             let capped = max_profit_dp(&its, cap.into(), pcap);
             prop_assert_eq!(capped, full.min(pcap));
+        }
+    }
+
+    proptest! {
+        // Few cases: each drives ~5k items through both the class path and
+        // the quadratic scalar reference.
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Class-path pin at full-function granularity: a bunched input
+        /// whose prefiltered size clears the gate (profit cap large enough
+        /// that the harmonic reduction keeps everything) routes
+        /// `max_profit_dp` through the class decomposition; value and
+        /// probe frontier must match the pre-rework scalar reference.
+        #[test]
+        fn class_dp_matches_reference_on_bunched_inputs(
+            seed in 1u64..u64::MAX,
+            n in 4400usize..5200,
+            cap in 1100u64..2600,
+            whale_profit in 1u64..4000,
+            slack in 0u128..5000,
+        ) {
+            let mut next = xorshift_stream(seed);
+            let profits = [1u64, 1, 2, 3, 7, 31, 150];
+            let mut its: Vec<Item> = (0..n)
+                .map(|_| Item {
+                    profit: profits[(next() % profits.len() as u64) as usize],
+                    weight: next() % 500,
+                })
+                .collect();
+            its.push(Item { profit: whale_profit, weight: next() % 500 });
+            let capacity = u128::from(next() % 60_000);
+            let new = max_profit_dp(&its, capacity, cap);
+            let old = reference_scalar_dp(&its, capacity, cap);
+            prop_assert_eq!(new, old);
+            let mut scratch = DpScratch::default();
+            let probe = max_profit_dp_probe(&mut scratch, &its, capacity, cap, slack);
+            prop_assert_eq!(probe.best, old);
+            for w in probe.frontier.windows(2) {
+                prop_assert!(w[0].0 < w[1].0 && w[0].1 < w[1].1);
+            }
         }
     }
 }

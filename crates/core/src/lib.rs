@@ -123,6 +123,7 @@ pub mod inverse;
 pub mod knapsack;
 pub mod oracle;
 pub mod problems;
+pub mod sampling;
 pub mod solver;
 pub mod verify;
 pub mod virtual_users;

@@ -63,6 +63,15 @@
 //! out, at which point one fresh recompute re-anchors that member. Every
 //! skipped check increments [`SolveStats::certificate_skips`].
 //!
+//! Entries are keyed by member total in an ordered index. An exact-total
+//! hit is the fast path, but exact totals rarely repeat across epochs at
+//! large `n` — re-solved brackets probe *nearby* totals instead — so on a
+//! miss the lookup also tries the nearest stored totals on either side
+//! (a **coarse** hit, counted in [`SolveStats::coarse_cert_hits`]). This
+//! is sound for free: the margin replay is computed against the presented
+//! member's actual ticket deltas, so a neighbor entry either absorbs the
+//! extra delta within its margin or declines.
+//!
 //! Two properties the replay machinery relies on:
 //!
 //! * **Inner-oracle equivalence.** A skipped verdict equals what the
@@ -667,6 +676,7 @@ pub struct CachingOracle<O> {
     hits: u64,
     misses: u64,
     cert_skips: u64,
+    coarse_hits: u64,
 }
 
 type DefaultHasher = std::collections::hash_map::DefaultHasher;
@@ -677,7 +687,9 @@ type DefaultHasher = std::collections::hash_map::DefaultHasher;
 #[derive(Debug, Clone)]
 struct CertGen {
     weights: Weights,
-    by_total: std::collections::HashMap<u64, StoredCert>,
+    /// Ordered by member total so nearest-neighbor (coarse) lookups can
+    /// walk to adjacent stored totals when the exact key misses.
+    by_total: std::collections::BTreeMap<u64, StoredCert>,
     /// Ticket-pair budget accounting across `by_total`.
     pairs: usize,
 }
@@ -803,6 +815,7 @@ impl<O> CachingOracle<O> {
             hits: 0,
             misses: 0,
             cert_skips: 0,
+            coarse_hits: 0,
         }
     }
 
@@ -880,12 +893,14 @@ impl<O> CachingOracle<O> {
 
     /// Tries to settle a Restriction check from a stored certificate.
     /// `None` (also on trivial targets or arithmetic-envelope trouble)
-    /// falls through to a fresh inner-oracle check.
+    /// falls through to a fresh inner-oracle check. The `bool` reports
+    /// whether the settling entry was found under the member's *exact*
+    /// total (`false`) or under a nearby coarse key (`true`).
     fn try_certificate(
         &self,
         member: &FamilyMember<'_>,
         params: &CheckParams,
-    ) -> Option<Verdict> {
+    ) -> Option<(Verdict, bool)> {
         let &CheckParams::Restriction { capacity, alpha_n } = params else { return None };
         if member.total == 0 {
             return None;
@@ -895,9 +910,31 @@ impl<O> CachingOracle<O> {
             if gen.weights.len() != member.weights.len() {
                 continue;
             }
-            let Some(sc) = gen.by_total.get(&member.total) else { continue };
-            if let Some(v) = apply_certificate(gen, sc, member, capacity, target_new) {
-                return Some(v);
+            if let Some(sc) = gen.by_total.get(&member.total) {
+                if let Some(v) = apply_certificate(gen, sc, member, capacity, target_new) {
+                    return Some((v, false));
+                }
+            }
+            // Coarse pass: `apply_certificate` replays the margin against
+            // the *presented* member (it recomputes the target and scans
+            // actual ticket deltas), so an entry stored under a nearby
+            // total can legitimately settle this one — the ticket-delta
+            // gap between the two family members simply consumes margin
+            // like any other perturbation. Exact totals rarely repeat
+            // across epochs at a million parties, so without this pass the
+            // store never pays off at scale. The window only bounds lookup
+            // cost to the two nearest neighbors; the margin algebra stays
+            // the sole authority on soundness.
+            let window = (member.total >> 8).max(64);
+            let lo = member.total.saturating_sub(window);
+            let below = gen.by_total.range(lo..member.total).next_back();
+            let above = member.total.checked_add(1).and_then(|succ| {
+                gen.by_total.range(succ..=member.total.saturating_add(window)).next()
+            });
+            for (_, sc) in below.into_iter().chain(above) {
+                if let Some(v) = apply_certificate(gen, sc, member, capacity, target_new) {
+                    return Some((v, true));
+                }
             }
         }
         None
@@ -919,7 +956,7 @@ impl<O> CachingOracle<O> {
             }
             self.cur_gen = Some(CertGen {
                 weights: member.weights.clone(),
-                by_total: std::collections::HashMap::new(),
+                by_total: std::collections::BTreeMap::new(),
                 pairs: 0,
             });
         }
@@ -987,8 +1024,12 @@ impl<O: CertifyingOracle> ValidityOracle for CachingOracle<O> {
             return Ok(verdict);
         }
         if self.certificates {
-            if let Some(verdict) = self.try_certificate(member, params) {
-                self.cert_skips += 1;
+            if let Some((verdict, coarse)) = self.try_certificate(member, params) {
+                if coarse {
+                    self.coarse_hits += 1;
+                } else {
+                    self.cert_skips += 1;
+                }
                 // Seed the exact-fingerprint cache so repeats within the
                 // epoch hit without replaying the delta scan.
                 self.cache_insert(key, verdict);
@@ -1013,6 +1054,7 @@ impl<O: CertifyingOracle> ValidityOracle for CachingOracle<O> {
         stats.cache_hits += std::mem::take(&mut self.hits);
         stats.cache_misses += std::mem::take(&mut self.misses);
         stats.certificate_skips += std::mem::take(&mut self.cert_skips);
+        stats.coarse_cert_hits += std::mem::take(&mut self.coarse_hits);
         stats
     }
 }
@@ -1253,6 +1295,40 @@ mod tests {
     }
 
     #[test]
+    fn coarse_lookup_settles_nearby_totals_and_respects_margins() {
+        // Prime stores a ValidByBound cert at total 19 (LP floor 13 <
+        // target 14). The same family's total-20 member was never stored,
+        // but the nearest-neighbor pass finds the total-19 entry and its
+        // margin absorbs the one-ticket delta: floor 13 + P⁺ 1 = 14 <
+        // target 15.
+        let params = CheckParams::Restriction { capacity: 11, alpha_n: Ratio::of(14, 19) };
+        let mut c = primed(&[5, 5, 6], &[6, 6, 7], &params);
+        let w = Weights::new(vec![5, 5, 6]).unwrap();
+        let near = TicketAssignment::new(vec![6, 6, 8]);
+        let member = member_for(&w, &near);
+        assert_eq!(
+            FullOracle::new().check(&member, &params).unwrap(),
+            Verdict::Valid,
+            "instance is miscrafted"
+        );
+        assert_eq!(c.check(&member, &params).unwrap(), Verdict::Valid);
+        let stats = c.take_stats();
+        assert_eq!(stats.coarse_cert_hits, 1, "settled from the total-19 entry");
+        assert_eq!(stats.certificate_skips, 0, "total 20 is not an exact key");
+        assert_eq!(stats.dp_invocations, 0, "a coarse hit must not run the DP");
+        // A bigger ticket delta exhausts the margin (floor 13 + P⁺ 13 ≥
+        // target 24): the coarse pass must decline and the oracle must
+        // recompute — the true verdict here is Invalid, so replaying the
+        // stale Valid would lie.
+        let far = TicketAssignment::new(vec![6, 6, 20]);
+        let member = member_for(&w, &far);
+        assert_eq!(c.check(&member, &params).unwrap(), Verdict::Invalid);
+        let stats = c.take_stats();
+        assert_eq!(stats.coarse_cert_hits, 0, "margin gone: no coarse settle");
+        assert_eq!(stats.cache_misses, 1, "fell through to the inner oracle");
+    }
+
+    #[test]
     fn certificates_off_by_default_and_droppable() {
         let c = CachingOracle::new(FullOracle::new());
         assert!(!c.certificates_enabled());
@@ -1307,6 +1383,64 @@ mod tests {
             // Not asserted > 0 per instance (margins can legitimately run
             // out), but the counter must never appear in epoch 0 alone.
             prop_assert!(total_skips == 0 || total_skips <= 20);
+        }
+
+        /// Coarse-keyed lookups must never change a verdict: members
+        /// presented at totals the store has never seen exactly may be
+        /// settled from nearby entries, and every such settlement must
+        /// match a fresh exact recompute — on the priming weights and on
+        /// a churned sibling (which exercises prev_gen coarse hits, the
+        /// warm-epoch shape at a million parties).
+        #[test]
+        fn coarse_certificate_hits_never_change_a_verdict(
+            mut ws in proptest::collection::vec(1u64..10_000, 3..16),
+            whale in 1u64..1_000_000,
+            deltas in proptest::collection::vec((0u64..40, 0u64..2), 16),
+            pn in 3u128..6,
+        ) {
+            ws[0] = ws[0].saturating_add(whale);
+            let p = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(pn, 7)).unwrap();
+            let mut cert = CachingOracle::new(FullOracle::new()).with_certificates(true);
+            let mut fresh = FullOracle::new();
+            // Prime the store at even totals only.
+            {
+                let w = Weights::new(ws.clone()).unwrap();
+                let params = CheckParams::restriction(&w, &p).unwrap();
+                for total in (2u64..=20).step_by(2) {
+                    let fam = crate::family::Family::new(&w, p.family_constant(), total).unwrap();
+                    let t = fam.assignment_with_total(total).unwrap();
+                    cert.check(&member_for(&w, &t), &params).unwrap();
+                }
+            }
+            let _ = cert.take_stats();
+            // Present odd totals (never stored exactly) on the same
+            // weights, then on a churned sibling.
+            for churn in 0..2 {
+                if churn == 1 {
+                    for (w, &(d, sign)) in ws.iter_mut().zip(&deltas) {
+                        if sign == 0 {
+                            *w -= d.min(*w - 1);
+                        } else {
+                            *w += d;
+                        }
+                    }
+                }
+                let w = Weights::new(ws.clone()).unwrap();
+                let params = CheckParams::restriction(&w, &p).unwrap();
+                for total in (1u64..=21).step_by(2) {
+                    let fam = crate::family::Family::new(&w, p.family_constant(), total).unwrap();
+                    let t = fam.assignment_with_total(total).unwrap();
+                    let member = member_for(&w, &t);
+                    let expect = fresh.check(&member, &params).unwrap();
+                    prop_assert_eq!(cert.check(&member, &params).unwrap(), expect);
+                }
+                let stats = cert.take_stats();
+                if churn == 0 {
+                    // Distinct odd totals within one generation can only
+                    // settle through the coarse pass, never an exact key.
+                    prop_assert_eq!(stats.certificate_skips, 0);
+                }
+            }
         }
     }
 }

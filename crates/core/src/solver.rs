@@ -30,12 +30,13 @@ use serde::{Deserialize, Serialize};
 
 use crate::assignment::TicketAssignment;
 use crate::error::CoreError;
-use crate::family::Family;
+use crate::family::{Family, FamilyCursor};
 use crate::oracle::{
     CheckParams, FamilyMember, FullOracle, LinearOracle, ValidityOracle, Verdict,
 };
 use crate::problems::{WeightQualification, WeightRestriction, WeightSeparation};
 use crate::ratio::Ratio;
+use crate::sampling;
 use crate::weights::Weights;
 
 /// Validity-checking regime (the prototype's `--linear` flag).
@@ -83,6 +84,20 @@ pub struct SolveStats {
     /// Counted separately from cache hits: the member differed from the
     /// one that produced the stored verdict.
     pub certificate_skips: u64,
+    /// Probes served by the incremental family cursor's O(Δ) same-interval
+    /// splice instead of a from-scratch materialization (zero on small
+    /// instances, where the solver keeps the legacy per-probe path).
+    pub cursor_advances: u64,
+    /// Bisection midpoints settled by the sampler's trust window (assumed
+    /// verdicts that survived endpoint re-verification) instead of exact
+    /// probes — zero when the sampler is not engaged or its estimate was
+    /// refuted and the search fell back to the untrusted bisection.
+    pub probes_saved: u64,
+    /// Checks settled by a certificate found through the coarse quantized
+    /// total index — the stored total differed from the probed one, but the
+    /// replayed margin still covered it. Disjoint from `certificate_skips`,
+    /// which counts exact-total matches.
+    pub coarse_cert_hits: u64,
 }
 
 impl SolveStats {
@@ -97,6 +112,9 @@ impl SolveStats {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.certificate_skips += other.certificate_skips;
+        self.cursor_advances += other.cursor_advances;
+        self.probes_saved += other.probes_saved;
+        self.coarse_cert_hits += other.coarse_cert_hits;
     }
 
     /// Cache lookups observed (`hits + misses`).
@@ -212,17 +230,46 @@ impl Instance {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Swiper {
     mode: Mode,
+    tuning: Tuning,
+}
+
+/// Size gates for the probe-pipeline accelerators. Small instances keep the
+/// legacy per-probe path bit-identically (stats included — the seed-cascade
+/// equivalence proptests pin that); large instances route probes through
+/// the incremental [`FamilyCursor`] and, when no warm hint exists, overlay
+/// the weighted sampler's trust window on the bisection. Tests lower the
+/// gates through
+/// [`Swiper::with_tuning`] to exercise the accelerated paths at small `n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Tuning {
+    /// Parties at or above which probes share one incremental cursor.
+    pub incremental_min_parties: usize,
+    /// Parties at or above which a hintless solve consults the sampler.
+    pub sampling_min_parties: usize,
+}
+
+impl Default for Tuning {
+    fn default() -> Self {
+        Tuning { incremental_min_parties: 4096, sampling_min_parties: 1 << 18 }
+    }
 }
 
 impl Swiper {
     /// Full-mode solver.
     pub fn new() -> Self {
-        Swiper { mode: Mode::Full }
+        Swiper { mode: Mode::Full, tuning: Tuning::default() }
     }
 
     /// Solver with an explicit mode.
     pub fn with_mode(mode: Mode) -> Self {
-        Swiper { mode }
+        Swiper { mode, tuning: Tuning::default() }
+    }
+
+    /// Solver with explicit accelerator gates — test plumbing for the
+    /// cursor/sampler equivalence suites.
+    #[cfg(test)]
+    pub(crate) fn with_tuning(mode: Mode, tuning: Tuning) -> Self {
+        Swiper { mode, tuning }
     }
 
     /// The active mode.
@@ -256,7 +303,7 @@ impl Swiper {
         weights: &Weights,
         params: &WeightRestriction,
     ) -> Result<Solution, CoreError> {
-        solve_restriction_hinted(oracle, weights, params, None)
+        solve_restriction_hinted(oracle, weights, params, None, self.tuning)
     }
 
     /// Returns the `t(s, k)` family member with exactly `total` tickets
@@ -334,7 +381,7 @@ impl Swiper {
         weights: &Weights,
         params: &WeightSeparation,
     ) -> Result<Solution, CoreError> {
-        solve_separation_hinted(oracle, weights, params, None)
+        solve_separation_hinted(oracle, weights, params, None, self.tuning)
     }
 
     /// Solves one batch [`Instance`] with this solver's mode.
@@ -483,13 +530,17 @@ impl Swiper {
         let warm = u64::try_from(prev.total_tickets()).ok();
         match instance {
             Instance::Restriction { weights, params } => {
-                solve_restriction_hinted(oracle, weights, params, warm)
+                solve_restriction_hinted(oracle, weights, params, warm, self.tuning)
             }
-            Instance::Qualification { weights, params } => {
-                solve_restriction_hinted(oracle, weights, &params.to_restriction(), warm)
-            }
+            Instance::Qualification { weights, params } => solve_restriction_hinted(
+                oracle,
+                weights,
+                &params.to_restriction(),
+                warm,
+                self.tuning,
+            ),
             Instance::Separation { weights, params } => {
-                solve_separation_hinted(oracle, weights, params, warm)
+                solve_separation_hinted(oracle, weights, params, warm, self.tuning)
             }
         }
     }
@@ -575,11 +626,12 @@ fn solve_restriction_hinted<O: ValidityOracle + ?Sized>(
     weights: &Weights,
     params: &WeightRestriction,
     warm: Option<u64>,
+    tuning: Tuning,
 ) -> Result<Solution, CoreError> {
     let n = u64::try_from(weights.len()).map_err(|_| CoreError::ArithmeticOverflow)?;
     let bound = params.ticket_bound(n)?.max(1);
     let check = CheckParams::restriction(weights, params)?;
-    solve_with(oracle, weights, params.family_constant(), bound, &check, warm)
+    solve_with(oracle, weights, params.family_constant(), bound, &check, warm, tuning)
 }
 
 /// Separation-shaped solve; see [`solve_restriction_hinted`].
@@ -588,11 +640,12 @@ fn solve_separation_hinted<O: ValidityOracle + ?Sized>(
     weights: &Weights,
     params: &WeightSeparation,
     warm: Option<u64>,
+    tuning: Tuning,
 ) -> Result<Solution, CoreError> {
     let n = u64::try_from(weights.len()).map_err(|_| CoreError::ArithmeticOverflow)?;
     let bound = params.ticket_bound(n)?.max(1);
     let check = CheckParams::separation(weights, params)?;
-    solve_with(oracle, weights, params.family_constant(), bound, &check, warm)
+    solve_with(oracle, weights, params.family_constant(), bound, &check, warm, tuning)
 }
 
 /// The generic binary-search driver: finds the least family member the
@@ -619,14 +672,65 @@ fn solve_with<O: ValidityOracle + ?Sized>(
     bound: u64,
     check: &CheckParams,
     warm: Option<u64>,
+    tuning: Tuning,
 ) -> Result<Solution, CoreError> {
     let family = Family::new(weights, family_constant, bound)?;
+    // Above the gate, every probe of this search shares one incremental
+    // cursor (memoized grid counts + same-interval splicing) instead of
+    // rebuilding the member from scratch; below it the legacy path runs,
+    // bit-identical stats included.
+    let mut cursor =
+        (weights.len() >= tuning.incremental_min_parties).then(|| FamilyCursor::new(&family));
+    // Hintless large solves place the weighted sampler's boundary estimate
+    // over the cold bisection as a *trust window*: midpoints far outside
+    // the window take the estimate's word (below → assume invalid, above →
+    // assume valid) without probing, midpoints inside are probed exactly,
+    // and whichever assumed verdicts the converged bracket still rests on
+    // are re-probed for real before the answer is accepted. A refuted
+    // assumption discards the window and reruns the untrusted bisection,
+    // so a bad estimate only costs probes, never correctness. Real warm
+    // hints win: a previous epoch's total beats any statistical estimate.
+    let trust_window = if warm.is_none() && weights.len() >= tuning.sampling_min_parties {
+        let (caps, q) = match *check {
+            CheckParams::Restriction { capacity, alpha_n } => (vec![capacity], alpha_n),
+            CheckParams::Separation { cap_low, cap_high } => {
+                (vec![cap_low, cap_high], Ratio::ONE)
+            }
+        };
+        let c = family_constant;
+        sampling::estimate_boundary_total(
+            weights,
+            &caps,
+            q.num(),
+            q.den(),
+            c.num(),
+            c.den(),
+            sampling::ESTIMATE_DRAWS,
+            sampling::ESTIMATE_SEED,
+        )
+        .map(|est| {
+            // Window half-width ~17% of the estimate: 2-3x the sampler's
+            // observed worst-case error at `ESTIMATE_DRAWS`, and still
+            // narrow enough to absorb the far-field dyadic mids. In-window
+            // mids far from the true flip stay cheap (the oracle settles
+            // them by bounds without the DP), so width costs little.
+            let est = est.clamp(1, bound);
+            let delta = (est / 6).max(64);
+            (est.saturating_sub(delta), est.saturating_add(delta))
+        })
+    } else {
+        None
+    };
     let mut lo = 0u64;
     let mut hi = bound;
     let mut checked = 0u64;
+    let mut saved = 0u64;
     let mut search = || -> Result<(), CoreError> {
         let mut probe = |total: u64| -> Result<Verdict, CoreError> {
-            let cand = family.assignment_with_total(total)?;
+            let cand = match cursor.as_mut() {
+                Some(cur) => cur.advance_to(total)?,
+                None => family.assignment_with_total(total)?,
+            };
             let member = FamilyMember { weights, tickets: &cand, total };
             checked += 1;
             oracle.check(&member, check)
@@ -675,12 +779,62 @@ fn solve_with<O: ValidityOracle + ?Sized>(
                 }
             }
         }
-        while hi - lo > 1 {
-            let mid = lo + (hi - lo) / 2;
-            match probe(mid)? {
-                Verdict::Valid => hi = mid,
-                Verdict::Invalid => lo = mid,
+        // The bisection below IS the legacy cold loop when `trust` is
+        // `None` (warm path, small instances, estimator declined). With a
+        // window, the mid sequence is the legacy one — assumed verdicts
+        // stand in for probes outside the window — so whenever the
+        // assumptions are right (endpoint re-probes confirm the bracket)
+        // the landing is bit-identical to the untrusted search.
+        let mut trust = trust_window;
+        loop {
+            let mut lo_assumed = false;
+            let mut hi_assumed = false;
+            while hi - lo > 1 {
+                let mid = lo + (hi - lo) / 2;
+                match trust {
+                    Some((wlo, _)) if mid < wlo => {
+                        lo = mid;
+                        lo_assumed = true;
+                        saved += 1;
+                    }
+                    Some((_, whi)) if mid > whi => {
+                        hi = mid;
+                        hi_assumed = true;
+                        saved += 1;
+                    }
+                    _ => match probe(mid)? {
+                        Verdict::Valid => {
+                            hi = mid;
+                            hi_assumed = false;
+                        }
+                        Verdict::Invalid => {
+                            lo = mid;
+                            lo_assumed = false;
+                        }
+                    },
+                }
             }
+            // The answer may rest on assumed verdicts; make them real.
+            // (`lo == 0` / `hi == bound` anchors are real by definition —
+            // the all-zero member is invalid, the bound member valid.)
+            let mut refuted = false;
+            if hi_assumed {
+                saved = saved.saturating_sub(1);
+                refuted |= matches!(probe(hi)?, Verdict::Invalid);
+            }
+            if !refuted && lo_assumed {
+                saved = saved.saturating_sub(1);
+                refuted |= matches!(probe(lo)?, Verdict::Valid);
+            }
+            if !refuted {
+                break;
+            }
+            // The estimate steered the bracket somewhere the exact
+            // predicate disowns: drop the window and rerun from scratch.
+            trust = None;
+            saved = 0;
+            lo = 0;
+            hi = bound;
         }
         Ok(())
     };
@@ -689,7 +843,12 @@ fn solve_with<O: ValidityOracle + ?Sized>(
     outcome?;
     stats.candidates_checked += checked;
     stats.settled_by_theorem += u64::from(hi == bound);
-    let assignment = family.assignment_with_total(hi)?;
+    stats.probes_saved += saved;
+    let assignment = match cursor.as_mut() {
+        Some(cur) => cur.advance_to(hi)?,
+        None => family.assignment_with_total(hi)?,
+    };
+    stats.cursor_advances += cursor.as_ref().map_or(0, |cur| cur.reused());
     Ok(Solution { assignment, ticket_bound: bound, stats })
 }
 
@@ -1209,6 +1368,94 @@ mod tests {
                 prop_assert_eq!(&sol.assignment, &alone.assignment);
                 prop_assert_eq!(sol.ticket_bound, alone.ticket_bound);
                 prop_assert_eq!(sol.stats, alone.stats, "stats identity");
+            }
+        }
+
+        /// Tentpole pin (cursor): with the incremental gate forced open,
+        /// the cursor-backed solver must be bit-identical to the legacy
+        /// per-probe path — assignment, bound, and every stat except the
+        /// cursor's own reuse counter.
+        #[test]
+        fn cursor_backed_solver_matches_legacy_path(
+            mut ws in proptest::collection::vec(1u64..100_000, 1..24),
+            whale in 1u64..10_000_000,
+            pw in 1u128..6, pn in 2u128..7,
+        ) {
+            let aw = Ratio::of(pw, 7);
+            let an = Ratio::of(pn, 7);
+            prop_assume!(aw < an && aw.is_proper() && an.is_proper());
+            ws.push(whale);
+            let w = Weights::new(ws).unwrap();
+            let p = WeightRestriction::new(aw, an).unwrap();
+            let s = WeightSeparation::new(Ratio::of(1, 4), Ratio::of(1, 3)).unwrap();
+            let tuned = Swiper::with_tuning(
+                Mode::Full,
+                Tuning { incremental_min_parties: 1, sampling_min_parties: usize::MAX },
+            );
+            let legacy = Swiper::new();
+            for (cur, old) in [
+                (tuned.solve_restriction(&w, &p), legacy.solve_restriction(&w, &p)),
+                (tuned.solve_separation(&w, &s), legacy.solve_separation(&w, &s)),
+            ] {
+                let (cur, old) = (cur.unwrap(), old.unwrap());
+                prop_assert_eq!(&cur.assignment, &old.assignment);
+                prop_assert_eq!(cur.ticket_bound, old.ticket_bound);
+                let mut masked = cur.stats;
+                masked.cursor_advances = 0;
+                prop_assert_eq!(masked, old.stats, "only the reuse counter may differ");
+            }
+        }
+
+        /// Tentpole pin (sampler): the sampler-narrowed bracket stays a
+        /// valid local minimum under the theoretical bound, and whenever
+        /// the validity predicate is monotone along the family (no dips —
+        /// checked exhaustively) it lands exactly where full bisection
+        /// lands. Exact probes stay authoritative either way.
+        #[test]
+        fn sampler_narrowed_bracket_matches_full_bracket(
+            mut ws in proptest::collection::vec(1u64..100_000, 1..20),
+            whale in 1u64..10_000_000,
+            pw in 1u128..6, pn in 2u128..7,
+        ) {
+            let aw = Ratio::of(pw, 7);
+            let an = Ratio::of(pn, 7);
+            prop_assume!(aw < an && aw.is_proper() && an.is_proper());
+            ws.push(whale);
+            let w = Weights::new(ws).unwrap();
+            let p = WeightRestriction::new(aw, an).unwrap();
+            let sampled = Swiper::with_tuning(
+                Mode::Full,
+                Tuning { incremental_min_parties: usize::MAX, sampling_min_parties: 1 },
+            )
+            .solve_restriction(&w, &p)
+            .unwrap();
+            let cold = Swiper::new().solve_restriction(&w, &p).unwrap();
+            prop_assert!(verify_restriction(&w, &sampled.assignment, &p).unwrap());
+            prop_assert!(sampled.total_tickets() <= u128::from(sampled.ticket_bound));
+            let total = u64::try_from(sampled.total_tickets()).unwrap();
+            let fam = Family::new(&w, p.family_constant(), sampled.ticket_bound).unwrap();
+            if total < sampled.ticket_bound {
+                // Local minimality: the predecessor member is invalid.
+                let prev = fam.assignment_with_total(total - 1).unwrap();
+                prop_assert!(!verify_restriction(&w, &prev, &p).unwrap());
+            }
+            let monotone = {
+                let mut seen_valid = false;
+                let mut monotone = true;
+                for t in 1..=sampled.ticket_bound {
+                    let member = fam.assignment_with_total(t).unwrap();
+                    let valid = verify_restriction(&w, &member, &p).unwrap();
+                    if seen_valid && !valid {
+                        monotone = false;
+                        break;
+                    }
+                    seen_valid |= valid;
+                }
+                monotone
+            };
+            if monotone {
+                prop_assert_eq!(&sampled.assignment, &cold.assignment);
+                prop_assert_eq!(sampled.total_tickets(), cold.total_tickets());
             }
         }
 
