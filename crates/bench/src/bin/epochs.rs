@@ -25,7 +25,7 @@
 //! ```text
 //! cargo run --release -p swiper-bench --bin epochs -- [--epochs N] \
 //!     [--churn 1,5,20] [--churn-mode drift|mixed] [--chains aptos,tezos] \
-//!     [--seed S] [--smr] [--ci-smoke] [--quiet] [--out PATH]
+//!     [--seed S] [--smr] [--ci-smoke] [--quiet] [--out PATH] [--diff BASELINE]
 //! ```
 //!
 //! `--smr` switches from solver-only replay to **live SMR replay**: each
@@ -50,7 +50,7 @@ use std::process::ExitCode;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use swiper_bench::{render_epochs_json, EpochBenchRow};
+use swiper_bench::{diff_epochs_rows, parse_epochs_json, render_epochs_json, EpochBenchRow};
 use swiper_core::{Ratio, Swiper, VirtualUsers, WeightQualification, WeightRestriction};
 use swiper_protocols::quorum::{CountQuorum, QuorumTracker, Roster, WeightQuorum};
 use swiper_protocols::smr::{ReconfigureMode, SmrInstance};
@@ -67,6 +67,7 @@ struct Args {
     ci_smoke: bool,
     quiet: bool,
     out: String,
+    diff: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -80,6 +81,7 @@ fn parse_args() -> Result<Args, String> {
         ci_smoke: false,
         quiet: false,
         out: "BENCH_epochs.json".into(),
+        diff: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -116,6 +118,7 @@ fn parse_args() -> Result<Args, String> {
             "--ci-smoke" => args.ci_smoke = true,
             "--quiet" => args.quiet = true,
             "--out" => args.out = value("--out")?,
+            "--diff" => args.diff = Some(value("--diff")?),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -578,6 +581,30 @@ fn main() -> ExitCode {
         std::fs::write(&args.out, render_epochs_json(&json_rows))
             .expect("write benchmark file");
         println!("wrote {}", args.out);
+    }
+    if let Some(baseline_path) = &args.diff {
+        let doc = std::fs::read_to_string(baseline_path).expect("read baseline");
+        let baseline = match parse_epochs_json(&doc) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("epochs: baseline {baseline_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        // Gate only the scenarios this sweep covered, so shortened sweeps
+        // can diff against the committed full baseline.
+        let covered: Vec<EpochBenchRow> = baseline
+            .into_iter()
+            .filter(|b| json_rows.iter().any(|r| r.key() == b.key()))
+            .collect();
+        let problems = diff_epochs_rows(&covered, &json_rows);
+        for p in &problems {
+            eprintln!("epochs: REGRESSION: {p}");
+        }
+        if problems.is_empty() {
+            println!("diff vs {baseline_path}: clean ({} rows)", covered.len());
+        }
+        ok &= problems.is_empty();
     }
     if ok {
         ExitCode::SUCCESS

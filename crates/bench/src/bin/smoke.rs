@@ -10,12 +10,16 @@
 //! cargo run --release -p swiper-bench --bin smoke
 //! ```
 
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use swiper_core::{Mode, Ratio, Swiper, WeightRestriction, WeightSeparation, Weights};
-use swiper_net::{Protocol, SendNodes, ThreadedRuntime};
+use swiper_net::{
+    DelayModel, OverlayConfig, OverlayMsg, OverlayNode, OverlayStats, Protocol, SendNodes,
+    Simulation, ThreadedRuntime,
+};
 use swiper_protocols::bracha::{BrachaConfig, BrachaMsg, BrachaNode};
 use swiper_weights::epoch::{churn_with, ChurnMode, Reconfigurator, Setting};
 use swiper_weights::CHAINS;
@@ -40,6 +44,37 @@ fn bracha_nodes(weights: &Weights, payload: &[u8]) -> SendNodes<BrachaMsg> {
             }
         })
         .collect()
+}
+
+/// Dissemination economy of one overlay configuration: messages per
+/// unique first-receipt delivery (and nodes reached) for a weighted
+/// Bracha broadcast carried by [`OverlayNode`] on the simulator.
+fn gossip_cost(
+    weights: &Weights,
+    payload: &[u8],
+    cfg: &OverlayConfig,
+    seed: u64,
+) -> (f64, usize) {
+    let stats = Arc::new(Mutex::new(OverlayStats::default()));
+    let n = weights.len();
+    let nodes: Vec<Box<dyn Protocol<Msg = OverlayMsg<BrachaMsg>>>> = (0..n)
+        .map(|me| {
+            let config = BrachaConfig::weighted(weights.clone());
+            let inner: Box<dyn Protocol<Msg = BrachaMsg> + Send> = if me == 0 {
+                Box::new(BrachaNode::sender(config, 0, payload.to_vec()))
+            } else {
+                Box::new(BrachaNode::new(config, 0))
+            };
+            Box::new(
+                OverlayNode::new(inner, weights.clone(), cfg.clone(), seed)
+                    .with_stats(Arc::clone(&stats)),
+            ) as _
+        })
+        .collect();
+    let report = Simulation::new(nodes, seed).with_delay(DelayModel::Uniform(1, 20)).run();
+    let reached = report.outputs.iter().filter(|o| o.as_deref() == Some(payload)).count();
+    let s = stats.lock().expect("sim is single-threaded");
+    (report.metrics.total_messages() as f64 / s.deliveries.max(1) as f64, reached)
 }
 
 fn main() {
@@ -125,5 +160,31 @@ fn main() {
             t0.elapsed()
         );
         assert!(twin_ok, "smoke: {} runtime twin replay diverged", chain.name());
+        // Gossip line: the overlay's dissemination economy versus reliable
+        // flooding, both backends carrying the same weighted Bracha
+        // workload over the whale stakes (flooding = every peer pinned in
+        // the active view).
+        let t0 = Instant::now();
+        let (overlay_cost, overlay_reach) =
+            gossip_cost(&whales, &payload, &OverlayConfig::default(), 9);
+        let flood_cfg = OverlayConfig {
+            active_degree: whales.len() - 1,
+            prune: false,
+            ..OverlayConfig::default()
+        };
+        let (flood_cost, flood_reach) = gossip_cost(&whales, &payload, &flood_cfg, 9);
+        println!(
+            "{:10} gossip  n={:6} overlay msgs/delivery={:.2} fullmesh={:.2} reach={}/{} \
+             time={:?}",
+            chain.name(),
+            whales.len(),
+            overlay_cost,
+            flood_cost,
+            overlay_reach,
+            whales.len(),
+            t0.elapsed()
+        );
+        assert_eq!(overlay_reach, whales.len(), "smoke: {} overlay reach", chain.name());
+        assert_eq!(flood_reach, whales.len(), "smoke: {} flood reach", chain.name());
     }
 }

@@ -362,6 +362,44 @@ pub fn parse_epochs_json(doc: &str) -> Result<Vec<EpochBenchRow>, String> {
     Ok(rows)
 }
 
+/// Compares a fresh epoch-replay run against a committed baseline.
+///
+/// The replay is seed-deterministic, so the solver-work counters
+/// (`epochs`, `cert_skips`, `warm_dp`, `plain_dp`, `cold_dp`,
+/// `hit_rate_pct`) must match exactly. `bracket_divergence` is
+/// **informational**: it counts epochs where the warm bracket settled on a
+/// different (equally valid) local minimum than cold bisection — a
+/// legitimate degree of freedom of the accelerated path, not a regression
+/// signal — so it is never gated. Baseline rows missing from the fresh run
+/// are regressions; extra fresh rows are not.
+pub fn diff_epochs_rows(baseline: &[EpochBenchRow], fresh: &[EpochBenchRow]) -> Vec<String> {
+    let mut problems = Vec::new();
+    for old in baseline {
+        let Some(new) = fresh.iter().find(|r| r.key() == old.key()) else {
+            problems.push(format!(
+                "row {}/{}/churn={}% missing from fresh run",
+                old.bench, old.chain, old.churn_pct
+            ));
+            continue;
+        };
+        let id = format!("{}/{}/churn={}%", old.bench, old.chain, old.churn_pct);
+        let counters = [
+            ("epochs", old.epochs, new.epochs),
+            ("cert_skips", old.cert_skips, new.cert_skips),
+            ("warm_dp", old.warm_dp, new.warm_dp),
+            ("plain_dp", old.plain_dp, new.plain_dp),
+            ("cold_dp", old.cold_dp, new.cold_dp),
+            ("hit_rate_pct", old.hit_rate_pct, new.hit_rate_pct),
+        ];
+        for (name, was, now) in counters {
+            if was != now {
+                problems.push(format!("{id}: {name} changed {was} -> {now}"));
+            }
+        }
+    }
+    problems
+}
+
 /// Schema tag written into (and required from) `BENCH_runtime.json`.
 pub const BENCH_RUNTIME_SCHEMA: &str = "swiper-bench-runtime/v1";
 
@@ -552,6 +590,247 @@ pub fn diff_runtime_rows(
             problems.push(format!(
                 "{id}: wall_ms regressed {} -> {} (> {tol_pct}%)",
                 old.wall_ms, new.wall_ms
+            ));
+        }
+    }
+    problems
+}
+
+/// Schema tag written into (and required from) `BENCH_gossip.json`.
+pub const BENCH_GOSSIP_SCHEMA: &str = "swiper-bench-gossip/v1";
+
+/// One measurement row of the gossip-overlay dissemination trajectory
+/// (`BENCH_gossip.json`): weighted Bracha driven over a dissemination
+/// backend (`overlay` partial-view gossip, or the `fullmesh` yardstick)
+/// on one substrate (`sim` seeded simulator, or `threaded` runtime).
+///
+/// Simulator rows are seed-deterministic, so their counters are
+/// regression-gated exactly; threaded rows gate `reach_pct` and `twin_ok`
+/// exactly and wall time with tolerance, everything else being
+/// OS-schedule noise. The headline economy claim — overlay
+/// msgs/delivery strictly below the n²-flood baseline of `n` at
+/// `n >= 256` — is gated unconditionally on every fresh overlay row by
+/// [`diff_gossip_rows`], baseline present or not.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GossipBenchRow {
+    /// Benchmark family, e.g. `gossip_scale`.
+    pub bench: String,
+    /// Dissemination backend: `overlay` or `fullmesh`.
+    pub backend: String,
+    /// Execution substrate: `sim` or `threaded`.
+    pub substrate: String,
+    /// Population size.
+    pub n: u64,
+    /// RNG seed (overlay view construction and the delay schedule).
+    pub seed: u64,
+    /// Wall-clock milliseconds of the run.
+    pub wall_ms: u64,
+    /// Nodes that delivered the payload, percent of the population.
+    pub reach_pct: u64,
+    /// Maximum eager-hop count observed — rounds to full delivery.
+    pub rounds: u64,
+    /// Total messages the run sent (overlay control + data frames).
+    pub msgs: u64,
+    /// Unique first-receipt payload deliveries across the fleet.
+    pub deliveries: u64,
+    /// Messages per delivery, fixed-point ×100 (e.g. `1042` = 10.42).
+    pub msgs_per_delivery_x100: u64,
+    /// The n²-flood yardstick in the same unit: a reliable full-mesh
+    /// flood costs `n` messages per delivery (n² messages, n deliveries).
+    pub baseline_msgs_per_delivery: u64,
+    /// Mean active-view degree across the fleet, fixed-point ×100.
+    pub mean_degree_x100: u64,
+    /// Median send→process latency, microseconds (threaded rows only).
+    pub p50_us: u64,
+    /// 95th-percentile latency, microseconds (threaded rows only).
+    pub p95_us: u64,
+    /// 99th-percentile latency, microseconds (threaded rows only).
+    pub p99_us: u64,
+    /// 1 when the delivery trace replayed bit-identically on the
+    /// simulator twin (threaded rows; simulator rows write 1).
+    pub twin_ok: u64,
+}
+
+impl GossipBenchRow {
+    /// The `(bench, backend, substrate, n, seed)` identity rows are
+    /// matched on when diffing.
+    pub fn key(&self) -> (String, String, String, u64, u64) {
+        (self.bench.clone(), self.backend.clone(), self.substrate.clone(), self.n, self.seed)
+    }
+
+    /// Messages per delivery as a float, for display.
+    pub fn msgs_per_delivery(&self) -> f64 {
+        self.msgs_per_delivery_x100 as f64 / 100.0
+    }
+
+    fn to_json_line(&self) -> String {
+        format!(
+            "    {{\"bench\":\"{}\",\"backend\":\"{}\",\"substrate\":\"{}\",\"n\":{},\
+             \"seed\":{},\"wall_ms\":{},\"reach_pct\":{},\"rounds\":{},\"msgs\":{},\
+             \"deliveries\":{},\"msgs_per_delivery_x100\":{},\
+             \"baseline_msgs_per_delivery\":{},\"mean_degree_x100\":{},\
+             \"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"twin_ok\":{}}}",
+            self.bench,
+            self.backend,
+            self.substrate,
+            self.n,
+            self.seed,
+            self.wall_ms,
+            self.reach_pct,
+            self.rounds,
+            self.msgs,
+            self.deliveries,
+            self.msgs_per_delivery_x100,
+            self.baseline_msgs_per_delivery,
+            self.mean_degree_x100,
+            self.p50_us,
+            self.p95_us,
+            self.p99_us,
+            self.twin_ok
+        )
+    }
+}
+
+/// Serializes gossip rows as the `BENCH_gossip.json` document (same
+/// line-oriented shape as [`render_bench_json`]).
+pub fn render_gossip_json(rows: &[GossipBenchRow]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{BENCH_GOSSIP_SCHEMA}\",");
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&row.to_json_line());
+        out.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parses a `BENCH_gossip.json` document produced by
+/// [`render_gossip_json`]. Lenient and line-oriented, like
+/// [`parse_bench_json`].
+///
+/// # Errors
+///
+/// Returns a description when the schema tag is absent or unexpected.
+pub fn parse_gossip_json(doc: &str) -> Result<Vec<GossipBenchRow>, String> {
+    if !doc.contains(&format!("\"schema\": \"{BENCH_GOSSIP_SCHEMA}\"")) {
+        return Err(format!("missing or unexpected schema tag (want {BENCH_GOSSIP_SCHEMA})"));
+    }
+    let mut rows = Vec::new();
+    for line in doc.lines() {
+        let Some(bench) = json_str_field(line, "bench") else { continue };
+        let num = |key: &str| json_num_field(line, key).unwrap_or(0) as u64;
+        rows.push(GossipBenchRow {
+            bench,
+            backend: json_str_field(line, "backend").unwrap_or_default(),
+            substrate: json_str_field(line, "substrate").unwrap_or_default(),
+            n: num("n"),
+            seed: num("seed"),
+            wall_ms: num("wall_ms"),
+            reach_pct: num("reach_pct"),
+            rounds: num("rounds"),
+            msgs: num("msgs"),
+            deliveries: num("deliveries"),
+            msgs_per_delivery_x100: num("msgs_per_delivery_x100"),
+            baseline_msgs_per_delivery: num("baseline_msgs_per_delivery"),
+            mean_degree_x100: num("mean_degree_x100"),
+            p50_us: num("p50_us"),
+            p95_us: num("p95_us"),
+            p99_us: num("p99_us"),
+            twin_ok: num("twin_ok"),
+        });
+    }
+    Ok(rows)
+}
+
+/// Population size from which the overlay-beats-flooding economy gate
+/// applies: below it the log-degree overlay and the mesh are too close
+/// for the comparison to be meaningful.
+pub const GOSSIP_ECONOMY_FLOOR_N: u64 = 256;
+
+/// Compares a fresh gossip-overlay run against a committed baseline.
+///
+/// Simulator rows (`substrate == "sim"`) are seed-deterministic, so
+/// `reach_pct`, `rounds`, `msgs`, `deliveries`, `msgs_per_delivery_x100`
+/// and `mean_degree_x100` must all match exactly. Threaded rows gate
+/// `reach_pct` and `twin_ok` exactly and wall time with `tol_pct` above
+/// [`BENCH_WALL_FLOOR_MS`]; their message counts and latency percentiles
+/// are OS-schedule noise. Baseline rows missing from the fresh run are
+/// regressions; extra fresh rows are not.
+///
+/// Independently of any baseline, every fresh row is held to the
+/// acceptance invariants: reach must be 100%, and `overlay` rows at
+/// `n >= `[`GOSSIP_ECONOMY_FLOOR_N`] must spend strictly fewer messages
+/// per delivery than the n²-flood baseline.
+pub fn diff_gossip_rows(
+    baseline: &[GossipBenchRow],
+    fresh: &[GossipBenchRow],
+    tol_pct: u64,
+) -> Vec<String> {
+    let mut problems = Vec::new();
+    for old in baseline {
+        let Some(new) = fresh.iter().find(|r| r.key() == old.key()) else {
+            problems.push(format!(
+                "row {}/{}/{}/n={}/seed={} missing from fresh run",
+                old.bench, old.backend, old.substrate, old.n, old.seed
+            ));
+            continue;
+        };
+        let id = format!(
+            "{}/{}/{}/n={}/seed={}",
+            old.bench, old.backend, old.substrate, old.n, old.seed
+        );
+        let exact: &[(&str, u64, u64)] = if old.substrate == "sim" {
+            &[
+                ("reach_pct", old.reach_pct, new.reach_pct),
+                ("rounds", old.rounds, new.rounds),
+                ("msgs", old.msgs, new.msgs),
+                ("deliveries", old.deliveries, new.deliveries),
+                (
+                    "msgs_per_delivery_x100",
+                    old.msgs_per_delivery_x100,
+                    new.msgs_per_delivery_x100,
+                ),
+                ("mean_degree_x100", old.mean_degree_x100, new.mean_degree_x100),
+            ]
+        } else {
+            &[
+                ("reach_pct", old.reach_pct, new.reach_pct),
+                ("twin_ok", old.twin_ok, new.twin_ok),
+            ]
+        };
+        for &(name, was, now) in exact {
+            if was != now {
+                problems.push(format!("{id}: {name} changed {was} -> {now}"));
+            }
+        }
+        if old.wall_ms >= BENCH_WALL_FLOOR_MS
+            && new.wall_ms >= BENCH_WALL_FLOOR_MS
+            && new.wall_ms.saturating_mul(100) > old.wall_ms.saturating_mul(100 + tol_pct)
+        {
+            problems.push(format!(
+                "{id}: wall_ms regressed {} -> {} (> {tol_pct}%)",
+                old.wall_ms, new.wall_ms
+            ));
+        }
+    }
+    for row in fresh {
+        let id = format!(
+            "{}/{}/{}/n={}/seed={}",
+            row.bench, row.backend, row.substrate, row.n, row.seed
+        );
+        if row.reach_pct != 100 {
+            problems.push(format!("{id}: reach {}% != 100%", row.reach_pct));
+        }
+        if row.backend == "overlay"
+            && row.n >= GOSSIP_ECONOMY_FLOOR_N
+            && row.msgs_per_delivery_x100 >= row.baseline_msgs_per_delivery.saturating_mul(100)
+        {
+            problems.push(format!(
+                "{id}: msgs/delivery {:.2} does not beat the n²-flood baseline of {}",
+                row.msgs_per_delivery(),
+                row.baseline_msgs_per_delivery
             ));
         }
     }
@@ -883,6 +1162,135 @@ mod tests {
             parse_epochs_json(&render_bench_json(&[])).is_err(),
             "solver documents must not pass as epochs documents"
         );
+    }
+
+    #[test]
+    fn epochs_diff_gates_solver_counters_but_not_bracket_divergence() {
+        let base = vec![EpochBenchRow {
+            bench: "epochs".into(),
+            chain: "aptos".into(),
+            churn_pct: 5,
+            epochs: 16,
+            bracket_divergence: 2,
+            cert_skips: 40,
+            warm_dp: 3,
+            plain_dp: 9,
+            cold_dp: 30,
+            hit_rate_pct: 87,
+        }];
+        assert!(diff_epochs_rows(&base, &base).is_empty());
+        // bracket_divergence is informational: free to drift.
+        let mut bracket = base.clone();
+        bracket[0].bracket_divergence = 7;
+        assert!(diff_epochs_rows(&base, &bracket).is_empty());
+        // The solver-work counters are exact.
+        for field in ["epochs", "cert_skips", "warm_dp", "plain_dp", "cold_dp", "hit_rate_pct"]
+        {
+            let mut drift = base.clone();
+            match field {
+                "epochs" => drift[0].epochs += 1,
+                "cert_skips" => drift[0].cert_skips += 1,
+                "warm_dp" => drift[0].warm_dp += 1,
+                "plain_dp" => drift[0].plain_dp += 1,
+                "cold_dp" => drift[0].cold_dp += 1,
+                _ => drift[0].hit_rate_pct += 1,
+            }
+            let problems = diff_epochs_rows(&base, &drift);
+            assert_eq!(problems.len(), 1, "{field} must be exact-gated");
+            assert!(problems[0].contains(field), "{problems:?}");
+        }
+        // Missing row: flagged.
+        assert_eq!(diff_epochs_rows(&base, &[]).len(), 1);
+    }
+
+    fn gossip_row(backend: &str, substrate: &str, n: u64, seed: u64) -> GossipBenchRow {
+        GossipBenchRow {
+            bench: "gossip_scale".into(),
+            backend: backend.into(),
+            substrate: substrate.into(),
+            n,
+            seed,
+            wall_ms: 80,
+            reach_pct: 100,
+            rounds: 6,
+            msgs: 26_000,
+            deliveries: 2560,
+            msgs_per_delivery_x100: 1015,
+            baseline_msgs_per_delivery: n,
+            mean_degree_x100: 900,
+            p50_us: 0,
+            p95_us: 0,
+            p99_us: 0,
+            twin_ok: 1,
+        }
+    }
+
+    #[test]
+    fn gossip_json_roundtrips() {
+        let mut threaded = gossip_row("overlay", "threaded", 64, 5);
+        threaded.p50_us = 40;
+        threaded.p99_us = 900;
+        let rows = vec![
+            gossip_row("overlay", "sim", 256, 7),
+            gossip_row("fullmesh", "sim", 64, 1),
+            threaded,
+        ];
+        let doc = render_gossip_json(&rows);
+        assert_eq!(parse_gossip_json(&doc).unwrap(), rows);
+        assert!(parse_gossip_json("{}").is_err(), "schema tag is mandatory");
+        assert!(
+            parse_gossip_json(&render_bench_json(&[])).is_err(),
+            "solver documents must not pass as gossip documents"
+        );
+    }
+
+    #[test]
+    fn gossip_diff_gates_sim_counters_exactly_and_threaded_loosely() {
+        let base = vec![gossip_row("overlay", "sim", 256, 7)];
+        assert!(diff_gossip_rows(&base, &base, 20).is_empty());
+        // Simulator rows are seed-deterministic: any counter drift flags.
+        let mut drift = base.clone();
+        drift[0].msgs += 1;
+        assert_eq!(diff_gossip_rows(&base, &drift, 20).len(), 1);
+        let mut rounds = base.clone();
+        rounds[0].rounds += 1;
+        assert_eq!(diff_gossip_rows(&base, &rounds, 20).len(), 1);
+        // Threaded rows: message counts are schedule noise, but reach and
+        // the twin flag are exact.
+        let tbase = vec![gossip_row("overlay", "threaded", 64, 5)];
+        let mut tnoise = tbase.clone();
+        tnoise[0].msgs = 1;
+        tnoise[0].p99_us = 9999;
+        tnoise[0].rounds += 3;
+        assert!(diff_gossip_rows(&tbase, &tnoise, 20).is_empty());
+        let mut twin = tbase.clone();
+        twin[0].twin_ok = 0;
+        assert_eq!(diff_gossip_rows(&tbase, &twin, 20).len(), 1);
+        // Missing row: flagged.
+        assert_eq!(diff_gossip_rows(&base, &[], 20).len(), 1);
+    }
+
+    #[test]
+    fn gossip_diff_holds_fresh_rows_to_the_acceptance_invariants() {
+        // Partial reach flags with or without a matching baseline row.
+        let mut unreached = vec![gossip_row("overlay", "sim", 64, 1)];
+        unreached[0].reach_pct = 98;
+        assert_eq!(diff_gossip_rows(&[], &unreached, 20).len(), 1);
+        // Above the economy floor, overlay msgs/delivery must beat the
+        // n²-flood yardstick of n…
+        let mut pricey = vec![gossip_row("overlay", "sim", 256, 7)];
+        pricey[0].msgs_per_delivery_x100 = 256 * 100;
+        let problems = diff_gossip_rows(&[], &pricey, 20);
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("baseline"), "{problems:?}");
+        // …but small populations and the fullmesh yardstick itself are
+        // exempt.
+        let mut small = vec![gossip_row("overlay", "sim", 64, 1)];
+        small[0].msgs_per_delivery_x100 = 64 * 100;
+        assert!(diff_gossip_rows(&[], &small, 20).is_empty());
+        let mut mesh = vec![gossip_row("fullmesh", "sim", 256, 7)];
+        mesh[0].msgs_per_delivery_x100 = 256 * 100;
+        assert!(diff_gossip_rows(&[], &mesh, 20).is_empty());
     }
 
     fn runtime_row(protocol: &str, n: u64, workers: u64, wall: u64) -> RuntimeBenchRow {

@@ -1,7 +1,8 @@
 //! Weighted sampling and the sampling-guided bracket estimate.
 //!
-//! Two pieces live here, both in service of the million-party solver (and,
-//! later, stake-weighted peer sampling for gossip fanout):
+//! Three pieces live here, all in service of weight-driven resource
+//! allocation — the million-party solver and stake-weighted peer sampling
+//! for gossip fanout:
 //!
 //! * [`AliasTable`] — Walker/Vose alias method over a [`Weights`] vector,
 //!   built with **exact integer arithmetic** so every replica constructs
@@ -9,6 +10,15 @@
 //!   `w_i / W` in O(1) per draw after an O(n) build. This is the classic
 //!   structure behind the parallel weighted-sampling line (Hübschle-Schneider
 //!   & Sanders) referenced by the roadmap.
+//! * [`WeightedReservoir`] — a streaming weighted reservoir sampler
+//!   (Chao's probability-proportional-to-size scheme, the reservoir
+//!   counterpart of the distributed weighted-sampling line of Jayaram et
+//!   al.): offer `(item, weight)` pairs one by one, keep `k` of them with
+//!   inclusion probability proportional to weight, O(1) state per slot,
+//!   exact integer arithmetic over the same [`SplitMix64`] stream. The
+//!   gossip overlay draws its active-view and fanout peers from this
+//!   sampler and re-seeds it at `EpochEvent` boundaries, so heavy parties
+//!   sit in proportionally many views.
 //! * [`estimate_boundary_total`](crate::sampling) *(crate-internal)* — a
 //!   statistical estimate of the ticket total at the solver's validity
 //!   boundary, computed from a few thousand weight-proportional draws. The
@@ -63,6 +73,208 @@ impl SplitMix64 {
         let x = (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64());
         x % m
     }
+}
+
+/// Streaming weighted reservoir sampler: keeps `k` of the offered items
+/// with inclusion probability proportional to their weight (Chao's
+/// probability-proportional-to-size reservoir). Determinism contract
+/// matches [`AliasTable`]: all randomness comes from the caller's
+/// [`SplitMix64`], and the per-slot probability bookkeeping uses only
+/// IEEE-exact `f64` operations (`+ - * /`, `min`, total-order sort — no
+/// transcendentals), so every replica offering the same stream with the
+/// same seed keeps the identical reservoir.
+///
+/// Zero-weight items are skipped without consuming randomness — they can
+/// never be included (callers that must reach zero-stake parties floor
+/// their sampling weights at 1 before offering). Items whose weight
+/// exceeds `total/k` are *overweight*: their inclusion probability clips
+/// at 1, exactly as in the original scheme.
+///
+/// # Examples
+///
+/// ```
+/// use swiper_core::sampling::{SplitMix64, WeightedReservoir};
+///
+/// let mut rng = SplitMix64::new(7);
+/// let mut res = WeightedReservoir::new(2);
+/// for (item, weight) in [(0, 90u64), (1, 5), (2, 5), (3, 900)] {
+///     res.offer(item, weight, &mut rng);
+/// }
+/// let picked = res.items();
+/// assert_eq!(picked.len(), 2);
+/// assert!(picked.contains(&3), "the 90% whale is (almost) always kept");
+/// ```
+pub struct WeightedReservoir {
+    k: usize,
+    total: u128,
+    /// `(item, weight, pi)` — `pi` is the item's current unconditional
+    /// inclusion probability, maintained exactly by Chao's recursion.
+    slots: Vec<(usize, u64, f64)>,
+}
+
+impl WeightedReservoir {
+    /// An empty reservoir holding at most `k` items.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        WeightedReservoir { k, total: 0, slots: Vec::with_capacity(k) }
+    }
+
+    /// Offers one `(item, weight)` pair. Implements Chao's full update:
+    /// each arrival re-solves the population fixpoint `Σ min(cap_i, λ·wᵢ)
+    /// = k` (members capped at their stored probability, the new item at
+    /// 1, the already-rejected mass entering linearly), accepts the new
+    /// item with its fixpoint probability, and evicts a member chosen
+    /// proportionally to its required probability *reduction* — not
+    /// uniformly. The non-uniform eviction is what keeps inclusion exactly
+    /// `k·w/W` through clip transitions: a naive `min(1, k·w/W)`-insert
+    /// with uniform eviction drifts toward uniform sampling, because early
+    /// prefixes clip almost everything and the error persists as a ratio.
+    /// Zero-weight and zero-capacity offers are ignored and consume no
+    /// randomness.
+    pub fn offer(&mut self, item: usize, weight: u64, rng: &mut SplitMix64) {
+        if weight == 0 || self.k == 0 {
+            return;
+        }
+        self.total += u128::from(weight);
+        if self.slots.len() < self.k {
+            // While filling, everything seen is held with certainty.
+            self.slots.push((item, weight, 1.0));
+            return;
+        }
+        // New targets: λ solves Σ min(cap, λ·w) = k over the population —
+        // the k members (cap = stored π), the new item (cap = 1), and the
+        // absent mass (total weight seen minus what the candidates carry,
+        // contributing λ·W_absent uncapped).
+        let mut cands: Vec<(f64, f64)> =
+            self.slots.iter().map(|&(_, w, pi)| (w as f64, pi)).collect();
+        cands.push((weight as f64, 1.0));
+        let carried: u128 = cands.iter().map(|&(w, _)| w as u128).sum();
+        let absent = self.total.saturating_sub(carried) as f64;
+        let lambda = waterfill(&cands, absent, self.k as f64);
+        let targets: Vec<f64> = cands.iter().map(|&(w, cap)| (lambda * w).min(cap)).collect();
+        // Accept the new item with its target probability. One rng draw
+        // regardless of outcome; a second only on accept.
+        let pi_new = targets[self.slots.len()];
+        let accept = unit_f64(rng) < pi_new;
+        // Each member keeps its reduced target; on accept the victim is
+        // drawn with probability proportional to (π − π′)/π — the exact
+        // reduction its marginal requires, conditioned on being present.
+        if accept {
+            let mass: Vec<f64> = self
+                .slots
+                .iter()
+                .zip(&targets)
+                .map(|(&(_, _, pi), &t)| if pi > t { (pi - t) / pi } else { 0.0 })
+                .collect();
+            let sum: f64 = mass.iter().sum();
+            let evict = if sum > 0.0 {
+                let mut x = unit_f64(rng) * sum;
+                let mut pick = self.slots.len() - 1;
+                for (ix, &m) in mass.iter().enumerate() {
+                    if x < m {
+                        pick = ix;
+                        break;
+                    }
+                    x -= m;
+                }
+                pick
+            } else {
+                // Degenerate realization with no reducible member: fall
+                // back to an arbitrary non-certain slot (one exists, else
+                // Σπ would exceed k).
+                self.slots.iter().position(|&(_, _, pi)| pi < 1.0).unwrap_or(0)
+            };
+            for (slot, &t) in self.slots.iter_mut().zip(&targets) {
+                slot.2 = t;
+            }
+            self.slots[evict] = (item, weight, pi_new);
+        } else {
+            for (slot, &t) in self.slots.iter_mut().zip(&targets) {
+                slot.2 = t;
+            }
+        }
+    }
+
+    /// The sampled items, ascending (sorted so consumers iterate in a
+    /// replica-independent order).
+    #[must_use]
+    pub fn items(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = self.slots.iter().map(|&(item, _, _)| item).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Items currently held (≤ `k`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the reservoir holds nothing yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// One-shot convenience: a stake-weighted sample of up to `k`
+    /// distinct indices drawn from `weights`, skipping every index for
+    /// which `skip` returns true. Indices are offered in ascending order
+    /// (the determinism contract: same weights, same skips, same rng
+    /// state — same sample) and returned ascending.
+    #[must_use]
+    pub fn sample_indices(
+        weights: &[u64],
+        k: usize,
+        rng: &mut SplitMix64,
+        mut skip: impl FnMut(usize) -> bool,
+    ) -> Vec<usize> {
+        let mut res = WeightedReservoir::new(k);
+        for (i, &w) in weights.iter().enumerate() {
+            if !skip(i) {
+                res.offer(i, w, rng);
+            }
+        }
+        res.items()
+    }
+}
+
+/// A uniform draw in `[0, 1)` with 53 bits of precision — the standard
+/// shift-and-scale construction, bit-deterministic everywhere.
+fn unit_f64(rng: &mut SplitMix64) -> f64 {
+    (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Solves `Σᵢ min(capᵢ, λ·wᵢ) + λ·absent = k` for λ ≥ 0. `f(λ)` is
+/// piecewise-linear and increasing, so the walk over saturation
+/// thresholds (sorted by `cap/w`) finds the segment containing `k`; when
+/// even every cap together cannot reach `k`, λ is `+∞` and every
+/// candidate sits at its cap.
+fn waterfill(cands: &[(f64, f64)], absent: f64, k: f64) -> f64 {
+    let mut order: Vec<usize> = (0..cands.len()).collect();
+    order.sort_unstable_by(|&a, &b| {
+        let ta = cands[a].1 / cands[a].0;
+        let tb = cands[b].1 / cands[b].0;
+        ta.total_cmp(&tb).then(a.cmp(&b))
+    });
+    // `active` = weight still below its cap; `saturated` = cap mass already
+    // pinned at its ceiling.
+    let mut active: f64 = absent + cands.iter().map(|&(w, _)| w).sum::<f64>();
+    let mut saturated = 0.0;
+    for &ix in &order {
+        let (w, cap) = cands[ix];
+        if active > 0.0 {
+            let lambda = (k - saturated) / active;
+            if lambda <= cap / w {
+                return lambda.max(0.0);
+            }
+        }
+        saturated += cap;
+        active -= w;
+    }
+    if active > 0.0 && k > saturated {
+        return (k - saturated) / active;
+    }
+    f64::INFINITY
 }
 
 /// One alias slot: `keep` of the slot's mass stays with the owning party,
@@ -325,6 +537,104 @@ mod tests {
             let i = table.sample(&mut rng);
             assert!(i == 1 || i == 3, "drew zero-weight party {i}");
         }
+    }
+
+    #[test]
+    fn reservoir_is_deterministic_per_seed_and_returns_sorted_distinct() {
+        let ws = vec![5u64, 1, 100, 17, 3, 9, 40, 2];
+        let draw = |seed: u64| {
+            let mut rng = SplitMix64::new(seed);
+            WeightedReservoir::sample_indices(&ws, 3, &mut rng, |i| i == 2)
+        };
+        let a = draw(42);
+        assert_eq!(a, draw(42), "same seed, same sample");
+        assert!((0..32).any(|s| draw(s) != a), "some seed out of 32 must diverge");
+        assert_eq!(a.len(), 3);
+        assert!(a.windows(2).all(|p| p[0] < p[1]), "sorted, distinct: {a:?}");
+        assert!(!a.contains(&2), "skipped index must not be sampled");
+    }
+
+    #[test]
+    fn reservoir_skips_zero_weight_items_and_caps_at_population() {
+        let ws = vec![0u64, 50, 0, 50];
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..200 {
+            let picked = WeightedReservoir::sample_indices(&ws, 3, &mut rng, |_| false);
+            assert_eq!(picked, vec![1, 3], "only the weighted parties are sampleable");
+        }
+        let mut res = WeightedReservoir::new(5);
+        res.offer(7, 3, &mut rng);
+        assert_eq!(res.len(), 1);
+        assert!(!res.is_empty());
+        assert_eq!(res.items(), vec![7]);
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// The satellite property: over many seeded draws, each party's
+        /// inclusion frequency is proportional to its weight. A
+        /// chi-square-style tolerance — every per-party relative
+        /// deviation from the expected count must stay small — over
+        /// random weight vectors and seeds.
+        #[test]
+        fn reservoir_inclusion_probability_tracks_weight(
+                ws in proptest::collection::vec(1u64..64, 8..16),
+                seed in any::<u64>(),
+            ) {
+                let n = ws.len();
+                let k = 3usize;
+                // Chao clipping makes heavily overweight parties (w >
+                // W/k) sit at probability 1 instead of k·w/W; keep the
+                // vector in the unclipped regime so the proportionality
+                // claim is exact.
+                let total: u128 = ws.iter().map(|&w| u128::from(w)).sum();
+                prop_assume!(ws.iter().all(|&w| u128::from(w) * k as u128 * 10 < total * 9));
+                let draws = 6000u64;
+                let mut hits = vec![0u64; n];
+                let mut rng = SplitMix64::new(seed);
+                for _ in 0..draws {
+                    for i in WeightedReservoir::sample_indices(&ws, k, &mut rng, |_| false) {
+                        hits[i] += 1;
+                    }
+                }
+                // E[hits_i] = draws · k · w_i / W; demand every party
+                // within 25% relative + a small absolute slack (the
+                // chi-square-style bound at this sample size).
+                for (i, &w) in ws.iter().enumerate() {
+                    let expect = draws as f64 * k as f64 * w as f64 / total as f64;
+                    let got = hits[i] as f64;
+                    let dev = (got - expect).abs();
+                    prop_assert!(
+                        dev <= expect * 0.25 + 12.0,
+                        "party {i} (w={w}): {got} hits vs {expect:.1} expected"
+                    );
+                }
+            }
+    }
+
+    /// Reweigh-at-boundary: re-running the sampler against a refreshed
+    /// weight vector (the overlay's `EpochEvent` path) must follow the
+    /// new stake — a party whose weight collapsed stops dominating views
+    /// and the newly heavy party takes its place.
+    #[test]
+    fn reservoir_reweigh_follows_the_new_stake() {
+        let before = vec![1000u64, 1, 1, 1, 1, 1, 1, 1];
+        let after = vec![1u64, 1, 1, 1, 1, 1, 1, 1000];
+        let count_in_views = |ws: &[u64], party: usize| -> usize {
+            let mut rng = SplitMix64::new(99);
+            (0..200)
+                .filter(|_| {
+                    WeightedReservoir::sample_indices(ws, 2, &mut rng, |_| false)
+                        .contains(&party)
+                })
+                .count()
+        };
+        assert!(count_in_views(&before, 0) > 180, "whale dominates pre-boundary views");
+        assert!(count_in_views(&after, 0) < 120, "collapsed whale loses its seats");
+        assert!(count_in_views(&after, 7) > 180, "the new whale inherits them");
     }
 
     #[test]

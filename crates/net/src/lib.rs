@@ -18,6 +18,11 @@
 //!   [`WireCodec`] per message type), monotonic-clock timers. Every
 //!   run records a [`DeliveryTrace`] that replays on the simulator
 //!   substrate bit-identically (the determinism-twin contract).
+//! * [`overlay`] — the partial-view gossip dissemination backend:
+//!   [`OverlayNode`] wraps any protocol and expands its symbolic
+//!   broadcasts into stake-weighted eager/lazy fanout (HyParView views,
+//!   Plumtree repair, SWIM-style churn detection feeding the epoch
+//!   machinery) instead of full-mesh.
 //! * [`adversary`] — generic fault injection: silence, crash-after-k,
 //!   and arbitrary message-mangling wrappers.
 //! * [`Metrics`] — per-node message/byte counters, the paper's
@@ -37,6 +42,7 @@
 pub mod adversary;
 mod codec;
 mod metrics;
+pub mod overlay;
 mod runtime;
 mod sim;
 mod socket;
@@ -49,6 +55,9 @@ pub use codec::{
     WireReader,
 };
 pub use metrics::Metrics;
+pub use overlay::{
+    ChurnEvent, ChurnLedger, OverlayCodec, OverlayConfig, OverlayMsg, OverlayNode, OverlayStats,
+};
 pub use runtime::{HistSummary, LatencySummary, RuntimeReport, ThreadedRuntime};
 pub use sim::{
     Context, DelayModel, Effects, EpochedSimulation, NodeId, Protocol, RunReport, Simulation,

@@ -1,0 +1,1450 @@
+//! Stake-weighted gossip overlay: a partial-view dissemination backend.
+//!
+//! Every protocol in this crate's test fleet historically ran full-mesh:
+//! one [`Delivery::Broadcast`](crate::Delivery) effect fanned out to all
+//! `n` nodes, `O(n²)` messages per logical round. This module keeps the
+//! broadcast effect *symbolic* and expands it into **overlay fanout**
+//! instead: each node maintains a small *active view* it eagerly pushes
+//! payloads to and a larger *passive view* it repairs from — HyParView's
+//! partial-view split — while a Plumtree-style eager/lazy push layer
+//! prunes the flood into a spanning tree and recovers missing payloads
+//! with IHAVE/GRAFT. Three design points tie the overlay to the Swiper
+//! paper's weighted model:
+//!
+//! * **Stake-weighted peer sampling.** Active-view members, passive
+//!   refills and shuffle targets are drawn with
+//!   [`WeightedReservoir`](swiper_core::sampling::WeightedReservoir) —
+//!   inclusion probability proportional to stake (floored at 1 so
+//!   zero-stake parties stay reachable), so heavy parties sit on many
+//!   eager paths and are reached early. Weights are refreshed and views
+//!   rebuilt at every [`EpochEvent`] boundary (`fold_rekey` reseeds the
+//!   sampler deterministically).
+//! * **Structural reach.** Every node keeps its ring successor
+//!   `(me+1) mod n` in the active view, and ring edges are exempt from
+//!   pruning: the directed ring is a subgraph of every eager graph, so a
+//!   broadcast reaches 100% of nodes on every seed — the sampled edges
+//!   buy *depth* (logarithmic rounds), the ring buys *certainty*.
+//! * **Churn feeds epochs.** SWIM-style probing (ping, suspect on
+//!   timeout, confirm after a grace period) records confirmed failures
+//!   and observed joins into a shared [`ChurnLedger`], which renders them
+//!   as a *candidate weight snapshot* — input for the Reconfigurator's
+//!   solver pass, composing with the epoch machinery instead of mutating
+//!   membership behind its back.
+//!
+//! The overlay is itself a [`Protocol`] (over [`OverlayMsg`]), so it runs
+//! unchanged on both substrates — the deterministic simulator and the
+//! threaded runtime over channel or socket transports — and satisfies the
+//! determinism-twin contract: all randomness comes from a seeded
+//! [`SplitMix64`], every emission is a pure function of the callback
+//! sequence, and shared stats/ledger handles are observational only.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex};
+
+use swiper_core::sampling::{SplitMix64, WeightedReservoir};
+use swiper_core::{EpochEvent, Weights};
+
+use crate::codec::{put_slice, put_u32, WireCodec, WireError, WireReader};
+use crate::sim::{Context, NodeId, Protocol};
+use crate::transport::Delivery;
+use crate::MessageSize;
+
+/// Overlay timers live above bit 63; inner-protocol timer ids must stay
+/// below it.
+const OVERLAY_TIMER_BIT: u64 = 1 << 63;
+/// Timer kind field (bits 60..=62).
+const KIND_SHIFT: u64 = 60;
+const KIND_GRAFT: u64 = 0;
+const KIND_PROBE_TICK: u64 = 1;
+const KIND_PROBE_TIMEOUT: u64 = 2;
+const KIND_CONFIRM: u64 = 3;
+const KIND_SHUFFLE: u64 = 4;
+/// Payload mask (bits 0..60).
+const PAYLOAD_MASK: u64 = (1 << KIND_SHIFT) - 1;
+
+fn overlay_timer(kind: u64, payload: u64) -> u64 {
+    debug_assert!(payload <= PAYLOAD_MASK);
+    OVERLAY_TIMER_BIT | (kind << KIND_SHIFT) | payload
+}
+
+fn graft_timer(origin: u32, seq: u32) -> u64 {
+    debug_assert!(origin < (1 << 28) && seq < (1 << 28));
+    overlay_timer(KIND_GRAFT, (u64::from(origin) << 28) | u64::from(seq))
+}
+
+/// Messages of the overlay layer. `M` is the wrapped protocol's message
+/// type, carried opaquely.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OverlayMsg<M> {
+    /// Eager push: the payload itself, tagged with its origin's id, the
+    /// origin's broadcast sequence number, and the hop count so far.
+    Eager {
+        /// Originating node (the logical broadcaster).
+        origin: u32,
+        /// Origin's per-node broadcast counter.
+        seq: u32,
+        /// Hops travelled from the origin (0 = the origin's own copy).
+        hops: u32,
+        /// The wrapped protocol's message.
+        payload: M,
+    },
+    /// Lazy push: "I have payload `(origin, seq)`" — sent to lazy peers
+    /// so they can graft if their eager paths failed.
+    IHave {
+        /// Originating node of the announced payload.
+        origin: u32,
+        /// Origin's broadcast counter for the announced payload.
+        seq: u32,
+    },
+    /// Pull request for an announced payload the sender never received
+    /// eagerly; also promotes the link back to eager (tree repair).
+    Graft {
+        /// Originating node of the wanted payload.
+        origin: u32,
+        /// Origin's broadcast counter for the wanted payload.
+        seq: u32,
+    },
+    /// "Stop eager-pushing to me on this link" — the sender saw a
+    /// duplicate; the link demotes to lazy.
+    Prune,
+    /// A point-to-point message of the wrapped protocol (inner unicasts
+    /// bypass gossip).
+    Direct(M),
+    /// Membership: announce presence to a peer.
+    Join,
+    /// Membership: a Join recipient's active-view snapshot, for the
+    /// joiner's passive view.
+    JoinReply {
+        /// The replier's current active view.
+        peers: Vec<u32>,
+    },
+    /// Membership: periodic passive-view exchange (sender's sample).
+    Shuffle {
+        /// Sampled peers the sender offers.
+        peers: Vec<u32>,
+    },
+    /// Membership: the reply sample of a shuffle.
+    ShuffleReply {
+        /// Sampled peers the replier offers back.
+        peers: Vec<u32>,
+    },
+    /// Failure detection: liveness probe.
+    Ping {
+        /// Correlates the probe with its pong and timers.
+        nonce: u32,
+    },
+    /// Failure detection: probe answer.
+    Pong {
+        /// The probe's nonce, echoed.
+        nonce: u32,
+    },
+    /// Membership: the sender evicted this link from its active view.
+    Disconnect,
+}
+
+impl<M: MessageSize> MessageSize for OverlayMsg<M> {
+    fn size_bytes(&self) -> usize {
+        match self {
+            OverlayMsg::Eager { payload, .. } => 1 + 12 + payload.size_bytes(),
+            OverlayMsg::IHave { .. } | OverlayMsg::Graft { .. } => 1 + 8,
+            OverlayMsg::Prune | OverlayMsg::Join | OverlayMsg::Disconnect => 1,
+            OverlayMsg::Direct(m) => 1 + m.size_bytes(),
+            OverlayMsg::JoinReply { peers }
+            | OverlayMsg::Shuffle { peers }
+            | OverlayMsg::ShuffleReply { peers } => 1 + 4 + 4 * peers.len(),
+            OverlayMsg::Ping { .. } | OverlayMsg::Pong { .. } => 1 + 4,
+        }
+    }
+}
+
+/// Tuning knobs of the overlay. `0` on the degree fields means
+/// "derive from `n`": active degree `max(3, ⌈log₂ n⌉) + 1` (the +1 is the
+/// ring successor), passive degree four times that. The failure-detection
+/// and shuffle schedules are *bounded-round* — a fixed number of probe and
+/// shuffle rounds per run, so runs quiesce instead of ticking forever.
+#[derive(Debug, Clone)]
+pub struct OverlayConfig {
+    /// Active-view size (0 = auto).
+    pub active_degree: usize,
+    /// Passive-view size (0 = auto).
+    pub passive_degree: usize,
+    /// How many lazy peers receive an IHAVE per first receipt.
+    pub lazy_fanout: usize,
+    /// Ticks to wait for an eager copy after an IHAVE before grafting.
+    pub graft_timeout: u64,
+    /// How many graft attempts (rotating providers) before giving up.
+    pub graft_retries: u32,
+    /// Total liveness probes each node sends per run (0 disables).
+    pub probe_rounds: u32,
+    /// Ticks between probes.
+    pub probe_period: u64,
+    /// Ticks before an unanswered probe marks its target suspected.
+    pub probe_timeout: u64,
+    /// Further ticks before a suspected peer is confirmed failed.
+    pub confirm_timeout: u64,
+    /// Total shuffle exchanges each node initiates per run (0 disables).
+    pub shuffle_rounds: u32,
+    /// Ticks between shuffles.
+    pub shuffle_period: u64,
+    /// Peers carried per shuffle message.
+    pub shuffle_size: usize,
+    /// When false, duplicate receipts never demote eager links: every
+    /// active edge stays eager forever and the overlay degenerates into
+    /// reliable flooding. The benchmark harness runs its `fullmesh`
+    /// yardstick with this off (and `active_degree: n - 1`) so the
+    /// n²-flood baseline is *measured* through the same code path the
+    /// overlay uses, not assumed.
+    pub prune: bool,
+}
+
+impl Default for OverlayConfig {
+    fn default() -> Self {
+        OverlayConfig {
+            active_degree: 0,
+            passive_degree: 0,
+            lazy_fanout: 2,
+            graft_timeout: 40,
+            graft_retries: 3,
+            probe_rounds: 2,
+            probe_period: 25,
+            probe_timeout: 30,
+            confirm_timeout: 60,
+            shuffle_rounds: 1,
+            shuffle_period: 50,
+            shuffle_size: 6,
+            prune: true,
+        }
+    }
+}
+
+impl OverlayConfig {
+    /// Multiplies every timer field by `f`. The defaults are sized for
+    /// the simulator's abstract ticks (delays of 1..=20); on
+    /// [`crate::ThreadedRuntime`] the clock is *microseconds*, so runs
+    /// there should scale timers up (e.g. `scaled_by(500)`) or probes
+    /// time out before a pong can cross a real scheduler.
+    #[must_use]
+    pub fn scaled_by(mut self, f: u64) -> Self {
+        self.graft_timeout *= f;
+        self.probe_period *= f;
+        self.probe_timeout *= f;
+        self.confirm_timeout *= f;
+        self.shuffle_period *= f;
+        self
+    }
+
+    fn active_for(&self, n: usize) -> usize {
+        let auto = || {
+            let log = usize::BITS - n.max(2).next_power_of_two().leading_zeros() - 1;
+            (log as usize).max(3) + 1
+        };
+        let d = if self.active_degree == 0 { auto() } else { self.active_degree };
+        d.min(n.saturating_sub(1))
+    }
+
+    fn passive_for(&self, n: usize) -> usize {
+        let d =
+            if self.passive_degree == 0 { self.active_for(n) * 4 } else { self.passive_degree };
+        d.min(n.saturating_sub(1))
+    }
+}
+
+/// Shared counters describing one overlay run: dissemination shape
+/// (deliveries, hop radius), repair activity (prunes, IHAVEs, grafts),
+/// membership/failure-detection activity, and view degree. Observational
+/// only — recording never influences an emission, which is what keeps a
+/// stats-sharing run twin-replayable.
+#[derive(Debug, Default, Clone)]
+pub struct OverlayStats {
+    /// Logical broadcasts turned into gossip originations.
+    pub broadcasts: u64,
+    /// First receipts handed to inner protocols (one per node reached).
+    pub deliveries: u64,
+    /// Maximum hop count over all first receipts (rounds to full
+    /// delivery).
+    pub max_hops: u32,
+    /// Prune messages sent (tree convergence).
+    pub prunes: u64,
+    /// IHAVE announcements sent to lazy peers.
+    pub ihaves: u64,
+    /// Graft pulls sent (recovery activity).
+    pub grafts: u64,
+    /// Probes that timed out into suspicion.
+    pub suspects: u64,
+    /// Suspicions that hardened into confirmed failures.
+    pub confirmed_failures: u64,
+    /// Join messages processed.
+    pub joins: u64,
+    /// Shuffle exchanges processed (requests + replies).
+    pub shuffles: u64,
+    /// Sum of active-view sizes at view-build time…
+    pub degree_sum: u64,
+    /// …over this many node-builds (mean degree = sum / builds).
+    pub degree_builds: u64,
+}
+
+impl OverlayStats {
+    /// Mean active-view degree over every view build of the run.
+    #[must_use]
+    pub fn mean_degree(&self) -> f64 {
+        if self.degree_builds == 0 {
+            0.0
+        } else {
+            self.degree_sum as f64 / self.degree_builds as f64
+        }
+    }
+}
+
+/// One churn observation made by the overlay's failure detector or
+/// membership layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnEvent {
+    /// A probed peer never answered through suspicion and grace — the
+    /// observer considers it failed.
+    ConfirmedFailure {
+        /// The node that ran the probe.
+        observer: NodeId,
+        /// The peer it confirmed failed.
+        peer: NodeId,
+    },
+    /// A Join was processed — the joiner is alive and reachable.
+    Join {
+        /// The node that processed the join.
+        observer: NodeId,
+        /// The joining peer.
+        peer: NodeId,
+    },
+}
+
+/// Shared record of churn the overlay detected, and its bridge into the
+/// epoch machinery: [`ChurnLedger::candidate_weights`] renders confirmed
+/// failures as a zeroed-stake candidate snapshot, which callers hand to
+/// the Reconfigurator (`swiper-weights`) — churn *feeds* epochs, it never
+/// mutates membership directly.
+#[derive(Debug, Default)]
+pub struct ChurnLedger {
+    events: Vec<ChurnEvent>,
+}
+
+impl ChurnLedger {
+    /// A fresh, empty ledger.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All recorded events, in record order.
+    #[must_use]
+    pub fn events(&self) -> &[ChurnEvent] {
+        &self.events
+    }
+
+    fn record(&mut self, ev: ChurnEvent) {
+        self.events.push(ev);
+    }
+
+    /// Peers confirmed failed by at least `quorum` distinct observers.
+    #[must_use]
+    pub fn confirmed_by(&self, quorum: usize) -> BTreeSet<NodeId> {
+        let mut observers: BTreeMap<NodeId, BTreeSet<NodeId>> = BTreeMap::new();
+        for ev in &self.events {
+            if let ChurnEvent::ConfirmedFailure { observer, peer } = *ev {
+                observers.entry(peer).or_default().insert(observer);
+            }
+        }
+        observers.into_iter().filter(|(_, o)| o.len() >= quorum).map(|(p, _)| p).collect()
+    }
+
+    /// The candidate weight snapshot implied by detected churn: `base`
+    /// with every quorum-confirmed failure's stake zeroed. `None` when
+    /// nothing was confirmed (no epoch warranted) or when zeroing would
+    /// erase all stake (an all-failed snapshot cannot parameterize a
+    /// solver pass).
+    #[must_use]
+    pub fn candidate_weights(&self, base: &Weights, quorum: usize) -> Option<Weights> {
+        let failed = self.confirmed_by(quorum);
+        if failed.is_empty() {
+            return None;
+        }
+        let snapshot: Vec<u64> = base
+            .as_slice()
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| if failed.contains(&i) { 0 } else { w })
+            .collect();
+        Weights::new(snapshot).ok()
+    }
+}
+
+/// Pending recovery state for one announced-but-unreceived payload.
+#[derive(Debug, Default)]
+struct GraftState {
+    providers: Vec<NodeId>,
+    next_provider: usize,
+    retries: u32,
+}
+
+/// A [`Protocol`] adapter that runs `inner` over the gossip overlay: the
+/// inner automaton's symbolic broadcasts become eager-push originations,
+/// its unicasts travel as [`OverlayMsg::Direct`], and everything else —
+/// membership, failure detection, tree repair — is the overlay's own
+/// traffic. See the module docs for the design.
+pub struct OverlayNode<M: Clone + MessageSize> {
+    inner: Box<dyn Protocol<Msg = M> + Send>,
+    inner_halted: bool,
+    cfg: OverlayConfig,
+    weights: Weights,
+    seed: u64,
+    rng: SplitMix64,
+    me: NodeId,
+    n: usize,
+    started: bool,
+    // Views. Invariant: eager ∪ lazy = active, disjoint; passive is
+    // disjoint from active and never contains `me`.
+    active: BTreeSet<NodeId>,
+    eager: BTreeSet<NodeId>,
+    lazy: BTreeSet<NodeId>,
+    passive: BTreeSet<NodeId>,
+    // Dissemination state.
+    next_seq: u32,
+    seen: BTreeMap<(u32, u32), (M, u32)>,
+    graft_pending: BTreeMap<(u32, u32), GraftState>,
+    // Failure detection.
+    next_nonce: u32,
+    probes_sent: u32,
+    probe_cursor: usize,
+    outstanding: BTreeMap<u32, NodeId>,
+    suspected: BTreeSet<NodeId>,
+    shuffles_sent: u32,
+    // Observation (never influences emissions).
+    stats: Option<Arc<Mutex<OverlayStats>>>,
+    ledger: Option<Arc<Mutex<ChurnLedger>>>,
+}
+
+impl<M: Clone + MessageSize> OverlayNode<M> {
+    /// Wraps `inner` for overlay dissemination. `weights` is the stake
+    /// vector driving peer sampling (length must cover the population),
+    /// `seed` the per-run sampling seed — combined with the node id at
+    /// start, so replicas with the same construction draw identical
+    /// views.
+    pub fn new(
+        inner: Box<dyn Protocol<Msg = M> + Send>,
+        weights: Weights,
+        cfg: OverlayConfig,
+        seed: u64,
+    ) -> Self {
+        OverlayNode {
+            inner,
+            inner_halted: false,
+            cfg,
+            weights,
+            seed,
+            rng: SplitMix64::new(seed),
+            me: 0,
+            n: 0,
+            started: false,
+            active: BTreeSet::new(),
+            eager: BTreeSet::new(),
+            lazy: BTreeSet::new(),
+            passive: BTreeSet::new(),
+            next_seq: 0,
+            seen: BTreeMap::new(),
+            graft_pending: BTreeMap::new(),
+            next_nonce: 0,
+            probes_sent: 0,
+            probe_cursor: 0,
+            outstanding: BTreeMap::new(),
+            suspected: BTreeSet::new(),
+            shuffles_sent: 0,
+            stats: None,
+            ledger: None,
+        }
+    }
+
+    /// Shares a stats sink; recording is observational only.
+    #[must_use]
+    pub fn with_stats(mut self, stats: Arc<Mutex<OverlayStats>>) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+
+    /// Shares a churn ledger; recording is observational only.
+    #[must_use]
+    pub fn with_churn_ledger(mut self, ledger: Arc<Mutex<ChurnLedger>>) -> Self {
+        self.ledger = Some(ledger);
+        self
+    }
+
+    fn stat(&self, f: impl FnOnce(&mut OverlayStats)) {
+        if let Some(s) = &self.stats {
+            f(&mut s.lock().expect("stats poisoned"));
+        }
+    }
+
+    fn churn(&self, ev: ChurnEvent) {
+        if let Some(l) = &self.ledger {
+            l.lock().expect("ledger poisoned").record(ev);
+        }
+    }
+
+    fn ring_succ(&self) -> NodeId {
+        (self.me + 1) % self.n.max(1)
+    }
+
+    fn ring_pred(&self) -> NodeId {
+        (self.me + self.n - 1) % self.n.max(1)
+    }
+
+    /// Stake floored at 1: zero-stake parties must stay reachable.
+    fn floored_weights(&self) -> Vec<u64> {
+        let mut w: Vec<u64> = self.weights.as_slice().iter().map(|&w| w.max(1)).collect();
+        w.resize(self.n, 1);
+        w
+    }
+
+    /// (Re)draws both views from the current weights: ring successor
+    /// pinned into active, the rest stake-sampled; eager restarts as the
+    /// whole active view (pruning re-converges the tree).
+    fn build_views(&mut self) {
+        self.active.clear();
+        self.passive.clear();
+        if self.n > 1 {
+            self.active.insert(self.ring_succ());
+        }
+        let floored = self.floored_weights();
+        let me = self.me;
+        let want_active = self.cfg.active_for(self.n);
+        if want_active > self.active.len() {
+            let succ = self.ring_succ();
+            let extra = WeightedReservoir::sample_indices(
+                &floored,
+                want_active - self.active.len(),
+                &mut self.rng,
+                |i| i == me || i == succ,
+            );
+            self.active.extend(extra);
+        }
+        let want_passive = self.cfg.passive_for(self.n);
+        if want_passive > 0 {
+            let active = self.active.clone();
+            let passive =
+                WeightedReservoir::sample_indices(&floored, want_passive, &mut self.rng, |i| {
+                    i == me || active.contains(&i)
+                });
+            self.passive.extend(passive);
+        }
+        self.eager = self.active.clone();
+        self.lazy.clear();
+        let degree = self.active.len() as u64;
+        self.stat(|s| {
+            s.degree_sum += degree;
+            s.degree_builds += 1;
+        });
+    }
+
+    /// Evicts down to the configured active degree after a graft or
+    /// promotion grew the view: lightest stake leaves first (ties to the
+    /// higher id), the ring successor never leaves, and the evictee is
+    /// told via [`OverlayMsg::Disconnect`].
+    fn enforce_active_cap(&mut self, ctx: &mut Context<OverlayMsg<M>>) {
+        let cap = self.cfg.active_for(self.n).max(1);
+        let floored = self.floored_weights();
+        while self.active.len() > cap {
+            let succ = self.ring_succ();
+            let victim =
+                self.active.iter().copied().filter(|&p| p != succ).min_by_key(|&p| {
+                    (floored.get(p).copied().unwrap_or(1), std::cmp::Reverse(p))
+                });
+            let Some(victim) = victim else { break };
+            self.demote_to_passive(victim);
+            ctx.send(victim, OverlayMsg::Disconnect);
+        }
+    }
+
+    fn demote_to_passive(&mut self, peer: NodeId) {
+        self.active.remove(&peer);
+        self.eager.remove(&peer);
+        self.lazy.remove(&peer);
+        if peer != self.me {
+            self.passive.insert(peer);
+        }
+    }
+
+    /// Removes a confirmed-failed peer everywhere and promotes a
+    /// stake-sampled replacement from the passive view. The ring
+    /// successor is exempt: that edge is the structural reach guarantee,
+    /// and a false-positive confirmation (slow scheduler, lossy link)
+    /// must never sever it — the confirmation is still recorded in the
+    /// churn ledger, where the epoch machinery decides its fate.
+    fn replace_failed(&mut self, peer: NodeId) {
+        if peer == self.ring_succ() {
+            return;
+        }
+        self.active.remove(&peer);
+        self.eager.remove(&peer);
+        self.lazy.remove(&peer);
+        self.passive.remove(&peer);
+        let floored = self.floored_weights();
+        let passive = self.passive.clone();
+        let promoted = WeightedReservoir::sample_indices(&floored, 1, &mut self.rng, |i| {
+            !passive.contains(&i)
+        });
+        if let Some(&p) = promoted.first() {
+            self.passive.remove(&p);
+            self.active.insert(p);
+            self.eager.insert(p);
+        }
+    }
+
+    /// Runs one inner callback on a detached context and translates its
+    /// effects: unicasts wrap as [`OverlayMsg::Direct`], each symbolic
+    /// broadcast becomes a self-addressed origination (the first-receipt
+    /// path then delivers locally and fans out), timers pass through
+    /// (inner ids must stay below the overlay's bit-63 namespace), output
+    /// forwards, and a halt quiets the inner automaton *without* halting
+    /// the overlay — a node that stopped caring about payloads still
+    /// relays, serves grafts and answers probes.
+    fn drive_inner(
+        &mut self,
+        ctx: &mut Context<OverlayMsg<M>>,
+        f: impl FnOnce(&mut dyn Protocol<Msg = M>, &mut Context<M>),
+    ) {
+        if self.inner_halted {
+            return;
+        }
+        let mut ictx = Context::detached(ctx.me(), ctx.n(), ctx.now());
+        f(self.inner.as_mut(), &mut ictx);
+        for delivery in std::mem::take(&mut ictx.outbox) {
+            match delivery {
+                Delivery::Unicast(to, m) => ctx.send(to, OverlayMsg::Direct(m)),
+                Delivery::Broadcast(m) => {
+                    let seq = self.next_seq;
+                    self.next_seq += 1;
+                    self.stat(|s| s.broadcasts += 1);
+                    ctx.send(
+                        self.me,
+                        OverlayMsg::Eager { origin: self.me as u32, seq, hops: 0, payload: m },
+                    );
+                }
+            }
+        }
+        for (delay, id) in std::mem::take(&mut ictx.timers) {
+            debug_assert!(id < OVERLAY_TIMER_BIT, "inner timer id collides with overlay bits");
+            ctx.set_timer(delay, id);
+        }
+        if let Some(out) = ictx.output.take() {
+            ctx.output(out);
+        }
+        if ictx.halted {
+            self.inner_halted = true;
+        }
+    }
+
+    fn on_eager(
+        &mut self,
+        from: NodeId,
+        origin: u32,
+        seq: u32,
+        hops: u32,
+        payload: M,
+        ctx: &mut Context<OverlayMsg<M>>,
+    ) {
+        let key = (origin, seq);
+        if self.seen.contains_key(&key) {
+            // Duplicate: this eager link is redundant — demote it, unless
+            // it is a ring edge or our own origination echo. Both ring
+            // directions are exempt: demoting the predecessor would stop
+            // *it* being pushed to on the way back, and demoting the
+            // successor severs the outgoing edge the reach guarantee is
+            // built on (every node always pushes to `(me + 1) % n`).
+            if self.cfg.prune
+                && from != self.me
+                && from != self.ring_pred()
+                && from != self.ring_succ()
+                && self.eager.remove(&from)
+            {
+                self.lazy.insert(from);
+                ctx.send(from, OverlayMsg::Prune);
+                self.stat(|s| s.prunes += 1);
+            }
+            return;
+        }
+        self.seen.insert(key, (payload.clone(), hops));
+        self.graft_pending.remove(&key);
+        self.stat(|s| {
+            s.deliveries += 1;
+            s.max_hops = s.max_hops.max(hops);
+        });
+        // First receipt: hand to the inner automaton as a message *from
+        // the origin* — over full mesh the broadcaster is the sender, and
+        // quorum protocols key votes by that id.
+        let inner_payload = payload.clone();
+        self.drive_inner(ctx, |inner, ictx| {
+            inner.on_message(origin as NodeId, inner_payload, ictx);
+        });
+        // Eager fanout: everyone on an eager link except where it came
+        // from and who started it.
+        for &p in self.eager.clone().iter() {
+            if p != from && p != self.me && p as u32 != origin {
+                ctx.send(
+                    p,
+                    OverlayMsg::Eager { origin, seq, hops: hops + 1, payload: payload.clone() },
+                );
+            }
+        }
+        // Lazy announcements: a rotating lazy_fanout-slice of the lazy
+        // view (deterministic rotation — no rng, so replicas agree).
+        if self.cfg.lazy_fanout > 0 && !self.lazy.is_empty() {
+            let lazy: Vec<NodeId> = self.lazy.iter().copied().collect();
+            let start = (origin as usize + seq as usize) % lazy.len();
+            for off in 0..self.cfg.lazy_fanout.min(lazy.len()) {
+                let p = lazy[(start + off) % lazy.len()];
+                ctx.send(p, OverlayMsg::IHave { origin, seq });
+                self.stat(|s| s.ihaves += 1);
+            }
+        }
+    }
+
+    fn on_ihave(
+        &mut self,
+        from: NodeId,
+        origin: u32,
+        seq: u32,
+        ctx: &mut Context<OverlayMsg<M>>,
+    ) {
+        let key = (origin, seq);
+        if self.seen.contains_key(&key) {
+            return;
+        }
+        let state = self.graft_pending.entry(key).or_default();
+        let fresh = state.providers.is_empty();
+        if !state.providers.contains(&from) {
+            state.providers.push(from);
+        }
+        if fresh {
+            ctx.set_timer(self.cfg.graft_timeout, graft_timer(origin, seq));
+        }
+    }
+
+    fn on_graft_timer(&mut self, origin: u32, seq: u32, ctx: &mut Context<OverlayMsg<M>>) {
+        let key = (origin, seq);
+        if self.seen.contains_key(&key) {
+            return;
+        }
+        let Some(state) = self.graft_pending.get_mut(&key) else { return };
+        if state.retries >= self.cfg.graft_retries || state.providers.is_empty() {
+            return;
+        }
+        let provider = state.providers[state.next_provider % state.providers.len()];
+        state.next_provider += 1;
+        state.retries += 1;
+        ctx.send(provider, OverlayMsg::Graft { origin, seq });
+        self.stat(|s| s.grafts += 1);
+        // Tree repair: the provider becomes an eager neighbour.
+        self.lazy.remove(&provider);
+        self.passive.remove(&provider);
+        self.active.insert(provider);
+        self.eager.insert(provider);
+        self.enforce_active_cap(ctx);
+        ctx.set_timer(self.cfg.graft_timeout, graft_timer(origin, seq));
+    }
+
+    fn on_probe_tick(&mut self, ctx: &mut Context<OverlayMsg<M>>) {
+        if self.probes_sent >= self.cfg.probe_rounds || self.active.is_empty() {
+            return;
+        }
+        let peers: Vec<NodeId> = self.active.iter().copied().collect();
+        let target = peers[self.probe_cursor % peers.len()];
+        self.probe_cursor += 1;
+        let nonce = self.next_nonce;
+        self.next_nonce += 1;
+        self.outstanding.insert(nonce, target);
+        ctx.send(target, OverlayMsg::Ping { nonce });
+        ctx.set_timer(
+            self.cfg.probe_timeout,
+            overlay_timer(KIND_PROBE_TIMEOUT, u64::from(nonce)),
+        );
+        self.probes_sent += 1;
+        if self.probes_sent < self.cfg.probe_rounds {
+            ctx.set_timer(self.cfg.probe_period, overlay_timer(KIND_PROBE_TICK, 0));
+        }
+    }
+
+    fn on_shuffle_tick(&mut self, ctx: &mut Context<OverlayMsg<M>>) {
+        if self.shuffles_sent >= self.cfg.shuffle_rounds || self.active.is_empty() {
+            return;
+        }
+        self.shuffles_sent += 1;
+        let floored = self.floored_weights();
+        let active = self.active.clone();
+        let target = WeightedReservoir::sample_indices(&floored, 1, &mut self.rng, |i| {
+            !active.contains(&i)
+        });
+        let Some(&target) = target.first() else { return };
+        let peers = self.shuffle_sample(target);
+        ctx.send(target, OverlayMsg::Shuffle { peers });
+        if self.shuffles_sent < self.cfg.shuffle_rounds {
+            ctx.set_timer(self.cfg.shuffle_period, overlay_timer(KIND_SHUFFLE, 0));
+        }
+    }
+
+    /// Up to `shuffle_size` known peers (active first, then passive),
+    /// excluding the exchange partner, plus ourselves.
+    fn shuffle_sample(&self, partner: NodeId) -> Vec<u32> {
+        let mut peers: Vec<u32> = vec![self.me as u32];
+        for &p in self.active.iter().chain(self.passive.iter()) {
+            if peers.len() > self.cfg.shuffle_size {
+                break;
+            }
+            if p != partner && p != self.me {
+                peers.push(p as u32);
+            }
+        }
+        peers
+    }
+
+    /// Folds received peer addresses into the passive view (never the
+    /// active view — promotion happens via grafts or failure
+    /// replacement), evicting the highest ids beyond capacity.
+    fn merge_passive(&mut self, peers: &[u32]) {
+        for &p in peers {
+            let p = p as usize;
+            if p < self.n && p != self.me && !self.active.contains(&p) {
+                self.passive.insert(p);
+            }
+        }
+        let cap = self.cfg.passive_for(self.n).max(1);
+        while self.passive.len() > cap {
+            let last = *self.passive.iter().next_back().expect("nonempty");
+            self.passive.remove(&last);
+        }
+    }
+}
+
+impl<M: Clone + MessageSize> Protocol for OverlayNode<M> {
+    type Msg = OverlayMsg<M>;
+
+    fn on_start(&mut self, ctx: &mut Context<OverlayMsg<M>>) {
+        self.me = ctx.me();
+        self.n = ctx.n();
+        self.started = true;
+        // Per-node deterministic sampling stream.
+        self.rng =
+            SplitMix64::new(self.seed ^ (self.me as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        self.build_views();
+        // Announce ourselves to one stake-sampled peer (the join path is
+        // live on every run, not only under churn).
+        if self.n > 1 {
+            let floored = self.floored_weights();
+            let me = self.me;
+            let join =
+                WeightedReservoir::sample_indices(&floored, 1, &mut self.rng, |i| i == me);
+            if let Some(&p) = join.first() {
+                ctx.send(p, OverlayMsg::Join);
+            }
+        }
+        if self.cfg.probe_rounds > 0 && !self.active.is_empty() {
+            ctx.set_timer(self.cfg.probe_period, overlay_timer(KIND_PROBE_TICK, 0));
+        }
+        if self.cfg.shuffle_rounds > 0 && !self.active.is_empty() {
+            ctx.set_timer(self.cfg.shuffle_period, overlay_timer(KIND_SHUFFLE, 0));
+        }
+        self.drive_inner(ctx, |inner, ictx| inner.on_start(ictx));
+    }
+
+    fn on_message(
+        &mut self,
+        from: NodeId,
+        msg: OverlayMsg<M>,
+        ctx: &mut Context<OverlayMsg<M>>,
+    ) {
+        match msg {
+            OverlayMsg::Eager { origin, seq, hops, payload } => {
+                self.on_eager(from, origin, seq, hops, payload, ctx);
+            }
+            OverlayMsg::IHave { origin, seq } => self.on_ihave(from, origin, seq, ctx),
+            OverlayMsg::Graft { origin, seq } => {
+                // The grafting peer wants this link eager again.
+                if from != self.me {
+                    self.passive.remove(&from);
+                    self.lazy.remove(&from);
+                    self.active.insert(from);
+                    self.eager.insert(from);
+                    self.enforce_active_cap(ctx);
+                }
+                if let Some((payload, hops)) = self.seen.get(&(origin, seq)).cloned() {
+                    ctx.send(from, OverlayMsg::Eager { origin, seq, hops: hops + 1, payload });
+                }
+            }
+            OverlayMsg::Prune => {
+                if from != self.ring_succ() && self.eager.remove(&from) {
+                    self.lazy.insert(from);
+                }
+            }
+            OverlayMsg::Direct(m) => {
+                self.drive_inner(ctx, |inner, ictx| inner.on_message(from, m, ictx));
+            }
+            OverlayMsg::Join => {
+                self.stat(|s| s.joins += 1);
+                self.churn(ChurnEvent::Join { observer: self.me, peer: from });
+                if from != self.me && !self.active.contains(&from) {
+                    self.passive.insert(from);
+                    self.merge_passive(&[]);
+                }
+                let peers: Vec<u32> =
+                    self.active.iter().map(|&p| p as u32).take(self.cfg.shuffle_size).collect();
+                ctx.send(from, OverlayMsg::JoinReply { peers });
+            }
+            OverlayMsg::JoinReply { peers } => self.merge_passive(&peers),
+            OverlayMsg::Shuffle { peers } => {
+                self.stat(|s| s.shuffles += 1);
+                let reply = self.shuffle_sample(from);
+                self.merge_passive(&peers);
+                ctx.send(from, OverlayMsg::ShuffleReply { peers: reply });
+            }
+            OverlayMsg::ShuffleReply { peers } => {
+                self.stat(|s| s.shuffles += 1);
+                self.merge_passive(&peers);
+            }
+            OverlayMsg::Ping { nonce } => ctx.send(from, OverlayMsg::Pong { nonce }),
+            OverlayMsg::Pong { nonce } => {
+                if let Some(peer) = self.outstanding.remove(&nonce) {
+                    self.suspected.remove(&peer);
+                }
+            }
+            OverlayMsg::Disconnect => {
+                // The ring edge is unilateral: even a successor that
+                // evicted us from *its* active view keeps receiving our
+                // pushes — that edge is the structural reach guarantee.
+                if from != self.ring_succ() {
+                    self.demote_to_passive(from);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, id: u64, ctx: &mut Context<OverlayMsg<M>>) {
+        if id & OVERLAY_TIMER_BIT == 0 {
+            self.drive_inner(ctx, |inner, ictx| inner.on_timer(id, ictx));
+            return;
+        }
+        let payload = id & PAYLOAD_MASK;
+        match (id >> KIND_SHIFT) & 0x7 {
+            KIND_GRAFT => {
+                let (origin, seq) = ((payload >> 28) as u32, (payload & 0x0FFF_FFFF) as u32);
+                self.on_graft_timer(origin, seq, ctx);
+            }
+            KIND_PROBE_TICK => self.on_probe_tick(ctx),
+            KIND_PROBE_TIMEOUT => {
+                let nonce = payload as u32;
+                if let Some(&peer) = self.outstanding.get(&nonce) {
+                    // No pong yet: suspect, and give a grace period.
+                    self.suspected.insert(peer);
+                    self.stat(|s| s.suspects += 1);
+                    ctx.set_timer(
+                        self.cfg.confirm_timeout,
+                        overlay_timer(KIND_CONFIRM, u64::from(nonce)),
+                    );
+                }
+            }
+            KIND_CONFIRM => {
+                let nonce = payload as u32;
+                if let Some(peer) = self.outstanding.remove(&nonce) {
+                    // Still silent through the grace period: confirmed.
+                    self.suspected.remove(&peer);
+                    self.stat(|s| s.confirmed_failures += 1);
+                    self.churn(ChurnEvent::ConfirmedFailure { observer: self.me, peer });
+                    self.replace_failed(peer);
+                }
+            }
+            KIND_SHUFFLE => self.on_shuffle_tick(ctx),
+            _ => {}
+        }
+    }
+
+    fn on_reconfigure(&mut self, event: &EpochEvent, ctx: &mut Context<OverlayMsg<M>>) {
+        // Reweigh-at-boundary: refresh stake, reseed the sampler from the
+        // event's rekey material, and rebuild both views so fanout
+        // reflects the new weight distribution. A mis-addressed event
+        // (length mismatch) is ignored wholesale.
+        if event.refresh_weights(&mut self.weights) && self.started {
+            self.rng = SplitMix64::new(
+                self.seed
+                    ^ event.fold_rekey(self.weights.fingerprint())
+                    ^ (self.me as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            self.build_views();
+        }
+        self.drive_inner(ctx, |inner, ictx| inner.on_reconfigure(event, ictx));
+    }
+}
+
+/// [`WireCodec`] for [`OverlayMsg`], generic over the inner payload's
+/// codec (`Direct`/`Eager` payloads are length-prefixed inner encodings).
+#[derive(Debug, Default, Clone)]
+pub struct OverlayCodec<C> {
+    inner: C,
+}
+
+impl<C> OverlayCodec<C> {
+    /// Wraps an inner-payload codec.
+    pub fn new(inner: C) -> Self {
+        OverlayCodec { inner }
+    }
+}
+
+const TAG_EAGER: u8 = 0;
+const TAG_IHAVE: u8 = 1;
+const TAG_GRAFT: u8 = 2;
+const TAG_PRUNE: u8 = 3;
+const TAG_DIRECT: u8 = 4;
+const TAG_JOIN: u8 = 5;
+const TAG_JOIN_REPLY: u8 = 6;
+const TAG_SHUFFLE: u8 = 7;
+const TAG_SHUFFLE_REPLY: u8 = 8;
+const TAG_PING: u8 = 9;
+const TAG_PONG: u8 = 10;
+const TAG_DISCONNECT: u8 = 11;
+
+fn put_peers(out: &mut Vec<u8>, peers: &[u32]) {
+    put_u32(out, peers.len() as u32);
+    for &p in peers {
+        put_u32(out, p);
+    }
+}
+
+fn take_peers(r: &mut WireReader<'_>) -> Result<Vec<u32>, WireError> {
+    let len = r.take_u32()? as usize;
+    let mut peers = Vec::with_capacity(len.min(4096));
+    for _ in 0..len {
+        peers.push(r.take_u32()?);
+    }
+    Ok(peers)
+}
+
+impl<M, C> WireCodec<OverlayMsg<M>> for OverlayCodec<C>
+where
+    M: Send + Sync + 'static,
+    C: WireCodec<M>,
+{
+    fn encode(&self, msg: &OverlayMsg<M>, out: &mut Vec<u8>) {
+        match msg {
+            OverlayMsg::Eager { origin, seq, hops, payload } => {
+                out.push(TAG_EAGER);
+                put_u32(out, *origin);
+                put_u32(out, *seq);
+                put_u32(out, *hops);
+                let mut buf = Vec::new();
+                self.inner.encode(payload, &mut buf);
+                put_slice(out, &buf);
+            }
+            OverlayMsg::IHave { origin, seq } => {
+                out.push(TAG_IHAVE);
+                put_u32(out, *origin);
+                put_u32(out, *seq);
+            }
+            OverlayMsg::Graft { origin, seq } => {
+                out.push(TAG_GRAFT);
+                put_u32(out, *origin);
+                put_u32(out, *seq);
+            }
+            OverlayMsg::Prune => out.push(TAG_PRUNE),
+            OverlayMsg::Direct(m) => {
+                out.push(TAG_DIRECT);
+                let mut buf = Vec::new();
+                self.inner.encode(m, &mut buf);
+                put_slice(out, &buf);
+            }
+            OverlayMsg::Join => out.push(TAG_JOIN),
+            OverlayMsg::JoinReply { peers } => {
+                out.push(TAG_JOIN_REPLY);
+                put_peers(out, peers);
+            }
+            OverlayMsg::Shuffle { peers } => {
+                out.push(TAG_SHUFFLE);
+                put_peers(out, peers);
+            }
+            OverlayMsg::ShuffleReply { peers } => {
+                out.push(TAG_SHUFFLE_REPLY);
+                put_peers(out, peers);
+            }
+            OverlayMsg::Ping { nonce } => {
+                out.push(TAG_PING);
+                put_u32(out, *nonce);
+            }
+            OverlayMsg::Pong { nonce } => {
+                out.push(TAG_PONG);
+                put_u32(out, *nonce);
+            }
+            OverlayMsg::Disconnect => out.push(TAG_DISCONNECT),
+        }
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Result<OverlayMsg<M>, WireError> {
+        let mut r = WireReader::new(bytes);
+        let msg = match r.take_u8()? {
+            TAG_EAGER => {
+                let origin = r.take_u32()?;
+                let seq = r.take_u32()?;
+                let hops = r.take_u32()?;
+                let payload = self.inner.decode(r.take_slice()?)?;
+                OverlayMsg::Eager { origin, seq, hops, payload }
+            }
+            TAG_IHAVE => OverlayMsg::IHave { origin: r.take_u32()?, seq: r.take_u32()? },
+            TAG_GRAFT => OverlayMsg::Graft { origin: r.take_u32()?, seq: r.take_u32()? },
+            TAG_PRUNE => OverlayMsg::Prune,
+            TAG_DIRECT => OverlayMsg::Direct(self.inner.decode(r.take_slice()?)?),
+            TAG_JOIN => OverlayMsg::Join,
+            TAG_JOIN_REPLY => OverlayMsg::JoinReply { peers: take_peers(&mut r)? },
+            TAG_SHUFFLE => OverlayMsg::Shuffle { peers: take_peers(&mut r)? },
+            TAG_SHUFFLE_REPLY => OverlayMsg::ShuffleReply { peers: take_peers(&mut r)? },
+            TAG_PING => OverlayMsg::Ping { nonce: r.take_u32()? },
+            TAG_PONG => OverlayMsg::Pong { nonce: r.take_u32()? },
+            TAG_DISCONNECT => OverlayMsg::Disconnect,
+            tag => return Err(WireError::BadTag(tag)),
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulation;
+    use crate::U64Codec;
+    use swiper_core::{TicketAssignment, TicketDelta};
+
+    /// Minimal inner protocol: node 0 broadcasts its value once; every
+    /// node outputs the first value it hears.
+    struct Flood {
+        broadcaster: bool,
+    }
+
+    impl Protocol for Flood {
+        type Msg = u64;
+
+        fn on_start(&mut self, ctx: &mut Context<u64>) {
+            if self.broadcaster {
+                ctx.broadcast(42);
+            }
+        }
+
+        fn on_message(&mut self, _from: NodeId, msg: u64, ctx: &mut Context<u64>) {
+            ctx.output(msg.to_le_bytes().to_vec());
+        }
+    }
+
+    fn overlay_fleet(
+        n: usize,
+        seed: u64,
+        stats: &Arc<Mutex<OverlayStats>>,
+    ) -> Vec<Box<dyn Protocol<Msg = OverlayMsg<u64>>>> {
+        let weights = Weights::new((1..=n as u64).collect()).unwrap();
+        (0..n)
+            .map(|i| {
+                let node = OverlayNode::new(
+                    Box::new(Flood { broadcaster: i == 0 }),
+                    weights.clone(),
+                    OverlayConfig::default(),
+                    seed,
+                )
+                .with_stats(Arc::clone(stats));
+                Box::new(node) as Box<dyn Protocol<Msg = OverlayMsg<u64>>>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn overlay_floods_a_broadcast_to_every_node_well_below_full_mesh() {
+        for seed in [1, 7, 99] {
+            let n = 32;
+            let stats = Arc::new(Mutex::new(OverlayStats::default()));
+            let report = Simulation::new(overlay_fleet(n, seed, &stats), seed).run();
+            for node in 0..n {
+                assert_eq!(
+                    report.outputs[node].as_deref(),
+                    Some(&42u64.to_le_bytes()[..]),
+                    "node {node} missed the broadcast (seed {seed})"
+                );
+            }
+            let s = stats.lock().unwrap();
+            assert_eq!(s.broadcasts, 1);
+            assert_eq!(s.deliveries, n as u64, "reach must be 100%");
+            assert!(s.max_hops as usize <= n, "hop count bounded by the ring");
+            assert!(
+                report.metrics.total_messages() < (n * n) as u64,
+                "one gossip broadcast must cost fewer messages than one \
+                 full-mesh round: {}",
+                report.metrics.total_messages()
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_eager_receipt_prunes_the_redundant_link() {
+        let mut node = OverlayNode::new(
+            Box::new(Flood { broadcaster: false }),
+            Weights::new(vec![1; 8]).unwrap(),
+            OverlayConfig::default(),
+            3,
+        );
+        let mut ctx = Context::detached(0, 8, 0);
+        node.on_start(&mut ctx);
+        // First copy from the ring successor, duplicate from another peer.
+        let eager = |hops| OverlayMsg::Eager { origin: 5, seq: 0, hops, payload: 9u64 };
+        let mut ctx = Context::detached(0, 8, 1);
+        node.on_message(1, eager(1), &mut ctx);
+        let before = node.eager.clone();
+        assert!(before.contains(&2) || !node.active.contains(&2), "2 eager iff active");
+        node.active.insert(2);
+        node.eager.insert(2);
+        let mut ctx = Context::detached(0, 8, 2);
+        node.on_message(2, eager(3), &mut ctx);
+        assert!(!node.eager.contains(&2), "duplicate sender demoted from eager");
+        assert!(node.lazy.contains(&2), "…into lazy");
+        let sent = ctx.take_staged_expanded(0);
+        assert!(
+            sent.iter().any(|(to, m)| *to == 2 && *m == OverlayMsg::Prune),
+            "a Prune goes back to the duplicate sender"
+        );
+    }
+
+    #[test]
+    fn ihave_without_eager_copy_grafts_from_the_announcer() {
+        let mut node = OverlayNode::new(
+            Box::new(Flood { broadcaster: false }),
+            Weights::new(vec![1; 8]).unwrap(),
+            OverlayConfig::default(),
+            3,
+        );
+        let mut ctx = Context::detached(0, 8, 0);
+        node.on_start(&mut ctx);
+        let mut ctx = Context::detached(0, 8, 1);
+        node.on_message(4, OverlayMsg::IHave { origin: 5, seq: 7 }, &mut ctx);
+        let timers = ctx.timers.clone();
+        assert_eq!(timers.len(), 1, "one graft timer armed");
+        let (_, timer_id) = timers[0];
+        assert_eq!(timer_id, graft_timer(5, 7));
+        // The eager copy never arrives; the timer fires.
+        let mut ctx = Context::detached(0, 8, 50);
+        node.on_timer(timer_id, &mut ctx);
+        let sent = ctx.take_staged_expanded(0);
+        assert!(
+            sent.iter().any(|(to, m)| *to == 4
+                && matches!(m, OverlayMsg::Graft { origin: 5, seq: 7 })),
+            "graft pulled from the announcing peer: {sent:?}"
+        );
+        assert!(node.eager.contains(&4), "provider promoted to eager for repair");
+        // Serving side: a grafted peer gets the cached payload back.
+        let mut server = OverlayNode::new(
+            Box::new(Flood { broadcaster: false }),
+            Weights::new(vec![1; 8]).unwrap(),
+            OverlayConfig::default(),
+            3,
+        );
+        let mut ctx = Context::detached(4, 8, 0);
+        server.on_start(&mut ctx);
+        let mut ctx = Context::detached(4, 8, 1);
+        server.on_message(
+            5,
+            OverlayMsg::Eager { origin: 5, seq: 7, hops: 0, payload: 11 },
+            &mut ctx,
+        );
+        let mut ctx = Context::detached(4, 8, 2);
+        server.on_message(0, OverlayMsg::Graft { origin: 5, seq: 7 }, &mut ctx);
+        let sent = ctx.take_staged_expanded(0);
+        assert!(
+            sent.iter().any(|(to, m)| *to == 0
+                && matches!(m, OverlayMsg::Eager { origin: 5, seq: 7, payload: 11, .. })),
+            "graft served from the cache: {sent:?}"
+        );
+    }
+
+    #[test]
+    fn reweigh_at_epoch_boundary_rebuilds_views_toward_the_new_whale() {
+        let n = 24;
+        let mut node = OverlayNode::new(
+            Box::new(Flood { broadcaster: false }),
+            Weights::new(vec![1; n]).unwrap(),
+            OverlayConfig::default(),
+            13,
+        );
+        let mut ctx = Context::detached(0, n, 0);
+        node.on_start(&mut ctx);
+        // New stake: party 17 holds essentially everything.
+        let mut stake = vec![1u64; n];
+        stake[17] = 1_000_000;
+        let old = Weights::new(vec![1; n]).unwrap();
+        let new = Weights::new(stake).unwrap();
+        let delta = TicketDelta::between(
+            &TicketAssignment::new(vec![1; n]),
+            &TicketAssignment::new(vec![1; n]),
+        )
+        .unwrap();
+        let event = EpochEvent::new(1, delta, &old, new.clone(), 7).unwrap();
+        let mut ctx = Context::detached(0, n, 100);
+        node.on_reconfigure(&event, &mut ctx);
+        assert_eq!(node.weights.as_slice(), new.as_slice(), "stake refreshed");
+        assert!(
+            node.active.contains(&17),
+            "the whale's clipped inclusion probability is 1 — it must be \
+             drawn into the rebuilt active view: {:?}",
+            node.active
+        );
+        assert_eq!(node.eager, node.active, "eager resets to the full active view");
+        assert!(node.lazy.is_empty());
+        // Determinism: an identical twin reconfigured identically agrees.
+        let mut twin = OverlayNode::new(
+            Box::new(Flood { broadcaster: false }),
+            Weights::new(vec![1; n]).unwrap(),
+            OverlayConfig::default(),
+            13,
+        );
+        let mut ctx = Context::detached(0, n, 0);
+        twin.on_start(&mut ctx);
+        let mut ctx = Context::detached(0, n, 100);
+        twin.on_reconfigure(&event, &mut ctx);
+        assert_eq!(node.active, twin.active);
+        assert_eq!(node.passive, twin.passive);
+    }
+
+    #[test]
+    fn confirmed_failure_is_recorded_and_renders_a_candidate_snapshot() {
+        let n = 8;
+        let ledger = Arc::new(Mutex::new(ChurnLedger::new()));
+        let mut node = OverlayNode::new(
+            Box::new(Flood { broadcaster: false }),
+            Weights::new(vec![10; n]).unwrap(),
+            OverlayConfig::default(),
+            21,
+        )
+        .with_churn_ledger(Arc::clone(&ledger));
+        let mut ctx = Context::detached(0, n, 0);
+        node.on_start(&mut ctx);
+        // Round-robin probing starts at the lowest active id — for node 0
+        // that is the ring successor, which is eviction-exempt. Probe
+        // twice and let the *second* (non-ring) target's timeout and
+        // confirmation grace expire with no pong.
+        let mut ctx = Context::detached(0, n, 25);
+        node.on_timer(overlay_timer(KIND_PROBE_TICK, 0), &mut ctx);
+        let first = node.outstanding.get(&0).copied().expect("a probe was sent");
+        assert_eq!(first, 1, "the first probe round-robins to the ring successor");
+        let mut ctx = Context::detached(0, n, 50);
+        node.on_timer(overlay_timer(KIND_PROBE_TICK, 0), &mut ctx);
+        let probed = node.outstanding.get(&1).copied().expect("a second probe was sent");
+        assert_ne!(probed, 1, "the second probe targets a sampled (non-ring) peer");
+        let mut ctx = Context::detached(0, n, 80);
+        node.on_timer(overlay_timer(KIND_PROBE_TIMEOUT, 1), &mut ctx);
+        assert!(node.suspected.contains(&probed), "silent peer suspected");
+        let mut ctx = Context::detached(0, n, 140);
+        node.on_timer(overlay_timer(KIND_CONFIRM, 1), &mut ctx);
+        assert!(!node.active.contains(&probed), "confirmed peer evicted");
+        // The exempt ring successor would survive the same cascade.
+        let mut ctx = Context::detached(0, n, 141);
+        node.on_timer(overlay_timer(KIND_PROBE_TIMEOUT, 0), &mut ctx);
+        let mut ctx = Context::detached(0, n, 201);
+        node.on_timer(overlay_timer(KIND_CONFIRM, 0), &mut ctx);
+        assert!(node.active.contains(&1), "the ring successor is eviction-exempt");
+        let guard = ledger.lock().unwrap();
+        assert_eq!(
+            guard.events(),
+            &[
+                ChurnEvent::ConfirmedFailure { observer: 0, peer: probed },
+                ChurnEvent::ConfirmedFailure { observer: 0, peer: 1 },
+            ],
+            "churn recorded for the epoch machinery, ring-exempt or not"
+        );
+        let base = Weights::new(vec![10; n]).unwrap();
+        let candidate = guard.candidate_weights(&base, 1).expect("snapshot");
+        assert_eq!(candidate.get(probed), 0, "failed peer's stake zeroed");
+        assert_eq!(candidate.get(1), 0, "ring exemption is topological, not epochal");
+        assert_eq!(candidate.total(), base.total() - 20);
+        // A pong before confirmation cancels the cascade.
+        drop(guard);
+        let mut fresh = OverlayNode::new(
+            Box::new(Flood { broadcaster: false }),
+            Weights::new(vec![10; n]).unwrap(),
+            OverlayConfig::default(),
+            21,
+        );
+        let mut ctx = Context::detached(0, n, 0);
+        fresh.on_start(&mut ctx);
+        let mut ctx = Context::detached(0, n, 25);
+        fresh.on_timer(overlay_timer(KIND_PROBE_TICK, 0), &mut ctx);
+        let target = fresh.outstanding.values().copied().next().unwrap();
+        let mut ctx = Context::detached(0, n, 30);
+        fresh.on_message(target, OverlayMsg::Pong { nonce: 0 }, &mut ctx);
+        let mut ctx = Context::detached(0, n, 55);
+        fresh.on_timer(overlay_timer(KIND_PROBE_TIMEOUT, 0), &mut ctx);
+        assert!(fresh.suspected.is_empty(), "pong in time clears the probe");
+        let mut ctx = Context::detached(0, n, 115);
+        fresh.on_timer(overlay_timer(KIND_CONFIRM, 0), &mut ctx);
+        assert!(fresh.active.contains(&target), "answered peer stays active");
+    }
+
+    #[test]
+    fn overlay_codec_round_trips_every_variant() {
+        let codec: OverlayCodec<U64Codec> = OverlayCodec::default();
+        let msgs: Vec<OverlayMsg<u64>> = vec![
+            OverlayMsg::Eager { origin: 3, seq: 9, hops: 2, payload: 0xDEAD_BEEF },
+            OverlayMsg::IHave { origin: 1, seq: 2 },
+            OverlayMsg::Graft { origin: 4, seq: 5 },
+            OverlayMsg::Prune,
+            OverlayMsg::Direct(77),
+            OverlayMsg::Join,
+            OverlayMsg::JoinReply { peers: vec![1, 2, 3] },
+            OverlayMsg::Shuffle { peers: vec![] },
+            OverlayMsg::ShuffleReply { peers: vec![9] },
+            OverlayMsg::Ping { nonce: 11 },
+            OverlayMsg::Pong { nonce: 11 },
+            OverlayMsg::Disconnect,
+        ];
+        for msg in msgs {
+            let mut bytes = Vec::new();
+            codec.encode(&msg, &mut bytes);
+            let back = codec.decode(&bytes).unwrap_or_else(|e| panic!("{msg:?}: {e:?}"));
+            assert_eq!(back, msg);
+            // Trailing garbage must be rejected.
+            bytes.push(0);
+            assert!(codec.decode(&bytes).is_err(), "{msg:?} accepted trailing bytes");
+        }
+    }
+
+    #[test]
+    fn inner_halt_quiets_the_payload_path_but_not_the_overlay() {
+        struct HaltOnFirst;
+        impl Protocol for HaltOnFirst {
+            type Msg = u64;
+            fn on_start(&mut self, _ctx: &mut Context<u64>) {}
+            fn on_message(&mut self, _from: NodeId, _msg: u64, ctx: &mut Context<u64>) {
+                ctx.output(vec![1]);
+                ctx.halt();
+            }
+        }
+        let mut node = OverlayNode::new(
+            Box::new(HaltOnFirst),
+            Weights::new(vec![1; 4]).unwrap(),
+            OverlayConfig::default(),
+            5,
+        );
+        let mut ctx = Context::detached(0, 4, 0);
+        node.on_start(&mut ctx);
+        let mut ctx = Context::detached(0, 4, 1);
+        node.on_message(
+            1,
+            OverlayMsg::Eager { origin: 1, seq: 0, hops: 1, payload: 8 },
+            &mut ctx,
+        );
+        assert!(node.inner_halted, "inner halt captured");
+        assert!(!ctx.halted, "the overlay node itself must keep running");
+        // A later graft is still served from the cache.
+        let mut ctx = Context::detached(0, 4, 2);
+        node.on_message(2, OverlayMsg::Graft { origin: 1, seq: 0 }, &mut ctx);
+        let sent = ctx.take_staged_expanded(0);
+        assert!(
+            sent.iter().any(|(to, m)| *to == 2 && matches!(m, OverlayMsg::Eager { .. })),
+            "halted-inner node still serves repairs: {sent:?}"
+        );
+    }
+}

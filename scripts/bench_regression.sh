@@ -21,6 +21,20 @@
 # the coarse certificate index has stopped hitting at scale, which is
 # exactly the regression this pipeline exists to catch.
 #
+# Epochs section (BENCH_epochs.json): replays the chain × churn
+# reconfiguration scenarios and diffs the seed-deterministic solver-work
+# counters (epochs, cert_skips, warm/plain/cold dp, hit rate) exactly;
+# `bracket_divergence` is informational and never gated. The epochs bin's
+# own --ci-smoke gates (nonzero hit rate / cert skips at 1% churn) apply
+# on top.
+#
+# Gossip section (BENCH_gossip.json): re-runs the overlay dissemination
+# sweep (--ci-smoke drops the two slow cells) and diffs the covered rows:
+# simulator counters exact, threaded rows on reach + twin status, wall
+# with tolerance. Every fresh row is additionally held to the acceptance
+# invariants — reach 100%, and overlay msgs/delivery strictly below the
+# n²-flood baseline of n at n >= 256 — baseline present or not.
+#
 # Usage: scripts/bench_regression.sh [--max-n N] [--budget-ms MS]
 set -euo pipefail
 
@@ -38,9 +52,23 @@ if [[ ! -f "$RUNTIME_BASELINE" ]]; then
     exit 1
 fi
 
+EPOCHS_BASELINE="BENCH_epochs.json"
+if [[ ! -f "$EPOCHS_BASELINE" ]]; then
+    echo "bench_regression: missing committed baseline $EPOCHS_BASELINE" >&2
+    exit 1
+fi
+
+GOSSIP_BASELINE="BENCH_gossip.json"
+if [[ ! -f "$GOSSIP_BASELINE" ]]; then
+    echo "bench_regression: missing committed baseline $GOSSIP_BASELINE" >&2
+    exit 1
+fi
+
 FRESH="$(mktemp /tmp/BENCH_solver.fresh.XXXXXX.json)"
 RUNTIME_FRESH="$(mktemp /tmp/BENCH_runtime.fresh.XXXXXX.json)"
-trap 'rm -f "$FRESH" "$RUNTIME_FRESH"' EXIT
+EPOCHS_FRESH="$(mktemp /tmp/BENCH_epochs.fresh.XXXXXX.json)"
+GOSSIP_FRESH="$(mktemp /tmp/BENCH_gossip.fresh.XXXXXX.json)"
+trap 'rm -f "$FRESH" "$RUNTIME_FRESH" "$EPOCHS_FRESH" "$GOSSIP_FRESH"' EXIT
 
 cargo run --release -p swiper-bench --bin solver_scale -- \
     --out "$FRESH" --diff "$BASELINE" "$@"
@@ -78,3 +106,9 @@ fi
 
 cargo run --release -p swiper-bench --bin runtime_scale -- \
     --ci-smoke --transport both --out "$RUNTIME_FRESH" --diff "$RUNTIME_BASELINE"
+
+cargo run --release -p swiper-bench --bin epochs -- \
+    --ci-smoke --quiet --out "$EPOCHS_FRESH" --diff "$EPOCHS_BASELINE"
+
+cargo run --release -p swiper-bench --bin gossip_scale -- \
+    --ci-smoke --out "$GOSSIP_FRESH" --diff "$GOSSIP_BASELINE"

@@ -124,6 +124,76 @@ fn zero_ticket_parties_with_partial_vouchers() {
     }
 }
 
+/// First zoo coverage for SSLE: the election's shared randomness (a
+/// beacon value) is disseminated by weighted Bracha whose sender is a
+/// `SelectiveAck` adversary — it acknowledges only a chosen top-weight
+/// quorum and starves everyone else. The starved parties must still
+/// deliver via Echo/Ready amplification, and every party's delivered
+/// beacon must elect the *same* leader, whose proof verifies while
+/// forgeries and non-winners are rejected. Verified by sabotage: the
+/// wrapped sender measurably withholds traffic relative to an honest run.
+#[test]
+fn ssle_elects_one_leader_under_a_selective_ack_beacon_sender() {
+    use swiper::crypto::hash::digest;
+    use swiper::net::adversary::SelectiveAck;
+    use swiper::net::Simulation;
+    use swiper::protocols::ssle::SsleInstance;
+
+    let weights = Weights::new(vec![35, 30, 20, 15, 10, 5, 3]).unwrap();
+    let n = 7;
+    let wq = WeightQualification::new(Ratio::of(1, 3), Ratio::of(1, 4)).unwrap();
+    let sol = Swiper::new().solve_qualification(&weights, &wq).unwrap();
+    let inst = SsleInstance::setup(&sol.assignment, 404);
+    let beacon = b"round-7 beacon value".to_vec();
+    let config = BrachaConfig::weighted(weights.clone());
+    let fleet = |starve: bool| {
+        let mut nodes: Vec<Box<dyn Protocol<Msg = BrachaMsg>>> = Vec::new();
+        let sender = BrachaNode::sender(config.clone(), 0, beacon.clone());
+        if starve {
+            nodes.push(Box::new(SelectiveAck::new(sender, vec![0, 1, 2])));
+        } else {
+            nodes.push(Box::new(sender));
+        }
+        for _ in 1..n {
+            nodes.push(Box::new(BrachaNode::new(config.clone(), 0)));
+        }
+        nodes
+    };
+
+    for seed in [2u64, 9, 31] {
+        let starved = Simulation::new(fleet(true), seed).run();
+        let honest = Simulation::new(fleet(false), seed).run();
+        // The sabotage is real: the selective sender withheld traffic.
+        assert!(
+            starved.metrics.sent_by(0) < honest.metrics.sent_by(0),
+            "seed {seed}: the adversary must measurably withhold"
+        );
+        // Liveness survives the starvation, and the winner is unanimous.
+        let winners: Vec<usize> = (0..n)
+            .map(|i| {
+                let out = starved.outputs[i].as_ref().unwrap_or_else(|| {
+                    panic!("party {i} must deliver the beacon (seed {seed})")
+                });
+                assert_eq!(out, &beacon, "party {i} delivered a forged beacon (seed {seed})");
+                inst.winner_party(&inst.elect(7, &digest(out)))
+            })
+            .collect();
+        assert!(winners.windows(2).all(|w| w[0] == w[1]), "split election: {winners:?}");
+
+        // Proof checks: only the winner can prove, tampering is caught.
+        let election = inst.elect(7, &digest(&beacon));
+        let winner = inst.winner_party(&election);
+        let proof = inst.prove(&election, winner).expect("the winner holds the secret");
+        assert!(inst.verify(&election, &proof));
+        if let Some(loser) = (0..n).find(|&p| p != winner && sol.assignment.get(p) > 0) {
+            assert!(inst.prove(&election, loser).is_none(), "non-winners cannot prove");
+        }
+        let mut forged = proof;
+        forged.secret ^= 1;
+        assert!(!inst.verify(&election, &forged), "tampered secrets are rejected");
+    }
+}
+
 /// Forged shares across the stack: VSS commitments, threshold partials and
 /// Merkle proofs all reject tampering (defense in depth for the weighted
 /// protocols built on them).

@@ -1,0 +1,268 @@
+//! The gossip overlay as a dissemination backend, end to end: weighted
+//! Bracha rides `OverlayNode` instead of full-mesh expansion, on both
+//! substrates (seeded simulator sweeps; threaded runtime over channel and
+//! socket transports with bit-identical twin replay), under sabotage
+//! (mangled eager copies recovered via graft), and with detected churn
+//! composing into the epoch machinery through the `Reconfigurator`.
+
+use std::sync::{Arc, Mutex};
+
+use swiper::net::adversary::{Mangler, Silent};
+use swiper::net::{
+    ChurnLedger, DelayModel, OverlayCodec, OverlayConfig, OverlayMsg, OverlayNode,
+    OverlayStats, Protocol, SendNodes, Simulation, SocketTransport, ThreadedRuntime,
+};
+use swiper::protocols::bracha::{BrachaConfig, BrachaMsg, BrachaNode};
+use swiper::protocols::wire::BrachaCodec;
+use swiper::weights::epoch::{Reconfigurator, Setting};
+use swiper::{Ratio, Swiper, WeightRestriction, Weights};
+
+const PAYLOAD: &[u8] = b"overlay payload";
+
+/// Skewed-but-bounded stake: every party holds between 1 and 97.
+fn stake(n: usize) -> Weights {
+    Weights::new((0..n as u64).map(|p| 1 + (p * 7919) % 97).collect()).unwrap()
+}
+
+fn bracha_inner(me: usize, weights: &Weights) -> Box<dyn Protocol<Msg = BrachaMsg> + Send> {
+    let config = BrachaConfig::weighted(weights.clone());
+    if me == 0 {
+        Box::new(BrachaNode::sender(config, 0, PAYLOAD.to_vec()))
+    } else {
+        Box::new(BrachaNode::new(config, 0))
+    }
+}
+
+/// Weighted Bracha (node 0 the sender) wrapped in the overlay, one shared
+/// stats block across the fleet.
+fn overlay_bracha(
+    n: usize,
+    seed: u64,
+    cfg: &OverlayConfig,
+    stats: Option<&Arc<Mutex<OverlayStats>>>,
+) -> SendNodes<OverlayMsg<BrachaMsg>> {
+    let weights = stake(n);
+    (0..n)
+        .map(|me| {
+            let mut node = OverlayNode::new(
+                bracha_inner(me, &weights),
+                weights.clone(),
+                cfg.clone(),
+                seed,
+            );
+            if let Some(s) = stats {
+                node = node.with_stats(Arc::clone(s));
+            }
+            Box::new(node) as _
+        })
+        .collect()
+}
+
+/// Drops the `Send` bound so the same constructors feed sim and replay.
+fn desend<M>(nodes: SendNodes<M>) -> Vec<Box<dyn Protocol<Msg = M>>> {
+    nodes.into_iter().map(|b| b as Box<dyn Protocol<Msg = M>>).collect()
+}
+
+/// Reach sweeps on the simulator: every node delivers the weighted Bracha
+/// payload over the overlay, every origination reaches all `n` nodes, and
+/// the measured msgs/delivery stays well below `n` — the per-delivery cost
+/// of the n²-flood baseline (reliable full-mesh dissemination, where each
+/// node forwards each new payload to all `n` peers).
+#[test]
+fn weighted_bracha_reaches_everyone_over_the_overlay() {
+    for (n, seeds) in [(64usize, &[1u64, 42, 1337][..]), (256, &[7u64][..])] {
+        for &seed in seeds {
+            let stats = Arc::new(Mutex::new(OverlayStats::default()));
+            let report = Simulation::new(
+                desend(overlay_bracha(n, seed, &OverlayConfig::default(), Some(&stats))),
+                seed,
+            )
+            .with_delay(DelayModel::Uniform(1, 20))
+            .with_max_events(50_000_000)
+            .run();
+            for node in 0..n {
+                assert_eq!(
+                    report.outputs[node].as_deref(),
+                    Some(PAYLOAD),
+                    "node {node} missed the payload (n {n} seed {seed})"
+                );
+            }
+            let s = stats.lock().unwrap();
+            assert_eq!(
+                s.deliveries,
+                s.broadcasts * n as u64,
+                "every origination must reach all {n} nodes (seed {seed})"
+            );
+            let msgs_per_delivery =
+                report.metrics.total_messages() as f64 / s.deliveries as f64;
+            assert!(
+                msgs_per_delivery < n as f64,
+                "overlay msgs/delivery {msgs_per_delivery:.1} must beat the n²-flood \
+                 baseline of {n} (seed {seed})"
+            );
+        }
+    }
+}
+
+/// The determinism-twin contract holds for overlay runs: a threaded
+/// in-process run records a trace whose simulator replay is bit-identical
+/// in outputs and metrics. Timers are scaled up because the runtime clock
+/// ticks microseconds where the simulator ticks abstract units.
+#[test]
+fn overlay_bracha_runtime_run_replays_bit_identically() {
+    let make = || overlay_bracha(12, 5, &OverlayConfig::default().scaled_by(500), None);
+    let full = ThreadedRuntime::new(make()).with_workers(3).run_traced();
+    assert!(!full.trace.is_empty(), "the run must record a trace");
+    let twin = full.trace.replay(desend(make())).expect("twin replay must not diverge");
+    assert_eq!(twin.outputs, full.report.outputs, "outputs must be bit-identical");
+    assert_eq!(twin.metrics, full.report.metrics, "metrics must be bit-identical");
+    for (node, out) in full.report.outputs.iter().enumerate() {
+        assert_eq!(out.as_deref(), Some(PAYLOAD), "node {node} missed the payload");
+    }
+}
+
+/// The same contract across a real wire: every overlay frame is encoded by
+/// `OverlayCodec<BrachaCodec>`, crosses loopback TCP, decodes on the far
+/// side — and the trace still replays bit-identically, with the message
+/// conservation law exact.
+#[test]
+fn overlay_bracha_socket_run_replays_bit_identically() {
+    let make = || overlay_bracha(10, 8, &OverlayConfig::default().scaled_by(500), None);
+    let nodes = make();
+    let transport: SocketTransport<OverlayMsg<BrachaMsg>, OverlayCodec<BrachaCodec>> =
+        SocketTransport::loopback(nodes.len()).expect("loopback sockets");
+    let probe = transport.clone();
+    let full =
+        ThreadedRuntime::new(nodes).with_transport(transport).with_workers(3).run_traced();
+    assert!(!full.trace.is_empty(), "the run must record a trace");
+    assert_eq!(probe.decode_errors(), 0, "every frame must decode");
+    assert_eq!(
+        full.report.metrics.total_messages(),
+        full.report.metrics.delivered_messages() + full.dropped,
+        "every sent message is delivered or drop-accounted"
+    );
+    let twin = full.trace.replay(desend(make())).expect("twin replay must not diverge");
+    assert_eq!(twin.outputs, full.report.outputs, "outputs must be bit-identical");
+    assert_eq!(twin.metrics, full.report.metrics, "metrics must be bit-identical");
+}
+
+/// Sabotage the eager path and watch the lazy path repair it: node 1
+/// downgrades the *first* outgoing eager copy of every origination to a
+/// bare IHAVE (later copies — the graft replies — pass). On a ring-only
+/// overlay (active degree 1) the victim's sole eager in-link is starved
+/// for every single origination, so delivery *requires* the IHAVE→graft
+/// recovery loop — and reach must still be 100%.
+#[test]
+fn mangled_eager_copies_are_recovered_via_graft() {
+    for seed in [3u64, 11] {
+        let n = 24;
+        let weights = stake(n);
+        let cfg = OverlayConfig { active_degree: 1, ..OverlayConfig::default() };
+        let stats = Arc::new(Mutex::new(OverlayStats::default()));
+        let nodes: Vec<Box<dyn Protocol<Msg = OverlayMsg<BrachaMsg>>>> = (0..n)
+            .map(|me| {
+                let node = OverlayNode::new(
+                    bracha_inner(me, &weights),
+                    weights.clone(),
+                    cfg.clone(),
+                    seed,
+                )
+                .with_stats(Arc::clone(&stats));
+                if me == 1 {
+                    let mut withheld = std::collections::BTreeSet::new();
+                    Box::new(Mangler::new(node, move |to, msg| {
+                        if let OverlayMsg::Eager { origin, seq, .. } = &msg {
+                            // Self-originations stay intact — sabotage the
+                            // relay links, not the payload source.
+                            if to != 1usize && withheld.insert((*origin, *seq)) {
+                                return Some(OverlayMsg::IHave { origin: *origin, seq: *seq });
+                            }
+                        }
+                        Some(msg)
+                    })) as _
+                } else {
+                    Box::new(node) as _
+                }
+            })
+            .collect();
+        let report = Simulation::new(nodes, seed).with_delay(DelayModel::Uniform(1, 20)).run();
+        for node in 0..n {
+            assert_eq!(
+                report.outputs[node].as_deref(),
+                Some(PAYLOAD),
+                "node {node} missed the payload despite graft recovery (seed {seed})"
+            );
+        }
+        let s = stats.lock().unwrap();
+        assert!(s.grafts > 0, "the sabotage must actually force grafts (seed {seed})");
+    }
+}
+
+/// Churn composes with the epoch machinery instead of bypassing it: a
+/// silent node is probed, suspected, confirmed failed by its peers; the
+/// shared churn ledger renders a candidate weight snapshot zeroing the
+/// failed stake; and feeding that snapshot to the `Reconfigurator` yields
+/// an `EpochEvent` whose application retires the party. No honest node is
+/// falsely confirmed along the way.
+#[test]
+fn confirmed_silent_node_churn_feeds_the_reconfigurator() {
+    let n = 12;
+    let failed = 5usize;
+    let weights = Weights::new(vec![30, 25, 20, 15, 10, 8, 7, 6, 5, 4, 3, 2]).unwrap();
+    // Enough probe rounds to cover every active peer round-robin, so the
+    // silent node is guaranteed a probe from its ring predecessor.
+    let cfg = OverlayConfig { probe_rounds: 8, ..OverlayConfig::default() };
+    let ledger = Arc::new(Mutex::new(ChurnLedger::new()));
+    let stats = Arc::new(Mutex::new(OverlayStats::default()));
+    let nodes: Vec<Box<dyn Protocol<Msg = OverlayMsg<BrachaMsg>>>> = (0..n)
+        .map(|me| {
+            if me == failed {
+                Box::new(Silent::new()) as _
+            } else {
+                Box::new(
+                    OverlayNode::new(
+                        bracha_inner(me, &weights),
+                        weights.clone(),
+                        cfg.clone(),
+                        21,
+                    )
+                    .with_stats(Arc::clone(&stats))
+                    .with_churn_ledger(Arc::clone(&ledger)),
+                ) as _
+            }
+        })
+        .collect();
+    let report = Simulation::new(nodes, 21).with_delay(DelayModel::Uniform(1, 20)).run();
+    for node in (0..n).filter(|&i| i != failed) {
+        assert_eq!(
+            report.outputs[node].as_deref(),
+            Some(PAYLOAD),
+            "honest node {node} must deliver despite the silent party"
+        );
+    }
+    assert!(stats.lock().unwrap().confirmed_failures > 0, "probes must harden into confirms");
+
+    let guard = ledger.lock().unwrap();
+    let confirmed = guard.confirmed_by(1);
+    assert!(confirmed.contains(&failed), "the silent node is confirmed failed");
+    assert!(
+        confirmed.iter().all(|&p| p == failed),
+        "no honest node may be falsely confirmed: {confirmed:?}"
+    );
+    let candidate = guard.candidate_weights(&weights, 1).expect("churn renders a snapshot");
+    drop(guard);
+    assert_eq!(candidate.get(failed), 0, "the candidate snapshot zeroes the failed stake");
+    assert_eq!(candidate.get(0), weights.get(0), "honest stake is untouched");
+
+    // The snapshot drives an ordinary reconfiguration epoch.
+    let wr = WeightRestriction::new(Ratio::of(1, 3), Ratio::of(1, 2)).unwrap();
+    let mut loop_ = Reconfigurator::new(Swiper::new(), vec![Setting::Restriction(wr)]);
+    let genesis = loop_.advance(&weights).expect("genesis epoch");
+    assert!(genesis.event(0).is_none(), "the first epoch has no predecessor delta");
+    let outcome = loop_.advance(&candidate).expect("churn epoch");
+    let event = outcome.event(0).expect("confirmed churn must produce an epoch event");
+    let mut live = weights.clone();
+    assert!(event.refresh_weights(&mut live), "the event addresses the pre-churn weights");
+    assert_eq!(live.get(failed), 0, "applying the event retires the failed party");
+    assert_eq!(live.as_slice()[..failed], weights.as_slice()[..failed]);
+}
